@@ -1,0 +1,384 @@
+//! The ABNF Rule Adaptor: merges per-RFC rule sets into one closed grammar.
+//!
+//! RFC grammars are not self-contained. The adaptor performs the four
+//! transformations the paper describes (§III-C *ABNF Rule Adaption*):
+//!
+//! 1. **Case-insensitive rule names** — handled structurally by
+//!    [`Grammar`]'s lowercased keys.
+//! 2. **Most-recent-RFC precedence** — when the same rule name appears in
+//!    several documents, the definition from the document listed last wins;
+//!    the shadowed definition is preserved under a namespaced alias
+//!    (`rfc7230-rulename`).
+//! 3. **Prose-val expansion** — a rule defined as
+//!    `<host, see [RFC3986], Section 3.2.2>` is resolved by importing the
+//!    referenced rule (and its closure) from the registered grammar of that
+//!    document.
+//! 4. **Custom replacements** — references that remain undefined after
+//!    expansion are substituted with caller-provided custom rules, or
+//!    recorded as still-undefined.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Node, Rule};
+use crate::grammar::Grammar;
+
+/// Options for [`Adaptor::adapt`].
+#[derive(Debug, Clone, Default)]
+pub struct AdaptOptions {
+    /// Replacement rules for names that stay undefined (the paper's
+    /// "replacing invalid rule definitions with customized rules").
+    pub custom_rules: Vec<Rule>,
+}
+
+/// What the adaptor did — surfaced so experiments can report it.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptReport {
+    /// `(rule, shadowing_source, alias)` for same-name rules that were
+    /// shadowed and preserved under a namespaced alias.
+    pub namespaced: Vec<(String, String, String)>,
+    /// `(rule, referenced_document)` prose-vals expanded from another
+    /// document's grammar.
+    pub expanded_prose: Vec<(String, String)>,
+    /// Names substituted from [`AdaptOptions::custom_rules`].
+    pub substituted: Vec<String>,
+    /// Names still undefined after all transformations.
+    pub still_undefined: Vec<String>,
+}
+
+/// Merges document grammars into a closed ruleset.
+#[derive(Debug, Default)]
+pub struct Adaptor {
+    /// `(source tag, rules)` in publication order — later entries are "more
+    /// recent" and take precedence.
+    documents: Vec<(String, Vec<Rule>)>,
+    /// Registered reference grammars for prose expansion, keyed by document
+    /// tag lowercased (e.g. `rfc3986`).
+    references: BTreeMap<String, Grammar>,
+}
+
+impl Adaptor {
+    /// Creates an empty adaptor.
+    pub fn new() -> Adaptor {
+        Adaptor::default()
+    }
+
+    /// Adds a document's extracted rules. Call in publication order; later
+    /// documents take precedence for repeated rule names.
+    pub fn add_document(&mut self, source: impl Into<String>, rules: Vec<Rule>) -> &mut Self {
+        self.documents.push((source.into(), rules));
+        self
+    }
+
+    /// Registers a reference grammar that prose-vals may point into (e.g.
+    /// the RFC 3986 URI grammar).
+    pub fn register_reference(&mut self, doc: impl Into<String>, grammar: Grammar) -> &mut Self {
+        self.references.insert(doc.into().to_ascii_lowercase(), grammar);
+        self
+    }
+
+    /// Runs the adaptation, producing a closed grammar and a report.
+    pub fn adapt(&self, opts: &AdaptOptions) -> (Grammar, AdaptReport) {
+        let mut report = AdaptReport::default();
+        let mut grammar = Grammar::new();
+
+        // Pass 1: merge with most-recent precedence; preserve shadowed
+        // definitions under namespaced aliases.
+        for (source, rules) in &self.documents {
+            for rule in rules {
+                if !rule.incremental {
+                    if let Some(existing_src) = grammar.source_of(&rule.name) {
+                        if existing_src != source {
+                            let alias = format!(
+                                "{}-{}",
+                                existing_src.to_ascii_lowercase(),
+                                rule.name.to_ascii_lowercase()
+                            );
+                            if let Some(old) = grammar.get(&rule.name).cloned() {
+                                grammar.insert(
+                                    existing_src.to_string().as_str(),
+                                    Rule::new(alias.clone(), old.node),
+                                );
+                            }
+                            report.namespaced.push((
+                                rule.name.to_ascii_lowercase(),
+                                source.clone(),
+                                alias,
+                            ));
+                        }
+                    }
+                }
+                grammar.insert(source, rule.clone());
+            }
+        }
+
+        // Pass 2: expand prose rules from registered reference grammars.
+        let prose: Vec<Rule> = grammar.prose_rules().into_iter().cloned().collect();
+        for rule in prose {
+            if let Some((target, doc)) = parse_prose_reference(&rule) {
+                if let Some(ref_grammar) = self.references.get(&doc) {
+                    if ref_grammar.contains(&target) {
+                        if target.eq_ignore_ascii_case(&rule.name) {
+                            // Self-named reference (`scheme = <scheme, see
+                            // [RFC3986]>`): adopt the referenced definition
+                            // outright — a rule reference here would be a
+                            // self-loop.
+                            let adopted = ref_grammar.get(&target).expect("checked").clone();
+                            let renames = self.import_closure_refs(
+                                &mut grammar,
+                                ref_grammar,
+                                &doc,
+                                &adopted.node.references(),
+                                &mut report,
+                            );
+                            let mut node = adopted.node;
+                            for (from, to) in &renames {
+                                node.rename_refs(from, to);
+                            }
+                            grammar.insert(&doc, Rule::new(rule.name.clone(), node));
+                        } else {
+                            let renames = self.import_closure_refs(
+                                &mut grammar,
+                                ref_grammar,
+                                &doc,
+                                &[target.as_str()],
+                                &mut report,
+                            );
+                            let effective_target = renames
+                                .iter()
+                                .find(|(from, _)| from.eq_ignore_ascii_case(&target))
+                                .map(|(_, to)| to.clone())
+                                .unwrap_or_else(|| target.clone());
+                            let mut node = rule.node.clone();
+                            replace_prose(&mut node, &effective_target);
+                            grammar.insert(&doc, Rule::new(rule.name.clone(), node));
+                        }
+                        report.expanded_prose.push((rule.name.to_ascii_lowercase(), doc));
+                        continue;
+                    }
+                }
+            }
+        }
+
+        // Pass 3: custom substitutions for whatever is still undefined.
+        let customs: BTreeMap<String, &Rule> = opts
+            .custom_rules
+            .iter()
+            .map(|r| (r.name.to_ascii_lowercase(), r))
+            .collect();
+        loop {
+            let missing = grammar.undefined_references();
+            let mut progressed = false;
+            for name in &missing {
+                if let Some(rule) = customs.get(name) {
+                    grammar.insert("custom", (*rule).clone());
+                    report.substituted.push(name.clone());
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                report.still_undefined = missing;
+                break;
+            }
+        }
+
+        (grammar, report)
+    }
+
+    /// Imports the closures of `targets` out of `ref_grammar`. Names the
+    /// destination already defines with a *different* definition are
+    /// imported under a namespaced alias (`rfc3986-host`), and references
+    /// inside imported rules are renamed accordingly — so RFC 7230's
+    /// `Host` header rule never captures RFC 3986's `host` component
+    /// through the case-insensitive key space.
+    fn import_closure_refs(
+        &self,
+        grammar: &mut Grammar,
+        ref_grammar: &Grammar,
+        doc: &str,
+        targets: &[&str],
+        report: &mut AdaptReport,
+    ) -> Vec<(String, String)> {
+        let mut closure: Vec<String> = Vec::new();
+        for t in targets {
+            for name in ref_grammar.reachable_from(t) {
+                if !closure.iter().any(|c| c.eq_ignore_ascii_case(&name)) {
+                    closure.push(name);
+                }
+            }
+        }
+        // Decide the final name of every closure member.
+        let mut renames: Vec<(String, String)> = Vec::new();
+        for name in &closure {
+            let Some(imported) = ref_grammar.get(name) else { continue };
+            if let Some(existing) = grammar.get(name) {
+                if existing.node == imported.node {
+                    continue; // identical definition: share it
+                }
+                let alias = format!("{doc}-{}", name.to_ascii_lowercase());
+                renames.push((name.clone(), alias.clone()));
+                report.namespaced.push((name.to_ascii_lowercase(), doc.to_string(), alias));
+            }
+        }
+        // Import, applying renames to both rule names and references.
+        for name in &closure {
+            let Some(imported) = ref_grammar.get(name) else { continue };
+            let final_name = renames
+                .iter()
+                .find(|(from, _)| from.eq_ignore_ascii_case(name))
+                .map(|(_, to)| to.clone());
+            if final_name.is_none() && grammar.contains(name) {
+                continue; // identical definition already present
+            }
+            let mut node = imported.node.clone();
+            for (from, to) in &renames {
+                node.rename_refs(from, to);
+            }
+            grammar.insert(doc, Rule::new(final_name.unwrap_or_else(|| imported.name.clone()), node));
+        }
+        renames
+    }
+}
+
+/// Parses `<host, see [RFC3986], Section 3.2.2>`-style prose into
+/// `(target_rule, document_tag)`.
+fn parse_prose_reference(rule: &Rule) -> Option<(String, String)> {
+    fn find_prose(n: &Node) -> Option<&str> {
+        match n {
+            Node::ProseVal(t) => Some(t),
+            Node::Alternation(v) | Node::Concatenation(v) => v.iter().find_map(find_prose),
+            Node::Repetition(_, i) | Node::Group(i) | Node::Optional(i) => find_prose(i),
+            _ => None,
+        }
+    }
+    let text = find_prose(&rule.node)?;
+    // Target rule name: leading token up to ',' or whitespace.
+    let target: String = text
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+        .collect();
+    if target.is_empty() {
+        return None;
+    }
+    // Document: `[RFCnnnn]` anywhere in the prose.
+    let open = text.find("[RFC")?;
+    let close = text[open..].find(']')? + open;
+    let doc = text[open + 1..close].replace(' ', "").to_ascii_lowercase();
+    Some((target, doc))
+}
+
+/// Replaces the first prose-val in `node` with a reference to `target`.
+fn replace_prose(node: &mut Node, target: &str) {
+    match node {
+        Node::ProseVal(_) => *node = Node::RuleRef(target.to_string()),
+        Node::Alternation(v) | Node::Concatenation(v) => {
+            v.iter_mut().for_each(|n| replace_prose(n, target));
+        }
+        Node::Repetition(_, i) | Node::Group(i) | Node::Optional(i) => replace_prose(i, target),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rulelist;
+
+    fn rules(text: &str) -> Vec<Rule> {
+        parse_rulelist(text).unwrap()
+    }
+
+    #[test]
+    fn most_recent_document_wins_with_alias() {
+        let mut a = Adaptor::new();
+        a.add_document("rfc7230", rules("token = 1*tchar\ntchar = ALPHA\n"));
+        a.add_document("rfc7231", rules("token = 1*ALPHA\n"));
+        let (g, report) = a.adapt(&AdaptOptions::default());
+        // Newest definition wins.
+        assert_eq!(g.source_of("token"), Some("rfc7231"));
+        // Old definition preserved under alias.
+        assert!(g.contains("rfc7230-token"));
+        assert_eq!(report.namespaced.len(), 1);
+    }
+
+    #[test]
+    fn prose_expansion_pulls_closure_from_reference() {
+        let ref_g = Grammar::from_rules(
+            "rfc3986",
+            rules("host = reg-name\nreg-name = *( unreserved )\nunreserved = ALPHA / DIGIT / \"-\" / \".\"\n"),
+        );
+        let mut a = Adaptor::new();
+        a.add_document(
+            "rfc7230",
+            rules("Host = uri-host\nuri-host = <host, see [RFC3986], Section 3.2.2>\n"),
+        );
+        a.register_reference("rfc3986", ref_g);
+        let (g, report) = a.adapt(&AdaptOptions::default());
+        assert!(g.contains("host"));
+        assert!(g.contains("reg-name"));
+        assert!(g.contains("unreserved"));
+        assert_eq!(report.expanded_prose, vec![("uri-host".to_string(), "rfc3986".to_string())]);
+        assert!(g.undefined_references().is_empty(), "{:?}", g.undefined_references());
+        // The prose node was replaced by a rule reference. Because the
+        // document's own `Host` rule shares the case-insensitive key with
+        // RFC 3986's `host`, the import was namespaced.
+        assert_eq!(g.get("uri-host").unwrap().node, Node::RuleRef("rfc3986-host".into()));
+        assert!(g.is_well_founded("uri-host"));
+        assert!(g.is_well_founded("Host"));
+    }
+
+    #[test]
+    fn custom_substitution_for_missing_rules() {
+        let mut a = Adaptor::new();
+        a.add_document("doc", rules("msg = payload\n"));
+        let opts = AdaptOptions { custom_rules: rules("payload = 1*OCTET\n") };
+        let (g, report) = a.adapt(&opts);
+        assert!(g.contains("payload"));
+        assert_eq!(report.substituted, vec!["payload".to_string()]);
+        assert!(report.still_undefined.is_empty());
+    }
+
+    #[test]
+    fn custom_substitution_is_transitive() {
+        let mut a = Adaptor::new();
+        a.add_document("doc", rules("msg = a\n"));
+        let opts = AdaptOptions { custom_rules: rules("a = b\nb = \"x\"\n") };
+        let (g, report) = a.adapt(&opts);
+        assert!(g.contains("a"));
+        assert!(g.contains("b"));
+        assert!(report.still_undefined.is_empty());
+    }
+
+    #[test]
+    fn unresolvable_names_reported() {
+        let mut a = Adaptor::new();
+        a.add_document("doc", rules("msg = mystery\n"));
+        let (_, report) = a.adapt(&AdaptOptions::default());
+        assert_eq!(report.still_undefined, vec!["mystery".to_string()]);
+    }
+
+    #[test]
+    fn prose_reference_parsing() {
+        let r = Rule::new(
+            "uri-host",
+            Node::ProseVal("host, see [RFC3986], Section 3.2.2".into()),
+        );
+        assert_eq!(
+            parse_prose_reference(&r),
+            Some(("host".to_string(), "rfc3986".to_string()))
+        );
+        let bad = Rule::new("x", Node::ProseVal("no citation here".into()));
+        assert_eq!(parse_prose_reference(&bad), None);
+    }
+
+    #[test]
+    fn incremental_rules_across_documents_extend() {
+        let mut a = Adaptor::new();
+        a.add_document("rfc7230", rules("coding = \"chunked\"\n"));
+        a.add_document("rfc7231", rules("coding =/ \"gzip\"\n"));
+        let (g, _) = a.adapt(&AdaptOptions::default());
+        match &g.get("coding").unwrap().node {
+            Node::Alternation(alts) => assert_eq!(alts.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}

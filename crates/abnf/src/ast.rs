@@ -1,0 +1,275 @@
+//! ABNF abstract syntax tree.
+//!
+//! The paper describes the generator as walking "a tree with seven types of
+//! nodes (e.g., alternation, option, concatenation, literal)". [`Node`]
+//! enumerates exactly those node kinds.
+
+use std::fmt;
+
+/// Repetition bounds: `min*max` with `max = None` meaning unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Repeat {
+    /// Minimum repetitions.
+    pub min: u32,
+    /// Maximum repetitions; `None` is `*` (unbounded).
+    pub max: Option<u32>,
+}
+
+impl Repeat {
+    /// Exactly once (the implicit repetition of a bare element).
+    pub const ONCE: Repeat = Repeat { min: 1, max: Some(1) };
+
+    /// `*element` — zero or more.
+    pub const ANY: Repeat = Repeat { min: 0, max: None };
+
+    /// Whether this is the trivial exactly-once repetition.
+    pub fn is_once(&self) -> bool {
+        *self == Repeat::ONCE
+    }
+}
+
+impl fmt::Display for Repeat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min, self.max) {
+            (1, Some(1)) => Ok(()),
+            (0, None) => write!(f, "*"),
+            (min, None) => write!(f, "{min}*"),
+            (min, Some(max)) if min == max => write!(f, "{min}"),
+            (0, Some(max)) => write!(f, "*{max}"),
+            (min, Some(max)) => write!(f, "{min}*{max}"),
+        }
+    }
+}
+
+/// A node of the ABNF syntax tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// `a / b / c` — choice between alternatives.
+    Alternation(Vec<Node>),
+    /// `a b c` — sequence.
+    Concatenation(Vec<Node>),
+    /// `n*m element` — bounded/unbounded repetition.
+    Repetition(Repeat, Box<Node>),
+    /// Reference to another rule by name (stored as written; lookup is
+    /// case-insensitive).
+    RuleRef(String),
+    /// `( ... )` — group (kept explicit so printing round-trips).
+    Group(Box<Node>),
+    /// `[ ... ]` — optional element.
+    Optional(Box<Node>),
+    /// `"literal"` — string literal. `case_sensitive` reflects the RFC
+    /// 7405 `%s` prefix (plain quoted strings are case-insensitive).
+    CharVal {
+        /// Literal bytes as written.
+        value: String,
+        /// Whether matching is case-sensitive (`%s"..."`).
+        case_sensitive: bool,
+    },
+    /// `%x41`, `%d65` — a single numeric character value.
+    NumVal(u32),
+    /// `%x41-5A` — an inclusive numeric range.
+    NumRange(u32, u32),
+    /// `%x48.54.54.50` — a sequence of numeric character values.
+    NumSeq(Vec<u32>),
+    /// `<prose description>` — a free-text rule the paper's adaptor must
+    /// resolve (often a cross-document reference).
+    ProseVal(String),
+}
+
+impl Node {
+    /// Leaf nodes terminate generator traversal.
+    pub fn is_leaf(&self) -> bool {
+        matches!(
+            self,
+            Node::CharVal { .. } | Node::NumVal(_) | Node::NumRange(..) | Node::NumSeq(_) | Node::ProseVal(_)
+        )
+    }
+
+    /// Collects the names of all rules referenced beneath this node.
+    pub fn references(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Node::Alternation(alts) => alts.iter().for_each(|n| n.collect_refs(out)),
+            Node::Concatenation(seq) => seq.iter().for_each(|n| n.collect_refs(out)),
+            Node::Repetition(_, inner) | Node::Group(inner) | Node::Optional(inner) => {
+                inner.collect_refs(out);
+            }
+            Node::RuleRef(name) => out.push(name),
+            _ => {}
+        }
+    }
+
+    /// Renames every reference matching `from` (case-insensitively) to `to`.
+    pub fn rename_refs(&mut self, from: &str, to: &str) {
+        match self {
+            Node::Alternation(alts) => alts.iter_mut().for_each(|n| n.rename_refs(from, to)),
+            Node::Concatenation(seq) => seq.iter_mut().for_each(|n| n.rename_refs(from, to)),
+            Node::Repetition(_, inner) | Node::Group(inner) | Node::Optional(inner) => {
+                inner.rename_refs(from, to);
+            }
+            Node::RuleRef(name)
+                if name.eq_ignore_ascii_case(from) => {
+                    *name = to.to_string();
+                }
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Alternation(alts) => {
+                for (i, a) in alts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " / ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                Ok(())
+            }
+            Node::Concatenation(seq) => {
+                for (i, s) in seq.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                Ok(())
+            }
+            Node::Repetition(rep, inner) => write!(f, "{rep}{inner}"),
+            Node::RuleRef(name) => write!(f, "{name}"),
+            Node::Group(inner) => write!(f, "( {inner} )"),
+            Node::Optional(inner) => write!(f, "[ {inner} ]"),
+            Node::CharVal { value, case_sensitive } => {
+                if *case_sensitive {
+                    write!(f, "%s\"{value}\"")
+                } else {
+                    write!(f, "\"{value}\"")
+                }
+            }
+            Node::NumVal(v) => write!(f, "%x{v:02X}"),
+            Node::NumRange(lo, hi) => write!(f, "%x{lo:02X}-{hi:02X}"),
+            Node::NumSeq(vs) => {
+                write!(f, "%x")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ".")?;
+                    }
+                    write!(f, "{v:02X}")?;
+                }
+                Ok(())
+            }
+            Node::ProseVal(text) => write!(f, "<{text}>"),
+        }
+    }
+}
+
+/// `Element` is an alias kept for API symmetry with RFC 5234 terminology.
+pub type Element = Node;
+
+/// A named ABNF rule: `name = definition`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Rule name as written (lookup is case-insensitive).
+    pub name: String,
+    /// The definition tree.
+    pub node: Node,
+    /// Whether this rule was defined with `=/` (incremental alternative).
+    pub incremental: bool,
+}
+
+impl Rule {
+    /// Builds a plain (non-incremental) rule.
+    pub fn new(name: impl Into<String>, node: Node) -> Rule {
+        Rule { name: name.into(), node, incremental: false }
+    }
+
+    /// Whether the definition contains a prose-val anywhere (needs adaptor
+    /// attention).
+    pub fn has_prose(&self) -> bool {
+        fn walk(n: &Node) -> bool {
+            match n {
+                Node::ProseVal(_) => true,
+                Node::Alternation(v) | Node::Concatenation(v) => v.iter().any(walk),
+                Node::Repetition(_, i) | Node::Group(i) | Node::Optional(i) => walk(i),
+                _ => false,
+            }
+        }
+        walk(&self.node)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.name, if self.incremental { "=/" } else { "=" }, self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_display() {
+        assert_eq!(Repeat::ONCE.to_string(), "");
+        assert_eq!(Repeat::ANY.to_string(), "*");
+        assert_eq!(Repeat { min: 1, max: None }.to_string(), "1*");
+        assert_eq!(Repeat { min: 0, max: Some(4) }.to_string(), "*4");
+        assert_eq!(Repeat { min: 2, max: Some(2) }.to_string(), "2");
+        assert_eq!(Repeat { min: 1, max: Some(3) }.to_string(), "1*3");
+    }
+
+    #[test]
+    fn node_display_round_trips_syntax() {
+        let n = Node::Concatenation(vec![
+            Node::RuleRef("HTTP-name".into()),
+            Node::CharVal { value: "/".into(), case_sensitive: false },
+            Node::RuleRef("DIGIT".into()),
+        ]);
+        assert_eq!(n.to_string(), "HTTP-name \"/\" DIGIT");
+    }
+
+    #[test]
+    fn references_collects_all() {
+        let n = Node::Alternation(vec![
+            Node::RuleRef("a".into()),
+            Node::Optional(Box::new(Node::Concatenation(vec![
+                Node::RuleRef("b".into()),
+                Node::Repetition(Repeat::ANY, Box::new(Node::RuleRef("c".into()))),
+            ]))),
+        ]);
+        assert_eq!(n.references(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn rename_refs_is_case_insensitive() {
+        let mut n = Node::RuleRef("URI-Host".into());
+        n.rename_refs("uri-host", "rfc3986:uri-host");
+        assert_eq!(n, Node::RuleRef("rfc3986:uri-host".into()));
+    }
+
+    #[test]
+    fn prose_detection() {
+        let r = Rule::new(
+            "uri-host",
+            Node::ProseVal("host, see [RFC3986], Section 3.2.2".into()),
+        );
+        assert!(r.has_prose());
+        let plain = Rule::new("x", Node::NumVal(0x41));
+        assert!(!plain.has_prose());
+    }
+
+    #[test]
+    fn leaf_classification() {
+        assert!(Node::NumRange(0x41, 0x5a).is_leaf());
+        assert!(Node::CharVal { value: "x".into(), case_sensitive: false }.is_leaf());
+        assert!(!Node::RuleRef("x".into()).is_leaf());
+        assert!(!Node::Group(Box::new(Node::NumVal(1))).is_leaf());
+    }
+}

@@ -1,0 +1,60 @@
+//! Core rules of RFC 5234 appendix B.1, implicitly available to all grammars.
+
+use crate::ast::Rule;
+use crate::parser::parse_rulelist;
+
+/// The core rule definitions, as ABNF source text.
+pub const CORE_RULES_TEXT: &str = r#"ALPHA = %x41-5A / %x61-7A
+BIT = "0" / "1"
+CHAR = %x01-7F
+CR = %x0D
+CRLF = CR LF
+CTL = %x00-1F / %x7F
+DIGIT = %x30-39
+DQUOTE = %x22
+HEXDIG = DIGIT / "A" / "B" / "C" / "D" / "E" / "F"
+HTAB = %x09
+LF = %x0A
+LWSP = *(WSP / CRLF WSP)
+OCTET = %x00-FF
+SP = %x20
+VCHAR = %x21-7E
+WSP = SP / HTAB
+"#;
+
+/// Parses and returns the core rules.
+///
+/// ```
+/// let rules = hdiff_abnf::core_rules::core_rules();
+/// assert!(rules.iter().any(|r| r.name == "ALPHA"));
+/// ```
+pub fn core_rules() -> Vec<Rule> {
+    parse_rulelist(CORE_RULES_TEXT).expect("core rules are well-formed")
+}
+
+/// Whether `name` is one of the RFC 5234 core rule names
+/// (case-insensitive).
+pub fn is_core_rule(name: &str) -> bool {
+    const NAMES: [&str; 16] = [
+        "ALPHA", "BIT", "CHAR", "CR", "CRLF", "CTL", "DIGIT", "DQUOTE", "HEXDIG", "HTAB", "LF",
+        "LWSP", "OCTET", "SP", "VCHAR", "WSP",
+    ];
+    NAMES.iter().any(|n| n.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sixteen_core_rules_parse() {
+        assert_eq!(core_rules().len(), 16);
+    }
+
+    #[test]
+    fn membership_is_case_insensitive() {
+        assert!(is_core_rule("digit"));
+        assert!(is_core_rule("CRLF"));
+        assert!(!is_core_rule("token"));
+    }
+}

@@ -1,0 +1,255 @@
+//! The ABNF Rule Extractor: mines ABNF grammar blocks from RFC text.
+//!
+//! RFC documents interleave ABNF with prose. The paper's extractor uses
+//! "format features" — character cleaning, regular extraction, case
+//! escaping, and separating prose rules. This implementation does the same
+//! with explicit, testable steps:
+//!
+//! 1. **Character cleaning** — drop form feeds, page footers/headers
+//!    (`[Page N]` lines and the running header repeated after a page
+//!    break), and trailing whitespace.
+//! 2. **Rule-start detection** — a line is a candidate rule start when it
+//!    begins (after indentation) with a `rulename` followed by `=` or `=/`.
+//! 3. **Continuation joining** — subsequent lines indented deeper than the
+//!    rule's own indentation continue its definition.
+//! 4. **Prose separation** — candidate chunks that fail to parse as ABNF
+//!    are rejected (they were prose that merely looked rule-like); chunks
+//!    that parse but contain prose-vals are kept and flagged for the
+//!    adaptor.
+
+use crate::ast::Rule;
+use crate::parser::parse_rule;
+
+/// Statistics from one extraction run, reported by the `table0_stats`
+/// harness alongside the paper's counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExtractStats {
+    /// Lines surviving character cleaning.
+    pub cleaned_lines: usize,
+    /// Candidate rule chunks found by format heuristics.
+    pub candidates: usize,
+    /// Chunks that parsed as valid ABNF rules.
+    pub extracted: usize,
+    /// Chunks rejected as prose (failed ABNF parsing).
+    pub rejected_prose: usize,
+    /// Extracted rules containing prose-vals (need adaptor expansion).
+    pub prose_rules: usize,
+}
+
+/// Extracts ABNF rules from RFC-style text.
+///
+/// ```
+/// let text = "The version is defined as:\n\n  HTTP-version = HTTP-name \"/\" DIGIT \".\" DIGIT\n  HTTP-name = %x48.54.54.50 ; HTTP\n\nSee above.\n";
+/// let (rules, stats) = hdiff_abnf::extract_abnf(text);
+/// assert_eq!(rules.len(), 2);
+/// assert_eq!(stats.extracted, 2);
+/// ```
+pub fn extract_abnf(text: &str) -> (Vec<Rule>, ExtractStats) {
+    let mut stats = ExtractStats::default();
+    let cleaned = clean_lines(text);
+    stats.cleaned_lines = cleaned.len();
+
+    let chunks = collect_chunks(&cleaned);
+    stats.candidates = chunks.len();
+
+    let mut rules = Vec::new();
+    for chunk in chunks {
+        match parse_rule(&chunk) {
+            Ok(rule) => {
+                if rule.has_prose() {
+                    stats.prose_rules += 1;
+                }
+                stats.extracted += 1;
+                rules.push(rule);
+            }
+            Err(_) => stats.rejected_prose += 1,
+        }
+    }
+    (rules, stats)
+}
+
+/// Character cleaning: strips page artifacts and normalizes line endings.
+fn clean_lines(text: &str) -> Vec<String> {
+    text.lines()
+        .map(|l| l.trim_end().replace('\u{c}', ""))
+        .filter(|l| !is_page_artifact(l))
+        .collect()
+}
+
+fn is_page_artifact(line: &str) -> bool {
+    let t = line.trim();
+    // "Fielding & Reschke          Standards Track          [Page 42]"
+    if t.ends_with(']') {
+        if let Some(i) = t.rfind("[Page") {
+            let inner = &t[i + 5..t.len() - 1];
+            if inner.trim().chars().all(|c| c.is_ascii_digit()) {
+                return true;
+            }
+        }
+    }
+    // "RFC 7230        HTTP/1.1 Message Syntax and Routing       June 2014"
+    if t.starts_with("RFC ") && t.split_whitespace().count() >= 3 {
+        let second = t.split_whitespace().nth(1).unwrap_or("");
+        if second.chars().all(|c| c.is_ascii_digit()) && !t.contains('=') {
+            return true;
+        }
+    }
+    false
+}
+
+/// Groups cleaned lines into candidate rule chunks via indentation.
+fn collect_chunks(lines: &[String]) -> Vec<String> {
+    let mut chunks: Vec<String> = Vec::new();
+    let mut current: Option<(usize, String)> = None; // (indent, text)
+
+    for line in lines {
+        if line.trim().is_empty() {
+            if let Some((_, chunk)) = current.take() {
+                chunks.push(chunk);
+            }
+            continue;
+        }
+        let indent = line.len() - line.trim_start().len();
+        if let Some(start) = rule_start(line) {
+            if let Some((_, chunk)) = current.take() {
+                chunks.push(chunk);
+            }
+            current = Some((indent, start.to_string()));
+            continue;
+        }
+        match &mut current {
+            Some((base, chunk)) if indent > *base => {
+                chunk.push(' ');
+                chunk.push_str(line.trim());
+            }
+            Some(_) => {
+                let (_, chunk) = current.take().expect("matched Some");
+                chunks.push(chunk);
+            }
+            None => {}
+        }
+    }
+    if let Some((_, chunk)) = current.take() {
+        chunks.push(chunk);
+    }
+    chunks
+}
+
+/// If the line looks like the start of an ABNF rule, returns the trimmed
+/// rule text; otherwise `None`.
+fn rule_start(line: &str) -> Option<&str> {
+    let t = line.trim_start();
+    let bytes = t.as_bytes();
+    if bytes.is_empty() || !bytes[0].is_ascii_alphabetic() {
+        return None;
+    }
+    let mut i = 1;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-') {
+        i += 1;
+    }
+    // Skip whitespace between name and '='.
+    let mut j = i;
+    while j < bytes.len() && (bytes[j] == b' ' || bytes[j] == b'\t') {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'=' {
+        // Exclude '==' (prose) and sentences where '=' is mid-word math.
+        if j + 1 < bytes.len() && bytes[j + 1] == b'=' {
+            return None;
+        }
+        return Some(t.trim_end());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+3.1.  Start Line
+
+   An HTTP message can be either a request or a response.
+
+     HTTP-message   = start-line
+                      *( header-field CRLF )
+                      CRLF
+                      [ message-body ]
+
+   The normal procedure for parsing follows.
+
+     HTTP-name     = %x48.54.54.50 ; "HTTP", case-sensitive
+     HTTP-version  = HTTP-name "/" DIGIT "." DIGIT
+
+Fielding & Reschke           Standards Track                   [Page 19]
+
+RFC 7230           HTTP/1.1 Message Syntax and Routing         June 2014
+
+     Host = uri-host [ ":" port ]
+     uri-host = <host, see [RFC3986], Section 3.2.2>
+
+   A sentence that is prose and also mentions that x = y in passing but
+   continues across lines.
+"#;
+
+    #[test]
+    fn extracts_rules_from_mixed_text() {
+        let (rules, stats) = extract_abnf(SAMPLE);
+        let names: Vec<_> = rules.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"HTTP-message"), "{names:?}");
+        assert!(names.contains(&"HTTP-name"));
+        assert!(names.contains(&"HTTP-version"));
+        assert!(names.contains(&"Host"));
+        assert!(names.contains(&"uri-host"));
+        assert_eq!(stats.prose_rules, 1);
+    }
+
+    #[test]
+    fn continuation_lines_joined() {
+        let (rules, _) = extract_abnf(SAMPLE);
+        let msg = rules.iter().find(|r| r.name == "HTTP-message").unwrap();
+        let refs = msg.node.references();
+        assert!(refs.contains(&"start-line"));
+        assert!(refs.contains(&"message-body"));
+    }
+
+    #[test]
+    fn page_artifacts_removed() {
+        assert!(is_page_artifact("Fielding & Reschke   Standards Track   [Page 19]"));
+        assert!(is_page_artifact("RFC 7230   HTTP/1.1 Message Syntax and Routing   June 2014"));
+        assert!(!is_page_artifact("Host = uri-host"));
+        assert!(!is_page_artifact("RFC 7230 defines Host = uri-host"));
+    }
+
+    #[test]
+    fn prose_with_equals_is_rejected_not_extracted() {
+        let text = "   value = y means, in passing prose: not ABNF at all!\n";
+        let (rules, stats) = extract_abnf(text);
+        assert!(rules.is_empty());
+        assert_eq!(stats.rejected_prose, 1);
+    }
+
+    #[test]
+    fn rule_start_detection() {
+        assert!(rule_start("  Host = uri-host").is_some());
+        assert!(rule_start("  method =/ \"PATCH\"").is_some());
+        assert!(rule_start("  a == b").is_none());
+        assert!(rule_start("  9abc = x").is_none());
+        assert!(rule_start("   prose without equals").is_none());
+    }
+
+    #[test]
+    fn empty_input() {
+        let (rules, stats) = extract_abnf("");
+        assert!(rules.is_empty());
+        assert_eq!(stats.candidates, 0);
+    }
+
+    #[test]
+    fn blank_line_terminates_chunk() {
+        let text = "  a = \"x\"\n\n      not-a-continuation sentence here\n";
+        let (rules, _) = extract_abnf(text);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].name, "a");
+    }
+}

@@ -1,0 +1,323 @@
+//! A named collection of ABNF rules with case-insensitive lookup.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ast::{Node, Rule};
+use crate::core_rules;
+
+/// A grammar: rules from one or more sources, keyed case-insensitively.
+///
+/// Core rules (RFC 5234 appendix B.1) are always resolvable via
+/// [`Grammar::get`] even when not explicitly inserted, matching how RFCs
+/// use them.
+#[derive(Debug, Clone, Default)]
+pub struct Grammar {
+    /// Lowercased name → (rule, source tag).
+    rules: BTreeMap<String, (Rule, String)>,
+    /// Insertion order of lowercased names (stable iteration for
+    /// deterministic generation).
+    order: Vec<String>,
+    core: BTreeMap<String, Rule>,
+}
+
+impl Grammar {
+    /// Creates an empty grammar (core rules still resolvable).
+    pub fn new() -> Grammar {
+        let core = core_rules::core_rules()
+            .into_iter()
+            .map(|r| (r.name.to_ascii_lowercase(), r))
+            .collect();
+        Grammar { rules: BTreeMap::new(), order: Vec::new(), core }
+    }
+
+    /// Builds a grammar from rules attributed to one `source` (e.g.
+    /// `"rfc7230"`). Incremental rules (`=/`) are merged into their base
+    /// rule as extra alternatives.
+    pub fn from_rules(source: &str, rules: Vec<Rule>) -> Grammar {
+        let mut g = Grammar::new();
+        for r in rules {
+            g.insert(source, r);
+        }
+        g
+    }
+
+    /// Number of (non-core) rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether no rules have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Inserts a rule. A plain duplicate replaces the existing definition;
+    /// an incremental (`=/`) rule appends alternatives to it.
+    pub fn insert(&mut self, source: &str, rule: Rule) {
+        let key = rule.name.to_ascii_lowercase();
+        if rule.incremental {
+            if let Some((existing, _)) = self.rules.get_mut(&key) {
+                let old = std::mem::replace(&mut existing.node, Node::Alternation(Vec::new()));
+                existing.node = match old {
+                    Node::Alternation(mut alts) => {
+                        alts.push(rule.node);
+                        Node::Alternation(alts)
+                    }
+                    other => Node::Alternation(vec![other, rule.node]),
+                };
+                return;
+            }
+        }
+        if !self.rules.contains_key(&key) {
+            self.order.push(key.clone());
+        }
+        self.rules.insert(key, (Rule { incremental: false, ..rule }, source.to_string()));
+    }
+
+    /// Looks up a rule by name, case-insensitively; falls back to core
+    /// rules.
+    pub fn get(&self, name: &str) -> Option<&Rule> {
+        let key = name.to_ascii_lowercase();
+        self.rules.get(&key).map(|(r, _)| r).or_else(|| self.core.get(&key))
+    }
+
+    /// The source tag a rule came from, if it is a non-core rule.
+    pub fn source_of(&self, name: &str) -> Option<&str> {
+        self.rules.get(&name.to_ascii_lowercase()).map(|(_, s)| s.as_str())
+    }
+
+    /// Whether a rule with this name exists (including core rules).
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Iterates over non-core rules in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> {
+        self.order.iter().filter_map(|k| self.rules.get(k).map(|(r, _)| r))
+    }
+
+    /// Names referenced anywhere in the grammar but defined nowhere
+    /// (neither as grammar rules nor core rules). These are the adaptor's
+    /// work list.
+    pub fn undefined_references(&self) -> Vec<String> {
+        let mut missing = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for rule in self.iter() {
+            for r in rule.node.references() {
+                let key = r.to_ascii_lowercase();
+                if !self.contains(r) && seen.insert(key.clone()) {
+                    missing.push(key);
+                }
+            }
+        }
+        missing.sort();
+        missing
+    }
+
+    /// Rules whose definition contains a prose-val (cross-document or
+    /// free-text definitions the adaptor must expand).
+    pub fn prose_rules(&self) -> Vec<&Rule> {
+        self.iter().filter(|r| r.has_prose()).collect()
+    }
+
+    /// Rule names reachable from `start` by following references
+    /// (lowercased, including `start` itself; core rules included when
+    /// referenced).
+    pub fn reachable_from(&self, start: &str) -> Vec<String> {
+        let mut stack = vec![start.to_ascii_lowercase()];
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        while let Some(name) = stack.pop() {
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            out.push(name.clone());
+            if let Some(rule) = self.get(&name) {
+                for r in rule.node.references() {
+                    stack.push(r.to_ascii_lowercase());
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every rule reachable from `start` can terminate — i.e. has
+    /// a finite expansion that does not require infinite recursion. An
+    /// ill-founded cycle (like `uri-host = host` with `host = uri-host …`)
+    /// makes generation impossible.
+    pub fn is_well_founded(&self, start: &str) -> bool {
+        use std::collections::BTreeMap;
+        const INF: usize = usize::MAX / 4;
+        // Fixpoint min-expansion-depth over the reachable subgrammar.
+        let reachable = self.reachable_from(start);
+        let mut depth: BTreeMap<String, usize> = reachable.iter().map(|n| (n.clone(), INF)).collect();
+        fn node_depth(g: &Grammar, d: &std::collections::BTreeMap<String, usize>, n: &Node) -> usize {
+            const INF: usize = usize::MAX / 4;
+            match n {
+                Node::Alternation(v) => v.iter().map(|x| node_depth(g, d, x)).min().unwrap_or(0),
+                Node::Concatenation(v) => v.iter().map(|x| node_depth(g, d, x)).max().unwrap_or(0),
+                Node::Repetition(rep, i) => {
+                    if rep.min == 0 {
+                        0
+                    } else {
+                        node_depth(g, d, i)
+                    }
+                }
+                Node::Group(i) => node_depth(g, d, i),
+                Node::Optional(_) => 0,
+                Node::RuleRef(name) => d
+                    .get(&name.to_ascii_lowercase())
+                    .copied()
+                    .unwrap_or(if g.get(name).is_some() { 1 } else { INF }),
+                _ => 0,
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for name in &reachable {
+                let Some(rule) = self.get(name) else { continue };
+                let d = node_depth(self, &depth, &rule.node).saturating_add(1);
+                let entry = depth.get_mut(name).expect("inserted");
+                if d < *entry {
+                    *entry = d;
+                    changed = true;
+                }
+            }
+        }
+        depth.get(&start.to_ascii_lowercase()).copied().unwrap_or(INF) < INF
+    }
+
+    /// Merges another grammar into this one. On name clashes, `other` wins
+    /// when `other_wins` is true (the adaptor's "most recent RFC"
+    /// precedence), otherwise existing rules are kept.
+    pub fn merge(&mut self, other: &Grammar, other_wins: bool) {
+        for rule in other.iter() {
+            let key = rule.name.to_ascii_lowercase();
+            let src = other.source_of(&rule.name).unwrap_or("merged").to_string();
+            if self.rules.contains_key(&key) && !other_wins {
+                continue;
+            }
+            self.insert(&src, rule.clone());
+        }
+    }
+}
+
+impl fmt::Display for Grammar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in self.iter() {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rulelist;
+
+    fn grammar(text: &str) -> Grammar {
+        Grammar::from_rules("test", parse_rulelist(text).unwrap())
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let g = grammar("Host = uri-host\nuri-host = ALPHA\n");
+        assert!(g.get("host").is_some());
+        assert!(g.get("HOST").is_some());
+        assert!(g.get("nothere").is_none());
+    }
+
+    #[test]
+    fn core_rules_resolve_implicitly() {
+        let g = grammar("token = 1*ALPHA\n");
+        assert!(g.contains("ALPHA"));
+        assert!(g.undefined_references().is_empty());
+    }
+
+    #[test]
+    fn undefined_references_reported() {
+        let g = grammar("Host = uri-host [ \":\" port ]\n");
+        let missing = g.undefined_references();
+        assert_eq!(missing, vec!["port".to_string(), "uri-host".to_string()]);
+    }
+
+    #[test]
+    fn incremental_rules_merge() {
+        let g = grammar("method = \"GET\"\nmethod =/ \"POST\"\nmethod =/ \"HEAD\"\n");
+        let rule = g.get("method").unwrap();
+        match &rule.node {
+            Node::Alternation(alts) => assert_eq!(alts.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_plain_rule_replaces() {
+        let mut g = grammar("a = \"1\"\n");
+        g.insert("test2", parse_rulelist("a = \"2\"\n").unwrap().remove(0));
+        match g.get("a").unwrap().node {
+            Node::CharVal { ref value, .. } => assert_eq!(value, "2"),
+            ref other => panic!("{other:?}"),
+        }
+        assert_eq!(g.source_of("a"), Some("test2"));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = grammar("a = b c\nb = \"x\"\nc = d\nd = \"y\"\ne = \"z\"\n");
+        let mut reach = g.reachable_from("a");
+        reach.sort();
+        assert_eq!(reach, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn merge_precedence() {
+        let mut g1 = grammar("a = \"old\"\nb = \"keep\"\n");
+        let g2 = grammar("a = \"new\"\nc = \"add\"\n");
+        g1.merge(&g2, true);
+        match g1.get("a").unwrap().node {
+            Node::CharVal { ref value, .. } => assert_eq!(value, "new"),
+            ref other => panic!("{other:?}"),
+        }
+        assert!(g1.contains("c"));
+
+        let mut g3 = grammar("a = \"old\"\n");
+        g3.merge(&g2, false);
+        match g3.get("a").unwrap().node {
+            Node::CharVal { ref value, .. } => assert_eq!(value, "old"),
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn prose_rules_listed() {
+        let g = grammar("uri-host = <host, see [RFC3986]>\nplain = \"x\"\n");
+        let prose = g.prose_rules();
+        assert_eq!(prose.len(), 1);
+        assert_eq!(prose[0].name, "uri-host");
+    }
+
+    #[test]
+    fn well_foundedness() {
+        let good = grammar("a = b\nb = \"x\" / a\n");
+        assert!(good.is_well_founded("a"), "b has a terminating alternative");
+        let bad = grammar("a = b\nb = a\n");
+        assert!(!bad.is_well_founded("a"));
+        assert!(!bad.is_well_founded("b"));
+        let self_loop = grammar("x = x\n");
+        assert!(!self_loop.is_well_founded("x"));
+        let rec_ok = grammar("comment = \"(\" *( ALPHA / comment ) \")\"\n");
+        assert!(rec_ok.is_well_founded("comment"), "zero-min repetition terminates");
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_order() {
+        let g = grammar("zzz = \"1\"\naaa = \"2\"\nmmm = \"3\"\n");
+        let names: Vec<_> = g.iter().map(|r| r.name.clone()).collect();
+        assert_eq!(names, vec!["zzz", "aaa", "mmm"]);
+    }
+}

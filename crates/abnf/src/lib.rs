@@ -1,0 +1,49 @@
+//! RFC 5234 ABNF parsing, extraction and adaptation for HDiff.
+//!
+//! The paper's Documentation Analyzer extracts two kinds of rules from RFC
+//! documents; this crate owns the syntactic kind:
+//!
+//! * [`ast`] — the ABNF abstract syntax tree (the "tree with seven types of
+//!   nodes" the paper's generator walks: alternation, concatenation,
+//!   repetition, rule reference, group/option, char-val, num-val, plus
+//!   prose-val).
+//! * [`parser`] — a recursive-descent RFC 5234 grammar parser, including
+//!   incremental alternatives (`=/`), comments, continuation lines, and the
+//!   RFC 7405 `%s`/`%i` string sensitivity prefixes.
+//! * [`core_rules`] — the core rules of RFC 5234 appendix B.1 (`ALPHA`,
+//!   `DIGIT`, `CRLF`, …), implicitly available to every grammar.
+//! * [`extract`] — the *ABNF Rule Extractor*: mines ABNF blocks out of RFC
+//!   prose using format heuristics (character cleaning, rule-start
+//!   detection, continuation joining, prose-rule separation).
+//! * [`adapt`] — the *ABNF Rule Adaptor*: merges per-RFC rule sets into one
+//!   closed grammar (most-recent-RFC precedence, case-insensitive rule
+//!   names, prose-val cross-document expansion, custom replacements for
+//!   rules that stay undefined).
+//!
+//! # Example
+//!
+//! ```
+//! use hdiff_abnf::{parser, Grammar};
+//!
+//! let rules = parser::parse_rulelist(
+//!     "HTTP-version = HTTP-name \"/\" DIGIT \".\" DIGIT\nHTTP-name = %x48.54.54.50\n",
+//! ).unwrap();
+//! let g = Grammar::from_rules("rfc7230", rules);
+//! assert!(g.get("http-version").is_some());
+//! assert!(g.undefined_references().is_empty());
+//! ```
+
+pub mod adapt;
+pub mod ast;
+pub mod core_rules;
+pub mod extract;
+pub mod grammar;
+pub mod matcher;
+pub mod parser;
+
+pub use adapt::{AdaptOptions, AdaptReport, Adaptor};
+pub use ast::{Element, Node, Repeat, Rule};
+pub use extract::{extract_abnf, ExtractStats};
+pub use grammar::Grammar;
+pub use matcher::{matches, MatchOutcome};
+pub use parser::{parse_rule, parse_rulelist, AbnfParseError};

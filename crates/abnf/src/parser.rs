@@ -1,0 +1,571 @@
+//! Recursive-descent parser for RFC 5234 ABNF grammar text.
+//!
+//! Supports the full RFC 5234 syntax plus the RFC 7405 `%s`/`%i` string
+//! prefixes. Input preprocessing handles comments (`;` to end of line) and
+//! continuation lines (a line starting with whitespace continues the
+//! previous rule), which is how real RFC ABNF is laid out.
+
+use std::fmt;
+
+use crate::ast::{Node, Repeat, Rule};
+
+/// Error produced while parsing ABNF text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbnfParseError {
+    /// Human-readable reason.
+    pub message: String,
+    /// Offset into the rule text where the error occurred.
+    pub offset: usize,
+}
+
+impl AbnfParseError {
+    fn new(message: impl Into<String>, offset: usize) -> AbnfParseError {
+        AbnfParseError { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for AbnfParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for AbnfParseError {}
+
+/// Parses a complete rule list: multiple `name = definition` rules with
+/// comments and continuation lines.
+///
+/// # Errors
+///
+/// Fails on the first rule whose definition cannot be parsed.
+///
+/// ```
+/// let rules = hdiff_abnf::parse_rulelist("a = \"x\" ; comment\nb = a a\n").unwrap();
+/// assert_eq!(rules.len(), 2);
+/// ```
+pub fn parse_rulelist(text: &str) -> Result<Vec<Rule>, AbnfParseError> {
+    let mut rules = Vec::new();
+    for chunk in split_rule_chunks(text) {
+        rules.push(parse_rule(&chunk)?);
+    }
+    Ok(rules)
+}
+
+/// Joins continuation lines and strips comments, yielding one logical line
+/// per rule.
+fn split_rule_chunks(text: &str) -> Vec<String> {
+    let mut chunks: Vec<String> = Vec::new();
+    for raw_line in text.lines() {
+        let line = strip_comment(raw_line);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let continuation = raw_line.starts_with(' ') || raw_line.starts_with('\t');
+        if continuation {
+            if let Some(last) = chunks.last_mut() {
+                last.push(' ');
+                last.push_str(line.trim());
+                continue;
+            }
+        }
+        chunks.push(line.trim().to_string());
+    }
+    chunks
+}
+
+/// Removes a trailing `;` comment, respecting quoted strings and prose-vals.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_quotes = false;
+    let mut in_prose = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' if !in_prose => in_quotes = !in_quotes,
+            b'<' if !in_quotes => in_prose = true,
+            b'>' if !in_quotes => in_prose = false,
+            b';' if !in_quotes && !in_prose => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a single logical rule line (`name = definition` or
+/// `name =/ definition`).
+///
+/// # Errors
+///
+/// Returns [`AbnfParseError`] when the line does not contain `=`, when the
+/// name is not a valid rulename, or when the definition is malformed.
+pub fn parse_rule(line: &str) -> Result<Rule, AbnfParseError> {
+    let line = strip_comment(line);
+    let mut p = Parser::new(line);
+    p.skip_ws();
+    let name = p.rulename()?;
+    p.skip_ws();
+    let incremental = if p.eat_str("=/") {
+        true
+    } else if p.eat(b'=') {
+        false
+    } else {
+        return Err(AbnfParseError::new("expected '=' or '=/'", p.pos));
+    };
+    p.skip_ws();
+    let node = p.alternation()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(AbnfParseError::new(
+            format!("trailing input {:?}", &line[p.pos..]),
+            p.pos,
+        ));
+    }
+    Ok(Rule { name, node, incremental })
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser { input: s.as_bytes(), pos: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.input[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn rulename(&mut self) -> Result<String, AbnfParseError> {
+        let start = self.pos;
+        // Real-world RFC ABNF sometimes wraps rule names in angle brackets.
+        let bracketed = self.eat(b'<');
+        if !self.peek().is_some_and(|b| b.is_ascii_alphabetic()) {
+            return Err(AbnfParseError::new("rulename must start with ALPHA", self.pos));
+        }
+        let name_start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'-')
+        {
+            self.pos += 1;
+        }
+        let name = std::str::from_utf8(&self.input[name_start..self.pos])
+            .expect("ascii validated")
+            .to_string();
+        if bracketed && !self.eat(b'>') {
+            return Err(AbnfParseError::new("unterminated bracketed rulename", start));
+        }
+        Ok(name)
+    }
+
+    fn alternation(&mut self) -> Result<Node, AbnfParseError> {
+        let mut alts = vec![self.concatenation()?];
+        loop {
+            let save = self.pos;
+            self.skip_ws();
+            if self.eat(b'/') {
+                self.skip_ws();
+                alts.push(self.concatenation()?);
+            } else {
+                self.pos = save;
+                break;
+            }
+        }
+        Ok(if alts.len() == 1 { alts.pop().expect("len checked") } else { Node::Alternation(alts) })
+    }
+
+    fn concatenation(&mut self) -> Result<Node, AbnfParseError> {
+        let mut seq = vec![self.repetition()?];
+        loop {
+            let save = self.pos;
+            self.skip_ws();
+            match self.peek() {
+                None | Some(b'/') | Some(b')') | Some(b']') => {
+                    self.pos = save;
+                    break;
+                }
+                _ => {
+                    if self.pos == save {
+                        // No whitespace separator: stop.
+                        break;
+                    }
+                    match self.repetition() {
+                        Ok(n) => seq.push(n),
+                        Err(_) => {
+                            self.pos = save;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(if seq.len() == 1 { seq.pop().expect("len checked") } else { Node::Concatenation(seq) })
+    }
+
+    fn repetition(&mut self) -> Result<Node, AbnfParseError> {
+        let rep = self.repeat();
+        let elem = self.element()?;
+        Ok(match rep {
+            // `1element` is the same as `element`; normalizing here keeps
+            // Display→parse round-trips stable.
+            Some(r) if !r.is_once() => Node::Repetition(r, Box::new(elem)),
+            _ => elem,
+        })
+    }
+
+    fn repeat(&mut self) -> Option<Repeat> {
+        let start = self.pos;
+        let min = self.digits();
+        if self.eat(b'*') {
+            let max = self.digits();
+            Some(Repeat { min: min.unwrap_or(0), max })
+        } else if let Some(n) = min {
+            Some(Repeat { min: n, max: Some(n) })
+        } else {
+            self.pos = start;
+            None
+        }
+    }
+
+    fn digits(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+    }
+
+    fn element(&mut self) -> Result<Node, AbnfParseError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                self.skip_ws();
+                let inner = self.alternation()?;
+                self.skip_ws();
+                if !self.eat(b')') {
+                    return Err(AbnfParseError::new("unterminated group", self.pos));
+                }
+                Ok(Node::Group(Box::new(inner)))
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                let inner = self.alternation()?;
+                self.skip_ws();
+                if !self.eat(b']') {
+                    return Err(AbnfParseError::new("unterminated option", self.pos));
+                }
+                Ok(Node::Optional(Box::new(inner)))
+            }
+            Some(b'"') => self.char_val(false),
+            Some(b'%') => self.percent_val(),
+            Some(b'<') => self.prose_val(),
+            Some(b) if b.is_ascii_alphabetic() => Ok(Node::RuleRef(self.rulename()?)),
+            other => Err(AbnfParseError::new(
+                format!("unexpected element start {other:?}"),
+                self.pos,
+            )),
+        }
+    }
+
+    fn char_val(&mut self, case_sensitive: bool) -> Result<Node, AbnfParseError> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let value = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| AbnfParseError::new("non-utf8 char-val", start))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(Node::CharVal { value, case_sensitive });
+            }
+            self.pos += 1;
+        }
+        Err(AbnfParseError::new("unterminated char-val", start))
+    }
+
+    fn percent_val(&mut self) -> Result<Node, AbnfParseError> {
+        debug_assert_eq!(self.peek(), Some(b'%'));
+        self.pos += 1;
+        match self.peek() {
+            Some(b's') | Some(b'S') => {
+                self.pos += 1;
+                if self.peek() != Some(b'"') {
+                    return Err(AbnfParseError::new("%s must precede a quoted string", self.pos));
+                }
+                self.char_val(true)
+            }
+            Some(b'i') | Some(b'I') => {
+                self.pos += 1;
+                if self.peek() != Some(b'"') {
+                    return Err(AbnfParseError::new("%i must precede a quoted string", self.pos));
+                }
+                self.char_val(false)
+            }
+            Some(b'x') | Some(b'X') => {
+                self.pos += 1;
+                self.num_val(16)
+            }
+            Some(b'd') | Some(b'D') => {
+                self.pos += 1;
+                self.num_val(10)
+            }
+            Some(b'b') | Some(b'B') => {
+                self.pos += 1;
+                self.num_val(2)
+            }
+            other => Err(AbnfParseError::new(format!("bad num-val base {other:?}"), self.pos)),
+        }
+    }
+
+    fn num_digits(&mut self, radix: u32) -> Result<u32, AbnfParseError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| (b as char).is_digit(radix))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(AbnfParseError::new("expected digits", self.pos));
+        }
+        u32::from_str_radix(
+            std::str::from_utf8(&self.input[start..self.pos]).expect("digits are ascii"),
+            radix,
+        )
+        .map_err(|_| AbnfParseError::new("numeric overflow", start))
+    }
+
+    fn num_val(&mut self, radix: u32) -> Result<Node, AbnfParseError> {
+        let first = self.num_digits(radix)?;
+        if self.eat(b'-') {
+            let hi = self.num_digits(radix)?;
+            return Ok(Node::NumRange(first, hi));
+        }
+        if self.peek() == Some(b'.') {
+            let mut seq = vec![first];
+            while self.eat(b'.') {
+                seq.push(self.num_digits(radix)?);
+            }
+            return Ok(Node::NumSeq(seq));
+        }
+        Ok(Node::NumVal(first))
+    }
+
+    fn prose_val(&mut self) -> Result<Node, AbnfParseError> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'>' {
+                let text = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| AbnfParseError::new("non-utf8 prose-val", start))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(Node::ProseVal(text));
+            }
+            self.pos += 1;
+        }
+        Err(AbnfParseError::new("unterminated prose-val", start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(s: &str) -> Rule {
+        parse_rule(s).unwrap_or_else(|e| panic!("{s}: {e}"))
+    }
+
+    #[test]
+    fn simple_char_val() {
+        let r = rule("greeting = \"hello\"");
+        assert_eq!(r.name, "greeting");
+        assert_eq!(r.node, Node::CharVal { value: "hello".into(), case_sensitive: false });
+        assert!(!r.incremental);
+    }
+
+    #[test]
+    fn http_version_rule() {
+        let r = rule("HTTP-version = HTTP-name \"/\" DIGIT \".\" DIGIT");
+        assert_eq!(r.node.references(), vec!["HTTP-name", "DIGIT", "DIGIT"]);
+    }
+
+    #[test]
+    fn num_seq_http_name() {
+        let r = rule("HTTP-name = %x48.54.54.50");
+        assert_eq!(r.node, Node::NumSeq(vec![0x48, 0x54, 0x54, 0x50]));
+    }
+
+    #[test]
+    fn num_range() {
+        let r = rule("ALPHA = %x41-5A / %x61-7A");
+        assert_eq!(
+            r.node,
+            Node::Alternation(vec![Node::NumRange(0x41, 0x5a), Node::NumRange(0x61, 0x7a)])
+        );
+    }
+
+    #[test]
+    fn dec_and_bin_values() {
+        assert_eq!(rule("a = %d13").node, Node::NumVal(13));
+        assert_eq!(rule("b = %b1010").node, Node::NumVal(10));
+        assert_eq!(rule("c = %d13.10").node, Node::NumSeq(vec![13, 10]));
+    }
+
+    #[test]
+    fn repetitions() {
+        let r = rule("token = 1*tchar");
+        assert_eq!(
+            r.node,
+            Node::Repetition(Repeat { min: 1, max: None }, Box::new(Node::RuleRef("tchar".into())))
+        );
+        let r2 = rule("x = 2*4DIGIT");
+        assert_eq!(
+            r2.node,
+            Node::Repetition(Repeat { min: 2, max: Some(4) }, Box::new(Node::RuleRef("DIGIT".into())))
+        );
+        let r3 = rule("y = 3DIGIT");
+        assert_eq!(
+            r3.node,
+            Node::Repetition(Repeat { min: 3, max: Some(3) }, Box::new(Node::RuleRef("DIGIT".into())))
+        );
+    }
+
+    #[test]
+    fn group_and_option() {
+        let r = rule("Host = uri-host [ \":\" port ]");
+        match &r.node {
+            Node::Concatenation(seq) => {
+                assert_eq!(seq.len(), 2);
+                assert!(matches!(seq[1], Node::Optional(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        let r2 = rule("x = ( a / b ) c");
+        match &r2.node {
+            Node::Concatenation(seq) => assert!(matches!(seq[0], Node::Group(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn transfer_encoding_rule_from_rfc7230() {
+        let r = rule(
+            "Transfer-Encoding = *( \",\" OWS ) transfer-coding *( OWS \",\" [ OWS transfer-coding ] )",
+        );
+        let refs = r.node.references();
+        assert!(refs.contains(&"transfer-coding"));
+        assert!(refs.contains(&"OWS"));
+    }
+
+    #[test]
+    fn prose_val() {
+        let r = rule("uri-host = <host, see [RFC3986], Section 3.2.2>");
+        assert_eq!(
+            r.node,
+            Node::ProseVal("host, see [RFC3986], Section 3.2.2".into())
+        );
+        assert!(r.has_prose());
+    }
+
+    #[test]
+    fn incremental_alternative() {
+        let r = rule("methods =/ \"PATCH\"");
+        assert!(r.incremental);
+    }
+
+    #[test]
+    fn case_sensitive_string() {
+        let r = rule("tag = %s\"Hello\"");
+        assert_eq!(r.node, Node::CharVal { value: "Hello".into(), case_sensitive: true });
+        let r2 = rule("tag = %i\"Hello\"");
+        assert_eq!(r2.node, Node::CharVal { value: "Hello".into(), case_sensitive: false });
+    }
+
+    #[test]
+    fn comments_and_continuations() {
+        let text = "HTTP-message = start-line ; the start\n              *( header-field CRLF )\n              CRLF [ message-body ]\nstart-line = request-line / status-line\n";
+        let rules = parse_rulelist(text).unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].name, "HTTP-message");
+        let refs = rules[0].node.references();
+        assert!(refs.contains(&"message-body"));
+    }
+
+    #[test]
+    fn comment_inside_prose_not_stripped() {
+        let r = rule("x = <see; section 3>");
+        assert_eq!(r.node, Node::ProseVal("see; section 3".into()));
+    }
+
+    #[test]
+    fn comment_inside_quotes_not_stripped() {
+        let r = rule("semi = \";\" ; literal semicolon");
+        assert_eq!(r.node, Node::CharVal { value: ";".into(), case_sensitive: false });
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_rule("= x").is_err());
+        assert!(parse_rule("a b").is_err());
+        assert!(parse_rule("a = \"unterminated").is_err());
+        assert!(parse_rule("a = (b").is_err());
+        assert!(parse_rule("a = %q12").is_err());
+        assert!(parse_rule("a = <unterminated").is_err());
+        assert!(parse_rule("9a = b").is_err());
+    }
+
+    #[test]
+    fn display_round_trip_parses_again() {
+        let sources = [
+            "HTTP-version = HTTP-name \"/\" DIGIT \".\" DIGIT",
+            "Host = uri-host [ \":\" port ]",
+            "ALPHA = %x41-5A / %x61-7A",
+            "token = 1*tchar",
+            "chunk = chunk-size [ chunk-ext ] CRLF chunk-data CRLF",
+        ];
+        for src in sources {
+            let r1 = rule(src);
+            let printed = r1.to_string();
+            let r2 = rule(&printed);
+            assert_eq!(r1.node, r2.node, "{src}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-sentence anaphora resolution by forward search.
+//!
+//! RFC prose frequently states a condition in one sentence and the
+//! requirement in the next: *"… a request with multiple Content-Length
+//! header fields … . Such a message MUST be treated as an error."* The
+//! paper found neural coreference tools (AllenNLP, NeuralCoref) inadequate
+//! for these subtle references and fell back to a simple forward-search:
+//! look back up to five sentences for a clause introducing the referent
+//! noun, then merge the two sentences for entailment analysis. This module
+//! implements exactly that algorithm.
+
+use crate::text::Sentence;
+
+/// Phrases that signal a back-reference, with the referent noun they carry.
+const REFERENT_MARKERS: [&str; 8] = [
+    "such a message",
+    "such message",
+    "such a request",
+    "such request",
+    "such requests",
+    "this message",
+    "this request",
+    "such uri",
+];
+
+/// How far back the search may look (the paper uses five sentences).
+pub const MAX_LOOKBACK: usize = 5;
+
+/// Result of resolving one sentence against its context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resolved {
+    /// The (possibly merged) sentence text to analyze.
+    pub text: String,
+    /// Whether a referent was found and merged.
+    pub merged: bool,
+}
+
+/// Detects a referent phrase in `sentence`; returns the noun to search for.
+pub fn referent_noun(sentence: &str) -> Option<&'static str> {
+    let lower = sentence.to_ascii_lowercase();
+    for marker in REFERENT_MARKERS {
+        if lower.contains(marker) {
+            let noun = marker.rsplit(' ').next().expect("markers are non-empty");
+            return Some(match noun {
+                "message" => "message",
+                "request" | "requests" => "request",
+                "uri" => "uri",
+                _ => "message",
+            });
+        }
+    }
+    None
+}
+
+/// Resolves sentence `idx` within its document context.
+///
+/// When the sentence begins with a referent phrase, searches up to
+/// [`MAX_LOOKBACK`] preceding sentences (nearest first) for one that
+/// *introduces* the referent noun (keyword fuzzy match: the noun appears
+/// with an article or the passive "is received"/"contains" framing), and
+/// merges the referred sentence in front of the current one.
+pub fn resolve(sentences: &[Sentence], idx: usize) -> Resolved {
+    let current = &sentences[idx];
+    let Some(noun) = referent_noun(&current.text) else {
+        return Resolved { text: current.text.clone(), merged: false };
+    };
+    let lo = idx.saturating_sub(MAX_LOOKBACK);
+    for back in (lo..idx).rev() {
+        let cand = &sentences[back];
+        if introduces_noun(&cand.text, noun) {
+            let merged = format!("{} {}", cand.text, current.text);
+            return Resolved { text: merged, merged: true };
+        }
+    }
+    Resolved { text: current.text.clone(), merged: false }
+}
+
+/// Fuzzy check that a sentence introduces the referent noun: the noun
+/// appears outside a referent phrase itself and is framed as new ("a
+/// message", "any request", "a request that contains …").
+fn introduces_noun(sentence: &str, noun: &str) -> bool {
+    let lower = sentence.to_ascii_lowercase();
+    if referent_noun(sentence).is_some() {
+        return false; // the paper found no iterative references
+    }
+    for article in ["a ", "an ", "any ", "each ", "every ", "the "] {
+        let pattern = format!("{article}{noun}");
+        if lower.contains(&pattern) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Resolves all sentences of a document, merging where needed.
+pub fn resolve_all(sentences: &[Sentence]) -> Vec<Resolved> {
+    (0..sentences.len()).map(|i| resolve(sentences, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sents(texts: &[&str]) -> Vec<Sentence> {
+        texts
+            .iter()
+            .enumerate()
+            .map(|(index, text)| Sentence { text: (*text).to_string(), index })
+            .collect()
+    }
+
+    #[test]
+    fn detects_referent_phrases() {
+        assert_eq!(referent_noun("Such a message ought to be handled as an error."), Some("message"));
+        assert_eq!(referent_noun("A server MUST ignore such requests."), Some("request"));
+        assert_eq!(referent_noun("A plain sentence."), None);
+    }
+
+    #[test]
+    fn merges_with_nearest_introducing_sentence() {
+        let s = sents(&[
+            "A message can contain both a Transfer-Encoding and a Content-Length header field.",
+            "Caching is discussed elsewhere in this document.",
+            "Such a message might indicate an attempt to perform request smuggling.",
+        ]);
+        let r = resolve(&s, 2);
+        assert!(r.merged);
+        assert!(r.text.starts_with("A message can contain both"));
+        assert!(r.text.ends_with("request smuggling."));
+    }
+
+    #[test]
+    fn lookback_is_bounded() {
+        let mut texts = vec!["A message is received with two Content-Length fields."];
+        texts.extend(std::iter::repeat_n(
+            "Filler sentence with no relevant nouns whatsoever.",
+            MAX_LOOKBACK,
+        ));
+        texts.push("Such a message MUST be rejected by the server.");
+        let s = sents(&texts);
+        let r = resolve(&s, s.len() - 1);
+        assert!(!r.merged, "referent beyond lookback window must not match");
+    }
+
+    #[test]
+    fn no_iterative_references() {
+        // A candidate that itself contains a referent phrase must not be
+        // selected as the antecedent.
+        let s = sents(&[
+            "Such a message is discussed above.",
+            "Such a message MUST be rejected by the server.",
+        ]);
+        let r = resolve(&s, 1);
+        assert!(!r.merged);
+    }
+
+    #[test]
+    fn unreferenced_sentences_pass_through() {
+        let s = sents(&["A server MUST reject the message."]);
+        let r = resolve(&s, 0);
+        assert!(!r.merged);
+        assert_eq!(r.text, s[0].text);
+    }
+
+    #[test]
+    fn resolve_all_covers_document() {
+        let s = sents(&[
+            "A request might contain an invalid Host header field.",
+            "Such a request MUST be rejected with a 400 status code.",
+        ]);
+        let all = resolve_all(&s);
+        assert_eq!(all.len(), 2);
+        assert!(all[1].merged);
+    }
+}

@@ -1,0 +1,329 @@
+//! Dependency-lite shallow parsing.
+//!
+//! Substitutes the paper's spaCy RoBERTa dependency parser with a rule
+//! parser specialized for RFC requirement sentences, which follow a rigid
+//! schema: `<subject role> <modal> [not] <verb> <arguments…>` optionally
+//! prefixed/suffixed by condition clauses ("If a message is received
+//! with …", "… to any request that lacks a Host header field").
+//!
+//! Two products are extracted:
+//!
+//! * [`ClauseParse`] — subject role (nsubj), modality, main verb, and the
+//!   argument tokens for each clause;
+//! * clause splitting on coordinating conjunctions (the paper's cc/conj
+//!   handling for long multi-clause sentences).
+
+use hdiff_sr::{Modality, Role};
+
+use crate::text::{tokenize, Token};
+
+/// A shallow parse of one clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClauseParse {
+    /// The grammatical subject, if it is a protocol role.
+    pub subject: Option<Role>,
+    /// Requirement modality, if a modal is present.
+    pub modality: Option<Modality>,
+    /// The main verb governed by the modal (lowercased, e.g. "respond").
+    pub verb: Option<String>,
+    /// All tokens of the clause.
+    pub tokens: Vec<Token>,
+}
+
+impl ClauseParse {
+    /// The lowercased token texts.
+    pub fn lower_words(&self) -> Vec<String> {
+        self.tokens.iter().map(Token::lower).collect()
+    }
+
+    /// Joined lowercase clause text (normalized spacing).
+    pub fn joined(&self) -> String {
+        self.lower_words().join(" ")
+    }
+}
+
+/// Splits a sentence into coordinated clauses and parses each.
+///
+/// ```
+/// use hdiff_analyzer::depparse::parse_clauses;
+/// let clauses = parse_clauses(
+///     "A server MUST respond with a 400 status code and then close the connection.",
+/// );
+/// assert_eq!(clauses.len(), 2);
+/// assert_eq!(clauses[1].verb.as_deref(), Some("close"));
+/// ```
+pub fn parse_clauses(sentence: &str) -> Vec<ClauseParse> {
+    let tokens = tokenize(sentence);
+    let chunks = split_on_coordination(&tokens);
+    let mut out: Vec<ClauseParse> = Vec::new();
+    for chunk in chunks {
+        let mut parse = parse_clause(chunk);
+        // Clause inheritance: "… MUST respond with 400 and [MUST] close …"
+        // — a conjunct without its own subject/modal inherits from the
+        // previous clause (the conj relation in a real dependency tree).
+        if let Some(prev) = out.last() {
+            if parse.subject.is_none() {
+                parse.subject = prev.subject;
+            }
+            if parse.modality.is_none() {
+                parse.modality = prev.modality;
+            }
+        }
+        out.push(parse);
+    }
+    out
+}
+
+/// Splits token stream on clause-level coordination: `, and`, `; `,
+/// `and then`, `or` followed by a verb/modal, etc. Conservative: only
+/// splits when the right side contains a verb, so noun coordination
+/// ("Transfer-Encoding and Content-Length") stays together.
+fn split_on_coordination(tokens: &[Token]) -> Vec<&[Token]> {
+    let mut cuts = vec![0usize];
+    let mut paren_depth = 0i32;
+    for (i, t) in tokens.iter().enumerate() {
+        match t.text.as_str() {
+            "(" => paren_depth += 1,
+            ")" => paren_depth -= 1,
+            _ => {}
+        }
+        if paren_depth > 0 {
+            continue;
+        }
+        let lower = t.lower();
+        let is_cc = lower == "and" || lower == "or";
+        let is_semi = t.text == ";";
+        if (is_cc || is_semi) && i + 1 < tokens.len() {
+            // Only cut when a verb phrase follows within a few tokens.
+            let window = &tokens[i + 1..(i + 6).min(tokens.len())];
+            let has_verb = window.iter().any(|w| {
+                let l = w.lower();
+                is_action_verb(&l) || is_modal_word(&l)
+            });
+            // "both X and Y" is noun coordination, never a clause boundary.
+            let in_both_frame = tokens[i.saturating_sub(8)..i]
+                .iter()
+                .any(|w| w.lower() == "both" || w.lower() == "either");
+            if has_verb && !in_both_frame {
+                cuts.push(i + 1);
+            }
+        }
+    }
+    cuts.push(tokens.len());
+    cuts.dedup();
+    let mut out = Vec::new();
+    for w in cuts.windows(2) {
+        if w[1] > w[0] {
+            out.push(&tokens[w[0]..w[1]]);
+        }
+    }
+    out
+}
+
+fn parse_clause(tokens: &[Token]) -> ClauseParse {
+    let lowers: Vec<String> = tokens.iter().map(Token::lower).collect();
+
+    // Modality: first modal keyword, checking for a following "not".
+    let mut modality = None;
+    let mut modal_idx = None;
+    for (i, l) in lowers.iter().enumerate() {
+        if is_modal_word(l) {
+            let negated = lowers.get(i + 1).map(String::as_str) == Some("not");
+            modality = Some(match l.as_str() {
+                "must" | "shall" | "required" => {
+                    if negated {
+                        Modality::MustNot
+                    } else {
+                        Modality::Must
+                    }
+                }
+                "should" | "recommended" | "ought" => {
+                    if negated {
+                        Modality::ShouldNot
+                    } else {
+                        Modality::Should
+                    }
+                }
+                "cannot" | "never" => Modality::MustNot,
+                _ => Modality::May,
+            });
+            modal_idx = Some(i);
+            break;
+        }
+        // "is not allowed" / "is not permitted" without a modal.
+        if (l == "allowed" || l == "permitted")
+            && i >= 1
+            && lowers[..i].iter().rev().take(2).any(|w| w == "not")
+        {
+            modality = Some(Modality::MustNot);
+            modal_idx = Some(i);
+            break;
+        }
+    }
+
+    // Subject: first role noun before the modal that is not itself inside
+    // a relative clause ("… that receives a request from a client …" — the
+    // head noun "proxy" precedes the relative pronoun, so first wins).
+    let search_end = modal_idx.unwrap_or(lowers.len());
+    let mut subject = None;
+    let mut i = 0;
+    while i < search_end {
+        let in_relative = i >= 1 && (lowers[i - 1] == "that" || lowers[i - 1] == "which");
+        // Two-word roles first.
+        if i + 1 < search_end && !in_relative {
+            let two = format!("{} {}", lowers[i], lowers[i + 1]);
+            if let Some(r) = Role::from_keyword(&two) {
+                subject = Some(r);
+                break;
+            }
+        }
+        if !in_relative {
+            if let Some(r) = Role::from_keyword(&lowers[i]) {
+                subject = Some(r);
+                break;
+            }
+        }
+        i += 1;
+    }
+
+    // Main verb: first action verb after the modal (or from the clause
+    // start for modal-less conjuncts that inherit modality). Passive
+    // participles normalize to their base form (rejected -> reject).
+    let verb_start = modal_idx.map_or(0, |mi| mi + 1);
+    let verb = lowers[verb_start..].iter().find_map(|l| normalize_verb(l));
+
+    // Passive subject: "… MUST be rejected by the server".
+    if subject.is_none() {
+        if let Some(mi) = modal_idx {
+            let mut j = mi;
+            while j < lowers.len() {
+                if lowers[j] == "by" {
+                    for k in j + 1..(j + 4).min(lowers.len()) {
+                        if k + 1 < lowers.len() {
+                            if let Some(r) = Role::from_keyword(&format!("{} {}", lowers[k], lowers[k + 1])) {
+                                subject = Some(r);
+                                break;
+                            }
+                        }
+                        if let Some(r) = Role::from_keyword(&lowers[k]) {
+                            subject = Some(r);
+                            break;
+                        }
+                    }
+                    if subject.is_some() {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+
+    ClauseParse { subject, modality, verb, tokens: tokens.to_vec() }
+}
+
+/// Maps a token to a base action verb, normalizing passive participles.
+fn normalize_verb(l: &str) -> Option<String> {
+    if is_action_verb(l) {
+        return Some(l.to_string());
+    }
+    if let Some(stem) = l.strip_suffix('d') {
+        if is_action_verb(stem) {
+            return Some(stem.to_string());
+        }
+    }
+    if let Some(stem) = l.strip_suffix("ed") {
+        if is_action_verb(stem) {
+            return Some(stem.to_string());
+        }
+    }
+    None
+}
+
+fn is_modal_word(l: &str) -> bool {
+    crate::lexicon::is_modal(l)
+}
+
+/// The closed verb lexicon of RFC role actions (see [`crate::lexicon`]).
+pub fn is_action_verb(l: &str) -> bool {
+    crate::lexicon::is_action_verb(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_canonical_sr() {
+        let c = parse_clauses(
+            "A server MUST respond with a 400 (Bad Request) status code to any HTTP/1.1 request message that lacks a Host header field.",
+        );
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].subject, Some(Role::Server));
+        assert_eq!(c[0].modality, Some(Modality::Must));
+        assert_eq!(c[0].verb.as_deref(), Some("respond"));
+    }
+
+    #[test]
+    fn negated_modal() {
+        let c = parse_clauses("A sender MUST NOT send a Content-Length header field in any message that contains a Transfer-Encoding header field.");
+        assert_eq!(c[0].modality, Some(Modality::MustNot));
+        assert_eq!(c[0].subject, Some(Role::Sender));
+        assert_eq!(c[0].verb.as_deref(), Some("send"));
+    }
+
+    #[test]
+    fn ought_to_is_should() {
+        let c = parse_clauses("Such a message ought to be handled as an error by the recipient involved.");
+        assert_eq!(c[0].modality, Some(Modality::Should));
+    }
+
+    #[test]
+    fn not_allowed_is_must_not() {
+        let c = parse_clauses("Whitespace between the field name and colon is not allowed in a request.");
+        assert_eq!(c[0].modality, Some(Modality::MustNot));
+    }
+
+    #[test]
+    fn clause_splitting_with_inheritance() {
+        let c = parse_clauses(
+            "The server MUST respond with a 400 (Bad Request) status code and then close the connection.",
+        );
+        assert_eq!(c.len(), 2, "{c:?}");
+        assert_eq!(c[1].subject, Some(Role::Server)); // inherited
+        assert_eq!(c[1].modality, Some(Modality::Must)); // inherited
+        assert_eq!(c[1].verb.as_deref(), Some("close"));
+    }
+
+    #[test]
+    fn noun_coordination_not_split() {
+        let c = parse_clauses(
+            "A message with both a Transfer-Encoding and a Content-Length header field MUST be rejected by the server.",
+        );
+        assert_eq!(c.len(), 1, "{c:?}");
+    }
+
+    #[test]
+    fn two_word_roles() {
+        let c = parse_clauses("An origin server SHOULD ignore the payload.");
+        assert_eq!(c[0].subject, Some(Role::OriginServer));
+        let c2 = parse_clauses("A user agent SHOULD send Content-Length when possible.");
+        assert_eq!(c2[0].subject, Some(Role::UserAgent));
+    }
+
+    #[test]
+    fn subject_inside_relative_clause_skipped() {
+        // "server" is the subject, not the "request" in the relative clause.
+        let c = parse_clauses(
+            "A proxy that receives a request from a client MUST forward the message body.",
+        );
+        assert_eq!(c[0].subject, Some(Role::Proxy));
+    }
+
+    #[test]
+    fn no_role_no_modal() {
+        let c = parse_clauses("The weather patterns vary across different regions entirely.");
+        assert_eq!(c[0].subject, None);
+        assert_eq!(c[0].modality, None);
+    }
+}

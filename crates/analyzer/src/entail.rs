@@ -1,0 +1,404 @@
+//! Lexical textual entailment against SR seed hypotheses.
+//!
+//! The paper frames Text2Rule as question answering: *does this sentence
+//! imply the hypothesis "the Host header is invalid"?* Here entailment is
+//! computed lexically — marker-phrase sets (with synonyms and negation
+//! handling) per hypothesis — which is deterministic and auditable. The
+//! interface mirrors a probabilistic model: [`entail_state`] and
+//! [`entail_action`] return a confidence in `[0, 1]`, and callers accept a
+//! hypothesis above [`CONFIDENCE_THRESHOLD`].
+
+use hdiff_sr::{FieldState, RoleAction};
+
+/// Minimum confidence to accept an entailed hypothesis.
+pub const CONFIDENCE_THRESHOLD: f32 = 0.6;
+
+/// Confidence that `premise` entails "the `field` is `state`".
+///
+/// ```
+/// use hdiff_analyzer::entail::entail_state;
+/// use hdiff_sr::FieldState;
+/// let premise = "a request message that lacks a Host header field";
+/// assert!(entail_state(premise, "Host", FieldState::Absent) > 0.6);
+/// assert!(entail_state(premise, "Host", FieldState::Multiple) < 0.6);
+/// ```
+pub fn entail_state(premise: &str, field: &str, state: FieldState) -> f32 {
+    let lower = premise.to_ascii_lowercase();
+    let field_lower = field.to_ascii_lowercase();
+    if !lower.contains(&field_lower) {
+        return 0.0;
+    }
+    // Examine a window around each mention of the field. Determiner-like
+    // markers ("lacks a", "multiple") must sit in the *pre-window*
+    // immediately before the mention, so that "without Transfer-Encoding
+    // and with multiple Content-Length fields" binds `without` to TE and
+    // `multiple` to CL, not vice versa.
+    let mut best: f32 = 0.0;
+    for (idx, _) in lower.match_indices(&field_lower) {
+        let pre = &lower[idx.saturating_sub(40)..idx];
+        let post_end = (idx + field_lower.len() + 100).min(lower.len());
+        let post = &lower[idx + field_lower.len()..post_end];
+        best = best.max(state_markers(pre, post, state));
+    }
+    best
+}
+
+fn state_markers(pre: &str, post: &str, state: FieldState) -> f32 {
+    let pre_ends = |markers: &[&str]| markers.iter().any(|m| pre.ends_with(m));
+    let post_has = |markers: &[&str]| markers.iter().any(|m| post.contains(m));
+    let around = format!("{pre}<>{post}");
+    let has = |p: &str| around.contains(p);
+    match state {
+        FieldState::Absent => {
+            if pre_ends(&[
+                "lacks a ", "lacks ", "without a ", "without ", "no ", "missing ", "omits ",
+                "does not contain a ", "does not contain ",
+            ]) || post_has(&["is absent", "is missing"])
+            {
+                0.9
+            } else {
+                0.0
+            }
+        }
+        FieldState::Multiple => {
+            if pre_ends(&[
+                "more than one ", "multiple ", "duplicate ", "duplicated ", "repeated ",
+                "two or more ", "two ",
+            ]) || post_has(&["more than once", "appears twice"])
+            {
+                0.9
+            } else {
+                0.0
+            }
+        }
+        FieldState::Invalid => {
+            if post_has(&["is not valid", "not a valid"]) {
+                1.0
+            } else if pre_ends(&["invalid ", "malformed ", "bad "])
+                || post_has(&["invalid", "malformed", "does not match", "is not the final", "not the final encoding"])
+            {
+                0.9
+            } else {
+                0.0
+            }
+        }
+        FieldState::Empty => {
+            if pre_ends(&["empty ", "an empty "]) || post_has(&["empty field-value", "empty value", "with an empty"]) {
+                0.9
+            } else {
+                0.0
+            }
+        }
+        FieldState::TooLong => {
+            if post_has(&["longer than", "larger than", "too long", "exceeds", "oversize"])
+                || pre_ends(&["oversized ", "long "])
+            {
+                0.9
+            } else {
+                0.0
+            }
+        }
+        FieldState::MalformedSpacing => {
+            if has("whitespace between") && (has("colon") || has("field-name")) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        FieldState::Conflicting => {
+            // "both a Transfer-Encoding and a Content-Length" — field plus a
+            // companion in a both/and or with/and frame.
+            if (has("both") && has(" and "))
+                || has("together with")
+                || has("in any message that contains")
+            {
+                0.9
+            } else {
+                0.0
+            }
+        }
+        FieldState::Valid => {
+            if post_has(&["is not valid", "invalid"]) || pre_ends(&["invalid "]) {
+                0.0
+            } else if pre_ends(&["a valid ", "valid "]) {
+                0.9
+            } else {
+                0.0
+            }
+        }
+        FieldState::Present => {
+            if pre_ends(&["lacks a ", "without ", "no "]) || post_has(&["is absent"]) {
+                0.0
+            } else if pre_ends(&[
+                "contains a ", "contains ", "with a ", "with an ", "including ", "received with ",
+                "a ", "an ", "any ", "the ",
+            ]) {
+                0.7
+            } else {
+                // Bare mention: weak evidence of presence.
+                0.3
+            }
+        }
+    }
+}
+
+/// Extracts the first status code (100–599) mentioned in the text. A bare
+/// three-digit number only counts when the nearby context talks about a
+/// status/response/error — "172,088 words" and "RFC 7230" are not codes.
+pub fn find_status_code(text: &str) -> Option<u16> {
+    let lower = text.to_ascii_lowercase();
+    let mut digits = String::new();
+    let bytes = lower.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            digits.clear();
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                digits.push(bytes[i] as char);
+                i += 1;
+            }
+            // Word boundary: next char must not be alphanumeric, ',', or
+            // '.'/'-' followed by a digit (protects HTTP/1.1, 172,088).
+            let glued = i < bytes.len()
+                && (bytes[i].is_ascii_alphabetic()
+                    || (matches!(bytes[i], b'.' | b',' | b'-')
+                        && i + 1 < bytes.len()
+                        && bytes[i + 1].is_ascii_digit()));
+            let after_sep = start > 0 && matches!(bytes[start - 1], b'/' | b'.' | b'-' | b',');
+            let context = {
+                let lo = start.saturating_sub(40);
+                let hi = (i + 40).min(lower.len());
+                &lower[lo..hi]
+            };
+            let status_context = ["status", "response", "respond", "code", "error"]
+                .iter()
+                .any(|w| context.contains(w));
+            if digits.len() == 3 && !glued && !after_sep && status_context {
+                if let Ok(code) = digits.parse::<u16>() {
+                    if (100..=599).contains(&code) {
+                        return Some(code);
+                    }
+                }
+            }
+            continue;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Confidence that a clause (already attributed to a role by the parser)
+/// entails the given role action. `negated` is the clause's modality
+/// negativity (MUST NOT …).
+pub fn entail_action(clause: &str, verb: Option<&str>, negated: bool, action: &RoleAction) -> f32 {
+    let lower = clause.to_ascii_lowercase();
+    let has = |p: &str| lower.contains(p);
+    let verb = verb.unwrap_or("");
+    match action {
+        RoleAction::Respond(code) => {
+            let code_here = find_status_code(&lower) == Some(*code);
+            let respond_verb = matches!(verb, "respond" | "responds" | "send" | "sends" | "reject" | "rejects" | "generate" | "generates")
+                || has("respond") || has("response");
+            if code_here && respond_verb && !negated {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        RoleAction::Reject => {
+            if negated {
+                0.0
+            } else if matches!(verb, "reject" | "rejects") || has("reject the message") || has("reject it as invalid") || has("reject any received") {
+                1.0
+            } else if has("handled as an error") || has("treat it as an unrecoverable error") || has("treat the message as") && has("error") {
+                0.8
+            } else {
+                0.0
+            }
+        }
+        RoleAction::Accept => {
+            if !negated && matches!(verb, "accept" | "accepts") {
+                0.9
+            } else {
+                0.0
+            }
+        }
+        RoleAction::Ignore => {
+            if !negated && (matches!(verb, "ignore" | "ignores") || has("must ignore")) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        RoleAction::CloseConnection => {
+            if !negated && (has("close the connection") || (matches!(verb, "close" | "closes") && has("connection"))) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        RoleAction::Forward => {
+            if !negated && matches!(verb, "forward" | "forwards") {
+                0.9
+            } else {
+                0.0
+            }
+        }
+        RoleAction::NotForward => {
+            // "MUST NOT forward the X header field" is a field-level
+            // removal requirement, not a message-level one.
+            if has("header field") && negated && matches!(verb, "forward" | "forwards") {
+                0.0
+            } else if (negated && matches!(verb, "forward" | "forwards"))
+                || (has("not forward") && !has("header field"))
+                || has("not allowed to blindly forward")
+            {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        RoleAction::RemoveField(_) => {
+            if !negated && (matches!(verb, "remove" | "removes") || has("must remove")) {
+                0.9
+            } else if negated && matches!(verb, "forward" | "forwards") && has("header field") {
+                // "MUST NOT forward the X header field".
+                0.9
+            } else {
+                0.0
+            }
+        }
+        RoleAction::ReplaceField(_) => {
+            if !negated && (matches!(verb, "replace" | "replaces") || has("instead replace")) {
+                0.9
+            } else {
+                0.0
+            }
+        }
+        RoleAction::NotCache => {
+            if (negated && matches!(verb, "store" | "stores" | "cache" | "caches" | "reuse" | "reuses" | "use" | "uses"))
+                || has("not store") || has("not reuse") || has("not cache")
+            {
+                0.9
+            } else {
+                0.0
+            }
+        }
+        RoleAction::NotGenerate => {
+            if negated && matches!(verb, "send" | "sends" | "generate" | "generates" | "apply" | "applies") {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_entailment_absent_vs_present() {
+        let premise = "to any http/1.1 request message that lacks a host header field";
+        assert!(entail_state(premise, "Host", FieldState::Absent) >= CONFIDENCE_THRESHOLD);
+        assert!(entail_state(premise, "Host", FieldState::Present) < CONFIDENCE_THRESHOLD);
+        assert!(entail_state(premise, "Host", FieldState::Invalid) < CONFIDENCE_THRESHOLD);
+    }
+
+    #[test]
+    fn state_entailment_multiple() {
+        let premise = "contains more than one host header field";
+        assert!(entail_state(premise, "Host", FieldState::Multiple) >= CONFIDENCE_THRESHOLD);
+    }
+
+    #[test]
+    fn state_entailment_invalid() {
+        let premise = "or a host header field with an invalid field-value";
+        assert!(entail_state(premise, "Host", FieldState::Invalid) >= CONFIDENCE_THRESHOLD);
+    }
+
+    #[test]
+    fn state_entailment_ws_colon() {
+        let premise = "contains whitespace between a header field-name and colon";
+        // The "field" here is the generic header-field construct.
+        assert!(
+            entail_state(premise, "header field-name", FieldState::MalformedSpacing)
+                >= CONFIDENCE_THRESHOLD
+        );
+    }
+
+    #[test]
+    fn state_entailment_conflict() {
+        let premise = "a message is received with both a transfer-encoding and a content-length header field";
+        assert!(entail_state(premise, "Transfer-Encoding", FieldState::Conflicting) >= CONFIDENCE_THRESHOLD);
+        assert!(entail_state(premise, "Content-Length", FieldState::Conflicting) >= CONFIDENCE_THRESHOLD);
+    }
+
+    #[test]
+    fn unmentioned_field_scores_zero() {
+        assert_eq!(entail_state("a message without framing", "Host", FieldState::Absent), 0.0);
+    }
+
+    #[test]
+    fn status_code_extraction() {
+        assert_eq!(find_status_code("respond with a 400 (Bad Request) status code"), Some(400));
+        assert_eq!(find_status_code("send a 505 response"), Some(505));
+        assert_eq!(find_status_code("an http/1.1 request message"), None);
+        assert_eq!(find_status_code("contains 172,088 words"), None);
+        assert_eq!(find_status_code("RFC 7230 defines this"), None);
+        assert_eq!(find_status_code("no codes here"), None);
+    }
+
+    #[test]
+    fn action_entailment_respond() {
+        let clause = "a server must respond with a 400 (bad request) status code";
+        assert!(entail_action(clause, Some("respond"), false, &RoleAction::Respond(400)) >= CONFIDENCE_THRESHOLD);
+        assert!(entail_action(clause, Some("respond"), false, &RoleAction::Respond(501)) < CONFIDENCE_THRESHOLD);
+    }
+
+    #[test]
+    fn action_entailment_close_and_forward() {
+        assert!(
+            entail_action("and then close the connection", Some("close"), false, &RoleAction::CloseConnection)
+                >= CONFIDENCE_THRESHOLD
+        );
+        assert!(
+            entail_action("must send their own http-version in forwarded messages and is not allowed to blindly forward the first line", Some("send"), false, &RoleAction::NotForward)
+                >= CONFIDENCE_THRESHOLD
+        );
+        assert!(
+            entail_action("must not forward the request", Some("forward"), true, &RoleAction::NotForward)
+                >= CONFIDENCE_THRESHOLD
+        );
+    }
+
+    #[test]
+    fn action_entailment_not_generate() {
+        assert!(
+            entail_action(
+                "a sender must not send a content-length header field",
+                Some("send"),
+                true,
+                &RoleAction::NotGenerate
+            ) >= CONFIDENCE_THRESHOLD
+        );
+        assert!(
+            entail_action("a server must send a response", Some("send"), false, &RoleAction::NotGenerate)
+                < CONFIDENCE_THRESHOLD
+        );
+    }
+
+    #[test]
+    fn action_entailment_not_cache() {
+        assert!(
+            entail_action(
+                "a cache must not store a response to any request",
+                Some("store"),
+                true,
+                &RoleAction::NotCache
+            ) >= CONFIDENCE_THRESHOLD
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! The HTTP field dictionary, derived from the adapted ABNF grammar.
+//!
+//! The paper's Text2Rule converter recognizes "HTTP fields that belong to
+//! the field dictionary parsed through ABNF rules": the left-hand rule
+//! names of the grammar. Header-field rules in the HTTP RFCs follow the
+//! convention of capitalized names (`Host`, `Content-Length`,
+//! `Transfer-Encoding`), which distinguishes them from internal syntax
+//! rules (`token`, `uri-host`).
+
+use hdiff_abnf::Grammar;
+
+/// The dictionary of known header-field names plus protocol elements.
+#[derive(Debug, Clone, Default)]
+pub struct FieldDictionary {
+    headers: Vec<String>,
+}
+
+impl FieldDictionary {
+    /// Builds the dictionary from a grammar: rule names whose first
+    /// character is uppercase are header fields by RFC convention.
+    pub fn from_grammar(grammar: &Grammar) -> FieldDictionary {
+        let mut headers: Vec<String> = grammar
+            .iter()
+            .filter(|r| r.name.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+            .filter(|r| !is_non_header(&r.name))
+            .map(|r| r.name.clone())
+            .collect();
+        headers.sort();
+        headers.dedup();
+        FieldDictionary { headers }
+    }
+
+    /// A dictionary from explicit names (tests, custom runs).
+    pub fn from_names<I: IntoIterator<Item = String>>(names: I) -> FieldDictionary {
+        let mut headers: Vec<String> = names.into_iter().collect();
+        headers.sort();
+        headers.dedup();
+        FieldDictionary { headers }
+    }
+
+    /// All header names.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.headers.is_empty()
+    }
+
+    /// Case-insensitive membership test.
+    pub fn contains(&self, name: &str) -> bool {
+        self.headers.iter().any(|h| h.eq_ignore_ascii_case(name))
+    }
+
+    /// Finds every dictionary field mentioned in a sentence (longest
+    /// names first so `Content-Length` wins over a hypothetical `Content`).
+    ///
+    /// Matching is **case-sensitive**: RFC prose capitalizes header names
+    /// exactly as defined (`"the Connection header field"`), which is what
+    /// distinguishes them from ordinary nouns (`"close the connection"`,
+    /// `"the server MUST"`).
+    pub fn mentions<'a>(&'a self, sentence: &str) -> Vec<&'a str> {
+        let mut hits: Vec<&str> = self
+            .headers
+            .iter()
+            .filter(|h| {
+                sentence
+                    .match_indices(h.as_str())
+                    .any(|(i, _)| boundary_ok(sentence, i, h.len()))
+            })
+            .map(String::as_str)
+            .collect();
+        hits.sort_by_key(|h| std::cmp::Reverse(h.len()));
+        hits
+    }
+}
+
+fn boundary_ok(haystack: &str, start: usize, len: usize) -> bool {
+    let before = haystack[..start].chars().next_back();
+    let after = haystack[start + len..].chars().next();
+    let is_word = |c: char| c.is_ascii_alphanumeric() || c == '-';
+    before.is_none_or(|c| !is_word(c)) && after.is_none_or(|c| !is_word(c))
+}
+
+/// Capitalized grammar rules that are protocol elements, not headers.
+fn is_non_header(name: &str) -> bool {
+    matches!(
+        name,
+        "HTTP-message" | "HTTP-name" | "HTTP-version" | "URI-reference" | "OWS" | "RWS" | "BWS"
+            | "IP-literal" | "IPv4address" | "IPv6address" | "IPvFuture" | "URI" | "GMT"
+            | "IMF-fixdate" | "HTTP-date"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdiff_abnf::parse_rulelist;
+
+    fn dict() -> FieldDictionary {
+        let rules = parse_rulelist(
+            "Host = uri-host\nContent-Length = 1*DIGIT\nTransfer-Encoding = token\nExpect = token\nConnection = token\ntoken = 1*tchar\ntchar = ALPHA\nuri-host = token\nHTTP-version = token\n",
+        )
+        .unwrap();
+        FieldDictionary::from_grammar(&Grammar::from_rules("t", rules))
+    }
+
+    #[test]
+    fn uppercase_rules_become_headers() {
+        let d = dict();
+        assert!(d.contains("Host"));
+        assert!(d.contains("content-length"));
+        assert!(!d.contains("token"));
+        assert!(!d.contains("uri-host"));
+        // Protocol elements excluded even though capitalized.
+        assert!(!d.contains("HTTP-version"));
+    }
+
+    #[test]
+    fn mentions_finds_fields_in_sentences() {
+        let d = dict();
+        let hits = d.mentions(
+            "A sender MUST NOT send a Content-Length header field in any message that contains a Transfer-Encoding header field.",
+        );
+        assert_eq!(hits, vec!["Transfer-Encoding", "Content-Length"]);
+    }
+
+    #[test]
+    fn mentions_respects_word_boundaries() {
+        let d = FieldDictionary::from_names(vec!["TE".to_string(), "Host".to_string()]);
+        assert!(d.mentions("The TE header is hop-by-hop.").contains(&"TE"));
+        // "TE" inside "ROUTE" or "Content" must not match.
+        assert!(d.mentions("The ROUTE markers and hostnames differ.").is_empty());
+    }
+
+    #[test]
+    fn dictionary_over_real_corpus_is_rich() {
+        let mut adaptor = hdiff_abnf::Adaptor::new();
+        for doc in hdiff_corpus::core_documents() {
+            let (rules, _) = hdiff_abnf::extract_abnf(&doc.full_text());
+            adaptor.add_document(doc.tag.clone(), rules);
+        }
+        let (grammar, _) = adaptor.adapt(&hdiff_abnf::AdaptOptions::default());
+        let d = FieldDictionary::from_grammar(&grammar);
+        for name in ["Host", "Content-Length", "Transfer-Encoding", "Expect", "Connection", "Cache-Control"] {
+            assert!(d.contains(name), "missing {name}");
+        }
+        assert!(d.len() >= 20, "{:?}", d.headers());
+    }
+}

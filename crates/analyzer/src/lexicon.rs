@@ -1,0 +1,116 @@
+//! The POS-lite lexicon behind the dependency-lite parser.
+//!
+//! The paper identifies clause boundaries "based on Part-of-speech
+//! tagging" (cc/conj relations) and finds subjects/actions through the
+//! dependency tree. This closed lexicon provides the tag inventory those
+//! steps need for RFC-register English: modal keywords, the role-action
+//! verb set, protocol role nouns, coordinating conjunctions, negations,
+//! and relative pronouns.
+
+use hdiff_sr::Role;
+
+/// The part-of-speech tags the shallow parser distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PosTag {
+    /// Requirement modals: `must`, `shall`, `should`, `may`, `cannot`,
+    /// `never`, `ought`, `required`, `recommended`, `optional`.
+    Modal,
+    /// Verbs from the closed role-action vocabulary (`respond`, `reject`,
+    /// `forward`, …).
+    ActionVerb,
+    /// Protocol role nouns (`server`, `proxy`, `user agent`, …).
+    RoleNoun,
+    /// Coordinating conjunctions (`and`, `or`) — the cc/conj markers the
+    /// clause splitter cuts on.
+    Conjunction,
+    /// Negation particles (`not`, `no`, `nor`, `n't`).
+    Negation,
+    /// Relative pronouns introducing subordinate clauses (`that`,
+    /// `which`) — role nouns after these are not subjects.
+    RelativePronoun,
+    /// Determiners/articles (`a`, `an`, `the`, `any`, `each`, `every`).
+    Determiner,
+    /// Everything else.
+    Other,
+}
+
+/// Tags one lowercased word.
+///
+/// ```
+/// use hdiff_analyzer::lexicon::{tag, PosTag};
+/// assert_eq!(tag("must"), PosTag::Modal);
+/// assert_eq!(tag("respond"), PosTag::ActionVerb);
+/// assert_eq!(tag("proxy"), PosTag::RoleNoun);
+/// assert_eq!(tag("and"), PosTag::Conjunction);
+/// assert_eq!(tag("banana"), PosTag::Other);
+/// ```
+pub fn tag(word: &str) -> PosTag {
+    if is_modal(word) {
+        PosTag::Modal
+    } else if is_action_verb(word) {
+        PosTag::ActionVerb
+    } else if Role::from_keyword(word).is_some() {
+        PosTag::RoleNoun
+    } else {
+        match word {
+            "and" | "or" => PosTag::Conjunction,
+            "not" | "no" | "nor" | "n't" => PosTag::Negation,
+            "that" | "which" => PosTag::RelativePronoun,
+            "a" | "an" | "the" | "any" | "each" | "every" | "this" | "such" => PosTag::Determiner,
+            _ => PosTag::Other,
+        }
+    }
+}
+
+/// Requirement-modal keywords (RFC 2119 plus the strong non-keyword
+/// phrasings the paper highlights).
+pub fn is_modal(word: &str) -> bool {
+    matches!(
+        word,
+        "must" | "shall" | "should" | "may" | "cannot" | "never" | "ought" | "required"
+            | "recommended" | "optional"
+    )
+}
+
+/// The closed verb lexicon of RFC role actions.
+pub fn is_action_verb(word: &str) -> bool {
+    matches!(
+        word,
+        "respond" | "responds" | "reject" | "rejects" | "accept" | "accepts" | "ignore"
+            | "ignores" | "close" | "closes" | "forward" | "forwards" | "send" | "sends"
+            | "generate" | "generates" | "remove" | "removes" | "replace" | "replaces"
+            | "store" | "stores" | "reuse" | "reuses" | "cache" | "caches" | "treat"
+            | "treats" | "parse" | "parses" | "apply" | "applies" | "process" | "read"
+            | "reads" | "consider" | "considers" | "discard" | "discards" | "handle"
+            | "handled" | "handles" | "interpret" | "interprets" | "use" | "uses"
+            | "evaluate" | "evaluates" | "obey" | "pass" | "check" | "update" | "omit"
+            | "recover" | "rewrite" | "rewrites" | "understand"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_inventory() {
+        assert_eq!(tag("shall"), PosTag::Modal);
+        assert_eq!(tag("ought"), PosTag::Modal);
+        assert_eq!(tag("discard"), PosTag::ActionVerb);
+        assert_eq!(tag("proxies"), PosTag::RoleNoun);
+        assert_eq!(tag("intermediary"), PosTag::RoleNoun);
+        assert_eq!(tag("or"), PosTag::Conjunction);
+        assert_eq!(tag("not"), PosTag::Negation);
+        assert_eq!(tag("which"), PosTag::RelativePronoun);
+        assert_eq!(tag("every"), PosTag::Determiner);
+        assert_eq!(tag("chunked"), PosTag::Other);
+    }
+
+    #[test]
+    fn lexica_are_disjoint_by_precedence() {
+        // `cache` is both a verb and a role noun; the modal/verb order of
+        // `tag` decides — verbs win, which is what the action extractor
+        // needs ("MUST NOT cache").
+        assert_eq!(tag("cache"), PosTag::ActionVerb);
+    }
+}

@@ -1,0 +1,53 @@
+//! Documentation Analyzer — the NLP half of HDiff.
+//!
+//! The paper's analyzer uses three neural components (stanza sentiment,
+//! spaCy dependency parsing, AllenNLP textual entailment). This
+//! reproduction substitutes deterministic lexicon/rule equivalents that
+//! compute the same three predicates for RFC-register English (see
+//! `DESIGN.md` §2 for the substitution argument):
+//!
+//! * [`text`] — sentence splitting and tokenization tuned to RFC prose
+//!   (abbreviations, section references, parenthetical status codes).
+//! * [`sentiment`] — the *sentiment-based SR finder*: scores the
+//!   requirement-intensity of a sentence from a modality/sentiment lexicon
+//!   covering both RFC 2119 keywords and the non-keyword strong phrasings
+//!   the paper highlights ("not allowed", "cannot", "ought to be handled
+//!   as an error").
+//! * [`depparse`] — a dependency-lite shallow parser: subject role, modal,
+//!   main verb, and clause splitting on coordinating conjunctions.
+//! * [`anaphora`] — the paper's forward-search referent resolution
+//!   (keyword fuzzy match over up to five preceding sentences).
+//! * [`entail`] — lexical textual entailment of seed-template hypotheses
+//!   against a premise sentence (synonym sets + negation handling).
+//! * [`field_dict`] — the HTTP field dictionary derived from the adapted
+//!   ABNF grammar's rule names.
+//! * [`text2rule`] — the Text2Rule converter assembling
+//!   [`hdiff_sr::SpecRequirement`]s.
+//! * [`pipeline`] — the end-to-end Documentation Analyzer over a corpus.
+//!
+//! # Example
+//!
+//! ```
+//! use hdiff_analyzer::pipeline::DocumentAnalyzer;
+//!
+//! let analyzer = DocumentAnalyzer::with_default_inputs();
+//! let output = analyzer.analyze(&hdiff_corpus::core_documents());
+//! assert!(output.requirements.len() > 40);
+//! assert!(output.grammar.contains("HTTP-message"));
+//! ```
+
+pub mod anaphora;
+pub mod depparse;
+pub mod entail;
+pub mod field_dict;
+pub mod lexicon;
+pub mod pipeline;
+pub mod sentiment;
+pub mod text;
+pub mod text2rule;
+
+pub use field_dict::FieldDictionary;
+pub use pipeline::{AnalyzerOutput, AnalyzerStats, DocumentAnalyzer};
+pub use sentiment::SentimentClassifier;
+pub use text::{sentences, tokenize, Sentence, Token};
+pub use text2rule::Text2Rule;

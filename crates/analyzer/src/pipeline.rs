@@ -1,0 +1,249 @@
+//! The end-to-end Documentation Analyzer (Fig. 3, left half).
+//!
+//! Runs both extraction tracks over a corpus:
+//!
+//! 1. **syntax** — ABNF extraction per document, then adaptation into one
+//!    closed grammar (with RFC 3986 registered for prose expansion);
+//! 2. **semantics** — sentence splitting → sentiment SR finder →
+//!    Text2Rule conversion into formal [`SpecRequirement`]s.
+
+use hdiff_abnf::{extract_abnf, AdaptOptions, AdaptReport, Adaptor, Grammar};
+use hdiff_corpus::RfcDocument;
+use hdiff_sr::{default_templates, SpecRequirement, SrTemplate};
+
+use crate::field_dict::FieldDictionary;
+use crate::sentiment::SentimentClassifier;
+use crate::text::sentences;
+use crate::text2rule::{ConvertStats, Text2Rule};
+
+/// Aggregate statistics, reported by the `table0_stats` harness.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzerStats {
+    /// Documents analyzed.
+    pub documents: usize,
+    /// Total words.
+    pub words: usize,
+    /// Valid sentences after splitting.
+    pub sentences: usize,
+    /// Sentiment-selected SR candidates.
+    pub sr_candidates: usize,
+    /// Candidates found by the plain RFC 2119 keyword grep (ablation
+    /// baseline).
+    pub keyword_grep_candidates: usize,
+    /// Formal SRs produced.
+    pub srs: usize,
+    /// ABNF rules in the adapted grammar.
+    pub abnf_rules: usize,
+    /// Conversion detail.
+    pub convert: ConvertStats,
+}
+
+impl std::fmt::Display for AnalyzerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} documents, {} words, {} sentences -> {} SR candidates (keyword grep: {}), {} SRs, {} ABNF rules",
+            self.documents,
+            self.words,
+            self.sentences,
+            self.sr_candidates,
+            self.keyword_grep_candidates,
+            self.srs,
+            self.abnf_rules
+        )
+    }
+}
+
+/// Analyzer output: the two rule sets plus statistics and reports.
+#[derive(Debug, Clone)]
+pub struct AnalyzerOutput {
+    /// Formal specification requirements.
+    pub requirements: Vec<SpecRequirement>,
+    /// The adapted, closed ABNF grammar.
+    pub grammar: Grammar,
+    /// The field dictionary derived from the grammar.
+    pub dictionary: FieldDictionary,
+    /// Adaptation report (namespacing, prose expansion, substitutions).
+    pub adapt_report: AdaptReport,
+    /// Aggregate statistics.
+    pub stats: AnalyzerStats,
+}
+
+/// The Documentation Analyzer.
+#[derive(Debug, Clone)]
+pub struct DocumentAnalyzer {
+    classifier: SentimentClassifier,
+    templates: Vec<SrTemplate>,
+    adapt_options: AdaptOptions,
+    references: Vec<RfcDocument>,
+}
+
+impl DocumentAnalyzer {
+    /// Analyzer with the paper's default manual inputs: default seed
+    /// templates, default sentiment threshold, RFC 3986 as the reference
+    /// document, and the custom rules needed to close the HTTP grammar.
+    pub fn with_default_inputs() -> DocumentAnalyzer {
+        let custom = hdiff_abnf::parse_rulelist(
+            "obs-date = token\nIMF-fixdate = token\nGMT = %x47.4D.54\n",
+        )
+        .expect("custom rules are well-formed");
+        DocumentAnalyzer {
+            classifier: SentimentClassifier::new(),
+            templates: default_templates(),
+            adapt_options: AdaptOptions { custom_rules: custom },
+            references: hdiff_corpus::reference_documents(),
+        }
+    }
+
+    /// Replaces the sentiment classifier (threshold tuning).
+    pub fn classifier(&mut self, classifier: SentimentClassifier) -> &mut Self {
+        self.classifier = classifier;
+        self
+    }
+
+    /// Replaces the seed templates.
+    pub fn templates(&mut self, templates: Vec<SrTemplate>) -> &mut Self {
+        self.templates = templates;
+        self
+    }
+
+    /// Runs the full analysis over a document set.
+    pub fn analyze(&self, documents: &[RfcDocument]) -> AnalyzerOutput {
+        // Track 1: syntax.
+        let mut adaptor = Adaptor::new();
+        for doc in documents {
+            let (rules, _) = extract_abnf(&doc.full_text());
+            adaptor.add_document(doc.tag.clone(), rules);
+        }
+        for reference in &self.references {
+            let (rules, _) = extract_abnf(&reference.full_text());
+            adaptor.register_reference(
+                reference.tag.clone(),
+                Grammar::from_rules(&reference.tag, rules),
+            );
+        }
+        let (grammar, adapt_report) = adaptor.adapt(&self.adapt_options);
+        let dictionary = FieldDictionary::from_grammar(&grammar);
+
+        // Track 2: semantics.
+        let converter = Text2Rule::new(dictionary.clone(), self.templates.clone());
+        let mut stats = AnalyzerStats {
+            documents: documents.len(),
+            abnf_rules: grammar.len(),
+            ..AnalyzerStats::default()
+        };
+        let mut requirements = Vec::new();
+        for doc in documents {
+            stats.words += doc.word_count();
+            // Analyze per section so every SR carries its source section
+            // number (anaphora still sees the full in-section context).
+            for section in &doc.sections {
+                let sents = sentences(&section.text);
+                stats.sentences += sents.len();
+                stats.keyword_grep_candidates +=
+                    sents.iter().filter(|s| SentimentClassifier::keyword_grep(&s.text)).count();
+                let candidates = self.classifier.find_candidates(&sents);
+                stats.sr_candidates += candidates.len();
+                let (mut srs, cstats) = converter.convert_document(&doc.tag, &sents, &candidates);
+                for sr in &mut srs {
+                    sr.section = section.number.clone();
+                }
+                stats.convert.candidates += cstats.candidates;
+                stats.convert.converted += cstats.converted;
+                stats.convert.dropped += cstats.dropped;
+                stats.convert.anaphora_merges += cstats.anaphora_merges;
+                requirements.append(&mut srs);
+            }
+        }
+        // Re-number SRs stably across the corpus.
+        for (i, sr) in requirements.iter_mut().enumerate() {
+            sr.id = format!("{}:sr{:03}", sr.source, i);
+        }
+        stats.srs = requirements.len();
+
+        AnalyzerOutput { requirements, grammar, dictionary, adapt_report, stats }
+    }
+}
+
+impl Default for DocumentAnalyzer {
+    fn default() -> Self {
+        DocumentAnalyzer::with_default_inputs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdiff_sr::{FieldState, Role, RoleAction};
+
+    fn output() -> AnalyzerOutput {
+        DocumentAnalyzer::with_default_inputs().analyze(&hdiff_corpus::core_documents())
+    }
+
+    #[test]
+    fn produces_substantial_rule_sets() {
+        let out = output();
+        assert!(out.stats.srs >= 40, "{}", out.stats);
+        assert!(out.stats.abnf_rules >= 150, "{}", out.stats);
+        assert!(out.stats.sentences >= 300, "{}", out.stats);
+    }
+
+    #[test]
+    fn finds_the_canonical_host_sr() {
+        let out = output();
+        let found = out.requirements.iter().any(|sr| {
+            sr.role == Role::Server
+                && sr.action == RoleAction::Respond(400)
+                && sr.conditions.iter().any(|c| {
+                    matches!(&c.field, hdiff_sr::MessageField::Header(h) if h == "Host")
+                        && c.state == FieldState::Absent
+                })
+        });
+        assert!(found, "missing host-absent SR");
+    }
+
+    #[test]
+    fn finds_the_ws_colon_sr() {
+        let out = output();
+        assert!(
+            out.requirements
+                .iter()
+                .any(|sr| sr.conditions.iter().any(|c| c.state == FieldState::MalformedSpacing)),
+            "missing whitespace-before-colon SR"
+        );
+    }
+
+    #[test]
+    fn finds_cl_te_conflict_srs() {
+        let out = output();
+        assert!(
+            out.requirements
+                .iter()
+                .any(|sr| sr.conditions.iter().any(|c| c.state == FieldState::Conflicting)),
+            "missing CL+TE conflict SR"
+        );
+    }
+
+    #[test]
+    fn sr_ids_are_unique() {
+        let out = output();
+        let mut ids: Vec<_> = out.requirements.iter().map(|s| s.id.clone()).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn sentiment_beats_keyword_grep() {
+        let out = output();
+        assert!(out.stats.sr_candidates >= out.stats.keyword_grep_candidates, "{}", out.stats);
+    }
+
+    #[test]
+    fn grammar_closed_and_dictionary_rich() {
+        let out = output();
+        assert!(out.grammar.undefined_references().is_empty());
+        assert!(out.dictionary.len() >= 20);
+    }
+}

@@ -1,0 +1,198 @@
+//! Sentiment-based SR finder.
+//!
+//! The paper's key observation: requirement sentences carry *strong
+//! sentiment* — forceful modality — whether or not they use RFC 2119
+//! keywords ("chunked message is not allowed", "cannot contain a message
+//! body", "ought to be handled as an error"). This classifier scores that
+//! intensity from a weighted lexicon and flags sentences above a
+//! threshold as SR candidates. It substitutes the paper's stanza-based
+//! classifier with a deterministic equivalent (DESIGN.md §2).
+
+use crate::text::{tokenize, Sentence};
+
+/// A scored SR candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SrCandidate {
+    /// The sentence.
+    pub sentence: Sentence,
+    /// Requirement-intensity score.
+    pub score: f32,
+}
+
+/// The sentiment/modality classifier.
+#[derive(Debug, Clone)]
+pub struct SentimentClassifier {
+    /// Minimum score for a sentence to count as an SR candidate.
+    pub threshold: f32,
+}
+
+impl Default for SentimentClassifier {
+    fn default() -> Self {
+        SentimentClassifier { threshold: 2.0 }
+    }
+}
+
+impl SentimentClassifier {
+    /// Creates a classifier with the default threshold.
+    pub fn new() -> SentimentClassifier {
+        SentimentClassifier::default()
+    }
+
+    /// Scores the requirement intensity of a sentence.
+    ///
+    /// ```
+    /// let c = hdiff_analyzer::SentimentClassifier::new();
+    /// assert!(c.score("A server MUST reject the message.") >= 2.0);
+    /// assert!(c.score("HTTP has evolved over time.") < 2.0);
+    /// ```
+    pub fn score(&self, sentence: &str) -> f32 {
+        let tokens = tokenize(sentence);
+        let lowers: Vec<String> = tokens.iter().map(|t| t.lower()).collect();
+        let mut score = 0.0f32;
+
+        for (i, tok) in tokens.iter().enumerate() {
+            let lower = &lowers[i];
+            // RFC 2119 keywords in caps: the strongest signal.
+            if tok.is_all_caps() {
+                match lower.as_str() {
+                    "must" | "shall" | "required" => score += 3.0,
+                    "should" | "recommended" => score += 2.5,
+                    "may" | "optional" => score += 1.5,
+                    _ => {}
+                }
+                continue;
+            }
+            // Lowercase modal/sentiment words: weaker but still strong.
+            match lower.as_str() {
+                "must" | "shall" => score += 2.0,
+                "should" => score += 1.5,
+                "cannot" | "never" => score += 2.0,
+                "ought" => score += 2.0,
+                "forbidden" | "prohibited" | "unacceptable" | "invalid"
+                | "reject" | "rejected" | "error" | "unrecoverable" => score += 0.75,
+                "allowed" | "permitted" => {
+                    // "not allowed" / "is not permitted" is a MUST NOT.
+                    if preceded_by_negation(&lowers, i) {
+                        score += 2.5;
+                    } else {
+                        score += 0.25;
+                    }
+                }
+                "needs" | "need"
+                    if lowers.get(i + 1).map(String::as_str) == Some("to") => {
+                        score += 1.0;
+                    }
+                _ => {}
+            }
+        }
+
+        // Imperative security phrasing boosts.
+        let joined = lowers.join(" ");
+        for (phrase, w) in [
+            ("handled as an error", 1.5),
+            ("treat it as", 0.75),
+            ("is not allowed", 1.0),
+            ("no whitespace is allowed", 1.5),
+            ("security", 0.25),
+        ] {
+            if joined.contains(phrase) {
+                score += w;
+            }
+        }
+        score
+    }
+
+    /// Whether the sentence scores as a requirement.
+    pub fn is_requirement(&self, sentence: &str) -> bool {
+        self.score(sentence) >= self.threshold
+    }
+
+    /// Filters a document's sentences to SR candidates, highest score
+    /// first for stable prioritization.
+    pub fn find_candidates(&self, sentences: &[Sentence]) -> Vec<SrCandidate> {
+        let mut out: Vec<SrCandidate> = sentences
+            .iter()
+            .filter_map(|s| {
+                let score = self.score(&s.text);
+                (score >= self.threshold).then(|| SrCandidate { sentence: s.clone(), score })
+            })
+            .collect();
+        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Baseline for the ablation bench: plain RFC 2119 keyword grep (what
+    /// the paper argues is insufficient).
+    pub fn keyword_grep(sentence: &str) -> bool {
+        ["MUST", "SHALL", "SHOULD", "REQUIRED", "RECOMMENDED"]
+            .iter()
+            .any(|k| sentence.contains(k))
+    }
+}
+
+fn preceded_by_negation(lowers: &[String], i: usize) -> bool {
+    let lo = i.saturating_sub(3);
+    lowers[lo..i].iter().any(|w| w == "not" || w == "no" || w == "nor" || w == "n't")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::sentences;
+
+    #[test]
+    fn rfc2119_keywords_score_high() {
+        let c = SentimentClassifier::new();
+        assert!(c.is_requirement("A server MUST respond with a 400 status code."));
+        assert!(c.is_requirement("A sender MUST NOT send a Content-Length header field."));
+        assert!(c.is_requirement("A proxy SHOULD NOT forward hop-by-hop fields."));
+    }
+
+    #[test]
+    fn non_keyword_requirements_still_found() {
+        // The paper's three examples of keyword-less SRs.
+        let c = SentimentClassifier::new();
+        assert!(c.is_requirement("A chunked message is not allowed in an HTTP/1.0 request."));
+        assert!(c.is_requirement("A response to a HEAD request cannot contain a message body."));
+        assert!(c.is_requirement("Such a mismatch ought to be handled as an error."));
+    }
+
+    #[test]
+    fn descriptive_prose_scores_low() {
+        let c = SentimentClassifier::new();
+        assert!(!c.is_requirement("HTTP was created for the World Wide Web architecture."));
+        assert!(!c.is_requirement("The method token indicates the request method."));
+        assert!(!c.is_requirement("GET is the primary mechanism of information retrieval."));
+    }
+
+    #[test]
+    fn weak_may_alone_is_below_threshold() {
+        let c = SentimentClassifier::new();
+        assert!(!c.is_requirement("A server MAY ignore the Range header field entirely sometimes."));
+    }
+
+    #[test]
+    fn candidates_sorted_by_score() {
+        let c = SentimentClassifier::new();
+        let sents = sentences(
+            "A server MUST NOT apply the request and MUST close the connection. A proxy SHOULD remove the field. The weather is nice today outside.",
+        );
+        let cands = c.find_candidates(&sents);
+        assert_eq!(cands.len(), 2);
+        assert!(cands[0].score >= cands[1].score);
+        assert!(cands[0].sentence.text.contains("MUST NOT"));
+    }
+
+    #[test]
+    fn recall_exceeds_keyword_grep_on_corpus() {
+        // The sentiment finder must find everything the keyword grep finds
+        // plus the keyword-less SRs — the paper's argument for the design.
+        let c = SentimentClassifier::new();
+        let doc = hdiff_corpus::document("rfc7230").unwrap();
+        let sents = sentences(&doc.full_text());
+        let sentiment_hits = sents.iter().filter(|s| c.is_requirement(&s.text)).count();
+        let grep_hits = sents.iter().filter(|s| SentimentClassifier::keyword_grep(&s.text)).count();
+        assert!(sentiment_hits >= grep_hits, "sentiment {sentiment_hits} < grep {grep_hits}");
+        assert!(sentiment_hits > 30, "only {sentiment_hits} candidates in rfc7230");
+    }
+}

@@ -1,0 +1,306 @@
+//! Sentence splitting and tokenization for RFC prose.
+//!
+//! RFC text is line-wrapped at ~72 columns, interleaves ABNF blocks
+//! (indented `name = …` lines), and is full of dotted abbreviations
+//! ("e.g.", "i.e.", "Section 3.2.2.") and parenthetical status codes
+//! ("400 (Bad Request)"). The splitter reflows paragraphs first, skips
+//! ABNF blocks, and then splits on sentence-final punctuation with an
+//! abbreviation guard.
+
+use std::fmt;
+
+/// A sentence with its position in the source document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sentence {
+    /// The reflowed sentence text.
+    pub text: String,
+    /// Index of the sentence within its document (0-based).
+    pub index: usize,
+}
+
+impl fmt::Display for Sentence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A token: a word, number, or punctuation mark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text, case preserved.
+    pub text: String,
+}
+
+impl Token {
+    /// Lowercased view.
+    pub fn lower(&self) -> String {
+        self.text.to_ascii_lowercase()
+    }
+
+    /// Whether the token is entirely uppercase letters (RFC 2119 keywords
+    /// are conventionally uppercase).
+    pub fn is_all_caps(&self) -> bool {
+        self.text.len() > 1 && self.text.chars().all(|c| c.is_ascii_uppercase())
+    }
+
+    /// Whether the token is a number.
+    pub fn is_number(&self) -> bool {
+        !self.text.is_empty() && self.text.chars().all(|c| c.is_ascii_digit())
+    }
+}
+
+/// Splits document text into sentences, skipping ABNF blocks.
+///
+/// ```
+/// let s = hdiff_analyzer::sentences("A server MUST reject it. A proxy MAY forward it.");
+/// assert_eq!(s.len(), 2);
+/// ```
+pub fn sentences(text: &str) -> Vec<Sentence> {
+    let mut flowed = String::new();
+    // Indentation of the ABNF rule currently being skipped: lines indented
+    // deeper than the rule line are its continuations.
+    let mut abnf_indent: Option<usize> = None;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            abnf_indent = None;
+            if !flowed.ends_with('\n') {
+                flowed.push('\n');
+            }
+            continue;
+        }
+        let indent = line.len() - line.trim_start().len();
+        if let Some(base) = abnf_indent {
+            if indent > base {
+                continue; // grammar continuation line
+            }
+            abnf_indent = None;
+        }
+        if is_abnf_like(line) {
+            abnf_indent = Some(indent);
+            if !flowed.ends_with('\n') {
+                flowed.push('\n');
+            }
+            continue;
+        }
+        if !flowed.is_empty() && !flowed.ends_with('\n') {
+            flowed.push(' ');
+        }
+        flowed.push_str(line.trim());
+    }
+
+    let mut out = Vec::new();
+    for paragraph in flowed.split('\n') {
+        split_paragraph(paragraph, &mut out);
+    }
+    for (i, s) in out.iter_mut().enumerate() {
+        s.index = i;
+    }
+    out
+}
+
+/// Heuristic: a line that looks like ABNF (indented `name = …`, a `/`
+/// continuation, or a pure grammar fragment) is not prose.
+fn is_abnf_like(line: &str) -> bool {
+    let t = line.trim_start();
+    let indent = line.len() - t.len();
+    if indent < 4 {
+        return false;
+    }
+    // `name = …` or `name =/ …`
+    let mut chars = t.char_indices();
+    match chars.next() {
+        Some((_, c)) if c.is_ascii_alphabetic() || c == '"' || c == '%' || c == '<' || c == '*'
+            || c == '(' || c == '[' || c == '/' => {}
+        _ => return false,
+    }
+    if t.starts_with('/') || t.starts_with('"') || t.starts_with('%') || t.starts_with('<')
+        || t.starts_with('*') || t.starts_with('(') || t.starts_with('[')
+    {
+        return true; // continuation line of a grammar block
+    }
+    let name_end = t.find(|c: char| !(c.is_ascii_alphanumeric() || c == '-')).unwrap_or(t.len());
+    let rest = t[name_end..].trim_start();
+    rest.starts_with('=') && !rest.starts_with("==")
+}
+
+const ABBREVIATIONS: [&str; 10] =
+    ["e.g", "i.e", "a.k.a", "cf", "vs", "etc", "no", "sec", "fig", "approx"];
+
+fn split_paragraph(paragraph: &str, out: &mut Vec<Sentence>) {
+    let bytes = paragraph.as_bytes();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'.' || b == b'!' || b == b'?' {
+            let next_nonspace = bytes[i + 1..].iter().position(|&c| c != b' ');
+            let followed_by_break = match next_nonspace {
+                None => true,
+                Some(off) => {
+                    let c = bytes[i + 1 + off];
+                    // Sentence boundary only if next token starts uppercase
+                    // and at least one space separates them.
+                    off + 1 > 1 && (c.is_ascii_uppercase() || c == b'"')
+                }
+            };
+            let prev_word = last_word(&paragraph[..i]);
+            let is_abbrev = ABBREVIATIONS.iter().any(|a| prev_word.eq_ignore_ascii_case(a))
+                || prev_word.chars().all(|c| c.is_ascii_digit()) && !prev_word.is_empty()
+                || prev_word.len() == 1;
+            if followed_by_break && !is_abbrev {
+                push_sentence(&paragraph[start..=i], out);
+                start = i + 1;
+            }
+        }
+        i += 1;
+    }
+    if start < paragraph.len() {
+        push_sentence(&paragraph[start..], out);
+    }
+}
+
+fn last_word(s: &str) -> &str {
+    s.rsplit(|c: char| c.is_whitespace() || c == '(' || c == ',')
+        .next()
+        .unwrap_or("")
+        .trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '.')
+        .trim_end_matches('.')
+}
+
+fn push_sentence(text: &str, out: &mut Vec<Sentence>) {
+    let t = text.trim();
+    // "Valid sentence" filter: needs some words and a letter.
+    if t.split_whitespace().count() >= 3 && t.chars().any(|c| c.is_ascii_alphabetic()) {
+        out.push(Sentence { text: t.to_string(), index: 0 });
+    }
+}
+
+/// Tokenizes a sentence into words, numbers and punctuation.
+///
+/// Hyphenated protocol names (`Transfer-Encoding`, `100-continue`,
+/// `HTTP-version`) stay single tokens.
+///
+/// ```
+/// let t = hdiff_analyzer::tokenize("A server MUST respond with a 400 (Bad Request) status code.");
+/// let words: Vec<_> = t.iter().map(|t| t.text.as_str()).collect();
+/// assert!(words.contains(&"400"));
+/// assert!(words.contains(&"MUST"));
+/// ```
+pub fn tokenize(sentence: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in sentence.chars() {
+        if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '/' && !cur.is_empty() && cur.chars().all(|x| x.is_ascii_alphanumeric() || x == '.') {
+            cur.push(c);
+        } else if c == '.' && !cur.is_empty() && cur.chars().last().is_some_and(|x| x.is_ascii_digit() || x.is_ascii_alphabetic()) {
+            // Keep dots inside version numbers and dotted abbreviations;
+            // trailing sentence dots are trimmed below.
+            cur.push(c);
+        } else {
+            flush(&mut cur, &mut out);
+            if !c.is_whitespace() {
+                out.push(Token { text: c.to_string() });
+            }
+        }
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
+fn flush(cur: &mut String, out: &mut Vec<Token>) {
+    if cur.is_empty() {
+        return;
+    }
+    let trimmed = cur.trim_end_matches('.').trim_matches('-');
+    if !trimmed.is_empty() {
+        out.push(Token { text: trimmed.to_string() });
+    }
+    cur.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_simple_sentences() {
+        let s = sentences("A server MUST reject it. A proxy MAY forward it. Short.");
+        assert_eq!(s.len(), 2); // "Short." filtered as < 3 words
+        assert_eq!(s[0].text, "A server MUST reject it.");
+        assert_eq!(s[1].index, 1);
+    }
+
+    #[test]
+    fn protects_abbreviations_and_numbers() {
+        let s = sentences(
+            "A recipient MAY recover, e.g. by ignoring the field. See Section 3.2.2. The server MUST close the connection.",
+        );
+        assert_eq!(s.len(), 3, "{s:?}");
+        assert!(s[0].text.contains("e.g. by ignoring"));
+    }
+
+    #[test]
+    fn status_code_parentheticals_do_not_split() {
+        let s = sentences(
+            "A server MUST respond with a 400 (Bad Request) status code to any request that lacks a Host header field.",
+        );
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn reflows_wrapped_lines() {
+        let s = sentences("   A server MUST respond with a 400 status\n   code and then close the connection.");
+        assert_eq!(s.len(), 1);
+        assert!(s[0].text.contains("status code and then"));
+    }
+
+    #[test]
+    fn skips_abnf_blocks() {
+        let text = "   The version is defined below.\n\n     HTTP-version = HTTP-name \"/\" DIGIT \".\" DIGIT\n     HTTP-name = %x48.54.54.50\n\n   A sender MUST NOT send a version to which it is not conformant.";
+        let s = sentences(text);
+        assert_eq!(s.len(), 2, "{s:?}");
+        assert!(!s.iter().any(|x| x.text.contains("%x48")));
+    }
+
+    #[test]
+    fn abnf_rule_start_detection() {
+        assert!(is_abnf_like("     Transfer-Encoding = *( \",\" OWS ) transfer-coding"));
+        assert!(is_abnf_like("      / %x61-7A"));
+        assert!(!is_abnf_like("   A server MUST reject the message."));
+        assert!(!is_abnf_like("A top-level prose line"));
+    }
+
+    #[test]
+    fn abnf_continuation_lines_skipped_statefully() {
+        // The second line has no grammar markers of its own but is more
+        // deeply indented than the rule start, so it is a continuation.
+        let text = "   Prose sentence before the grammar block here.\n\n     Transfer-Encoding = *( \",\" OWS ) transfer-coding *( OWS \",\" [ OWS\n      transfer-coding ] )\n\n   A recipient MUST parse the field accordingly every time.";
+        let s = sentences(text);
+        assert_eq!(s.len(), 2, "{s:?}");
+        assert!(!s.iter().any(|x| x.text.contains("transfer-coding ]")));
+    }
+
+    #[test]
+    fn tokenizer_keeps_protocol_names() {
+        let toks = tokenize("If both Transfer-Encoding and Content-Length are present, HTTP/1.1 recipients MUST NOT accept 100-continue.");
+        let words: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(words.contains(&"Transfer-Encoding"));
+        assert!(words.contains(&"Content-Length"));
+        assert!(words.contains(&"HTTP/1.1"));
+        assert!(words.contains(&"100-continue"));
+    }
+
+    #[test]
+    fn tokenizer_classifies() {
+        let toks = tokenize("MUST respond 400.");
+        assert!(toks[0].is_all_caps());
+        assert!(toks[2].is_number());
+        assert_eq!(toks[2].lower(), "400");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(sentences("").is_empty());
+        assert!(tokenize("").is_empty());
+    }
+}

@@ -1,0 +1,371 @@
+//! The Text2Rule converter: SR sentence → formal [`SpecRequirement`].
+//!
+//! Mirrors Fig. 4 of the paper: dependency(-lite) parsing finds the target
+//! role and action clauses, the ABNF-derived field dictionary anchors the
+//! message description, anaphora resolution recovers cross-sentence
+//! conditions, and textual entailment classifies the sentence into seed
+//! template instances.
+
+use hdiff_sr::{
+    FieldState, MessageDescription, MessageField, Modality, RoleAction, SpecRequirement,
+    SrTemplate, TemplateKind,
+};
+
+use crate::anaphora;
+use crate::depparse::{parse_clauses, ClauseParse};
+use crate::entail::{self, CONFIDENCE_THRESHOLD};
+use crate::field_dict::FieldDictionary;
+use crate::sentiment::SrCandidate;
+use crate::text::Sentence;
+
+/// Conversion statistics for the pipeline report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConvertStats {
+    /// Candidate sentences examined.
+    pub candidates: usize,
+    /// Sentences that produced at least one SR.
+    pub converted: usize,
+    /// Sentences dropped (no role, no action, or no conditions).
+    pub dropped: usize,
+    /// Sentences whose conditions came from a merged antecedent.
+    pub anaphora_merges: usize,
+}
+
+/// The converter.
+#[derive(Debug, Clone)]
+pub struct Text2Rule {
+    dict: FieldDictionary,
+    templates: Vec<SrTemplate>,
+}
+
+impl Text2Rule {
+    /// Builds a converter from a field dictionary and seed templates.
+    pub fn new(dict: FieldDictionary, templates: Vec<SrTemplate>) -> Text2Rule {
+        Text2Rule { dict, templates }
+    }
+
+    /// Converts the SR candidates of one document.
+    ///
+    /// `sentences` is the full (ordered) sentence list of the document so
+    /// anaphora can search preceding context; `candidates` are the
+    /// sentiment-selected subset.
+    pub fn convert_document(
+        &self,
+        doc_tag: &str,
+        sentences: &[Sentence],
+        candidates: &[SrCandidate],
+    ) -> (Vec<SpecRequirement>, ConvertStats) {
+        let mut stats = ConvertStats { candidates: candidates.len(), ..ConvertStats::default() };
+        let mut out = Vec::new();
+        for cand in candidates {
+            let resolved = anaphora::resolve(sentences, cand.sentence.index.min(sentences.len().saturating_sub(1)));
+            if resolved.merged {
+                stats.anaphora_merges += 1;
+            }
+            let srs = self.convert_sentence(doc_tag, &cand.sentence.text, &resolved.text, out.len());
+            if srs.is_empty() {
+                stats.dropped += 1;
+            } else {
+                stats.converted += 1;
+                out.extend(srs);
+            }
+        }
+        (out, stats)
+    }
+
+    /// Converts one sentence (with its anaphora-resolved context text).
+    ///
+    /// Disjunctive message descriptions ("lacks a Host header … or more
+    /// than one Host header … or an invalid field-value") expand into one
+    /// SR per entailed state combination — the paper's Fig. 4 inference of
+    /// `Host is valid/invalid/repeat`.
+    pub fn convert_sentence(
+        &self,
+        doc_tag: &str,
+        original: &str,
+        resolved: &str,
+        ordinal_base: usize,
+    ) -> Vec<SpecRequirement> {
+        let clauses = parse_clauses(resolved);
+        let condition_sets = self.condition_sets(resolved);
+        if condition_sets.is_empty() {
+            return Vec::new();
+        }
+
+        let mut out = Vec::new();
+        for conditions in &condition_sets {
+            for clause in &clauses {
+                let Some(modality) = clause.modality else { continue };
+                let Some(role) = clause.subject else { continue };
+                if let Some(action) = self.best_action(clause, modality, conditions) {
+                    out.push(SpecRequirement {
+                        id: format!("{doc_tag}:sr{}", ordinal_base + out.len()),
+                        source: doc_tag.to_string(),
+                        section: String::new(),
+                        sentence: original.to_string(),
+                        role,
+                        modality,
+                        conditions: conditions.clone(),
+                        action,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// All condition sets entailed by the sentence: the cross-product of
+    /// per-field entailed states (capped), each extended with the shared
+    /// protocol-element conditions.
+    fn condition_sets(&self, text: &str) -> Vec<Vec<MessageDescription>> {
+        const MAX_SETS: usize = 12;
+        let shared = self.protocol_conditions(text);
+
+        let states: Vec<FieldState> = self
+            .templates
+            .iter()
+            .find_map(|t| match &t.kind {
+                TemplateKind::MessageDescription { states } => Some(states.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| FieldState::ALL.to_vec());
+
+        let mut per_field: Vec<(String, Vec<FieldState>)> = Vec::new();
+        for field in self.dict.mentions(text) {
+            let mut entailed: Vec<FieldState> = states
+                .iter()
+                .copied()
+                .filter(|&s| s != FieldState::Present)
+                .filter(|&s| entail::entail_state(text, field, s) >= CONFIDENCE_THRESHOLD)
+                .collect();
+            if entailed.is_empty()
+                && entail::entail_state(text, field, FieldState::Present) >= CONFIDENCE_THRESHOLD
+            {
+                entailed.push(FieldState::Present);
+            }
+            if !entailed.is_empty() {
+                per_field.push((field.to_string(), entailed));
+            }
+        }
+
+        if per_field.is_empty() {
+            return if shared.is_empty() { Vec::new() } else { vec![shared] };
+        }
+
+        let mut sets: Vec<Vec<MessageDescription>> = vec![Vec::new()];
+        for (field, entailed) in &per_field {
+            let mut next = Vec::new();
+            for base in &sets {
+                for &state in entailed {
+                    if next.len() >= MAX_SETS {
+                        break;
+                    }
+                    let mut s = base.clone();
+                    s.push(MessageDescription::header(field, state));
+                    next.push(s);
+                }
+            }
+            sets = next;
+        }
+        for s in &mut sets {
+            s.extend(shared.iter().cloned());
+        }
+        sets
+    }
+
+    /// Protocol-element conditions the field dictionary cannot carry
+    /// (whitespace-before-colon, chunked coding, versions, body-on-GET).
+    fn protocol_conditions(&self, text: &str) -> Vec<MessageDescription> {
+        let lower = text.to_ascii_lowercase();
+        let mut out = Vec::new();
+
+        // Whitespace-before-colon applies to the generic header construct.
+        if lower.contains("whitespace between") && (lower.contains("colon") || lower.contains("field-name")) {
+            out.push(MessageDescription::header("*", FieldState::MalformedSpacing));
+        }
+        // Chunked-coding structure conditions.
+        if lower.contains("chunked") && !out.iter().any(|c| matches!(&c.field, MessageField::Header(h) if h == "Transfer-Encoding")) {
+            out.push(MessageDescription::new(MessageField::Chunked, FieldState::Present));
+        }
+        // Obsolete line folding.
+        if lower.contains("obs-fold") || lower.contains("line folding") {
+            out.push(MessageDescription::header("*", FieldState::Invalid));
+        }
+        // Version conditions.
+        if lower.contains("invalid request-line") || lower.contains("request-line is not valid") {
+            out.push(MessageDescription::new(MessageField::RequestLine, FieldState::Invalid));
+        }
+        if lower.contains("version to which it is not conformant")
+            || lower.contains("own http-version in forwarded messages")
+            || lower.contains("major protocol version")
+            || lower.contains("major version")
+        {
+            out.push(MessageDescription::new(MessageField::HttpVersion, FieldState::Invalid));
+        }
+        if lower.contains("http/1.0") {
+            out.push(MessageDescription::new(MessageField::HttpVersion, FieldState::Valid));
+        }
+        // Body-on-GET/HEAD conditions.
+        if (lower.contains("payload within a get") || lower.contains("payload within a head") || lower.contains("body in a get"))
+            || (lower.contains("payload body") && (lower.contains(" get ") || lower.contains(" head ")))
+        {
+            out.push(MessageDescription::new(MessageField::MessageBody, FieldState::Present));
+        }
+        out
+    }
+
+    /// Best-entailed action for a clause, given the sentence conditions.
+    fn best_action(
+        &self,
+        clause: &ClauseParse,
+        modality: Modality,
+        conditions: &[MessageDescription],
+    ) -> Option<RoleAction> {
+        let joined = clause.joined();
+        let negated = modality.is_negative();
+        let verb = clause.verb.as_deref();
+
+        let mut best: Option<(RoleAction, f32)> = None;
+        for template in &self.templates {
+            let TemplateKind::RoleAction { actions } = &template.kind else { continue };
+            for action in actions {
+                let action = self.instantiate(action, conditions);
+                let conf = entail::entail_action(&joined, verb, negated, &action);
+                if conf >= CONFIDENCE_THRESHOLD && best.as_ref().is_none_or(|(_, b)| conf > *b) {
+                    best = Some((action, conf));
+                }
+            }
+        }
+        // NotGenerate fallback for sender prohibitions not in templates.
+        if best.is_none() && negated {
+            let conf = entail::entail_action(&joined, verb, negated, &RoleAction::NotGenerate);
+            if conf >= CONFIDENCE_THRESHOLD {
+                return Some(RoleAction::NotGenerate);
+            }
+        }
+        best.map(|(a, _)| a)
+    }
+
+    /// Fills the field slot of Remove/Replace actions from the conditions.
+    fn instantiate(&self, action: &RoleAction, conditions: &[MessageDescription]) -> RoleAction {
+        let first_header = conditions.iter().find_map(|c| match &c.field {
+            MessageField::Header(h) if h != "*" => Some(h.clone()),
+            _ => None,
+        });
+        match action {
+            RoleAction::RemoveField(f) if f.is_empty() => {
+                RoleAction::RemoveField(first_header.unwrap_or_default())
+            }
+            RoleAction::ReplaceField(f) if f.is_empty() => {
+                RoleAction::ReplaceField(first_header.unwrap_or_default())
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdiff_sr::{default_templates, Role};
+
+    fn converter() -> Text2Rule {
+        let dict = FieldDictionary::from_names(vec![
+            "Host".to_string(),
+            "Content-Length".to_string(),
+            "Transfer-Encoding".to_string(),
+            "Expect".to_string(),
+            "Connection".to_string(),
+        ]);
+        Text2Rule::new(dict, default_templates())
+    }
+
+    fn convert_one(text: &str) -> Vec<SpecRequirement> {
+        converter().convert_sentence("rfc7230", text, text, 0)
+    }
+
+    #[test]
+    fn converts_the_fig4_host_sentence() {
+        let srs = convert_one(
+            "A server MUST respond with a 400 (Bad Request) status code to any HTTP/1.1 request message that lacks a Host header field.",
+        );
+        assert_eq!(srs.len(), 1, "{srs:?}");
+        let sr = &srs[0];
+        assert_eq!(sr.role, Role::Server);
+        assert_eq!(sr.modality, Modality::Must);
+        assert_eq!(sr.action, RoleAction::Respond(400));
+        assert!(sr
+            .conditions
+            .iter()
+            .any(|c| c == &MessageDescription::header("Host", FieldState::Absent)));
+    }
+
+    #[test]
+    fn converts_multi_host_sentence() {
+        let srs = convert_one(
+            "A server MUST respond with a 400 (Bad Request) status code to any request message that contains more than one Host header field or a Host header field with an invalid field-value.",
+        );
+        assert!(!srs.is_empty());
+        let states: Vec<_> = srs[0]
+            .conditions
+            .iter()
+            .filter(|c| matches!(&c.field, MessageField::Header(h) if h == "Host"))
+            .map(|c| c.state)
+            .collect();
+        // Multiple or Invalid must be picked up (best single state).
+        assert!(states.iter().any(|s| matches!(s, FieldState::Multiple | FieldState::Invalid)), "{srs:?}");
+    }
+
+    #[test]
+    fn converts_ws_colon_sentence() {
+        let srs = convert_one(
+            "A server MUST reject any received request message that contains whitespace between a header field-name and colon with a response code of 400 (Bad Request).",
+        );
+        assert!(!srs.is_empty(), "no srs");
+        assert!(srs[0]
+            .conditions
+            .iter()
+            .any(|c| c.state == FieldState::MalformedSpacing));
+        assert!(matches!(srs[0].action, RoleAction::Respond(400) | RoleAction::Reject));
+    }
+
+    #[test]
+    fn converts_sender_prohibition_to_not_generate() {
+        let srs = convert_one(
+            "A sender MUST NOT send a Content-Length header field in any message that contains a Transfer-Encoding header field.",
+        );
+        assert_eq!(srs.len(), 1, "{srs:?}");
+        assert_eq!(srs[0].action, RoleAction::NotGenerate);
+        assert_eq!(srs[0].role, Role::Sender);
+        assert!(srs[0]
+            .conditions
+            .iter()
+            .any(|c| c.state == FieldState::Conflicting));
+    }
+
+    #[test]
+    fn converts_conjoined_respond_and_close() {
+        let srs = convert_one(
+            "If a message is received without Transfer-Encoding and with multiple Content-Length header fields, then the server MUST respond with a 400 (Bad Request) status code and then close the connection.",
+        );
+        let actions: Vec<_> = srs.iter().map(|s| s.action.clone()).collect();
+        assert!(actions.contains(&RoleAction::Respond(400)), "{actions:?}");
+        assert!(actions.contains(&RoleAction::CloseConnection), "{actions:?}");
+    }
+
+    #[test]
+    fn drops_sentences_without_conditions() {
+        let srs = convert_one("A client SHOULD remember its own configuration at all times.");
+        assert!(srs.is_empty());
+    }
+
+    #[test]
+    fn converts_cache_prohibition() {
+        let srs = convert_one(
+            "A cache MUST NOT store a response to any request that contains an invalid Host header field.",
+        );
+        assert_eq!(srs.len(), 1, "{srs:?}");
+        assert_eq!(srs[0].action, RoleAction::NotCache);
+        assert_eq!(srs[0].role, Role::Cache);
+    }
+}

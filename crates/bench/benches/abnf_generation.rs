@@ -1,0 +1,45 @@
+//! Criterion bench: ABNF generation cost (predefined vs free traversal,
+//! depth-cap sweep) — the §III-D design choices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdiff_analyzer::DocumentAnalyzer;
+use hdiff_gen::{AbnfGenerator, GenOptions, PredefinedRules};
+
+fn bench_generation(c: &mut Criterion) {
+    let analysis = DocumentAnalyzer::with_default_inputs().analyze(&hdiff_corpus::core_documents());
+
+    let mut group = c.benchmark_group("abnf_generation");
+    for (label, predefined) in [
+        ("predefined", PredefinedRules::standard()),
+        ("free", PredefinedRules::empty()),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("host_values", label),
+            &predefined,
+            |b, predefined| {
+                b.iter(|| {
+                    let mut gen = AbnfGenerator::new(
+                        analysis.grammar.clone(),
+                        GenOptions { predefined: predefined.clone(), ..GenOptions::default() },
+                    );
+                    std::hint::black_box(gen.generate_many("Host", 50))
+                });
+            },
+        );
+    }
+    for depth in [3usize, 7, 12] {
+        group.bench_with_input(BenchmarkId::new("http_message_depth", depth), &depth, |b, &d| {
+            b.iter(|| {
+                let mut gen = AbnfGenerator::new(
+                    analysis.grammar.clone(),
+                    GenOptions { max_depth: d, ..GenOptions::default() },
+                );
+                std::hint::black_box(gen.generate_many("HTTP-message", 10))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench: mutation-engine throughput per round count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdiff_gen::MutationEngine;
+use hdiff_wire::Request;
+
+fn bench_mutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mutation");
+    for rounds in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("rounds", rounds), &rounds, |b, &rounds| {
+            b.iter(|| {
+                let mut engine = MutationEngine::new(42);
+                engine.rounds = rounds;
+                let mut out = 0usize;
+                for _ in 0..100 {
+                    let mut req = Request::get("example.com");
+                    out += engine.mutate(&mut req).len();
+                }
+                std::hint::black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mutation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: per-stage pipeline cost (analyzer, translation,
+//! detection) — the end-to-end cost profile of Fig. 3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdiff_analyzer::DocumentAnalyzer;
+use hdiff_core::{HDiff, HdiffConfig};
+use hdiff_diff::DiffEngine;
+use hdiff_gen::{AbnfGenerator, GenOptions, SrTranslator};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("documentation_analyzer", |b| {
+        let docs = hdiff_corpus::core_documents();
+        b.iter(|| {
+            std::hint::black_box(DocumentAnalyzer::with_default_inputs().analyze(&docs))
+        });
+    });
+
+    let analysis = DocumentAnalyzer::with_default_inputs().analyze(&hdiff_corpus::core_documents());
+    group.bench_function("sr_translation", |b| {
+        b.iter(|| {
+            let gen = AbnfGenerator::new(analysis.grammar.clone(), GenOptions::default());
+            let mut tr = SrTranslator::new(gen);
+            std::hint::black_box(tr.translate_all(&analysis.requirements))
+        });
+    });
+
+    let hdiff = HDiff::new(HdiffConfig::quick());
+    let cases = hdiff.generate_cases(&analysis);
+    group.bench_function("differential_testing", |b| {
+        b.iter(|| {
+            let engine = DiffEngine::standard();
+            std::hint::black_box(engine.run(&cases))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: workflow cost with and without replay reduction —
+//! quantifying the paper's step-2 heuristics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdiff_diff::Workflow;
+use hdiff_gen::{catalog, Origin, TestCase};
+
+fn catalog_cases() -> Vec<TestCase> {
+    let mut out = Vec::new();
+    let mut uuid = 1u64;
+    for entry in catalog::catalog() {
+        for (req, note) in &entry.requests {
+            out.push(TestCase {
+                uuid,
+                request: req.clone(),
+                assertions: Vec::new(),
+                origin: Origin::Catalog(entry.id.to_string()),
+                note: note.clone(),
+            });
+            uuid += 1;
+        }
+    }
+    out
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let cases = catalog_cases();
+    let mut group = c.benchmark_group("replay_reduction");
+    group.sample_size(20);
+    for reduction in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("workflow", if reduction { "reduced" } else { "exhaustive" }),
+            &reduction,
+            |b, &reduction| {
+                b.iter(|| {
+                    let mut w = Workflow::standard();
+                    w.replay_reduction = reduction;
+                    let mut replays = 0usize;
+                    for case in &cases {
+                        let o = w.run_case(case);
+                        replays += o.chains.iter().map(|ch| ch.replays.len()).sum::<usize>();
+                    }
+                    std::hint::black_box(replays)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

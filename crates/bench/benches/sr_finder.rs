@@ -1,0 +1,40 @@
+//! Criterion bench: sentiment SR finder vs keyword grep over the corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdiff_analyzer::{sentences, SentimentClassifier};
+
+fn bench_sr_finder(c: &mut Criterion) {
+    let docs = hdiff_corpus::core_documents();
+    let all_sentences: Vec<_> = docs.iter().flat_map(|d| sentences(&d.full_text())).collect();
+    let classifier = SentimentClassifier::new();
+
+    let mut group = c.benchmark_group("sr_finder");
+    group.bench_function("sentiment_classifier", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                all_sentences.iter().filter(|s| classifier.is_requirement(&s.text)).count(),
+            )
+        });
+    });
+    group.bench_function("keyword_grep", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                all_sentences
+                    .iter()
+                    .filter(|s| SentimentClassifier::keyword_grep(&s.text))
+                    .count(),
+            )
+        });
+    });
+    group.bench_function("sentence_splitting", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                docs.iter().map(|d| sentences(&d.full_text()).len()).sum::<usize>(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sr_finder);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! The DESIGN.md §5 ablation studies, printed as a report:
+//!
+//! 1. replay reduction — candidate-set reduction factor;
+//! 2. predefined leaf rules — server rejection rate with vs. without;
+//! 3. recursion depth cap — output size/acceptance sweep;
+//! 4. mutation rounds — strict-parse survival per round count;
+//! 5. sentiment SR finder vs. RFC 2119 keyword grep — recall comparison;
+//! 6. ABNF-tree mutation — how often mutated-tree generation leaves the
+//!    grammar, and how the lenient products treat the escapees.
+
+use hdiff_analyzer::{sentences, DocumentAnalyzer, SentimentClassifier};
+use hdiff_diff::workflow::is_ambiguous;
+use hdiff_gen::{AbnfGenerator, GenOptions, MutationEngine, PredefinedRules, TreeMutator};
+use hdiff_servers::{interpret, ParserProfile};
+use hdiff_wire::{Method, Request, Version};
+
+fn main() {
+    let analysis = DocumentAnalyzer::with_default_inputs().analyze(&hdiff_corpus::core_documents());
+    let strict = ParserProfile::strict("baseline");
+
+    // ---- 1. replay reduction -------------------------------------------------
+    println!("== ablation 1: replay reduction (§IV-A step 2) ==");
+    let hdiff = hdiff_core::HDiff::new(hdiff_core::HdiffConfig::full());
+    let cases = hdiff.generate_cases(&analysis);
+    let ambiguous = cases.iter().filter(|c| is_ambiguous(&c.request.to_bytes())).count();
+    println!(
+        "  {} of {} generated cases are ambiguous -> replay workload reduced by {:.1}x",
+        ambiguous,
+        cases.len(),
+        cases.len() as f64 / ambiguous.max(1) as f64
+    );
+
+    // ---- 2. predefined leaf rules ---------------------------------------------
+    println!("\n== ablation 2: predefined leaf rules (§III-D) ==");
+    for (label, predefined) in [
+        ("with predefined", PredefinedRules::standard()),
+        ("without predefined", PredefinedRules::empty()),
+    ] {
+        let mut gen = AbnfGenerator::new(
+            analysis.grammar.clone(),
+            GenOptions { predefined, ..GenOptions::default() },
+        );
+        let hosts = gen.generate_many("Host", 200);
+        let accepted = hosts
+            .iter()
+            .filter(|h| {
+                let mut b = Request::builder();
+                b.method(Method::Get).target("/").version(Version::Http11).header("Host", h);
+                interpret(&strict, &b.build().to_bytes()).outcome.is_accept()
+            })
+            .count();
+        println!(
+            "  {label:<20}: {}/{} generated Host values accepted by the strict server ({:.0}%)",
+            accepted,
+            hosts.len(),
+            100.0 * accepted as f64 / hosts.len().max(1) as f64
+        );
+    }
+
+    // ---- 3. recursion depth cap ------------------------------------------------
+    println!("\n== ablation 3: recursion depth cap sweep ==");
+    for depth in [2usize, 4, 7, 10] {
+        let mut gen = AbnfGenerator::new(
+            analysis.grammar.clone(),
+            GenOptions { max_depth: depth, ..GenOptions::default() },
+        );
+        let msgs = gen.generate_many("HTTP-message", 50);
+        let avg: f64 =
+            msgs.iter().map(|m| m.len() as f64).sum::<f64>() / msgs.len().max(1) as f64;
+        println!(
+            "  depth {depth:>2}: {} distinct messages, average {avg:.0} bytes",
+            msgs.len()
+        );
+    }
+
+    // ---- 4. mutation rounds ------------------------------------------------------
+    println!("\n== ablation 4: mutation rounds vs strict-parse survival ==");
+    for rounds in [1usize, 2, 4, 8] {
+        let mut mutator = MutationEngine::new(7);
+        mutator.rounds = rounds;
+        let mut survived = 0usize;
+        const N: usize = 200;
+        for i in 0..N {
+            let mut req = Request::builder()
+                .method(Method::Get)
+                .target("/")
+                .version(Version::Http11)
+                .header("Host", format!("h{i}.com"))
+                .build();
+            mutator.mutate(&mut req);
+            if interpret(&strict, &req.to_bytes()).outcome.is_accept() {
+                survived += 1;
+            }
+        }
+        println!(
+            "  {rounds} round(s): {survived}/{N} mutants still accepted by the strict parser ({:.0}%)",
+            100.0 * survived as f64 / N as f64
+        );
+    }
+
+    // ---- 5. SR finder recall -------------------------------------------------------
+    println!("\n== ablation 5: sentiment SR finder vs RFC 2119 keyword grep ==");
+    let classifier = SentimentClassifier::new();
+    let mut sentiment_total = 0usize;
+    let mut grep_total = 0usize;
+    let mut sentiment_only = 0usize;
+    for doc in hdiff_corpus::core_documents() {
+        for s in sentences(&doc.full_text()) {
+            let by_sentiment = classifier.is_requirement(&s.text);
+            let by_grep = SentimentClassifier::keyword_grep(&s.text);
+            sentiment_total += usize::from(by_sentiment);
+            grep_total += usize::from(by_grep);
+            sentiment_only += usize::from(by_sentiment && !by_grep);
+        }
+    }
+    println!("  sentiment finder : {sentiment_total} candidate sentences");
+    println!("  keyword grep     : {grep_total} candidate sentences");
+    println!("  found only by the sentiment finder (keyword-less SRs): {sentiment_only}");
+
+    // ---- 6. tree mutation ---------------------------------------------------
+    println!("\n== ablation 6: ABNF-tree mutation (§III-D malformed host data) ==");
+    let mut tm = TreeMutator::new(0xab1a7e);
+    let values = tm.malformed_values(&analysis.grammar, "Host", 200);
+    let escaped = values
+        .iter()
+        .filter(|(v, _)| {
+            !hdiff_abnf::matcher::matches_with_budget(&analysis.grammar, "Host", v, 500_000)
+                .is_match()
+        })
+        .count();
+    println!(
+        "  {} of {} mutated-tree host values leave the Host grammar ({:.0}%)",
+        escaped,
+        values.len(),
+        100.0 * escaped as f64 / values.len().max(1) as f64
+    );
+    let mut lenient_accepts = 0usize;
+    let mut strict_accepts = 0usize;
+    let varnish = hdiff_servers::product(hdiff_servers::ProductId::Varnish);
+    for (v, _) in &values {
+        let mut b = Request::builder();
+        b.method(Method::Get).target("/").version(Version::Http11).header("Host", v);
+        let bytes = b.build().to_bytes();
+        if interpret(&varnish, &bytes).outcome.is_accept() {
+            lenient_accepts += 1;
+        }
+        if interpret(&strict, &bytes).outcome.is_accept() {
+            strict_accepts += 1;
+        }
+    }
+    println!(
+        "  acceptance of the mutants: varnish (transparent) {}/{}, strict baseline {}/{}",
+        lenient_accepts,
+        values.len(),
+        strict_accepts,
+        values.len()
+    );
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 7: server pairs affected by the three attacks.
+
+use hdiff_gen::AttackClass;
+
+fn main() {
+    let report = hdiff_bench::full_run();
+    println!("{}", hdiff_core::report::render_figure7(&report.summary));
+
+    for class in AttackClass::ALL {
+        let pairs = report.summary.pairs.pairs(class);
+        println!("[{class}] pairs:");
+        for (front, back) in pairs {
+            println!("  {front} -> {back}");
+        }
+    }
+    println!(
+        "\nCPDoS-affected proxies: {} of 6 (paper: all proxies affected)",
+        report.summary.pairs.fronts(AttackClass::Cpdos).len()
+    );
+}

@@ -1,0 +1,20 @@
+//! Regenerates the §IV-B statistics paragraph ("Table 0").
+
+fn main() {
+    let report = hdiff_bench::full_run();
+    println!("{}", hdiff_core::report::render_stats(&report));
+    println!(
+        "conversion: {} candidates -> {} sentences converted, {} dropped, {} anaphora merges",
+        report.analysis.stats.convert.candidates,
+        report.analysis.stats.convert.converted,
+        report.analysis.stats.convert.dropped,
+        report.analysis.stats.convert.anaphora_merges,
+    );
+    println!(
+        "adaptation: {} namespaced, {} prose expanded, {} custom substitutions, {} unresolved",
+        report.analysis.adapt_report.namespaced.len(),
+        report.analysis.adapt_report.expanded_prose.len(),
+        report.analysis.adapt_report.substituted.len(),
+        report.analysis.adapt_report.still_undefined.len(),
+    );
+}

@@ -1,0 +1,23 @@
+//! Regenerates Table II: the attack-vector inventory with example payloads
+//! and the findings each produced.
+
+use hdiff_gen::catalog;
+use hdiff_wire::ascii;
+
+fn main() {
+    let report = hdiff_bench::full_run();
+    println!("{}", hdiff_core::report::render_table2(&report.summary));
+
+    println!("== example payloads per vector ==");
+    for entry in catalog::catalog() {
+        println!("\n[{}] {} ({})", entry.group, entry.description, entry.id);
+        for (req, note) in entry.requests.iter().take(2) {
+            println!("  {note}:");
+            for line in ascii::escape_bytes(&req.to_bytes()).split("\\r\\n") {
+                if !line.is_empty() {
+                    println!("    {line}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Pipeline configuration.
+
+/// Configuration for one [`crate::HDiff`] run.
+#[derive(Debug, Clone)]
+pub struct HdiffConfig {
+    /// Variants the SR translator produces per (SR, strategy).
+    pub sr_variants: usize,
+    /// Valid seed requests generated from the ABNF grammar.
+    pub abnf_seeds: usize,
+    /// Mutants derived from each seed.
+    pub mutants_per_seed: usize,
+    /// Mutation rounds per mutant (the paper keeps this small).
+    pub mutation_rounds: usize,
+    /// Include the Table II attack-vector catalog in the corpus.
+    pub include_catalog: bool,
+    /// RNG seed (full determinism per seed).
+    pub seed: u64,
+    /// Worker threads for the differential engine.
+    pub threads: usize,
+    /// ABNF generator recursion depth cap (the paper uses 7).
+    pub max_gen_depth: usize,
+}
+
+impl HdiffConfig {
+    /// The full experiment configuration (used by the table harnesses).
+    pub fn full() -> HdiffConfig {
+        HdiffConfig {
+            sr_variants: 3,
+            abnf_seeds: 120,
+            mutants_per_seed: 6,
+            mutation_rounds: 2,
+            include_catalog: true,
+            seed: 0x4844_6966_6621,
+            threads: 4,
+            max_gen_depth: 7,
+        }
+    }
+
+    /// A fast configuration for tests and examples.
+    pub fn quick() -> HdiffConfig {
+        HdiffConfig {
+            sr_variants: 2,
+            abnf_seeds: 20,
+            mutants_per_seed: 2,
+            mutation_rounds: 2,
+            include_catalog: true,
+            seed: 0x4844_6966_6621,
+            threads: 2,
+            max_gen_depth: 7,
+        }
+    }
+}
+
+impl Default for HdiffConfig {
+    fn default() -> Self {
+        HdiffConfig::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let full = HdiffConfig::full();
+        let quick = HdiffConfig::quick();
+        assert!(full.abnf_seeds > quick.abnf_seeds);
+        assert_eq!(HdiffConfig::default().abnf_seeds, full.abnf_seeds);
+        assert_eq!(full.max_gen_depth, 7, "the paper's depth cap");
+    }
+}

@@ -1,0 +1,31 @@
+//! HDiff orchestration: the end-to-end pipeline of Fig. 3.
+//!
+//! ```text
+//! RFC corpus ──► Documentation Analyzer ──► SRs + ABNF grammar
+//!                                             │
+//!                       SR translator ◄───────┤────► ABNF generator + mutations
+//!                             │                              │
+//!                             └───────── test cases ─────────┘
+//!                                             │
+//!                              Differential Testing (Fig. 6)
+//!                                             │
+//!                        findings, SR violations, Table I, Fig. 7
+//! ```
+//!
+//! [`HDiff`] runs the whole thing; [`report`] renders the paper's tables.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hdiff_core::{HDiff, HdiffConfig};
+//!
+//! let report = HDiff::new(HdiffConfig::quick()).run();
+//! println!("{}", hdiff_core::report::render_table1(&report.summary));
+//! ```
+
+pub mod config;
+pub mod pipeline;
+pub mod report;
+
+pub use config::HdiffConfig;
+pub use pipeline::{HDiff, PipelineReport};

@@ -1,0 +1,248 @@
+//! The end-to-end HDiff pipeline.
+
+use hdiff_analyzer::{AnalyzerOutput, DocumentAnalyzer};
+use hdiff_diff::{DiffEngine, RunSummary};
+use hdiff_gen::{
+    catalog, AbnfGenerator, GenOptions, MutationEngine, Origin, SrTranslator, TestCase,
+    TreeMutator,
+};
+use hdiff_wire::{Method, Request, Version};
+
+use crate::config::HdiffConfig;
+
+/// Everything a pipeline run produced.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// Documentation-analyzer output (SRs, grammar, statistics).
+    pub analysis: AnalyzerOutput,
+    /// Test cases translated from SRs.
+    pub sr_cases: usize,
+    /// Test cases generated from the ABNF grammar (+ mutations).
+    pub abnf_cases: usize,
+    /// Catalog cases.
+    pub catalog_cases: usize,
+    /// The generated test-case corpus (for exploit reports and replay).
+    pub cases: Vec<TestCase>,
+    /// The differential-testing summary (findings, verdicts, pairs).
+    pub summary: RunSummary,
+}
+
+impl PipelineReport {
+    /// Looks up the test case behind a finding.
+    pub fn case(&self, uuid: u64) -> Option<&TestCase> {
+        self.cases.iter().find(|c| c.uuid == uuid)
+    }
+}
+
+impl PipelineReport {
+    /// Total generated test cases.
+    pub fn total_cases(&self) -> usize {
+        self.sr_cases + self.abnf_cases + self.catalog_cases
+    }
+}
+
+/// The orchestrator.
+#[derive(Debug)]
+pub struct HDiff {
+    config: HdiffConfig,
+}
+
+impl HDiff {
+    /// Creates an orchestrator with the given configuration.
+    pub fn new(config: HdiffConfig) -> HDiff {
+        HDiff { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HdiffConfig {
+        &self.config
+    }
+
+    /// Runs the Documentation Analyzer only.
+    pub fn analyze(&self) -> AnalyzerOutput {
+        DocumentAnalyzer::with_default_inputs().analyze(&hdiff_corpus::core_documents())
+    }
+
+    /// Generates the full test-case corpus from an analysis.
+    pub fn generate_cases(&self, analysis: &AnalyzerOutput) -> Vec<TestCase> {
+        let mut cases = Vec::new();
+        let mut next_uuid = 1u64;
+
+        // 1. SR translator cases (with assertions).
+        let gen = AbnfGenerator::new(
+            analysis.grammar.clone(),
+            GenOptions { max_depth: self.config.max_gen_depth, seed: self.config.seed, ..GenOptions::default() },
+        );
+        let mut translator = SrTranslator::new(gen);
+        translator.variants = self.config.sr_variants;
+        let mut sr_cases = translator.translate_all(&analysis.requirements);
+        for c in &mut sr_cases {
+            c.uuid = next_uuid;
+            next_uuid += 1;
+        }
+        cases.extend(sr_cases);
+
+        // 2. ABNF-generated seeds plus mutations.
+        let mut gen = AbnfGenerator::new(
+            analysis.grammar.clone(),
+            GenOptions { max_depth: self.config.max_gen_depth, seed: self.config.seed ^ 0xabcd, ..GenOptions::default() },
+        );
+        let mut mutator = MutationEngine::new(self.config.seed ^ 0x5eed);
+        mutator.rounds = self.config.mutation_rounds;
+        let hosts = gen.generate_many("Host", self.config.abnf_seeds);
+        let targets = gen.generate_many("origin-form", self.config.abnf_seeds / 2 + 1);
+        let te_values = gen.generate_many("transfer-coding", 8);
+        let expect_values = gen.generate_many("Expect", 4);
+        for i in 0..self.config.abnf_seeds {
+            let host = &hosts[i % hosts.len().max(1)];
+            let target = targets.get(i % targets.len().max(1)).cloned().unwrap_or_else(|| b"/".to_vec());
+            let mut b = Request::builder();
+            b.method(if i % 3 == 0 { Method::Post } else { Method::Get })
+                .target(&target)
+                .version(Version::Http11)
+                .header("Host", host);
+            match i % 5 {
+                0 => {
+                    b.header("Content-Length", "3").body(b"abc".to_vec());
+                }
+                1 => {
+                    let te = &te_values[i % te_values.len().max(1)];
+                    if te == b"chunked" {
+                        b.header("Transfer-Encoding", te).body(hdiff_wire::encode_chunked(b"abc"));
+                    } else {
+                        b.header("X-Accept-Coding", te);
+                    }
+                }
+                2 => {
+                    let e = &expect_values[i % expect_values.len().max(1)];
+                    b.header("Expect", e);
+                }
+                _ => {}
+            }
+            let seed_req = b.build();
+            let mut seed_case = TestCase::generated(next_uuid, seed_req.clone(), "abnf seed");
+            seed_case.origin = Origin::Abnf;
+            next_uuid += 1;
+            cases.push(seed_case);
+            for _ in 0..self.config.mutants_per_seed {
+                let mut mutant = seed_req.clone();
+                let notes = mutator.mutate(&mut mutant);
+                let mut c = TestCase::generated(next_uuid, mutant, notes.join("; "));
+                c.origin = Origin::Abnf;
+                next_uuid += 1;
+                cases.push(c);
+            }
+        }
+
+        // 2b. Tree-mutated host values: "mutate the original ABNF syntax
+        // tree to generate malformed host data" (§III-D).
+        let mut tree_mutator = TreeMutator::new(self.config.seed ^ 0x7ee);
+        for (value, op) in tree_mutator.malformed_values(
+            &analysis.grammar,
+            "Host",
+            self.config.abnf_seeds / 4,
+        ) {
+            if value.is_empty() || value.len() > 256 {
+                continue;
+            }
+            let mut b = Request::builder();
+            b.method(Method::Get).target("/").version(Version::Http11).header("Host", &value);
+            let mut c = TestCase::generated(next_uuid, b.build(), format!("tree-mutated host ({op:?})"));
+            c.origin = Origin::Abnf;
+            next_uuid += 1;
+            cases.push(c);
+        }
+
+        // 3. The Table II catalog.
+        if self.config.include_catalog {
+            for entry in catalog::catalog() {
+                for (req, note) in &entry.requests {
+                    cases.push(TestCase {
+                        uuid: next_uuid,
+                        request: req.clone(),
+                        assertions: Vec::new(),
+                        origin: Origin::Catalog(entry.id.to_string()),
+                        note: note.clone(),
+                    });
+                    next_uuid += 1;
+                }
+            }
+        }
+        cases
+    }
+
+    /// Runs the whole pipeline.
+    pub fn run(&self) -> PipelineReport {
+        let analysis = self.analyze();
+        let cases = self.generate_cases(&analysis);
+
+        let sr_cases = cases.iter().filter(|c| matches!(c.origin, Origin::Sr(_))).count();
+        let abnf_cases = cases.iter().filter(|c| matches!(c.origin, Origin::Abnf)).count();
+        let catalog_cases = cases.iter().filter(|c| matches!(c.origin, Origin::Catalog(_))).count();
+
+        let mut engine = DiffEngine::standard();
+        engine.threads = self.config.threads;
+        let summary = engine.run(&cases);
+
+        PipelineReport { analysis, sr_cases, abnf_cases, catalog_cases, cases, summary }
+    }
+}
+
+impl Default for HDiff {
+    fn default() -> Self {
+        HDiff::new(HdiffConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdiff_gen::AttackClass;
+
+    #[test]
+    fn quick_pipeline_end_to_end() {
+        let report = HDiff::new(HdiffConfig::quick()).run();
+        assert!(report.analysis.stats.srs >= 40);
+        assert!(report.sr_cases > 0);
+        assert!(report.abnf_cases > 0);
+        assert!(report.catalog_cases >= 14);
+        assert_eq!(report.summary.cases, report.total_cases());
+        for class in AttackClass::ALL {
+            assert!(
+                !report.summary.findings_of(class).is_empty(),
+                "no {class} findings"
+            );
+        }
+        assert!(!report.summary.sr_violations.is_empty());
+    }
+
+    #[test]
+    fn quick_pipeline_reproduces_table1_verdicts() {
+        let report = HDiff::new(HdiffConfig::quick()).run();
+        let v = &report.summary.verdicts;
+        // The expected Table I matrix (see the paper).
+        let expected: [(&str, &[AttackClass]); 10] = [
+            ("iis", &[AttackClass::Hrs, AttackClass::Hot]),
+            ("tomcat", &[AttackClass::Hrs, AttackClass::Hot]),
+            ("weblogic", &[AttackClass::Hrs, AttackClass::Hot]),
+            ("lighttpd", &[AttackClass::Hrs]),
+            ("apache", &[AttackClass::Cpdos]),
+            ("nginx", &[AttackClass::Hot, AttackClass::Cpdos]),
+            ("varnish", &[AttackClass::Hrs, AttackClass::Hot, AttackClass::Cpdos]),
+            ("squid", &[AttackClass::Hrs, AttackClass::Cpdos]),
+            ("haproxy", &[AttackClass::Hrs, AttackClass::Hot, AttackClass::Cpdos]),
+            ("ats", &[AttackClass::Hrs, AttackClass::Cpdos]),
+        ];
+        for (product, classes) in expected {
+            for class in AttackClass::ALL {
+                let expected_mark = classes.contains(&class);
+                assert_eq!(
+                    v.is_vulnerable(product, class),
+                    expected_mark,
+                    "{product} x {class}: expected {expected_mark}, verdicts {:?}",
+                    v.classes(product)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Embedded curated RFC excerpts (see crate docs for the substitution note).
+
+mod rfc3986;
+mod rfc5321;
+mod rfc7230;
+mod rfc7231;
+mod rfc7232;
+mod rfc7233;
+mod rfc7234;
+mod rfc7235;
+
+pub use rfc3986::TEXT as RFC3986;
+pub use rfc5321::TEXT as RFC5321;
+pub use rfc7230::TEXT as RFC7230;
+pub use rfc7231::TEXT as RFC7231;
+pub use rfc7232::TEXT as RFC7232;
+pub use rfc7233::TEXT as RFC7233;
+pub use rfc7234::TEXT as RFC7234;
+pub use rfc7235::TEXT as RFC7235;

@@ -1,0 +1,193 @@
+//! Curated excerpt of RFC 3986 — URI: Generic Syntax (reference document
+//! pulled in by the ABNF adaptor for `uri-host` and friends).
+
+/// The embedded document text.
+pub const TEXT: &str = r##"
+1.  Introduction
+
+   A Uniform Resource Identifier (URI) provides a simple and extensible
+   means for identifying a resource. This specification defines the
+   generic URI syntax and a process for resolving URI references that
+   might be in relative form, along with guidelines and security
+   considerations for the use of URIs on the Internet.
+
+2.1.  Percent-Encoding
+
+   A percent-encoding mechanism is used to represent a data octet in a
+   component when that octet's corresponding character is outside the
+   allowed set or is being used as a delimiter of, or within, the
+   component.
+
+     pct-encoded = "%" HEXDIG HEXDIG
+
+   The uppercase hexadecimal digits 'A' through 'F' are equivalent to
+   the lowercase digits 'a' through 'f', respectively. For consistency,
+   URI producers and normalizers SHOULD use uppercase hexadecimal digits
+   for all percent-encodings.
+
+2.2.  Reserved Characters
+
+   URIs include components and subcomponents that are delimited by
+   characters in the "reserved" set.
+
+     reserved    = gen-delims / sub-delims
+     gen-delims  = ":" / "/" / "?" / "#" / "[" / "]" / "@"
+     sub-delims  = "!" / "$" / "&" / "'" / "(" / ")" / "*" / "+" / "," /
+      ";" / "="
+
+2.3.  Unreserved Characters
+
+   Characters that are allowed in a URI but do not have a reserved
+   purpose are called unreserved.
+
+     unreserved  = ALPHA / DIGIT / "-" / "." / "_" / "~"
+
+3.  Syntax Components
+
+   The generic URI syntax consists of a hierarchical sequence of
+   components referred to as the scheme, authority, path, query, and
+   fragment.
+
+     URI = scheme ":" hier-part [ "?" query ] [ "#" fragment ]
+     hier-part = ( "//" authority path-abempty ) / path-absolute /
+      path-rootless / path-empty
+     URI-reference = URI / relative-ref
+     absolute-URI = scheme ":" hier-part [ "?" query ]
+     relative-ref = relative-part [ "?" query ] [ "#" fragment ]
+     relative-part = ( "//" authority path-abempty ) / path-absolute /
+      path-noscheme / path-empty
+
+3.1.  Scheme
+
+   Each URI begins with a scheme name that refers to a specification for
+   assigning identifiers within that scheme.
+
+     scheme = ALPHA *( ALPHA / DIGIT / "+" / "-" / "." )
+
+   An implementation SHOULD accept uppercase letters as equivalent to
+   lowercase in scheme names for the sake of robustness, but SHOULD only
+   produce lowercase scheme names.
+
+3.2.  Authority
+
+   Many URI schemes include a hierarchical element for a naming
+   authority, such that governance of the name space defined by the
+   remainder of the URI is delegated to that authority.
+
+     authority = [ userinfo "@" ] host [ ":" port ]
+
+   The authority component is preceded by a double slash ("//") and is
+   terminated by the next slash ("/"), question mark ("?"), or number
+   sign ("#") character, or by the end of the URI. URI producers and
+   normalizers SHOULD omit the port component and its ":" delimiter if
+   port is empty.
+
+3.2.1.  User Information
+
+   The userinfo subcomponent may consist of a user name and,
+   optionally, scheme-specific information about how to gain
+   authorization to access the resource.
+
+     userinfo = *( unreserved / pct-encoded / sub-delims / ":" )
+
+   Use of the format "user:password" in the userinfo field is
+   deprecated. Applications SHOULD NOT render as clear text any data
+   after the first colon found within a userinfo subcomponent.
+   A recipient ought to be careful when interpreting an authority that
+   contains an "@" character, since everything before the "@" is
+   userinfo and only the remainder identifies the host; naive parsers
+   that treat the leading substring as the host can be misled about
+   the identity of the target.
+
+3.2.2.  Host
+
+   The host subcomponent of authority is identified by an IP literal
+   encapsulated within square brackets, an IPv4 address in dotted-
+   decimal form, or a registered name.
+
+     host = IP-literal / IPv4address / reg-name
+     IP-literal = "[" ( IPv6address / IPvFuture ) "]"
+     IPvFuture = "v" 1*HEXDIG "." 1*( unreserved / sub-delims / ":" )
+     IPv6address = ( 6( h16 ":" ) ls32 ) / ( "::" 5( h16 ":" ) ls32 ) /
+      ( [ h16 ] "::" 4( h16 ":" ) ls32 ) / ( [ *1( h16 ":" ) h16 ] "::"
+      3( h16 ":" ) ls32 ) / ( [ *2( h16 ":" ) h16 ] "::" 2( h16 ":" )
+      ls32 ) / ( [ *3( h16 ":" ) h16 ] "::" h16 ":" ls32 ) / ( [ *4(
+      h16 ":" ) h16 ] "::" ls32 ) / ( [ *5( h16 ":" ) h16 ] "::" h16 )
+      / ( [ *6( h16 ":" ) h16 ] "::" )
+     h16 = 1*4HEXDIG
+     ls32 = ( h16 ":" h16 ) / IPv4address
+     IPv4address = dec-octet "." dec-octet "." dec-octet "." dec-octet
+     dec-octet = DIGIT / ( %x31-39 DIGIT ) / ( "1" 2DIGIT ) / ( "2"
+      %x30-34 DIGIT ) / ( "25" %x30-35 )
+     reg-name = *( unreserved / pct-encoded / sub-delims )
+
+   The host subcomponent is case-insensitive. A registered name
+   intended for lookup in the DNS uses the syntax defined in Section
+   3.5 of RFC 1034. Producers SHOULD use lowercase letters for
+   registered names and hexadecimal addresses for the sake of
+   uniformity.
+
+3.2.3.  Port
+
+   The port subcomponent of authority is designated by an optional port
+   number in decimal following the host and delimited from it by a
+   single colon (":") character.
+
+     port = *DIGIT
+
+   A scheme may define a default port. URI producers and normalizers
+   SHOULD omit the port component and its ":" delimiter if port is
+   empty or if its value would be the same as that of the scheme's
+   default.
+
+3.3.  Path
+
+   The path component contains data, usually organized in hierarchical
+   form, that, along with data in the non-hierarchical query component,
+   serves to identify a resource.
+
+     path = path-abempty / path-absolute / path-noscheme /
+      path-rootless / path-empty
+     path-abempty = *( "/" segment )
+     path-absolute = "/" [ segment-nz *( "/" segment ) ]
+     path-noscheme = segment-nz-nc *( "/" segment )
+     path-rootless = segment-nz *( "/" segment )
+     path-empty = 0pchar
+     segment = *pchar
+     segment-nz = 1*pchar
+     segment-nz-nc = 1*( unreserved / pct-encoded / sub-delims / "@" )
+     pchar = unreserved / pct-encoded / sub-delims / ":" / "@"
+
+   The path segments "." and "..", also known as dot-segments, are
+   defined for relative reference within the path name hierarchy. An
+   implementation MUST remove dot-segments from a path before using it
+   to identify a resource, since attackers use dot-segments to traverse
+   outside the intended name space.
+
+3.4.  Query
+
+   The query component contains non-hierarchical data that, along with
+   data in the path component, serves to identify a resource within the
+   scope of the URI's scheme and naming authority.
+
+     query = *( pchar / "/" / "?" )
+
+3.5.  Fragment
+
+   The fragment identifier component of a URI allows indirect
+   identification of a secondary resource by reference to a primary
+   resource and additional identifying information.
+
+     fragment = *( pchar / "/" / "?" )
+
+7.6.  Semantic Attacks
+
+   Because a URI is composed of multiple components with differing
+   delimiters, an attacker can craft URIs that a human or a lenient
+   parser interprets differently than a conformant parser. For example,
+   the URI "http://trusted.example@evil.example/" identifies the host
+   evil.example, while a careless reader assumes trusted.example. A
+   parser MUST identify the host as the substring after the last "@" in
+   the authority and before the next ":" or end of authority; any other
+   interpretation enables authority spoofing.
+"##;

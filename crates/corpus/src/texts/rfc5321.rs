@@ -1,0 +1,92 @@
+//! Curated excerpt of RFC 5321 — Simple Mail Transfer Protocol.
+//!
+//! Not part of the HTTP evaluation corpus: this document backs the
+//! `smtp_preview` example, demonstrating the paper's §V claim that the
+//! Documentation Analyzer generalizes to other RFC-specified protocols.
+
+/// The embedded document text.
+pub const TEXT: &str = r##"
+2.  The SMTP Model
+
+   The SMTP design can be pictured as a sender-SMTP process that
+   transfers mail to one or more receiver-SMTP processes. The means by
+   which a mail message is presented to an SMTP client, and how that
+   client determines the identifier(s) ("names") of the domain(s) to
+   which mail messages are to be transferred, is a local matter.
+
+2.3.5.  Domain Names
+
+   A domain name (or often just a "domain") consists of one or more
+   components, separated by dots if more than one appears. Only resolvable,
+   fully-qualified domain names (FQDNs) are permitted when domain names
+   are used in SMTP. A sender MUST NOT send a domain name that is
+   unresolvable in the address parameters of a MAIL command. The domain
+   name given in the EHLO command MUST be either a primary host name or,
+   if the host has no name, an address literal.
+
+3.3.  Mail Transactions
+
+   There are three steps to SMTP mail transactions. The transaction
+   starts with a MAIL command that gives the sender identification. A
+   series of one or more RCPT commands follows, giving the receiver
+   information. Then, a DATA command initiates transfer of the mail data
+   and is terminated by the "end of mail" data indicator, which also
+   confirms the transaction.
+
+     mail-command = "MAIL FROM:" reverse-path [ SP mail-parameters ] CRLF
+     rcpt-command = "RCPT TO:" forward-path [ SP rcpt-parameters ] CRLF
+     reverse-path = path / empty-path
+     forward-path = path
+     path = "<" [ a-d-l ":" ] mailbox ">"
+     empty-path = "<>"
+     a-d-l = at-domain *( "," at-domain )
+     at-domain = "@" domain
+     mailbox = local-part "@" ( domain / address-literal )
+     local-part = dot-string / quoted-string-smtp
+     dot-string = atom *( "." atom )
+     atom = 1*atext
+     atext = ALPHA / DIGIT / "!" / "#" / "$" / "%" / "&" / "'" / "*" /
+      "+" / "-" / "/" / "=" / "?" / "^" / "_" / "`" / "{" / "|" / "}" /
+      "~"
+     quoted-string-smtp = DQUOTE *qcontent DQUOTE
+     qcontent = %x20-21 / %x23-5B / %x5D-7E
+     domain = sub-domain *( "." sub-domain )
+     sub-domain = let-dig [ ldh-str ]
+     let-dig = ALPHA / DIGIT
+     ldh-str = *( ALPHA / DIGIT / "-" ) let-dig
+     address-literal = "[" 1*( DIGIT / "." / ":" ) "]"
+     mail-parameters = esmtp-param *( SP esmtp-param )
+     rcpt-parameters = esmtp-param *( SP esmtp-param )
+     esmtp-param = esmtp-keyword [ "=" esmtp-value ]
+     esmtp-keyword = ( ALPHA / DIGIT ) *( ALPHA / DIGIT / "-" )
+     esmtp-value = 1*( %x21-3C / %x3E-7E )
+
+   The sender MUST NOT send a MAIL command with a reverse-path that the
+   receiver has already rejected in this session. A server MUST NOT
+   apply the mail transaction until the end of mail data indicator is
+   received. If a RCPT command appears without a previous MAIL command,
+   the server MUST respond with a 503 "Bad sequence of commands"
+   response.
+
+4.1.1.1.  Extended HELLO or HELLO
+
+   These commands are used to identify the SMTP client to the SMTP
+   server. A server MUST respond with a 501 status code to an EHLO
+   command that contains an invalid domain name or address literal. An
+   SMTP server MAY verify that the domain name argument in the EHLO
+   command actually corresponds to the IP address of the client.
+   However, if the verification fails, the server MUST NOT refuse to
+   accept a message on that basis.
+
+4.5.3.1.  Size Limits and Minimums
+
+   There are several objects that have required minimum or maximum
+   sizes. Every implementation MUST be able to receive objects of at
+   least these sizes. Objects larger than these sizes SHOULD be avoided
+   when possible. To the maximum extent possible, implementation
+   techniques that impose no limits on the length of these objects
+   should be used. A server that receives a command line longer than it
+   can handle MUST respond with a 500 status code rather than
+   truncating the line, since acting on a truncated command changes the
+   meaning of the transaction.
+"##;

@@ -1,0 +1,916 @@
+//! Curated excerpt of RFC 7230 — HTTP/1.1: Message Syntax and Routing.
+
+/// The embedded document text.
+pub const TEXT: &str = r##"
+1.  Introduction
+
+   The Hypertext Transfer Protocol (HTTP) is a stateless application-level
+   protocol for distributed, collaborative, hypertext information systems.
+   This document provides an overview of HTTP architecture and its
+   associated terminology, defines the "http" and "https" Uniform Resource
+   Identifier (URI) schemes, defines the HTTP/1.1 message syntax and
+   parsing requirements, and describes related security concerns for
+   implementations.
+
+   HTTP is a generic interface protocol for information systems. It is
+   designed to hide the details of how a service is implemented by
+   presenting a uniform interface to clients that is independent of the
+   types of resources provided. A server is not required to honor every
+   request. Likewise, clients are not required to wait for a response
+   before sending another request.
+
+1.1.  Requirements Notation
+
+   The key words "MUST", "MUST NOT", "REQUIRED", "SHALL", "SHALL NOT",
+   "SHOULD", "SHOULD NOT", "RECOMMENDED", "MAY", and "OPTIONAL" in this
+   document are to be interpreted as described in RFC 2119.
+
+   Conformance criteria and considerations regarding error handling are
+   defined in Section 2.5. An implementation is considered conformant if
+   it complies with all of the requirements associated with the roles it
+   partakes in HTTP.
+
+1.2.  Syntax Notation
+
+   This specification uses the Augmented Backus-Naur Form (ABNF) notation
+   of RFC 5234 with a list extension that allows for compact definition of
+   comma-separated lists. The following core rules are included by
+   reference: ALPHA (letters), CR (carriage return), CRLF (CR LF), CTL
+   (controls), DIGIT (decimal 0-9), DQUOTE (double quote), HEXDIG
+   (hexadecimal 0-9/A-F/a-f), HTAB (horizontal tab), LF (line feed),
+   OCTET (any 8-bit sequence of data), SP (space), and VCHAR (any visible
+   US-ASCII character).
+
+2.  Architecture
+
+   HTTP was created for the World Wide Web architecture and has evolved
+   over time to support the scalability needs of a worldwide hypertext
+   system. Much of that architecture is reflected in the terminology and
+   syntax productions used to define HTTP.
+
+2.1.  Client/Server Messaging
+
+   HTTP is a stateless request/response protocol that operates by
+   exchanging messages across a reliable transport- or session-layer
+   connection. An HTTP client is a program that establishes a connection
+   to a server for the purpose of sending one or more HTTP requests. An
+   HTTP server is a program that accepts connections in order to service
+   HTTP requests by sending HTTP responses.
+
+   The terms "client" and "server" refer only to the roles that these
+   programs perform for a particular connection. The same program might
+   act as a client on some connections and a server on others.
+
+2.3.  Intermediaries
+
+   HTTP enables the use of intermediaries to satisfy requests through a
+   chain of connections. There are three common forms of HTTP
+   intermediary: proxy, gateway, and tunnel. In some cases, a single
+   intermediary might act as an origin server, proxy, gateway, or tunnel,
+   switching behavior based on the nature of each request.
+
+   A proxy is a message-forwarding agent that is selected by the client,
+   usually via local configuration rules, to receive requests for some
+   type of absolute URI and attempt to satisfy those requests via
+   translation through the HTTP interface. A gateway (a.k.a. reverse
+   proxy) is an intermediary that acts as an origin server for the
+   outbound connection but translates received requests and forwards them
+   inbound to another server or servers.
+
+   A tunnel acts as a blind relay between two connections without
+   changing the messages. HTTP requirements placed on intermediaries do
+   not apply to tunnels while they are acting as tunnels.
+
+2.5.  Conformance and Error Handling
+
+   This specification targets conformance criteria according to the role
+   of a participant in HTTP communication. Hence, HTTP requirements are
+   placed on senders, recipients, clients, servers, user agents,
+   intermediaries, origin servers, proxies, gateways, or caches, depending
+   on what behavior is being constrained by the requirement.
+
+   An implementation is considered conformant if it complies with all of
+   the requirements associated with the roles it partakes in HTTP. A
+   sender MUST NOT generate protocol elements that convey a meaning that
+   is known by that sender to be false. A sender MUST NOT generate
+   protocol elements that do not match the grammar defined by the
+   corresponding ABNF rules.
+
+   A recipient MUST be able to parse any value of reasonable length that
+   is applicable to the recipient's role and that matches the grammar
+   defined by the corresponding ABNF rules. Unless noted otherwise, a
+   recipient MAY attempt to recover a usable protocol element from an
+   invalid construct. HTTP does not define specific error handling
+   mechanisms except when they have a direct impact on security, since
+   different applications of the protocol require different error
+   handling strategies.
+
+2.6.  Protocol Versioning
+
+   HTTP uses a "<major>.<minor>" numbering scheme to indicate versions of
+   the protocol. The protocol version as a whole indicates the sender's
+   conformance with the set of requirements laid out in that version's
+   corresponding specification of HTTP.
+
+     HTTP-version  = HTTP-name "/" DIGIT "." DIGIT
+     HTTP-name     = %x48.54.54.50 ; "HTTP", case-sensitive
+
+   The HTTP version number consists of two decimal digits separated by a
+   "." (period or decimal point). A sender MUST NOT send a version to
+   which it is not conformant. A client SHOULD send a request version
+   equal to the highest version to which the client is conformant and
+   whose major version is no higher than the highest version supported
+   by the server.
+
+   A server MAY send an HTTP/1.0 response to a request if it is known or
+   suspected that the client incorrectly implements the HTTP
+   specification. The intermediaries that process HTTP messages (i.e.,
+   all intermediaries other than those acting as tunnels) MUST send their
+   own HTTP-version in forwarded messages. In other words, an
+   intermediary is not allowed to blindly forward the first line of an
+   HTTP message without ensuring that the protocol version in that
+   message matches a version to which that intermediary is conformant.
+   A server MAY send a 505 (HTTP Version Not Supported) response if it
+   cannot send a response using the major version used in the client's
+   request.
+
+2.7.  Uniform Resource Identifiers
+
+   Uniform Resource Identifiers (URIs) are used throughout HTTP as the
+   means for identifying resources. The definitions of "URI-reference",
+   "absolute-URI", "relative-part", "scheme", "authority", "port",
+   "host", "path-abempty", "segment", "query", and "fragment" are adopted
+   from the URI generic syntax.
+
+     URI-reference = <URI-reference, see [RFC3986], Section 4.1>
+     absolute-URI  = <absolute-URI, see [RFC3986], Section 4.3>
+     relative-part = <relative-part, see [RFC3986], Section 4.2>
+     scheme        = <scheme, see [RFC3986], Section 3.1>
+     authority     = <authority, see [RFC3986], Section 3.2>
+     uri-host      = <host, see [RFC3986], Section 3.2.2>
+     port          = <port, see [RFC3986], Section 3.2.3>
+     path-abempty  = <path-abempty, see [RFC3986], Section 3.3>
+     segment       = <segment, see [RFC3986], Section 3.3>
+     query         = <query, see [RFC3986], Section 3.4>
+     fragment      = <fragment, see [RFC3986], Section 3.5>
+     absolute-path = 1*( "/" segment )
+     partial-URI   = relative-part [ "?" query ]
+
+   A sender MUST NOT generate an "http" URI with an empty host
+   identifier. A recipient that processes such a URI reference MUST
+   reject it as invalid.
+
+3.  Message Format
+
+   All HTTP/1.1 messages consist of a start-line followed by a sequence
+   of octets in a format similar to the Internet Message Format: zero or
+   more header fields (collectively referred to as the "headers" or the
+   "header section"), an empty line indicating the end of the header
+   section, and an optional message body.
+
+     HTTP-message   = start-line
+                      *( header-field CRLF )
+                      CRLF
+                      [ message-body ]
+
+   The normal procedure for parsing an HTTP message is to read the
+   start-line into a structure, read each header field into a hash table
+   by field name until the empty line, and then use the parsed data to
+   determine if a message body is expected. If a message body has been
+   indicated, then it is read as a stream until an amount of octets
+   equal to the message body length is read or the connection is closed.
+
+   A recipient MUST parse an HTTP message as a sequence of octets in an
+   encoding that is a superset of US-ASCII. Parsing an HTTP message as a
+   stream of Unicode characters, without regard for the specific
+   encoding, creates security vulnerabilities due to the varying ways
+   that string processing libraries handle invalid multibyte character
+   sequences that contain the octet LF. A sender MUST NOT send whitespace
+   between the start-line and the first header field.
+
+   A recipient that receives whitespace between the start-line and the
+   first header field MUST either reject the message as invalid or
+   consume each whitespace-preceded line without further processing of it.
+
+3.1.  Start Line
+
+   An HTTP message can be either a request from client to server or a
+   response from server to client. Syntactically, the two types of
+   message differ only in the start-line, which is either a request-line
+   (for requests) or a status-line (for responses), and in the algorithm
+   for determining the length of the message body.
+
+     start-line     = request-line / status-line
+
+3.1.1.  Request Line
+
+   A request-line begins with a method token, followed by a single space
+   (SP), the request-target, another single space (SP), the protocol
+   version, and ends with CRLF.
+
+     request-line   = method SP request-target SP HTTP-version CRLF
+     method         = token
+
+   The method token indicates the request method to be performed on the
+   target resource. The request method is case-sensitive. Although the
+   request-line grammar rule requires that each of the component elements
+   be separated by a single SP octet, recipients MAY instead parse on
+   whitespace-delimited word boundaries and, aside from the CRLF
+   terminator, treat any form of whitespace as the SP separator while
+   ignoring preceding or trailing whitespace; such whitespace includes
+   one or more of the following octets: SP, HTAB, VT, FF, or bare CR.
+   However, lenient parsing can result in security vulnerabilities if
+   other implementations within the request chain interpret the same
+   message differently.
+
+   Recipients of an invalid request-line SHOULD respond with either a 400
+   (Bad Request) error or a 301 (Moved Permanently) redirect with the
+   request-target properly encoded. A recipient SHOULD NOT attempt to
+   autocorrect and then process the request without a redirect, since the
+   invalid request-line might be deliberately crafted to bypass security
+   filters along the request chain.
+
+   A server that receives a method longer than any that it implements
+   SHOULD respond with a 501 (Not Implemented) status code. A server that
+   receives a request-target longer than any URI it wishes to parse MUST
+   respond with a 414 (URI Too Long) status code.
+
+3.1.2.  Status Line
+
+   The first line of a response message is the status-line, consisting of
+   the protocol version, a space (SP), the status code, another space, a
+   possibly empty textual phrase describing the status code, and ending
+   with CRLF.
+
+     status-line = HTTP-version SP status-code SP reason-phrase CRLF
+     status-code    = 3DIGIT
+     reason-phrase  = *( HTAB / SP / VCHAR / obs-text )
+
+   The status-code element is a 3-digit integer code describing the
+   result of the server's attempt to understand and satisfy the client's
+   corresponding request. A client SHOULD ignore the reason-phrase
+   content.
+
+3.2.  Header Fields
+
+   Each header field consists of a case-insensitive field name followed
+   by a colon (":"), optional leading whitespace, the field value, and
+   optional trailing whitespace.
+
+     header-field   = field-name ":" OWS field-value OWS
+     field-name     = token
+     field-value    = *( field-content / obs-fold )
+     field-content  = field-vchar [ 1*( SP / HTAB ) field-vchar ]
+     field-vchar    = VCHAR / obs-text
+     obs-fold       = CRLF 1*( SP / HTAB )
+                    ; obsolete line folding
+
+   The field-name token labels the corresponding field-value as having
+   the semantics defined by that header field. The order in which header
+   fields with differing field names are received is not significant.
+   However, it is good practice to send header fields that contain
+   control data first.
+
+3.2.2.  Field Order
+
+   A sender MUST NOT generate multiple header fields with the same field
+   name in a message unless either the entire field value for that header
+   field is defined as a comma-separated list or the header field is a
+   well-known exception. A recipient MAY combine multiple header fields
+   with the same field name into one "field-name: field-value" pair,
+   without changing the semantics of the message, by appending each
+   subsequent field value to the combined field value in order, separated
+   by a comma.
+
+3.2.3.  Whitespace
+
+   This specification uses three rules to denote the use of linear
+   whitespace: OWS (optional whitespace), RWS (required whitespace), and
+   BWS ("bad" whitespace).
+
+     OWS            = *( SP / HTAB )
+     RWS            = 1*( SP / HTAB )
+     BWS            = OWS
+
+3.2.4.  Field Parsing
+
+   Messages are parsed using a generic algorithm, independent of the
+   individual header field names. The contents within a given field value
+   are not parsed until a later stage of message interpretation.
+
+   No whitespace is allowed between the header field-name and colon. In
+   the past, differences in the handling of such whitespace have led to
+   security vulnerabilities in request routing and response handling. A
+   server MUST reject any received request message that contains
+   whitespace between a header field-name and colon with a response code
+   of 400 (Bad Request). A proxy MUST remove any such whitespace from a
+   response message before forwarding the message downstream.
+
+   A field value might be preceded and/or followed by optional
+   whitespace (OWS); a single SP preceding the field-value is preferred
+   for consistent readability by humans. The field value does not include
+   any leading or trailing whitespace: OWS occurring before the first
+   non-whitespace octet of the field value or after the last
+   non-whitespace octet of the field value ought to be excluded by
+   parsers when extracting the field value from a header field.
+
+   Historically, HTTP header field values could be extended over multiple
+   lines by preceding each extra line with at least one space or
+   horizontal tab (obs-fold). This specification deprecates such line
+   folding except within the message/http media type. A sender MUST NOT
+   generate a message that includes line folding (i.e., that has any
+   field-value that contains a match to the obs-fold rule) unless the
+   message is intended for packaging within the message/http media type.
+   A server that receives an obs-fold in a request message that is not
+   within a message/http container MUST either reject the message by
+   sending a 400 (Bad Request), preferably with a representation
+   explaining that obsolete line folding is unacceptable, or replace
+   each received obs-fold with one or more SP octets prior to
+   interpreting the field value or forwarding the message downstream.
+
+   A proxy or gateway that receives an obs-fold in a response message
+   that is not within a message/http container MUST either discard the
+   message and replace it with a 502 (Bad Gateway) response, or replace
+   each received obs-fold with one or more SP octets prior to
+   interpreting the field value or forwarding the message downstream.
+
+3.2.5.  Field Limits
+
+   HTTP does not place a predefined limit on the length of each header
+   field or on the length of the header section as a whole. Various
+   ad hoc limitations on individual header field length are found in
+   practice, often depending on the specific field semantics.
+
+   A server that receives a request header field, or set of fields,
+   larger than it wishes to process MUST respond with an appropriate 4xx
+   (Client Error) status code. Ignoring such header fields would increase
+   the server's vulnerability to request smuggling attacks.
+
+3.2.6.  Field Value Components
+
+   Most HTTP header field values are defined using common syntax
+   components (token, quoted-string, and comment) separated by
+   whitespace or specific delimiting characters.
+
+     token          = 1*tchar
+     tchar          = "!" / "#" / "$" / "%" / "&" / "'" / "*"
+                    / "+" / "-" / "." / "^" / "_" / "`" / "|" / "~"
+                    / DIGIT / ALPHA
+     quoted-string  = DQUOTE *( qdtext / quoted-pair ) DQUOTE
+     qdtext         = HTAB / SP / %x21 / %x23-5B / %x5D-7E / obs-text
+     obs-text       = %x80-FF
+     comment        = "(" *( ctext / quoted-pair / comment ) ")"
+     ctext          = HTAB / SP / %x21-27 / %x2A-5B / %x5D-7E / obs-text
+     quoted-pair    = "\" ( HTAB / SP / VCHAR / obs-text )
+
+3.3.  Message Body
+
+   The message body (if any) of an HTTP message is used to carry the
+   payload body of that request or response. The message body is
+   identical to the payload body unless a transfer coding has been
+   applied.
+
+     message-body = *OCTET
+
+   The rules for when a message body is allowed in a message differ for
+   requests and responses. The presence of a message body in a request
+   is signaled by a Content-Length or Transfer-Encoding header field.
+   Request message framing is independent of method semantics, even if
+   the method does not define any use for a message body.
+
+3.3.1.  Transfer-Encoding
+
+   The Transfer-Encoding header field lists the transfer coding names
+   corresponding to the sequence of transfer codings that have been (or
+   will be) applied to the payload body in order to form the message
+   body.
+
+     Transfer-Encoding = 1#transfer-coding
+
+   Transfer-Encoding was added in HTTP/1.1. It is generally assumed that
+   implementations advertising only HTTP/1.0 support will not understand
+   how to process a transfer-encoded payload. A client MUST NOT send a
+   request containing Transfer-Encoding unless it knows the server will
+   handle HTTP/1.1 (or later) requests; such knowledge might be in the
+   form of specific user configuration or by remembering the version of
+   a prior received response. A server MUST NOT send a response
+   containing Transfer-Encoding unless the corresponding request
+   indicates HTTP/1.1 (or later).
+
+   A server that receives a request message with a transfer coding it
+   does not understand SHOULD respond with 501 (Not Implemented).
+
+3.3.2.  Content-Length
+
+   When a message does not have a Transfer-Encoding header field, a
+   Content-Length header field can provide the anticipated size, as a
+   decimal number of octets, for a potential payload body.
+
+     Content-Length = 1*DIGIT
+
+   A sender MUST NOT send a Content-Length header field in any message
+   that contains a Transfer-Encoding header field. A user agent SHOULD
+   send a Content-Length in a request message when no Transfer-Encoding
+   is sent and the request method defines a meaning for an enclosed
+   payload body.
+
+   A sender MUST NOT forward a message with a Content-Length header
+   field value that does not match the ABNF above, with one exception: a
+   recipient of a Content-Length header field value consisting of the
+   same decimal value repeated as a comma-separated list (e.g.,
+   "Content-Length: 42, 42") MAY either reject the message as invalid or
+   replace that invalid field value with a single instance of the decimal
+   value, since this likely indicates that a duplicate was generated or
+   combined by an upstream message processor.
+
+   If a message is received that has multiple Content-Length header
+   fields with field-values consisting of the same decimal value, or a
+   single Content-Length header field with a field value containing a
+   list of identical decimal values (e.g., "Content-Length: 42, 42"),
+   indicating that duplicate Content-Length header fields have been
+   generated or combined by an upstream message processor, then the
+   recipient MUST either reject the message as invalid or replace the
+   duplicated field-values with a single valid Content-Length field
+   containing that decimal value prior to determining the message body
+   length or forwarding the message.
+
+3.3.3.  Message Body Length
+
+   The length of a message body is determined by one of the following
+   (in order of precedence). If a Transfer-Encoding header field is
+   present and the chunked transfer coding is the final encoding, the
+   message body length is determined by reading and decoding the chunked
+   data until the transfer coding indicates the data is complete.
+
+   If a Transfer-Encoding header field is present in a request and the
+   chunked transfer coding is not the final encoding, the message body
+   length cannot be determined reliably; the server MUST respond with the
+   400 (Bad Request) status code and then close the connection.
+
+   If a message is received with both a Transfer-Encoding and a
+   Content-Length header field, the Transfer-Encoding overrides the
+   Content-Length. Such a message might indicate an attempt to perform
+   request smuggling or response splitting and ought to be handled as an
+   error. A sender MUST remove the received Content-Length field prior
+   to forwarding such a message downstream.
+
+   If a message is received without Transfer-Encoding and with either
+   multiple Content-Length header fields having differing field-values
+   or a single Content-Length header field having an invalid value, then
+   the message framing is invalid and the recipient MUST treat it as an
+   unrecoverable error. If this is a request message, the server MUST
+   respond with a 400 (Bad Request) status code and then close the
+   connection.
+
+   If a valid Content-Length header field is present without
+   Transfer-Encoding, its decimal value defines the expected message
+   body length in octets. If the sender closes the connection or the
+   recipient times out before the indicated number of octets are
+   received, the recipient MUST consider the message to be incomplete
+   and close the connection.
+
+   A server MAY reject a request that contains a message body but not a
+   Content-Length by responding with 411 (Length Required). Unless a
+   transfer coding other than chunked has been applied, a client that
+   sends a request containing a message body SHOULD use a valid
+   Content-Length header field if the message body length is known in
+   advance, rather than the chunked transfer coding, since some existing
+   services respond to chunked with a 411 (Length Required) status code
+   even though they understand the chunked transfer coding.
+
+4.  Transfer Codings
+
+   Transfer coding names are used to indicate an encoding transformation
+   that has been, can be, or might need to be applied to a payload body
+   in order to ensure safe transport through the network.
+
+     transfer-coding    = "chunked"
+                        / "compress"
+                        / "deflate"
+                        / "gzip"
+                        / transfer-extension
+     transfer-extension = token *( OWS ";" OWS transfer-parameter )
+     transfer-parameter = token BWS "=" BWS ( token / quoted-string )
+
+   All transfer-coding names are case-insensitive and ought to be
+   registered within the HTTP Transfer Coding registry.
+
+4.1.  Chunked Transfer Coding
+
+   The chunked transfer coding wraps the payload body in order to
+   transfer it as a series of chunks, each with its own size indicator,
+   followed by an OPTIONAL trailer containing header fields.
+
+     chunked-body   = *chunk
+                      last-chunk
+                      trailer-part
+                      CRLF
+     chunk          = chunk-size [ chunk-ext ] CRLF
+                      chunk-data CRLF
+     chunk-size     = 1*HEXDIG
+     last-chunk     = 1*"0" [ chunk-ext ] CRLF
+     chunk-data     = 1*OCTET
+     chunk-ext      = *( ";" chunk-ext-name [ "=" chunk-ext-val ] )
+     chunk-ext-name = token
+     chunk-ext-val  = token / quoted-string
+     trailer-part   = *( header-field CRLF )
+
+   The chunk-size field is a string of hex digits indicating the size of
+   the chunk-data in octets. The chunked transfer coding is complete when
+   a chunk with a chunk-size of zero is received, possibly followed by a
+   trailer, and finally terminated by an empty line.
+
+   A recipient MUST be able to parse and decode the chunked transfer
+   coding. A sender MUST NOT apply chunked more than once to a message
+   body. If any transfer coding other than chunked is applied to a
+   request payload body, the sender MUST apply chunked as the final
+   transfer coding to ensure that the message is properly framed. The
+   chunked coding does not define any parameters, and their presence in
+   the chunk extensions SHOULD be ignored by recipients. A recipient MUST
+   ignore unrecognized chunk extensions. A server ought to limit the
+   total length of chunk extensions received in a request.
+
+4.3.  TE
+
+   The "TE" header field in a request indicates what transfer codings,
+   besides chunked, the client is willing to accept in response, and
+   whether or not the client is willing to accept trailer fields in a
+   chunked transfer coding.
+
+     TE        = #t-codings
+     t-codings = "trailers" / ( transfer-coding [ t-ranking ] )
+     t-ranking = OWS ";" OWS "q=" rank
+     rank      = ( "0" [ "." *3DIGIT ] )
+               / ( "1" [ "." *3"0" ] )
+
+   A sender of TE MUST also send a "TE" connection option within the
+   Connection header field to inform intermediaries not to forward this
+   field.
+
+5.3.  Request Target
+
+   Once an inbound connection is obtained, the client sends an HTTP
+   request message with a request-target derived from the target URI.
+   There are four distinct formats for the request-target, depending on
+   both the method being requested and whether the request is to a proxy.
+
+     request-target = origin-form
+                    / absolute-form
+                    / authority-form
+                    / asterisk-form
+     origin-form    = absolute-path [ "?" query ]
+     absolute-form  = absolute-URI
+     authority-form = authority
+     asterisk-form  = "*"
+
+   The most common form of request-target is the origin-form. When
+   making a request directly to an origin server, other than a CONNECT
+   or server-wide OPTIONS request, a client MUST send only the absolute
+   path and query components of the target URI as the request-target.
+
+   When making a request to a proxy, other than a CONNECT or server-wide
+   OPTIONS request, a client MUST send the target URI in absolute-form
+   as the request-target. An HTTP/1.1 server MUST accept the
+   absolute-form in requests, even though HTTP/1.1 clients will only
+   send them in requests to proxies.
+
+5.4.  Host
+
+   The "Host" header field in a request provides the host and port
+   information from the target URI, enabling the origin server to
+   distinguish among resources while servicing requests for multiple
+   host names on a single IP address.
+
+     Host = uri-host [ ":" port ] ; Section 2.7.1
+
+   A client MUST send a Host header field in all HTTP/1.1 request
+   messages. If the target URI includes an authority component, then a
+   client MUST send a field-value for Host that is identical to that
+   authority component, excluding any userinfo subcomponent and its "@"
+   delimiter. If the authority component is missing or undefined for
+   the target URI, then a client MUST send a Host header field with an
+   empty field-value.
+
+   When a proxy receives a request with an absolute-form of
+   request-target, the proxy MUST ignore the received Host header field
+   (if any) and instead replace it with the host information of the
+   request-target. A proxy that forwards such a request MUST generate a
+   new Host field-value based on the received request-target rather than
+   forward the received Host field-value.
+
+   Since the Host header field acts as an application-level routing
+   mechanism, it is a frequent target for malware seeking to poison a
+   shared cache or redirect a request to an unintended server. An
+   interception proxy is particularly vulnerable if it relies on the
+   Host field-value for redirecting requests to internal servers, or for
+   use as a cache key in a shared cache, without first verifying that
+   the intercepted connection is targeting a valid IP address for that
+   host.
+
+   A server MUST respond with a 400 (Bad Request) status code to any
+   HTTP/1.1 request message that lacks a Host header field and to any
+   request message that contains more than one Host header field or a
+   Host header field with an invalid field-value.
+
+5.7.  Message Forwarding
+
+   As described in Section 2.3, intermediaries can serve a variety of
+   roles in the processing of HTTP requests and responses. An
+   intermediary not acting as a tunnel MUST implement the Connection
+   header field, as specified in Section 6.1, and exclude fields from
+   being forwarded that are only intended for the corresponding
+   immediate connection.
+
+   An intermediary MUST NOT forward a message to itself unless it is
+   protected from an infinite request loop. In general, an intermediary
+   ought to recognize its own server names, including any aliases, local
+   variations, or literal IP addresses, and respond to such requests
+   directly.
+
+5.7.1.  Via
+
+   The "Via" header field indicates the presence of intermediate
+   protocols and recipients between the user agent and the server (on
+   requests) or between the origin server and the client (on responses).
+
+     Via = 1#( received-protocol RWS received-by [ RWS comment ] )
+     received-protocol = [ protocol-name "/" ] protocol-version
+     received-by       = ( uri-host [ ":" port ] ) / pseudonym
+     pseudonym         = token
+
+   A proxy MUST send an appropriate Via header field in each message
+   that it forwards. An HTTP-to-HTTP gateway MUST send an appropriate
+   Via header field in each inbound request message and MAY send a Via
+   header field in forwarded response messages.
+
+6.1.  Connection
+
+   The "Connection" header field allows the sender to indicate desired
+   control options for the current connection. In order to avoid
+   confusing downstream recipients, a proxy or gateway MUST remove or
+   replace any received connection options before forwarding the
+   message.
+
+     Connection        = 1#connection-option
+     connection-option = token
+
+   When a header field aside from Connection is used to supply control
+   information for or about the current connection, the sender MUST list
+   the corresponding field name within the Connection header field. A
+   proxy or gateway MUST parse a received Connection header field before
+   a message is forwarded and, for each connection-option in this field,
+   remove any header field(s) from the message with the same name as the
+   connection-option, and then remove the Connection header field itself
+   (or replace it with the intermediary's own connection options for the
+   forwarded message).
+
+   Intermediaries SHOULD NOT forward hop-by-hop header fields that are
+   only intended for the immediate connection. A sender MUST NOT send a
+   connection option corresponding to a header field that is intended
+   for all recipients of the payload, such as Cache-Control or Host,
+   since nominating such a field for removal would break the message
+   along the chain. The connection options do not always correspond to
+   a header field present in the message, since a connection-specific
+   header field might not be needed if there are no parameters
+   associated with a connection option.
+
+6.3.  Persistence
+
+   HTTP/1.1 defaults to the use of persistent connections, allowing
+   multiple requests and responses to be carried over a single
+   connection. The "close" connection option is used to signal that a
+   connection will not persist after the current request/response. HTTP
+   implementations SHOULD support persistent connections.
+
+   A recipient determines whether a connection is persistent or not
+   based on the most recently received message's protocol version and
+   Connection header field (if any). A server MUST read the entire
+   request message body or close the connection after sending its
+   response, since otherwise the remaining data on a persistent
+   connection would be misinterpreted as the next request.
+
+6.6.  Tear-down
+
+   The Connection header field provides a "close" connection option
+   that a sender SHOULD send when it wishes to close the connection
+   after the current request/response pair. A client that sends a
+   "close" connection option MUST NOT send further requests on that
+   connection (after the one containing "close") and MUST close the
+   connection after reading the final response message corresponding to
+   this request.
+
+4.1.2.  Chunked Trailer Part
+
+   A trailer allows the sender to include additional fields at the end
+   of a chunked message in order to supply metadata that might be
+   dynamically generated while the message body is sent. A sender MUST
+   NOT generate a trailer that contains a field necessary for message
+   framing (e.g., Transfer-Encoding and Content-Length), routing (e.g.,
+   Host), request modifiers, authentication, response control data, or
+   determining how to process the payload. When a chunked message
+   containing a non-empty trailer is received, the recipient MAY process
+   the fields as if they were appended to the message's header section.
+   A recipient MUST ignore (or consider as an error) any fields that are
+   forbidden to be sent in a trailer, since processing them as if they
+   were present in the header section might bypass external security
+   filters.
+
+4.2.  Compression Codings
+
+   The codings defined below can be used to compress the payload of a
+   message. The "compress" coding is an adaptive Lempel-Ziv-Welch (LZW)
+   coding. A recipient SHOULD consider "x-compress" to be equivalent to
+   "compress". The "deflate" coding is a "zlib" data format containing a
+   "deflate" compressed data stream. Note: Some non-conformant
+   implementations send the "deflate" compressed data without the zlib
+   wrapper. The "gzip" coding is an LZ77 coding with a 32-bit Cyclic
+   Redundancy Check (CRC). A recipient SHOULD consider "x-gzip" to be
+   equivalent to "gzip".
+
+5.5.  Effective Request URI
+
+   Once an inbound connection is obtained, the client sends an HTTP
+   request message. For a user agent, the target URI is typically known.
+   A server that receives a request with an authority component in the
+   request-target MUST use that authority to identify the target
+   resource. If the server's configuration (or outbound gateway)
+   provides a fixed URI scheme, that scheme is used for the effective
+   request URI. Once the effective request URI has been constructed, an
+   origin server needs to decide whether or not to provide service for
+   that URI via the connection in which the request was received. A
+   server that does not provide service for the URI indicated by the
+   effective request URI SHOULD respond with a 421 (Misdirected Request)
+   or 404 (Not Found) status code.
+
+6.7.  Upgrade
+
+   The "Upgrade" header field is intended to provide a simple mechanism
+   for transitioning from HTTP/1.1 to some other protocol on the same
+   connection.
+
+     Upgrade = *( "," OWS ) protocol *( OWS "," [ OWS protocol ] )
+
+   A client MUST NOT send the Upgrade header field in an HTTP/1.0
+   request. A server that receives an Upgrade header field in an
+   HTTP/1.0 request MUST ignore that Upgrade field. A server MUST ignore
+   an Upgrade header field that is received in an HTTP/1.0 request. A
+   sender of Upgrade MUST also send an "Upgrade" connection option in
+   the Connection header field to inform intermediaries not to forward
+   this field. A server that receives an Upgrade header in a request
+   with a message body MUST either process the body before switching
+   protocols or reject the request, since the two protocols would
+   otherwise disagree about where the body ends.
+
+9.2.  Risks of Intermediaries
+
+   By their very nature, HTTP intermediaries are men-in-the-middle and,
+   thus, represent an opportunity for man-in-the-middle attacks.
+   Intermediaries that contain a shared cache are especially vulnerable
+   to cache poisoning attacks. Implementers need to consider the privacy
+   and security implications of their design and coding decisions, and
+   of the configuration options they provide to operators. An
+   intermediary SHOULD NOT combine the headers of distinct requests, and
+   an intermediary MUST NOT reuse a parsed request structure for a
+   different message, since stale fields from an earlier message can
+   silently alter the meaning of the next one.
+
+9.4.  Buffer Overflows
+
+   Because HTTP uses mostly textual, character-delimited fields, parsers
+   are often vulnerable to attacks based on sending very long (or very
+   slow) streams of data, particularly where an implementation is
+   expecting a protocol element with no predefined length. To promote
+   interoperability, specific recommendations are made for minimum size
+   limits on request-line and header fields. A recipient MUST anticipate
+   potentially large decimal numerals and prevent parsing errors due to
+   integer conversion overflows, since a chunk-size or Content-Length
+   value larger than the implementation's integer type silently wraps
+   into a much smaller number and desynchronizes the message framing.
+
+9.5.  Request Smuggling
+
+   Abusing the ways that messages are parsed and combined by multiple
+   senders and recipients, request smuggling is a technique for
+   bypassing security-related filters or poisoning shared caches by
+   embedding a message within another message such that different
+   recipients along the chain disagree about where one message ends and
+   the next begins. This specification has introduced parsing
+   requirements specifically to reduce the ability of attackers to
+   perform request smuggling, and implementations are advised to treat
+   framing ambiguities as errors rather than attempting to guess the
+   sender's intent.
+
+9.6.  Message Integrity
+
+   HTTP does not define a specific mechanism for ensuring message
+   integrity. The length and framing requirements of Section 3.3 are
+   intended to reduce the risk of truncation attacks, in which an
+   attacker causes a recipient to interpret a partial message as being
+   complete. A user agent ought to notify the user when an incomplete
+   response is received.
+
+10.  Collected ABNF
+
+   In the collected ABNF below, list rules are expanded as per Section 7.
+
+     BWS = OWS
+     Connection = *( "," OWS ) connection-option *( OWS "," [ OWS
+      connection-option ] )
+     Content-Length = 1*DIGIT
+     HTTP-message = start-line *( header-field CRLF ) CRLF [ message-body
+      ]
+     HTTP-name = %x48.54.54.50 ; HTTP
+     HTTP-version = HTTP-name "/" DIGIT "." DIGIT
+     Host = uri-host [ ":" port ]
+     OWS = *( SP / HTAB )
+     RWS = 1*( SP / HTAB )
+     TE = [ ( "," / t-codings ) *( OWS "," [ OWS t-codings ] ) ]
+     Trailer = *( "," OWS ) field-name *( OWS "," [ OWS field-name ] )
+     Transfer-Encoding = *( "," OWS ) transfer-coding *( OWS "," [ OWS
+      transfer-coding ] )
+     URI-reference = <URI-reference, see [RFC3986], Section 4.1>
+     Upgrade = *( "," OWS ) protocol *( OWS "," [ OWS protocol ] )
+     Via = *( "," OWS ) ( received-protocol RWS received-by [ RWS comment
+      ] ) *( OWS "," [ OWS ( received-protocol RWS received-by [ RWS
+      comment ] ) ] )
+
+     absolute-URI = <absolute-URI, see [RFC3986], Section 4.3>
+     absolute-form = absolute-URI
+     absolute-path = 1*( "/" segment )
+     asterisk-form = "*"
+     authority = <authority, see [RFC3986], Section 3.2>
+     authority-form = authority
+
+     chunk = chunk-size [ chunk-ext ] CRLF chunk-data CRLF
+     chunk-data = 1*OCTET
+     chunk-ext = *( ";" chunk-ext-name [ "=" chunk-ext-val ] )
+     chunk-ext-name = token
+     chunk-ext-val = token / quoted-string
+     chunk-size = 1*HEXDIG
+     chunked-body = *chunk last-chunk trailer-part CRLF
+     comment = "(" *( ctext / quoted-pair / comment ) ")"
+     connection-option = token
+     ctext = HTAB / SP / %x21-27 / %x2A-5B / %x5D-7E / obs-text
+
+     field-content = field-vchar [ 1*( SP / HTAB ) field-vchar ]
+     field-name = token
+     field-value = *( field-content / obs-fold )
+     field-vchar = VCHAR / obs-text
+     fragment = <fragment, see [RFC3986], Section 3.5>
+
+     header-field = field-name ":" OWS field-value OWS
+     http-URI = "http://" authority path-abempty [ "?" query ] [ "#"
+      fragment ]
+     https-URI = "https://" authority path-abempty [ "?" query ] [ "#"
+      fragment ]
+
+     last-chunk = 1*"0" [ chunk-ext ] CRLF
+
+     message-body = *OCTET
+     method = token
+
+     obs-fold = CRLF 1*( SP / HTAB )
+     obs-text = %x80-FF
+     origin-form = absolute-path [ "?" query ]
+
+     partial-URI = relative-part [ "?" query ]
+     path-abempty = <path-abempty, see [RFC3986], Section 3.3>
+     port = <port, see [RFC3986], Section 3.2.3>
+     protocol = protocol-name [ "/" protocol-version ]
+     protocol-name = token
+     protocol-version = token
+     pseudonym = token
+
+     qdtext = HTAB / SP / %x21 / %x23-5B / %x5D-7E / obs-text
+     query = <query, see [RFC3986], Section 3.4>
+     quoted-pair = "\" ( HTAB / SP / VCHAR / obs-text )
+     quoted-string = DQUOTE *( qdtext / quoted-pair ) DQUOTE
+
+     rank = ( "0" [ "." *3DIGIT ] ) / ( "1" [ "." *3"0" ] )
+     reason-phrase = *( HTAB / SP / VCHAR / obs-text )
+     received-by = ( uri-host [ ":" port ] ) / pseudonym
+     received-protocol = [ protocol-name "/" ] protocol-version
+     relative-part = <relative-part, see [RFC3986], Section 4.2>
+     request-line = method SP request-target SP HTTP-version CRLF
+     request-target = origin-form / absolute-form / authority-form /
+      asterisk-form
+
+     scheme = <scheme, see [RFC3986], Section 3.1>
+     segment = <segment, see [RFC3986], Section 3.3>
+     start-line = request-line / status-line
+     status-code = 3DIGIT
+     status-line = HTTP-version SP status-code SP reason-phrase CRLF
+
+     t-codings = "trailers" / ( transfer-coding [ t-ranking ] )
+     t-ranking = OWS ";" OWS "q=" rank
+     tchar = "!" / "#" / "$" / "%" / "&" / "'" / "*" / "+" / "-" / "." /
+      "^" / "_" / "`" / "|" / "~" / DIGIT / ALPHA
+     token = 1*tchar
+     trailer-part = *( header-field CRLF )
+     transfer-coding = "chunked" / "compress" / "deflate" / "gzip" /
+      transfer-extension
+     transfer-extension = token *( OWS ";" OWS transfer-parameter )
+     transfer-parameter = token BWS "=" BWS ( token / quoted-string )
+
+     uri-host = <host, see [RFC3986], Section 3.2.2>
+"##;

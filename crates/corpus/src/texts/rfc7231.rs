@@ -1,0 +1,463 @@
+//! Curated excerpt of RFC 7231 — HTTP/1.1: Semantics and Content.
+
+/// The embedded document text.
+pub const TEXT: &str = r##"
+1.  Introduction
+
+   Each Hypertext Transfer Protocol (HTTP) message is either a request or
+   a response. A server listens on a connection for a request, parses
+   each message received, interprets the message semantics in relation to
+   the identified request target, and responds to that request with one
+   or more response messages. A client constructs request messages to
+   communicate specific intentions, examines received responses to see if
+   the intentions were carried out, and determines how to interpret the
+   results.
+
+   This document defines HTTP/1.1 request and response semantics in terms
+   of the architecture, syntax notation, and conformance criteria defined
+   in RFC 7230.
+
+3.1.1.  Media Type
+
+   HTTP uses Internet media types in the Content-Type and Accept header
+   fields in order to provide open and extensible data typing and type
+   negotiation.
+
+     media-type = type "/" subtype *( OWS ";" OWS parameter )
+     type       = token
+     subtype    = token
+     parameter  = token "=" ( token / quoted-string )
+
+   The type/subtype MAY be followed by parameters in the form of
+   name=value pairs. The type, subtype, and parameter name tokens are
+   case-insensitive. A sender MUST NOT generate whitespace around the "="
+   character of a parameter.
+
+     Content-Type = media-type
+
+   A sender that generates a message containing a payload body SHOULD
+   generate a Content-Type header field in that message unless the
+   intended media type of the enclosed representation is unknown to the
+   sender.
+
+3.1.2.  Encoding
+
+   Content codings are transformations applied to a representation in
+   order to compress its data without losing the identity of its
+   underlying media type.
+
+     content-coding   = token
+     Content-Encoding = *( "," OWS ) content-coding *( OWS "," [ OWS
+      content-coding ] )
+
+   If the media type includes an inherent encoding, such as a data format
+   that is always compressed, then that encoding would not be restated in
+   Content-Encoding even if it happens to be the same algorithm as one of
+   the content codings. An origin server MAY respond with a status code
+   of 415 (Unsupported Media Type) if a representation in the request
+   message has a content coding that is not acceptable.
+
+4.1.  Request Method Overview
+
+   The request method token is the primary source of request semantics;
+   it indicates the purpose for which the client has made this request
+   and what is expected by the client as a successful result.
+
+     method = token
+
+   The method token is case-sensitive because it might be used as a
+   gateway to object-based systems with case-sensitive method names. By
+   convention, standardized methods are defined in all-uppercase
+   US-ASCII letters. An origin server that receives a request method
+   that is unrecognized or not implemented SHOULD respond with the 501
+   (Not Implemented) status code. An origin server that receives a
+   request method that is recognized and implemented, but not allowed
+   for the target resource, SHOULD respond with the 405 (Method Not
+   Allowed) status code.
+
+4.3.1.  GET
+
+   The GET method requests transfer of a current selected representation
+   for the target resource. GET is the primary mechanism of information
+   retrieval and the focus of almost all performance optimizations.
+
+   A payload within a GET request message has no defined semantics;
+   sending a payload body on a GET request might cause some existing
+   implementations to reject the request. A client SHOULD NOT generate a
+   body in a GET request. A server SHOULD ignore a received payload body
+   in a GET request if the framing is otherwise valid.
+
+4.3.2.  HEAD
+
+   The HEAD method is identical to GET except that the server MUST NOT
+   send a message body in the response (i.e., the response terminates at
+   the end of the header section). A payload within a HEAD request
+   message has no defined semantics; sending a payload body on a HEAD
+   request might cause some existing implementations to reject the
+   request.
+
+4.3.3.  POST
+
+   The POST method requests that the target resource process the
+   representation enclosed in the request according to the resource's
+   own specific semantics. A server that supports POST SHOULD read the
+   entire request message body before acting on the request.
+
+4.3.6.  CONNECT
+
+   The CONNECT method requests that the recipient establish a tunnel to
+   the destination origin server identified by the request-target and,
+   if successful, thereafter restrict its behavior to blind forwarding
+   of packets, in both directions, until the tunnel is closed. A client
+   sending a CONNECT request MUST send the authority form of
+   request-target. A server MUST NOT send any Transfer-Encoding or
+   Content-Length header fields in a 2xx (Successful) response to
+   CONNECT.
+
+4.3.8.  TRACE
+
+   The TRACE method requests a remote, application-level loop-back of
+   the request message. The final recipient of the request SHOULD
+   reflect the message received, excluding some fields, back to the
+   client as the message body of a 200 (OK) response. A client MUST NOT
+   send a message body in a TRACE request.
+
+5.1.1.  Expect
+
+   The "Expect" header field in a request indicates a certain set of
+   behaviors (expectations) that need to be supported by the server in
+   order to properly handle this request. The only such expectation
+   defined by this specification is 100-continue.
+
+     Expect = "100-continue"
+
+   The Expect field-value is case-insensitive. A server that receives an
+   Expect field-value other than 100-continue MAY respond with a 417
+   (Expectation Failed) status code to indicate that the unexpected
+   expectation cannot be met.
+
+   A 100-continue expectation informs recipients that the client is
+   about to send a (presumably large) message body in this request and
+   wishes to receive a 100 (Continue) interim response if the
+   request-line and header fields are not sufficient to cause an
+   immediate success, redirect, or error response. A client MUST NOT
+   generate a 100-continue expectation in a request that does not
+   include a message body.
+
+   A server that receives a 100-continue expectation in an HTTP/1.0
+   request MUST ignore that expectation. A server MAY omit sending a 100
+   (Continue) response if it has already received some or all of the
+   message body for the corresponding request, or if the framing
+   indicates that there is no message body. A proxy MUST NOT forward a
+   100-continue expectation in a request that it forwards using a
+   protocol version below HTTP/1.1.
+
+5.1.2.  Max-Forwards
+
+   The "Max-Forwards" header field provides a mechanism with the TRACE
+   and OPTIONS request methods to limit the number of times that the
+   request is forwarded by proxies.
+
+     Max-Forwards = 1*DIGIT
+
+   Each intermediary that receives a TRACE or OPTIONS request containing
+   a Max-Forwards header field MUST check and update its value prior to
+   forwarding the request. If the received value is zero (0), the
+   intermediary MUST NOT forward the request; instead, the intermediary
+   MUST respond as the final recipient.
+
+5.3.1.  Quality Values
+
+   Many of the request header fields for proactive negotiation use a
+   common parameter, named "q" (case-insensitive), to assign a relative
+   "weight" to the preference for that associated kind of content.
+
+     weight = OWS ";" OWS "q=" qvalue
+     qvalue = ( "0" [ "." *3DIGIT ] ) / ( "1" [ "." *3"0" ] )
+
+   A sender of qvalue MUST NOT generate more than three digits after the
+   decimal point. User configuration of these values ought to be limited
+   in the same fashion.
+
+5.3.2.  Accept
+
+   The "Accept" header field can be used by user agents to specify
+   response media types that are acceptable.
+
+     Accept = [ ( "," / ( media-range [ accept-params ] ) ) *( OWS ","
+      [ OWS ( media-range [ accept-params ] ) ] ) ]
+     media-range = ( "*/*" / ( type "/*" ) / ( type "/" subtype ) ) *(
+      OWS ";" OWS parameter )
+     accept-params = weight *( accept-ext )
+     accept-ext = OWS ";" OWS token [ "=" ( token / quoted-string ) ]
+
+   A request without any Accept header field implies that the user agent
+   will accept any media type in response. If the header field is
+   present in a request and none of the available representations for
+   the response have a media type that is listed as acceptable, the
+   origin server can either honor the header field by sending a 406
+   (Not Acceptable) response or disregard the header field by treating
+   the response as if it is not subject to content negotiation.
+
+5.3.4.  Accept-Encoding
+
+   The "Accept-Encoding" header field can be used by user agents to
+   indicate what response content codings are acceptable in the
+   response.
+
+     Accept-Encoding = [ ( "," / ( codings [ weight ] ) ) *( OWS "," [
+      OWS ( codings [ weight ] ) ] ) ]
+     codings = content-coding / "identity" / "*"
+
+   A server that fails to honor a qvalue of 0 for a coding the client
+   refuses can deliver a payload the client cannot decode; a server MUST
+   NOT send a content coding assigned a qvalue of 0 by the request.
+
+5.5.3.  User-Agent
+
+   The "User-Agent" header field contains information about the user
+   agent originating the request, which is often used by servers to help
+   identify the scope of reported interoperability problems.
+
+     User-Agent = product *( RWS ( product / comment ) )
+
+   A user agent SHOULD send a User-Agent field in each request unless
+   specifically configured not to do so. A user agent SHOULD NOT
+   generate a User-Agent field containing needlessly fine-grained
+   detail. A sender MUST NOT generate advertising or other nonessential
+   information within the product identifier.
+
+6.  Response Status Codes
+
+   The status-code element is a three-digit integer code giving the
+   result of the attempt to understand and satisfy the request. HTTP
+   status codes are extensible. A client MUST understand the class of
+   any status code, as indicated by the first digit, and treat an
+   unrecognized status code as being equivalent to the x00 status code
+   of that class.
+
+6.5.1.  400 Bad Request
+
+   The 400 (Bad Request) status code indicates that the server cannot or
+   will not process the request due to something that is perceived to be
+   a client error (e.g., malformed request syntax, invalid request
+   message framing, or deceptive request routing). A server sending a
+   400 response SHOULD include a representation explaining the error.
+
+6.5.7.  408 Request Timeout
+
+   The 408 (Request Timeout) status code indicates that the server did
+   not receive a complete request message within the time that it was
+   prepared to wait. A server SHOULD send the "close" connection option
+   in the response, since 408 implies that the server has decided to
+   close the connection rather than continue waiting.
+
+6.5.10.  411 Length Required
+
+   The 411 (Length Required) status code indicates that the server
+   refuses to accept the request without a defined Content-Length. The
+   client MAY repeat the request if it adds a valid Content-Length
+   header field containing the length of the message body in the request
+   message.
+
+6.5.14.  417 Expectation Failed
+
+   The 417 (Expectation Failed) status code indicates that the
+   expectation given in the request's Expect header field could not be
+   met by at least one of the inbound servers.
+
+6.6.2.  501 Not Implemented
+
+   The 501 (Not Implemented) status code indicates that the server does
+   not support the functionality required to fulfill the request. This
+   is the appropriate response when the server does not recognize the
+   request method and is not capable of supporting it for any resource.
+
+6.6.6.  505 HTTP Version Not Supported
+
+   The 505 (HTTP Version Not Supported) status code indicates that the
+   server does not support, or refuses to support, the major version of
+   HTTP that was used in the request message. The server is indicating
+   that it is unable or unwilling to complete the request using the same
+   major version as the client, other than with this error message.
+
+7.1.1.  Date/Time Formats
+
+   Prior to 1995, there were three different formats commonly used by
+   servers to communicate timestamps. For compatibility with old
+   implementations, all three are defined here.
+
+     HTTP-date = IMF-fixdate / obs-date
+     IMF-fixdate = day-name "," SP date1 SP time-of-day SP GMT
+     day-name = %x4D.6F.6E / %x54.75.65 / %x57.65.64 / %x54.68.75 /
+      %x46.72.69 / %x53.61.74 / %x53.75.6E
+     date1 = day SP month SP year
+     day = 2DIGIT
+     month = %x4A.61.6E / %x46.65.62 / %x4D.61.72 / %x41.70.72 /
+      %x4D.61.79 / %x4A.75.6E / %x4A.75.6C / %x41.75.67 / %x53.65.70 /
+      %x4F.63.74 / %x4E.6F.76 / %x44.65.63
+     year = 4DIGIT
+     GMT = %x47.4D.54
+     time-of-day = hour ":" minute ":" second
+     hour = 2DIGIT
+     minute = 2DIGIT
+     second = 2DIGIT
+     obs-date = rfc850-date / asctime-date
+     rfc850-date = day-name-l "," SP date2 SP time-of-day SP GMT
+     date2 = day "-" month "-" 2DIGIT
+     day-name-l = %x4D.6F.6E.64.61.79 / %x54.75.65.73.64.61.79 /
+      %x57.65.64.6E.65.73.64.61.79 / %x54.68.75.72.73.64.61.79 /
+      %x46.72.69.64.61.79 / %x53.61.74.75.72.64.61.79 /
+      %x53.75.6E.64.61.79
+     asctime-date = day-name SP date3 SP time-of-day SP year
+     date3 = month SP ( 2DIGIT / ( SP 1DIGIT ) )
+
+   A recipient that parses a timestamp value in an HTTP header field
+   MUST accept all three HTTP-date formats. A sender MUST generate
+   timestamps in the IMF-fixdate format.
+
+7.1.2.  Location
+
+   The "Location" header field is used in some responses to refer to a
+   specific resource in relation to the response.
+
+     Location = URI-reference
+
+7.1.3.  Retry-After
+
+   Servers send the "Retry-After" header field to indicate how long the
+   user agent ought to wait before making a follow-up request.
+
+     Retry-After = HTTP-date / delay-seconds
+     delay-seconds = 1*DIGIT
+
+7.4.1.  Allow
+
+   The "Allow" header field lists the set of methods advertised as
+   supported by the target resource.
+
+     Allow = [ ( "," / method ) *( OWS "," [ OWS method ] ) ]
+
+   The actual set of allowed methods is defined by the origin server at
+   the time of each request. A proxy MUST NOT modify the Allow header
+   field.
+
+7.4.2.  Server
+
+   The "Server" header field contains information about the software
+   used by the origin server to handle the request.
+
+     Server = product *( RWS ( product / comment ) )
+     product = token [ "/" product-version ]
+     product-version = token
+
+   An origin server SHOULD NOT generate a Server field containing
+   needlessly fine-grained detail, since that can reveal internal
+   implementation details that might make it easier for attackers to
+   find and exploit known security holes.
+
+4.3.4.  PUT
+
+   The PUT method requests that the state of the target resource be
+   created or replaced with the state defined by the representation
+   enclosed in the request message payload. An origin server MUST NOT
+   send a validator header field, such as an ETag or Last-Modified
+   field, in a successful response to PUT unless the request's
+   representation data was saved without any transformation applied to
+   the body. An origin server SHOULD verify that the PUT representation
+   is consistent with any constraints the server has for the target
+   resource. An origin server MUST ignore unrecognized header fields
+   received in a PUT request when those fields cannot affect the
+   outcome of the request.
+
+4.3.5.  DELETE
+
+   The DELETE method requests that the origin server remove the
+   association between the target resource and its current
+   functionality. A payload within a DELETE request message has no
+   defined semantics; sending a payload body on a DELETE request might
+   cause some existing implementations to reject the request.
+
+4.3.7.  OPTIONS
+
+   The OPTIONS method requests information about the communication
+   options available for the target resource. A client that generates
+   an OPTIONS request containing a payload body MUST send a valid
+   Content-Type header field describing the representation media type.
+   A server generating a successful response to OPTIONS SHOULD send any
+   header fields that might indicate optional features implemented by
+   the server, such as Allow.
+
+5.1.  Controls
+
+   Controls are request header fields with directives for how the
+   request is to be handled. A cache or origin server MUST evaluate the
+   request controls before generating or selecting a response.
+
+6.4.  Redirection 3xx
+
+   The 3xx (Redirection) class of status code indicates that further
+   action needs to be taken by the user agent in order to fulfill the
+   request. A client SHOULD detect and intervene in cyclical
+   redirections (i.e., "infinite" redirection loops). A user agent MUST
+   NOT automatically redirect a request more than a small, bounded
+   number of times. An automatic redirection of a request that changes
+   the request method from POST to GET can change the conditions under
+   which the request was originally generated; a user agent SHOULD NOT
+   automatically redirect such a request unless it can confirm the
+   change is safe.
+
+6.4.2.  301 Moved Permanently
+
+   The 301 (Moved Permanently) status code indicates that the target
+   resource has been assigned a new permanent URI. The server SHOULD
+   generate a Location header field in the response containing a
+   preferred URI reference for the new permanent URI.
+
+7.1.4.  Vary
+
+   The "Vary" header field in a response describes what parts of a
+   request message, aside from the method, Host header field, and
+   request target, might influence the origin server's process for
+   selecting and representing this response.
+
+     Vary = "*" / ( *( "," OWS ) field-name *( OWS "," [ OWS field-name
+      ] ) )
+
+   A server SHOULD send a Vary header field when its algorithm for
+   selecting a representation varies based on aspects of the request
+   message other than the method and request target. A cache MUST NOT
+   reuse a stored response whose Vary field-value is "*" without
+   validation.
+
+8.3.1.  Considerations for New Header Fields
+
+   New header fields are registered with IANA. Authors of specifications
+   defining new fields are advised to keep the name as short as
+   practical and not to prefix the name with "X-" unless the header
+   field will never be used on the Internet. A recipient MUST be able to
+   parse a header field value that contains a comma within a quoted
+   string without splitting the value at that comma.
+
+9.1.  Attacks Based on File and Path Names
+
+   Origin servers frequently make use of their local file system to
+   manage the mapping from effective request URI to resource
+   representations. An origin server MUST NOT allow path components of a
+   request-target to escape its configured document root, since
+   dot-dot-segments in a decoded path provide access to resources
+   outside the intended tree. A server that fails to normalize
+   percent-encoded path separators before applying access control
+   decisions can be bypassed by a request whose encoded form hides the
+   separator from the filter.
+
+9.  Security Considerations
+
+   This section is meant to inform developers, information providers,
+   and users of known security concerns relevant to HTTP semantics and
+   its use for transferring information over the Internet. Intermediaries
+   that are not aware of new method semantics might blindly forward
+   requests that ought to be rejected, which can be exploited to bypass
+   security policies. A gateway ought not forward requests whose
+   semantics it cannot evaluate against its security policy.
+"##;

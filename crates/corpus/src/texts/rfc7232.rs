@@ -1,0 +1,155 @@
+//! Curated excerpt of RFC 7232 — HTTP/1.1: Conditional Requests.
+
+/// The embedded document text.
+pub const TEXT: &str = r##"
+1.  Introduction
+
+   Conditional requests are HTTP requests that include one or more header
+   fields indicating a precondition to be tested before applying the
+   method semantics to the target resource. This document defines the
+   HTTP/1.1 conditional request mechanisms in terms of the architecture,
+   syntax notation, and conformance criteria defined in RFC 7230.
+
+2.2.  Last-Modified
+
+   The "Last-Modified" header field in a response provides a timestamp
+   indicating the date and time at which the origin server believes the
+   selected representation was last modified.
+
+     Last-Modified = HTTP-date
+
+   An origin server SHOULD send Last-Modified for any selected
+   representation for which a last modification date can be reasonably
+   and consistently determined. An origin server MUST NOT send a
+   Last-Modified date that is later than the server's time of message
+   origination.
+
+2.3.  ETag
+
+   The "ETag" header field in a response provides the current entity-tag
+   for the selected representation, as determined at the conclusion of
+   handling the request.
+
+     ETag       = entity-tag
+     entity-tag = [ weak ] opaque-tag
+     weak       = %x57.2F ; "W/", case-sensitive
+     opaque-tag = DQUOTE *etagc DQUOTE
+     etagc      = %x21 / %x23-7E / obs-text
+
+   An entity-tag can be more reliable for validation than a modification
+   date in situations where it is inconvenient to store modification
+   dates. A sender MUST NOT generate an entity-tag with a weakness
+   indicator unless the representation might change in a way that is
+   not semantically significant.
+
+3.1.  If-Match
+
+   The "If-Match" header field makes the request method conditional on
+   the recipient origin server either having at least one current
+   representation of the target resource, when the field-value is "*",
+   or having a current representation of the target resource that has an
+   entity-tag matching a member of the list of entity-tags provided in
+   the field-value.
+
+     If-Match = "*" / ( *( "," OWS ) entity-tag *( OWS "," [ OWS
+      entity-tag ] ) )
+
+   An origin server MUST NOT perform the requested method if a received
+   If-Match condition evaluates to false; instead, the origin server
+   MUST respond with either the 412 (Precondition Failed) status code or
+   one of the 2xx (Successful) status codes if the origin server has
+   already succeeded in processing an equivalent request.
+
+3.2.  If-None-Match
+
+   The "If-None-Match" header field makes the request method conditional
+   on a recipient cache or origin server either not having any current
+   representation of the target resource, when the field-value is "*",
+   or having a selected representation with an entity-tag that does not
+   match any of those listed in the field-value.
+
+     If-None-Match = "*" / ( *( "," OWS ) entity-tag *( OWS "," [ OWS
+      entity-tag ] ) )
+
+   An origin server MUST NOT perform the requested method if the
+   condition evaluates to false; instead, the origin server MUST respond
+   with either the 304 (Not Modified) status code if the request method
+   is GET or HEAD, or the 412 (Precondition Failed) status code for all
+   other request methods.
+
+3.3.  If-Modified-Since
+
+   The "If-Modified-Since" header field makes a GET or HEAD request
+   method conditional on the selected representation's modification date
+   being more recent than the date provided in the field-value.
+
+     If-Modified-Since = HTTP-date
+
+   A recipient MUST ignore If-Modified-Since if the request contains an
+   If-None-Match header field. A recipient MUST ignore the
+   If-Modified-Since header field if the received field-value is not a
+   valid HTTP-date, or if the request method is neither GET nor HEAD.
+
+3.4.  If-Unmodified-Since
+
+   The "If-Unmodified-Since" header field makes the request method
+   conditional on the selected representation's last modification date
+   being earlier than or equal to the date provided in the field-value.
+
+     If-Unmodified-Since = HTTP-date
+
+   A recipient MUST ignore If-Unmodified-Since if the request contains
+   an If-Match header field.
+
+4.1.  304 Not Modified
+
+   The 304 (Not Modified) status code indicates that a conditional GET
+   or HEAD request has been received and would have resulted in a 200
+   (OK) response if it were not for the fact that the condition
+   evaluated to false. The server generating a 304 response MUST
+   generate any of the following header fields that would have been sent
+   in a 200 (OK) response to the same request: Cache-Control,
+   Content-Location, Date, ETag, Expires, and Vary. A 304 response
+   cannot contain a message body; it is always terminated by the first
+   empty line after the header fields.
+
+4.2.  412 Precondition Failed
+
+   The 412 (Precondition Failed) status code indicates that one or more
+   conditions given in the request header fields evaluated to false when
+   tested on the server.
+
+2.4.  When to Use Entity-Tags and Last-Modified Dates
+
+   In 200 (OK) responses to GET or HEAD, an origin server SHOULD send an
+   entity-tag validator unless it is not feasible to generate one. An
+   origin server SHOULD send a Last-Modified value if it is feasible to
+   send one. A client that has one or more stored responses for a GET
+   SHOULD send an If-None-Match header field with all of the associated
+   entity-tags when generating a conditional request for that resource.
+
+5.  Evaluation
+
+   Except when excluded by the definition of the precondition itself, a
+   recipient cache or origin server MUST evaluate received request
+   preconditions after it has successfully performed its normal request
+   checks and just before it would perform the action associated with
+   the request method. A server MUST ignore all received preconditions
+   if its response to the same request without those conditions would
+   have been a status code other than a 2xx (Successful) or 412
+   (Precondition Failed). A server that evaluates a precondition before
+   verifying the request's target can be tricked into revealing the
+   existence of resources the client is not authorized to see.
+
+6.  Precedence
+
+   When more than one conditional request header field is present in a
+   request, the order in which the fields are evaluated becomes
+   important. A recipient cache or origin server MUST evaluate the
+   request preconditions defined by this specification in the order
+   defined. A server MUST ignore all received preconditions if its
+   response to the same request without those conditions would have been
+   a status code other than a 2xx (Successful) or 412 (Precondition
+   Failed). In other words, redirects and failures take precedence over
+   the evaluation of preconditions in conditional requests.
+"##;

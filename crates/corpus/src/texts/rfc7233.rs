@@ -1,0 +1,115 @@
+//! Curated excerpt of RFC 7233 — HTTP/1.1: Range Requests.
+
+/// The embedded document text.
+pub const TEXT: &str = r##"
+1.  Introduction
+
+   Hypertext Transfer Protocol (HTTP) clients often encounter
+   interrupted data transfers as a result of canceled requests or
+   dropped connections. When a client has stored a partial
+   representation, it is desirable to request the remainder of that
+   representation in a subsequent request rather than transfer the
+   entire representation. Likewise, devices with limited local storage
+   might benefit from being able to request only a subset of a larger
+   representation.
+
+2.1.  Byte Ranges
+
+   Since representation data is transferred in payloads as a sequence of
+   octets, a byte range is a meaningful substructure for any
+   representation transferable over HTTP.
+
+     bytes-unit       = "bytes"
+     byte-ranges-specifier = bytes-unit "=" byte-range-set
+     byte-range-set  = *( "," OWS ) ( byte-range-spec /
+      suffix-byte-range-spec ) *( OWS "," [ OWS ( byte-range-spec /
+      suffix-byte-range-spec ) ] )
+     byte-range-spec = first-byte-pos "-" [ last-byte-pos ]
+     first-byte-pos  = 1*DIGIT
+     last-byte-pos   = 1*DIGIT
+     suffix-byte-range-spec = "-" suffix-length
+     suffix-length = 1*DIGIT
+
+   A byte-range-spec is invalid if the last-byte-pos value is present
+   and less than the first-byte-pos. A client can limit the number of
+   bytes requested without knowing the size of the selected
+   representation. A client MUST NOT generate a byte-range-spec whose
+   first-byte-pos is greater than its last-byte-pos.
+
+   In the byte-range syntax, first-byte-pos, last-byte-pos, and
+   suffix-length are expressed as decimal number of octets. Overlapping
+   ranges, and many small requests for tiny ranges, can be exploited to
+   cause a denial of service through amplification; a server that
+   receives a request with many overlapping ranges MAY either ignore the
+   Range header field or coalesce the ranges before processing.
+
+3.1.  Range
+
+   The "Range" header field on a GET request modifies the method
+   semantics to request transfer of only one or more subranges of the
+   selected representation data, rather than the entire selected
+   representation data.
+
+     Range = byte-ranges-specifier / other-ranges-specifier
+     other-ranges-specifier = other-range-unit "=" other-range-set
+     other-range-unit = token
+     other-range-set = 1*VCHAR
+
+   A server MAY ignore the Range header field. However, origin servers
+   and intermediate caches ought to support byte ranges when possible,
+   since Range supports efficient recovery from partially failed
+   transfers. A server MUST ignore a Range header field received with a
+   request method other than GET. A proxy MAY discard a Range header
+   field that contains a range unit it does not understand.
+
+   A server that supports range requests MAY ignore or reject a Range
+   header field that consists of more than two overlapping ranges, or a
+   set of many small ranges that are not listed in ascending order,
+   since both are indications of either a broken client or a deliberate
+   denial-of-service attack.
+
+3.2.  If-Range
+
+   If a client has a partial copy of a representation and wishes to have
+   an up-to-date copy of the entire representation, it could use the
+   Range header field with a conditional GET. The "If-Range" header
+   field allows a client to "short-circuit" the second request.
+
+     If-Range = entity-tag / HTTP-date
+
+   A client MUST NOT generate an If-Range header field in a request that
+   does not contain a Range header field. A server MUST ignore an
+   If-Range header field received in a request that does not contain a
+   Range header field. A client MUST NOT generate an If-Range header
+   field containing an entity-tag that is marked as weak.
+
+4.1.  206 Partial Content
+
+   The 206 (Partial Content) status code indicates that the server is
+   successfully fulfilling a range request for the target resource by
+   transferring one or more parts of the selected representation that
+   correspond to the satisfiable ranges found in the request's Range
+   header field.
+
+     Content-Range = byte-content-range / other-content-range
+     byte-content-range = bytes-unit SP ( byte-range-resp /
+      unsatisfied-range )
+     byte-range-resp = byte-range "/" ( complete-length / "*" )
+     byte-range = first-byte-pos "-" last-byte-pos
+     unsatisfied-range = "*/" complete-length
+     complete-length = 1*DIGIT
+     other-content-range = other-range-unit SP other-range-resp
+     other-range-resp = *CHAR
+
+   A server generating a 206 response MUST generate a Content-Range
+   header field, describing what range of the selected representation is
+   enclosed, and a payload consisting of the range.
+
+4.4.  416 Range Not Satisfiable
+
+   The 416 (Range Not Satisfiable) status code indicates that none of
+   the ranges in the request's Range header field overlap the current
+   extent of the selected resource or that the set of ranges requested
+   has been rejected due to invalid ranges or an excessive request of
+   small or overlapping ranges.
+"##;

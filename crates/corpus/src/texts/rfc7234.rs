@@ -1,0 +1,213 @@
+//! Curated excerpt of RFC 7234 — HTTP/1.1: Caching.
+
+/// The embedded document text.
+pub const TEXT: &str = r##"
+1.  Introduction
+
+   HTTP is typically used for distributed information systems, where
+   performance can be improved by the use of response caches. This
+   document defines aspects of HTTP/1.1 related to caching and reusing
+   response messages. An HTTP cache is a local store of response
+   messages and the subsystem that controls storage, retrieval, and
+   deletion of messages in it. A shared cache is a cache that stores
+   responses to be reused by more than one user; shared caches are
+   usually (but not always) deployed as a part of an intermediary.
+
+2.  Overview of Cache Operation
+
+   Proper cache operation preserves the semantics of HTTP transfers
+   while eliminating the transfer of information already held in the
+   cache. The goal of caching in HTTP/1.1 is to significantly improve
+   performance by reusing a prior response message to satisfy a current
+   request. A stored response is considered fresh if the response can be
+   reused without validation.
+
+3.  Storing Responses in Caches
+
+   A cache MUST NOT store a response to any request, unless the request
+   method is understood by the cache and defined as being cacheable, and
+   the response status code is understood by the cache, and the
+   "no-store" cache directive does not appear in request or response
+   header fields, and the "private" response directive does not appear
+   in the response if the cache is shared, and the Authorization header
+   field does not appear in the request if the cache is shared, unless
+   the response explicitly allows it.
+
+   In this context, a cache has understood a request method or a
+   response status code if it recognizes it and implements all specified
+   caching-related behavior. A response message is considered complete
+   when all of the octets indicated by the message framing are received
+   prior to the connection being closed.
+
+   A shared cache SHOULD NOT store a response to a request whose
+   protocol version is below HTTP/1.1, since the framing and caching
+   semantics of earlier protocol versions are ambiguous and reuse of
+   such responses can mislead other users of the cache. A cache SHOULD
+   NOT store an error response, such as one with a 400 (Bad Request) or
+   5xx status code, unless storage is explicitly permitted through
+   cache directives, since reusing an error that was specific to one
+   malformed request denies service to subsequent well-formed requests.
+
+3.1.  Storing Incomplete Responses
+
+   A response message is considered complete when all of the octets
+   indicated by the message framing are received prior to the connection
+   being closed. If the request method is GET, the response status code
+   is 200 (OK), and the entire response header section has been
+   received, a cache MAY store an incomplete response message body if
+   the cache entry is recorded as incomplete. A cache MUST NOT use an
+   incomplete response to answer requests unless the response has been
+   made complete or the request is partial and specifies a range that is
+   wholly within the incomplete response.
+
+4.  Constructing Responses from Caches
+
+   When presented with a request, a cache MUST NOT reuse a stored
+   response, unless the presented effective request URI and that of the
+   stored response match, and the request method associated with the
+   stored response allows it to be used for the presented request, and
+   selecting header fields nominated by the stored response (if any)
+   match those presented, and the presented request does not contain the
+   no-cache pragma, nor the no-cache cache directive, unless the stored
+   response is successfully validated, and the stored response is either
+   fresh, allowed to be served stale, or successfully validated.
+
+   The primary cache key consists of the request method and target URI.
+   However, since HTTP caches in common use today are typically limited
+   to caching responses to GET, many caches simply decline other methods
+   and use only the URI as the primary cache key. Because the cache key
+   is derived from the request as interpreted by the cache, any
+   disagreement between the cache and the origin server about the
+   request's target host allows an attacker to poison the cache entry
+   of a victim host.
+
+4.2.4.  Serving Stale Responses
+
+   A "stale" response is one that either has explicit expiry information
+   or is allowed to have heuristic expiry calculated, but is not fresh.
+   A cache MUST NOT generate a stale response if it is prohibited by an
+   explicit in-protocol directive. A cache SHOULD generate a Warning
+   header field with the 110 warn-code in stale responses.
+
+5.1.  Age
+
+   The "Age" header field conveys the sender's estimate of the amount of
+   time since the response was generated or successfully validated at
+   the origin server.
+
+     Age = delta-seconds
+     delta-seconds = 1*DIGIT
+
+   The presence of an Age header field implies that the response was not
+   generated or validated by the origin server for this request.
+
+5.2.  Cache-Control
+
+   The "Cache-Control" header field is used to specify directives for
+   caches along the request/response chain. Such cache directives are
+   unidirectional in that the presence of a directive in a request does
+   not imply that the same directive is to be given in the response.
+
+     Cache-Control = *( "," OWS ) cache-directive *( OWS "," [ OWS
+      cache-directive ] )
+     cache-directive = token [ "=" ( token / quoted-string ) ]
+
+   A cache MUST obey the requirements of the Cache-Control directives
+   defined in this section. A proxy, whether or not it implements a
+   cache, MUST pass cache directives through in forwarded messages,
+   regardless of their significance to that application, since the
+   directives might be applicable to all recipients along the
+   request/response chain.
+
+5.2.1.1.  no-cache
+
+   The "no-cache" request directive indicates that a cache MUST NOT use
+   a stored response to satisfy the request without successful
+   validation on the origin server.
+
+5.2.1.5.  no-store
+
+   The "no-store" request directive indicates that a cache MUST NOT
+   store any part of either this request or any response to it. This
+   directive applies to both private and shared caches.
+
+5.3.  Expires
+
+   The "Expires" header field gives the date/time after which the
+   response is considered stale.
+
+     Expires = HTTP-date
+
+   A cache recipient MUST interpret invalid date formats, especially the
+   value "0", as representing a time in the past (i.e., "already
+   expired").
+
+5.4.  Pragma
+
+   The "Pragma" header field allows backwards compatibility with
+   HTTP/1.0 caches so that clients can specify a "no-cache" request that
+   they will understand.
+
+     Pragma = *( "," OWS ) pragma-directive *( OWS "," [ OWS
+      pragma-directive ] )
+     pragma-directive = "no-cache" / extension-pragma
+     extension-pragma = token [ "=" ( token / quoted-string ) ]
+
+   When the Cache-Control header field is not present in a request,
+   caches MUST consider the no-cache request pragma-directive as having
+   the same effect as if "Cache-Control: no-cache" were present.
+
+5.5.  Warning
+
+   The "Warning" header field is used to carry additional information
+   about the status or transformation of a message that might not be
+   reflected in the status code.
+
+     Warning = *( "," OWS ) warning-value *( OWS "," [ OWS
+      warning-value ] )
+     warning-value = warn-code SP warn-agent SP warn-text [ SP
+      warn-date ]
+     warn-code = 3DIGIT
+     warn-agent = ( uri-host [ ":" port ] ) / pseudonym
+     warn-text = quoted-string
+     warn-date = DQUOTE HTTP-date DQUOTE
+
+4.4.  Invalidation
+
+   Because unsafe request methods (Section 4.2.1 of RFC 7231) such as
+   PUT, POST, or DELETE have the potential for changing state on the
+   origin server, intervening caches can use them to keep their contents
+   up to date. A cache MUST invalidate the effective Request URI as well
+   as the URI(s) in the Location and Content-Location response header
+   fields (if present) when a non-error status code is received in
+   response to an unsafe request method. However, a cache MUST NOT
+   invalidate a URI from a Location or Content-Location response header
+   field if the host part of that URI differs from the host part in the
+   effective request URI, since an attacker could otherwise use a
+   response it controls to evict a victim's entries.
+
+6.  History Lists
+
+   User agents often have history mechanisms, such as "Back" buttons,
+   that can be used to redisplay a representation retrieved earlier in a
+   session. The freshness model does not necessarily apply to history
+   mechanisms. A user agent MAY display a stale representation from its
+   history without validation, provided the display clearly indicates
+   that the content is historical rather than current.
+
+8.  Security Considerations
+
+   Caches expose additional potential vulnerabilities, since the
+   contents of the cache represent an attractive target for malicious
+   exploitation. Because cache contents persist after an HTTP request is
+   complete, an attack on the cache can reveal information long after a
+   user believes that the information has been removed from the network.
+   Therefore, cache contents need to be protected as sensitive
+   information. Implementation flaws might allow attackers to insert
+   content into a cache ("cache poisoning"), leading to compromise of
+   clients that trust that content. A cache that disagrees with a
+   downstream server about the identity of the request's target is
+   especially exposed: the cache stores the poisoned response under the
+   key of the victim resource, and every subsequent user receives the
+   attacker's payload or a denial of service.
+"##;

@@ -1,0 +1,129 @@
+//! Curated excerpt of RFC 7235 — HTTP/1.1: Authentication.
+
+/// The embedded document text.
+pub const TEXT: &str = r##"
+1.  Introduction
+
+   HTTP provides a general framework for access control and
+   authentication, via an extensible set of challenge-response
+   authentication schemes, which can be used by a server to challenge a
+   client request and by a client to provide authentication information.
+   This document defines HTTP/1.1 authentication in terms of the
+   architecture defined in RFC 7230.
+
+2.1.  Challenge and Response
+
+   HTTP provides a simple challenge-response authentication framework
+   that can be used by a server to challenge a client request and by a
+   client to provide authentication information.
+
+     auth-scheme = token
+     auth-param = token BWS "=" BWS ( token / quoted-string )
+     token68 = 1*( ALPHA / DIGIT / "-" / "." / "_" / "~" / "+" / "/" )
+      *"="
+     challenge = auth-scheme [ 1*SP ( token68 / ( *( "," OWS )
+      auth-param *( OWS "," [ OWS auth-param ] ) ) ) ]
+     credentials = auth-scheme [ 1*SP ( token68 / ( *( "," OWS )
+      auth-param *( OWS "," [ OWS auth-param ] ) ) ) ]
+
+   Upon receipt of a request for a protected resource that omits
+   credentials, contains invalid credentials, or contains partial
+   credentials, the server SHOULD send a 401 (Unauthorized) response
+   that contains a WWW-Authenticate header field with at least one
+   (possibly new) challenge applicable to the requested resource.
+
+   A server that receives valid credentials that are not adequate to
+   gain access ought to respond with the 403 (Forbidden) status code.
+
+3.1.  401 Unauthorized
+
+   The 401 (Unauthorized) status code indicates that the request has not
+   been applied because it lacks valid authentication credentials for
+   the target resource. The server generating a 401 response MUST send a
+   WWW-Authenticate header field containing at least one challenge
+   applicable to the target resource.
+
+3.2.  407 Proxy Authentication Required
+
+   The 407 (Proxy Authentication Required) status code is similar to 401
+   (Unauthorized), but it indicates that the client needs to
+   authenticate itself in order to use a proxy. The proxy MUST send a
+   Proxy-Authenticate header field containing a challenge applicable to
+   that proxy for the target resource.
+
+4.1.  WWW-Authenticate
+
+   The "WWW-Authenticate" header field indicates the authentication
+   scheme(s) and parameters applicable to the target resource.
+
+     WWW-Authenticate = *( "," OWS ) challenge *( OWS "," [ OWS
+      challenge ] )
+
+   A server generating a 401 (Unauthorized) response MUST send a
+   WWW-Authenticate header field containing at least one challenge. A
+   server MAY generate a WWW-Authenticate header field in other response
+   messages to indicate that supplying credentials (or different
+   credentials) might affect the response.
+
+4.2.  Authorization
+
+   The "Authorization" header field allows a user agent to authenticate
+   itself with an origin server, usually, but not necessarily, after
+   receiving a 401 (Unauthorized) response.
+
+     Authorization = credentials
+
+   If a request is authenticated and a realm specified, the same
+   credentials are presumed to be valid for all other requests within
+   this realm. A proxy forwarding a request MUST NOT modify any
+   Authorization header fields in that request. A shared cache MUST NOT
+   use a cached response to a request with an Authorization header field
+   to satisfy any subsequent request unless explicitly allowed by a
+   cache directive.
+
+4.3.  Proxy-Authenticate
+
+   The "Proxy-Authenticate" header field consists of at least one
+   challenge that indicates the authentication scheme(s) and parameters
+   applicable to the proxy for this effective request URI.
+
+     Proxy-Authenticate = *( "," OWS ) challenge *( OWS "," [ OWS
+      challenge ] )
+
+   Unlike WWW-Authenticate, the Proxy-Authenticate header field applies
+   only to the next outbound client on the response chain. An
+   intermediary MUST NOT forward the Proxy-Authenticate header field.
+
+4.4.  Proxy-Authorization
+
+   The "Proxy-Authorization" header field allows the client to identify
+   itself (or its user) to a proxy that requires authentication.
+
+     Proxy-Authorization = credentials
+
+   An intermediary MAY consume the Proxy-Authorization header field if
+   the credentials were intended for that intermediary; otherwise the
+   intermediary MUST forward the field unmodified.
+
+5.1.  Authentication Scheme Registry
+
+   The "Hypertext Transfer Protocol (HTTP) Authentication Scheme
+   Registry" defines the namespace for the authentication schemes in
+   challenges and credentials. A new scheme registration MUST include a
+   pointer to the specification text. The authentication parameter
+   "realm" is reserved for use by authentication schemes that wish to
+   indicate a scope of protection. A sender MUST NOT generate the
+   quoted and unquoted form of the same parameter value in the same
+   challenge, since recipients are known to disagree about which one
+   wins.
+
+6.  Security Considerations
+
+   The HTTP authentication framework does not define a single mechanism
+   for maintaining the confidentiality of credentials. A sender MUST NOT
+   transmit credentials within a URI, since URIs are routinely logged
+   and forwarded by intermediaries that have no obligation to keep them
+   secret. A proxy MUST NOT use a cached 401 (Unauthorized) response to
+   satisfy a request with different credentials, since doing so denies
+   service to authorized users.
+"##;

@@ -1,0 +1,323 @@
+//! The three detection models (HRS, HoT, CPDoS).
+//!
+//! Detection rules are predicates over the behavior the workflow
+//! collected. Because HDiff has the strict baseline, every finding also
+//! attributes nonconformance to specific products (`culprits`) — the
+//! advantage over plain differential testing the paper highlights.
+
+use std::collections::BTreeSet;
+
+use hdiff_gen::AttackClass;
+use hdiff_servers::{interpret, Outcome, ParserProfile};
+
+use crate::baseline::{baseline_profile, deviations, Deviation, DeviationKind};
+use crate::findings::Finding;
+use crate::workflow::CaseOutcome;
+
+/// Runs all detection models over one case outcome.
+///
+/// `profiles` must contain every product profile participating (for
+/// deviation attribution).
+pub fn detect_case(profiles: &[ParserProfile], outcome: &CaseOutcome) -> Vec<Finding> {
+    let baseline = interpret(&baseline_profile(), &outcome.bytes);
+    let mut findings = Vec::new();
+
+    let lookup = |name: &str| profiles.iter().find(|p| p.name == name);
+    let devs_of = |name: &str| -> Vec<Deviation> {
+        lookup(name)
+            .map(|p| deviations(&interpret(p, &outcome.bytes), &baseline, &outcome.bytes))
+            .unwrap_or_default()
+    };
+
+    // ---- Model 0: single-implementation deviations ------------------------
+    // (covers both direct back-end runs and proxy interpretations).
+    let mut singles: Vec<&str> = outcome.direct.iter().map(|(n, _)| n.as_str()).collect();
+    for chain in &outcome.chains {
+        if !singles.contains(&chain.proxy.as_str()) {
+            singles.push(chain.proxy.as_str());
+        }
+    }
+    for name in singles {
+        for dev in devs_of(name) {
+            let attributable = matches!(
+                dev.kind,
+                DeviationKind::LenientAccept
+                    | DeviationKind::Framing
+                    | DeviationKind::Host
+                    | DeviationKind::Repair
+            );
+            if !attributable {
+                continue;
+            }
+            findings.push(Finding {
+                class: dev.class,
+                uuid: outcome.uuid,
+                origin: outcome.origin.clone(),
+                front: None,
+                back: None,
+                culprits: [name.to_string()].into_iter().collect(),
+                evidence: format!("{name}: {}", dev.detail),
+            });
+        }
+    }
+
+    // ---- Pair models over chains -------------------------------------------
+    for chain in &outcome.chains {
+        let Some(first_proxy) = chain.proxy_results.first() else { continue };
+        if !first_proxy.interpretation.outcome.is_accept() {
+            continue;
+        }
+        let proxy_host = first_proxy.interpretation.host.clone();
+        let proxy_devs = devs_of(&chain.proxy);
+
+        for replay in &chain.replays {
+            let Some(first_reply) = replay.replies.first() else { continue };
+            let backend_devs = devs_of(&replay.backend);
+            let mut pair_culprits: BTreeSet<String> = BTreeSet::new();
+            for d in proxy_devs.iter().filter(|d| d.kind != DeviationKind::StrictReject) {
+                let _ = d;
+                pair_culprits.insert(chain.proxy.clone());
+            }
+            for d in backend_devs.iter().filter(|d| d.kind != DeviationKind::StrictReject) {
+                let _ = d;
+                pair_culprits.insert(replay.backend.clone());
+            }
+
+            // HoT: both accept, host views differ.
+            if first_reply.interpretation.outcome.is_accept() {
+                let backend_host = &first_reply.interpretation.host;
+                if proxy_host.is_some() && backend_host.is_some() && proxy_host != *backend_host {
+                    findings.push(Finding {
+                        class: AttackClass::Hot,
+                        uuid: outcome.uuid,
+                        origin: outcome.origin.clone(),
+                        front: Some(chain.proxy.clone()),
+                        back: Some(replay.backend.clone()),
+                        culprits: {
+                            let mut c = pair_culprits.clone();
+                            c.insert(chain.proxy.clone());
+                            c.insert(replay.backend.clone());
+                            c
+                        },
+                        evidence: format!(
+                            "host views differ: proxy sees {:?}, backend sees {:?}",
+                            String::from_utf8_lossy(proxy_host.as_deref().unwrap_or_default()),
+                            String::from_utf8_lossy(
+                                backend_host.as_deref().unwrap_or_default()
+                            ),
+                        ),
+                    });
+                }
+            }
+
+            // HRS: desync — the back-end splits the forwarded stream into a
+            // different number of messages than the proxy sent.
+            let backend_msgs = replay.replies.len();
+            if backend_msgs != chain.forwarded_count {
+                findings.push(Finding {
+                    class: AttackClass::Hrs,
+                    uuid: outcome.uuid,
+                    origin: outcome.origin.clone(),
+                    front: Some(chain.proxy.clone()),
+                    back: Some(replay.backend.clone()),
+                    culprits: pair_culprits.clone(),
+                    evidence: format!(
+                        "desync: proxy forwarded {} message(s), backend parsed {}",
+                        chain.forwarded_count, backend_msgs
+                    ),
+                });
+            } else if let (Some(len), true) = (
+                chain.forwarded_lens.first(),
+                first_reply.interpretation.outcome.is_accept(),
+            ) {
+                // Same count but different boundary for message 1.
+                if first_reply.interpretation.consumed != *len {
+                    findings.push(Finding {
+                        class: AttackClass::Hrs,
+                        uuid: outcome.uuid,
+                        origin: outcome.origin.clone(),
+                        front: Some(chain.proxy.clone()),
+                        back: Some(replay.backend.clone()),
+                        culprits: pair_culprits.clone(),
+                        evidence: format!(
+                            "boundary disagreement: forwarded message is {} bytes, backend consumed {}",
+                            len, first_reply.interpretation.consumed
+                        ),
+                    });
+                }
+            }
+
+            // HRS: framing-related rejection of a forwarded message the
+            // proxy accepted.
+            if let Outcome::Reject { status, reason } = &first_reply.interpretation.outcome {
+                let r = reason.to_ascii_lowercase();
+                if r.contains("content-length")
+                    || r.contains("transfer")
+                    || r.contains("chunk")
+                    || r.contains("body shorter")
+                {
+                    findings.push(Finding {
+                        class: AttackClass::Hrs,
+                        uuid: outcome.uuid,
+                        origin: outcome.origin.clone(),
+                        front: Some(chain.proxy.clone()),
+                        back: Some(replay.backend.clone()),
+                        culprits: pair_culprits.clone(),
+                        evidence: format!(
+                            "proxy accepted but backend rejected framing ({status} {reason})"
+                        ),
+                    });
+                }
+            }
+
+            // CPDoS: the proxy cached an error response for this chain.
+            if replay.cache_stored_error {
+                findings.push(Finding {
+                    class: AttackClass::Cpdos,
+                    uuid: outcome.uuid,
+                    origin: outcome.origin.clone(),
+                    front: Some(chain.proxy.clone()),
+                    back: Some(replay.backend.clone()),
+                    culprits: [chain.proxy.clone()].into_iter().collect(),
+                    evidence: format!(
+                        "error response ({}) stored in the {} cache",
+                        first_reply.response.status, chain.proxy
+                    ),
+                });
+            }
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::Workflow;
+    use hdiff_gen::TestCase;
+    use hdiff_servers::products;
+    use hdiff_wire::{Method, Request, Version};
+
+    fn run(req: Request) -> Vec<Finding> {
+        let w = Workflow::standard();
+        let outcome = w.run_case(&TestCase::generated(1, req, "test"));
+        detect_case(&products(), &outcome)
+    }
+
+    #[test]
+    fn clean_request_yields_no_findings() {
+        let findings = run(Request::get("example.com"));
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn varnish_absolute_uri_hot_pair_detected() {
+        let mut b = Request::builder();
+        b.method(Method::Get)
+            .target("test://h2.com/?a=1")
+            .version(Version::Http11)
+            .header("Host", "h1.com");
+        let findings = run(b.build());
+        let hot: Vec<_> = findings.iter().filter(|f| f.class == AttackClass::Hot).collect();
+        assert!(
+            hot.iter().any(|f| f.pair() == Some(("varnish", "iis"))),
+            "{hot:?}"
+        );
+        assert!(hot.iter().any(|f| f.pair() == Some(("varnish", "tomcat"))), "{hot:?}");
+    }
+
+    #[test]
+    fn multiple_host_hot_pair_varnish_weblogic() {
+        let mut b = Request::builder();
+        b.method(Method::Get)
+            .target("/")
+            .version(Version::Http11)
+            .header("Host", "h1.com")
+            .header("Host", "h2.com");
+        let findings = run(b.build());
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.class == AttackClass::Hot && f.pair() == Some(("varnish", "weblogic"))),
+            "{findings:?}"
+        );
+        // Squid must stay out of HoT pairs (Table I).
+        assert!(
+            !findings
+                .iter()
+                .any(|f| f.class == AttackClass::Hot && f.front.as_deref() == Some("squid")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn ws_colon_te_smuggling_detected_with_culprits() {
+        let mut b = Request::builder();
+        b.method(Method::Post)
+            .target("/")
+            .version(Version::Http11)
+            .header("Host", "h1.com")
+            .header_raw(b"Transfer-Encoding : chunked".to_vec())
+            .body(hdiff_wire::encode_chunked(b"smuggl"));
+        let findings = run(b.build());
+        let hrs: Vec<_> = findings.iter().filter(|f| f.class == AttackClass::Hrs).collect();
+        assert!(!hrs.is_empty(), "{findings:?}");
+        let culprits: BTreeSet<_> =
+            hrs.iter().flat_map(|f| f.culprits.iter().cloned()).collect();
+        assert!(culprits.contains("iis"), "{culprits:?}");
+    }
+
+    #[test]
+    fn invalid_version_cpdos_detected_for_repairing_proxies() {
+        let mut req = Request::get("h1.com");
+        req.set_version(b"1.1/HTTP");
+        let findings = run(req);
+        let cpdos: BTreeSet<_> = findings
+            .iter()
+            .filter(|f| f.class == AttackClass::Cpdos)
+            .filter_map(|f| f.front.clone())
+            .collect();
+        for proxy in ["nginx", "squid", "ats"] {
+            assert!(cpdos.contains(proxy), "{proxy} missing from {cpdos:?}");
+        }
+        // Apache is strict: it rejects the bad version itself.
+        assert!(!cpdos.contains("apache"));
+    }
+
+    #[test]
+    fn hop_by_hop_host_removal_cpdos() {
+        let mut b = Request::builder();
+        b.method(Method::Get)
+            .target("/")
+            .version(Version::Http11)
+            .header("Host", "h1.com")
+            .header("Connection", "close, Host");
+        let findings = run(b.build());
+        let cpdos: BTreeSet<_> = findings
+            .iter()
+            .filter(|f| f.class == AttackClass::Cpdos)
+            .filter_map(|f| f.front.clone())
+            .collect();
+        assert!(cpdos.contains("apache"), "{findings:?}");
+    }
+
+    #[test]
+    fn chunk_overflow_repair_flags_squid_and_haproxy() {
+        let mut b = Request::builder();
+        b.method(Method::Post)
+            .target("/")
+            .version(Version::Http11)
+            .header("Host", "h1.com")
+            .header("Transfer-Encoding", "chunked")
+            .body(b"1000000000000000a\r\nabc\r\n0\r\n\r\n".to_vec());
+        let findings = run(b.build());
+        let hrs_culprits: BTreeSet<_> = findings
+            .iter()
+            .filter(|f| f.class == AttackClass::Hrs)
+            .flat_map(|f| f.culprits.iter().cloned())
+            .collect();
+        assert!(hrs_culprits.contains("squid"), "{findings:?}");
+        assert!(hrs_culprits.contains("haproxy"), "{findings:?}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Differential testing engine — the right half of Fig. 3.
+//!
+//! * [`hmetrics`] — the paper's `HMetrics` vector summarizing one
+//!   implementation's behavior on one request.
+//! * [`baseline`] — the RFC-strict oracle and *deviation* computation:
+//!   unlike plain differential testing, HDiff can tell which side of a
+//!   discrepancy violates the specification (and can test a single
+//!   implementation against SR assertions).
+//! * [`workflow`] — the three-step test workflow of Fig. 6: client →
+//!   proxy → echo, replay of forwarded bytes to back-ends (with the
+//!   replay-reduction heuristics), and direct client → back-end runs.
+//! * [`detect`] — the three detection models (HRS, HoT, CPDoS) expressed
+//!   as predicates over `HMetrics`/chain outcomes.
+//! * [`srcheck`] — single-implementation SR-assertion checking.
+//! * [`verdict`] — aggregation into Table I verdicts and Fig. 7 pair
+//!   matrices.
+//! * [`runner`] — drives a whole test-case corpus through everything.
+
+pub mod baseline;
+pub mod detect;
+pub mod findings;
+pub mod hmetrics;
+pub mod runner;
+pub mod srcheck;
+pub mod verify;
+pub mod verdict;
+pub mod workflow;
+
+pub use baseline::{deviations, Deviation, DeviationKind};
+pub use detect::detect_case;
+pub use findings::Finding;
+pub use hmetrics::HMetrics;
+pub use runner::{DiffEngine, RunSummary};
+pub use srcheck::{check_assertions, SrViolation};
+pub use verify::{verify_all, verify_finding, VerifiedFinding};
+pub use verdict::{PairMatrix, Verdicts};
+pub use workflow::{CaseOutcome, ChainRun, ReplayRun, Workflow};

@@ -1,0 +1,180 @@
+//! Drives a test-case corpus through workflow, detection and aggregation.
+
+use crossbeam::thread;
+use hdiff_gen::TestCase;
+use hdiff_servers::ParserProfile;
+
+use crate::detect::detect_case;
+use crate::findings::Finding;
+use crate::srcheck::{check_all, SrViolation};
+use crate::verdict::{PairMatrix, Verdicts};
+use crate::workflow::Workflow;
+
+/// Summary of one differential-testing run.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Test cases executed.
+    pub cases: usize,
+    /// Cases that were replayed to back-ends (survived reduction).
+    pub replayed_cases: usize,
+    /// All findings.
+    pub findings: Vec<Finding>,
+    /// SR-assertion violations (single-implementation checking).
+    pub sr_violations: Vec<SrViolation>,
+    /// Fig. 7 pair matrix.
+    pub pairs: PairMatrix,
+    /// Table I verdicts.
+    pub verdicts: Verdicts,
+}
+
+impl RunSummary {
+    /// Findings of one class.
+    pub fn findings_of(&self, class: hdiff_gen::AttackClass) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.class == class).collect()
+    }
+}
+
+/// The differential-testing engine.
+#[derive(Debug)]
+pub struct DiffEngine {
+    workflow: Workflow,
+    profiles: Vec<ParserProfile>,
+    /// Worker threads for case execution.
+    pub threads: usize,
+}
+
+impl DiffEngine {
+    /// Builds an engine over the standard Fig. 6 environment.
+    pub fn standard() -> DiffEngine {
+        DiffEngine {
+            workflow: Workflow::standard(),
+            profiles: hdiff_servers::products(),
+            threads: 4,
+        }
+    }
+
+    /// Builds an engine over custom profiles (proxies, backends).
+    pub fn new(proxies: Vec<ParserProfile>, backends: Vec<ParserProfile>) -> DiffEngine {
+        let mut profiles = proxies.clone();
+        for b in &backends {
+            if !profiles.iter().any(|p| p.name == b.name) {
+                profiles.push(b.clone());
+            }
+        }
+        DiffEngine { workflow: Workflow::new(proxies, backends), profiles, threads: 4 }
+    }
+
+    /// The workflow in use.
+    pub fn workflow(&self) -> &Workflow {
+        &self.workflow
+    }
+
+    /// Runs the full analysis over a batch of test cases.
+    pub fn run(&self, cases: &[TestCase]) -> RunSummary {
+        let mut findings: Vec<Finding> = Vec::new();
+        let mut replayed_cases = 0usize;
+
+        let chunk = cases.len().div_ceil(self.threads.max(1)).max(1);
+        let results: Vec<(Vec<Finding>, usize)> = thread::scope(|s| {
+            let mut handles = Vec::new();
+            for batch in cases.chunks(chunk) {
+                let workflow = &self.workflow;
+                let profiles = &self.profiles;
+                handles.push(s.spawn(move |_| {
+                    let mut local = Vec::new();
+                    let mut replayed = 0usize;
+                    for case in batch {
+                        let outcome = workflow.run_case(case);
+                        if outcome.chains.iter().any(|c| !c.replays.is_empty()) {
+                            replayed += 1;
+                        }
+                        local.extend(detect_case(profiles, &outcome));
+                    }
+                    (local, replayed)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("thread scope");
+
+        for (local, replayed) in results {
+            findings.extend(local);
+            replayed_cases += replayed;
+        }
+
+        let sr_violations = check_all(&self.profiles, cases);
+        let pairs = PairMatrix::from_findings(&findings);
+        let verdicts = Verdicts::from_findings(&findings, &self.profiles);
+
+        RunSummary {
+            cases: cases.len(),
+            replayed_cases,
+            findings,
+            sr_violations,
+            pairs,
+            verdicts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdiff_gen::{catalog, AttackClass, Origin, TestCase};
+
+    fn catalog_cases() -> Vec<TestCase> {
+        let mut out = Vec::new();
+        let mut uuid = 1u64;
+        for entry in catalog::catalog() {
+            for (req, note) in &entry.requests {
+                out.push(TestCase {
+                    uuid,
+                    request: req.clone(),
+                    assertions: Vec::new(),
+                    origin: Origin::Catalog(entry.id.to_string()),
+                    note: note.clone(),
+                });
+                uuid += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn catalog_run_produces_findings_of_all_three_classes() {
+        let engine = DiffEngine::standard();
+        let summary = engine.run(&catalog_cases());
+        assert!(summary.cases >= 14);
+        for class in AttackClass::ALL {
+            assert!(
+                !summary.findings_of(class).is_empty(),
+                "no findings for {class}"
+            );
+        }
+        assert!(summary.replayed_cases > 0);
+    }
+
+    #[test]
+    fn catalog_run_reproduces_key_pairs() {
+        let engine = DiffEngine::standard();
+        let summary = engine.run(&catalog_cases());
+        // The two pairs the paper names for HoT.
+        assert!(summary.pairs.contains(AttackClass::Hot, "varnish", "iis"), "{:?}", summary.pairs.pairs(AttackClass::Hot));
+        assert!(summary.pairs.contains(AttackClass::Hot, "nginx", "weblogic"), "{:?}", summary.pairs.pairs(AttackClass::Hot));
+        // All six proxies must be CPDoS-affected.
+        assert_eq!(summary.pairs.fronts(AttackClass::Cpdos).len(), 6, "{:?}", summary.pairs.fronts(AttackClass::Cpdos));
+    }
+
+    #[test]
+    fn single_thread_and_multi_thread_agree() {
+        let cases = catalog_cases();
+        let mut e1 = DiffEngine::standard();
+        e1.threads = 1;
+        let mut e4 = DiffEngine::standard();
+        e4.threads = 4;
+        let s1 = e1.run(&cases);
+        let s4 = e4.run(&cases);
+        assert_eq!(s1.findings.len(), s4.findings.len());
+        assert_eq!(s1.verdicts.total_marks(), s4.verdicts.total_marks());
+    }
+}

@@ -1,0 +1,338 @@
+//! The three-step test workflow of Fig. 6.
+//!
+//! * **Step 1** — the client sends each test case to every proxy, which
+//!   forwards to the echo server; proxy logs and forwarded bytes are
+//!   recorded.
+//! * **Step 2** — forwarded bytes are replayed against every back-end
+//!   (replay reduction: only proxy-accepted, ambiguous messages are
+//!   replayed), simulating all proxy×back-end chains without deploying
+//!   them pairwise.
+//! * **Step 3** — the client also sends each case directly to every
+//!   back-end to learn its own interpretation.
+//!
+//! After step 2 the proxy's cache is fed with the back-end response so the
+//! CPDoS model can check storability.
+
+use hdiff_gen::TestCase;
+use hdiff_servers::cache::{CacheKey, StoreDecision};
+use hdiff_servers::{EchoServer, ParserProfile, Proxy, ProxyResult, Server, ServerReply};
+
+/// One back-end's replies to a byte stream.
+#[derive(Debug, Clone)]
+pub struct ReplayRun {
+    /// Back-end product name.
+    pub backend: String,
+    /// Replies, one per message the back-end parsed.
+    pub replies: Vec<ServerReply>,
+    /// Cache storage decision for the first reply (using the proxy's view
+    /// as the key), plus whether the stored response was an error.
+    pub cache_stored_error: bool,
+}
+
+/// One proxy's processing of a test case.
+#[derive(Debug, Clone)]
+pub struct ChainRun {
+    /// Proxy product name.
+    pub proxy: String,
+    /// Per-message proxy results (interpretation + action).
+    pub proxy_results: Vec<ProxyResult>,
+    /// Concatenated forwarded bytes (what travels downstream).
+    pub forwarded: Vec<u8>,
+    /// Number of messages the proxy forwarded.
+    pub forwarded_count: usize,
+    /// Length of each forwarded message (for desync comparison).
+    pub forwarded_lens: Vec<usize>,
+    /// Step-2 replays (empty when reduction skipped them).
+    pub replays: Vec<ReplayRun>,
+}
+
+/// The complete outcome of one test case.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Test-case id.
+    pub uuid: u64,
+    /// Origin string (sr:…/abnf/catalog:…).
+    pub origin: String,
+    /// The client bytes sent.
+    pub bytes: Vec<u8>,
+    /// Step-1 (+2) chain runs, one per proxy.
+    pub chains: Vec<ChainRun>,
+    /// Step-3 direct back-end runs.
+    pub direct: Vec<(String, Vec<ServerReply>)>,
+}
+
+/// The workflow driver.
+#[derive(Debug)]
+pub struct Workflow {
+    proxies: Vec<ParserProfile>,
+    backends: Vec<ParserProfile>,
+    /// Replay-reduction switch (on by default, like the paper).
+    pub replay_reduction: bool,
+}
+
+impl Workflow {
+    /// Builds a workflow over proxy and back-end profiles.
+    pub fn new(proxies: Vec<ParserProfile>, backends: Vec<ParserProfile>) -> Workflow {
+        Workflow { proxies, backends, replay_reduction: true }
+    }
+
+    /// The standard Fig. 6 environment: six proxies, six back-ends.
+    pub fn standard() -> Workflow {
+        Workflow::new(hdiff_servers::proxies(), hdiff_servers::backends())
+    }
+
+    /// The proxies under test.
+    pub fn proxies(&self) -> &[ParserProfile] {
+        &self.proxies
+    }
+
+    /// The back-ends under test.
+    pub fn backends(&self) -> &[ParserProfile] {
+        &self.backends
+    }
+
+    /// Runs all three steps for one test case.
+    pub fn run_case(&self, case: &TestCase) -> CaseOutcome {
+        let bytes = case.request.to_bytes();
+
+        // Step 3: direct back-end interpretation.
+        let direct: Vec<(String, Vec<ServerReply>)> = self
+            .backends
+            .iter()
+            .map(|b| (b.name.clone(), Server::new(b.clone()).handle_stream(&bytes)))
+            .collect();
+
+        // Steps 1 and 2 per proxy.
+        let mut chains = Vec::new();
+        for proxy_profile in &self.proxies {
+            let proxy = Proxy::new(proxy_profile.clone());
+            let mut echo = EchoServer::new();
+            let proxy_results = proxy.forward_stream(&bytes);
+            let mut forwarded = Vec::new();
+            let mut forwarded_count = 0usize;
+            let mut forwarded_lens = Vec::new();
+            for r in &proxy_results {
+                if let Some(f) = r.action.forwarded() {
+                    echo.receive(f);
+                    forwarded.extend_from_slice(f);
+                    forwarded_lens.push(f.len());
+                    forwarded_count += 1;
+                }
+            }
+
+            let any_accepted = proxy_results.iter().any(|r| r.interpretation.outcome.is_accept());
+            let should_replay = forwarded_count > 0
+                && any_accepted
+                && (!self.replay_reduction || is_ambiguous(&bytes));
+
+            let mut replays = Vec::new();
+            if should_replay {
+                for backend_profile in &self.backends {
+                    let backend = Server::new(backend_profile.clone());
+                    let replies = backend.handle_stream(&forwarded);
+                    // Feed the proxy cache with the first backend response
+                    // under the proxy's own view of the request.
+                    let cache_stored_error = simulate_cache(&proxy, &proxy_results, &replies);
+                    replays.push(ReplayRun {
+                        backend: backend_profile.name.clone(),
+                        replies,
+                        cache_stored_error,
+                    });
+                }
+            }
+
+            chains.push(ChainRun {
+                proxy: proxy_profile.name.clone(),
+                proxy_results,
+                forwarded,
+                forwarded_count,
+                forwarded_lens,
+                replays,
+            });
+        }
+
+        CaseOutcome {
+            uuid: case.uuid,
+            origin: case.origin.to_string(),
+            bytes,
+            chains,
+            direct,
+        }
+    }
+}
+
+/// Simulates the proxy caching the back-end's first response; returns
+/// whether an *error* response was stored (the CPDoS precondition).
+fn simulate_cache(proxy: &Proxy, proxy_results: &[ProxyResult], replies: &[ServerReply]) -> bool {
+    let (Some(first_proxy), Some(first_reply)) = (proxy_results.first(), replies.first()) else {
+        return false;
+    };
+    if !first_proxy.interpretation.outcome.is_accept() {
+        return false;
+    }
+    let mut cache = proxy.cache.clone();
+    let key = CacheKey::new(
+        first_proxy.interpretation.host.clone().unwrap_or_default(),
+        first_proxy.interpretation.target.clone(),
+    );
+    let decision = cache.store(
+        key,
+        &first_proxy.interpretation.method,
+        &first_proxy.interpretation.version,
+        &first_reply.response,
+    );
+    decision == StoreDecision::Stored && first_reply.response.status.is_error()
+}
+
+/// The replay-reduction ambiguity heuristic (§IV-A step 2): a request is
+/// worth replaying when it carries any marker of semantic ambiguity.
+pub fn is_ambiguous(bytes: &[u8]) -> bool {
+    let lower = bytes.to_ascii_lowercase();
+    let count = |needle: &[u8]| lower.windows(needle.len()).filter(|w| *w == needle).count();
+    let has = |needle: &[u8]| count(needle) > 0;
+
+    // Duplicated or conflicting framing / host fields.
+    if count(b"content-length") >= 2 || count(b"transfer-encoding") >= 2 || count(b"host:") >= 2 {
+        return true;
+    }
+    if has(b"content-length") && has(b"transfer-encoding") {
+        return true;
+    }
+    if has(b"transfer-encoding") || has(b"chunked") {
+        return true;
+    }
+    // Special characters in the header section.
+    let header_end = lower
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or(lower.len());
+    if lower[..header_end]
+        .iter()
+        .any(|&b| b == 0 || b == 0x0b || (b < 0x20 && b != b'\r' && b != b'\n' && b != b'\t') || b >= 0x80)
+    {
+        return true;
+    }
+    // Request-line anomalies.
+    let line_end = lower.windows(2).position(|w| w == b"\r\n").unwrap_or(lower.len());
+    let line = &lower[..line_end];
+    if !line.ends_with(b"http/1.1") || line.iter().filter(|&&b| b == b' ').count() != 2 {
+        return true;
+    }
+    if has(b"http://") || has(b"://") {
+        return true;
+    }
+    // Ambiguous Host spellings (userinfo, lists, path junk, spaces).
+    if let Some(hpos) = lower.windows(5).position(|w| w == b"host:") {
+        let rest = &lower[hpos + 5..];
+        let vend = rest.windows(2).position(|w| w == b"\r\n").unwrap_or(rest.len());
+        let value: &[u8] = &rest[..vend];
+        let trimmed: Vec<u8> = value.iter().copied().filter(|&b| b != b' ').collect();
+        if value.iter().any(|&b| matches!(b, b',' | b'@' | b'/')) || trimmed.len() + 1 < value.len()
+        {
+            return true;
+        }
+    }
+    // Expect / Connection manipulation / obs-fold / body-on-GET.
+    if has(b"expect") || has(b"connection:") {
+        return true;
+    }
+    if lower[..header_end].windows(3).any(|w| w == b"\r\n " || w == b"\r\n\t") {
+        return true;
+    }
+    if lower.starts_with(b"get") && header_end + 4 < lower.len() {
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdiff_gen::TestCase;
+    use hdiff_wire::Request;
+
+    fn case(req: Request) -> TestCase {
+        TestCase::generated(1, req, "test")
+    }
+
+    #[test]
+    fn plain_request_flows_through_every_chain() {
+        let w = Workflow::standard();
+        let outcome = w.run_case(&case(Request::get("example.com")));
+        assert_eq!(outcome.chains.len(), 6);
+        assert_eq!(outcome.direct.len(), 6);
+        for chain in &outcome.chains {
+            assert_eq!(chain.forwarded_count, 1, "{}", chain.proxy);
+            // Plain request is unambiguous: replay reduction skips it.
+            assert!(chain.replays.is_empty(), "{}", chain.proxy);
+        }
+    }
+
+    #[test]
+    fn ambiguity_heuristic() {
+        assert!(!is_ambiguous(b"GET / HTTP/1.1\r\nHost: h1.com\r\n\r\n"));
+        assert!(is_ambiguous(b"GET / HTTP/1.1\r\nHost: h1.com\r\nHost: h2.com\r\n\r\n"));
+        assert!(is_ambiguous(b"POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"));
+        assert!(is_ambiguous(b"GET / HTTP/1.0\r\nHost: h\r\n\r\n"));
+        assert!(is_ambiguous(b"GET http://h2.com/ HTTP/1.1\r\nHost: h1.com\r\n\r\n"));
+        assert!(is_ambiguous(b"GET / HTTP/1.1\r\nHost: h\r\nExpect: 100-continue\r\n\r\n"));
+        assert!(is_ambiguous(b"GET / HTTP/1.1\r\n\x0bHost: h\r\n\r\n"));
+    }
+
+    #[test]
+    fn ambiguous_case_gets_replayed() {
+        let w = Workflow::standard();
+        let mut b = Request::builder();
+        b.header("Host", "h1.com").header("Host", "h2.com");
+        let outcome = w.run_case(&case(b.build()));
+        // Varnish (multi-host First + transparent) forwards; its chain must
+        // carry replays against all six backends.
+        let varnish = outcome.chains.iter().find(|c| c.proxy == "varnish").unwrap();
+        assert_eq!(varnish.replays.len(), 6);
+        // Apache (strict) rejects at the proxy: no replay.
+        let apache = outcome.chains.iter().find(|c| c.proxy == "apache").unwrap();
+        assert!(apache.replays.is_empty());
+    }
+
+    #[test]
+    fn exhaustive_mode_replays_everything_forwarded() {
+        let mut w = Workflow::standard();
+        w.replay_reduction = false;
+        // A plain (unambiguous) request is still replayed when reduction
+        // is off — quantifying what the heuristic saves.
+        let outcome = w.run_case(&case(Request::get("example.com")));
+        for chain in &outcome.chains {
+            assert_eq!(chain.replays.len(), 6, "{}", chain.proxy);
+        }
+    }
+
+    #[test]
+    fn forwarded_lens_sum_to_forwarded_bytes() {
+        let w = Workflow::standard();
+        let mut b = Request::builder();
+        b.header("Host", "h1.com").header("Host", "h2.com");
+        let outcome = w.run_case(&case(b.build()));
+        for chain in &outcome.chains {
+            let total: usize = chain.forwarded_lens.iter().sum();
+            assert_eq!(total, chain.forwarded.len(), "{}", chain.proxy);
+            assert_eq!(chain.forwarded_lens.len(), chain.forwarded_count);
+        }
+    }
+
+    #[test]
+    fn cache_simulation_records_error_storage() {
+        let w = Workflow::standard();
+        // Nginx repairs the version, backends reject the repaired line,
+        // nginx caches the error: CPDoS.
+        let mut req = Request::get("h1.com");
+        req.set_version(b"1.1/HTTP");
+        let outcome = w.run_case(&case(req));
+        let nginx = outcome.chains.iter().find(|c| c.proxy == "nginx").unwrap();
+        assert!(!nginx.replays.is_empty());
+        assert!(
+            nginx.replays.iter().any(|r| r.cache_stored_error),
+            "{:?}",
+            nginx.replays.iter().map(|r| (&r.backend, r.cache_stored_error)).collect::<Vec<_>>()
+        );
+    }
+}

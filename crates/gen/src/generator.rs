@@ -1,0 +1,600 @@
+//! Depth-bounded ABNF tree traversal (§III-D, *ABNF Generator*).
+//!
+//! The generator walks the adapted grammar's syntax tree from a start rule
+//! down to leaf nodes. Two mechanisms keep output useful and finite:
+//!
+//! * a **recursion depth cap** (the paper limits traversal to depth 7) —
+//!   when the cap is hit, the generator takes the alternative/repetition
+//!   with the smallest guaranteed depth, computed by a memoized min-depth
+//!   analysis that also proves termination for recursive rules like
+//!   RFC 7230's `comment`;
+//! * **predefined leaf rules** that replace free traversal for selected
+//!   rules with representative values (see [`crate::predefined`]).
+
+use std::collections::BTreeMap;
+
+use hdiff_abnf::{Grammar, Node, Repeat};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::predefined::PredefinedRules;
+
+/// Generation options.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Maximum traversal depth (rule-reference expansions on one path).
+    pub max_depth: usize,
+    /// Maximum repetitions taken for unbounded `*` repeats.
+    pub max_repeat: u32,
+    /// Predefined leaf values.
+    pub predefined: PredefinedRules,
+    /// RNG seed — generation is fully deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            max_depth: 7,
+            max_repeat: 3,
+            predefined: PredefinedRules::standard(),
+            seed: 0x4844_6966_6621,
+        }
+    }
+}
+
+/// The ABNF test-string generator.
+#[derive(Debug)]
+pub struct AbnfGenerator {
+    grammar: Grammar,
+    opts: GenOptions,
+    rng: StdRng,
+    min_depth: BTreeMap<String, usize>,
+}
+
+impl AbnfGenerator {
+    /// Builds a generator over an adapted grammar.
+    pub fn new(grammar: Grammar, opts: GenOptions) -> AbnfGenerator {
+        let rng = StdRng::seed_from_u64(opts.seed);
+        let mut g = AbnfGenerator { grammar, opts, rng, min_depth: BTreeMap::new() };
+        g.compute_min_depths();
+        g
+    }
+
+    /// The grammar being generated from.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// Generates one value for `rule`, or `None` when the rule is unknown.
+    pub fn generate(&mut self, rule: &str) -> Option<Vec<u8>> {
+        let node = self.grammar.get(rule)?.node.clone();
+        let mut out = Vec::new();
+        self.eval(&node, 0, &mut out);
+        Some(out)
+    }
+
+    /// Generates one value from an arbitrary syntax-tree node (used by the
+    /// tree mutator to generate from mutated grammars).
+    pub fn generate_node(&mut self, node: &Node) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.eval(node, 0, &mut out);
+        out
+    }
+
+    /// Generates `count` values for `rule` (deduplicated, order preserved).
+    pub fn generate_many(&mut self, rule: &str, count: usize) -> Vec<Vec<u8>> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        // Allow extra attempts so duplicates do not starve the result.
+        for _ in 0..count.saturating_mul(4) {
+            if out.len() >= count {
+                break;
+            }
+            if let Some(v) = self.generate(rule) {
+                if seen.insert(v.clone()) {
+                    out.push(v);
+                }
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Exhaustively enumerates derivations of `rule`, depth-first, up to
+    /// `limit` results (the paper's "depth-first traversal of the tree"
+    /// generation mode — random sampling via [`AbnfGenerator::generate`]
+    /// complements it for wide grammars).
+    ///
+    /// Unbounded repetitions are capped at `max_repeat`; wide byte ranges
+    /// contribute only their endpoints plus one midpoint so enumeration
+    /// stays representative rather than exhaustive over bytes.
+    pub fn enumerate(&mut self, rule: &str, limit: usize) -> Vec<Vec<u8>> {
+        let Some(r) = self.grammar.get(rule) else {
+            return Vec::new();
+        };
+        let node = r.node.clone();
+        let mut out = self.enumerate_node(&node, 0, limit);
+        out.truncate(limit);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn enumerate_node(&mut self, node: &Node, depth: usize, limit: usize) -> Vec<Vec<u8>> {
+        if limit == 0 {
+            return Vec::new();
+        }
+        match node {
+            Node::Alternation(alts) => {
+                let mut out = Vec::new();
+                for a in alts {
+                    if out.len() >= limit {
+                        break;
+                    }
+                    out.extend(self.enumerate_node(a, depth, limit - out.len()));
+                }
+                out
+            }
+            Node::Concatenation(seq) => {
+                let mut prefixes: Vec<Vec<u8>> = vec![Vec::new()];
+                for part in seq {
+                    let parts = self.enumerate_node(part, depth, limit);
+                    if parts.is_empty() {
+                        return Vec::new();
+                    }
+                    let mut next = Vec::new();
+                    'outer: for p in &prefixes {
+                        for q in &parts {
+                            if next.len() >= limit {
+                                break 'outer;
+                            }
+                            let mut v = p.clone();
+                            v.extend_from_slice(q);
+                            next.push(v);
+                        }
+                    }
+                    prefixes = next;
+                }
+                prefixes
+            }
+            Node::Repetition(rep, inner) => {
+                let max = rep
+                    .max
+                    .unwrap_or(rep.min.saturating_add(self.opts.max_repeat))
+                    .min(rep.min.saturating_add(self.opts.max_repeat));
+                let mut out = Vec::new();
+                for n in rep.min..=max {
+                    if out.len() >= limit {
+                        break;
+                    }
+                    let reps = Node::Concatenation(vec![(**inner).clone(); n as usize]);
+                    if n == 0 {
+                        out.push(Vec::new());
+                    } else {
+                        out.extend(self.enumerate_node(&reps, depth, limit - out.len()));
+                    }
+                }
+                out
+            }
+            Node::Group(inner) => self.enumerate_node(inner, depth, limit),
+            Node::Optional(inner) => {
+                let mut out = vec![Vec::new()];
+                out.extend(self.enumerate_node(inner, depth, limit.saturating_sub(1)));
+                out
+            }
+            Node::RuleRef(name) => {
+                if let Some(values) = self.opts.predefined.get(name) {
+                    if !values.is_empty() {
+                        return values.iter().take(limit).cloned().collect();
+                    }
+                }
+                if depth >= self.opts.max_depth {
+                    // Depth cap: fall back to one sampled value.
+                    let mut v = Vec::new();
+                    if let Some(rule) = self.grammar.get(name) {
+                        let node = rule.node.clone();
+                        self.eval(&node, depth + 1, &mut v);
+                    }
+                    return vec![v];
+                }
+                match self.grammar.get(name) {
+                    Some(rule) => {
+                        let node = rule.node.clone();
+                        self.enumerate_node(&node, depth + 1, limit)
+                    }
+                    None => Vec::new(),
+                }
+            }
+            Node::CharVal { value, .. } => vec![value.as_bytes().to_vec()],
+            Node::NumVal(v) => {
+                let mut out = Vec::new();
+                push_char(*v, &mut out);
+                vec![out]
+            }
+            Node::NumRange(lo, hi) => {
+                // Representative endpoints + midpoint.
+                let mid = lo + (hi - lo) / 2;
+                let mut picks = vec![*lo, mid, *hi];
+                picks.dedup();
+                picks
+                    .into_iter()
+                    .take(limit)
+                    .map(|v| {
+                        let mut out = Vec::new();
+                        push_char(v, &mut out);
+                        out
+                    })
+                    .collect()
+            }
+            Node::NumSeq(vs) => {
+                let mut out = Vec::new();
+                for v in vs {
+                    push_char(*v, &mut out);
+                }
+                vec![out]
+            }
+            Node::ProseVal(_) => Vec::new(),
+        }
+    }
+
+    fn eval(&mut self, node: &Node, depth: usize, out: &mut Vec<u8>) {
+        match node {
+            Node::Alternation(alts) => {
+                let idx = if depth >= self.opts.max_depth {
+                    // Depth cap: cheapest alternative.
+                    (0..alts.len())
+                        .min_by_key(|&i| self.node_min_depth(&alts[i]))
+                        .unwrap_or(0)
+                } else {
+                    self.rng.gen_range(0..alts.len())
+                };
+                self.eval(&alts[idx], depth, out);
+            }
+            Node::Concatenation(seq) => {
+                for n in seq {
+                    self.eval(n, depth, out);
+                }
+            }
+            Node::Repetition(rep, inner) => {
+                let n = self.pick_repeat(*rep, depth);
+                for _ in 0..n {
+                    self.eval(inner, depth, out);
+                }
+            }
+            Node::Group(inner) => self.eval(inner, depth, out),
+            Node::Optional(inner) => {
+                let take = depth < self.opts.max_depth && self.rng.gen_bool(0.5);
+                if take {
+                    self.eval(inner, depth, out);
+                }
+            }
+            Node::RuleRef(name) => {
+                if let Some(values) = self.opts.predefined.get(name) {
+                    if !values.is_empty() {
+                        let idx = self.rng.gen_range(0..values.len());
+                        out.extend_from_slice(&values[idx]);
+                        return;
+                    }
+                }
+                // Hard guard: an ill-founded grammar (mutual recursion with
+                // no terminating alternative) must degrade to empty output,
+                // never to unbounded recursion.
+                if depth > self.opts.max_depth + 64 {
+                    return;
+                }
+                if let Some(rule) = self.grammar.get(name) {
+                    let node = rule.node.clone();
+                    self.eval(&node, depth + 1, out);
+                }
+                // Unknown rule: generate nothing (adaptor reports these).
+            }
+            Node::CharVal { value, .. } => out.extend_from_slice(value.as_bytes()),
+            Node::NumVal(v) => push_char(*v, out),
+            Node::NumRange(lo, hi) => {
+                let lo = *lo;
+                let hi = (*hi).max(lo);
+                // Bias printable ASCII inside wide ranges.
+                let v = if lo <= 0x21 && hi >= 0x7e {
+                    self.rng.gen_range(0x21..=0x7e)
+                } else {
+                    self.rng.gen_range(lo..=hi)
+                };
+                push_char(v, out);
+            }
+            Node::NumSeq(vs) => {
+                for v in vs {
+                    push_char(*v, out);
+                }
+            }
+            Node::ProseVal(_) => {
+                // Unexpanded prose: nothing to generate.
+            }
+        }
+    }
+
+    fn pick_repeat(&mut self, rep: Repeat, depth: usize) -> u32 {
+        let min = rep.min;
+        let max = rep.max.unwrap_or(min.saturating_add(self.opts.max_repeat));
+        let max = max.min(min.saturating_add(self.opts.max_repeat));
+        if depth >= self.opts.max_depth || min >= max {
+            return min;
+        }
+        self.rng.gen_range(min..=max)
+    }
+
+    /// Minimum expansion depth of a rule (∞ for rules that cannot
+    /// terminate without the depth cap, which the grammar should not have).
+    fn compute_min_depths(&mut self) {
+        // Iterate to fixpoint: min_depth(rule) over the grammar.
+        const INF: usize = usize::MAX / 4;
+        let names: Vec<String> = self.grammar.iter().map(|r| r.name.to_ascii_lowercase()).collect();
+        for n in &names {
+            self.min_depth.insert(n.clone(), INF);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for name in &names {
+                let node = match self.grammar.get(name) {
+                    Some(r) => r.node.clone(),
+                    None => continue,
+                };
+                let d = 1 + self.node_min_depth(&node);
+                let entry = self.min_depth.get_mut(name).expect("inserted above");
+                if d < *entry {
+                    *entry = d;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    fn node_min_depth(&self, node: &Node) -> usize {
+        const INF: usize = usize::MAX / 4;
+        match node {
+            Node::Alternation(alts) => {
+                alts.iter().map(|n| self.node_min_depth(n)).min().unwrap_or(0)
+            }
+            Node::Concatenation(seq) => {
+                seq.iter().map(|n| self.node_min_depth(n)).max().unwrap_or(0)
+            }
+            Node::Repetition(rep, inner) => {
+                if rep.min == 0 {
+                    0
+                } else {
+                    self.node_min_depth(inner)
+                }
+            }
+            Node::Group(inner) => self.node_min_depth(inner),
+            Node::Optional(_) => 0,
+            Node::RuleRef(name) => {
+                if self.opts.predefined.get(name).is_some() {
+                    return 0; // predefined values cost no traversal
+                }
+                self.min_depth
+                    .get(&name.to_ascii_lowercase())
+                    .copied()
+                    .unwrap_or_else(|| {
+                        if hdiff_abnf::core_rules::is_core_rule(name) {
+                            1
+                        } else {
+                            INF
+                        }
+                    })
+            }
+            _ => 0,
+        }
+    }
+}
+
+fn push_char(v: u32, out: &mut Vec<u8>) {
+    if v <= 0xff {
+        out.push(v as u8);
+    } else if let Some(c) = char::from_u32(v) {
+        let mut buf = [0u8; 4];
+        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdiff_abnf::parse_rulelist;
+
+    fn grammar(text: &str) -> Grammar {
+        Grammar::from_rules("t", parse_rulelist(text).unwrap())
+    }
+
+    fn gen(text: &str) -> AbnfGenerator {
+        AbnfGenerator::new(grammar(text), GenOptions { predefined: PredefinedRules::empty(), ..GenOptions::default() })
+    }
+
+    #[test]
+    fn literal_generation() {
+        let mut g = gen("greeting = \"hello\"");
+        assert_eq!(g.generate("greeting").unwrap(), b"hello");
+        assert!(g.generate("missing").is_none());
+    }
+
+    #[test]
+    fn http_version_generation_is_valid() {
+        let mut g = gen("HTTP-version = HTTP-name \"/\" DIGIT \".\" DIGIT\nHTTP-name = %x48.54.54.50");
+        for _ in 0..20 {
+            let v = g.generate("HTTP-version").unwrap();
+            assert_eq!(v.len(), 8);
+            assert!(v.starts_with(b"HTTP/"), "{v:?}");
+            assert!(v[5].is_ascii_digit() && v[6] == b'.' && v[7].is_ascii_digit());
+        }
+    }
+
+    #[test]
+    fn repetition_bounds_respected() {
+        let mut g = gen("x = 2*4\"a\"");
+        for _ in 0..20 {
+            let v = g.generate("x").unwrap();
+            assert!((2..=4).contains(&v.len()), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn unbounded_repetition_capped() {
+        let mut g = AbnfGenerator::new(
+            grammar("x = *\"a\""),
+            GenOptions { max_repeat: 3, predefined: PredefinedRules::empty(), ..GenOptions::default() },
+        );
+        for _ in 0..20 {
+            assert!(g.generate("x").unwrap().len() <= 3);
+        }
+    }
+
+    #[test]
+    fn recursive_rules_terminate() {
+        // RFC 7230 comment is self-recursive.
+        let mut g = gen(
+            "comment = \"(\" *( ctext / comment ) \")\"\nctext = %x61-7A",
+        );
+        for _ in 0..50 {
+            let v = g.generate("comment").unwrap();
+            assert!(v.starts_with(b"(") && v.ends_with(b")"));
+        }
+    }
+
+    #[test]
+    fn predefined_values_used() {
+        let mut predefined = PredefinedRules::empty();
+        predefined.set("uri-host", vec![b"h1.com".to_vec()]);
+        let mut g = AbnfGenerator::new(
+            grammar("Host = uri-host [ \":\" port ]\nuri-host = 1*ALPHA\nport = 1*DIGIT"),
+            GenOptions { predefined, ..GenOptions::default() },
+        );
+        for _ in 0..10 {
+            let v = g.generate("Host").unwrap();
+            assert!(v.starts_with(b"h1.com"), "{:?}", String::from_utf8_lossy(&v));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let make = |seed| {
+            let mut g = AbnfGenerator::new(
+                grammar("x = 1*5ALPHA"),
+                GenOptions { seed, predefined: PredefinedRules::empty(), ..GenOptions::default() },
+            );
+            g.generate_many("x", 10)
+        };
+        assert_eq!(make(42), make(42));
+        assert_ne!(make(42), make(43));
+    }
+
+    #[test]
+    fn generate_many_deduplicates() {
+        let mut g = gen("x = \"a\" / \"b\"");
+        let vs = g.generate_many("x", 10);
+        assert!(vs.len() <= 2);
+        let set: std::collections::BTreeSet<_> = vs.iter().collect();
+        assert_eq!(set.len(), vs.len());
+    }
+
+    #[test]
+    fn num_range_stays_in_range() {
+        let mut g = gen("d = %x30-39");
+        for _ in 0..20 {
+            let v = g.generate("d").unwrap();
+            assert!(v[0].is_ascii_digit());
+        }
+    }
+
+    #[test]
+    fn enumeration_is_exhaustive_for_small_rules() {
+        let mut g = gen("coding = \"chunked\" / \"gzip\" / \"deflate\"");
+        let all = g.enumerate("coding", 100);
+        assert_eq!(
+            all,
+            vec![b"chunked".to_vec(), b"deflate".to_vec(), b"gzip".to_vec()]
+        );
+    }
+
+    #[test]
+    fn enumeration_expands_repetitions_and_options() {
+        let mut g = gen("x = 1*2\"a\" [ \"b\" ]");
+        let mut all = g.enumerate("x", 100);
+        all.sort();
+        assert_eq!(all, vec![b"a".to_vec(), b"aa".to_vec(), b"aab".to_vec(), b"ab".to_vec()]);
+    }
+
+    #[test]
+    fn enumeration_respects_the_limit() {
+        let mut g = gen("d = 4DIGIT");
+        let some = g.enumerate("d", 10);
+        assert!(some.len() <= 10);
+        assert!(!some.is_empty());
+        for v in &some {
+            assert_eq!(v.len(), 4);
+            assert!(v.iter().all(u8::is_ascii_digit));
+        }
+    }
+
+    #[test]
+    fn enumeration_of_http_version_covers_grammar_shape() {
+        let mut g = gen("HTTP-version = HTTP-name \"/\" DIGIT \".\" DIGIT\nHTTP-name = %x48.54.54.50");
+        let all = g.enumerate("HTTP-version", 1000);
+        // DIGIT enumerates endpoints + midpoint: 3 choices per digit slot.
+        assert_eq!(all.len(), 9);
+        assert!(all.contains(&b"HTTP/0.0".to_vec()));
+        assert!(all.contains(&b"HTTP/9.9".to_vec()));
+        for v in &all {
+            assert!(v.starts_with(b"HTTP/"));
+        }
+    }
+
+    #[test]
+    fn enumerated_values_match_the_grammar() {
+        let g = grammar("t = 1*2( \"x\" / \"y\" ) [ \":\" DIGIT ]");
+        let mut generator = AbnfGenerator::new(
+            g.clone(),
+            GenOptions { predefined: PredefinedRules::empty(), ..GenOptions::default() },
+        );
+        let all = generator.enumerate("t", 200);
+        assert!(all.len() >= 6);
+        for v in &all {
+            assert!(
+                hdiff_abnf::matcher::matches(&g, "t", v).is_match(),
+                "{:?}",
+                String::from_utf8_lossy(v)
+            );
+        }
+    }
+
+    #[test]
+    fn generates_valid_host_from_real_corpus_grammar() {
+        let out = hdiff_analyzer::DocumentAnalyzer::with_default_inputs()
+            .analyze(&hdiff_corpus::core_documents());
+        let mut g = AbnfGenerator::new(out.grammar, GenOptions::default());
+        let hosts = g.generate_many("Host", 25);
+        assert!(!hosts.is_empty());
+        for h in &hosts {
+            // Predefined uri-host keeps these realistic.
+            let s = String::from_utf8_lossy(h);
+            assert!(
+                s.starts_with("h1.com") || s.starts_with("h2.com") || s.starts_with("example.com")
+                    || s.starts_with("127.0.0.1") || s.starts_with('['),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn generates_whole_http_message_from_corpus_grammar() {
+        let out = hdiff_analyzer::DocumentAnalyzer::with_default_inputs()
+            .analyze(&hdiff_corpus::core_documents());
+        let mut g = AbnfGenerator::new(out.grammar, GenOptions::default());
+        let msgs = g.generate_many("HTTP-message", 10);
+        assert!(!msgs.is_empty());
+        // Every generated message must contain a CRLF-terminated start line.
+        for m in &msgs {
+            assert!(m.windows(2).any(|w| w == b"\r\n"), "{:?}", String::from_utf8_lossy(m));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Test-case generation for HDiff: ABNF generator, mutation engine, SR
+//! translator, and the attack-vector catalog.
+//!
+//! * [`predefined`] — the fourth manual input of Fig. 3: representative
+//!   values for leaf rules so generated messages are accepted by servers
+//!   (e.g. `IPv4address` ∈ {127.0.0.1, 8.8.8.8}).
+//! * [`generator`] — depth-bounded traversal of the adapted ABNF tree
+//!   (recursion cap, the paper uses 7) producing grammar-valid byte
+//!   strings, plus whole-request seed generation.
+//! * [`mutate`] — the mutation engine: special-character insertion, header
+//!   repetition, case variation, obs-fold, encoding tricks — "several
+//!   rounds … so that the changes make a small impact on the format".
+//! * [`sr_translator`] — turns formal SRs into [`TestCase`]s with
+//!   assertions, via the SR semantic definitions.
+//! * [`catalog`] — the named attack-vector inventory of Table II, used by
+//!   the differential engine and the `table2` harness.
+
+pub mod catalog;
+pub mod generator;
+pub mod mutate;
+pub mod predefined;
+pub mod sr_translator;
+pub mod testcase;
+pub mod tree_mutate;
+
+pub use catalog::{AttackClass, CatalogEntry};
+pub use generator::{AbnfGenerator, GenOptions};
+pub use mutate::{MutationEngine, MutationKind};
+pub use predefined::PredefinedRules;
+pub use sr_translator::SrTranslator;
+pub use testcase::{Assertion, Origin, TestCase};
+pub use tree_mutate::{TreeMutation, TreeMutator};

@@ -1,0 +1,108 @@
+//! Predefined leaf rules — the fourth manual input of Fig. 3.
+//!
+//! Unconstrained traversal of the ABNF tree yields values like
+//! `Host:\t!VAA2.:='i:22` — grammar-valid but "too distorted and easy to
+//! be directly rejected by the target server" (§III-D). Predefined rules
+//! pin representative values for selected leaf rules so the generated
+//! seeds are realistic; the generator falls back to free traversal for
+//! everything else.
+
+use std::collections::BTreeMap;
+
+/// Representative values per rule name (case-insensitive keys).
+#[derive(Debug, Clone, Default)]
+pub struct PredefinedRules {
+    values: BTreeMap<String, Vec<Vec<u8>>>,
+}
+
+impl PredefinedRules {
+    /// An empty table (pure grammar traversal).
+    pub fn empty() -> PredefinedRules {
+        PredefinedRules::default()
+    }
+
+    /// The default table used in the experiments.
+    pub fn standard() -> PredefinedRules {
+        let mut t = PredefinedRules::default();
+        let entries: &[(&str, &[&str])] = &[
+            ("IPv4address", &["127.0.0.1", "8.8.8.8"]),
+            ("uri-host", &["h1.com", "h2.com", "example.com", "127.0.0.1"]),
+            ("host", &["h1.com", "h2.com", "example.com"]),
+            ("reg-name", &["h1.com", "h2.com"]),
+            ("port", &["80", "8080"]),
+            ("method", &["GET", "POST", "HEAD", "OPTIONS", "PUT"]),
+            ("scheme", &["http", "https", "test"]),
+            ("segment", &["index.html", "a", "test"]),
+            ("query", &["a=1", "q=x"]),
+            ("absolute-path", &["/", "/index.html", "/a/b"]),
+            ("token", &["foo", "bar", "x-test"]),
+            ("field-name", &["X-Custom", "X-Test"]),
+            ("field-value", &["value", "1"]),
+            ("transfer-coding", &["chunked", "gzip", "identity"]),
+            ("chunk-size", &["3", "a", "0"]),
+            ("chunk-data", &["abc", "hello"]),
+            ("connection-option", &["close", "keep-alive"]),
+            ("protocol-version", &["1.1"]),
+            ("protocol-name", &["HTTP"]),
+            ("pseudonym", &["proxy1"]),
+            ("delta-seconds", &["60"]),
+            ("delay-seconds", &["120"]),
+            ("qdtext", &["q"]),
+            ("obs-text", &["\u{00}"]),
+            ("OCTET", &["a"]),
+            ("CHAR", &["a"]),
+            ("VCHAR", &["a"]),
+        ];
+        for (name, vals) in entries {
+            t.set(name, vals.iter().map(|v| v.as_bytes().to_vec()).collect());
+        }
+        t
+    }
+
+    /// Sets the representative values for a rule.
+    pub fn set(&mut self, name: &str, values: Vec<Vec<u8>>) {
+        self.values.insert(name.to_ascii_lowercase(), values);
+    }
+
+    /// The values for a rule, if predefined.
+    pub fn get(&self, name: &str) -> Option<&[Vec<u8>]> {
+        self.values.get(&name.to_ascii_lowercase()).map(Vec::as_slice)
+    }
+
+    /// Number of predefined rules.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no rules are predefined.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_table_has_representative_hosts() {
+        let t = PredefinedRules::standard();
+        let hosts = t.get("uri-host").unwrap();
+        assert!(hosts.contains(&b"h1.com".to_vec()));
+        assert!(t.get("IPV4ADDRESS").is_some(), "case-insensitive lookup");
+        assert!(t.get("nothing").is_none());
+    }
+
+    #[test]
+    fn empty_table() {
+        assert!(PredefinedRules::empty().is_empty());
+        assert_eq!(PredefinedRules::empty().len(), 0);
+    }
+
+    #[test]
+    fn set_overrides() {
+        let mut t = PredefinedRules::standard();
+        t.set("port", vec![b"443".to_vec()]);
+        assert_eq!(t.get("port").unwrap(), &[b"443".to_vec()]);
+    }
+}

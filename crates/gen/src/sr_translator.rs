@@ -1,0 +1,423 @@
+//! The SR translator (§III-D): formal SRs → test cases with assertions.
+//!
+//! "The SR translator would translate the SR previously extracted in the
+//! documentation analyzer module into test cases with assertions. If the
+//! protocol implementation violates the assertion in the testing phase,
+//! we believe that the target implementation violates the specification."
+//!
+//! Each message-description condition maps to a generation strategy via
+//! the SR semantic definitions; each role action maps to a checkable
+//! expectation bound as an [`Assertion`].
+
+use hdiff_sr::{
+    FieldState, GenStrategy, MessageField, SemanticDefinitions, SpecRequirement,
+};
+use hdiff_wire::{encode_chunked, Method, Request, Version};
+
+use crate::generator::AbnfGenerator;
+use crate::testcase::{Assertion, Origin, TestCase};
+
+/// Canned grammar-invalid values per header (the "slight distortions" the
+/// paper derives by mutating the ABNF tree).
+fn invalid_values(field: &str) -> Vec<&'static [u8]> {
+    match field.to_ascii_lowercase().as_str() {
+        "host" => vec![
+            b"h1.com@h2.com",
+            b"h1.com, h2.com",
+            b"h1.com/.//test?",
+            b"h1 h2.com",
+            b"h1..com:80:80",
+        ],
+        "content-length" => vec![b"+6", b"6,9", b"0x10", b"-1", b"ten"],
+        "transfer-encoding" => vec![
+            b"\x0bchunked",
+            b"xchunked",
+            b"chunked, identity",
+            b"chunked, gzip",
+            b"CHUNKED\x0b",
+        ],
+        "expect" => vec![b"100-continuce", b"200-continue", b"tomorrow"],
+        "connection" => vec![b"close, Host", b"Cookie"],
+        _ => vec![b"\x0bvalue", b"a\x00b", b"{bad}"],
+    }
+}
+
+/// The translator.
+#[derive(Debug)]
+pub struct SrTranslator {
+    generator: AbnfGenerator,
+    defs: SemanticDefinitions,
+    /// Variants generated per (SR, strategy) combination.
+    pub variants: usize,
+    next_uuid: u64,
+}
+
+impl SrTranslator {
+    /// Builds a translator over an adapted-grammar generator.
+    pub fn new(generator: AbnfGenerator) -> SrTranslator {
+        SrTranslator { generator, defs: SemanticDefinitions::new(), variants: 3, next_uuid: 1 }
+    }
+
+    /// Translates a batch of SRs.
+    pub fn translate_all(&mut self, srs: &[SpecRequirement]) -> Vec<TestCase> {
+        srs.iter().flat_map(|sr| self.translate(sr)).collect()
+    }
+
+    /// Translates one SR into test cases with assertions.
+    pub fn translate(&mut self, sr: &SpecRequirement) -> Vec<TestCase> {
+        // Response-side requirements ("… obs-fold in a response message …")
+        // cannot be exercised by sending requests; skip them.
+        let sentence = sr.sentence.to_ascii_lowercase();
+        if sentence.contains("response message") || sentence.contains("in a response") {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for variant in 0..self.variants {
+            if let Some((request, note)) = self.build_request(sr, variant) {
+                let uuid = self.next_uuid;
+                self.next_uuid += 1;
+                out.push(TestCase {
+                    uuid,
+                    request,
+                    assertions: vec![Assertion {
+                        role: sr.role,
+                        modality: sr.modality,
+                        expect: self.defs.expectation(&sr.action),
+                        sr_id: sr.id.clone(),
+                    }],
+                    origin: Origin::Sr(sr.id.clone()),
+                    note,
+                });
+            }
+        }
+        out
+    }
+
+    /// Builds the `variant`-th request realizing all of the SR's
+    /// conditions. Returns `None` when a condition cannot be realized for
+    /// this variant (e.g. fewer canned invalid values than variants).
+    fn build_request(&mut self, sr: &SpecRequirement, variant: usize) -> Option<(Request, String)> {
+        let mut b = Request::builder();
+        b.method(Method::Get).target("/").version(Version::Http11);
+        let mut request = b.build();
+        request.headers.push("Host", "h1.com");
+        let mut notes = Vec::new();
+        let mut body_set = false;
+
+        for cond in &sr.conditions {
+            let strategy = self.defs.strategy(cond.state);
+            match (&cond.field, strategy) {
+                (MessageField::Header(name), strategy) => {
+                    self.apply_header(&mut request, name, strategy, variant, &mut notes, &mut body_set)?;
+                }
+                (MessageField::Chunked, _) => {
+                    request.set_method(b"POST");
+                    request.headers.set("Transfer-Encoding", "chunked");
+                    request.body = encode_chunked(b"abc");
+                    body_set = true;
+                    notes.push("chunked body".to_string());
+                }
+                (MessageField::HttpVersion, s) => {
+                    let v: &[u8] = match s {
+                        GenStrategy::MutateInvalid => {
+                            [b"1.1/HTTP".as_slice(), b"HTTP/3-1", b"hTTP/1.1"]
+                                [variant % 3]
+                        }
+                        _ => {
+                            if cond.state == FieldState::Valid {
+                                b"HTTP/1.0"
+                            } else {
+                                b"HTTP/1.1"
+                            }
+                        }
+                    };
+                    request.set_version(v);
+                    notes.push(format!("version {}", String::from_utf8_lossy(v)));
+                }
+                (MessageField::RequestLine, GenStrategy::MutateInvalid) => {
+                    request.set_raw_request_line(b"GET /  HTTP/1.1".to_vec());
+                    notes.push("malformed request line".to_string());
+                }
+                (MessageField::MessageBody, _) => {
+                    if !body_set {
+                        request.body = b"abc".to_vec();
+                        request.headers.set("Content-Length", "3");
+                        body_set = true;
+                        notes.push("body on GET".to_string());
+                    }
+                }
+                (MessageField::Method, _) | (MessageField::RequestTarget, _)
+                | (MessageField::RequestLine, _) => {
+                    // Covered by the generic valid seed.
+                }
+            }
+        }
+
+        // Framing fix-up: a Content-Length header that should be valid must
+        // match the body we actually carry.
+        if !body_set {
+            if let Some(cl) = request.headers.first(b"Content-Length") {
+                if hdiff_wire::ascii::parse_dec_strict(cl.value()).is_some() {
+                    let n = cl.value().to_vec();
+                    if let Some(len) = hdiff_wire::ascii::parse_dec_strict(&n) {
+                        request.body = vec![b'x'; usize::try_from(len.min(64)).expect("capped")];
+                        if len > 64 {
+                            request.headers.set("Content-Length", "64");
+                        }
+                    }
+                }
+            }
+        }
+
+        Some((request, notes.join("; ")))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_header(
+        &mut self,
+        request: &mut Request,
+        name: &str,
+        strategy: GenStrategy,
+        variant: usize,
+        notes: &mut Vec<String>,
+        body_set: &mut bool,
+    ) -> Option<()> {
+        // "*" means "any header": realize on the Host header, which every
+        // seed carries.
+        let target = if name == "*" { "Host" } else { name };
+        let is_te = target.eq_ignore_ascii_case("Transfer-Encoding");
+        let is_cl = target.eq_ignore_ascii_case("Content-Length");
+
+        match strategy {
+            GenStrategy::UseValid => {
+                let value = self.valid_value(target, request, body_set);
+                request.headers.set(target, &value);
+                notes.push(format!("{target} valid"));
+            }
+            GenStrategy::Omit => {
+                request.headers.remove(target.as_bytes());
+                notes.push(format!("{target} absent"));
+            }
+            GenStrategy::MutateInvalid => {
+                let values = invalid_values(target);
+                let value = values.get(variant % values.len())?;
+                request.headers.remove(target.as_bytes());
+                request.headers.push(target, value);
+                if is_te {
+                    request.set_method(b"POST");
+                    request.body = encode_chunked(b"abc");
+                    *body_set = true;
+                } else if is_cl {
+                    request.set_method(b"POST");
+                    request.body = b"abcdef".to_vec();
+                    *body_set = true;
+                }
+                notes.push(format!("{target} invalid {:?}", String::from_utf8_lossy(value)));
+            }
+            GenStrategy::Repeat => {
+                let value = self.valid_value(target, request, body_set);
+                request.headers.set(target, &value);
+                let alt: Vec<u8> = if target.eq_ignore_ascii_case("Host") {
+                    b"h2.com".to_vec()
+                } else if is_cl {
+                    b"0".to_vec()
+                } else {
+                    let mut v = value.clone();
+                    v.extend_from_slice(b".alt");
+                    v
+                };
+                request.headers.push(target, alt);
+                notes.push(format!("{target} repeated"));
+            }
+            GenStrategy::EmptyValue => {
+                request.headers.set(target, "");
+                notes.push(format!("{target} empty"));
+            }
+            GenStrategy::Oversize => {
+                let big = vec![b'a'; 16 * 1024];
+                request.headers.set(target, &big);
+                notes.push(format!("{target} oversized"));
+            }
+            GenStrategy::SpaceBeforeColon => {
+                let value = self.valid_value(target, request, body_set);
+                request.headers.remove(target.as_bytes());
+                let mut raw = target.as_bytes().to_vec();
+                raw.extend_from_slice(b" : ");
+                raw.extend_from_slice(&value);
+                request.headers.push_raw(raw);
+                notes.push(format!("whitespace before colon in {target}"));
+            }
+            GenStrategy::AddConflict => {
+                // The canonical conflict: CL together with TE chunked.
+                request.set_method(b"POST");
+                request.headers.set("Content-Length", "3");
+                request.headers.set("Transfer-Encoding", "chunked");
+                request.body = encode_chunked(b"abc");
+                *body_set = true;
+                notes.push("CL+TE conflict".to_string());
+            }
+        }
+        Some(())
+    }
+
+    fn valid_value(&mut self, field: &str, request: &mut Request, body_set: &mut bool) -> Vec<u8> {
+        match field.to_ascii_lowercase().as_str() {
+            "host" => b"h1.com".to_vec(),
+            "content-length" => {
+                request.body = b"abc".to_vec();
+                *body_set = true;
+                b"3".to_vec()
+            }
+            "transfer-encoding" => {
+                request.set_method(b"POST");
+                request.body = encode_chunked(b"abc");
+                *body_set = true;
+                b"chunked".to_vec()
+            }
+            "expect" => b"100-continue".to_vec(),
+            "connection" => b"close".to_vec(),
+            other => self
+                .generator
+                .generate(other)
+                .filter(|v| !v.is_empty() && v.len() < 128)
+                .unwrap_or_else(|| b"value".to_vec()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GenOptions;
+    use hdiff_abnf::{parse_rulelist, Grammar};
+    use hdiff_sr::{MessageDescription, Modality, Role, RoleAction};
+
+    fn translator() -> SrTranslator {
+        let grammar = Grammar::from_rules(
+            "t",
+            parse_rulelist("Host = 1*ALPHA\nExpect = \"100-continue\"\n").unwrap(),
+        );
+        SrTranslator::new(AbnfGenerator::new(grammar, GenOptions::default()))
+    }
+
+    fn sr(conditions: Vec<MessageDescription>, action: RoleAction) -> SpecRequirement {
+        SpecRequirement {
+            id: "test:sr0".into(),
+            source: "test".into(),
+            section: String::new(),
+            sentence: "test sentence".into(),
+            role: Role::Server,
+            modality: Modality::Must,
+            conditions,
+            action,
+        }
+    }
+
+    #[test]
+    fn host_absent_sr_yields_hostless_requests() {
+        let mut t = translator();
+        let cases = t.translate(&sr(
+            vec![MessageDescription::header("Host", FieldState::Absent)],
+            RoleAction::Respond(400),
+        ));
+        assert_eq!(cases.len(), 3);
+        for c in &cases {
+            assert!(c.request.host().is_none(), "{}", c.request);
+            assert!(c.has_assertions());
+            assert_eq!(c.assertions[0].expect.allowed_status, vec![400]);
+        }
+    }
+
+    #[test]
+    fn invalid_host_variants_differ() {
+        let mut t = translator();
+        let cases = t.translate(&sr(
+            vec![MessageDescription::header("Host", FieldState::Invalid)],
+            RoleAction::Respond(400),
+        ));
+        let hosts: Vec<Vec<u8>> =
+            cases.iter().filter_map(|c| c.request.host().map(<[u8]>::to_vec)).collect();
+        assert_eq!(hosts.len(), 3);
+        assert!(hosts.contains(&b"h1.com@h2.com".to_vec()), "{hosts:?}");
+        let set: std::collections::BTreeSet<_> = hosts.iter().collect();
+        assert_eq!(set.len(), 3, "variants must differ");
+    }
+
+    #[test]
+    fn multiple_host_sr() {
+        let mut t = translator();
+        let cases = t.translate(&sr(
+            vec![MessageDescription::header("Host", FieldState::Multiple)],
+            RoleAction::Respond(400),
+        ));
+        for c in &cases {
+            assert_eq!(c.request.headers.count(b"Host"), 2);
+        }
+    }
+
+    #[test]
+    fn conflict_sr_builds_cl_plus_te() {
+        let mut t = translator();
+        let cases = t.translate(&sr(
+            vec![MessageDescription::header("Transfer-Encoding", FieldState::Conflicting)],
+            RoleAction::Reject,
+        ));
+        for c in &cases {
+            assert_eq!(c.request.content_lengths().len(), 1);
+            assert_eq!(c.request.transfer_encodings().len(), 1);
+        }
+    }
+
+    #[test]
+    fn ws_colon_sr_produces_nonstrict_header() {
+        let mut t = translator();
+        let cases = t.translate(&sr(
+            vec![MessageDescription::header("*", FieldState::MalformedSpacing)],
+            RoleAction::Respond(400),
+        ));
+        for c in &cases {
+            assert!(c.request.headers.iter().any(|f| f.has_ws_before_colon()), "{}", c.request);
+        }
+    }
+
+    #[test]
+    fn chunked_condition_sets_body() {
+        let mut t = translator();
+        let cases = t.translate(&sr(
+            vec![MessageDescription::new(MessageField::Chunked, FieldState::Present)],
+            RoleAction::Accept,
+        ));
+        for c in &cases {
+            assert!(c.request.body.ends_with(b"0\r\n\r\n"));
+        }
+    }
+
+    #[test]
+    fn uuids_are_unique_across_translations() {
+        let mut t = translator();
+        let a = t.translate(&sr(
+            vec![MessageDescription::header("Host", FieldState::Absent)],
+            RoleAction::Respond(400),
+        ));
+        let b = t.translate(&sr(
+            vec![MessageDescription::header("Host", FieldState::Multiple)],
+            RoleAction::Respond(400),
+        ));
+        let mut ids: Vec<u64> = a.iter().chain(b.iter()).map(|c| c.uuid).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn translate_all_over_real_pipeline_output() {
+        let out = hdiff_analyzer::DocumentAnalyzer::with_default_inputs()
+            .analyze(&hdiff_corpus::core_documents());
+        let gen = AbnfGenerator::new(out.grammar.clone(), GenOptions::default());
+        let mut t = SrTranslator::new(gen);
+        let cases = t.translate_all(&out.requirements);
+        assert!(cases.len() >= out.requirements.len(), "{} cases", cases.len());
+        assert!(cases.iter().all(TestCase::has_assertions));
+    }
+}

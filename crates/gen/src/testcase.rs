@@ -1,0 +1,90 @@
+//! Test cases: a request plus optional assertions and provenance.
+
+use std::fmt;
+
+use hdiff_sr::{Expectation, Modality, Role};
+use hdiff_wire::Request;
+
+/// Where a test case came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Origin {
+    /// Translated from a formal SR.
+    Sr(String),
+    /// Free generation from the ABNF grammar (plus mutations).
+    Abnf,
+    /// A named catalog attack vector (Table II).
+    Catalog(String),
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Origin::Sr(id) => write!(f, "sr:{id}"),
+            Origin::Abnf => f.write_str("abnf"),
+            Origin::Catalog(name) => write!(f, "catalog:{name}"),
+        }
+    }
+}
+
+/// An expectation bound to a role — "any implementation acting as `role`
+/// must behave like `expect` on this request, per SR `sr_id`".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assertion {
+    /// The role the assertion binds.
+    pub role: Role,
+    /// Requirement strength (violations of SHOULD are advisory).
+    pub modality: Modality,
+    /// The checkable expectation.
+    pub expect: Expectation,
+    /// Originating SR id.
+    pub sr_id: String,
+}
+
+/// A generated test case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestCase {
+    /// Unique id (the paper associates a UUID with every request).
+    pub uuid: u64,
+    /// The request to send.
+    pub request: Request,
+    /// Assertions, if the case came from an SR.
+    pub assertions: Vec<Assertion>,
+    /// Provenance.
+    pub origin: Origin,
+    /// Human-readable note (mutation applied, catalog row, …).
+    pub note: String,
+}
+
+impl TestCase {
+    /// Builds a plain generated case with no assertions.
+    pub fn generated(uuid: u64, request: Request, note: impl Into<String>) -> TestCase {
+        TestCase { uuid, request, assertions: Vec::new(), origin: Origin::Abnf, note: note.into() }
+    }
+
+    /// Whether the case carries SR assertions (it can check a *single*
+    /// implementation against the spec, not just pairs — the paper's
+    /// advantage over plain differential testing).
+    pub fn has_assertions(&self) -> bool {
+        !self.assertions.is_empty()
+    }
+}
+
+impl fmt::Display for TestCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} [{}] {}", self.uuid, self.origin, self.note)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_flags() {
+        let tc = TestCase::generated(7, Request::get("h1.com"), "seed");
+        assert!(!tc.has_assertions());
+        assert_eq!(tc.to_string(), "#7 [abnf] seed");
+        assert_eq!(Origin::Sr("a".into()).to_string(), "sr:a");
+        assert_eq!(Origin::Catalog("fat-get".into()).to_string(), "catalog:fat-get");
+    }
+}

@@ -1,0 +1,84 @@
+//! Generator soundness: everything the ABNF generator emits under *free
+//! traversal* must be recognized by the ABNF matcher for the same rule —
+//! i.e. generation is sound w.r.t. the grammar (the depth cap and
+//! repetition cap restrict the language, never leave it).
+
+use proptest::prelude::*;
+
+use hdiff_abnf::{matcher, Grammar};
+use hdiff_gen::{AbnfGenerator, GenOptions, PredefinedRules};
+
+fn corpus_grammar() -> Grammar {
+    use std::sync::OnceLock;
+    static GRAMMAR: OnceLock<Grammar> = OnceLock::new();
+    GRAMMAR
+        .get_or_init(|| {
+            hdiff_analyzer::DocumentAnalyzer::with_default_inputs()
+                .analyze(&hdiff_corpus::core_documents())
+                .grammar
+        })
+        .clone()
+}
+
+/// Rules exercised by the soundness property. Chosen to cover literals,
+/// ranges, repetition, alternation, optionality and cross-document
+/// imports.
+const RULES: [&str; 10] = [
+    "HTTP-version",
+    "Host",
+    "uri-host",
+    "token",
+    "transfer-coding",
+    "chunk-size",
+    "origin-form",
+    "absolute-path",
+    "Content-Length",
+    "reg-name",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn free_generation_is_recognized_by_the_matcher(seed in any::<u64>(), rule_idx in 0usize..RULES.len()) {
+        let rule = RULES[rule_idx];
+        let grammar = corpus_grammar();
+        let mut generator = AbnfGenerator::new(
+            grammar.clone(),
+            GenOptions {
+                predefined: PredefinedRules::empty(),
+                seed,
+                ..GenOptions::default()
+            },
+        );
+        let Some(value) = generator.generate(rule) else {
+            return Err(TestCaseError::fail(format!("{rule} not generable")));
+        };
+        // Bound the matcher cost on pathological outputs.
+        prop_assume!(value.len() <= 64);
+        let outcome = matcher::matches_with_budget(&grammar, rule, &value, 500_000);
+        prop_assert!(
+            outcome != hdiff_abnf::MatchOutcome::NoMatch,
+            "{rule}: generated {:?} not in the grammar",
+            String::from_utf8_lossy(&value)
+        );
+    }
+}
+
+#[test]
+fn predefined_generation_is_recognized_for_key_rules() {
+    // The predefined table's representative values must themselves belong
+    // to the productions they stand in for.
+    let grammar = corpus_grammar();
+    let mut generator = AbnfGenerator::new(grammar.clone(), GenOptions::default());
+    for rule in ["Host", "uri-host", "HTTP-version", "transfer-coding", "origin-form"] {
+        for value in generator.generate_many(rule, 16) {
+            let outcome = matcher::matches_with_budget(&grammar, rule, &value, 500_000);
+            assert!(
+                outcome != hdiff_abnf::MatchOutcome::NoMatch,
+                "{rule}: {:?}",
+                String::from_utf8_lossy(&value)
+            );
+        }
+    }
+}

@@ -1,0 +1,947 @@
+//! The configurable interpretation engine: one request, one profile, one
+//! [`Interpretation`].
+//!
+//! This function is the shared implementation of all ten product models.
+//! Every branch that differs between real products is routed through a
+//! [`ParserProfile`] policy, so a product's behavior is exactly its
+//! profile — auditable data, not code.
+
+use hdiff_wire::ascii;
+use hdiff_wire::chunked::decode_chunked;
+use hdiff_wire::header::HeaderField;
+use hdiff_wire::uri::{interpret_host, Authority, RequestTarget};
+use hdiff_wire::version::Version;
+
+use crate::profile::{
+    AbsUriPolicy, Chunked10Policy, ClTePolicy, ClValuePolicy, DuplicateClPolicy, ExpectPolicy,
+    FatRequestPolicy, Http2TokenPolicy, MultiHostPolicy, NamePolicy, ObsFoldPolicy, ParserProfile,
+    TeRecognition, VersionPolicy, WsColonPolicy,
+};
+
+/// Whether the implementation accepted the request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Parsed and would be processed.
+    Accept,
+    /// Rejected with a status code and a reason (the log line).
+    Reject {
+        /// Response status code.
+        status: u16,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl Outcome {
+    /// Convenience: is this an accept?
+    pub fn is_accept(&self) -> bool {
+        matches!(self, Outcome::Accept)
+    }
+
+    /// The response status this outcome produces (200 for accepts).
+    pub fn status(&self) -> u16 {
+        match self {
+            Outcome::Accept => 200,
+            Outcome::Reject { status, .. } => *status,
+        }
+    }
+}
+
+/// The body framing the implementation chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FramingChoice {
+    /// No body.
+    None,
+    /// Content-Length framing with the effective value.
+    ContentLength(u64),
+    /// Chunked framing.
+    Chunked,
+}
+
+/// One header field as the implementation classified it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifiedHeader {
+    /// The raw field.
+    pub field: HeaderField,
+    /// Canonical lowercase name if the implementation recognized the
+    /// field; `None` for unknown/opaque fields it would pass through.
+    pub canon: Option<String>,
+}
+
+/// The complete interpretation of one request under one profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interpretation {
+    /// Accept or reject (+status).
+    pub outcome: Outcome,
+    /// Method token.
+    pub method: Vec<u8>,
+    /// Request-target bytes as received.
+    pub target: Vec<u8>,
+    /// Version as received.
+    pub version: Version,
+    /// The host identity the implementation acts on (cache key, vhost).
+    pub host: Option<Vec<u8>>,
+    /// The body payload as understood (chunked-decoded).
+    pub body: Vec<u8>,
+    /// The framing decision.
+    pub framing: FramingChoice,
+    /// Bytes of input consumed by this message (disagreement here is
+    /// request smuggling).
+    pub consumed: usize,
+    /// Offset where the body starts (end of the header section); the raw
+    /// body slice a transparent proxy forwards is
+    /// `input[body_start..consumed]`.
+    pub body_start: usize,
+    /// Classified header fields in wire order.
+    pub headers: Vec<ClassifiedHeader>,
+    /// Whether chunked decoding needed repair (lenient options fired).
+    pub repaired_chunked: bool,
+    /// Diagnostic notes (the "logs" of Fig. 6).
+    pub notes: Vec<String>,
+}
+
+impl Interpretation {
+    fn reject(status: u16, reason: impl Into<String>) -> Interpretation {
+        let reason = reason.into();
+        Interpretation {
+            outcome: Outcome::Reject { status, reason: reason.clone() },
+            method: Vec::new(),
+            target: Vec::new(),
+            version: Version::Http11,
+            host: None,
+            body: Vec::new(),
+            framing: FramingChoice::None,
+            consumed: 0,
+            body_start: 0,
+            headers: Vec::new(),
+            repaired_chunked: false,
+            notes: vec![reason],
+        }
+    }
+
+    /// All classified headers matching a canonical name.
+    pub fn recognized<'a>(&'a self, canon: &'a str) -> impl Iterator<Item = &'a ClassifiedHeader> {
+        self.headers.iter().filter(move |h| h.canon.as_deref() == Some(canon))
+    }
+}
+
+fn find_crlf(s: &[u8]) -> Option<usize> {
+    s.windows(2).position(|w| w == b"\r\n")
+}
+
+/// Interprets one request from `input` under `profile`.
+pub fn interpret(profile: &ParserProfile, input: &[u8]) -> Interpretation {
+    let Some(line_end) = find_crlf(input) else {
+        // HTTP/0.9 simple request: `GET /path\n`? Model strictly: no CRLF
+        // at all means an incomplete message.
+        return Interpretation::reject(400, "no request line terminator");
+    };
+    let line = &input[..line_end];
+    let mut pos = line_end + 2;
+    let mut notes = Vec::new();
+
+    // ---- request line -------------------------------------------------
+    let parts: Vec<&[u8]> = if profile.multi_space_request_line {
+        line.split(|&b| b == b' ').filter(|p| !p.is_empty()).collect()
+    } else {
+        line.split(|&b| b == b' ').collect()
+    };
+    let (method, target_b, version_b): (&[u8], &[u8], &[u8]) = match parts.len() {
+        2 => (parts[0], parts[1], b"HTTP/0.9"),
+        3 => (parts[0], parts[1], parts[2]),
+        _ => return Interpretation::reject(400, "malformed request line"),
+    };
+    if !ascii::is_token(method) {
+        return Interpretation::reject(400, "invalid method token");
+    }
+    let version = Version::from_bytes(version_b);
+    match &version {
+        Version::Invalid(_) => match profile.version_policy {
+            VersionPolicy::Strict => {
+                return Interpretation::reject(400, "invalid http version");
+            }
+            VersionPolicy::AcceptAny | VersionPolicy::RepairAppend => {
+                notes.push("accepted invalid version token".to_string());
+            }
+        },
+        Version::Http09 => {
+            if !profile.supports_09 {
+                return Interpretation::reject(400, "http/0.9 not supported");
+            }
+            notes.push("http/0.9 request".to_string());
+        }
+        v if v.is_post_1_1() => match profile.http2_token {
+            Http2TokenPolicy::Reject505 => {
+                return Interpretation::reject(505, "major version not supported");
+            }
+            Http2TokenPolicy::TreatAs11 => notes.push("http/2 token treated as 1.1".to_string()),
+        },
+        _ => {}
+    }
+
+    // ---- header section -------------------------------------------------
+    let mut headers: Vec<ClassifiedHeader> = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let Some(h_end) = find_crlf(&input[pos..]) else {
+            return Interpretation::reject(400, "header section not terminated");
+        };
+        let raw = &input[pos..pos + h_end];
+        pos += h_end + 2;
+        if raw.is_empty() {
+            break;
+        }
+        header_bytes += raw.len() + 2;
+        if header_bytes > profile.max_header_bytes {
+            return Interpretation::reject(431, "header section too large");
+        }
+        if raw[0] == b' ' || raw[0] == b'\t' {
+            // obs-fold continuation.
+            match profile.obs_fold {
+                ObsFoldPolicy::Reject => {
+                    return Interpretation::reject(400, "obsolete line folding");
+                }
+                ObsFoldPolicy::MergeSp => {
+                    if let Some(last) = headers.pop() {
+                        let mut merged = last.field.into_raw();
+                        merged.push(b' ');
+                        merged.extend_from_slice(ascii::trim_ows(raw));
+                        let field = HeaderField::from_raw(merged);
+                        let canon = last.canon.clone();
+                        headers.push(ClassifiedHeader { field, canon });
+                        notes.push("merged obs-fold".to_string());
+                        continue;
+                    }
+                    return Interpretation::reject(400, "leading whitespace before first header");
+                }
+            }
+        }
+        let field = HeaderField::from_raw(raw.to_vec());
+        let canon = classify_header(profile, &field, &mut notes);
+        let canon = match canon {
+            Ok(c) => c,
+            Err(r) => return Interpretation::reject(400, r),
+        };
+        headers.push(ClassifiedHeader { field, canon });
+    }
+
+    // ---- host -------------------------------------------------------------
+    let target = RequestTarget::classify(target_b);
+    let host_fields: Vec<&ClassifiedHeader> =
+        headers.iter().filter(|h| h.canon.as_deref() == Some("host")).collect();
+    let header_host: Option<Vec<u8>> = match host_fields.len() {
+        0 => None,
+        1 => Some(host_fields[0].field.value().to_vec()),
+        _ => match profile.multi_host {
+            MultiHostPolicy::Reject => {
+                return Interpretation::reject(400, "multiple host headers");
+            }
+            MultiHostPolicy::First => {
+                notes.push("multiple host: using first".to_string());
+                Some(host_fields[0].field.value().to_vec())
+            }
+            MultiHostPolicy::Last => {
+                notes.push("multiple host: using last".to_string());
+                Some(host_fields[host_fields.len() - 1].field.value().to_vec())
+            }
+        },
+    };
+    if header_host.is_none()
+        && profile.host_required_11
+        && version == Version::Http11
+        && target.authority().is_none()
+    {
+        return Interpretation::reject(400, "missing host header");
+    }
+    let host = match (&target, &header_host) {
+        (t, hh) if t.authority().is_some() => {
+            let uri_host = Authority::parse(t.authority().expect("checked")).host.to_ascii_lowercase();
+            match profile.abs_uri {
+                AbsUriPolicy::PreferUri => Some(uri_host),
+                AbsUriPolicy::PreferHost => match hh {
+                    Some(v) => match interpret_host(v, &profile.host_parse) {
+                        Ok(h) => Some(h),
+                        Err(e) => return Interpretation::reject(400, format!("bad host: {e}")),
+                    },
+                    None => Some(uri_host),
+                },
+                AbsUriPolicy::RejectMismatch => match hh {
+                    Some(v) => {
+                        let h = match interpret_host(v, &profile.host_parse) {
+                            Ok(h) => h,
+                            Err(e) => {
+                                return Interpretation::reject(400, format!("bad host: {e}"))
+                            }
+                        };
+                        if h != uri_host {
+                            return Interpretation::reject(400, "host mismatch with absolute-uri");
+                        }
+                        Some(h)
+                    }
+                    None => Some(uri_host),
+                },
+            }
+        }
+        (_, Some(v)) => match interpret_host(v, &profile.host_parse) {
+            Ok(h) => {
+                if profile.validate_host && !hdiff_wire::uri::is_strict_uri_host(&h) {
+                    return Interpretation::reject(400, "invalid host value");
+                }
+                Some(h)
+            }
+            Err(e) => return Interpretation::reject(400, format!("bad host: {e}")),
+        },
+        _ => None,
+    };
+
+    // ---- framing -------------------------------------------------------------
+    let framing = match decide_framing(profile, &headers, &version, &mut notes) {
+        Ok(f) => f,
+        Err((status, reason)) => return Interpretation::reject(status, reason),
+    };
+
+    // Fat GET/HEAD handling.
+    let is_bodyless_method = method == b"GET" || method == b"HEAD";
+    let framing = if is_bodyless_method && framing != FramingChoice::None {
+        match profile.fat_request {
+            FatRequestPolicy::AcceptParse => framing,
+            FatRequestPolicy::IgnoreFraming => {
+                notes.push("ignored body framing on GET/HEAD".to_string());
+                FramingChoice::None
+            }
+            FatRequestPolicy::Reject => {
+                return Interpretation::reject(400, "body on GET/HEAD not allowed");
+            }
+        }
+    } else {
+        framing
+    };
+
+    // ---- Expect ----------------------------------------------------------------
+    if let Some(expect) = headers.iter().find(|h| h.canon.as_deref() == Some("expect")) {
+        let value = expect.field.value().to_ascii_lowercase();
+        let known = value == b"100-continue";
+        if version != Version::Http10 {
+            match profile.expect {
+                ExpectPolicy::Strict => {
+                    if !known {
+                        return Interpretation::reject(417, "unknown expectation");
+                    }
+                }
+                ExpectPolicy::Ignore => notes.push("expect ignored".to_string()),
+                ExpectPolicy::RejectOnGet => {
+                    if is_bodyless_method && framing == FramingChoice::None {
+                        return Interpretation::reject(417, "expect on bodyless request");
+                    }
+                    if !known {
+                        return Interpretation::reject(417, "unknown expectation");
+                    }
+                }
+            }
+        } else {
+            notes.push("expect ignored under http/1.0".to_string());
+        }
+    }
+
+    // ---- body -------------------------------------------------------------------
+    let body_start = pos;
+    let mut repaired = false;
+    let (body, consumed) = match framing {
+        FramingChoice::None => (Vec::new(), pos),
+        FramingChoice::ContentLength(n) => {
+            let n_usize = usize::try_from(n).unwrap_or(usize::MAX);
+            if input.len() - pos < n_usize {
+                return Interpretation::reject(408, "body shorter than content-length");
+            }
+            (input[pos..pos + n_usize].to_vec(), pos + n_usize)
+        }
+        FramingChoice::Chunked => match decode_chunked(&input[pos..], &profile.chunk_opts) {
+            Ok(dec) => {
+                repaired = dec.repaired;
+                if dec.repaired {
+                    notes.push("repaired malformed chunked body".to_string());
+                }
+                (dec.payload, pos + dec.consumed)
+            }
+            Err(e) => return Interpretation::reject(400, format!("chunked error: {e}")),
+        },
+    };
+
+    Interpretation {
+        outcome: Outcome::Accept,
+        method: method.to_vec(),
+        target: target_b.to_vec(),
+        version,
+        host,
+        body,
+        framing,
+        consumed,
+        body_start,
+        headers,
+        repaired_chunked: repaired,
+        notes,
+    }
+}
+
+/// Classifies one header line under the profile's name policies.
+/// Returns `Ok(Some(lowercase_name))` when recognized, `Ok(None)` for
+/// unknown/opaque fields, `Err(reason)` for rejections.
+fn classify_header(
+    profile: &ParserProfile,
+    field: &HeaderField,
+    notes: &mut Vec<String>,
+) -> Result<Option<String>, String> {
+    if field.raw().iter().all(|&b| b != b':') {
+        return match profile.name_policy {
+            NamePolicy::Reject => Err("header line without colon".to_string()),
+            _ => Ok(None),
+        };
+    }
+    if field.has_ws_before_colon() {
+        match profile.ws_colon {
+            WsColonPolicy::Reject => {
+                return Err("whitespace before colon".to_string());
+            }
+            WsColonPolicy::AcceptUse => {
+                notes.push(format!(
+                    "trimmed whitespace before colon in {:?}",
+                    String::from_utf8_lossy(field.name_trimmed())
+                ));
+                return Ok(Some(
+                    String::from_utf8_lossy(field.name_trimmed()).to_ascii_lowercase(),
+                ));
+            }
+            WsColonPolicy::TreatUnknown => return Ok(None),
+        }
+    }
+    let name = field.name_raw();
+    if ascii::is_token(name) {
+        return Ok(Some(String::from_utf8_lossy(name).to_ascii_lowercase()));
+    }
+    match profile.name_policy {
+        NamePolicy::Reject => Err("invalid header name".to_string()),
+        NamePolicy::TreatUnknown => Ok(None),
+        NamePolicy::Strip => {
+            let stripped: Vec<u8> = name.iter().copied().filter(|&b| ascii::is_tchar(b)).collect();
+            if stripped.is_empty() {
+                Ok(None)
+            } else {
+                notes.push(format!(
+                    "stripped junk from header name {:?}",
+                    String::from_utf8_lossy(name)
+                ));
+                Ok(Some(String::from_utf8_lossy(&stripped).to_ascii_lowercase()))
+            }
+        }
+    }
+}
+
+/// Recognizes a strictly valid TE list ending in chunked.
+fn strict_te(values: &[Vec<u8>]) -> Result<bool, String> {
+    let mut codings = Vec::new();
+    for v in values {
+        for part in v.split(|&b| b == b',') {
+            let part = ascii::trim_ows(part).to_ascii_lowercase();
+            if !part.is_empty() {
+                codings.push(part);
+            }
+        }
+    }
+    if codings.is_empty() {
+        return Err("empty transfer-encoding".to_string());
+    }
+    for c in &codings {
+        if !matches!(c.as_slice(), b"chunked" | b"gzip" | b"deflate" | b"compress") {
+            return Err(format!("unknown transfer coding {:?}", String::from_utf8_lossy(c)));
+        }
+    }
+    if codings.last().map(Vec::as_slice) != Some(b"chunked") {
+        return Err("final transfer coding is not chunked".to_string());
+    }
+    // RFC 7230 §4.1.1: chunked must not be applied more than once.
+    if codings.iter().filter(|c| c.as_slice() == b"chunked").count() > 1 {
+        return Err("chunked transfer coding applied twice".to_string());
+    }
+    Ok(true)
+}
+
+fn decide_framing(
+    profile: &ParserProfile,
+    headers: &[ClassifiedHeader],
+    version: &Version,
+    notes: &mut Vec<String>,
+) -> Result<FramingChoice, (u16, String)> {
+    let cl_fields: Vec<&ClassifiedHeader> =
+        headers.iter().filter(|h| h.canon.as_deref() == Some("content-length")).collect();
+    let te_fields: Vec<&ClassifiedHeader> =
+        headers.iter().filter(|h| h.canon.as_deref() == Some("transfer-encoding")).collect();
+
+    // Content-Length value(s).
+    let mut cl_values: Vec<u64> = Vec::new();
+    for f in &cl_fields {
+        let raw = f.field.value();
+        let parsed = match profile.cl_value {
+            ClValuePolicy::Strict => {
+                // A comma list of identical values is the RFC recovery case.
+                let mut vals = Vec::new();
+                for part in raw.split(|&b| b == b',') {
+                    match ascii::parse_dec_strict(ascii::trim_ows(part)) {
+                        Some(v) => vals.push(v),
+                        None => {
+                            return Err((400, format!(
+                                "invalid content-length {:?}",
+                                String::from_utf8_lossy(raw)
+                            )));
+                        }
+                    }
+                }
+                if vals.windows(2).any(|w| w[0] != w[1]) {
+                    return Err((400, "differing content-length list values".to_string()));
+                }
+                vals[0]
+            }
+            ClValuePolicy::Lenient => match ascii::parse_dec_lenient(raw) {
+                Some(v) => {
+                    if ascii::parse_dec_strict(raw).is_none() {
+                        notes.push(format!(
+                            "leniently parsed content-length {:?} as {v}",
+                            String::from_utf8_lossy(raw)
+                        ));
+                    }
+                    v
+                }
+                None => {
+                    return Err((400, format!(
+                        "unparseable content-length {:?}",
+                        String::from_utf8_lossy(raw)
+                    )));
+                }
+            },
+        };
+        cl_values.push(parsed);
+    }
+    let cl = if cl_values.is_empty() {
+        None
+    } else if cl_values.len() == 1 {
+        Some(cl_values[0])
+    } else {
+        match profile.duplicate_cl {
+            DuplicateClPolicy::Reject => {
+                return Err((400, "multiple content-length headers".to_string()));
+            }
+            DuplicateClPolicy::RejectIfDiffer => {
+                if cl_values.windows(2).any(|w| w[0] != w[1]) {
+                    return Err((400, "differing content-length headers".to_string()));
+                }
+                Some(cl_values[0])
+            }
+            DuplicateClPolicy::First => {
+                notes.push("multiple content-length: using first".to_string());
+                Some(cl_values[0])
+            }
+            DuplicateClPolicy::Last => {
+                notes.push("multiple content-length: using last".to_string());
+                Some(*cl_values.last().expect("nonempty"))
+            }
+        }
+    };
+
+    // Transfer-Encoding recognition.
+    let te_values: Vec<Vec<u8>> = te_fields.iter().map(|f| f.field.value().to_vec()).collect();
+    let (te_chunked, te_strictly_valid) = if te_values.is_empty() {
+        (false, false)
+    } else {
+        match strict_te(&te_values) {
+            Ok(_) => (true, true),
+            Err(reason) => match profile.te_recognition {
+                TeRecognition::Strict => return Err((400, reason)),
+                TeRecognition::ChunkedSubstring => {
+                    let has = te_values.iter().any(|v| {
+                        v.to_ascii_lowercase()
+                            .windows(7)
+                            .any(|w| w == b"chunked")
+                    });
+                    if has {
+                        notes.push("leniently recognized chunked in malformed TE".to_string());
+                    }
+                    (has, false)
+                }
+                TeRecognition::IgnoreInvalid => {
+                    notes.push("ignored malformed transfer-encoding".to_string());
+                    (false, false)
+                }
+            },
+        }
+    };
+
+    // HTTP/1.0 + chunked.
+    let te_chunked = if te_chunked && version.is_pre_1_1() {
+        match profile.chunked_in_10 {
+            Chunked10Policy::Process => true,
+            Chunked10Policy::Ignore => {
+                notes.push("ignored chunked under http/1.0".to_string());
+                false
+            }
+            Chunked10Policy::Reject => {
+                return Err((400, "chunked not allowed under http/1.0".to_string()));
+            }
+        }
+    } else {
+        te_chunked
+    };
+
+    match (te_chunked, cl) {
+        (true, Some(_)) => {
+            if te_strictly_valid {
+                match profile.cl_with_te {
+                    ClTePolicy::Reject => {
+                        Err((400, "content-length with transfer-encoding".to_string()))
+                    }
+                    ClTePolicy::TeWins => {
+                        notes.push("te overrides cl".to_string());
+                        Ok(FramingChoice::Chunked)
+                    }
+                    ClTePolicy::ClWins => {
+                        notes.push("cl overrides te".to_string());
+                        Ok(FramingChoice::ContentLength(cl.expect("checked")))
+                    }
+                }
+            } else if profile.lenient_te_overrides_cl {
+                notes.push("lenient te overrides cl".to_string());
+                Ok(FramingChoice::Chunked)
+            } else {
+                Ok(FramingChoice::ContentLength(cl.expect("checked")))
+            }
+        }
+        (true, None) => Ok(FramingChoice::Chunked),
+        (false, Some(n)) => Ok(FramingChoice::ContentLength(n)),
+        (false, None) => Ok(FramingChoice::None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ParserProfile;
+
+    fn strict() -> ParserProfile {
+        ParserProfile::strict("baseline")
+    }
+
+    #[test]
+    fn accepts_plain_get() {
+        let i = interpret(&strict(), b"GET / HTTP/1.1\r\nHost: h1.com\r\n\r\n");
+        assert!(i.outcome.is_accept());
+        assert_eq!(i.host.as_deref(), Some(&b"h1.com"[..]));
+        assert_eq!(i.framing, FramingChoice::None);
+    }
+
+    #[test]
+    fn strict_rejects_ws_colon_but_lenient_uses_it() {
+        let msg = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length : 3\r\n\r\nabc";
+        let i = interpret(&strict(), msg);
+        assert_eq!(i.outcome.status(), 400);
+
+        let mut lenient = strict();
+        lenient.ws_colon = WsColonPolicy::AcceptUse;
+        let i = interpret(&lenient, msg);
+        assert!(i.outcome.is_accept(), "{:?}", i.outcome);
+        assert_eq!(i.body, b"abc");
+        assert_eq!(i.framing, FramingChoice::ContentLength(3));
+    }
+
+    #[test]
+    fn ws_colon_treat_unknown_leaves_body_unread() {
+        let msg = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length : 3\r\n\r\nabc";
+        let mut p = strict();
+        p.ws_colon = WsColonPolicy::TreatUnknown;
+        let i = interpret(&p, msg);
+        assert!(i.outcome.is_accept());
+        assert_eq!(i.framing, FramingChoice::None);
+        // The 3 body bytes are left in the stream: the smuggling gap.
+        assert_eq!(&msg[i.consumed..], b"abc");
+    }
+
+    #[test]
+    fn junk_name_policies() {
+        let msg = b"POST / HTTP/1.1\r\nHost: h\r\n\x0bTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+        let i = interpret(&strict(), msg);
+        assert_eq!(i.outcome.status(), 400);
+
+        let mut unknown = strict();
+        unknown.name_policy = NamePolicy::TreatUnknown;
+        let i = interpret(&unknown, msg);
+        assert!(i.outcome.is_accept());
+        assert_eq!(i.framing, FramingChoice::None, "junk TE must not frame");
+
+        let mut strip = strict();
+        strip.name_policy = NamePolicy::Strip;
+        let i = interpret(&strip, msg);
+        assert!(i.outcome.is_accept());
+        assert_eq!(i.framing, FramingChoice::Chunked, "stripped name recognizes TE");
+        assert_eq!(i.body, b"abc");
+    }
+
+    #[test]
+    fn duplicate_cl_policies() {
+        let msg = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 10\r\nContent-Length: 0\r\n\r\n0123456789";
+        assert_eq!(interpret(&strict(), msg).outcome.status(), 400);
+
+        let mut first = strict();
+        first.duplicate_cl = DuplicateClPolicy::First;
+        let i = interpret(&first, msg);
+        assert_eq!(i.framing, FramingChoice::ContentLength(10));
+        assert_eq!(i.body, b"0123456789");
+
+        let mut last = strict();
+        last.duplicate_cl = DuplicateClPolicy::Last;
+        let i = interpret(&last, msg);
+        assert_eq!(i.framing, FramingChoice::ContentLength(0));
+        assert_eq!(&msg[i.consumed..], b"0123456789", "ten smuggled bytes");
+    }
+
+    #[test]
+    fn lenient_cl_values() {
+        let msg = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: +6\r\n\r\nabcdef";
+        assert_eq!(interpret(&strict(), msg).outcome.status(), 400);
+        let mut lenient = strict();
+        lenient.cl_value = ClValuePolicy::Lenient;
+        let i = interpret(&lenient, msg);
+        assert!(i.outcome.is_accept());
+        assert_eq!(i.body, b"abcdef");
+    }
+
+    #[test]
+    fn cl_plus_valid_te_policies() {
+        let msg = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+        assert_eq!(interpret(&strict(), msg).outcome.status(), 400);
+
+        let mut tewins = strict();
+        tewins.cl_with_te = ClTePolicy::TeWins;
+        let i = interpret(&tewins, msg);
+        assert_eq!(i.framing, FramingChoice::Chunked);
+        assert_eq!(i.body, b"abc");
+
+        let mut clwins = strict();
+        clwins.cl_with_te = ClTePolicy::ClWins;
+        let i = interpret(&clwins, msg);
+        assert_eq!(i.framing, FramingChoice::ContentLength(3));
+        assert_eq!(i.body, b"3\r\n", "reads 3 bytes of the chunked framing");
+    }
+
+    #[test]
+    fn tomcat_style_lenient_te_with_cl() {
+        // CL + malformed TE (\x0bchunked): strict rejects the TE value;
+        // substring recognition frames chunked and silently drops CL.
+        let msg = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 10\r\nTransfer-Encoding:\x0bchunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+        assert_eq!(interpret(&strict(), msg).outcome.status(), 400);
+
+        let mut tomcatish = strict();
+        tomcatish.te_recognition = TeRecognition::ChunkedSubstring;
+        let i = interpret(&tomcatish, msg);
+        assert!(i.outcome.is_accept(), "{:?}", i.outcome);
+        assert_eq!(i.framing, FramingChoice::Chunked);
+        assert_eq!(i.body, b"abc");
+    }
+
+    #[test]
+    fn ignore_invalid_te_uses_cl() {
+        let msg = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\nTransfer-Encoding: xchunked\r\n\r\nabcdef";
+        let mut p = strict();
+        p.te_recognition = TeRecognition::IgnoreInvalid;
+        let i = interpret(&p, msg);
+        assert!(i.outcome.is_accept());
+        assert_eq!(i.framing, FramingChoice::ContentLength(3));
+        assert_eq!(i.body, b"abc");
+    }
+
+    #[test]
+    fn chunked_under_http10_policies() {
+        let msg = b"POST / HTTP/1.0\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+        let mut process = strict();
+        process.chunked_in_10 = Chunked10Policy::Process;
+        assert_eq!(interpret(&process, msg).framing, FramingChoice::Chunked);
+
+        let mut ignore = strict();
+        ignore.chunked_in_10 = Chunked10Policy::Ignore;
+        let i = interpret(&ignore, msg);
+        assert_eq!(i.framing, FramingChoice::None);
+        assert!(msg[i.consumed..].starts_with(b"3\r\n"), "chunked bytes smuggled");
+
+        assert_eq!(interpret(&strict(), msg).outcome.status(), 400);
+    }
+
+    #[test]
+    fn multiple_host_policies() {
+        let msg = b"GET / HTTP/1.1\r\nHost: h1.com\r\nHost: h2.com\r\n\r\n";
+        assert_eq!(interpret(&strict(), msg).outcome.status(), 400);
+
+        let mut first = strict();
+        first.multi_host = MultiHostPolicy::First;
+        assert_eq!(interpret(&first, msg).host.as_deref(), Some(&b"h1.com"[..]));
+
+        let mut last = strict();
+        last.multi_host = MultiHostPolicy::Last;
+        assert_eq!(interpret(&last, msg).host.as_deref(), Some(&b"h2.com"[..]));
+    }
+
+    #[test]
+    fn missing_host_on_11() {
+        assert_eq!(interpret(&strict(), b"GET / HTTP/1.1\r\n\r\n").outcome.status(), 400);
+        assert!(interpret(&strict(), b"GET / HTTP/1.0\r\n\r\n").outcome.is_accept());
+    }
+
+    #[test]
+    fn absolute_uri_policies() {
+        let msg = b"GET http://h2.com/ HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+        let i = interpret(&strict(), msg); // strict prefers URI
+        assert_eq!(i.host.as_deref(), Some(&b"h2.com"[..]));
+
+        let mut prefer_host = strict();
+        prefer_host.abs_uri = AbsUriPolicy::PreferHost;
+        assert_eq!(interpret(&prefer_host, msg).host.as_deref(), Some(&b"h1.com"[..]));
+
+        let mut reject = strict();
+        reject.abs_uri = AbsUriPolicy::RejectMismatch;
+        assert_eq!(interpret(&reject, msg).outcome.status(), 400);
+    }
+
+    #[test]
+    fn invalid_host_values_and_transparent_parsing() {
+        let msg = b"GET / HTTP/1.1\r\nHost: h1.com@h2.com\r\n\r\n";
+        assert_eq!(interpret(&strict(), msg).outcome.status(), 400);
+
+        let mut transparent = strict();
+        transparent.host_parse = hdiff_wire::HostParseOptions::transparent();
+        transparent.validate_host = false;
+        let i = interpret(&transparent, msg);
+        assert!(i.outcome.is_accept());
+        assert_eq!(i.host.as_deref(), Some(&b"h1.com@h2.com"[..]));
+    }
+
+    #[test]
+    fn invalid_version_policies() {
+        let msg = b"GET / 1.1/HTTP\r\nHost: h\r\n\r\n";
+        assert_eq!(interpret(&strict(), msg).outcome.status(), 400);
+        let mut acc = strict();
+        acc.version_policy = VersionPolicy::AcceptAny;
+        assert!(interpret(&acc, msg).outcome.is_accept());
+    }
+
+    #[test]
+    fn http09_support() {
+        let msg = b"GET / HTTP/0.9\r\nHost: h\r\n\r\n";
+        assert_eq!(interpret(&strict(), msg).outcome.status(), 400);
+        let mut p = strict();
+        p.supports_09 = true;
+        assert!(interpret(&p, msg).outcome.is_accept());
+    }
+
+    #[test]
+    fn http2_token_policies() {
+        let msg = b"GET / HTTP/2.0\r\nHost: h\r\n\r\n";
+        assert_eq!(interpret(&strict(), msg).outcome.status(), 505);
+        let mut p = strict();
+        p.http2_token = Http2TokenPolicy::TreatAs11;
+        assert!(interpret(&p, msg).outcome.is_accept());
+    }
+
+    #[test]
+    fn fat_get_policies() {
+        let msg = b"GET / HTTP/1.1\r\nHost: h\r\nContent-Length: 17\r\n\r\nGET /x HTTP/1.1\r\n";
+        let i = interpret(&strict(), msg);
+        assert!(i.outcome.is_accept());
+        assert_eq!(i.body.len(), 17);
+
+        let mut ignore = strict();
+        ignore.fat_request = FatRequestPolicy::IgnoreFraming;
+        let i = interpret(&ignore, msg);
+        assert_eq!(i.framing, FramingChoice::None);
+        assert!(msg[i.consumed..].starts_with(b"GET /x"), "inner request smuggled");
+
+        let mut reject = strict();
+        reject.fat_request = FatRequestPolicy::Reject;
+        assert_eq!(interpret(&reject, msg).outcome.status(), 400);
+    }
+
+    #[test]
+    fn expect_policies() {
+        let get = b"GET / HTTP/1.1\r\nHost: h\r\nExpect: 100-continue\r\n\r\n";
+        assert!(interpret(&strict(), get).outcome.is_accept());
+
+        let mut lighttpdish = strict();
+        lighttpdish.expect = ExpectPolicy::RejectOnGet;
+        assert_eq!(interpret(&lighttpdish, get).outcome.status(), 417);
+
+        let unknown = b"GET / HTTP/1.1\r\nHost: h\r\nExpect: 100-continuce\r\n\r\n";
+        assert_eq!(interpret(&strict(), unknown).outcome.status(), 417);
+        let mut ignore = strict();
+        ignore.expect = ExpectPolicy::Ignore;
+        assert!(interpret(&ignore, unknown).outcome.is_accept());
+
+        // HTTP/1.0: the expectation MUST be ignored.
+        let old = b"GET / HTTP/1.0\r\nHost: h\r\nExpect: 100-continuce\r\n\r\n";
+        assert!(interpret(&strict(), old).outcome.is_accept());
+    }
+
+    #[test]
+    fn chunk_repair_flag_propagates() {
+        let msg = b"POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n1000000000000000a\r\nabc\r\n0\r\n\r\nxx";
+        assert_eq!(interpret(&strict(), msg).outcome.status(), 400);
+        let mut p = strict();
+        p.chunk_opts = hdiff_wire::ChunkedDecodeOptions {
+            overflow: hdiff_wire::OverflowBehavior::Wrap,
+            truncate_short_final_chunk: true,
+            ..hdiff_wire::ChunkedDecodeOptions::strict()
+        };
+        let i = interpret(&p, msg);
+        assert!(i.outcome.is_accept());
+        assert!(i.repaired_chunked);
+        assert_eq!(i.body, b"abc\r\n0\r\n\r\n", "wrapped size 10 swallows framing");
+    }
+
+    #[test]
+    fn obs_fold_policies() {
+        let msg = b"GET / HTTP/1.1\r\nHost: h1.com\r\n\th2.com\r\n\r\n";
+        assert_eq!(interpret(&strict(), msg).outcome.status(), 400);
+        let mut merge = strict();
+        merge.obs_fold = ObsFoldPolicy::MergeSp;
+        merge.validate_host = false;
+        merge.host_parse = hdiff_wire::HostParseOptions::transparent();
+        let i = interpret(&merge, msg);
+        assert!(i.outcome.is_accept());
+        assert_eq!(i.host.as_deref(), Some(&b"h1.com h2.com"[..]));
+    }
+
+    #[test]
+    fn oversized_headers_rejected() {
+        let mut p = strict();
+        p.max_header_bytes = 64;
+        let big = vec![b'a'; 100];
+        let mut msg = b"GET / HTTP/1.1\r\nHost: h\r\nX-Big: ".to_vec();
+        msg.extend_from_slice(&big);
+        msg.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(interpret(&p, &msg).outcome.status(), 431);
+    }
+
+    #[test]
+    fn duplicated_chunked_te_rejected_strictly_but_recognized_by_substring() {
+        // CVE-2020-1944 flavor: `Transfer-Encoding: chunked` twice.
+        let msg = b"POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+        assert_eq!(interpret(&strict(), msg).outcome.status(), 400);
+        let mut lenient = strict();
+        lenient.te_recognition = TeRecognition::ChunkedSubstring;
+        let i = interpret(&lenient, msg);
+        assert!(i.outcome.is_accept());
+        assert_eq!(i.framing, FramingChoice::Chunked);
+        assert_eq!(i.body, b"abc");
+    }
+
+    #[test]
+    fn consumed_marks_pipelined_boundary() {
+        let msg = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\n\r\nabcGET /next HTTP/1.1\r\nHost: h\r\n\r\n";
+        let i = interpret(&strict(), msg);
+        assert!(i.outcome.is_accept());
+        assert!(msg[i.consumed..].starts_with(b"GET /next"));
+    }
+}

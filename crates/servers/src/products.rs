@@ -1,0 +1,404 @@
+//! The ten product behavioral models (Table I).
+//!
+//! Each profile starts from the RFC-strict baseline and overrides exactly
+//! the toggles for which the paper documents deviant behavior (§IV-B,
+//! Table II, and the vendor-response section). The quirk inventory is
+//! mirrored in `DESIGN.md` §7.
+
+use hdiff_wire::uri::{AtSignPolicy, CommaPolicy, SlashPolicy};
+use hdiff_wire::{ChunkedDecodeOptions, HostParseOptions, OverflowBehavior};
+
+use crate::profile::{
+    AbsUriPolicy, Chunked10Policy, ClValuePolicy, ExpectPolicy, ForwardVersion, Http2TokenPolicy,
+    MultiHostPolicy, NamePolicy, ParserProfile, ProxyBehavior, RewriteAbsUri, TeRecognition,
+    VersionPolicy, WsColonPolicy,
+};
+
+/// The ten modeled products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProductId {
+    /// Microsoft IIS 10 (server).
+    Iis,
+    /// Apache Tomcat 9.0.29 (server).
+    Tomcat,
+    /// Oracle Weblogic 12.2.1.4.0 (server).
+    Weblogic,
+    /// Lighttpd 1.4.58 (server).
+    Lighttpd,
+    /// Apache httpd 2.4.47 (server + proxy).
+    Apache,
+    /// Nginx 1.21.0 (server + proxy).
+    Nginx,
+    /// Varnish 6.5.1 (proxy).
+    Varnish,
+    /// Squid 5.0.6 (proxy).
+    Squid,
+    /// Haproxy 2.4.0 (proxy).
+    Haproxy,
+    /// Apache Traffic Server 8.0.5 (proxy).
+    Ats,
+}
+
+impl ProductId {
+    /// All ten products, Table I order.
+    pub const ALL: [ProductId; 10] = [
+        ProductId::Iis,
+        ProductId::Tomcat,
+        ProductId::Weblogic,
+        ProductId::Lighttpd,
+        ProductId::Apache,
+        ProductId::Nginx,
+        ProductId::Varnish,
+        ProductId::Squid,
+        ProductId::Haproxy,
+        ProductId::Ats,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProductId::Iis => "iis",
+            ProductId::Tomcat => "tomcat",
+            ProductId::Weblogic => "weblogic",
+            ProductId::Lighttpd => "lighttpd",
+            ProductId::Apache => "apache",
+            ProductId::Nginx => "nginx",
+            ProductId::Varnish => "varnish",
+            ProductId::Squid => "squid",
+            ProductId::Haproxy => "haproxy",
+            ProductId::Ats => "ats",
+        }
+    }
+
+    /// Looks an id up by name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<ProductId> {
+        ProductId::ALL.into_iter().find(|p| p.name().eq_ignore_ascii_case(name))
+    }
+}
+
+impl std::fmt::Display for ProductId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn lenient_rfc_host() -> HostParseOptions {
+    // RFC-shaped resolution without rejection: userinfo split per RFC 3986,
+    // last list element, truncate path junk.
+    HostParseOptions {
+        at_sign: AtSignPolicy::UseAfter,
+        comma: CommaPolicy::TakeLast,
+        slash: SlashPolicy::Truncate,
+        allow_empty: true,
+    }
+}
+
+/// Builds the behavioral profile for one product.
+pub fn product(id: ProductId) -> ParserProfile {
+    let mut p = ParserProfile::strict(id.name());
+    match id {
+        ProductId::Iis => {
+            p.version = "10".into();
+            // §IV-B: accepts whitespace between field-name and colon and
+            // *uses* the header (CVE-2020-0645 class).
+            p.ws_colon = WsColonPolicy::AcceptUse;
+            p.name_policy = NamePolicy::TreatUnknown;
+            // Absolute-URI authority wins over Host (the Varnish→IIS HoT
+            // backend half).
+            p.abs_uri = AbsUriPolicy::PreferUri;
+            p.multi_space_request_line = true;
+            p.max_header_bytes = 16 * 1024;
+        }
+        ProductId::Tomcat => {
+            p.version = "9.0.29".into();
+            // CVE-2019-17569/CVE-2020-1935 class: a malformed TE value
+            // containing "chunked" is honored, silently overriding CL.
+            p.te_recognition = TeRecognition::ChunkedSubstring;
+            p.lenient_te_overrides_cl = true;
+            // §IV-B: does not support chunked under HTTP/1.0 while others
+            // do — the version-downgrade smuggling gap.
+            p.chunked_in_10 = Chunked10Policy::Ignore;
+            p.name_policy = NamePolicy::TreatUnknown;
+            p.abs_uri = AbsUriPolicy::PreferUri;
+            p.max_header_bytes = 8 * 1024;
+        }
+        ProductId::Weblogic => {
+            p.version = "12.2.1.4.0".into();
+            // CVE-2020-2867/14588/14589 class lenient parsing.
+            p.ws_colon = WsColonPolicy::AcceptUse;
+            p.name_policy = NamePolicy::Strip;
+            p.obs_fold = crate::profile::ObsFoldPolicy::MergeSp;
+            p.multi_host = MultiHostPolicy::Last;
+            p.host_parse = lenient_rfc_host();
+            p.validate_host = false;
+            p.abs_uri = AbsUriPolicy::PreferHost;
+            // §IV-B: the only server that answers HTTP/0.9-with-headers 200.
+            p.supports_09 = true;
+            p.chunked_in_10 = Chunked10Policy::Process;
+            // Treats NUL bytes inside chunk-data as a framing error
+            // (Table II, *NULL in chunk-data*).
+            p.chunk_opts = ChunkedDecodeOptions {
+                reject_nul_in_data: true,
+                ..ChunkedDecodeOptions::strict()
+            };
+            p.max_header_bytes = 16 * 1024;
+        }
+        ProductId::Lighttpd => {
+            p.version = "1.4.58".into();
+            // Lenient Content-Length value parsing (HRS potential).
+            p.cl_value = ClValuePolicy::Lenient;
+            // §IV-B: directly rejects Expect on a bodyless GET (the
+            // ATS→Lighttpd CPDoS pair half).
+            p.expect = ExpectPolicy::RejectOnGet;
+            p.fat_request = crate::profile::FatRequestPolicy::Reject;
+            p.abs_uri = AbsUriPolicy::RejectMismatch;
+            p.max_header_bytes = 8 * 1024;
+        }
+        ProductId::Apache => {
+            p.version = "2.4.47".into();
+            // RFC-strict parser in both roles; the CPDoS exposure is the
+            // error-caching proxy below.
+            p.abs_uri = AbsUriPolicy::RejectMismatch;
+            p.max_header_bytes = 8 * 1024;
+            let mut b = ProxyBehavior::strict();
+            b.cache.store_errors = true;
+            p.proxy = Some(b);
+        }
+        ProductId::Nginx => {
+            p.version = "1.21.0".into();
+            // §IV-B: repairs invalid HTTP-version by appending its own
+            // version after the bad token (CPDoS).
+            p.version_policy = VersionPolicy::RepairAppend;
+            // Forwards unvalidated Host spellings verbatim (HoT front half
+            // of the Nginx→Weblogic pair).
+            p.host_parse = HostParseOptions::transparent();
+            p.validate_host = false;
+            p.abs_uri = AbsUriPolicy::RejectMismatch;
+            p.max_header_bytes = 8 * 1024;
+            let mut b = ProxyBehavior::strict();
+            b.cache.store_errors = true;
+            p.proxy = Some(b);
+        }
+        ProductId::Varnish => {
+            p.version = "6.5.1".into();
+            p.server_mode = false;
+            // §IV-B: does not rewrite non-http-scheme absolute-URIs and
+            // routes by the Host header (HoT front half).
+            p.abs_uri = AbsUriPolicy::PreferHost;
+            p.host_parse = HostParseOptions::transparent();
+            p.validate_host = false;
+            p.multi_host = MultiHostPolicy::First;
+            // Whitespace-before-colon fields pass through unrecognized and
+            // unnormalized (HRS front half).
+            p.ws_colon = WsColonPolicy::TreatUnknown;
+            p.name_policy = NamePolicy::TreatUnknown;
+            p.expect = ExpectPolicy::Ignore;
+            p.max_header_bytes = 32 * 1024;
+            let mut b = ProxyBehavior::strict();
+            b.rewrite_abs_uri = RewriteAbsUri::OnlyHttpScheme;
+            b.normalize_ws_colon = false;
+            b.cache.store_errors = true;
+            p.proxy = Some(b);
+        }
+        ProductId::Squid => {
+            p.version = "5.0.6".into();
+            // §IV-B: repairs an overflowing chunk-size by wrapping (HRS).
+            p.chunk_opts = ChunkedDecodeOptions {
+                overflow: OverflowBehavior::Wrap,
+                truncate_short_final_chunk: true,
+                stop_at_invalid_digit: true,
+                ..ChunkedDecodeOptions::strict()
+            };
+            p.version_policy = VersionPolicy::RepairAppend;
+            // Squid is strict about Host and header names (Table I: no
+            // HoT verdict): it rejects ambiguous spellings instead of
+            // forwarding them.
+            p.multi_host = MultiHostPolicy::Reject;
+            p.name_policy = NamePolicy::Reject;
+            p.server_mode = false;
+            p.max_header_bytes = 64 * 1024;
+            let mut b = ProxyBehavior::strict();
+            b.reencode_repaired_chunked = true;
+            b.cache.store_errors = true;
+            p.proxy = Some(b);
+        }
+        ProductId::Haproxy => {
+            p.version = "2.4.0".into();
+            // §IV-B: chunk-size overflow repair (HRS), blind forwarding of
+            // HTTP/0.9 (CPDoS), transparent absolute-URI and Host handling
+            // (HoT).
+            p.chunk_opts = ChunkedDecodeOptions {
+                overflow: OverflowBehavior::Wrap,
+                truncate_short_final_chunk: true,
+                ..ChunkedDecodeOptions::strict()
+            };
+            p.supports_09 = true;
+            p.http2_token = Http2TokenPolicy::TreatAs11;
+            p.abs_uri = AbsUriPolicy::PreferHost;
+            p.host_parse = HostParseOptions::transparent();
+            p.validate_host = false;
+            p.multi_host = MultiHostPolicy::First;
+            p.name_policy = NamePolicy::TreatUnknown;
+            p.chunked_in_10 = Chunked10Policy::Process;
+            p.server_mode = false;
+            p.max_header_bytes = 16 * 1024;
+            let mut b = ProxyBehavior::strict();
+            b.rewrite_abs_uri = RewriteAbsUri::Never;
+            b.add_host_from_uri = false;
+            b.forward_version = ForwardVersion::Blind;
+            b.reencode_repaired_chunked = true;
+            b.cache.store_errors = true;
+            b.cache.store_pre11 = true;
+            p.proxy = Some(b);
+        }
+        ProductId::Ats => {
+            p.version = "8.0.5".into();
+            // CVE-2020-1944 class: whitespace-before-colon fields are
+            // *used*, and repeated/malformed Transfer-Encoding values that
+            // still contain `chunked` are honored and forwarded.
+            p.ws_colon = WsColonPolicy::AcceptUse;
+            p.te_recognition = TeRecognition::ChunkedSubstring;
+            p.cl_value = ClValuePolicy::Lenient;
+            p.version_policy = VersionPolicy::RepairAppend;
+            p.expect = ExpectPolicy::Ignore;
+            p.server_mode = false;
+            p.max_header_bytes = 64 * 1024;
+            let mut b = ProxyBehavior::strict();
+            b.forward_expect_on_get = true;
+            b.normalize_ws_colon = false;
+            b.cache.store_errors = true;
+            p.proxy = Some(b);
+        }
+    }
+    p
+}
+
+/// All ten profiles.
+pub fn products() -> Vec<ParserProfile> {
+    ProductId::ALL.into_iter().map(product).collect()
+}
+
+/// The six proxy (front-end) profiles of Fig. 6.
+pub fn proxies() -> Vec<ParserProfile> {
+    products().into_iter().filter(ParserProfile::is_proxy).collect()
+}
+
+/// The six back-end server profiles of Fig. 6.
+pub fn backends() -> Vec<ParserProfile> {
+    products().into_iter().filter(|p| p.server_mode).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{interpret, FramingChoice};
+
+    #[test]
+    fn table1_modes() {
+        let proxies: Vec<_> = proxies().iter().map(|p| p.name.clone()).collect();
+        assert_eq!(proxies, vec!["apache", "nginx", "varnish", "squid", "haproxy", "ats"]);
+        let backends: Vec<_> = backends().iter().map(|p| p.name.clone()).collect();
+        assert_eq!(backends, vec!["iis", "tomcat", "weblogic", "lighttpd", "apache", "nginx"]);
+        assert_eq!(products().len(), 10);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(ProductId::from_name("VARNISH"), Some(ProductId::Varnish));
+        assert_eq!(ProductId::from_name("caddy"), None);
+    }
+
+    #[test]
+    fn iis_uses_ws_colon_content_length() {
+        let msg = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length : 3\r\n\r\nabc";
+        let i = interpret(&product(ProductId::Iis), msg);
+        assert!(i.outcome.is_accept());
+        assert_eq!(i.framing, FramingChoice::ContentLength(3));
+        // Strict apache rejects the same message.
+        assert_eq!(interpret(&product(ProductId::Apache), msg).outcome.status(), 400);
+    }
+
+    #[test]
+    fn tomcat_honors_malformed_te_over_cl() {
+        let msg = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 10\r\nTransfer-Encoding:\x0bchunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+        let i = interpret(&product(ProductId::Tomcat), msg);
+        assert!(i.outcome.is_accept(), "{:?}", i.outcome);
+        assert_eq!(i.framing, FramingChoice::Chunked);
+        assert_eq!(interpret(&product(ProductId::Apache), msg).outcome.status(), 400);
+    }
+
+    #[test]
+    fn tomcat_ignores_chunked_under_10_while_weblogic_processes() {
+        let msg = b"POST / HTTP/1.0\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+        let t = interpret(&product(ProductId::Tomcat), msg);
+        assert_eq!(t.framing, FramingChoice::None);
+        let w = interpret(&product(ProductId::Weblogic), msg);
+        assert_eq!(w.framing, FramingChoice::Chunked);
+    }
+
+    #[test]
+    fn weblogic_answers_http09() {
+        let msg = b"GET / HTTP/0.9\r\nHost: h\r\n\r\n";
+        assert!(interpret(&product(ProductId::Weblogic), msg).outcome.is_accept());
+        for other in [ProductId::Iis, ProductId::Tomcat, ProductId::Lighttpd, ProductId::Apache, ProductId::Nginx] {
+            assert!(
+                !interpret(&product(other), msg).outcome.is_accept(),
+                "{other} should reject 0.9"
+            );
+        }
+    }
+
+    #[test]
+    fn weblogic_strips_junk_names_and_takes_last_host() {
+        let msg = b"GET / HTTP/1.1\r\n\x0bHost: h1.com\r\nHost: h2.com\r\n\r\n";
+        let i = interpret(&product(ProductId::Weblogic), msg);
+        assert!(i.outcome.is_accept());
+        assert_eq!(i.host.as_deref(), Some(&b"h2.com"[..]));
+    }
+
+    #[test]
+    fn lighttpd_lenient_cl_and_expect_on_get() {
+        let msg = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: +6\r\n\r\nabcdef";
+        assert!(interpret(&product(ProductId::Lighttpd), msg).outcome.is_accept());
+        let expect = b"GET / HTTP/1.1\r\nHost: h\r\nExpect: 100-continue\r\n\r\n";
+        assert_eq!(interpret(&product(ProductId::Lighttpd), expect).outcome.status(), 417);
+        assert!(interpret(&product(ProductId::Apache), expect).outcome.is_accept());
+    }
+
+    #[test]
+    fn varnish_prefers_host_header_on_foreign_scheme() {
+        let msg = b"GET test://h2.com/?a=1 HTTP/1.1\r\nHost: h1.com\r\n\r\n";
+        let v = interpret(&product(ProductId::Varnish), msg);
+        assert_eq!(v.host.as_deref(), Some(&b"h1.com"[..]));
+        let iis = interpret(&product(ProductId::Iis), msg);
+        assert_eq!(iis.host.as_deref(), Some(&b"h2.com"[..]), "the HoT gap");
+    }
+
+    #[test]
+    fn squid_and_haproxy_repair_overflowing_chunks() {
+        let msg = b"POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n1000000000000000a\r\nabc\r\n0\r\n\r\n";
+        for id in [ProductId::Squid, ProductId::Haproxy] {
+            let i = interpret(&product(id), msg);
+            assert!(i.outcome.is_accept(), "{id}");
+            assert!(i.repaired_chunked, "{id}");
+        }
+        assert_eq!(interpret(&product(ProductId::Apache), msg).outcome.status(), 400);
+    }
+
+    #[test]
+    fn nginx_accepts_invalid_version_for_repair() {
+        let msg = b"GET /?a=b 1.1/HTTP\r\nHost: h\r\n\r\n";
+        assert!(interpret(&product(ProductId::Nginx), msg).outcome.is_accept());
+        assert_eq!(interpret(&product(ProductId::Apache), msg).outcome.status(), 400);
+    }
+
+    #[test]
+    fn every_product_accepts_a_plain_request() {
+        let msg = b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\n";
+        for p in products() {
+            let i = interpret(&p, msg);
+            assert!(i.outcome.is_accept(), "{}: {:?}", p.name, i.outcome);
+            assert_eq!(i.host.as_deref(), Some(&b"example.com"[..]), "{}", p.name);
+        }
+    }
+}

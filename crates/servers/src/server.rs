@@ -1,0 +1,154 @@
+//! Origin-server wrapper: pipelined stream handling plus echo-style
+//! responses describing the interpretation (the paper's back-end feedback
+//! "through application scripting languages, such as PHP, and ASPX").
+
+use hdiff_wire::{Response, StatusCode};
+
+use crate::engine::{interpret, Interpretation, Outcome};
+use crate::profile::ParserProfile;
+
+/// One request's worth of server output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerReply {
+    /// The interpretation that produced the response.
+    pub interpretation: Interpretation,
+    /// The response the server sends.
+    pub response: Response,
+}
+
+/// A simulated origin server.
+#[derive(Debug, Clone)]
+pub struct Server {
+    /// The behavioral profile.
+    pub profile: ParserProfile,
+}
+
+impl Server {
+    /// Wraps a profile as an origin server.
+    pub fn new(profile: ParserProfile) -> Server {
+        Server { profile }
+    }
+
+    /// The product name.
+    pub fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    /// Handles a single request (first message on the stream).
+    pub fn handle(&self, input: &[u8]) -> ServerReply {
+        let interpretation = interpret(&self.profile, input);
+        let response = self.respond(&interpretation);
+        ServerReply { interpretation, response }
+    }
+
+    /// Handles a full connection's bytes: consecutive (pipelined)
+    /// messages until a reject, exhaustion, or the safety cap. This is
+    /// where a smuggled second request becomes visible.
+    pub fn handle_stream(&self, input: &[u8]) -> Vec<ServerReply> {
+        let mut replies = Vec::new();
+        let mut pos = 0usize;
+        for _ in 0..16 {
+            if pos >= input.len() {
+                break;
+            }
+            let reply = self.handle(&input[pos..]);
+            let consumed = reply.interpretation.consumed;
+            let rejected = !reply.interpretation.outcome.is_accept();
+            replies.push(reply);
+            if rejected || consumed == 0 {
+                break; // connection closes on error
+            }
+            pos += consumed;
+        }
+        replies
+    }
+
+    /// Builds the echo-style response: status from the outcome; on accept,
+    /// a body reporting what the server understood (host, method, body
+    /// length and payload) so the differential engine can read the
+    /// back-end's perception (Fig. 6, step 3).
+    fn respond(&self, i: &Interpretation) -> Response {
+        match &i.outcome {
+            Outcome::Accept => {
+                let host = i.host.as_deref().unwrap_or(b"-");
+                let mut body = Vec::new();
+                body.extend_from_slice(b"host=");
+                body.extend_from_slice(host);
+                body.extend_from_slice(b";method=");
+                body.extend_from_slice(&i.method);
+                body.extend_from_slice(b";target=");
+                body.extend_from_slice(&i.target);
+                body.extend_from_slice(format!(";len={};data=", i.body.len()).as_bytes());
+                body.extend_from_slice(&i.body);
+                let mut r = Response::with_body(StatusCode::OK, body);
+                r.headers.push("Server", self.profile.name.clone());
+                r
+            }
+            Outcome::Reject { status, reason } => {
+                let mut r = Response::with_body(StatusCode(*status), reason.clone());
+                r.headers.push("Server", self.profile.name.clone());
+                r
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{DuplicateClPolicy, ParserProfile};
+
+    #[test]
+    fn echoes_interpretation() {
+        let s = Server::new(ParserProfile::strict("base"));
+        let reply = s.handle(b"POST / HTTP/1.1\r\nHost: h1.com\r\nContent-Length: 3\r\n\r\nabc");
+        assert_eq!(reply.response.status, StatusCode::OK);
+        let body = String::from_utf8_lossy(&reply.response.body);
+        assert!(body.contains("host=h1.com"), "{body}");
+        assert!(body.contains("len=3"));
+        assert!(body.contains("data=abc"));
+    }
+
+    #[test]
+    fn rejections_carry_status_and_reason() {
+        let s = Server::new(ParserProfile::strict("base"));
+        let reply = s.handle(b"GET / HTTP/1.1\r\n\r\n");
+        assert_eq!(reply.response.status, StatusCode::BAD_REQUEST);
+        assert!(String::from_utf8_lossy(&reply.response.body).contains("host"));
+    }
+
+    #[test]
+    fn pipelined_stream_splits_messages() {
+        let s = Server::new(ParserProfile::strict("base"));
+        let replies = s.handle_stream(
+            b"GET /a HTTP/1.1\r\nHost: h\r\n\r\nGET /b HTTP/1.1\r\nHost: h\r\n\r\n",
+        );
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].interpretation.target, b"/a");
+        assert_eq!(replies[1].interpretation.target, b"/b");
+    }
+
+    #[test]
+    fn smuggled_request_appears_as_second_message() {
+        // A server that takes the LAST of two CLs (0) leaves the 10-byte
+        // body in the stream; it must then be parsed as a second request.
+        let mut p = ParserProfile::strict("lastcl");
+        p.duplicate_cl = DuplicateClPolicy::Last;
+        let s = Server::new(p);
+        let replies = s.handle_stream(
+            b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 10\r\nContent-Length: 0\r\n\r\nGET /smuggled HTTP/1.1\r\nHost: h\r\n\r\n",
+        );
+        assert_eq!(replies.len(), 2, "{replies:?}");
+        assert_eq!(replies[1].interpretation.target, b"/smuggled");
+    }
+
+    #[test]
+    fn stream_stops_on_reject() {
+        let s = Server::new(ParserProfile::strict("base"));
+        let replies = s.handle_stream(
+            b"GET / HTTP/1.1\r\nBad Header\r\n\r\nGET /b HTTP/1.1\r\nHost: h\r\n\r\n",
+        );
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].response.status, StatusCode::BAD_REQUEST);
+    }
+}

@@ -1,0 +1,128 @@
+//! Table-driven behavioral lock: every product's status code on every
+//! canonical payload. This is the regression net under the Table I
+//! reproduction — if a profile toggle changes any cell, this test names it.
+
+use hdiff_servers::{interpret, product, ProductId};
+
+/// (payload name, request bytes).
+fn payloads() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("plain-get", b"GET / HTTP/1.1\r\nHost: h1.com\r\n\r\n".to_vec()),
+        (
+            "ws-colon-cl",
+            b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length : 3\r\n\r\nabc".to_vec(),
+        ),
+        (
+            "junk-te-with-cl",
+            b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 10\r\nTransfer-Encoding:\x0bchunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n".to_vec(),
+        ),
+        (
+            "chunked-10",
+            b"POST / HTTP/1.0\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n".to_vec(),
+        ),
+        ("http09", b"GET / HTTP/0.9\r\nHost: h\r\n\r\n".to_vec()),
+        ("bad-version", b"GET / 1.1/HTTP\r\nHost: h\r\n\r\n".to_vec()),
+        ("multi-host", b"GET / HTTP/1.1\r\nHost: h1.com\r\nHost: h2.com\r\n\r\n".to_vec()),
+        ("at-host", b"GET / HTTP/1.1\r\nHost: h1.com@h2.com\r\n\r\n".to_vec()),
+        (
+            "overflow-chunk",
+            b"POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n1000000000000000a\r\nabc\r\n0\r\n\r\n".to_vec(),
+        ),
+        ("expect-get", b"GET / HTTP/1.1\r\nHost: h\r\nExpect: 100-continue\r\n\r\n".to_vec()),
+        ("lenient-cl", b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: +6\r\n\r\nabcdef".to_vec()),
+        (
+            "cl-plus-te",
+            b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n".to_vec(),
+        ),
+    ]
+}
+
+/// Expected status per (product, payload). These cells *are* the model —
+/// any change here must be justified against §IV-B / Table II.
+fn expected(product: ProductId, payload: &str) -> u16 {
+    use ProductId::*;
+    match (product, payload) {
+        (_, "plain-get") => 200,
+
+        (Iis | Weblogic | Ats, "ws-colon-cl") => 200,
+        // Varnish treats the ws-colon line as an unknown header: no CL
+        // framing, 200 with the body bytes left in the stream (the HRS
+        // front half).
+        (Varnish, "ws-colon-cl") => 200,
+        (_, "ws-colon-cl") => 400,
+
+        (Tomcat | Ats, "junk-te-with-cl") => 200, // lenient chunked recognition
+        // Weblogic's junk-name strip recognizes the TE *strictly*, and a
+        // strict TE together with CL is rejected.
+        (_, "junk-te-with-cl") => 400,
+
+        (Tomcat, "chunked-10") => 200,  // TE ignored under 1.0
+        (Weblogic | Haproxy, "chunked-10") => 200, // processed
+        (_, "chunked-10") => 400,
+
+        (Weblogic | Haproxy, "http09") => 200,
+        (_, "http09") => 400,
+
+        (Nginx | Squid | Ats, "bad-version") => 200, // repair-append proxies
+        (_, "bad-version") => 400,
+
+        (Weblogic | Varnish | Haproxy, "multi-host") => 200,
+        (_, "multi-host") => 400,
+
+        (Weblogic | Nginx | Varnish | Haproxy, "at-host") => 200,
+        (_, "at-host") => 400,
+
+        (Squid | Haproxy, "overflow-chunk") => 200, // wrap repair
+        (_, "overflow-chunk") => 400,
+
+        (Lighttpd, "expect-get") => 417,
+        (_, "expect-get") => 200,
+
+        (Lighttpd | Ats, "lenient-cl") => 200,
+        (_, "lenient-cl") => 400,
+
+        // A *strictly valid* TE next to CL is the classic smuggling shape:
+        // every model rejects it (lenient recognition only overrides CL
+        // when the TE value itself is malformed).
+        (_, "cl-plus-te") => 400,
+
+        (p, other) => panic!("no expectation for {p} x {other}"),
+    }
+}
+
+#[test]
+fn every_cell_of_the_behavior_matrix() {
+    let mut failures = Vec::new();
+    for id in ProductId::ALL {
+        let profile = product(id);
+        for (name, bytes) in payloads() {
+            let got = interpret(&profile, &bytes).outcome.status();
+            let want = expected(id, name);
+            if got != want {
+                failures.push(format!("{id} x {name}: expected {want}, got {got}"));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "behavior matrix drifted:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn host_views_on_ambiguous_payloads() {
+    // Host identities, not just statuses, are part of the behavioral lock.
+    let at_host = b"GET / HTTP/1.1\r\nHost: h1.com@h2.com\r\n\r\n";
+    let cases: &[(ProductId, &[u8])] = &[
+        (ProductId::Weblogic, b"h2.com"),          // RFC-style resolution
+        (ProductId::Varnish, b"h1.com@h2.com"),    // transparent
+        (ProductId::Haproxy, b"h1.com@h2.com"),    // transparent
+        (ProductId::Nginx, b"h1.com@h2.com"),      // transparent
+    ];
+    for (id, want) in cases {
+        let i = interpret(&product(*id), at_host);
+        assert_eq!(i.host.as_deref(), Some(*want), "{id}");
+    }
+
+    let multi = b"GET / HTTP/1.1\r\nHost: h1.com\r\nHost: h2.com\r\n\r\n";
+    assert_eq!(interpret(&product(ProductId::Weblogic), multi).host.as_deref(), Some(&b"h2.com"[..]));
+    assert_eq!(interpret(&product(ProductId::Varnish), multi).host.as_deref(), Some(&b"h1.com"[..]));
+    assert_eq!(interpret(&product(ProductId::Haproxy), multi).host.as_deref(), Some(&b"h1.com"[..]));
+}

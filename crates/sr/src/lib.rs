@@ -1,0 +1,27 @@
+//! Specification Requirement (SR) model for HDiff.
+//!
+//! An SR is the paper's unit of extracted semantics: a sentence like
+//! *"A server MUST respond with a 400 (Bad Request) status code to any
+//! HTTP/1.1 request message that lacks a Host header field"* converted to a
+//! formal rule — a **role**, a **modality**, one or more **message
+//! descriptions** (what the request looks like) and a **role action** (what
+//! the implementation must do).
+//!
+//! This crate also ships two of the four manual inputs HDiff needs
+//! (Fig. 3 of the paper):
+//!
+//! * [`templates`] — the *SR seed template sets* the Text2Rule converter
+//!   tests hypotheses against;
+//! * [`semantics`] — the *SR semantic definitions* the SR translator uses
+//!   to turn message descriptions into concrete test messages and role
+//!   actions into checkable expectations.
+
+pub mod model;
+pub mod semantics;
+pub mod templates;
+
+pub use model::{
+    FieldState, MessageDescription, MessageField, Modality, Role, RoleAction, SpecRequirement,
+};
+pub use semantics::{Expectation, GenStrategy, SemanticDefinitions};
+pub use templates::{default_templates, SrTemplate, TemplateKind};

@@ -1,0 +1,131 @@
+//! SR seed templates — the first manual input of Fig. 3.
+//!
+//! A template is a hypothesis schema the Text2Rule converter instantiates
+//! and tests against an SR sentence via textual entailment:
+//!
+//! * message-description templates: `"[field] header is [state]"` — the
+//!   `[field]` slot adapts automatically to the header names defined in the
+//!   adapted ABNF grammar (the left values of the ABNF expressions);
+//! * role-action templates: `"[role] respond [code] status code"`,
+//!   `"[role] close the connection"`, ….
+
+use crate::model::{FieldState, RoleAction};
+
+/// What a template hypothesizes about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateKind {
+    /// `[field] header is [state]` — `states` lists the states to try.
+    MessageDescription {
+        /// Field states this template enumerates.
+        states: Vec<FieldState>,
+    },
+    /// `[role] <action>` — `actions` lists the actions to try.
+    RoleAction {
+        /// Actions this template enumerates.
+        actions: Vec<RoleAction>,
+    },
+}
+
+/// One seed template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrTemplate {
+    /// Short name for reports.
+    pub name: String,
+    /// The hypothesis schema.
+    pub kind: TemplateKind,
+}
+
+/// The default template set used for the paper's three attack models. This
+/// is deliberately small and enumerable — the paper stresses that these
+/// manual inputs total under eight hours of work.
+pub fn default_templates() -> Vec<SrTemplate> {
+    vec![
+        SrTemplate {
+            name: "header-state".into(),
+            kind: TemplateKind::MessageDescription {
+                // Order expresses preference: the most specific/severe
+                // hypothesis wins when several entail equally.
+                states: vec![
+                    FieldState::MalformedSpacing,
+                    FieldState::Conflicting,
+                    FieldState::Multiple,
+                    FieldState::Invalid,
+                    FieldState::Empty,
+                    FieldState::TooLong,
+                    FieldState::Absent,
+                    FieldState::Valid,
+                    FieldState::Present,
+                ],
+            },
+        },
+        SrTemplate {
+            name: "respond-status".into(),
+            kind: TemplateKind::RoleAction {
+                actions: vec![
+                    RoleAction::Respond(100),
+                    RoleAction::Respond(200),
+                    RoleAction::Respond(301),
+                    RoleAction::Respond(304),
+                    RoleAction::Respond(400),
+                    RoleAction::Respond(404),
+                    RoleAction::Respond(411),
+                    RoleAction::Respond(412),
+                    RoleAction::Respond(414),
+                    RoleAction::Respond(417),
+                    RoleAction::Respond(501),
+                    RoleAction::Respond(502),
+                    RoleAction::Respond(505),
+                ],
+            },
+        },
+        SrTemplate {
+            name: "connection-actions".into(),
+            kind: TemplateKind::RoleAction {
+                actions: vec![
+                    RoleAction::Reject,
+                    RoleAction::Accept,
+                    RoleAction::Ignore,
+                    RoleAction::CloseConnection,
+                    RoleAction::Forward,
+                    RoleAction::NotForward,
+                    RoleAction::NotCache,
+                ],
+            },
+        },
+        SrTemplate {
+            name: "field-rewrite".into(),
+            kind: TemplateKind::RoleAction {
+                actions: vec![
+                    RoleAction::RemoveField(String::new()),
+                    RoleAction::ReplaceField(String::new()),
+                ],
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_set_covers_both_kinds() {
+        let ts = default_templates();
+        assert!(ts.iter().any(|t| matches!(t.kind, TemplateKind::MessageDescription { .. })));
+        assert!(ts.iter().any(|t| matches!(t.kind, TemplateKind::RoleAction { .. })));
+    }
+
+    #[test]
+    fn respond_template_includes_paper_codes() {
+        let ts = default_templates();
+        let respond = ts.iter().find(|t| t.name == "respond-status").unwrap();
+        match &respond.kind {
+            TemplateKind::RoleAction { actions } => {
+                for code in [400u16, 417, 501, 505] {
+                    assert!(actions.contains(&RoleAction::Respond(code)), "{code}");
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

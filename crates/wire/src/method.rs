@@ -1,0 +1,153 @@
+//! HTTP request methods (RFC 7231 §4 plus extension tokens).
+
+use std::fmt;
+
+/// An HTTP request method.
+///
+/// Standard methods are enumerated; anything else (including deliberately
+/// malformed tokens produced by the mutation engine) is carried verbatim in
+/// [`Method::Extension`].
+///
+/// ```
+/// use hdiff_wire::Method;
+/// assert_eq!(Method::from_bytes(b"GET"), Method::Get);
+/// assert_eq!(Method::Get.as_str(), "GET");
+/// assert!(Method::from_bytes(b"gEt").is_extension());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// `GET` — retrieve a representation.
+    Get,
+    /// `HEAD` — `GET` without the body.
+    Head,
+    /// `POST` — process the enclosed representation.
+    Post,
+    /// `PUT` — replace the target resource.
+    Put,
+    /// `DELETE` — remove the target resource.
+    Delete,
+    /// `OPTIONS` — communication options probe.
+    Options,
+    /// `TRACE` — message loop-back test.
+    Trace,
+    /// `CONNECT` — tunnel establishment.
+    Connect,
+    /// `PATCH` — partial modification (RFC 5789).
+    Patch,
+    /// Any other token, preserved byte-for-byte. Method names are
+    /// case-sensitive per RFC 7231, so `gEt` lands here.
+    Extension(Vec<u8>),
+}
+
+impl Method {
+    /// Parses a method from its wire bytes. Never fails: unknown tokens
+    /// become [`Method::Extension`].
+    pub fn from_bytes(b: &[u8]) -> Method {
+        match b {
+            b"GET" => Method::Get,
+            b"HEAD" => Method::Head,
+            b"POST" => Method::Post,
+            b"PUT" => Method::Put,
+            b"DELETE" => Method::Delete,
+            b"OPTIONS" => Method::Options,
+            b"TRACE" => Method::Trace,
+            b"CONNECT" => Method::Connect,
+            b"PATCH" => Method::Patch,
+            other => Method::Extension(other.to_vec()),
+        }
+    }
+
+    /// The wire bytes of this method.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            Method::Get => b"GET",
+            Method::Head => b"HEAD",
+            Method::Post => b"POST",
+            Method::Put => b"PUT",
+            Method::Delete => b"DELETE",
+            Method::Options => b"OPTIONS",
+            Method::Trace => b"TRACE",
+            Method::Connect => b"CONNECT",
+            Method::Patch => b"PATCH",
+            Method::Extension(v) => v,
+        }
+    }
+
+    /// The method as a string (lossy for non-UTF-8 extension tokens).
+    pub fn as_str(&self) -> &str {
+        match self {
+            Method::Extension(v) => std::str::from_utf8(v).unwrap_or("<bin>"),
+            _ => std::str::from_utf8(self.as_bytes()).expect("standard methods are ASCII"),
+        }
+    }
+
+    /// Whether this is a recognized standard method.
+    pub fn is_standard(&self) -> bool {
+        !matches!(self, Method::Extension(_))
+    }
+
+    /// Whether this is an extension (unrecognized) method token.
+    pub fn is_extension(&self) -> bool {
+        matches!(self, Method::Extension(_))
+    }
+
+    /// Whether responses to this method conventionally have no body
+    /// semantics for the request payload (`GET`/`HEAD` — the "fat request"
+    /// ambiguity of Table II).
+    pub fn body_is_unexpected(&self) -> bool {
+        matches!(self, Method::Get | Method::Head)
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Method {
+    fn from(s: &str) -> Self {
+        Method::from_bytes(s.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_standard_methods() {
+        for m in [
+            Method::Get,
+            Method::Head,
+            Method::Post,
+            Method::Put,
+            Method::Delete,
+            Method::Options,
+            Method::Trace,
+            Method::Connect,
+            Method::Patch,
+        ] {
+            assert_eq!(Method::from_bytes(m.as_bytes()), m);
+            assert!(m.is_standard());
+        }
+    }
+
+    #[test]
+    fn methods_are_case_sensitive() {
+        assert_eq!(Method::from_bytes(b"get"), Method::Extension(b"get".to_vec()));
+    }
+
+    #[test]
+    fn fat_request_detection() {
+        assert!(Method::Get.body_is_unexpected());
+        assert!(Method::Head.body_is_unexpected());
+        assert!(!Method::Post.body_is_unexpected());
+    }
+
+    #[test]
+    fn display_matches_wire() {
+        assert_eq!(Method::Options.to_string(), "OPTIONS");
+        assert_eq!(Method::from("QUERY").to_string(), "QUERY");
+    }
+}

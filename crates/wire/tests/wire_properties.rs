@@ -1,0 +1,127 @@
+//! Property-based tests over the wire model's invariants.
+
+use proptest::prelude::*;
+
+use hdiff_wire::ascii;
+use hdiff_wire::{parse_request, HeaderField, Headers, Method, Request, Version};
+
+fn header_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,15}"
+}
+
+fn header_value() -> impl Strategy<Value = String> {
+    "[ -~]{0,30}".prop_map(|s| s.trim().to_string())
+}
+
+proptest! {
+    /// Headers preserve wire order and duplicate count through
+    /// serialization and strict re-parsing.
+    #[test]
+    fn headers_survive_round_trip(
+        names in proptest::collection::vec(header_name(), 1..8),
+        values in proptest::collection::vec(header_value(), 1..8),
+    ) {
+        let mut req = Request::builder()
+            .method(Method::Get)
+            .target("/")
+            .version(Version::Http11)
+            .build();
+        req.headers.push("Host", "h1.com");
+        let pairs: Vec<(String, String)> = names
+            .iter()
+            .zip(values.iter())
+            // Framing and Host headers change parse semantics; skip them.
+            .filter(|(n, _)| {
+                !n.eq_ignore_ascii_case("Content-Length")
+                    && !n.eq_ignore_ascii_case("Transfer-Encoding")
+                    && !n.eq_ignore_ascii_case("Host")
+            })
+            .map(|(n, v)| (n.clone(), v.clone()))
+            .collect();
+        for (n, v) in &pairs {
+            req.headers.push(n, v);
+        }
+        let parsed = parse_request(&req.to_bytes()).unwrap();
+        // One Host plus every generated pair, in order.
+        prop_assert_eq!(parsed.headers.len(), 1 + pairs.len());
+        for (i, (n, v)) in pairs.iter().enumerate() {
+            let field = parsed.headers.iter().nth(i + 1).unwrap();
+            prop_assert_eq!(field.name_trimmed(), n.as_bytes());
+            prop_assert_eq!(field.value(), v.as_bytes());
+        }
+    }
+
+    /// `HeaderField::new` always produces a strict, ws-free line whose
+    /// accessors return the inputs.
+    #[test]
+    fn header_field_constructor_is_strict(name in header_name(), value in header_value()) {
+        let f = HeaderField::new(&name, &value);
+        prop_assert!(f.name_is_strict());
+        prop_assert!(!f.has_ws_before_colon());
+        prop_assert_eq!(f.name_raw(), name.as_bytes());
+        prop_assert_eq!(f.value(), value.as_bytes());
+    }
+
+    /// `trim_ows` is idempotent and only removes SP/HTAB at the ends.
+    #[test]
+    fn trim_ows_idempotent(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let once = ascii::trim_ows(&bytes);
+        let twice = ascii::trim_ows(once);
+        prop_assert_eq!(once, twice);
+        if !once.is_empty() {
+            prop_assert!(!ascii::is_ows(once[0]));
+            prop_assert!(!ascii::is_ows(*once.last().unwrap()));
+        }
+    }
+
+    /// Strict decimal parsing agrees with Rust's parser on its domain.
+    #[test]
+    fn strict_decimal_agrees_with_std(n in any::<u64>()) {
+        let s = n.to_string();
+        prop_assert_eq!(ascii::parse_dec_strict(s.as_bytes()), Some(n));
+    }
+
+    /// Strict hex parsing agrees with Rust's parser on its domain.
+    #[test]
+    fn strict_hex_agrees_with_std(n in any::<u64>()) {
+        let s = format!("{n:x}");
+        prop_assert_eq!(ascii::parse_hex_strict(s.as_bytes()), Some(n));
+        // And wrapping parse agrees on non-overflowing input.
+        prop_assert_eq!(ascii::parse_hex_wrapping(s.as_bytes()), Some(n));
+    }
+
+    /// Version round trip: canonical tokens survive parse → to_bytes.
+    #[test]
+    fn version_round_trip(maj in 0u8..10, min in 0u8..10) {
+        let token = format!("HTTP/{maj}.{min}");
+        let v = Version::from_bytes(token.as_bytes());
+        prop_assert!(v.is_grammatical());
+        prop_assert_eq!(v.to_bytes(), token.as_bytes());
+    }
+
+    /// The strict parser never claims to consume more than the input, on
+    /// arbitrary bytes.
+    #[test]
+    fn parser_consumption_is_bounded(input in proptest::collection::vec(any::<u8>(), 0..300)) {
+        if let Ok(parsed) = parse_request(&input) {
+            prop_assert!(parsed.consumed <= input.len());
+        }
+    }
+
+    /// escape_bytes output is always printable ASCII.
+    #[test]
+    fn escape_is_printable(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let s = ascii::escape_bytes(&bytes);
+        prop_assert!(s.bytes().all(|b| (0x20..=0x7e).contains(&b)));
+    }
+}
+
+#[test]
+fn headers_extend_and_collect() {
+    let fields = vec![HeaderField::new("A", "1"), HeaderField::new("B", "2")];
+    let collected: Headers = fields.clone().into_iter().collect();
+    assert_eq!(collected.len(), 2);
+    let mut extended = Headers::new();
+    extended.extend(fields);
+    assert_eq!(extended.to_bytes(), collected.to_bytes());
+}

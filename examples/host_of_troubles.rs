@@ -1,0 +1,103 @@
+//! HoT-focused hunt: send ambiguous-host requests through every chain and
+//! print the host each party believes it is serving — the disagreement
+//! grid behind Figure 7's HoT panel.
+//!
+//! ```sh
+//! cargo run --release --example host_of_troubles
+//! ```
+
+use hdiff::diff::Workflow;
+use hdiff::gen::TestCase;
+use hdiff::servers::{interpret, products};
+use hdiff::wire::{Method, Request, Version};
+
+fn host_of(profile: &hdiff::servers::ParserProfile, bytes: &[u8]) -> String {
+    let i = interpret(profile, bytes);
+    if !i.outcome.is_accept() {
+        return format!("({})", i.outcome.status());
+    }
+    i.host
+        .map(|h| String::from_utf8_lossy(&h).into_owned())
+        .unwrap_or_else(|| "-".to_string())
+}
+
+fn main() {
+    println!("HDiff Host-of-Troubles hunt\n");
+
+    let vectors: Vec<(&str, Request)> = vec![
+        ("absolute-URI with foreign scheme", {
+            let mut b = Request::builder();
+            b.method(Method::Get)
+                .target("test://h2.com/?a=1")
+                .version(Version::Http11)
+                .header("Host", "h1.com");
+            b.build()
+        }),
+        ("http absolute-URI vs Host", {
+            let mut b = Request::builder();
+            b.method(Method::Get)
+                .target("http://h2.com/")
+                .version(Version::Http11)
+                .header("Host", "h1.com");
+            b.build()
+        }),
+        ("userinfo spelling h1.com@h2.com", {
+            let mut b = Request::builder();
+            b.header("Host", "h1.com@h2.com");
+            b.build()
+        }),
+        ("comma list h1.com, h2.com", {
+            let mut b = Request::builder();
+            b.header("Host", "h1.com, h2.com");
+            b.build()
+        }),
+        ("two Host headers", {
+            let mut b = Request::builder();
+            b.header("Host", "h1.com").header("Host", "h2.com");
+            b.build()
+        }),
+    ];
+
+    // Per-implementation host views (direct interpretation).
+    println!("{:<36} per-product host view", "vector");
+    for (name, req) in &vectors {
+        let bytes = req.to_bytes();
+        print!("{name:<36} ");
+        for p in products() {
+            print!("{}={} ", p.name, host_of(&p, &bytes));
+        }
+        println!();
+    }
+
+    // Pair analysis through the workflow.
+    println!("\nexploitable pairs (proxy view != backend view, both accept):");
+    let workflow = Workflow::standard();
+    for (name, req) in &vectors {
+        let outcome = workflow.run_case(&TestCase::generated(1, req.clone(), *name));
+        for chain in &outcome.chains {
+            let Some(first) = chain.proxy_results.first() else { continue };
+            if !first.interpretation.outcome.is_accept() {
+                continue;
+            }
+            for replay in &chain.replays {
+                let Some(reply) = replay.replies.first() else { continue };
+                if !reply.interpretation.outcome.is_accept() {
+                    continue;
+                }
+                if first.interpretation.host != reply.interpretation.host {
+                    println!(
+                        "  [{name}] {} sees {:?}, {} sees {:?}",
+                        chain.proxy,
+                        String::from_utf8_lossy(
+                            first.interpretation.host.as_deref().unwrap_or(b"-")
+                        ),
+                        replay.backend,
+                        String::from_utf8_lossy(
+                            reply.interpretation.host.as_deref().unwrap_or(b"-")
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Multi-hop (CDN-style) chains: the paper notes that pairs which look
+//! safe in a two-party deployment "may lead to exploitable attacks when
+//! chained with other HTTP implementations, such as using CDN as a
+//! front-end server". This example walks ambiguous requests through
+//! three-party chains and prints each hop's view.
+//!
+//! ```sh
+//! cargo run --release --example multihop_cdn
+//! ```
+
+use hdiff::servers::{product, run_multihop, ProductId};
+use hdiff::wire::{Method, Request, Version};
+
+fn show(label: &str, chain: &[ProductId], origin: ProductId, req: &Request) {
+    let proxies: Vec<_> = chain.iter().map(|id| product(*id)).collect();
+    let result = run_multihop(&proxies, &product(origin), &req.to_bytes());
+    let chain_names: Vec<&str> = chain.iter().map(|id| id.name()).collect();
+    println!("## {label}");
+    println!("   chain: client -> {} -> {origin}", chain_names.join(" -> "));
+    match result.rejected_at {
+        Some(i) => println!("   blocked at hop {} ({})", i, result.hops[i].name),
+        None => {
+            for (who, host) in result.host_views() {
+                println!(
+                    "   {who:<10} believes host = {}",
+                    host.map(|h| String::from_utf8_lossy(&h).into_owned())
+                        .unwrap_or_else(|| "-".to_string())
+                );
+            }
+            if let Some(reply) = result.origin_replies.first() {
+                println!("   origin status: {}", reply.response.status);
+            }
+        }
+    }
+    println!();
+}
+
+fn main() {
+    println!("HDiff multi-hop chains\n");
+
+    let mut ambiguous_host = Request::builder();
+    ambiguous_host
+        .method(Method::Get)
+        .target("/")
+        .version(Version::Http11)
+        .header("Host", "h1.com@h2.com");
+    let ambiguous_host = ambiguous_host.build();
+
+    // Direct varnish→weblogic: the HoT gap exists.
+    show(
+        "userinfo host, varnish front (gap: h1.com@h2.com vs h2.com)",
+        &[ProductId::Varnish],
+        ProductId::Weblogic,
+        &ambiguous_host,
+    );
+
+    // A strict apache hop between them stops the attack.
+    show(
+        "same request with a strict apache hop in the middle",
+        &[ProductId::Varnish, ProductId::Apache],
+        ProductId::Weblogic,
+        &ambiguous_host,
+    );
+
+    // A CDN-ish haproxy front in front of nginx extends the reach: the
+    // ambiguity survives two transparent hops.
+    show(
+        "two transparent hops (haproxy -> nginx) still deliver the ambiguity",
+        &[ProductId::Haproxy, ProductId::Nginx],
+        ProductId::Weblogic,
+        &ambiguous_host,
+    );
+
+    // Version-repair CPDoS through a chain: nginx repairs, varnish forwards
+    // the repaired line, the origin rejects — and the error is cacheable at
+    // the front.
+    let mut bad_version = Request::get("victim.com");
+    bad_version.set_version(b"1.1/HTTP");
+    show(
+        "invalid version repaired by nginx, relayed by varnish",
+        &[ProductId::Nginx, ProductId::Varnish],
+        ProductId::Apache,
+        &bad_version,
+    );
+}

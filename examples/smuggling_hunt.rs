@@ -1,0 +1,52 @@
+//! HRS-focused hunt: replay the paper's §IV-B request-smuggling vectors
+//! through every proxy→back-end chain and show exactly where the streams
+//! desynchronize.
+//!
+//! ```sh
+//! cargo run --release --example smuggling_hunt
+//! ```
+
+use hdiff::diff::{detect_case, Workflow};
+use hdiff::gen::{catalog, AttackClass, Origin, TestCase};
+use hdiff::servers::products;
+use hdiff::wire::ascii;
+
+fn main() {
+    println!("HDiff smuggling hunt — HRS vectors from Table II\n");
+    let workflow = Workflow::standard();
+    let profiles = products();
+
+    let mut uuid = 1u64;
+    let mut total = 0usize;
+    for entry in catalog::catalog() {
+        if !entry.classes.contains(&AttackClass::Hrs) {
+            continue;
+        }
+        println!("## {} — {}", entry.id, entry.description);
+        for (req, note) in &entry.requests {
+            let case = TestCase {
+                uuid,
+                request: req.clone(),
+                assertions: Vec::new(),
+                origin: Origin::Catalog(entry.id.to_string()),
+                note: note.clone(),
+            };
+            uuid += 1;
+            let outcome = workflow.run_case(&case);
+            let findings = detect_case(&profiles, &outcome);
+            let hrs: Vec<_> =
+                findings.into_iter().filter(|f| f.class == AttackClass::Hrs).collect();
+            if hrs.is_empty() {
+                continue;
+            }
+            total += hrs.len();
+            println!("  payload: {note}");
+            println!("    {}", ascii::escape_bytes(&outcome.bytes));
+            for f in hrs.iter().take(4) {
+                println!("    -> {f}");
+            }
+        }
+        println!();
+    }
+    println!("total HRS findings across catalog vectors: {total}");
+}

@@ -1,0 +1,20 @@
+//! HDiff — semi-automatic discovery of semantic gap attacks in HTTP
+//! implementations.
+//!
+//! This crate is the facade over the HDiff workspace. It re-exports the
+//! orchestration API from [`hdiff_core`] and the individual subsystem crates
+//! for users who need lower-level access.
+//!
+//! See the repository `README.md` for the architecture overview and
+//! `DESIGN.md` for the system inventory.
+
+pub use hdiff_core::*;
+
+pub use hdiff_abnf as abnf;
+pub use hdiff_analyzer as analyzer;
+pub use hdiff_corpus as corpus;
+pub use hdiff_diff as diff;
+pub use hdiff_gen as gen;
+pub use hdiff_servers as servers;
+pub use hdiff_sr as sr;
+pub use hdiff_wire as wire;

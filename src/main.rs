@@ -1,0 +1,140 @@
+//! `hdiff` — command-line front end for the HDiff pipeline.
+//!
+//! ```text
+//! hdiff run [--quick]        full pipeline: stats, Table I, Figure 7
+//! hdiff stats                corpus/extraction statistics (§IV-B)
+//! hdiff table1               Table I verdict matrix
+//! hdiff table2               Table II attack-vector inventory
+//! hdiff figure7              Figure 7 pair grids
+//! hdiff findings [--csv]     every finding (text or CSV)
+//! hdiff probe <file>         interpret a raw request file under all ten
+//!                            product models and the strict baseline
+//! ```
+
+use std::process::ExitCode;
+
+use hdiff::report;
+use hdiff::{HDiff, HdiffConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("run");
+    let quick = args.iter().any(|a| a == "--quick");
+    let config = if quick { HdiffConfig::quick() } else { HdiffConfig::full() };
+
+    match command {
+        "run" => {
+            let r = HDiff::new(config).run();
+            println!("{}", report::render_stats(&r));
+            println!("{}", report::render_table1(&r.summary));
+            println!("{}", report::render_figure7(&r.summary));
+            ExitCode::SUCCESS
+        }
+        "stats" => {
+            let r = HDiff::new(config).run();
+            println!("{}", report::render_stats(&r));
+            ExitCode::SUCCESS
+        }
+        "table1" => {
+            let r = HDiff::new(config).run();
+            println!("{}", report::render_table1(&r.summary));
+            println!("{}", report::render_sr_violations(&r.summary));
+            ExitCode::SUCCESS
+        }
+        "table2" => {
+            let r = HDiff::new(config).run();
+            println!("{}", report::render_table2(&r.summary));
+            ExitCode::SUCCESS
+        }
+        "figure7" => {
+            let r = HDiff::new(config).run();
+            println!("{}", report::render_figure7(&r.summary));
+            ExitCode::SUCCESS
+        }
+        "exploits" => {
+            let r = HDiff::new(config).run();
+            println!("{}", report::render_exploits(&r, 20));
+            ExitCode::SUCCESS
+        }
+        "findings" => {
+            let r = HDiff::new(config).run();
+            if args.iter().any(|a| a == "--csv") {
+                print!("{}", report::render_findings_csv(&r.summary));
+            } else {
+                for f in &r.summary.findings {
+                    println!("{f}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "probe" => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: hdiff probe <raw-request-file>");
+                return ExitCode::FAILURE;
+            };
+            match std::fs::read(path) {
+                Ok(bytes) => {
+                    probe(&bytes);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "--help" | "-h" | "help" => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "hdiff — semantic gap attack discovery (DSN 2022 reproduction)\n\n\
+         commands:\n\
+         \x20 run [--quick]    full pipeline: stats, Table I, Figure 7\n\
+         \x20 stats            corpus/extraction statistics\n\
+         \x20 table1           Table I verdict matrix\n\
+         \x20 table2           Table II attack-vector inventory\n\
+         \x20 figure7          Figure 7 pair grids\n\
+         \x20 findings [--csv] list every finding\n\
+         \x20 exploits         exploit write-ups with payloads\n\
+         \x20 probe <file>     interpret a raw request under all products"
+    );
+}
+
+/// Interprets raw request bytes under every product and the baseline.
+fn probe(bytes: &[u8]) {
+    use hdiff::servers::{interpret, ParserProfile};
+    use hdiff::wire::ascii;
+
+    println!("request ({} bytes):", bytes.len());
+    println!("  {}\n", ascii::escape_bytes(bytes));
+    println!(
+        "{:<12} {:<7} {:<22} {:<26} notes",
+        "product", "status", "host", "framing"
+    );
+    let mut profiles = vec![ParserProfile::strict("baseline")];
+    profiles.extend(hdiff::servers::products());
+    for p in profiles {
+        let i = interpret(&p, bytes);
+        println!(
+            "{:<12} {:<7} {:<22} {:<26} {}",
+            p.name,
+            i.outcome.status(),
+            i.host
+                .as_deref()
+                .map(ascii::escape_bytes)
+                .unwrap_or_else(|| "-".into()),
+            format!("{:?}", i.framing),
+            i.notes.join("; "),
+        );
+    }
+}

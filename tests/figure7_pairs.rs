@@ -1,0 +1,49 @@
+//! Figure 7 regression: the affected server pairs per attack class.
+
+use hdiff::gen::AttackClass;
+use hdiff::{HDiff, HdiffConfig};
+
+#[test]
+fn figure7_pair_sets_match_the_paper_shape() {
+    let report = HDiff::new(HdiffConfig::quick()).run();
+    let pairs = &report.summary.pairs;
+
+    // HoT: the pairs the paper names explicitly.
+    for (front, back) in [("varnish", "iis"), ("nginx", "weblogic")] {
+        assert!(pairs.contains(AttackClass::Hot, front, back), "missing HoT pair {front}->{back}");
+    }
+    // The full HoT set in this reproduction (paper reports nine pairs; our
+    // default-configuration models yield these seven — see EXPERIMENTS.md).
+    let hot = pairs.pairs(AttackClass::Hot);
+    for (front, back) in [
+        ("varnish", "iis"),
+        ("varnish", "tomcat"),
+        ("varnish", "weblogic"),
+        ("haproxy", "iis"),
+        ("haproxy", "tomcat"),
+        ("haproxy", "weblogic"),
+        ("nginx", "weblogic"),
+    ] {
+        assert!(
+            hot.contains(&(front.to_string(), back.to_string())),
+            "missing {front}->{back} in {hot:?}"
+        );
+    }
+    // Squid and ATS must not be HoT fronts; apache/lighttpd/nginx must not
+    // be HoT backs.
+    for (front, _) in &hot {
+        assert!(front != "squid" && front != "ats" && front != "apache", "{hot:?}");
+    }
+    for (_, back) in &hot {
+        assert!(back != "apache" && back != "lighttpd" && back != "nginx", "{hot:?}");
+    }
+
+    // CPDoS: all six proxies are affected (the paper's headline).
+    assert_eq!(pairs.fronts(AttackClass::Cpdos).len(), 6);
+
+    // HRS: pairs exist, with the lenient proxies in front.
+    let hrs_fronts = pairs.fronts(AttackClass::Hrs);
+    for front in ["varnish", "ats"] {
+        assert!(hrs_fronts.contains(front), "{hrs_fronts:?}");
+    }
+}

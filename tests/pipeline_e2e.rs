@@ -1,0 +1,74 @@
+//! End-to-end pipeline regression: corpus → analyzer → generation →
+//! differential testing → Table I verdict matrix.
+
+use hdiff::gen::AttackClass;
+use hdiff::{HDiff, HdiffConfig};
+
+#[test]
+fn full_pipeline_reproduces_the_paper_verdict_matrix() {
+    let report = HDiff::new(HdiffConfig::quick()).run();
+
+    // §IV-B extraction volumes (scaled to the embedded corpus).
+    assert!(report.analysis.stats.srs >= 40, "{}", report.analysis.stats);
+    assert!(report.analysis.stats.abnf_rules >= 150, "{}", report.analysis.stats);
+    assert!(report.total_cases() > 100);
+
+    // Table I, exactly as printed in the paper.
+    let expected: [(&str, bool, bool, bool); 10] = [
+        // (product, HRS, HoT, CPDoS)
+        ("iis", true, true, false),
+        ("tomcat", true, true, false),
+        ("weblogic", true, true, false),
+        ("lighttpd", true, false, false),
+        ("apache", false, false, true),
+        ("nginx", false, true, true),
+        ("varnish", true, true, true),
+        ("squid", true, false, true),
+        ("haproxy", true, true, true),
+        ("ats", true, false, true),
+    ];
+    let v = &report.summary.verdicts;
+    for (product, hrs, hot, cpdos) in expected {
+        assert_eq!(v.is_vulnerable(product, AttackClass::Hrs), hrs, "{product} HRS");
+        assert_eq!(v.is_vulnerable(product, AttackClass::Hot), hot, "{product} HoT");
+        assert_eq!(v.is_vulnerable(product, AttackClass::Cpdos), cpdos, "{product} CPDoS");
+    }
+
+    // Eight implementations deviate from the specification in HRS-relevant
+    // ways — the paper's §IV-B headline count.
+    let hrs_products = hdiff::servers::products()
+        .iter()
+        .filter(|p| v.is_vulnerable(&p.name, AttackClass::Hrs))
+        .count();
+    assert_eq!(hrs_products, 8);
+}
+
+#[test]
+fn full_configuration_preserves_the_verdict_matrix() {
+    // The quick and full configurations differ in generation volume; the
+    // verdict matrix must be stable across both (an over-sensitive
+    // detection rule would flip cells as volume grows).
+    let report = HDiff::new(HdiffConfig::full()).run();
+    let v = &report.summary.verdicts;
+    assert!(v.is_vulnerable("ats", AttackClass::Hrs));
+    assert!(!v.is_vulnerable("ats", AttackClass::Hot), "{:?}", v.classes("ats"));
+    assert!(!v.is_vulnerable("squid", AttackClass::Hot), "{:?}", v.classes("squid"));
+    assert!(!v.is_vulnerable("apache", AttackClass::Hrs), "{:?}", v.classes("apache"));
+    assert!(!v.is_vulnerable("nginx", AttackClass::Hrs), "{:?}", v.classes("nginx"));
+    assert_eq!(
+        hdiff::servers::products()
+            .iter()
+            .filter(|p| v.is_vulnerable(&p.name, AttackClass::Cpdos))
+            .count(),
+        6
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_per_seed() {
+    let a = HDiff::new(HdiffConfig::quick()).run();
+    let b = HDiff::new(HdiffConfig::quick()).run();
+    assert_eq!(a.total_cases(), b.total_cases());
+    assert_eq!(a.summary.findings.len(), b.summary.findings.len());
+    assert_eq!(a.summary.verdicts.total_marks(), b.summary.verdicts.total_marks());
+}

@@ -1,0 +1,67 @@
+//! Rendering regression over a real pipeline run: every report the
+//! harness binaries print must render, contain its key rows, and the CSV
+//! must stay machine-parseable.
+
+use hdiff::report;
+use hdiff::{HDiff, HdiffConfig};
+
+#[test]
+fn all_reports_render_from_one_run() {
+    let r = HDiff::new(HdiffConfig::quick()).run();
+
+    let stats = report::render_stats(&r);
+    for needle in ["specification requirements", "ABNF grammar rules", "SR-translated"] {
+        assert!(stats.contains(needle), "{needle} missing from stats");
+    }
+
+    let t1 = report::render_table1(&r.summary);
+    for product in ["iis", "tomcat", "weblogic", "lighttpd", "apache", "nginx", "varnish", "squid", "haproxy", "ats"] {
+        assert!(t1.contains(product), "{product} missing from table1");
+    }
+
+    let t2 = report::render_table2(&r.summary);
+    assert_eq!(t2.matches('\n').count(), 2 + 14 + 1, "14 vector rows expected:\n{t2}");
+
+    let f7 = report::render_figure7(&r.summary);
+    assert!(f7.contains("[HRS]") && f7.contains("[HoT]") && f7.contains("[CPDoS]"));
+
+    let exploits = report::render_exploits(&r, 5);
+    assert!(exploits.contains("payload"), "{exploits}");
+    assert!(exploits.contains("evidence"));
+
+    let csv = report::render_findings_csv(&r.summary);
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some("class,uuid,origin,front,back,culprits,evidence")
+    );
+    let body: Vec<&str> = lines.collect();
+    assert_eq!(body.len(), r.summary.findings.len());
+    // Every row has at least 7 columns (commas inside quoted cells are
+    // escaped, so a simple quote-aware count suffices).
+    for row in body.iter().take(50) {
+        let mut in_quotes = false;
+        let commas = row
+            .chars()
+            .filter(|&c| {
+                if c == '"' {
+                    in_quotes = !in_quotes;
+                }
+                c == ',' && !in_quotes
+            })
+            .count();
+        assert_eq!(commas, 6, "bad CSV row: {row}");
+    }
+}
+
+#[test]
+fn exploit_writeups_reference_real_cases() {
+    let r = HDiff::new(HdiffConfig::quick()).run();
+    for finding in r.summary.findings.iter().take(25) {
+        assert!(
+            r.case(finding.uuid).is_some(),
+            "finding #{} has no backing case",
+            finding.uuid
+        );
+    }
+}
