@@ -160,11 +160,8 @@ impl Adaptor {
         }
 
         // Pass 3: custom substitutions for whatever is still undefined.
-        let customs: BTreeMap<String, &Rule> = opts
-            .custom_rules
-            .iter()
-            .map(|r| (r.name.to_ascii_lowercase(), r))
-            .collect();
+        let customs: BTreeMap<String, &Rule> =
+            opts.custom_rules.iter().map(|r| (r.name.to_ascii_lowercase(), r)).collect();
         loop {
             let missing = grammar.undefined_references();
             let mut progressed = false;
@@ -233,7 +230,8 @@ impl Adaptor {
             for (from, to) in &renames {
                 node.rename_refs(from, to);
             }
-            grammar.insert(doc, Rule::new(final_name.unwrap_or_else(|| imported.name.clone()), node));
+            grammar
+                .insert(doc, Rule::new(final_name.unwrap_or_else(|| imported.name.clone()), node));
         }
         renames
     }
@@ -252,10 +250,8 @@ fn parse_prose_reference(rule: &Rule) -> Option<(String, String)> {
     }
     let text = find_prose(&rule.node)?;
     // Target rule name: leading token up to ',' or whitespace.
-    let target: String = text
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
-        .collect();
+    let target: String =
+        text.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '-').collect();
     if target.is_empty() {
         return None;
     }
@@ -358,14 +354,8 @@ mod tests {
 
     #[test]
     fn prose_reference_parsing() {
-        let r = Rule::new(
-            "uri-host",
-            Node::ProseVal("host, see [RFC3986], Section 3.2.2".into()),
-        );
-        assert_eq!(
-            parse_prose_reference(&r),
-            Some(("host".to_string(), "rfc3986".to_string()))
-        );
+        let r = Rule::new("uri-host", Node::ProseVal("host, see [RFC3986], Section 3.2.2".into()));
+        assert_eq!(parse_prose_reference(&r), Some(("host".to_string(), "rfc3986".to_string())));
         let bad = Rule::new("x", Node::ProseVal("no citation here".into()));
         assert_eq!(parse_prose_reference(&bad), None);
     }

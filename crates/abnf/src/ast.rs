@@ -81,7 +81,11 @@ impl Node {
     pub fn is_leaf(&self) -> bool {
         matches!(
             self,
-            Node::CharVal { .. } | Node::NumVal(_) | Node::NumRange(..) | Node::NumSeq(_) | Node::ProseVal(_)
+            Node::CharVal { .. }
+                | Node::NumVal(_)
+                | Node::NumRange(..)
+                | Node::NumSeq(_)
+                | Node::ProseVal(_)
         )
     }
 
@@ -112,10 +116,9 @@ impl Node {
             Node::Repetition(_, inner) | Node::Group(inner) | Node::Optional(inner) => {
                 inner.rename_refs(from, to);
             }
-            Node::RuleRef(name)
-                if name.eq_ignore_ascii_case(from) => {
-                    *name = to.to_string();
-                }
+            Node::RuleRef(name) if name.eq_ignore_ascii_case(from) => {
+                *name = to.to_string();
+            }
             _ => {}
         }
     }
@@ -256,10 +259,7 @@ mod tests {
 
     #[test]
     fn prose_detection() {
-        let r = Rule::new(
-            "uri-host",
-            Node::ProseVal("host, see [RFC3986], Section 3.2.2".into()),
-        );
+        let r = Rule::new("uri-host", Node::ProseVal("host, see [RFC3986], Section 3.2.2".into()));
         assert!(r.has_prose());
         let plain = Rule::new("x", Node::NumVal(0x41));
         assert!(!plain.has_prose());

@@ -151,8 +151,13 @@ impl Grammar {
         const INF: usize = usize::MAX / 4;
         // Fixpoint min-expansion-depth over the reachable subgrammar.
         let reachable = self.reachable_from(start);
-        let mut depth: BTreeMap<String, usize> = reachable.iter().map(|n| (n.clone(), INF)).collect();
-        fn node_depth(g: &Grammar, d: &std::collections::BTreeMap<String, usize>, n: &Node) -> usize {
+        let mut depth: BTreeMap<String, usize> =
+            reachable.iter().map(|n| (n.clone(), INF)).collect();
+        fn node_depth(
+            g: &Grammar,
+            d: &std::collections::BTreeMap<String, usize>,
+            n: &Node,
+        ) -> usize {
             const INF: usize = usize::MAX / 4;
             match n {
                 Node::Alternation(v) => v.iter().map(|x| node_depth(g, d, x)).min().unwrap_or(0),

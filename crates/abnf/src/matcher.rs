@@ -96,11 +96,8 @@ impl<'g> Matcher<'g> {
                 let end = pos + v.len();
                 if end <= self.input.len() {
                     let slice = &self.input[pos..end];
-                    let ok = if *case_sensitive {
-                        slice == v
-                    } else {
-                        slice.eq_ignore_ascii_case(v)
-                    };
+                    let ok =
+                        if *case_sensitive { slice == v } else { slice.eq_ignore_ascii_case(v) };
                     if ok {
                         return vec![end];
                     }
@@ -259,9 +256,14 @@ mod tests {
 
     #[test]
     fn http_version_rule() {
-        let g = grammar("HTTP-version = HTTP-name \"/\" DIGIT \".\" DIGIT\nHTTP-name = %x48.54.54.50\n");
+        let g = grammar(
+            "HTTP-version = HTTP-name \"/\" DIGIT \".\" DIGIT\nHTTP-name = %x48.54.54.50\n",
+        );
         assert!(matches(&g, "HTTP-version", b"HTTP/1.1").is_match());
-        assert!(!matches(&g, "HTTP-version", b"http/1.1").is_match(), "HTTP-name is a byte sequence");
+        assert!(
+            !matches(&g, "HTTP-version", b"http/1.1").is_match(),
+            "HTTP-name is a byte sequence"
+        );
         assert!(!matches(&g, "HTTP-version", b"HTTP/11").is_match());
         assert!(!matches(&g, "HTTP-version", b"1.1/HTTP").is_match());
     }

@@ -114,10 +114,7 @@ pub fn parse_rule(line: &str) -> Result<Rule, AbnfParseError> {
     let node = p.alternation()?;
     p.skip_ws();
     if !p.at_end() {
-        return Err(AbnfParseError::new(
-            format!("trailing input {:?}", &line[p.pos..]),
-            p.pos,
-        ));
+        return Err(AbnfParseError::new(format!("trailing input {:?}", &line[p.pos..]), p.pos));
     }
     Ok(Rule { name, node, incremental })
 }
@@ -172,10 +169,7 @@ impl<'a> Parser<'a> {
             return Err(AbnfParseError::new("rulename must start with ALPHA", self.pos));
         }
         let name_start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'-')
-        {
+        while self.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'-') {
             self.pos += 1;
         }
         let name = std::str::from_utf8(&self.input[name_start..self.pos])
@@ -264,9 +258,7 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return None;
         }
-        std::str::from_utf8(&self.input[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse().ok())
+        std::str::from_utf8(&self.input[start..self.pos]).ok().and_then(|s| s.parse().ok())
     }
 
     fn element(&mut self) -> Result<Node, AbnfParseError> {
@@ -295,10 +287,9 @@ impl<'a> Parser<'a> {
             Some(b'%') => self.percent_val(),
             Some(b'<') => self.prose_val(),
             Some(b) if b.is_ascii_alphabetic() => Ok(Node::RuleRef(self.rulename()?)),
-            other => Err(AbnfParseError::new(
-                format!("unexpected element start {other:?}"),
-                self.pos,
-            )),
+            other => {
+                Err(AbnfParseError::new(format!("unexpected element start {other:?}"), self.pos))
+            }
         }
     }
 
@@ -355,10 +346,7 @@ impl<'a> Parser<'a> {
 
     fn num_digits(&mut self, radix: u32) -> Result<u32, AbnfParseError> {
         let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| (b as char).is_digit(radix))
-        {
+        while self.peek().is_some_and(|b| (b as char).is_digit(radix)) {
             self.pos += 1;
         }
         if self.pos == start {
@@ -459,12 +447,18 @@ mod tests {
         let r2 = rule("x = 2*4DIGIT");
         assert_eq!(
             r2.node,
-            Node::Repetition(Repeat { min: 2, max: Some(4) }, Box::new(Node::RuleRef("DIGIT".into())))
+            Node::Repetition(
+                Repeat { min: 2, max: Some(4) },
+                Box::new(Node::RuleRef("DIGIT".into()))
+            )
         );
         let r3 = rule("y = 3DIGIT");
         assert_eq!(
             r3.node,
-            Node::Repetition(Repeat { min: 3, max: Some(3) }, Box::new(Node::RuleRef("DIGIT".into())))
+            Node::Repetition(
+                Repeat { min: 3, max: Some(3) },
+                Box::new(Node::RuleRef("DIGIT".into()))
+            )
         );
     }
 
@@ -498,10 +492,7 @@ mod tests {
     #[test]
     fn prose_val() {
         let r = rule("uri-host = <host, see [RFC3986], Section 3.2.2>");
-        assert_eq!(
-            r.node,
-            Node::ProseVal("host, see [RFC3986], Section 3.2.2".into())
-        );
+        assert_eq!(r.node, Node::ProseVal("host, see [RFC3986], Section 3.2.2".into()));
         assert!(r.has_prose());
     }
 

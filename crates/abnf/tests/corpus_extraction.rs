@@ -18,31 +18,22 @@ fn adapted() -> (Grammar, hdiff_abnf::AdaptReport) {
     }
     // The paper's fourth manual input: predefined/custom rules for names
     // that stay undefined (list-extension leftovers and editorial holes).
-    let custom = parse_rulelist(
-        "obs-date = token\nIMF-fixdate = token\nGMT = %x47.4D.54\n",
-    )
-    .unwrap();
+    let custom =
+        parse_rulelist("obs-date = token\nIMF-fixdate = token\nGMT = %x47.4D.54\n").unwrap();
     adaptor.adapt(&AdaptOptions { custom_rules: custom })
 }
 
 #[test]
 fn corpus_yields_a_substantial_ruleset() {
     let (grammar, _) = adapted();
-    assert!(
-        grammar.len() >= 150,
-        "expected >=150 rules from the corpus, got {}",
-        grammar.len()
-    );
+    assert!(grammar.len() >= 150, "expected >=150 rules from the corpus, got {}", grammar.len());
 }
 
 #[test]
 fn http_message_is_fully_resolvable() {
     let (grammar, report) = adapted();
     for name in grammar.reachable_from("HTTP-message") {
-        assert!(
-            grammar.contains(&name),
-            "unresolved rule {name} (report: {report:?})"
-        );
+        assert!(grammar.contains(&name), "unresolved rule {name} (report: {report:?})");
     }
 }
 
@@ -115,7 +106,16 @@ fn adapted_grammar_is_well_founded_everywhere() {
     // The uri-host/Host case-collision regression: every rule reachable
     // from the generator's start symbols must have a finite expansion.
     let (grammar, _) = adapted();
-    for start in ["HTTP-message", "Host", "uri-host", "authority", "URI-reference", "request-target", "Transfer-Encoding", "chunked-body"] {
+    for start in [
+        "HTTP-message",
+        "Host",
+        "uri-host",
+        "authority",
+        "URI-reference",
+        "request-target",
+        "Transfer-Encoding",
+        "chunked-body",
+    ] {
         assert!(grammar.is_well_founded(start), "{start} is not well-founded");
     }
 }
@@ -143,8 +143,8 @@ fn every_adapted_rule_round_trips_through_display_and_parse() {
     let mut checked = 0;
     for rule in grammar.iter() {
         let printed = rule.to_string();
-        let reparsed = hdiff_abnf::parse_rule(&printed)
-            .unwrap_or_else(|e| panic!("{printed}: {e}"));
+        let reparsed =
+            hdiff_abnf::parse_rule(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
         assert_eq!(reparsed.node, rule.node, "{printed}");
         checked += 1;
     }

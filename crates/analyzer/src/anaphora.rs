@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn detects_referent_phrases() {
-        assert_eq!(referent_noun("Such a message ought to be handled as an error."), Some("message"));
+        assert_eq!(
+            referent_noun("Such a message ought to be handled as an error."),
+            Some("message")
+        );
         assert_eq!(referent_noun("A server MUST ignore such requests."), Some("request"));
         assert_eq!(referent_noun("A plain sentence."), None);
     }

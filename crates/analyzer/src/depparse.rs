@@ -200,7 +200,9 @@ fn parse_clause(tokens: &[Token]) -> ClauseParse {
                 if lowers[j] == "by" {
                     for k in j + 1..(j + 4).min(lowers.len()) {
                         if k + 1 < lowers.len() {
-                            if let Some(r) = Role::from_keyword(&format!("{} {}", lowers[k], lowers[k + 1])) {
+                            if let Some(r) =
+                                Role::from_keyword(&format!("{} {}", lowers[k], lowers[k + 1]))
+                            {
                                 subject = Some(r);
                                 break;
                             }
@@ -274,13 +276,17 @@ mod tests {
 
     #[test]
     fn ought_to_is_should() {
-        let c = parse_clauses("Such a message ought to be handled as an error by the recipient involved.");
+        let c = parse_clauses(
+            "Such a message ought to be handled as an error by the recipient involved.",
+        );
         assert_eq!(c[0].modality, Some(Modality::Should));
     }
 
     #[test]
     fn not_allowed_is_must_not() {
-        let c = parse_clauses("Whitespace between the field name and colon is not allowed in a request.");
+        let c = parse_clauses(
+            "Whitespace between the field name and colon is not allowed in a request.",
+        );
         assert_eq!(c[0].modality, Some(Modality::MustNot));
     }
 

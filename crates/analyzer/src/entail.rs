@@ -51,8 +51,15 @@ fn state_markers(pre: &str, post: &str, state: FieldState) -> f32 {
     match state {
         FieldState::Absent => {
             if pre_ends(&[
-                "lacks a ", "lacks ", "without a ", "without ", "no ", "missing ", "omits ",
-                "does not contain a ", "does not contain ",
+                "lacks a ",
+                "lacks ",
+                "without a ",
+                "without ",
+                "no ",
+                "missing ",
+                "omits ",
+                "does not contain a ",
+                "does not contain ",
             ]) || post_has(&["is absent", "is missing"])
             {
                 0.9
@@ -62,8 +69,13 @@ fn state_markers(pre: &str, post: &str, state: FieldState) -> f32 {
         }
         FieldState::Multiple => {
             if pre_ends(&[
-                "more than one ", "multiple ", "duplicate ", "duplicated ", "repeated ",
-                "two or more ", "two ",
+                "more than one ",
+                "multiple ",
+                "duplicate ",
+                "duplicated ",
+                "repeated ",
+                "two or more ",
+                "two ",
             ]) || post_has(&["more than once", "appears twice"])
             {
                 0.9
@@ -75,7 +87,13 @@ fn state_markers(pre: &str, post: &str, state: FieldState) -> f32 {
             if post_has(&["is not valid", "not a valid"]) {
                 1.0
             } else if pre_ends(&["invalid ", "malformed ", "bad "])
-                || post_has(&["invalid", "malformed", "does not match", "is not the final", "not the final encoding"])
+                || post_has(&[
+                    "invalid",
+                    "malformed",
+                    "does not match",
+                    "is not the final",
+                    "not the final encoding",
+                ])
             {
                 0.9
             } else {
@@ -83,7 +101,9 @@ fn state_markers(pre: &str, post: &str, state: FieldState) -> f32 {
             }
         }
         FieldState::Empty => {
-            if pre_ends(&["empty ", "an empty "]) || post_has(&["empty field-value", "empty value", "with an empty"]) {
+            if pre_ends(&["empty ", "an empty "])
+                || post_has(&["empty field-value", "empty value", "with an empty"])
+            {
                 0.9
             } else {
                 0.0
@@ -130,8 +150,16 @@ fn state_markers(pre: &str, post: &str, state: FieldState) -> f32 {
             if pre_ends(&["lacks a ", "without ", "no "]) || post_has(&["is absent"]) {
                 0.0
             } else if pre_ends(&[
-                "contains a ", "contains ", "with a ", "with an ", "including ", "received with ",
-                "a ", "an ", "any ", "the ",
+                "contains a ",
+                "contains ",
+                "with a ",
+                "with an ",
+                "including ",
+                "received with ",
+                "a ",
+                "an ",
+                "any ",
+                "the ",
             ]) {
                 0.7
             } else {
@@ -198,8 +226,18 @@ pub fn entail_action(clause: &str, verb: Option<&str>, negated: bool, action: &R
     match action {
         RoleAction::Respond(code) => {
             let code_here = find_status_code(&lower) == Some(*code);
-            let respond_verb = matches!(verb, "respond" | "responds" | "send" | "sends" | "reject" | "rejects" | "generate" | "generates")
-                || has("respond") || has("response");
+            let respond_verb = matches!(
+                verb,
+                "respond"
+                    | "responds"
+                    | "send"
+                    | "sends"
+                    | "reject"
+                    | "rejects"
+                    | "generate"
+                    | "generates"
+            ) || has("respond")
+                || has("response");
             if code_here && respond_verb && !negated {
                 1.0
             } else {
@@ -209,9 +247,16 @@ pub fn entail_action(clause: &str, verb: Option<&str>, negated: bool, action: &R
         RoleAction::Reject => {
             if negated {
                 0.0
-            } else if matches!(verb, "reject" | "rejects") || has("reject the message") || has("reject it as invalid") || has("reject any received") {
+            } else if matches!(verb, "reject" | "rejects")
+                || has("reject the message")
+                || has("reject it as invalid")
+                || has("reject any received")
+            {
                 1.0
-            } else if has("handled as an error") || has("treat it as an unrecoverable error") || has("treat the message as") && has("error") {
+            } else if has("handled as an error")
+                || has("treat it as an unrecoverable error")
+                || has("treat the message as") && has("error")
+            {
                 0.8
             } else {
                 0.0
@@ -232,7 +277,10 @@ pub fn entail_action(clause: &str, verb: Option<&str>, negated: bool, action: &R
             }
         }
         RoleAction::CloseConnection => {
-            if !negated && (has("close the connection") || (matches!(verb, "close" | "closes") && has("connection"))) {
+            if !negated
+                && (has("close the connection")
+                    || (matches!(verb, "close" | "closes") && has("connection")))
+            {
                 1.0
             } else {
                 0.0
@@ -277,8 +325,14 @@ pub fn entail_action(clause: &str, verb: Option<&str>, negated: bool, action: &R
             }
         }
         RoleAction::NotCache => {
-            if (negated && matches!(verb, "store" | "stores" | "cache" | "caches" | "reuse" | "reuses" | "use" | "uses"))
-                || has("not store") || has("not reuse") || has("not cache")
+            if (negated
+                && matches!(
+                    verb,
+                    "store" | "stores" | "cache" | "caches" | "reuse" | "reuses" | "use" | "uses"
+                ))
+                || has("not store")
+                || has("not reuse")
+                || has("not cache")
             {
                 0.9
             } else {
@@ -286,7 +340,9 @@ pub fn entail_action(clause: &str, verb: Option<&str>, negated: bool, action: &R
             }
         }
         RoleAction::NotGenerate => {
-            if negated && matches!(verb, "send" | "sends" | "generate" | "generates" | "apply" | "applies") {
+            if negated
+                && matches!(verb, "send" | "sends" | "generate" | "generates" | "apply" | "applies")
+            {
                 1.0
             } else {
                 0.0
@@ -331,9 +387,16 @@ mod tests {
 
     #[test]
     fn state_entailment_conflict() {
-        let premise = "a message is received with both a transfer-encoding and a content-length header field";
-        assert!(entail_state(premise, "Transfer-Encoding", FieldState::Conflicting) >= CONFIDENCE_THRESHOLD);
-        assert!(entail_state(premise, "Content-Length", FieldState::Conflicting) >= CONFIDENCE_THRESHOLD);
+        let premise =
+            "a message is received with both a transfer-encoding and a content-length header field";
+        assert!(
+            entail_state(premise, "Transfer-Encoding", FieldState::Conflicting)
+                >= CONFIDENCE_THRESHOLD
+        );
+        assert!(
+            entail_state(premise, "Content-Length", FieldState::Conflicting)
+                >= CONFIDENCE_THRESHOLD
+        );
     }
 
     #[test]
@@ -354,23 +417,37 @@ mod tests {
     #[test]
     fn action_entailment_respond() {
         let clause = "a server must respond with a 400 (bad request) status code";
-        assert!(entail_action(clause, Some("respond"), false, &RoleAction::Respond(400)) >= CONFIDENCE_THRESHOLD);
-        assert!(entail_action(clause, Some("respond"), false, &RoleAction::Respond(501)) < CONFIDENCE_THRESHOLD);
+        assert!(
+            entail_action(clause, Some("respond"), false, &RoleAction::Respond(400))
+                >= CONFIDENCE_THRESHOLD
+        );
+        assert!(
+            entail_action(clause, Some("respond"), false, &RoleAction::Respond(501))
+                < CONFIDENCE_THRESHOLD
+        );
     }
 
     #[test]
     fn action_entailment_close_and_forward() {
         assert!(
-            entail_action("and then close the connection", Some("close"), false, &RoleAction::CloseConnection)
-                >= CONFIDENCE_THRESHOLD
+            entail_action(
+                "and then close the connection",
+                Some("close"),
+                false,
+                &RoleAction::CloseConnection
+            ) >= CONFIDENCE_THRESHOLD
         );
         assert!(
             entail_action("must send their own http-version in forwarded messages and is not allowed to blindly forward the first line", Some("send"), false, &RoleAction::NotForward)
                 >= CONFIDENCE_THRESHOLD
         );
         assert!(
-            entail_action("must not forward the request", Some("forward"), true, &RoleAction::NotForward)
-                >= CONFIDENCE_THRESHOLD
+            entail_action(
+                "must not forward the request",
+                Some("forward"),
+                true,
+                &RoleAction::NotForward
+            ) >= CONFIDENCE_THRESHOLD
         );
     }
 
@@ -385,8 +462,12 @@ mod tests {
             ) >= CONFIDENCE_THRESHOLD
         );
         assert!(
-            entail_action("a server must send a response", Some("send"), false, &RoleAction::NotGenerate)
-                < CONFIDENCE_THRESHOLD
+            entail_action(
+                "a server must send a response",
+                Some("send"),
+                false,
+                &RoleAction::NotGenerate
+            ) < CONFIDENCE_THRESHOLD
         );
     }
 

@@ -70,9 +70,7 @@ impl FieldDictionary {
             .headers
             .iter()
             .filter(|h| {
-                sentence
-                    .match_indices(h.as_str())
-                    .any(|(i, _)| boundary_ok(sentence, i, h.len()))
+                sentence.match_indices(h.as_str()).any(|(i, _)| boundary_ok(sentence, i, h.len()))
             })
             .map(String::as_str)
             .collect();
@@ -92,9 +90,21 @@ fn boundary_ok(haystack: &str, start: usize, len: usize) -> bool {
 fn is_non_header(name: &str) -> bool {
     matches!(
         name,
-        "HTTP-message" | "HTTP-name" | "HTTP-version" | "URI-reference" | "OWS" | "RWS" | "BWS"
-            | "IP-literal" | "IPv4address" | "IPv6address" | "IPvFuture" | "URI" | "GMT"
-            | "IMF-fixdate" | "HTTP-date"
+        "HTTP-message"
+            | "HTTP-name"
+            | "HTTP-version"
+            | "URI-reference"
+            | "OWS"
+            | "RWS"
+            | "BWS"
+            | "IP-literal"
+            | "IPv4address"
+            | "IPv6address"
+            | "IPvFuture"
+            | "URI"
+            | "GMT"
+            | "IMF-fixdate"
+            | "HTTP-date"
     )
 }
 
@@ -148,7 +158,9 @@ mod tests {
         }
         let (grammar, _) = adaptor.adapt(&hdiff_abnf::AdaptOptions::default());
         let d = FieldDictionary::from_grammar(&grammar);
-        for name in ["Host", "Content-Length", "Transfer-Encoding", "Expect", "Connection", "Cache-Control"] {
+        for name in
+            ["Host", "Content-Length", "Transfer-Encoding", "Expect", "Connection", "Cache-Control"]
+        {
             assert!(d.contains(name), "missing {name}");
         }
         assert!(d.len() >= 20, "{:?}", d.headers());

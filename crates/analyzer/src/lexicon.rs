@@ -67,8 +67,16 @@ pub fn tag(word: &str) -> PosTag {
 pub fn is_modal(word: &str) -> bool {
     matches!(
         word,
-        "must" | "shall" | "should" | "may" | "cannot" | "never" | "ought" | "required"
-            | "recommended" | "optional"
+        "must"
+            | "shall"
+            | "should"
+            | "may"
+            | "cannot"
+            | "never"
+            | "ought"
+            | "required"
+            | "recommended"
+            | "optional"
     )
 }
 
@@ -76,15 +84,63 @@ pub fn is_modal(word: &str) -> bool {
 pub fn is_action_verb(word: &str) -> bool {
     matches!(
         word,
-        "respond" | "responds" | "reject" | "rejects" | "accept" | "accepts" | "ignore"
-            | "ignores" | "close" | "closes" | "forward" | "forwards" | "send" | "sends"
-            | "generate" | "generates" | "remove" | "removes" | "replace" | "replaces"
-            | "store" | "stores" | "reuse" | "reuses" | "cache" | "caches" | "treat"
-            | "treats" | "parse" | "parses" | "apply" | "applies" | "process" | "read"
-            | "reads" | "consider" | "considers" | "discard" | "discards" | "handle"
-            | "handled" | "handles" | "interpret" | "interprets" | "use" | "uses"
-            | "evaluate" | "evaluates" | "obey" | "pass" | "check" | "update" | "omit"
-            | "recover" | "rewrite" | "rewrites" | "understand"
+        "respond"
+            | "responds"
+            | "reject"
+            | "rejects"
+            | "accept"
+            | "accepts"
+            | "ignore"
+            | "ignores"
+            | "close"
+            | "closes"
+            | "forward"
+            | "forwards"
+            | "send"
+            | "sends"
+            | "generate"
+            | "generates"
+            | "remove"
+            | "removes"
+            | "replace"
+            | "replaces"
+            | "store"
+            | "stores"
+            | "reuse"
+            | "reuses"
+            | "cache"
+            | "caches"
+            | "treat"
+            | "treats"
+            | "parse"
+            | "parses"
+            | "apply"
+            | "applies"
+            | "process"
+            | "read"
+            | "reads"
+            | "consider"
+            | "considers"
+            | "discard"
+            | "discards"
+            | "handle"
+            | "handled"
+            | "handles"
+            | "interpret"
+            | "interprets"
+            | "use"
+            | "uses"
+            | "evaluate"
+            | "evaluates"
+            | "obey"
+            | "pass"
+            | "check"
+            | "update"
+            | "omit"
+            | "recover"
+            | "rewrite"
+            | "rewrites"
+            | "understand"
     )
 }
 

@@ -83,10 +83,9 @@ impl DocumentAnalyzer {
     /// templates, default sentiment threshold, RFC 3986 as the reference
     /// document, and the custom rules needed to close the HTTP grammar.
     pub fn with_default_inputs() -> DocumentAnalyzer {
-        let custom = hdiff_abnf::parse_rulelist(
-            "obs-date = token\nIMF-fixdate = token\nGMT = %x47.4D.54\n",
-        )
-        .expect("custom rules are well-formed");
+        let custom =
+            hdiff_abnf::parse_rulelist("obs-date = token\nIMF-fixdate = token\nGMT = %x47.4D.54\n")
+                .expect("custom rules are well-formed");
         DocumentAnalyzer {
             classifier: SentimentClassifier::new(),
             templates: default_templates(),

@@ -68,8 +68,8 @@ impl SentimentClassifier {
                 "should" => score += 1.5,
                 "cannot" | "never" => score += 2.0,
                 "ought" => score += 2.0,
-                "forbidden" | "prohibited" | "unacceptable" | "invalid"
-                | "reject" | "rejected" | "error" | "unrecoverable" => score += 0.75,
+                "forbidden" | "prohibited" | "unacceptable" | "invalid" | "reject" | "rejected"
+                | "error" | "unrecoverable" => score += 0.75,
                 "allowed" | "permitted" => {
                     // "not allowed" / "is not permitted" is a MUST NOT.
                     if preceded_by_negation(&lowers, i) {
@@ -78,10 +78,9 @@ impl SentimentClassifier {
                         score += 0.25;
                     }
                 }
-                "needs" | "need"
-                    if lowers.get(i + 1).map(String::as_str) == Some("to") => {
-                        score += 1.0;
-                    }
+                "needs" | "need" if lowers.get(i + 1).map(String::as_str) == Some("to") => {
+                    score += 1.0;
+                }
                 _ => {}
             }
         }
@@ -124,9 +123,7 @@ impl SentimentClassifier {
     /// Baseline for the ablation bench: plain RFC 2119 keyword grep (what
     /// the paper argues is insufficient).
     pub fn keyword_grep(sentence: &str) -> bool {
-        ["MUST", "SHALL", "SHOULD", "REQUIRED", "RECOMMENDED"]
-            .iter()
-            .any(|k| sentence.contains(k))
+        ["MUST", "SHALL", "SHOULD", "REQUIRED", "RECOMMENDED"].iter().any(|k| sentence.contains(k))
     }
 }
 

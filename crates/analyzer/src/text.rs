@@ -109,12 +109,24 @@ fn is_abnf_like(line: &str) -> bool {
     // `name = …` or `name =/ …`
     let mut chars = t.char_indices();
     match chars.next() {
-        Some((_, c)) if c.is_ascii_alphabetic() || c == '"' || c == '%' || c == '<' || c == '*'
-            || c == '(' || c == '[' || c == '/' => {}
+        Some((_, c))
+            if c.is_ascii_alphabetic()
+                || c == '"'
+                || c == '%'
+                || c == '<'
+                || c == '*'
+                || c == '('
+                || c == '['
+                || c == '/' => {}
         _ => return false,
     }
-    if t.starts_with('/') || t.starts_with('"') || t.starts_with('%') || t.starts_with('<')
-        || t.starts_with('*') || t.starts_with('(') || t.starts_with('[')
+    if t.starts_with('/')
+        || t.starts_with('"')
+        || t.starts_with('%')
+        || t.starts_with('<')
+        || t.starts_with('*')
+        || t.starts_with('(')
+        || t.starts_with('[')
     {
         return true; // continuation line of a grammar block
     }
@@ -190,9 +202,18 @@ pub fn tokenize(sentence: &str) -> Vec<Token> {
     let mut out = Vec::new();
     let mut cur = String::new();
     for c in sentence.chars() {
-        if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '/' && !cur.is_empty() && cur.chars().all(|x| x.is_ascii_alphanumeric() || x == '.') {
+        if c.is_ascii_alphanumeric()
+            || c == '-'
+            || c == '_'
+            || c == '/'
+                && !cur.is_empty()
+                && cur.chars().all(|x| x.is_ascii_alphanumeric() || x == '.')
+        {
             cur.push(c);
-        } else if c == '.' && !cur.is_empty() && cur.chars().last().is_some_and(|x| x.is_ascii_digit() || x.is_ascii_alphabetic()) {
+        } else if c == '.'
+            && !cur.is_empty()
+            && cur.chars().last().is_some_and(|x| x.is_ascii_digit() || x.is_ascii_alphabetic())
+        {
             // Keep dots inside version numbers and dotted abbreviations;
             // trailing sentence dots are trimmed below.
             cur.push(c);
@@ -249,7 +270,9 @@ mod tests {
 
     #[test]
     fn reflows_wrapped_lines() {
-        let s = sentences("   A server MUST respond with a 400 status\n   code and then close the connection.");
+        let s = sentences(
+            "   A server MUST respond with a 400 status\n   code and then close the connection.",
+        );
         assert_eq!(s.len(), 1);
         assert!(s[0].text.contains("status code and then"));
     }

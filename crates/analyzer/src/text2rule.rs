@@ -58,11 +58,15 @@ impl Text2Rule {
         let mut stats = ConvertStats { candidates: candidates.len(), ..ConvertStats::default() };
         let mut out = Vec::new();
         for cand in candidates {
-            let resolved = anaphora::resolve(sentences, cand.sentence.index.min(sentences.len().saturating_sub(1)));
+            let resolved = anaphora::resolve(
+                sentences,
+                cand.sentence.index.min(sentences.len().saturating_sub(1)),
+            );
             if resolved.merged {
                 stats.anaphora_merges += 1;
             }
-            let srs = self.convert_sentence(doc_tag, &cand.sentence.text, &resolved.text, out.len());
+            let srs =
+                self.convert_sentence(doc_tag, &cand.sentence.text, &resolved.text, out.len());
             if srs.is_empty() {
                 stats.dropped += 1;
             } else {
@@ -180,11 +184,17 @@ impl Text2Rule {
         let mut out = Vec::new();
 
         // Whitespace-before-colon applies to the generic header construct.
-        if lower.contains("whitespace between") && (lower.contains("colon") || lower.contains("field-name")) {
+        if lower.contains("whitespace between")
+            && (lower.contains("colon") || lower.contains("field-name"))
+        {
             out.push(MessageDescription::header("*", FieldState::MalformedSpacing));
         }
         // Chunked-coding structure conditions.
-        if lower.contains("chunked") && !out.iter().any(|c| matches!(&c.field, MessageField::Header(h) if h == "Transfer-Encoding")) {
+        if lower.contains("chunked")
+            && !out
+                .iter()
+                .any(|c| matches!(&c.field, MessageField::Header(h) if h == "Transfer-Encoding"))
+        {
             out.push(MessageDescription::new(MessageField::Chunked, FieldState::Present));
         }
         // Obsolete line folding.
@@ -206,8 +216,11 @@ impl Text2Rule {
             out.push(MessageDescription::new(MessageField::HttpVersion, FieldState::Valid));
         }
         // Body-on-GET/HEAD conditions.
-        if (lower.contains("payload within a get") || lower.contains("payload within a head") || lower.contains("body in a get"))
-            || (lower.contains("payload body") && (lower.contains(" get ") || lower.contains(" head ")))
+        if (lower.contains("payload within a get")
+            || lower.contains("payload within a head")
+            || lower.contains("body in a get"))
+            || (lower.contains("payload body")
+                && (lower.contains(" get ") || lower.contains(" head ")))
         {
             out.push(MessageDescription::new(MessageField::MessageBody, FieldState::Present));
         }
@@ -313,7 +326,10 @@ mod tests {
             .map(|c| c.state)
             .collect();
         // Multiple or Invalid must be picked up (best single state).
-        assert!(states.iter().any(|s| matches!(s, FieldState::Multiple | FieldState::Invalid)), "{srs:?}");
+        assert!(
+            states.iter().any(|s| matches!(s, FieldState::Multiple | FieldState::Invalid)),
+            "{srs:?}"
+        );
     }
 
     #[test]
@@ -322,10 +338,7 @@ mod tests {
             "A server MUST reject any received request message that contains whitespace between a header field-name and colon with a response code of 400 (Bad Request).",
         );
         assert!(!srs.is_empty(), "no srs");
-        assert!(srs[0]
-            .conditions
-            .iter()
-            .any(|c| c.state == FieldState::MalformedSpacing));
+        assert!(srs[0].conditions.iter().any(|c| c.state == FieldState::MalformedSpacing));
         assert!(matches!(srs[0].action, RoleAction::Respond(400) | RoleAction::Reject));
     }
 
@@ -337,10 +350,7 @@ mod tests {
         assert_eq!(srs.len(), 1, "{srs:?}");
         assert_eq!(srs[0].action, RoleAction::NotGenerate);
         assert_eq!(srs[0].role, Role::Sender);
-        assert!(srs[0]
-            .conditions
-            .iter()
-            .any(|c| c.state == FieldState::Conflicting));
+        assert!(srs[0].conditions.iter().any(|c| c.state == FieldState::Conflicting));
     }
 
     #[test]

@@ -9,10 +9,9 @@ fn bench_generation(c: &mut Criterion) {
     let analysis = DocumentAnalyzer::with_default_inputs().analyze(&hdiff_corpus::core_documents());
 
     let mut group = c.benchmark_group("abnf_generation");
-    for (label, predefined) in [
-        ("predefined", PredefinedRules::standard()),
-        ("free", PredefinedRules::empty()),
-    ] {
+    for (label, predefined) in
+        [("predefined", PredefinedRules::standard()), ("free", PredefinedRules::empty())]
+    {
         group.bench_with_input(
             BenchmarkId::new("host_values", label),
             &predefined,

@@ -13,9 +13,7 @@ fn bench_pipeline(c: &mut Criterion) {
 
     group.bench_function("documentation_analyzer", |b| {
         let docs = hdiff_corpus::core_documents();
-        b.iter(|| {
-            std::hint::black_box(DocumentAnalyzer::with_default_inputs().analyze(&docs))
-        });
+        b.iter(|| std::hint::black_box(DocumentAnalyzer::with_default_inputs().analyze(&docs)));
     });
 
     let analysis = DocumentAnalyzer::with_default_inputs().analyze(&hdiff_corpus::core_documents());

@@ -19,10 +19,7 @@ fn bench_sr_finder(c: &mut Criterion) {
     group.bench_function("keyword_grep", |b| {
         b.iter(|| {
             std::hint::black_box(
-                all_sentences
-                    .iter()
-                    .filter(|s| SentimentClassifier::keyword_grep(&s.text))
-                    .count(),
+                all_sentences.iter().filter(|s| SentimentClassifier::keyword_grep(&s.text)).count(),
             )
         });
     });

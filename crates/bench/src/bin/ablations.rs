@@ -65,12 +65,8 @@ fn main() {
             GenOptions { max_depth: depth, ..GenOptions::default() },
         );
         let msgs = gen.generate_many("HTTP-message", 50);
-        let avg: f64 =
-            msgs.iter().map(|m| m.len() as f64).sum::<f64>() / msgs.len().max(1) as f64;
-        println!(
-            "  depth {depth:>2}: {} distinct messages, average {avg:.0} bytes",
-            msgs.len()
-        );
+        let avg: f64 = msgs.iter().map(|m| m.len() as f64).sum::<f64>() / msgs.len().max(1) as f64;
+        println!("  depth {depth:>2}: {} distinct messages, average {avg:.0} bytes", msgs.len());
     }
 
     // ---- 4. mutation rounds ------------------------------------------------------

@@ -6,11 +6,8 @@ fn main() {
     println!("{}", hdiff_core::report::render_sr_violations(&report.summary));
 
     // The paper's final step: re-run every candidate exploit and confirm.
-    let verified = hdiff_diff::verify_all(
-        &hdiff_servers::products(),
-        &report.summary.findings,
-        &report.cases,
-    );
+    let verified =
+        hdiff_diff::verify_all(&hdiff_servers::products(), &report.summary.findings, &report.cases);
     let confirmed = verified.iter().filter(|v| v.confirmed).count();
     println!(
         "findings: {} total over {} test cases; verification confirmed {} ({:.0}%)",

@@ -15,10 +15,13 @@ pub struct HdiffConfig {
     pub include_catalog: bool,
     /// RNG seed (full determinism per seed).
     pub seed: u64,
-    /// Worker threads for the differential engine.
+    /// Worker threads for the differential engine; `0` means one per
+    /// available core (`std::thread::available_parallelism`).
     pub threads: usize,
     /// ABNF generator recursion depth cap (the paper uses 7).
     pub max_gen_depth: usize,
+    /// Fault-injection rate in percent (0 disables the fault campaign).
+    pub fault_rate: u8,
 }
 
 impl HdiffConfig {
@@ -31,8 +34,9 @@ impl HdiffConfig {
             mutation_rounds: 2,
             include_catalog: true,
             seed: 0x4844_6966_6621,
-            threads: 4,
+            threads: 0,
             max_gen_depth: 7,
+            fault_rate: 0,
         }
     }
 
@@ -47,6 +51,7 @@ impl HdiffConfig {
             seed: 0x4844_6966_6621,
             threads: 2,
             max_gen_depth: 7,
+            fault_rate: 0,
         }
     }
 }

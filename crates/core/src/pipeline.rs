@@ -3,8 +3,7 @@
 use hdiff_analyzer::{AnalyzerOutput, DocumentAnalyzer};
 use hdiff_diff::{DiffEngine, RunSummary};
 use hdiff_gen::{
-    catalog, AbnfGenerator, GenOptions, MutationEngine, Origin, SrTranslator, TestCase,
-    TreeMutator,
+    catalog, AbnfGenerator, GenOptions, MutationEngine, Origin, SrTranslator, TestCase, TreeMutator,
 };
 use hdiff_wire::{Method, Request, Version};
 
@@ -71,7 +70,11 @@ impl HDiff {
         // 1. SR translator cases (with assertions).
         let gen = AbnfGenerator::new(
             analysis.grammar.clone(),
-            GenOptions { max_depth: self.config.max_gen_depth, seed: self.config.seed, ..GenOptions::default() },
+            GenOptions {
+                max_depth: self.config.max_gen_depth,
+                seed: self.config.seed,
+                ..GenOptions::default()
+            },
         );
         let mut translator = SrTranslator::new(gen);
         translator.variants = self.config.sr_variants;
@@ -85,7 +88,11 @@ impl HDiff {
         // 2. ABNF-generated seeds plus mutations.
         let mut gen = AbnfGenerator::new(
             analysis.grammar.clone(),
-            GenOptions { max_depth: self.config.max_gen_depth, seed: self.config.seed ^ 0xabcd, ..GenOptions::default() },
+            GenOptions {
+                max_depth: self.config.max_gen_depth,
+                seed: self.config.seed ^ 0xabcd,
+                ..GenOptions::default()
+            },
         );
         let mut mutator = MutationEngine::new(self.config.seed ^ 0x5eed);
         mutator.rounds = self.config.mutation_rounds;
@@ -95,7 +102,8 @@ impl HDiff {
         let expect_values = gen.generate_many("Expect", 4);
         for i in 0..self.config.abnf_seeds {
             let host = &hosts[i % hosts.len().max(1)];
-            let target = targets.get(i % targets.len().max(1)).cloned().unwrap_or_else(|| b"/".to_vec());
+            let target =
+                targets.get(i % targets.len().max(1)).cloned().unwrap_or_else(|| b"/".to_vec());
             let mut b = Request::builder();
             b.method(if i % 3 == 0 { Method::Post } else { Method::Get })
                 .target(&target)
@@ -137,17 +145,16 @@ impl HDiff {
         // 2b. Tree-mutated host values: "mutate the original ABNF syntax
         // tree to generate malformed host data" (§III-D).
         let mut tree_mutator = TreeMutator::new(self.config.seed ^ 0x7ee);
-        for (value, op) in tree_mutator.malformed_values(
-            &analysis.grammar,
-            "Host",
-            self.config.abnf_seeds / 4,
-        ) {
+        for (value, op) in
+            tree_mutator.malformed_values(&analysis.grammar, "Host", self.config.abnf_seeds / 4)
+        {
             if value.is_empty() || value.len() > 256 {
                 continue;
             }
             let mut b = Request::builder();
             b.method(Method::Get).target("/").version(Version::Http11).header("Host", &value);
-            let mut c = TestCase::generated(next_uuid, b.build(), format!("tree-mutated host ({op:?})"));
+            let mut c =
+                TestCase::generated(next_uuid, b.build(), format!("tree-mutated host ({op:?})"));
             c.origin = Origin::Abnf;
             next_uuid += 1;
             cases.push(c);
@@ -182,6 +189,10 @@ impl HDiff {
 
         let mut engine = DiffEngine::standard();
         engine.threads = self.config.threads;
+        if self.config.fault_rate > 0 {
+            engine.fault_plan =
+                hdiff_servers::fault::FaultPlan::new(self.config.seed, self.config.fault_rate);
+        }
         let summary = engine.run(&cases);
 
         PipelineReport { analysis, sr_cases, abnf_cases, catalog_cases, cases, summary }
@@ -208,10 +219,7 @@ mod tests {
         assert!(report.catalog_cases >= 14);
         assert_eq!(report.summary.cases, report.total_cases());
         for class in AttackClass::ALL {
-            assert!(
-                !report.summary.findings_of(class).is_empty(),
-                "no {class} findings"
-            );
+            assert!(!report.summary.findings_of(class).is_empty(), "no {class} findings");
         }
         assert!(!report.summary.sr_violations.is_empty());
     }

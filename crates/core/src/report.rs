@@ -28,14 +28,8 @@ pub fn render_stats(report: &PipelineReport) -> String {
     ));
     out.push_str(&format!("specification requirements: {}   (paper: 117)\n", s.srs));
     out.push_str(&format!("ABNF grammar rules        : {}   (paper: 269)\n", s.abnf_rules));
-    out.push_str(&format!(
-        "SR-translated test cases  : {}   (paper: 8,427)\n",
-        report.sr_cases
-    ));
-    out.push_str(&format!(
-        "ABNF-generated test cases : {}   (paper: 92,658)\n",
-        report.abnf_cases
-    ));
+    out.push_str(&format!("SR-translated test cases  : {}   (paper: 8,427)\n", report.sr_cases));
+    out.push_str(&format!("ABNF-generated test cases : {}   (paper: 92,658)\n", report.abnf_cases));
     out.push_str(&format!("catalog test cases        : {}\n", report.catalog_cases));
     out
 }
@@ -104,10 +98,7 @@ pub fn render_figure7(summary: &RunSummary) -> String {
     let mut out = String::new();
     out.push_str("== Figure 7: server pairs affected by the three attacks ==\n");
     for class in AttackClass::ALL {
-        out.push_str(&format!(
-            "\n[{class}] {} affected pair(s)\n",
-            summary.pairs.count(class)
-        ));
+        out.push_str(&format!("\n[{class}] {} affected pair(s)\n", summary.pairs.count(class)));
         out.push_str(&format!("{:<10}", ""));
         for b in &backends {
             out.push_str(&format!("{:<10}", b.name));
@@ -189,6 +180,32 @@ pub fn render_findings_csv(summary: &RunSummary) -> String {
     out
 }
 
+/// Renders the resilience counters of a run: typed case errors, retries,
+/// quarantined cases, and fault-degradation divergences.
+pub fn render_resilience(summary: &RunSummary) -> String {
+    let mut out = String::new();
+    out.push_str("== resilience: errors, retries, quarantine, degradation ==\n");
+    out.push_str(&format!("cases with terminal errors: {}\n", summary.errors));
+    out.push_str(&format!("transient-fault retries   : {}\n", summary.retries));
+    out.push_str(&format!(
+        "quarantined cases         : {}{}\n",
+        summary.quarantined.len(),
+        if summary.quarantined.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " (uuids: {})",
+                summary.quarantined.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+            )
+        }
+    ));
+    out.push_str(&format!("degradation divergences   : {}\n", summary.degradations.len()));
+    for d in &summary.degradations {
+        out.push_str(&format!("  {d}\n"));
+    }
+    out
+}
+
 /// Renders the per-product SR-violation counts (single-implementation
 /// conformance checking).
 pub fn render_sr_violations(summary: &RunSummary) -> String {
@@ -233,5 +250,7 @@ mod tests {
         assert!(f7.contains("[HoT]"));
         let sr = render_sr_violations(&report.summary);
         assert!(sr.contains("mandatory"));
+        let rz = render_resilience(&report.summary);
+        assert!(rz.contains("quarantined cases         : 0"), "{rz}");
     }
 }

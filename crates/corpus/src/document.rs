@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn heading_parsing() {
-        assert_eq!(parse_heading("3.  Message Format"), Some(("3".into(), "Message Format".into())));
+        assert_eq!(
+            parse_heading("3.  Message Format"),
+            Some(("3".into(), "Message Format".into()))
+        );
         assert_eq!(
             parse_heading("3.2.4.  Field Parsing"),
             Some(("3.2.4".into(), "Field Parsing".into()))

@@ -7,8 +7,8 @@
 //! baseline rejects, or resolving differently while both accept) are
 //! attributed to the deviating product.
 
-use hdiff_servers::{interpret, Interpretation, Outcome, ParserProfile};
 use hdiff_gen::AttackClass;
+use hdiff_servers::{interpret, Interpretation, Outcome, ParserProfile};
 
 /// What kind of deviation from the baseline was observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]

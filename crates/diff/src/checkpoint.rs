@@ -1,0 +1,608 @@
+//! Campaign checkpoint persistence.
+//!
+//! Long fault-injection campaigns must survive interruption: the runner
+//! serializes every completed [`CaseRecord`] to a JSON file every
+//! checkpoint interval, and a restarted run loads the file, skips the
+//! completed uuids and converges to the identical [`crate::RunSummary`].
+//!
+//! The format is a single JSON object:
+//!
+//! ```json
+//! {"version":1,"completed":[{"uuid":7,"replayed":true,"retries":1,
+//!  "backoff_units":4,"quarantined":false,
+//!  "error":{"kind":"io","detail":"connection reset …"},
+//!  "findings":[…],"degradations":[…]}]}
+//! ```
+//!
+//! The codec is hand-rolled (no serialization dependency) and is the only
+//! place that knows the on-disk shape, so the runner stays format-agnostic.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use hdiff_gen::AttackClass;
+use hdiff_servers::fault::FaultKind;
+
+use crate::detect::DegradationFinding;
+use crate::findings::Finding;
+use crate::runner::{CaseError, CaseRecord};
+
+/// On-disk format version; bumped on incompatible changes.
+pub const FORMAT_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (only the subset the checkpoint needs: no floats,
+/// no negative numbers).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(bytes: &'a [u8]) -> Parser<'a> {
+        Parser { bytes, pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint parse error at byte {}: {msg}", self.pos),
+        )
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> io::Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", char::from(b))))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> io::Result<Json> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {lit}")))
+        }
+    }
+
+    fn value(&mut self) -> io::Result<Json> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn number(&mut self) -> io::Result<Json> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are UTF-8");
+        s.parse::<u64>().map(Json::Num).map_err(|_| self.err("number out of range"))
+    }
+
+    fn string(&mut self) -> io::Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or_else(|| self.err("unterminated string"))? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("unpaired surrogate"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Copy one UTF-8 scalar verbatim.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let ch = rest.chars().next().ok_or_else(|| self.err("empty string tail"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> io::Result<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> io::Result<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_opt_str(out: &mut String, v: Option<&str>) {
+    match v {
+        Some(s) => push_json_str(out, s),
+        None => out.push_str("null"),
+    }
+}
+
+fn class_str(c: AttackClass) -> &'static str {
+    match c {
+        AttackClass::Hrs => "HRS",
+        AttackClass::Hot => "HoT",
+        AttackClass::Cpdos => "CPDoS",
+    }
+}
+
+fn class_from_str(s: &str) -> Option<AttackClass> {
+    AttackClass::ALL.into_iter().find(|c| class_str(*c) == s)
+}
+
+fn write_finding(out: &mut String, f: &Finding) {
+    out.push_str("{\"class\":");
+    push_json_str(out, class_str(f.class));
+    out.push_str(&format!(",\"uuid\":{},\"origin\":", f.uuid));
+    push_json_str(out, &f.origin);
+    out.push_str(",\"front\":");
+    push_opt_str(out, f.front.as_deref());
+    out.push_str(",\"back\":");
+    push_opt_str(out, f.back.as_deref());
+    out.push_str(",\"culprits\":[");
+    for (i, c) in f.culprits.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, c);
+    }
+    out.push_str("],\"evidence\":");
+    push_json_str(out, &f.evidence);
+    out.push('}');
+}
+
+fn write_degradation(out: &mut String, d: &DegradationFinding) {
+    out.push_str(&format!("{{\"uuid\":{},\"fault\":", d.uuid));
+    push_json_str(out, d.fault.as_str());
+    out.push_str(",\"front_a\":");
+    push_json_str(out, &d.front_a);
+    out.push_str(",\"front_b\":");
+    push_json_str(out, &d.front_b);
+    out.push_str(",\"evidence\":");
+    push_json_str(out, &d.evidence);
+    out.push('}');
+}
+
+fn write_record(out: &mut String, r: &CaseRecord) {
+    out.push_str(&format!(
+        "{{\"uuid\":{},\"replayed\":{},\"retries\":{},\"backoff_units\":{},\"quarantined\":{},\"error\":",
+        r.uuid, r.replayed, r.retries, r.backoff_units, r.quarantined
+    ));
+    match &r.error {
+        None => out.push_str("null"),
+        Some(e) => {
+            out.push_str("{\"kind\":");
+            push_json_str(out, e.kind());
+            out.push_str(",\"detail\":");
+            push_json_str(out, e.detail());
+            out.push('}');
+        }
+    }
+    out.push_str(",\"findings\":[");
+    for (i, f) in r.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_finding(out, f);
+    }
+    out.push_str("],\"degradations\":[");
+    for (i, d) in r.degradations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_degradation(out, d);
+    }
+    out.push_str("]}");
+}
+
+/// Serializes the completed-case map to `path`, atomically (write to a
+/// sibling temp file, then rename) so an interruption mid-save never
+/// leaves a corrupt checkpoint behind.
+pub fn save(path: &Path, completed: &BTreeMap<u64, CaseRecord>) -> io::Result<()> {
+    let mut out = String::new();
+    out.push_str(&format!("{{\"version\":{FORMAT_VERSION},\"completed\":[\n"));
+    for (i, record) in completed.values().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        write_record(&mut out, record);
+    }
+    out.push_str("\n]}\n");
+
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, out.as_bytes())?;
+    std::fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+fn data_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_finding(v: &Json) -> io::Result<Finding> {
+    let class = v
+        .get("class")
+        .and_then(Json::as_str)
+        .and_then(class_from_str)
+        .ok_or_else(|| data_err("finding without a valid class"))?;
+    let opt_string = |key: &str| match v.get(key) {
+        Some(Json::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    Ok(Finding {
+        class,
+        uuid: v.get("uuid").and_then(Json::as_u64).ok_or_else(|| data_err("finding uuid"))?,
+        origin: opt_string("origin").ok_or_else(|| data_err("finding origin"))?,
+        front: opt_string("front"),
+        back: opt_string("back"),
+        culprits: v
+            .get("culprits")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|c| c.as_str().map(str::to_string))
+            .collect(),
+        evidence: opt_string("evidence").unwrap_or_default(),
+    })
+}
+
+fn read_degradation(v: &Json) -> io::Result<DegradationFinding> {
+    let fault = v
+        .get("fault")
+        .and_then(Json::as_str)
+        .and_then(FaultKind::parse)
+        .ok_or_else(|| data_err("degradation without a valid fault kind"))?;
+    let string = |key: &str| {
+        v.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| data_err(format!("degradation {key}")))
+    };
+    Ok(DegradationFinding {
+        uuid: v.get("uuid").and_then(Json::as_u64).ok_or_else(|| data_err("degradation uuid"))?,
+        fault,
+        front_a: string("front_a")?,
+        front_b: string("front_b")?,
+        evidence: string("evidence")?,
+    })
+}
+
+fn read_error(v: &Json) -> io::Result<Option<CaseError>> {
+    match v {
+        Json::Null => Ok(None),
+        Json::Obj(_) => {
+            let kind = v.get("kind").and_then(Json::as_str).unwrap_or_default();
+            let detail = v.get("detail").and_then(Json::as_str).unwrap_or_default().to_string();
+            let e = match kind {
+                "panic" => CaseError::Panic(detail),
+                "budget" => CaseError::Budget(detail),
+                "fault" => CaseError::Fault(detail),
+                "io" => CaseError::Io(detail),
+                other => return Err(data_err(format!("unknown error kind {other:?}"))),
+            };
+            Ok(Some(e))
+        }
+        _ => Err(data_err("error field must be null or an object")),
+    }
+}
+
+fn read_record(v: &Json) -> io::Result<CaseRecord> {
+    let u64_field = |key: &str| {
+        v.get(key).and_then(Json::as_u64).ok_or_else(|| data_err(format!("record {key}")))
+    };
+    let bool_field = |key: &str| {
+        v.get(key).and_then(Json::as_bool).ok_or_else(|| data_err(format!("record {key}")))
+    };
+    Ok(CaseRecord {
+        uuid: u64_field("uuid")?,
+        replayed: bool_field("replayed")?,
+        retries: u32::try_from(u64_field("retries")?).map_err(|_| data_err("retries range"))?,
+        backoff_units: u64_field("backoff_units")?,
+        quarantined: bool_field("quarantined")?,
+        error: read_error(v.get("error").unwrap_or(&Json::Null))?,
+        findings: v
+            .get("findings")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+            .iter()
+            .map(read_finding)
+            .collect::<io::Result<_>>()?,
+        degradations: v
+            .get("degradations")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+            .iter()
+            .map(read_degradation)
+            .collect::<io::Result<_>>()?,
+    })
+}
+
+/// Loads a checkpoint written by [`save`].
+pub fn load(path: &Path) -> io::Result<BTreeMap<u64, CaseRecord>> {
+    let bytes = std::fs::read(path)?;
+    let mut parser = Parser::new(&bytes);
+    let root = parser.value()?;
+    let version = root.get("version").and_then(Json::as_u64).unwrap_or(0);
+    if version != FORMAT_VERSION {
+        return Err(data_err(format!(
+            "checkpoint format v{version}, this build reads v{FORMAT_VERSION}"
+        )));
+    }
+    let mut completed = BTreeMap::new();
+    for record in root
+        .get("completed")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| data_err("missing completed array"))?
+    {
+        let record = read_record(record)?;
+        completed.insert(record.uuid, record);
+    }
+    Ok(completed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> BTreeMap<u64, CaseRecord> {
+        let finding = Finding {
+            class: AttackClass::Hrs,
+            uuid: 3,
+            origin: "catalog:bad-te".into(),
+            front: Some("squid".into()),
+            back: None,
+            culprits: ["squid".to_string(), "iis".to_string()].into_iter().collect(),
+            evidence: "quote \" backslash \\ newline \n tab \t control \u{1} end".into(),
+        };
+        let degradation = DegradationFinding {
+            uuid: 3,
+            fault: FaultKind::TruncateResponse,
+            front_a: "apache".into(),
+            front_b: "squid".into(),
+            evidence: "apache replaces with own 502; squid relays 200".into(),
+        };
+        [
+            (
+                3,
+                CaseRecord {
+                    uuid: 3,
+                    replayed: true,
+                    retries: 2,
+                    backoff_units: 6,
+                    quarantined: false,
+                    error: Some(CaseError::Io("reset persisted".into())),
+                    findings: vec![finding],
+                    degradations: vec![degradation],
+                },
+            ),
+            (
+                9,
+                CaseRecord {
+                    uuid: 9,
+                    replayed: false,
+                    retries: 0,
+                    backoff_units: 0,
+                    quarantined: true,
+                    error: Some(CaseError::Panic("injected parser panic".into())),
+                    findings: Vec::new(),
+                    degradations: Vec::new(),
+                },
+            ),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let dir = std::env::temp_dir().join("hdiff-ckpt-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.json");
+        let records = sample_records();
+        save(&path, &records).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(records, loaded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unicode_and_escapes_survive() {
+        let mut out = String::new();
+        push_json_str(&mut out, "héllo \"w\\orld\"\n\u{7}");
+        let mut p = Parser::new(out.as_bytes());
+        assert_eq!(p.string().unwrap(), "héllo \"w\\orld\"\n\u{7}");
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let dir = std::env::temp_dir().join("hdiff-ckpt-version");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("old.json");
+        std::fs::write(&path, b"{\"version\":99,\"completed\":[]}").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error_not_a_panic() {
+        for garbage in ["", "{", "{\"version\":1}", "[1,2", "{\"version\":1,\"completed\":[{}]}"] {
+            let mut p = Parser::new(garbage.as_bytes());
+            let parsed = p.value();
+            if let Ok(root) = parsed {
+                // Structurally valid JSON must still fail record validation.
+                if root.get("completed").and_then(Json::as_arr).is_some() {
+                    let bad = root.get("completed").unwrap().as_arr().unwrap();
+                    for r in bad {
+                        assert!(read_record(r).is_err());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -6,13 +6,93 @@
 //! advantage over plain differential testing the paper highlights.
 
 use std::collections::BTreeSet;
+use std::fmt;
 
 use hdiff_gen::AttackClass;
+use hdiff_servers::fault::FaultKind;
 use hdiff_servers::{interpret, Outcome, ParserProfile};
 
 use crate::baseline::{baseline_profile, deviations, Deviation, DeviationKind};
 use crate::findings::Finding;
-use crate::workflow::CaseOutcome;
+use crate::workflow::{CaseOutcome, FaultReaction};
+
+/// Two proxies reacting differently to the *same* injected upstream
+/// fault — e.g. one replaces the damaged reply with its own 502 while the
+/// other relays the truncated body downstream. Not one of the paper's
+/// three attack classes (those enumerate `AttackClass::ALL` and must stay
+/// exactly three); degradation divergence is a separate resilience
+/// finding produced only by fault-injection campaigns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationFinding {
+    /// Test-case id during which the fault fired.
+    pub uuid: u64,
+    /// The injected fault both proxies experienced.
+    pub fault: FaultKind,
+    /// First proxy of the divergent pair (lexicographically smaller).
+    pub front_a: String,
+    /// Second proxy of the divergent pair.
+    pub front_b: String,
+    /// Human-readable comparison of the two reactions.
+    pub evidence: String,
+}
+
+impl fmt::Display for DegradationFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[degradation] case #{} fault {}: {} vs {}: {}",
+            self.uuid, self.fault, self.front_a, self.front_b, self.evidence
+        )
+    }
+}
+
+fn describe_reaction(r: &FaultReaction) -> String {
+    let verb = if r.replaced { "replaces with own" } else { "relays" };
+    match r.status {
+        Some(s) => format!("{verb} {s} ({} bytes)", r.body_len),
+        None => format!("{verb} unparseable bytes ({} bytes)", r.body_len),
+    }
+}
+
+/// The degradation detection pass: compares every proxy pair's relay
+/// reaction to the case's injected origin fault and reports each pair
+/// whose reactions diverge. Returns nothing for fault-free cases.
+pub fn detect_degradation(outcome: &CaseOutcome) -> Vec<DegradationFinding> {
+    let reactions: Vec<(&str, &FaultReaction)> = outcome
+        .chains
+        .iter()
+        .filter_map(|c| c.relay_reaction.as_ref().map(|r| (c.proxy.as_str(), r)))
+        .collect();
+    let mut findings = Vec::new();
+    for (i, (name_a, a)) in reactions.iter().enumerate() {
+        for (name_b, b) in &reactions[i + 1..] {
+            debug_assert_eq!(a.fault, b.fault, "origin fault is decided once per case");
+            // Divergence means a different *reaction shape* — substitute vs
+            // relay, or a different downstream status. Byte counts stay out
+            // of the predicate (every proxy's own Via/Server header length
+            // would otherwise flag identical reactions) but stay in the
+            // evidence.
+            if a.replaced == b.replaced && a.status == b.status {
+                continue;
+            }
+            let (front_a, front_b, a, b) =
+                if name_a <= name_b { (name_a, name_b, a, b) } else { (name_b, name_a, b, a) };
+            findings.push(DegradationFinding {
+                uuid: outcome.uuid,
+                fault: a.fault,
+                front_a: (*front_a).to_string(),
+                front_b: (*front_b).to_string(),
+                evidence: format!(
+                    "{front_a} {}; {front_b} {}",
+                    describe_reaction(a),
+                    describe_reaction(b)
+                ),
+            });
+        }
+    }
+    findings.sort_by(|x, y| (&x.front_a, &x.front_b).cmp(&(&y.front_a, &y.front_b)));
+    findings
+}
 
 /// Runs all detection models over one case outcome.
 ///
@@ -22,11 +102,34 @@ pub fn detect_case(profiles: &[ParserProfile], outcome: &CaseOutcome) -> Vec<Fin
     let baseline = interpret(&baseline_profile(), &outcome.bytes);
     let mut findings = Vec::new();
 
-    let lookup = |name: &str| profiles.iter().find(|p| p.name == name);
+    // Detection is a pass over what the workflow *recorded* — it never
+    // re-drives a parser. That keeps it exact under fault injection: an
+    // implementation the injected fault silenced (reset/stalled before it
+    // could parse) contributes no interpretation and therefore no
+    // deviation, and a crash-prone profile only panics inside the
+    // workflow step, where the runner's quarantine can catch it.
+    let known = |name: &str| profiles.iter().any(|p| p.name == name);
+    let recorded = |name: &str| {
+        outcome
+            .direct
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, replies)| replies.first())
+            .map(|r| &r.interpretation)
+            .or_else(|| {
+                outcome
+                    .chains
+                    .iter()
+                    .find(|c| c.proxy == name)
+                    .and_then(|c| c.proxy_results.first())
+                    .map(|r| &r.interpretation)
+            })
+    };
     let devs_of = |name: &str| -> Vec<Deviation> {
-        lookup(name)
-            .map(|p| deviations(&interpret(p, &outcome.bytes), &baseline, &outcome.bytes))
-            .unwrap_or_default()
+        if !known(name) {
+            return Vec::new();
+        }
+        recorded(name).map(|i| deviations(i, &baseline, &outcome.bytes)).unwrap_or_default()
     };
 
     // ---- Model 0: single-implementation deviations ------------------------
@@ -102,9 +205,7 @@ pub fn detect_case(profiles: &[ParserProfile], outcome: &CaseOutcome) -> Vec<Fin
                         evidence: format!(
                             "host views differ: proxy sees {:?}, backend sees {:?}",
                             String::from_utf8_lossy(proxy_host.as_deref().unwrap_or_default()),
-                            String::from_utf8_lossy(
-                                backend_host.as_deref().unwrap_or_default()
-                            ),
+                            String::from_utf8_lossy(backend_host.as_deref().unwrap_or_default()),
                         ),
                     });
                 }
@@ -126,10 +227,9 @@ pub fn detect_case(profiles: &[ParserProfile], outcome: &CaseOutcome) -> Vec<Fin
                         chain.forwarded_count, backend_msgs
                     ),
                 });
-            } else if let (Some(len), true) = (
-                chain.forwarded_lens.first(),
-                first_reply.interpretation.outcome.is_accept(),
-            ) {
+            } else if let (Some(len), true) =
+                (chain.forwarded_lens.first(), first_reply.interpretation.outcome.is_accept())
+            {
                 // Same count but different boundary for message 1.
                 if first_reply.interpretation.consumed != *len {
                     findings.push(Finding {
@@ -220,10 +320,7 @@ mod tests {
             .header("Host", "h1.com");
         let findings = run(b.build());
         let hot: Vec<_> = findings.iter().filter(|f| f.class == AttackClass::Hot).collect();
-        assert!(
-            hot.iter().any(|f| f.pair() == Some(("varnish", "iis"))),
-            "{hot:?}"
-        );
+        assert!(hot.iter().any(|f| f.pair() == Some(("varnish", "iis"))), "{hot:?}");
         assert!(hot.iter().any(|f| f.pair() == Some(("varnish", "tomcat"))), "{hot:?}");
     }
 
@@ -263,8 +360,7 @@ mod tests {
         let findings = run(b.build());
         let hrs: Vec<_> = findings.iter().filter(|f| f.class == AttackClass::Hrs).collect();
         assert!(!hrs.is_empty(), "{findings:?}");
-        let culprits: BTreeSet<_> =
-            hrs.iter().flat_map(|f| f.culprits.iter().cloned()).collect();
+        let culprits: BTreeSet<_> = hrs.iter().flat_map(|f| f.culprits.iter().cloned()).collect();
         assert!(culprits.contains("iis"), "{culprits:?}");
     }
 

@@ -109,7 +109,8 @@ mod tests {
         lenient.duplicate_cl = hdiff_servers::profile::DuplicateClPolicy::First;
         let mut lenient2 = ParserProfile::strict("c");
         lenient2.duplicate_cl = hdiff_servers::profile::DuplicateClPolicy::Last;
-        let msg = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\nContent-Length: 0\r\n\r\nabc";
+        let msg =
+            b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\nContent-Length: 0\r\n\r\nabc";
         let m1 = metrics(&lenient, msg);
         let m2 = metrics(&lenient2, msg);
         let m0 = metrics(&strict, msg);

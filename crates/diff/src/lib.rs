@@ -17,21 +17,22 @@
 //! * [`runner`] — drives a whole test-case corpus through everything.
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod detect;
 pub mod findings;
 pub mod hmetrics;
 pub mod runner;
 pub mod srcheck;
-pub mod verify;
 pub mod verdict;
+pub mod verify;
 pub mod workflow;
 
 pub use baseline::{deviations, Deviation, DeviationKind};
-pub use detect::detect_case;
+pub use detect::{detect_case, detect_degradation, DegradationFinding};
 pub use findings::Finding;
 pub use hmetrics::HMetrics;
-pub use runner::{DiffEngine, RunSummary};
+pub use runner::{CaseError, CaseRecord, DiffEngine, RunSummary};
 pub use srcheck::{check_assertions, SrViolation};
-pub use verify::{verify_all, verify_finding, VerifiedFinding};
 pub use verdict::{PairMatrix, Verdicts};
-pub use workflow::{CaseOutcome, ChainRun, ReplayRun, Workflow};
+pub use verify::{verify_all, verify_finding, VerifiedFinding};
+pub use workflow::{CaseOutcome, ChainRun, FaultReaction, ReplayRun, Workflow};

@@ -1,17 +1,91 @@
-//! Drives a test-case corpus through workflow, detection and aggregation.
+//! Drives a test-case corpus through workflow, detection and aggregation —
+//! resiliently.
+//!
+//! Long differential campaigns meet hostile inputs: a case can panic the
+//! harness, loop past any reasonable step budget, or (under fault
+//! injection) hit transient upstream failures. The runner therefore
+//! executes every case under [`std::panic::catch_unwind`] with a logical
+//! step budget, retries transient faults with bounded (recorded, not
+//! slept) exponential backoff, quarantines panicking cases instead of
+//! dying, and checkpoints progress so an interrupted campaign resumes and
+//! converges to the identical [`RunSummary`].
 
-use crossbeam::thread;
+use std::collections::BTreeMap;
+use std::io;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
+
 use hdiff_gen::TestCase;
+use hdiff_servers::fault::{FaultInjector, FaultKind, FaultPlan, FaultSession};
 use hdiff_servers::ParserProfile;
 
-use crate::detect::detect_case;
+use crate::checkpoint;
+use crate::detect::{detect_case, detect_degradation, DegradationFinding};
 use crate::findings::Finding;
 use crate::srcheck::{check_all, SrViolation};
 use crate::verdict::{PairMatrix, Verdicts};
 use crate::workflow::Workflow;
 
+/// Why a case failed — the runner's typed error taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseError {
+    /// The case panicked the harness; the uuid is quarantined and never
+    /// re-attempted.
+    Panic(String),
+    /// The logical step budget ran out (stalled read or runaway case).
+    Budget(String),
+    /// A transient injected fault persisted through every retry.
+    Fault(String),
+    /// The (simulated) connection kept dying through every retry.
+    Io(String),
+}
+
+impl CaseError {
+    /// Stable lowercase tag (used by the checkpoint format and reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CaseError::Panic(_) => "panic",
+            CaseError::Budget(_) => "budget",
+            CaseError::Fault(_) => "fault",
+            CaseError::Io(_) => "io",
+        }
+    }
+
+    /// Human-readable detail.
+    pub fn detail(&self) -> &str {
+        match self {
+            CaseError::Panic(d) | CaseError::Budget(d) | CaseError::Fault(d) | CaseError::Io(d) => {
+                d
+            }
+        }
+    }
+}
+
+/// Everything recorded about one executed case — the unit the checkpoint
+/// persists and the summary aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseRecord {
+    /// Test-case id.
+    pub uuid: u64,
+    /// Whether any chain replayed to back-ends.
+    pub replayed: bool,
+    /// Retries spent on transient faults.
+    pub retries: u32,
+    /// Logical backoff units accumulated across retries (recorded instead
+    /// of slept, so replays are instant and deterministic).
+    pub backoff_units: u64,
+    /// Whether the case panicked and is quarantined.
+    pub quarantined: bool,
+    /// Terminal error, if the case did not complete cleanly.
+    pub error: Option<CaseError>,
+    /// Findings from the final attempt.
+    pub findings: Vec<Finding>,
+    /// Degradation divergences from the final attempt.
+    pub degradations: Vec<DegradationFinding>,
+}
+
 /// Summary of one differential-testing run.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     /// Test cases executed.
     pub cases: usize,
@@ -19,12 +93,20 @@ pub struct RunSummary {
     pub replayed_cases: usize,
     /// All findings.
     pub findings: Vec<Finding>,
+    /// Degradation divergences (fault-injection campaigns only).
+    pub degradations: Vec<DegradationFinding>,
     /// SR-assertion violations (single-implementation checking).
     pub sr_violations: Vec<SrViolation>,
     /// Fig. 7 pair matrix.
     pub pairs: PairMatrix,
     /// Table I verdicts.
     pub verdicts: Verdicts,
+    /// Cases that ended with a terminal [`CaseError`].
+    pub errors: usize,
+    /// Total retries spent on transient faults.
+    pub retries: usize,
+    /// Quarantined (panicking) case uuids, ascending.
+    pub quarantined: Vec<u64>,
 }
 
 impl RunSummary {
@@ -39,18 +121,26 @@ impl RunSummary {
 pub struct DiffEngine {
     workflow: Workflow,
     profiles: Vec<ParserProfile>,
-    /// Worker threads for case execution.
+    /// Worker threads for case execution; `0` means one per available
+    /// core ([`std::thread::available_parallelism`]).
     pub threads: usize,
+    /// Fault-injection plan (disabled by default: rate 0).
+    pub fault_plan: FaultPlan,
+    /// Maximum retries per case on transient faults.
+    pub max_retries: u32,
+    /// Logical step budget per case attempt.
+    pub step_budget: u64,
+    /// Cases per checkpoint interval for [`DiffEngine::run_with_checkpoint`].
+    pub checkpoint_every: usize,
+    /// Stop after this many checkpoint intervals — simulates a campaign
+    /// killed mid-run (tests and operational drills).
+    pub stop_after_chunks: Option<usize>,
 }
 
 impl DiffEngine {
     /// Builds an engine over the standard Fig. 6 environment.
     pub fn standard() -> DiffEngine {
-        DiffEngine {
-            workflow: Workflow::standard(),
-            profiles: hdiff_servers::products(),
-            threads: 4,
-        }
+        DiffEngine::with_workflow(Workflow::standard(), hdiff_servers::products())
     }
 
     /// Builds an engine over custom profiles (proxies, backends).
@@ -61,7 +151,20 @@ impl DiffEngine {
                 profiles.push(b.clone());
             }
         }
-        DiffEngine { workflow: Workflow::new(proxies, backends), profiles, threads: 4 }
+        DiffEngine::with_workflow(Workflow::new(proxies, backends), profiles)
+    }
+
+    fn with_workflow(workflow: Workflow, profiles: Vec<ParserProfile>) -> DiffEngine {
+        DiffEngine {
+            workflow,
+            profiles,
+            threads: 0,
+            fault_plan: FaultPlan::disabled(),
+            max_retries: 2,
+            step_budget: 4096,
+            checkpoint_every: 64,
+            stop_after_chunks: None,
+        }
     }
 
     /// The workflow in use.
@@ -69,51 +172,206 @@ impl DiffEngine {
         &self.workflow
     }
 
+    /// The thread count actually used.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
+        }
+    }
+
     /// Runs the full analysis over a batch of test cases.
     pub fn run(&self, cases: &[TestCase]) -> RunSummary {
-        let mut findings: Vec<Finding> = Vec::new();
-        let mut replayed_cases = 0usize;
+        let mut completed = BTreeMap::new();
+        self.execute(cases, &mut completed, None)
+            .expect("no I/O happens without a checkpoint path");
+        self.summarize(cases, &completed)
+    }
 
-        let chunk = cases.len().div_ceil(self.threads.max(1)).max(1);
-        let results: Vec<(Vec<Finding>, usize)> = thread::scope(|s| {
+    /// Like [`DiffEngine::run`], but checkpoints progress to `path` every
+    /// [`DiffEngine::checkpoint_every`] cases. If `path` already holds a
+    /// checkpoint from an interrupted campaign, its completed cases are
+    /// loaded and skipped; the resumed run converges to the identical
+    /// summary an uninterrupted run produces.
+    pub fn run_with_checkpoint(&self, cases: &[TestCase], path: &Path) -> io::Result<RunSummary> {
+        let mut completed = if path.exists() { checkpoint::load(path)? } else { BTreeMap::new() };
+        self.execute(cases, &mut completed, Some(path))?;
+        Ok(self.summarize(cases, &completed))
+    }
+
+    /// Executes every not-yet-completed case, chunk by chunk, saving a
+    /// checkpoint (when a path is given) at each chunk boundary.
+    fn execute(
+        &self,
+        cases: &[TestCase],
+        completed: &mut BTreeMap<u64, CaseRecord>,
+        ckpt: Option<&Path>,
+    ) -> io::Result<()> {
+        let pending: Vec<&TestCase> =
+            cases.iter().filter(|c| !completed.contains_key(&c.uuid)).collect();
+        for (i, chunk) in pending.chunks(self.checkpoint_every.max(1)).enumerate() {
+            if self.stop_after_chunks.is_some_and(|n| i >= n) {
+                break;
+            }
+            for record in self.run_chunk(chunk) {
+                completed.insert(record.uuid, record);
+            }
+            if let Some(path) = ckpt {
+                checkpoint::save(path, completed)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one chunk's cases across the worker threads.
+    fn run_chunk(&self, chunk: &[&TestCase]) -> Vec<CaseRecord> {
+        let per = chunk.len().div_ceil(self.effective_threads()).max(1);
+        std::thread::scope(|s| {
             let mut handles = Vec::new();
-            for batch in cases.chunks(chunk) {
-                let workflow = &self.workflow;
-                let profiles = &self.profiles;
-                handles.push(s.spawn(move |_| {
-                    let mut local = Vec::new();
-                    let mut replayed = 0usize;
-                    for case in batch {
-                        let outcome = workflow.run_case(case);
-                        if outcome.chains.iter().any(|c| !c.replays.is_empty()) {
-                            replayed += 1;
-                        }
-                        local.extend(detect_case(profiles, &outcome));
-                    }
-                    (local, replayed)
+            for batch in chunk.chunks(per) {
+                handles.push(s.spawn(move || {
+                    batch.iter().map(|c| self.run_case_resilient(c)).collect::<Vec<_>>()
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker died outside catch_unwind"))
+                .collect()
         })
-        .expect("thread scope");
+    }
 
-        for (local, replayed) in results {
-            findings.extend(local);
-            replayed_cases += replayed;
+    /// Runs one case under `catch_unwind` with a fresh fault session per
+    /// attempt, retrying transient faults up to [`DiffEngine::max_retries`]
+    /// times. A panic quarantines the case (recorded, skipped, never
+    /// fatal); a transient fault that survives every retry maps to its
+    /// [`CaseError`]; truncation/garbling faults are behavioral (no error)
+    /// and surface through degradation findings instead.
+    fn run_case_resilient(&self, case: &TestCase) -> CaseRecord {
+        let injector = FaultInjector::new(self.fault_plan.clone());
+        let mut retries = 0u32;
+        let mut backoff_units = 0u64;
+        loop {
+            let session = FaultSession::new(&injector, case.uuid, retries, self.step_budget);
+            let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+                let outcome = self.workflow.run_case_faulted(case, Some(&session));
+                let replayed = outcome.chains.iter().any(|c| !c.replays.is_empty());
+                let findings = detect_case(&self.profiles, &outcome);
+                let degradations = detect_degradation(&outcome);
+                (outcome.fault_events, outcome.budget_exhausted, replayed, findings, degradations)
+            }));
+            let (events, budget_exhausted, replayed, findings, degradations) = match attempt {
+                Err(payload) => {
+                    return CaseRecord {
+                        uuid: case.uuid,
+                        replayed: false,
+                        retries,
+                        backoff_units,
+                        quarantined: true,
+                        error: Some(CaseError::Panic(panic_message(&payload))),
+                        findings: Vec::new(),
+                        degradations: Vec::new(),
+                    }
+                }
+                Ok(r) => r,
+            };
+
+            let transient = events.iter().map(|e| e.kind).find(|k| k.is_transient());
+            if let Some(kind) = transient {
+                if retries < self.max_retries {
+                    retries += 1;
+                    backoff_units += 1u64 << retries.min(16);
+                    continue;
+                }
+                let error = match kind {
+                    FaultKind::Transient5xx => {
+                        CaseError::Fault(format!("transient 5xx persisted after {retries} retries"))
+                    }
+                    FaultKind::ConnReset => {
+                        CaseError::Io(format!("connection reset persisted after {retries} retries"))
+                    }
+                    _ => CaseError::Budget(format!(
+                        "stalled read exhausted the step budget after {retries} retries"
+                    )),
+                };
+                return CaseRecord {
+                    uuid: case.uuid,
+                    replayed,
+                    retries,
+                    backoff_units,
+                    quarantined: false,
+                    error: Some(error),
+                    findings,
+                    degradations,
+                };
+            }
+
+            let error =
+                budget_exhausted.then(|| CaseError::Budget("step budget exhausted".to_string()));
+            return CaseRecord {
+                uuid: case.uuid,
+                replayed,
+                retries,
+                backoff_units,
+                quarantined: false,
+                error,
+                findings,
+                degradations,
+            };
         }
+    }
+
+    /// Assembles the summary from completed records, iterating the input
+    /// corpus in order so the result is identical however (and across how
+    /// many interruptions) the records were produced.
+    fn summarize(&self, cases: &[TestCase], completed: &BTreeMap<u64, CaseRecord>) -> RunSummary {
+        let mut findings = Vec::new();
+        let mut degradations = Vec::new();
+        let mut replayed_cases = 0usize;
+        let mut errors = 0usize;
+        let mut retries = 0usize;
+        let mut quarantined = Vec::new();
+        let mut executed = 0usize;
+        for case in cases {
+            let Some(r) = completed.get(&case.uuid) else { continue };
+            executed += 1;
+            findings.extend(r.findings.iter().cloned());
+            degradations.extend(r.degradations.iter().cloned());
+            replayed_cases += usize::from(r.replayed);
+            errors += usize::from(r.error.is_some());
+            retries += r.retries as usize;
+            if r.quarantined {
+                quarantined.push(r.uuid);
+            }
+        }
+        quarantined.sort_unstable();
 
         let sr_violations = check_all(&self.profiles, cases);
         let pairs = PairMatrix::from_findings(&findings);
         let verdicts = Verdicts::from_findings(&findings, &self.profiles);
 
         RunSummary {
-            cases: cases.len(),
+            cases: executed,
             replayed_cases,
             findings,
+            degradations,
             sr_violations,
             pairs,
             verdicts,
+            errors,
+            retries,
+            quarantined,
         }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_string()
     }
 }
 
@@ -146,12 +404,14 @@ mod tests {
         let summary = engine.run(&catalog_cases());
         assert!(summary.cases >= 14);
         for class in AttackClass::ALL {
-            assert!(
-                !summary.findings_of(class).is_empty(),
-                "no findings for {class}"
-            );
+            assert!(!summary.findings_of(class).is_empty(), "no findings for {class}");
         }
         assert!(summary.replayed_cases > 0);
+        // No faults injected: the resilience counters stay clean.
+        assert_eq!(summary.errors, 0);
+        assert_eq!(summary.retries, 0);
+        assert!(summary.quarantined.is_empty());
+        assert!(summary.degradations.is_empty());
     }
 
     #[test]
@@ -159,10 +419,23 @@ mod tests {
         let engine = DiffEngine::standard();
         let summary = engine.run(&catalog_cases());
         // The two pairs the paper names for HoT.
-        assert!(summary.pairs.contains(AttackClass::Hot, "varnish", "iis"), "{:?}", summary.pairs.pairs(AttackClass::Hot));
-        assert!(summary.pairs.contains(AttackClass::Hot, "nginx", "weblogic"), "{:?}", summary.pairs.pairs(AttackClass::Hot));
+        assert!(
+            summary.pairs.contains(AttackClass::Hot, "varnish", "iis"),
+            "{:?}",
+            summary.pairs.pairs(AttackClass::Hot)
+        );
+        assert!(
+            summary.pairs.contains(AttackClass::Hot, "nginx", "weblogic"),
+            "{:?}",
+            summary.pairs.pairs(AttackClass::Hot)
+        );
         // All six proxies must be CPDoS-affected.
-        assert_eq!(summary.pairs.fronts(AttackClass::Cpdos).len(), 6, "{:?}", summary.pairs.fronts(AttackClass::Cpdos));
+        assert_eq!(
+            summary.pairs.fronts(AttackClass::Cpdos).len(),
+            6,
+            "{:?}",
+            summary.pairs.fronts(AttackClass::Cpdos)
+        );
     }
 
     #[test]
@@ -174,7 +447,37 @@ mod tests {
         e4.threads = 4;
         let s1 = e1.run(&cases);
         let s4 = e4.run(&cases);
-        assert_eq!(s1.findings.len(), s4.findings.len());
-        assert_eq!(s1.verdicts.total_marks(), s4.verdicts.total_marks());
+        assert_eq!(s1, s4);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_per_seed() {
+        let cases = catalog_cases();
+        let mut a = DiffEngine::standard();
+        a.fault_plan = FaultPlan::new(42, 35);
+        let mut b = DiffEngine::standard();
+        b.fault_plan = FaultPlan::new(42, 35);
+        b.threads = 2;
+        assert_eq!(a.run(&cases), b.run(&cases));
+
+        let mut c = DiffEngine::standard();
+        c.fault_plan = FaultPlan::new(43, 35);
+        assert_ne!(a.run(&cases), c.run(&cases), "a different seed reschedules faults");
+    }
+
+    #[test]
+    fn fault_campaign_surfaces_degradations_and_counters() {
+        let cases = catalog_cases();
+        let mut engine = DiffEngine::standard();
+        engine.fault_plan = FaultPlan::new(7, 60);
+        let summary = engine.run(&cases);
+        assert!(
+            !summary.degradations.is_empty(),
+            "a 60% fault rate over the catalog must catch divergent proxy reactions"
+        );
+        assert!(summary.retries > 0, "transient faults must be retried");
+        for d in &summary.degradations {
+            assert!(d.front_a < d.front_b, "pairs are ordered: {d:?}");
+        }
     }
 }

@@ -138,7 +138,7 @@ mod tests {
     use super::*;
     use hdiff_gen::{Assertion, Origin, TestCase};
     use hdiff_servers::{product, ProductId};
-    use hdiff_sr::{SemanticDefinitions, RoleAction};
+    use hdiff_sr::{RoleAction, SemanticDefinitions};
     use hdiff_wire::Request;
 
     fn sr_case(request: Request, role: Role, action: RoleAction) -> TestCase {
@@ -195,7 +195,8 @@ mod tests {
     fn check_all_over_real_translated_srs_finds_violations() {
         let out = hdiff_analyzer::DocumentAnalyzer::with_default_inputs()
             .analyze(&hdiff_corpus::core_documents());
-        let gen = hdiff_gen::AbnfGenerator::new(out.grammar.clone(), hdiff_gen::GenOptions::default());
+        let gen =
+            hdiff_gen::AbnfGenerator::new(out.grammar.clone(), hdiff_gen::GenOptions::default());
         let mut tr = hdiff_gen::SrTranslator::new(gen);
         let cases = tr.translate_all(&out.requirements);
         let violations = check_all(&hdiff_servers::products(), &cases);

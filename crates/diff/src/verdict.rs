@@ -8,7 +8,7 @@ use hdiff_servers::ParserProfile;
 use crate::findings::Finding;
 
 /// The proxy×back-end pair sets per attack class (Figure 7).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PairMatrix {
     pairs: BTreeMap<AttackClass, BTreeSet<(String, String)>>,
 }
@@ -19,10 +19,7 @@ impl PairMatrix {
         let mut m = PairMatrix::default();
         for f in findings {
             if let Some((front, back)) = f.pair() {
-                m.pairs
-                    .entry(f.class)
-                    .or_default()
-                    .insert((front.to_string(), back.to_string()));
+                m.pairs.entry(f.class).or_default().insert((front.to_string(), back.to_string()));
             }
         }
         m
@@ -40,9 +37,7 @@ impl PairMatrix {
 
     /// Whether a specific pair is affected by a class.
     pub fn contains(&self, class: AttackClass, front: &str, back: &str) -> bool {
-        self.pairs
-            .get(&class)
-            .is_some_and(|s| s.contains(&(front.to_string(), back.to_string())))
+        self.pairs.get(&class).is_some_and(|s| s.contains(&(front.to_string(), back.to_string())))
     }
 
     /// Distinct front-ends affected per class.
@@ -55,7 +50,7 @@ impl PairMatrix {
 }
 
 /// Per-product vulnerability verdicts (the check-marks of Table I).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Verdicts {
     table: BTreeMap<String, BTreeSet<AttackClass>>,
 }
@@ -72,8 +67,7 @@ impl Verdicts {
     ///   culprits of CPDoS-class deviations (the paper does not consider
     ///   CPDoS for products in pure server mode).
     pub fn from_findings(findings: &[Finding], profiles: &[ParserProfile]) -> Verdicts {
-        let is_proxy =
-            |name: &str| profiles.iter().any(|p| p.name == name && p.is_proxy());
+        let is_proxy = |name: &str| profiles.iter().any(|p| p.name == name && p.is_proxy());
         let mut table: BTreeMap<String, BTreeSet<AttackClass>> = BTreeMap::new();
         for p in profiles {
             table.entry(p.name.clone()).or_default();
@@ -138,7 +132,12 @@ mod tests {
     use super::*;
     use std::collections::BTreeSet as Set;
 
-    fn finding(class: AttackClass, front: Option<&str>, back: Option<&str>, culprits: &[&str]) -> Finding {
+    fn finding(
+        class: AttackClass,
+        front: Option<&str>,
+        back: Option<&str>,
+        culprits: &[&str],
+    ) -> Finding {
         Finding {
             class,
             uuid: 1,

@@ -208,10 +208,7 @@ pub fn verify_all(
     findings
         .iter()
         .filter_map(|f| {
-            cases
-                .iter()
-                .find(|c| c.uuid == f.uuid)
-                .map(|c| verify_finding(profiles, f, c))
+            cases.iter().find(|c| c.uuid == f.uuid).map(|c| verify_finding(profiles, f, c))
         })
         .collect()
 }
@@ -238,10 +235,8 @@ mod tests {
             .version(Version::Http11)
             .header("Host", "h1.com");
         let (findings, case) = findings_for(b.build());
-        let hot: Vec<_> = findings
-            .iter()
-            .filter(|f| f.class == AttackClass::Hot && f.is_pair())
-            .collect();
+        let hot: Vec<_> =
+            findings.iter().filter(|f| f.class == AttackClass::Hot && f.is_pair()).collect();
         assert!(!hot.is_empty());
         for f in hot {
             let v = verify_finding(&products(), f, &case);
@@ -254,8 +249,7 @@ mod tests {
         let mut req = Request::get("victim.com");
         req.set_version(b"1.1/HTTP");
         let (findings, case) = findings_for(req);
-        let cpdos: Vec<_> =
-            findings.iter().filter(|f| f.class == AttackClass::Cpdos).collect();
+        let cpdos: Vec<_> = findings.iter().filter(|f| f.class == AttackClass::Cpdos).collect();
         assert!(!cpdos.is_empty());
         let mut confirmed_pairs = 0;
         for f in &cpdos {
@@ -281,9 +275,7 @@ mod tests {
         let verified = verify_all(&products(), &findings, std::slice::from_ref(&case));
         assert!(!verified.is_empty());
         assert!(
-            verified
-                .iter()
-                .any(|v| v.finding.class == AttackClass::Hrs && v.confirmed),
+            verified.iter().any(|v| v.finding.class == AttackClass::Hrs && v.confirmed),
             "{verified:?}"
         );
     }

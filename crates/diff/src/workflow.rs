@@ -15,7 +15,11 @@
 
 use hdiff_gen::TestCase;
 use hdiff_servers::cache::{CacheKey, StoreDecision};
-use hdiff_servers::{EchoServer, ParserProfile, Proxy, ProxyResult, Server, ServerReply};
+use hdiff_servers::fault::{FaultEvent, FaultKind, FaultSession, FaultStage};
+use hdiff_servers::response_path::{relay_response, RelayAction};
+use hdiff_servers::{
+    EchoServer, ParserProfile, Proxy, ProxyResult, Server, ServerReply, ORIGIN_HOP,
+};
 
 /// One back-end's replies to a byte stream.
 #[derive(Debug, Clone)]
@@ -27,6 +31,24 @@ pub struct ReplayRun {
     /// Cache storage decision for the first reply (using the proxy's view
     /// as the key), plus whether the stored response was an error.
     pub cache_stored_error: bool,
+}
+
+/// How one proxy reacted to canonically damaged upstream bytes (the relay
+/// probe run when an origin-side fault was injected). Two proxies given
+/// the *same* damage that disagree here — one replaces with its own 502,
+/// the other relays the damaged payload — degrade differently, which is
+/// what the degradation detection pass compares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReaction {
+    /// The injected origin fault the probe models.
+    pub fault: FaultKind,
+    /// Whether the proxy discarded the upstream message and substituted
+    /// its own response (RFC 7230 §3.2.4 style).
+    pub replaced: bool,
+    /// Status of the response the client would see, when parseable.
+    pub status: Option<u16>,
+    /// Total length of the bytes sent downstream.
+    pub body_len: usize,
 }
 
 /// One proxy's processing of a test case.
@@ -44,6 +66,9 @@ pub struct ChainRun {
     pub forwarded_lens: Vec<usize>,
     /// Step-2 replays (empty when reduction skipped them).
     pub replays: Vec<ReplayRun>,
+    /// Relay-probe reaction to the case's injected origin fault (`None`
+    /// when no origin fault fired for this case).
+    pub relay_reaction: Option<FaultReaction>,
 }
 
 /// The complete outcome of one test case.
@@ -59,6 +84,10 @@ pub struct CaseOutcome {
     pub chains: Vec<ChainRun>,
     /// Step-3 direct back-end runs.
     pub direct: Vec<(String, Vec<ServerReply>)>,
+    /// Every fault the session injected while this case ran.
+    pub fault_events: Vec<FaultEvent>,
+    /// Whether the per-case step budget ran out mid-case.
+    pub budget_exhausted: bool,
 }
 
 /// The workflow driver.
@@ -93,13 +122,30 @@ impl Workflow {
 
     /// Runs all three steps for one test case.
     pub fn run_case(&self, case: &TestCase) -> CaseOutcome {
+        self.run_case_faulted(case, None)
+    }
+
+    /// [`Workflow::run_case`] with a fault session threaded through every
+    /// hop. The origin-side fault is decided once (under [`ORIGIN_HOP`]),
+    /// so all back-ends and all proxy chains of the case experience the
+    /// *same* damage; each proxy additionally runs a relay probe against
+    /// the canonical damaged bytes for that fault so the degradation pass
+    /// can compare their reactions.
+    pub fn run_case_faulted(
+        &self,
+        case: &TestCase,
+        faults: Option<&FaultSession<'_>>,
+    ) -> CaseOutcome {
         let bytes = case.request.to_bytes();
+        let origin_fault =
+            faults.and_then(|s| s.decide(ORIGIN_HOP, FaultStage::OriginRespond)).map(|d| d.kind);
+        let probe_bytes = origin_fault.and_then(damaged_upstream_bytes);
 
         // Step 3: direct back-end interpretation.
         let direct: Vec<(String, Vec<ServerReply>)> = self
             .backends
             .iter()
-            .map(|b| (b.name.clone(), Server::new(b.clone()).handle_stream(&bytes)))
+            .map(|b| (b.name.clone(), Server::new(b.clone()).handle_stream_faulted(&bytes, faults)))
             .collect();
 
         // Steps 1 and 2 per proxy.
@@ -107,7 +153,7 @@ impl Workflow {
         for proxy_profile in &self.proxies {
             let proxy = Proxy::new(proxy_profile.clone());
             let mut echo = EchoServer::new();
-            let proxy_results = proxy.forward_stream(&bytes);
+            let proxy_results = proxy.forward_stream_faulted(&bytes, faults);
             let mut forwarded = Vec::new();
             let mut forwarded_count = 0usize;
             let mut forwarded_lens = Vec::new();
@@ -129,7 +175,7 @@ impl Workflow {
             if should_replay {
                 for backend_profile in &self.backends {
                     let backend = Server::new(backend_profile.clone());
-                    let replies = backend.handle_stream(&forwarded);
+                    let replies = backend.handle_stream_faulted(&forwarded, faults);
                     // Feed the proxy cache with the first backend response
                     // under the proxy's own view of the request.
                     let cache_stored_error = simulate_cache(&proxy, &proxy_results, &replies);
@@ -141,6 +187,11 @@ impl Workflow {
                 }
             }
 
+            let relay_reaction = match (&origin_fault, &probe_bytes) {
+                (Some(kind), Some(probe)) => Some(probe_relay(proxy_profile, *kind, probe)),
+                _ => None,
+            };
+
             chains.push(ChainRun {
                 proxy: proxy_profile.name.clone(),
                 proxy_results,
@@ -148,6 +199,7 @@ impl Workflow {
                 forwarded_count,
                 forwarded_lens,
                 replays,
+                relay_reaction,
             });
         }
 
@@ -157,7 +209,62 @@ impl Workflow {
             bytes,
             chains,
             direct,
+            fault_events: faults.map(|s| s.events()).unwrap_or_default(),
+            budget_exhausted: faults.is_some_and(FaultSession::exhausted),
         }
+    }
+}
+
+/// Canonical damaged upstream bytes for an origin-side fault — what a
+/// proxy's response parser sees when the origin connection misbehaves
+/// that way. Each payload is chosen to sit on a policy knob on which real
+/// products diverge, so identical damage can draw divergent reactions:
+///
+/// * `ConnReset` — the tail of a folded header survives the reset
+///   ([`hdiff_servers::profile::ObsFoldPolicy`]: 502 vs merge-and-relay).
+/// * `TruncateResponse` — final chunk promises more bytes than arrived
+///   (`truncate_short_final_chunk`: 502 vs relay-the-short-body).
+/// * `GarbleForward` — a bit-flipped octet in a header name
+///   ([`hdiff_servers::profile::NamePolicy`]: 502 / forward raw / strip).
+/// * `Transient5xx` — a well-formed 503; every conformant proxy relays it
+///   untouched (the uniform-reaction control).
+/// * `StallRead` — no bytes ever arrive; nothing to probe with.
+fn damaged_upstream_bytes(kind: FaultKind) -> Option<Vec<u8>> {
+    match kind {
+        FaultKind::ConnReset => Some(
+            b"HTTP/1.1 200 OK\r\nX-Upstream-State: aborted\r\n retrying\r\nContent-Length: 4\r\n\r\nlost"
+                .to_vec(),
+        ),
+        FaultKind::TruncateResponse => Some(
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n20\r\nonly-half-arrived\r\n"
+                .to_vec(),
+        ),
+        FaultKind::GarbleForward => {
+            Some(b"HTTP/1.1 200 OK\r\nX-Ga\x02ble: hit\r\nContent-Length: 2\r\n\r\nok".to_vec())
+        }
+        FaultKind::Transient5xx => Some(
+            b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 8\r\n\r\nupstream".to_vec(),
+        ),
+        FaultKind::StallRead => None,
+    }
+}
+
+/// Runs the relay probe: `profile` relays the damaged bytes and the
+/// reaction is summarized for pairwise comparison.
+fn probe_relay(profile: &ParserProfile, fault: FaultKind, damaged: &[u8]) -> FaultReaction {
+    match relay_response(profile, damaged) {
+        RelayAction::Relayed(bytes) => FaultReaction {
+            fault,
+            replaced: false,
+            status: hdiff_wire::parse_response(&bytes).ok().map(|r| r.status.as_u16()),
+            body_len: bytes.len(),
+        },
+        RelayAction::Replaced(r) => FaultReaction {
+            fault,
+            replaced: true,
+            status: Some(r.status.as_u16()),
+            body_len: r.to_bytes().len(),
+        },
     }
 }
 
@@ -202,14 +309,10 @@ pub fn is_ambiguous(bytes: &[u8]) -> bool {
         return true;
     }
     // Special characters in the header section.
-    let header_end = lower
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .unwrap_or(lower.len());
-    if lower[..header_end]
-        .iter()
-        .any(|&b| b == 0 || b == 0x0b || (b < 0x20 && b != b'\r' && b != b'\n' && b != b'\t') || b >= 0x80)
-    {
+    let header_end = lower.windows(4).position(|w| w == b"\r\n\r\n").unwrap_or(lower.len());
+    if lower[..header_end].iter().any(|&b| {
+        b == 0 || b == 0x0b || (b < 0x20 && b != b'\r' && b != b'\n' && b != b'\t') || b >= 0x80
+    }) {
         return true;
     }
     // Request-line anomalies.
@@ -272,7 +375,9 @@ mod tests {
     fn ambiguity_heuristic() {
         assert!(!is_ambiguous(b"GET / HTTP/1.1\r\nHost: h1.com\r\n\r\n"));
         assert!(is_ambiguous(b"GET / HTTP/1.1\r\nHost: h1.com\r\nHost: h2.com\r\n\r\n"));
-        assert!(is_ambiguous(b"POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"));
+        assert!(is_ambiguous(
+            b"POST / HTTP/1.1\r\nHost: h\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"
+        ));
         assert!(is_ambiguous(b"GET / HTTP/1.0\r\nHost: h\r\n\r\n"));
         assert!(is_ambiguous(b"GET http://h2.com/ HTTP/1.1\r\nHost: h1.com\r\n\r\n"));
         assert!(is_ambiguous(b"GET / HTTP/1.1\r\nHost: h\r\nExpect: 100-continue\r\n\r\n"));

@@ -10,7 +10,9 @@ use std::fmt;
 use hdiff_wire::{encode_chunked, Method, Request, Version};
 
 /// The three semantic gap attacks HDiff detects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum AttackClass {
     /// HTTP Request Smuggling.
     Hrs,
@@ -101,19 +103,13 @@ pub fn catalog() -> Vec<CatalogEntry> {
         requests: [b"1.1/HTTP".as_slice(), b"HTTP/3-1", b"hTTP/1.1"]
             .iter()
             .map(|v| {
-                (
-                    req().version_raw(v).build(),
-                    format!("version={}", String::from_utf8_lossy(v)),
-                )
+                (req().version_raw(v).build(), format!("version={}", String::from_utf8_lossy(v)))
             })
             .collect(),
     });
 
     let shifted = vec![
-        (
-            req().version(Version::Http09).build(),
-            "HTTP/0.9 with headers".to_string(),
-        ),
+        (req().version(Version::Http09).build(), "HTTP/0.9 with headers".to_string()),
         (
             post_body(&encode_chunked(b"abc"))
                 .version(Version::Http10)
@@ -301,10 +297,7 @@ pub fn catalog() -> Vec<CatalogEntry> {
                 },
                 "[sc]Host + Host".to_string(),
             ),
-            (
-                req().header("Host", "h2.com").build(),
-                "two plain Host headers".to_string(),
-            ),
+            (req().header("Host", "h2.com").build(), "two plain Host headers".to_string()),
         ],
     });
 
@@ -401,9 +394,7 @@ pub fn catalog() -> Vec<CatalogEntry> {
         description: "NULL in chunk-data",
         classes: vec![AttackClass::Hrs],
         requests: vec![(
-            post_body(b"3\r\na\x00c\r\n0\r\n\r\n")
-                .header("Transfer-Encoding", "chunked")
-                .build(),
+            post_body(b"3\r\na\x00c\r\n0\r\n\r\n").header("Transfer-Encoding", "chunked").build(),
             "NUL byte inside chunk-data".to_string(),
         )],
     });

@@ -244,9 +244,7 @@ impl AbnfGenerator {
             Node::Alternation(alts) => {
                 let idx = if depth >= self.opts.max_depth {
                     // Depth cap: cheapest alternative.
-                    (0..alts.len())
-                        .min_by_key(|&i| self.node_min_depth(&alts[i]))
-                        .unwrap_or(0)
+                    (0..alts.len()).min_by_key(|&i| self.node_min_depth(&alts[i])).unwrap_or(0)
                 } else {
                     self.rng.gen_range(0..alts.len())
                 };
@@ -373,16 +371,13 @@ impl AbnfGenerator {
                 if self.opts.predefined.get(name).is_some() {
                     return 0; // predefined values cost no traversal
                 }
-                self.min_depth
-                    .get(&name.to_ascii_lowercase())
-                    .copied()
-                    .unwrap_or_else(|| {
-                        if hdiff_abnf::core_rules::is_core_rule(name) {
-                            1
-                        } else {
-                            INF
-                        }
-                    })
+                self.min_depth.get(&name.to_ascii_lowercase()).copied().unwrap_or_else(|| {
+                    if hdiff_abnf::core_rules::is_core_rule(name) {
+                        1
+                    } else {
+                        INF
+                    }
+                })
             }
             _ => 0,
         }
@@ -408,7 +403,10 @@ mod tests {
     }
 
     fn gen(text: &str) -> AbnfGenerator {
-        AbnfGenerator::new(grammar(text), GenOptions { predefined: PredefinedRules::empty(), ..GenOptions::default() })
+        AbnfGenerator::new(
+            grammar(text),
+            GenOptions { predefined: PredefinedRules::empty(), ..GenOptions::default() },
+        )
     }
 
     #[test]
@@ -420,7 +418,8 @@ mod tests {
 
     #[test]
     fn http_version_generation_is_valid() {
-        let mut g = gen("HTTP-version = HTTP-name \"/\" DIGIT \".\" DIGIT\nHTTP-name = %x48.54.54.50");
+        let mut g =
+            gen("HTTP-version = HTTP-name \"/\" DIGIT \".\" DIGIT\nHTTP-name = %x48.54.54.50");
         for _ in 0..20 {
             let v = g.generate("HTTP-version").unwrap();
             assert_eq!(v.len(), 8);
@@ -442,7 +441,11 @@ mod tests {
     fn unbounded_repetition_capped() {
         let mut g = AbnfGenerator::new(
             grammar("x = *\"a\""),
-            GenOptions { max_repeat: 3, predefined: PredefinedRules::empty(), ..GenOptions::default() },
+            GenOptions {
+                max_repeat: 3,
+                predefined: PredefinedRules::empty(),
+                ..GenOptions::default()
+            },
         );
         for _ in 0..20 {
             assert!(g.generate("x").unwrap().len() <= 3);
@@ -452,9 +455,7 @@ mod tests {
     #[test]
     fn recursive_rules_terminate() {
         // RFC 7230 comment is self-recursive.
-        let mut g = gen(
-            "comment = \"(\" *( ctext / comment ) \")\"\nctext = %x61-7A",
-        );
+        let mut g = gen("comment = \"(\" *( ctext / comment ) \")\"\nctext = %x61-7A");
         for _ in 0..50 {
             let v = g.generate("comment").unwrap();
             assert!(v.starts_with(b"(") && v.ends_with(b")"));
@@ -510,10 +511,7 @@ mod tests {
     fn enumeration_is_exhaustive_for_small_rules() {
         let mut g = gen("coding = \"chunked\" / \"gzip\" / \"deflate\"");
         let all = g.enumerate("coding", 100);
-        assert_eq!(
-            all,
-            vec![b"chunked".to_vec(), b"deflate".to_vec(), b"gzip".to_vec()]
-        );
+        assert_eq!(all, vec![b"chunked".to_vec(), b"deflate".to_vec(), b"gzip".to_vec()]);
     }
 
     #[test]
@@ -538,7 +536,8 @@ mod tests {
 
     #[test]
     fn enumeration_of_http_version_covers_grammar_shape() {
-        let mut g = gen("HTTP-version = HTTP-name \"/\" DIGIT \".\" DIGIT\nHTTP-name = %x48.54.54.50");
+        let mut g =
+            gen("HTTP-version = HTTP-name \"/\" DIGIT \".\" DIGIT\nHTTP-name = %x48.54.54.50");
         let all = g.enumerate("HTTP-version", 1000);
         // DIGIT enumerates endpoints + midpoint: 3 choices per digit slot.
         assert_eq!(all.len(), 9);
@@ -578,8 +577,11 @@ mod tests {
             // Predefined uri-host keeps these realistic.
             let s = String::from_utf8_lossy(h);
             assert!(
-                s.starts_with("h1.com") || s.starts_with("h2.com") || s.starts_with("example.com")
-                    || s.starts_with("127.0.0.1") || s.starts_with('['),
+                s.starts_with("h1.com")
+                    || s.starts_with("h2.com")
+                    || s.starts_with("example.com")
+                    || s.starts_with("127.0.0.1")
+                    || s.starts_with('['),
                 "{s}"
             );
         }

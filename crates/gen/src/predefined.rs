@@ -48,7 +48,6 @@ impl PredefinedRules {
             ("delta-seconds", &["60"]),
             ("delay-seconds", &["120"]),
             ("qdtext", &["q"]),
-            ("obs-text", &["\u{00}"]),
             ("OCTET", &["a"]),
             ("CHAR", &["a"]),
             ("VCHAR", &["a"]),
@@ -56,6 +55,9 @@ impl PredefinedRules {
         for (name, vals) in entries {
             t.set(name, vals.iter().map(|v| v.as_bytes().to_vec()).collect());
         }
+        // obs-text = %x80-FF: a single high byte, set directly because a
+        // &str literal would UTF-8-encode it into two bytes.
+        t.set("obs-text", vec![vec![0x80]]);
         t
     }
 

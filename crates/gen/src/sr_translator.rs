@@ -9,9 +9,7 @@
 //! the SR semantic definitions; each role action maps to a checkable
 //! expectation bound as an [`Assertion`].
 
-use hdiff_sr::{
-    FieldState, GenStrategy, MessageField, SemanticDefinitions, SpecRequirement,
-};
+use hdiff_sr::{FieldState, GenStrategy, MessageField, SemanticDefinitions, SpecRequirement};
 use hdiff_wire::{encode_chunked, Method, Request, Version};
 
 use crate::generator::AbnfGenerator;
@@ -108,7 +106,14 @@ impl SrTranslator {
             let strategy = self.defs.strategy(cond.state);
             match (&cond.field, strategy) {
                 (MessageField::Header(name), strategy) => {
-                    self.apply_header(&mut request, name, strategy, variant, &mut notes, &mut body_set)?;
+                    self.apply_header(
+                        &mut request,
+                        name,
+                        strategy,
+                        variant,
+                        &mut notes,
+                        &mut body_set,
+                    )?;
                 }
                 (MessageField::Chunked, _) => {
                     request.set_method(b"POST");
@@ -120,8 +125,7 @@ impl SrTranslator {
                 (MessageField::HttpVersion, s) => {
                     let v: &[u8] = match s {
                         GenStrategy::MutateInvalid => {
-                            [b"1.1/HTTP".as_slice(), b"HTTP/3-1", b"hTTP/1.1"]
-                                [variant % 3]
+                            [b"1.1/HTTP".as_slice(), b"HTTP/3-1", b"hTTP/1.1"][variant % 3]
                         }
                         _ => {
                             if cond.state == FieldState::Valid {
@@ -146,7 +150,8 @@ impl SrTranslator {
                         notes.push("body on GET".to_string());
                     }
                 }
-                (MessageField::Method, _) | (MessageField::RequestTarget, _)
+                (MessageField::Method, _)
+                | (MessageField::RequestTarget, _)
                 | (MessageField::RequestLine, _) => {
                     // Covered by the generic valid seed.
                 }

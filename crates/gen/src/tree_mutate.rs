@@ -125,7 +125,13 @@ impl TreeMutator {
     }
 
     #[allow(clippy::only_used_in_recursion)]
-    fn apply_at(&mut self, node: &mut Node, op: TreeMutation, target: usize, seen: &mut usize) -> bool {
+    fn apply_at(
+        &mut self,
+        node: &mut Node,
+        op: TreeMutation,
+        target: usize,
+        seen: &mut usize,
+    ) -> bool {
         if site_matches(node, op) {
             if *seen == target {
                 self.mutate_site(node, op);
@@ -202,9 +208,7 @@ fn site_matches(node: &Node, op: TreeMutation) -> bool {
 fn count_sites(node: &Node, op: TreeMutation) -> usize {
     let own = usize::from(site_matches(node, op));
     own + match node {
-        Node::Alternation(v) | Node::Concatenation(v) => {
-            v.iter().map(|n| count_sites(n, op)).sum()
-        }
+        Node::Alternation(v) | Node::Concatenation(v) => v.iter().map(|n| count_sites(n, op)).sum(),
         Node::Repetition(_, i) | Node::Group(i) | Node::Optional(i) => count_sites(i, op),
         _ => 0,
     }
@@ -242,10 +246,8 @@ mod tests {
         let mut m = TreeMutator::new(42);
         let values = m.malformed_values(&g, "Host", 40);
         assert!(!values.is_empty());
-        let outside = values
-            .iter()
-            .filter(|(v, _)| !matcher::matches(&g, "Host", v).is_match())
-            .count();
+        let outside =
+            values.iter().filter(|(v, _)| !matcher::matches(&g, "Host", v).is_match()).count();
         // Not every mutation leaves the language (duplicating an ALPHA
         // repetition stays inside), but a solid share must.
         assert!(outside * 3 >= values.len(), "{outside}/{} mutants escaped", values.len());

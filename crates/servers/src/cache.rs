@@ -172,7 +172,8 @@ mod tests {
 
     #[test]
     fn disabled_cache_stores_nothing() {
-        let mut c = Cache::new(CacheBehavior { enabled: false, store_errors: true, store_pre11: true });
+        let mut c =
+            Cache::new(CacheBehavior { enabled: false, store_errors: true, store_pre11: true });
         let d = c.store(
             CacheKey::new("h", "/"),
             b"GET",

@@ -7,8 +7,9 @@
 //! runs a request through an arbitrary chain of proxies before the origin,
 //! recording every hop's interpretation.
 
+use crate::fault::{FaultEvent, FaultSession};
 use crate::proxy::{ForwardAction, Proxy, ProxyResult};
-use crate::response_path::{relay_response, RelayAction};
+use crate::response_path::{relay_response_faulted, RelayAction};
 use crate::server::{Server, ServerReply};
 use crate::ParserProfile;
 use hdiff_wire::Response;
@@ -37,6 +38,8 @@ pub struct MultiHopResult {
     /// reply is relayed back through the proxy chain (hop order reversed).
     /// `None` when no hop forwarded anything.
     pub client_response: Option<Response>,
+    /// Faults injected during the run (empty without a fault session).
+    pub faults: Vec<FaultEvent>,
 }
 
 impl MultiHopResult {
@@ -48,10 +51,7 @@ impl MultiHopResult {
             .hops
             .iter()
             .map(|h| {
-                (
-                    h.name.clone(),
-                    h.results.first().and_then(|r| r.interpretation.host.clone()),
-                )
+                (h.name.clone(), h.results.first().and_then(|r| r.interpretation.host.clone()))
             })
             .collect();
         if let Some(reply) = self.origin_replies.first() {
@@ -67,13 +67,26 @@ pub fn run_multihop(
     origin: &ParserProfile,
     bytes: &[u8],
 ) -> MultiHopResult {
+    run_multihop_faulted(proxies, origin, bytes, None)
+}
+
+/// [`run_multihop`] with a fault session threaded through every hop:
+/// request forwarding, the origin's response, and the relay path back to
+/// the client all consult the injector, and every fault that fired is
+/// recorded in [`MultiHopResult::faults`].
+pub fn run_multihop_faulted(
+    proxies: &[ParserProfile],
+    origin: &ParserProfile,
+    bytes: &[u8],
+    faults: Option<&FaultSession<'_>>,
+) -> MultiHopResult {
     let mut hops = Vec::new();
     let mut current = bytes.to_vec();
     let mut rejected_at = None;
 
     for (i, profile) in proxies.iter().enumerate() {
         let proxy = Proxy::new(profile.clone());
-        let results = proxy.forward_stream(&current);
+        let results = proxy.forward_stream_faulted(&current, faults);
         let mut next = Vec::new();
         for r in &results {
             if let ForwardAction::Forwarded(f) = &r.action {
@@ -92,7 +105,7 @@ pub fn run_multihop(
     let origin_replies = if current.is_empty() {
         Vec::new()
     } else {
-        Server::new(origin.clone()).handle_stream(&current)
+        Server::new(origin.clone()).handle_stream_faulted(&current, faults)
     };
 
     // Relay the first response back through the chain, innermost proxy
@@ -103,7 +116,7 @@ pub fn run_multihop(
         let mut bytes = first.response.to_bytes();
         let mut response = first.response.clone();
         for profile in proxies[..reached].iter().rev() {
-            match relay_response(profile, &bytes) {
+            match relay_response_faulted(profile, &bytes, faults) {
                 RelayAction::Relayed(b) => {
                     if let Ok(parsed) = hdiff_wire::parse_response(&b) {
                         response = parsed.into();
@@ -119,7 +132,14 @@ pub fn run_multihop(
         response
     });
 
-    MultiHopResult { hops, rejected_at, origin_replies, origin_bytes: current, client_response }
+    MultiHopResult {
+        hops,
+        rejected_at,
+        origin_replies,
+        origin_bytes: current,
+        client_response,
+        faults: faults.map(|s| s.events()).unwrap_or_default(),
+    }
 }
 
 #[cfg(test)]
@@ -149,14 +169,14 @@ mod tests {
         // Varnish forwards the ambiguous host, but a strict Apache hop in
         // the middle rejects it before it reaches the origin.
         let mut req = Request::builder();
-        req.method(Method::Get).target("/").version(Version::Http11).header("Host", "h1.com@h2.com");
+        req.method(Method::Get)
+            .target("/")
+            .version(Version::Http11)
+            .header("Host", "h1.com@h2.com");
         let bytes = req.build().to_bytes();
 
-        let direct = run_multihop(
-            &[product(ProductId::Varnish)],
-            &product(ProductId::Weblogic),
-            &bytes,
-        );
+        let direct =
+            run_multihop(&[product(ProductId::Varnish)], &product(ProductId::Weblogic), &bytes);
         assert!(direct.rejected_at.is_none());
         assert_eq!(
             direct.origin_replies[0].interpretation.host.as_deref(),
@@ -230,11 +250,7 @@ mod tests {
     #[test]
     fn three_hop_chain_is_supported() {
         let r = run_multihop(
-            &[
-                product(ProductId::Haproxy),
-                product(ProductId::Nginx),
-                product(ProductId::Squid),
-            ],
+            &[product(ProductId::Haproxy), product(ProductId::Nginx), product(ProductId::Squid)],
             &product(ProductId::Iis),
             &Request::get("example.com").to_bytes(),
         );

@@ -131,6 +131,15 @@ fn find_crlf(s: &[u8]) -> Option<usize> {
 
 /// Interprets one request from `input` under `profile`.
 pub fn interpret(profile: &ParserProfile, input: &[u8]) -> Interpretation {
+    // Fault hook: a profile marked `always_panic` models an
+    // implementation that crashes on input — the campaign runner must
+    // catch, quarantine and keep going.
+    assert!(
+        !profile.always_panic,
+        "injected parser panic in {} ({} input bytes)",
+        profile.name,
+        input.len()
+    );
     let Some(line_end) = find_crlf(input) else {
         // HTTP/0.9 simple request: `GET /path\n`? Model strictly: no CRLF
         // at all means an incomplete message.
@@ -255,7 +264,8 @@ pub fn interpret(profile: &ParserProfile, input: &[u8]) -> Interpretation {
     }
     let host = match (&target, &header_host) {
         (t, hh) if t.authority().is_some() => {
-            let uri_host = Authority::parse(t.authority().expect("checked")).host.to_ascii_lowercase();
+            let uri_host =
+                Authority::parse(t.authority().expect("checked")).host.to_ascii_lowercase();
             match profile.abs_uri {
                 AbsUriPolicy::PreferUri => Some(uri_host),
                 AbsUriPolicy::PreferHost => match hh {
@@ -269,9 +279,7 @@ pub fn interpret(profile: &ParserProfile, input: &[u8]) -> Interpretation {
                     Some(v) => {
                         let h = match interpret_host(v, &profile.host_parse) {
                             Ok(h) => h,
-                            Err(e) => {
-                                return Interpretation::reject(400, format!("bad host: {e}"))
-                            }
+                            Err(e) => return Interpretation::reject(400, format!("bad host: {e}")),
                         };
                         if h != uri_host {
                             return Interpretation::reject(400, "host mismatch with absolute-uri");
@@ -488,10 +496,13 @@ fn decide_framing(
                     match ascii::parse_dec_strict(ascii::trim_ows(part)) {
                         Some(v) => vals.push(v),
                         None => {
-                            return Err((400, format!(
-                                "invalid content-length {:?}",
-                                String::from_utf8_lossy(raw)
-                            )));
+                            return Err((
+                                400,
+                                format!(
+                                    "invalid content-length {:?}",
+                                    String::from_utf8_lossy(raw)
+                                ),
+                            ));
                         }
                     }
                 }
@@ -511,10 +522,10 @@ fn decide_framing(
                     v
                 }
                 None => {
-                    return Err((400, format!(
-                        "unparseable content-length {:?}",
-                        String::from_utf8_lossy(raw)
-                    )));
+                    return Err((
+                        400,
+                        format!("unparseable content-length {:?}", String::from_utf8_lossy(raw)),
+                    ));
                 }
             },
         };
@@ -556,11 +567,9 @@ fn decide_framing(
             Err(reason) => match profile.te_recognition {
                 TeRecognition::Strict => return Err((400, reason)),
                 TeRecognition::ChunkedSubstring => {
-                    let has = te_values.iter().any(|v| {
-                        v.to_ascii_lowercase()
-                            .windows(7)
-                            .any(|w| w == b"chunked")
-                    });
+                    let has = te_values
+                        .iter()
+                        .any(|v| v.to_ascii_lowercase().windows(7).any(|w| w == b"chunked"));
                     if has {
                         notes.push("leniently recognized chunked in malformed TE".to_string());
                     }

@@ -27,6 +27,7 @@ pub mod cache;
 pub mod chain;
 pub mod echo;
 pub mod engine;
+pub mod fault;
 pub mod products;
 pub mod profile;
 pub mod proxy;
@@ -34,11 +35,14 @@ pub mod response_path;
 pub mod server;
 
 pub use cache::{Cache, CacheKey, CachePolicy};
-pub use chain::{run_multihop, HopRecord, MultiHopResult};
+pub use chain::{run_multihop, run_multihop_faulted, HopRecord, MultiHopResult};
 pub use echo::EchoServer;
 pub use engine::{interpret, FramingChoice, Interpretation, Outcome};
-pub use products::{backends, products, product, proxies, ProductId};
+pub use fault::{
+    FaultDecision, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSession, FaultStage,
+};
+pub use products::{backends, product, products, proxies, ProductId};
 pub use profile::ParserProfile;
 pub use proxy::{ForwardAction, Proxy, ProxyResult};
 pub use response_path::{relay_response, RelayAction};
-pub use server::{Server, ServerReply};
+pub use server::{Server, ServerReply, ORIGIN_HOP};

@@ -137,10 +137,8 @@ pub fn product(id: ProductId) -> ParserProfile {
             p.chunked_in_10 = Chunked10Policy::Process;
             // Treats NUL bytes inside chunk-data as a framing error
             // (Table II, *NULL in chunk-data*).
-            p.chunk_opts = ChunkedDecodeOptions {
-                reject_nul_in_data: true,
-                ..ChunkedDecodeOptions::strict()
-            };
+            p.chunk_opts =
+                ChunkedDecodeOptions { reject_nul_in_data: true, ..ChunkedDecodeOptions::strict() };
             p.max_header_bytes = 16 * 1024;
         }
         ProductId::Lighttpd => {
@@ -340,7 +338,13 @@ mod tests {
     fn weblogic_answers_http09() {
         let msg = b"GET / HTTP/0.9\r\nHost: h\r\n\r\n";
         assert!(interpret(&product(ProductId::Weblogic), msg).outcome.is_accept());
-        for other in [ProductId::Iis, ProductId::Tomcat, ProductId::Lighttpd, ProductId::Apache, ProductId::Nginx] {
+        for other in [
+            ProductId::Iis,
+            ProductId::Tomcat,
+            ProductId::Lighttpd,
+            ProductId::Apache,
+            ProductId::Nginx,
+        ] {
             assert!(
                 !interpret(&product(other), msg).outcome.is_accept(),
                 "{other} should reject 0.9"

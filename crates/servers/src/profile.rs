@@ -312,6 +312,9 @@ pub struct ParserProfile {
     pub proxy: Option<ProxyBehavior>,
     /// Whether the product works as an origin server (Table I).
     pub server_mode: bool,
+    /// Test knob: panic on every parse, to exercise the campaign
+    /// runner's quarantine path. Never set on product profiles.
+    pub always_panic: bool,
 }
 
 impl ParserProfile {
@@ -344,6 +347,7 @@ impl ParserProfile {
             expect: ExpectPolicy::Strict,
             proxy: None,
             server_mode: true,
+            always_panic: false,
         }
     }
 

@@ -13,6 +13,7 @@ use hdiff_wire::{encode_chunked, Response, StatusCode};
 
 use crate::cache::Cache;
 use crate::engine::{interpret, FramingChoice, Interpretation, Outcome};
+use crate::fault::{FaultKind, FaultSession, FaultStage};
 use crate::profile::{ForwardVersion, ParserProfile, RewriteAbsUri, VersionPolicy};
 
 /// What the proxy did with one parsed message.
@@ -93,17 +94,56 @@ impl Proxy {
     /// Processes a whole connection: consecutive messages, each forwarded
     /// or rejected. Smuggled payloads surface as extra messages here.
     pub fn forward_stream(&self, input: &[u8]) -> Vec<ProxyResult> {
+        self.forward_stream_faulted(input, None)
+    }
+
+    /// [`Proxy::forward_stream`] with a fault hook: each message's
+    /// forwarding consults the session for a Forward-stage fault at this
+    /// hop, which can reset the connection mid-message (prefix forwarded,
+    /// stream dropped), garble the forwarded bytes, or stall the read
+    /// (budget exhaustion, nothing further forwarded).
+    pub fn forward_stream_faulted(
+        &self,
+        input: &[u8],
+        faults: Option<&FaultSession<'_>>,
+    ) -> Vec<ProxyResult> {
         let mut out = Vec::new();
         let mut pos = 0usize;
         for _ in 0..16 {
             if pos >= input.len() {
                 break;
             }
-            let r = self.forward(&input[pos..]);
+            if let Some(session) = faults {
+                if !session.charge(1) {
+                    break; // budget already exhausted upstream
+                }
+            }
+            let mut r = self.forward(&input[pos..]);
             let consumed = r.interpretation.consumed;
             let rejected = matches!(r.action, ForwardAction::Rejected(_));
+            let mut drop_rest = false;
+            if let (Some(session), ForwardAction::Forwarded(bytes)) = (faults, &r.action) {
+                if let Some(decision) = session.decide(&self.profile.name, FaultStage::Forward) {
+                    match decision.kind {
+                        FaultKind::ConnReset => {
+                            let cut = decision.reset_point(bytes.len());
+                            r.action = ForwardAction::Forwarded(bytes[..cut].to_vec());
+                            drop_rest = true;
+                        }
+                        FaultKind::GarbleForward => {
+                            r.action = ForwardAction::Forwarded(decision.garble(bytes));
+                        }
+                        FaultKind::StallRead => {
+                            session.exhaust();
+                            r.action = ForwardAction::Forwarded(Vec::new());
+                            drop_rest = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
             out.push(r);
-            if rejected || consumed == 0 {
+            if rejected || consumed == 0 || drop_rest {
                 break;
             }
             pos += consumed;
@@ -119,29 +159,29 @@ impl Proxy {
 
         // ---- request line -------------------------------------------------
         let target = RequestTarget::classify(&i.target);
-        let (target_bytes, rewritten_host): (Vec<u8>, Option<Vec<u8>>) = match (&target, behavior.rewrite_abs_uri) {
-            (RequestTarget::Absolute { .. }, RewriteAbsUri::Always) => {
-                let origin = target.to_origin_form().expect("absolute form");
-                let host = target
-                    .authority()
-                    .map(|a| Authority::parse(a).host.to_ascii_lowercase());
-                (origin, host)
-            }
-            (RequestTarget::Absolute { .. }, RewriteAbsUri::OnlyHttpScheme) => {
-                if target.is_http_absolute() {
+        let (target_bytes, rewritten_host): (Vec<u8>, Option<Vec<u8>>) =
+            match (&target, behavior.rewrite_abs_uri) {
+                (RequestTarget::Absolute { .. }, RewriteAbsUri::Always) => {
                     let origin = target.to_origin_form().expect("absolute form");
-                    let host = target
-                        .authority()
-                        .map(|a| Authority::parse(a).host.to_ascii_lowercase());
+                    let host =
+                        target.authority().map(|a| Authority::parse(a).host.to_ascii_lowercase());
                     (origin, host)
-                } else {
-                    // Non-http scheme: forwarded transparently — the
-                    // Varnish HoT gap.
-                    (i.target.clone(), None)
                 }
-            }
-            _ => (i.target.clone(), None),
-        };
+                (RequestTarget::Absolute { .. }, RewriteAbsUri::OnlyHttpScheme) => {
+                    if target.is_http_absolute() {
+                        let origin = target.to_origin_form().expect("absolute form");
+                        let host = target
+                            .authority()
+                            .map(|a| Authority::parse(a).host.to_ascii_lowercase());
+                        (origin, host)
+                    } else {
+                        // Non-http scheme: forwarded transparently — the
+                        // Varnish HoT gap.
+                        (i.target.clone(), None)
+                    }
+                }
+                _ => (i.target.clone(), None),
+            };
 
         out.extend_from_slice(&i.method);
         out.push(b' ');
@@ -289,7 +329,9 @@ mod tests {
     fn rejects_bubble_up() {
         let pr = strict_proxy();
         let r = pr.forward(b"GET / HTTP/1.1\r\nHost : h1.com\r\n\r\n");
-        assert!(matches!(r.action, ForwardAction::Rejected(ref resp) if resp.status == StatusCode::BAD_REQUEST));
+        assert!(
+            matches!(r.action, ForwardAction::Rejected(ref resp) if resp.status == StatusCode::BAD_REQUEST)
+        );
     }
 
     #[test]
@@ -332,7 +374,8 @@ mod tests {
     fn expect_stripped_on_get_by_strict_but_forwarded_by_ats_policy() {
         let input = b"GET / HTTP/1.1\r\nHost: h1.com\r\nExpect: 100-continue\r\n\r\n";
         let strict = strict_proxy();
-        let s1 = String::from_utf8_lossy(strict.forward(input).action.forwarded().unwrap()).to_string();
+        let s1 =
+            String::from_utf8_lossy(strict.forward(input).action.forwarded().unwrap()).to_string();
         assert!(!s1.contains("Expect"), "{s1}");
 
         let mut p = ParserProfile::strict("atsish");
@@ -340,7 +383,8 @@ mod tests {
         b.forward_expect_on_get = true;
         p.proxy = Some(b);
         let ats = Proxy::new(p);
-        let s2 = String::from_utf8_lossy(ats.forward(input).action.forwarded().unwrap()).to_string();
+        let s2 =
+            String::from_utf8_lossy(ats.forward(input).action.forwarded().unwrap()).to_string();
         assert!(s2.contains("Expect: 100-continue"), "{s2}");
     }
 
@@ -376,7 +420,11 @@ mod tests {
         let pr = Proxy::new(p);
         let r = pr.forward(b"GET / HTTP/1.1\r\nHost: h1.com\r\n\x0bHost: h2.com\r\n\r\n");
         let bytes = r.action.forwarded().unwrap();
-        assert!(bytes.windows(14).any(|w| w == b"\x0bHost: h2.com\r"), "{:?}", String::from_utf8_lossy(bytes));
+        assert!(
+            bytes.windows(14).any(|w| w == b"\x0bHost: h2.com\r"),
+            "{:?}",
+            String::from_utf8_lossy(bytes)
+        );
     }
 
     #[test]
@@ -396,7 +444,8 @@ mod tests {
         b2.normalize_ws_colon = false;
         p2.proxy = Some(b2);
         let pr2 = Proxy::new(p2);
-        let s2 = String::from_utf8_lossy(pr2.forward(input).action.forwarded().unwrap()).to_string();
+        let s2 =
+            String::from_utf8_lossy(pr2.forward(input).action.forwarded().unwrap()).to_string();
         assert!(s2.contains("Content-Length : 3"), "{s2}");
     }
 

@@ -15,6 +15,7 @@ use hdiff_wire::header::HeaderField;
 use hdiff_wire::{Response, StatusCode};
 
 use crate::engine::{ClassifiedHeader, FramingChoice};
+use crate::fault::{FaultKind, FaultSession, FaultStage};
 use crate::profile::{NamePolicy, ObsFoldPolicy, ParserProfile, WsColonPolicy};
 
 /// How a response was handled on the relay path.
@@ -39,6 +40,46 @@ impl RelayAction {
 
 fn find_crlf(s: &[u8]) -> Option<usize> {
     s.windows(2).position(|w| w == b"\r\n")
+}
+
+/// [`relay_response`] with a fault hook: a Relay-stage fault at this hop
+/// corrupts what the hop sends downstream — the relayed bytes get reset
+/// mid-stream (prefix only), truncated, or garbled. A `Replaced` action
+/// is the hop's own locally-generated response and is not subject to
+/// forwarding faults.
+pub fn relay_response_faulted(
+    profile: &ParserProfile,
+    input: &[u8],
+    faults: Option<&FaultSession<'_>>,
+) -> RelayAction {
+    if let Some(session) = faults {
+        session.charge(1);
+    }
+    let action = relay_response(profile, input);
+    let Some(decision) = faults.and_then(|s| s.decide(&profile.name, FaultStage::Relay)) else {
+        return action;
+    };
+    match action {
+        RelayAction::Relayed(bytes) => {
+            let damaged = match decision.kind {
+                FaultKind::ConnReset => bytes[..decision.reset_point(bytes.len())].to_vec(),
+                FaultKind::TruncateResponse => {
+                    // Cut half of the body, keeping the header section so
+                    // the next hop sees a framing-vs-payload mismatch.
+                    let body_start = bytes
+                        .windows(4)
+                        .position(|w| w == b"\r\n\r\n")
+                        .map_or(bytes.len(), |p| p + 4);
+                    let body_len = bytes.len() - body_start;
+                    bytes[..body_start + body_len / 2].to_vec()
+                }
+                FaultKind::GarbleForward => decision.garble(&bytes),
+                _ => bytes,
+            };
+            RelayAction::Relayed(damaged)
+        }
+        replaced => replaced,
+    }
 }
 
 /// Interprets a raw response under `profile` and decides the relay action
@@ -161,8 +202,11 @@ pub fn relay_response(profile: &ParserProfile, input: &[u8]) -> RelayAction {
     for h in &headers {
         let skip = matches!(
             h.canon.as_deref(),
-            Some("connection") | Some("keep-alive") | Some("transfer-encoding")
-                | Some("content-length") | Some("proxy-authenticate")
+            Some("connection")
+                | Some("keep-alive")
+                | Some("transfer-encoding")
+                | Some("content-length")
+                | Some("proxy-authenticate")
         );
         if skip {
             continue;
@@ -213,7 +257,10 @@ mod tests {
     #[test]
     fn clean_response_is_relayed_with_via() {
         let p = product(ProductId::Apache);
-        let action = relay_response(&p, b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 2\r\n\r\nhi");
+        let action = relay_response(
+            &p,
+            b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 2\r\n\r\nhi",
+        );
         let bytes = action.relayed().expect("relayed");
         let s = String::from_utf8_lossy(bytes);
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
@@ -225,10 +272,8 @@ mod tests {
     fn obs_fold_response_becomes_502_under_the_rfc_must() {
         // "MUST either discard the message and replace it with a 502 …"
         let p = ParserProfile::strict("strictproxy");
-        let action = relay_response(
-            &p,
-            b"HTTP/1.1 200 OK\r\nX-Meta: a\r\n b\r\nContent-Length: 0\r\n\r\n",
-        );
+        let action =
+            relay_response(&p, b"HTTP/1.1 200 OK\r\nX-Meta: a\r\n b\r\nContent-Length: 0\r\n\r\n");
         match action {
             RelayAction::Replaced(r) => assert_eq!(r.status, StatusCode::BAD_GATEWAY),
             other => panic!("{other:?}"),
@@ -240,10 +285,8 @@ mod tests {
         // "… or replace each received obs-fold with one or more SP octets".
         let mut p = ParserProfile::strict("lenientproxy");
         p.obs_fold = ObsFoldPolicy::MergeSp;
-        let action = relay_response(
-            &p,
-            b"HTTP/1.1 200 OK\r\nX-Meta: a\r\n b\r\nContent-Length: 0\r\n\r\n",
-        );
+        let action =
+            relay_response(&p, b"HTTP/1.1 200 OK\r\nX-Meta: a\r\n b\r\nContent-Length: 0\r\n\r\n");
         let bytes = action.relayed().expect("relayed");
         assert!(
             String::from_utf8_lossy(bytes).contains("X-Meta: a b"),
@@ -257,10 +300,8 @@ mod tests {
         // §3.2.4: "A proxy MUST remove any such whitespace from a response
         // message before forwarding the message downstream."
         let p = product(ProductId::Apache);
-        let action = relay_response(
-            &p,
-            b"HTTP/1.1 200 OK\r\nX-Info : v\r\nContent-Length: 0\r\n\r\n",
-        );
+        let action =
+            relay_response(&p, b"HTTP/1.1 200 OK\r\nX-Info : v\r\nContent-Length: 0\r\n\r\n");
         let bytes = action.relayed().expect("relayed");
         let s = String::from_utf8_lossy(bytes);
         assert!(s.contains("x-info: v"), "{s}");
@@ -286,7 +327,9 @@ mod tests {
         let p = product(ProductId::Squid);
         for bad in [&b"garbage\r\n\r\n"[..], b"HTTP/1.1 2x0 OK\r\n\r\n", b"no crlf at all"] {
             let action = relay_response(&p, bad);
-            assert!(matches!(action, RelayAction::Replaced(ref r) if r.status == StatusCode::BAD_GATEWAY));
+            assert!(
+                matches!(action, RelayAction::Replaced(ref r) if r.status == StatusCode::BAD_GATEWAY)
+            );
         }
     }
 

@@ -5,7 +5,14 @@
 use hdiff_wire::{Response, StatusCode};
 
 use crate::engine::{interpret, Interpretation, Outcome};
+use crate::fault::{FaultKind, FaultSession, FaultStage};
 use crate::profile::ParserProfile;
+
+/// The hop name under which origin-side faults are decided. One constant
+/// for every back-end, so every proxy chain of the same case sees the
+/// *same* injected origin fault — the precondition for comparing their
+/// reactions.
+pub const ORIGIN_HOP: &str = "origin";
 
 /// One request's worth of server output.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,15 +52,57 @@ impl Server {
     /// messages until a reject, exhaustion, or the safety cap. This is
     /// where a smuggled second request becomes visible.
     pub fn handle_stream(&self, input: &[u8]) -> Vec<ServerReply> {
+        self.handle_stream_faulted(input, None)
+    }
+
+    /// [`Server::handle_stream`] with a fault hook. An origin-stage fault
+    /// (decided once per case under the [`ORIGIN_HOP`] key, so it is
+    /// identical for every back-end and every proxy chain of the case)
+    /// can reset the connection before any reply, stall the read, answer
+    /// with a transient 503, or truncate the response body.
+    pub fn handle_stream_faulted(
+        &self,
+        input: &[u8],
+        faults: Option<&FaultSession<'_>>,
+    ) -> Vec<ServerReply> {
+        let fault = faults.and_then(|s| s.decide(ORIGIN_HOP, FaultStage::OriginRespond));
+        match fault.map(|d| d.kind) {
+            Some(FaultKind::ConnReset) => return Vec::new(),
+            Some(FaultKind::StallRead) => {
+                faults.expect("decision implies session").exhaust();
+                return Vec::new();
+            }
+            _ => {}
+        }
         let mut replies = Vec::new();
         let mut pos = 0usize;
         for _ in 0..16 {
             if pos >= input.len() {
                 break;
             }
-            let reply = self.handle(&input[pos..]);
+            if let Some(session) = faults {
+                if !session.charge(1) {
+                    break;
+                }
+            }
+            let mut reply = self.handle(&input[pos..]);
             let consumed = reply.interpretation.consumed;
             let rejected = !reply.interpretation.outcome.is_accept();
+            match fault.map(|d| d.kind) {
+                Some(FaultKind::Transient5xx) => {
+                    let mut r = Response::with_body(
+                        StatusCode(503),
+                        "injected transient upstream error".to_string(),
+                    );
+                    r.headers.push("Server", self.profile.name.clone());
+                    reply.response = r;
+                }
+                Some(FaultKind::TruncateResponse) => {
+                    let keep = reply.response.body.len() / 2;
+                    reply.response.body.truncate(keep);
+                }
+                _ => {}
+            }
             replies.push(reply);
             if rejected || consumed == 0 {
                 break; // connection closes on error
@@ -120,9 +169,8 @@ mod tests {
     #[test]
     fn pipelined_stream_splits_messages() {
         let s = Server::new(ParserProfile::strict("base"));
-        let replies = s.handle_stream(
-            b"GET /a HTTP/1.1\r\nHost: h\r\n\r\nGET /b HTTP/1.1\r\nHost: h\r\n\r\n",
-        );
+        let replies = s
+            .handle_stream(b"GET /a HTTP/1.1\r\nHost: h\r\n\r\nGET /b HTTP/1.1\r\nHost: h\r\n\r\n");
         assert_eq!(replies.len(), 2);
         assert_eq!(replies[0].interpretation.target, b"/a");
         assert_eq!(replies[1].interpretation.target, b"/b");

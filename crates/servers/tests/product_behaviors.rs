@@ -56,7 +56,7 @@ fn expected(product: ProductId, payload: &str) -> u16 {
         // strict TE together with CL is rejected.
         (_, "junk-te-with-cl") => 400,
 
-        (Tomcat, "chunked-10") => 200,  // TE ignored under 1.0
+        (Tomcat, "chunked-10") => 200, // TE ignored under 1.0
         (Weblogic | Haproxy, "chunked-10") => 200, // processed
         (_, "chunked-10") => 400,
 
@@ -111,10 +111,10 @@ fn host_views_on_ambiguous_payloads() {
     // Host identities, not just statuses, are part of the behavioral lock.
     let at_host = b"GET / HTTP/1.1\r\nHost: h1.com@h2.com\r\n\r\n";
     let cases: &[(ProductId, &[u8])] = &[
-        (ProductId::Weblogic, b"h2.com"),          // RFC-style resolution
-        (ProductId::Varnish, b"h1.com@h2.com"),    // transparent
-        (ProductId::Haproxy, b"h1.com@h2.com"),    // transparent
-        (ProductId::Nginx, b"h1.com@h2.com"),      // transparent
+        (ProductId::Weblogic, b"h2.com"),       // RFC-style resolution
+        (ProductId::Varnish, b"h1.com@h2.com"), // transparent
+        (ProductId::Haproxy, b"h1.com@h2.com"), // transparent
+        (ProductId::Nginx, b"h1.com@h2.com"),   // transparent
     ];
     for (id, want) in cases {
         let i = interpret(&product(*id), at_host);
@@ -122,7 +122,16 @@ fn host_views_on_ambiguous_payloads() {
     }
 
     let multi = b"GET / HTTP/1.1\r\nHost: h1.com\r\nHost: h2.com\r\n\r\n";
-    assert_eq!(interpret(&product(ProductId::Weblogic), multi).host.as_deref(), Some(&b"h2.com"[..]));
-    assert_eq!(interpret(&product(ProductId::Varnish), multi).host.as_deref(), Some(&b"h1.com"[..]));
-    assert_eq!(interpret(&product(ProductId::Haproxy), multi).host.as_deref(), Some(&b"h1.com"[..]));
+    assert_eq!(
+        interpret(&product(ProductId::Weblogic), multi).host.as_deref(),
+        Some(&b"h2.com"[..])
+    );
+    assert_eq!(
+        interpret(&product(ProductId::Varnish), multi).host.as_deref(),
+        Some(&b"h1.com"[..])
+    );
+    assert_eq!(
+        interpret(&product(ProductId::Haproxy), multi).host.as_deref(),
+        Some(&b"h1.com"[..])
+    );
 }

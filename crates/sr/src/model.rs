@@ -5,7 +5,9 @@ use std::fmt;
 /// The protocol roles HTTP requirements are placed on (RFC 7230 §2.5 names
 /// ten: senders, recipients, clients, servers, user agents, intermediaries,
 /// origin servers, proxies, gateways, caches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Role {
     /// Any party generating a message.
     Sender,

@@ -84,37 +84,25 @@ impl SemanticDefinitions {
     /// The checkable expectation for a role action.
     pub fn expectation(&self, action: &RoleAction) -> Expectation {
         match action {
-            RoleAction::Respond(code) => Expectation {
-                allowed_status: vec![*code],
-                ..Expectation::none()
-            },
-            RoleAction::Reject => Expectation {
-                allowed_status: (400..=431).collect(),
-                ..Expectation::none()
-            },
-            RoleAction::Accept => Expectation {
-                allowed_status: vec![200, 201, 204, 206],
-                ..Expectation::none()
-            },
+            RoleAction::Respond(code) => {
+                Expectation { allowed_status: vec![*code], ..Expectation::none() }
+            }
+            RoleAction::Reject => {
+                Expectation { allowed_status: (400..=431).collect(), ..Expectation::none() }
+            }
+            RoleAction::Accept => {
+                Expectation { allowed_status: vec![200, 201, 204, 206], ..Expectation::none() }
+            }
             RoleAction::Ignore => Expectation {
                 must_ignore_field: true,
                 allowed_status: vec![200, 201, 204, 206],
                 ..Expectation::none()
             },
-            RoleAction::CloseConnection => Expectation {
-                must_close: true,
-                ..Expectation::none()
-            },
+            RoleAction::CloseConnection => Expectation { must_close: true, ..Expectation::none() },
             RoleAction::Forward => Expectation::none(),
-            RoleAction::NotForward => Expectation {
-                must_not_forward: true,
-                ..Expectation::none()
-            },
+            RoleAction::NotForward => Expectation { must_not_forward: true, ..Expectation::none() },
             RoleAction::RemoveField(_) | RoleAction::ReplaceField(_) => Expectation::none(),
-            RoleAction::NotCache => Expectation {
-                must_not_cache: true,
-                ..Expectation::none()
-            },
+            RoleAction::NotCache => Expectation { must_not_cache: true, ..Expectation::none() },
             // A sender-side prohibition carries no recipient expectation;
             // the translator still generates the violating shape as a
             // differential seed.

@@ -11,10 +11,23 @@
 /// assert!(!hdiff_wire::ascii::is_tchar(b':'));
 /// ```
 pub fn is_tchar(b: u8) -> bool {
-    matches!(b,
-        b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.' |
-        b'^' | b'_' | b'`' | b'|' | b'~')
-        || b.is_ascii_alphanumeric()
+    matches!(
+        b,
+        b'!' | b'#'
+            | b'$'
+            | b'%'
+            | b'&'
+            | b'\''
+            | b'*'
+            | b'+'
+            | b'-'
+            | b'.'
+            | b'^'
+            | b'_'
+            | b'`'
+            | b'|'
+            | b'~'
+    ) || b.is_ascii_alphanumeric()
 }
 
 /// Returns `true` if every byte of `s` is a `tchar` and `s` is non-empty.

@@ -272,10 +272,7 @@ mod tests {
 
     #[test]
     fn encode_multi_chunk() {
-        assert_eq!(
-            encode_chunked_with(b"abcdef", 4),
-            b"4\r\nabcd\r\n2\r\nef\r\n0\r\n\r\n"
-        );
+        assert_eq!(encode_chunked_with(b"abcdef", 4), b"4\r\nabcd\r\n2\r\nef\r\n0\r\n\r\n");
     }
 
     #[test]
@@ -292,19 +289,18 @@ mod tests {
 
     #[test]
     fn chunk_extension_is_ignored() {
-        let dec = decode_chunked(b"3;name=val\r\nabc\r\n0\r\n\r\n", &ChunkedDecodeOptions::strict())
-            .unwrap();
+        let dec =
+            decode_chunked(b"3;name=val\r\nabc\r\n0\r\n\r\n", &ChunkedDecodeOptions::strict())
+                .unwrap();
         assert_eq!(dec.payload, b"abc");
         assert!(!dec.repaired);
     }
 
     #[test]
     fn trailer_headers_are_consumed() {
-        let dec = decode_chunked(
-            b"1\r\nx\r\n0\r\nX-Trailer: 1\r\n\r\n",
-            &ChunkedDecodeOptions::strict(),
-        )
-        .unwrap();
+        let dec =
+            decode_chunked(b"1\r\nx\r\n0\r\nX-Trailer: 1\r\n\r\n", &ChunkedDecodeOptions::strict())
+                .unwrap();
         assert_eq!(dec.payload, b"x");
     }
 
@@ -360,10 +356,8 @@ mod tests {
             decode_chunked(body, &ChunkedDecodeOptions::strict()).unwrap().payload,
             b"a\x00c"
         );
-        let nul_reject = ChunkedDecodeOptions {
-            reject_nul_in_data: true,
-            ..ChunkedDecodeOptions::strict()
-        };
+        let nul_reject =
+            ChunkedDecodeOptions { reject_nul_in_data: true, ..ChunkedDecodeOptions::strict() };
         assert_eq!(decode_chunked(body, &nul_reject).unwrap_err(), ChunkedError::NulInData);
     }
 
@@ -373,10 +367,7 @@ mod tests {
         assert_eq!(decode_chunked(b"5\r\nab", &opts).unwrap_err(), ChunkedError::Truncated);
         assert_eq!(decode_chunked(b"5", &opts).unwrap_err(), ChunkedError::Truncated);
         assert_eq!(decode_chunked(b"", &opts).unwrap_err(), ChunkedError::Truncated);
-        assert_eq!(
-            decode_chunked(b"2\r\nabXX", &opts).unwrap_err(),
-            ChunkedError::MissingDataCrlf
-        );
+        assert_eq!(decode_chunked(b"2\r\nabXX", &opts).unwrap_err(), ChunkedError::MissingDataCrlf);
     }
 
     #[test]

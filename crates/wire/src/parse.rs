@@ -82,7 +82,9 @@ impl fmt::Display for ParseError {
             ParseError::MalformedRequestLine(l) => {
                 write!(f, "malformed request line {:?}", ascii::escape_bytes(l))
             }
-            ParseError::InvalidMethod(m) => write!(f, "invalid method {:?}", ascii::escape_bytes(m)),
+            ParseError::InvalidMethod(m) => {
+                write!(f, "invalid method {:?}", ascii::escape_bytes(m))
+            }
             ParseError::InvalidVersion(v) => {
                 write!(f, "invalid http version {:?}", ascii::escape_bytes(v))
             }
@@ -95,7 +97,9 @@ impl fmt::Display for ParseError {
             ParseError::ObsFold => f.write_str("obsolete line folding"),
             ParseError::MissingHost => f.write_str("http/1.1 request without host header"),
             ParseError::MultipleHost => f.write_str("multiple host headers"),
-            ParseError::InvalidHost(h) => write!(f, "invalid host value {:?}", ascii::escape_bytes(h)),
+            ParseError::InvalidHost(h) => {
+                write!(f, "invalid host value {:?}", ascii::escape_bytes(h))
+            }
             ParseError::InvalidContentLength(v) => {
                 write!(f, "invalid content-length {:?}", ascii::escape_bytes(v))
             }
@@ -190,10 +194,8 @@ impl From<ParsedResponse> for Response {
 
 fn find_line(input: &[u8], pos: usize) -> Result<(usize, usize), ParseError> {
     // Returns (line_end_exclusive, next_pos). Strict: requires CRLF.
-    let rel = input[pos..]
-        .windows(2)
-        .position(|w| w == b"\r\n")
-        .ok_or(ParseError::UnexpectedEof)?;
+    let rel =
+        input[pos..].windows(2).position(|w| w == b"\r\n").ok_or(ParseError::UnexpectedEof)?;
     Ok((pos + rel, pos + rel + 2))
 }
 
@@ -302,7 +304,10 @@ fn determine_framing(headers: &Headers) -> Result<Framing, ParseError> {
             return Err(ParseError::NonFinalChunked(Vec::new()));
         }
         for c in &codings {
-            if !matches!(c.as_slice(), b"chunked" | b"gzip" | b"deflate" | b"compress" | b"identity") {
+            if !matches!(
+                c.as_slice(),
+                b"chunked" | b"gzip" | b"deflate" | b"compress" | b"identity"
+            ) {
                 return Err(ParseError::UnknownTransferCoding(c.clone()));
             }
         }
@@ -350,7 +355,10 @@ fn read_body(input: &[u8], pos: usize, framing: Framing) -> Result<(Vec<u8>, usi
                 available: input.len() - pos,
             })?;
             if input.len() - pos < n_usize {
-                return Err(ParseError::BodyTruncated { declared: n, available: input.len() - pos });
+                return Err(ParseError::BodyTruncated {
+                    declared: n,
+                    available: input.len() - pos,
+                });
             }
             Ok((input[pos..pos + n_usize].to_vec(), pos + n_usize))
         }
@@ -382,9 +390,7 @@ pub fn parse_response(input: &[u8]) -> Result<ParsedResponse, ParseError> {
     if status_b.len() != 3 || !status_b.iter().all(u8::is_ascii_digit) {
         return Err(ParseError::MalformedRequestLine(line.to_vec()));
     }
-    let status = StatusCode(
-        status_b.iter().fold(0u16, |acc, &b| acc * 10 + u16::from(b - b'0')),
-    );
+    let status = StatusCode(status_b.iter().fold(0u16, |acc, &b| acc * 10 + u16::from(b - b'0')));
 
     let mut headers = Headers::new();
     loop {
@@ -434,7 +440,10 @@ mod tests {
         assert_eq!(p.body, b"hello");
         assert_eq!(p.framing, Framing::ContentLength(5));
         // EXTRA is pipelined data, not part of this message.
-        assert_eq!(p.consumed, b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello".len());
+        assert_eq!(
+            p.consumed,
+            b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello".len()
+        );
     }
 
     #[test]
@@ -460,8 +469,9 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_differing_cl() {
-        let e = req(b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 10\r\nContent-Length: 0\r\n\r\n")
-            .unwrap_err();
+        let e =
+            req(b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 10\r\nContent-Length: 0\r\n\r\n")
+                .unwrap_err();
         assert!(matches!(e, ParseError::InvalidContentLength(_)));
     }
 
@@ -478,10 +488,7 @@ mod tests {
             let mut m = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: ".to_vec();
             m.extend_from_slice(v);
             m.extend_from_slice(b"\r\n\r\n");
-            assert!(
-                matches!(req(&m).unwrap_err(), ParseError::InvalidContentLength(_)),
-                "{v:?}"
-            );
+            assert!(matches!(req(&m).unwrap_err(), ParseError::InvalidContentLength(_)), "{v:?}");
         }
     }
 
@@ -586,8 +593,10 @@ mod tests {
 
     #[test]
     fn response_chunked() {
-        let r = parse_response(b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nhi\r\n0\r\n\r\n")
-            .unwrap();
+        let r = parse_response(
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nhi\r\n0\r\n\r\n",
+        )
+        .unwrap();
         assert_eq!(r.body, b"hi");
     }
 

@@ -101,7 +101,8 @@ impl Request {
         if let Some(raw) = &self.raw_request_line {
             return raw.clone();
         }
-        let mut line = Vec::with_capacity(self.method.len() + self.target.len() + self.version.len() + 2);
+        let mut line =
+            Vec::with_capacity(self.method.len() + self.target.len() + self.version.len() + 2);
         line.extend_from_slice(&self.method);
         line.push(b' ');
         line.extend_from_slice(&self.target);

@@ -130,7 +130,10 @@ fn is_scheme(s: &[u8]) -> bool {
 }
 
 fn looks_like_host(s: &[u8]) -> bool {
-    !s.is_empty() && s.iter().all(|&b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'-' | b'_' | b'[' | b']' | b':'))
+    !s.is_empty()
+        && s.iter().all(|&b| {
+            b.is_ascii_alphanumeric() || matches!(b, b'.' | b'-' | b'_' | b'[' | b']' | b':')
+        })
 }
 
 /// A parsed authority: `[userinfo@]host[:port]`.
@@ -374,9 +377,7 @@ pub fn is_strict_uri_host(s: &[u8]) -> bool {
     }
     if s.first() == Some(&b'[') {
         return s.last() == Some(&b']')
-            && s[1..s.len() - 1]
-                .iter()
-                .all(|&b| b.is_ascii_hexdigit() || b == b':' || b == b'.');
+            && s[1..s.len() - 1].iter().all(|&b| b.is_ascii_hexdigit() || b == b':' || b == b'.');
     }
     let mut i = 0;
     while i < s.len() {
@@ -392,7 +393,10 @@ pub fn is_strict_uri_host(s: &[u8]) -> bool {
             continue;
         }
         let unreserved = b.is_ascii_alphanumeric() || matches!(b, b'-' | b'.' | b'_' | b'~');
-        let sub_delim = matches!(b, b'!' | b'$' | b'&' | b'\'' | b'(' | b')' | b'*' | b'+' | b',' | b';' | b'=');
+        let sub_delim = matches!(
+            b,
+            b'!' | b'$' | b'&' | b'\'' | b'(' | b')' | b'*' | b'+' | b',' | b';' | b'='
+        );
         if !(unreserved || sub_delim) {
             return false;
         }
@@ -440,10 +444,7 @@ mod tests {
     #[test]
     fn classify_authority_and_asterisk() {
         assert_eq!(RequestTarget::classify(b"*"), RequestTarget::Asterisk);
-        assert!(matches!(
-            RequestTarget::classify(b"example.com:443"),
-            RequestTarget::Authority(_)
-        ));
+        assert!(matches!(RequestTarget::classify(b"example.com:443"), RequestTarget::Authority(_)));
         assert!(matches!(RequestTarget::classify(b"h2.com"), RequestTarget::Authority(_)));
     }
 

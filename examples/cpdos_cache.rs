@@ -24,15 +24,9 @@ fn main() {
     let backend = Server::new(product(ProductId::Apache));
 
     let result = proxy.forward(&attack_bytes);
-    let forwarded = result
-        .action
-        .forwarded()
-        .expect("nginx accepts and repairs the bad version")
-        .to_vec();
-    println!(
-        "nginx repairs and forwards:\n  {}\n",
-        hdiff::wire::ascii::escape_bytes(&forwarded)
-    );
+    let forwarded =
+        result.action.forwarded().expect("nginx accepts and repairs the bad version").to_vec();
+    println!("nginx repairs and forwards:\n  {}\n", hdiff::wire::ascii::escape_bytes(&forwarded));
 
     let reply = backend.handle(&forwarded);
     println!(
@@ -57,7 +51,8 @@ fn main() {
 
     // An innocent user now asks for the same resource.
     let innocent = Request::get("victim.com");
-    let innocent_interp = hdiff::servers::interpret(&product(ProductId::Nginx), &innocent.to_bytes());
+    let innocent_interp =
+        hdiff::servers::interpret(&product(ProductId::Nginx), &innocent.to_bytes());
     let innocent_key = CacheKey::new(
         innocent_interp.host.clone().unwrap_or_default(),
         innocent_interp.target.clone(),
@@ -73,8 +68,5 @@ fn main() {
         None => println!("\ncache miss — no poisoning (unexpected)"),
     }
 
-    println!(
-        "\npoisoned entries in the nginx cache: {}",
-        proxy.cache.poisoned_entries().len()
-    );
+    println!("\npoisoned entries in the nginx cache: {}", proxy.cache.poisoned_entries().len());
 }

@@ -16,9 +16,7 @@ fn host_of(profile: &hdiff::servers::ParserProfile, bytes: &[u8]) -> String {
     if !i.outcome.is_accept() {
         return format!("({})", i.outcome.status());
     }
-    i.host
-        .map(|h| String::from_utf8_lossy(&h).into_owned())
-        .unwrap_or_else(|| "-".to_string())
+    i.host.map(|h| String::from_utf8_lossy(&h).into_owned()).unwrap_or_else(|| "-".to_string())
 }
 
 fn main() {

@@ -16,11 +16,42 @@ use std::process::ExitCode;
 use hdiff::report;
 use hdiff::{HDiff, HdiffConfig};
 
+/// Reads the value of a `--flag N` pair, reporting parse failures.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let Some(raw) = args.get(i + 1) else {
+        return Err(format!("{flag} needs a value"));
+    };
+    raw.parse::<T>().map(Some).map_err(|_| format!("{flag}: invalid value {raw:?}"))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("run");
     let quick = args.iter().any(|a| a == "--quick");
-    let config = if quick { HdiffConfig::quick() } else { HdiffConfig::full() };
+    let mut config = if quick { HdiffConfig::quick() } else { HdiffConfig::full() };
+    match flag_value::<usize>(&args, "--threads") {
+        Ok(Some(n)) => config.threads = n,
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match flag_value::<u8>(&args, "--fault-rate") {
+        Ok(Some(pct)) if pct <= 100 => config.fault_rate = pct,
+        Ok(Some(pct)) => {
+            eprintln!("--fault-rate: {pct} is not a percentage");
+            return ExitCode::FAILURE;
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     match command {
         "run" => {
@@ -28,6 +59,7 @@ fn main() -> ExitCode {
             println!("{}", report::render_stats(&r));
             println!("{}", report::render_table1(&r.summary));
             println!("{}", report::render_figure7(&r.summary));
+            println!("{}", report::render_resilience(&r.summary));
             ExitCode::SUCCESS
         }
         "stats" => {
@@ -98,6 +130,10 @@ fn main() -> ExitCode {
 fn print_help() {
     println!(
         "hdiff — semantic gap attack discovery (DSN 2022 reproduction)\n\n\
+         options (any command):\n\
+         \x20 --quick          small corpus for fast runs\n\
+         \x20 --threads N      worker threads (0 = one per core)\n\
+         \x20 --fault-rate N   inject faults into N% of hop decisions\n\n\
          commands:\n\
          \x20 run [--quick]    full pipeline: stats, Table I, Figure 7\n\
          \x20 stats            corpus/extraction statistics\n\
@@ -117,10 +153,7 @@ fn probe(bytes: &[u8]) {
 
     println!("request ({} bytes):", bytes.len());
     println!("  {}\n", ascii::escape_bytes(bytes));
-    println!(
-        "{:<12} {:<7} {:<22} {:<26} notes",
-        "product", "status", "host", "framing"
-    );
+    println!("{:<12} {:<7} {:<22} {:<26} notes", "product", "status", "host", "framing");
     let mut profiles = vec![ParserProfile::strict("baseline")];
     profiles.extend(hdiff::servers::products());
     for p in profiles {
@@ -129,10 +162,7 @@ fn probe(bytes: &[u8]) {
             "{:<12} {:<7} {:<22} {:<26} {}",
             p.name,
             i.outcome.status(),
-            i.host
-                .as_deref()
-                .map(ascii::escape_bytes)
-                .unwrap_or_else(|| "-".into()),
+            i.host.as_deref().map(ascii::escape_bytes).unwrap_or_else(|| "-".into()),
             format!("{:?}", i.framing),
             i.notes.join("; "),
         );

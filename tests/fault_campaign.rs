@@ -1,0 +1,132 @@
+//! Fault-injection campaign acceptance: a corpus run against an
+//! environment containing an always-panicking profile, under a 20% fault
+//! plan, must run to completion — quarantining the panicking cases,
+//! retrying transient faults, reporting typed errors — and a campaign
+//! killed at a checkpoint must resume to the identical summary.
+
+use std::sync::Once;
+
+use hdiff::diff::DiffEngine;
+use hdiff::gen::{catalog, Origin, TestCase};
+use hdiff::servers::fault::FaultPlan;
+use hdiff::servers::ParserProfile;
+
+/// Silences the panic hook for the *injected* parser panics only: the
+/// campaign triggers hundreds of them deliberately and the spew would
+/// drown the test output. Genuine panics (failed assertions included)
+/// still reach the default hook; `catch_unwind` observes every payload
+/// either way.
+fn quiet_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected parser panic"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+fn catalog_cases() -> Vec<TestCase> {
+    let mut out = Vec::new();
+    let mut uuid = 1u64;
+    for entry in catalog::catalog() {
+        for (req, note) in &entry.requests {
+            out.push(TestCase {
+                uuid,
+                request: req.clone(),
+                assertions: Vec::new(),
+                origin: Origin::Catalog(entry.id.to_string()),
+                note: note.clone(),
+            });
+            uuid += 1;
+        }
+    }
+    out
+}
+
+/// The standard environment plus one back-end whose parser panics on
+/// every input — the crash-prone implementation the runner must survive.
+fn hostile_engine(seed: u64) -> DiffEngine {
+    let mut crasher = ParserProfile::strict("crashd");
+    crasher.always_panic = true;
+    let mut backends = hdiff::servers::backends();
+    backends.push(crasher);
+    let mut engine = DiffEngine::new(hdiff::servers::proxies(), backends);
+    engine.fault_plan = FaultPlan::new(seed, 20);
+    engine
+}
+
+#[test]
+fn campaign_with_panicking_profile_completes_with_quarantine_and_retries() {
+    quiet_panics();
+    let cases = catalog_cases();
+    let engine = hostile_engine(0xca);
+    let summary = engine.run(&cases);
+
+    assert_eq!(summary.cases, cases.len(), "every case is accounted for");
+    assert!(!summary.quarantined.is_empty(), "panicking cases are quarantined");
+    assert!(summary.errors > 0, "panics and persistent faults surface as typed errors");
+    assert!(summary.retries > 0, "transient origin faults are retried");
+    // Quarantined uuids are real corpus members, recorded in order.
+    for w in summary.quarantined.windows(2) {
+        assert!(w[0] < w[1]);
+    }
+    for uuid in &summary.quarantined {
+        assert!(cases.iter().any(|c| c.uuid == *uuid));
+    }
+}
+
+#[test]
+fn killed_campaign_resumes_to_the_identical_summary() {
+    quiet_panics();
+    let cases = catalog_cases();
+    let dir = std::env::temp_dir().join("hdiff-fault-campaign");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("resume.json");
+    std::fs::remove_file(&ckpt).ok();
+
+    // The reference: one uninterrupted run.
+    let uninterrupted = hostile_engine(0xca).run(&cases);
+
+    // The drill: die after the first checkpoint interval…
+    let mut killed = hostile_engine(0xca);
+    killed.checkpoint_every = 5;
+    killed.stop_after_chunks = Some(1);
+    let partial = killed.run_with_checkpoint(&cases, &ckpt).unwrap();
+    assert!(partial.cases < cases.len(), "the kill left work undone");
+    assert!(ckpt.exists(), "progress was persisted before the kill");
+
+    // …then restart and converge.
+    let mut resumed_engine = hostile_engine(0xca);
+    resumed_engine.checkpoint_every = 5;
+    let resumed = resumed_engine.run_with_checkpoint(&cases, &ckpt).unwrap();
+    assert_eq!(resumed, uninterrupted, "resume converges to the uninterrupted summary");
+
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fault_free_run_matches_between_plain_and_checkpointed_execution() {
+    let cases = catalog_cases();
+    let dir = std::env::temp_dir().join("hdiff-fault-campaign-clean");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("clean.json");
+    std::fs::remove_file(&ckpt).ok();
+
+    let engine = DiffEngine::standard();
+    let plain = engine.run(&cases);
+    let checkpointed = engine.run_with_checkpoint(&cases, &ckpt).unwrap();
+    assert_eq!(plain, checkpointed);
+    assert_eq!(plain.errors, 0);
+    assert!(plain.quarantined.is_empty());
+
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 
-use hdiff::gen::{AbnfGenerator, GenOptions, MutationEngine, PredefinedRules};
+use hdiff::diff::DiffEngine;
+use hdiff::gen::{AbnfGenerator, GenOptions, MutationEngine, PredefinedRules, TestCase};
+use hdiff::servers::fault::{FaultInjector, FaultKind, FaultPlan, FaultStage};
 use hdiff::servers::{interpret, ParserProfile};
 use hdiff::wire::chunked::encode_chunked_with;
 use hdiff::wire::{decode_chunked, parse_request, ChunkedDecodeOptions, Request};
@@ -72,6 +74,61 @@ proptest! {
         prop_assert!(bytes.windows(2).any(|w| w == b"\r\n"));
     }
 
+    /// The same fault plan produces a byte-identical fault schedule:
+    /// every (case, hop, stage, attempt) coordinate resolves to the same
+    /// decision in two independently constructed injectors.
+    #[test]
+    fn fault_schedule_is_deterministic(seed in any::<u64>(), rate in 0u8..=100, uuid in any::<u64>()) {
+        let a = FaultInjector::new(FaultPlan::new(seed, rate));
+        let b = FaultInjector::new(FaultPlan::new(seed, rate));
+        for hop in ["origin", "nginx", "squid", "a-very-long-hop-name"] {
+            for stage in [FaultStage::Forward, FaultStage::OriginRespond, FaultStage::Relay] {
+                for attempt in 0..3u32 {
+                    prop_assert_eq!(
+                        a.decide(uuid, hop, stage, attempt),
+                        b.decide(uuid, hop, stage, attempt),
+                        "{hop}/{stage:?}/{attempt}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The same fault-plan seed reproduces the identical `RunSummary`,
+    /// end to end — the property the checkpoint/resume machinery and the
+    /// retry schedule both rest on.
+    #[test]
+    fn fault_campaigns_reproduce_identically(seed in any::<u64>(), rate in 0u8..=100) {
+        let cases = fault_probe_cases();
+        let mut first = DiffEngine::standard();
+        first.fault_plan = FaultPlan::new(seed, rate);
+        let mut second = DiffEngine::standard();
+        second.fault_plan = FaultPlan::new(seed, rate);
+        second.threads = 2;
+        prop_assert_eq!(first.run(&cases), second.run(&cases));
+    }
+
+    /// Arbitrary fault plans — any seed, any rate, any non-empty subset
+    /// of fault kinds — never panic the engine, and the resilience
+    /// counters stay within their bounds.
+    #[test]
+    fn arbitrary_fault_plans_never_panic(seed in any::<u64>(), rate in 0u8..=100, mask in 1u8..32) {
+        let kinds: Vec<FaultKind> = FaultKind::ALL
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| k)
+            .collect();
+        let cases = fault_probe_cases();
+        let mut engine = DiffEngine::standard();
+        engine.fault_plan = FaultPlan::new(seed, rate).with_kinds(&kinds);
+        let summary = engine.run(&cases);
+        prop_assert_eq!(summary.cases, cases.len());
+        prop_assert!(summary.retries <= cases.len() * engine.max_retries as usize);
+        prop_assert!(summary.errors <= summary.cases);
+        prop_assert!(summary.quarantined.is_empty(), "no profile panics here");
+    }
+
     /// ABNF generation output for `Host` under the default (predefined)
     /// options is always accepted by the strict parser when framed in a
     /// valid request.
@@ -88,6 +145,24 @@ proptest! {
             prop_assert!(i.outcome.is_accept(), "host {:?}", String::from_utf8_lossy(&host));
         }
     }
+}
+
+/// A small fixed corpus that exercises both the replay path (ambiguous
+/// double-CL) and the plain path, keeping each property iteration cheap.
+fn fault_probe_cases() -> Vec<TestCase> {
+    let mut ambiguous = Request::builder();
+    ambiguous
+        .method(hdiff::wire::Method::Post)
+        .target("/")
+        .version(hdiff::wire::Version::Http11)
+        .header("Host", "h1.com")
+        .header("Content-Length", "3")
+        .header("Content-Length", "0")
+        .body(b"abc".to_vec());
+    vec![
+        TestCase::generated(1, Request::get("example.com"), "plain"),
+        TestCase::generated(2, ambiguous.build(), "double content-length"),
+    ]
 }
 
 fn analysis() -> hdiff::abnf::Grammar {

@@ -15,7 +15,10 @@ fn all_reports_render_from_one_run() {
     }
 
     let t1 = report::render_table1(&r.summary);
-    for product in ["iis", "tomcat", "weblogic", "lighttpd", "apache", "nginx", "varnish", "squid", "haproxy", "ats"] {
+    for product in [
+        "iis", "tomcat", "weblogic", "lighttpd", "apache", "nginx", "varnish", "squid", "haproxy",
+        "ats",
+    ] {
         assert!(t1.contains(product), "{product} missing from table1");
     }
 
@@ -31,10 +34,7 @@ fn all_reports_render_from_one_run() {
 
     let csv = report::render_findings_csv(&r.summary);
     let mut lines = csv.lines();
-    assert_eq!(
-        lines.next(),
-        Some("class,uuid,origin,front,back,culprits,evidence")
-    );
+    assert_eq!(lines.next(), Some("class,uuid,origin,front,back,culprits,evidence"));
     let body: Vec<&str> = lines.collect();
     assert_eq!(body.len(), r.summary.findings.len());
     // Every row has at least 7 columns (commas inside quoted cells are
@@ -58,10 +58,6 @@ fn all_reports_render_from_one_run() {
 fn exploit_writeups_reference_real_cases() {
     let r = HDiff::new(HdiffConfig::quick()).run();
     for finding in r.summary.findings.iter().take(25) {
-        assert!(
-            r.case(finding.uuid).is_some(),
-            "finding #{} has no backing case",
-            finding.uuid
-        );
+        assert!(r.case(finding.uuid).is_some(), "finding #{} has no backing case", finding.uuid);
     }
 }

@@ -20,10 +20,7 @@ fn a_single_implementation_can_be_tested_against_the_spec() {
     let iis = product(ProductId::Iis);
     let mut iis_mandatory = 0usize;
     for case in &cases {
-        iis_mandatory += check_assertions(&iis, case)
-            .iter()
-            .filter(|v| v.is_mandatory())
-            .count();
+        iis_mandatory += check_assertions(&iis, case).iter().filter(|v| v.is_mandatory()).count();
     }
     assert!(iis_mandatory > 0, "IIS must violate at least one MUST-level SR");
 
@@ -48,11 +45,7 @@ fn products_differ_in_conformance_level() {
 
     let count = |id: ProductId| {
         let p = product(id);
-        cases
-            .iter()
-            .flat_map(|c| check_assertions(&p, c))
-            .filter(|v| v.is_mandatory())
-            .count()
+        cases.iter().flat_map(|c| check_assertions(&p, c)).filter(|v| v.is_mandatory()).count()
     };
     // Weblogic (the most lenient model) must violate strictly more MUSTs
     // than Tomcat (a mostly-strict server).

@@ -1,0 +1,155 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the slice of criterion's API the workspace's benches use:
+//! `Criterion`, `benchmark_group` / `bench_function` / `bench_with_input`
+//! / `sample_size` / `finish`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. It times each routine
+//! for a fixed number of iterations and prints mean wall-clock time per
+//! iteration — no statistics, plots, or baseline comparison.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark (after one warm-up).
+const DEFAULT_SAMPLES: usize = 30;
+
+/// Entry point handed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string(), samples: DEFAULT_SAMPLES }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, DEFAULT_SAMPLES, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.samples, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; reporting happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `function/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { function: function.to_string(), parameter: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, running one warm-up pass then `samples` timed passes.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.mean_nanos = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+fn run_bench<F>(name: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { samples, mean_nanos: 0.0 };
+    f(&mut b);
+    println!("{name:<50} {}", format_nanos(b.mean_nanos));
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>10.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>10.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>10.3} us/iter", ns / 1e3)
+    } else {
+        format!("{ns:>10.0} ns/iter")
+    }
+}
+
+/// Collects benchmark functions into a runner (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

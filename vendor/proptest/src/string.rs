@@ -1,0 +1,252 @@
+//! Regex-subset string strategies.
+//!
+//! Supports the pattern language the workspace's properties use:
+//! literals, escapes (`\r` `\n` `\t` `\\` `\.` `\-` `\[` `\]`),
+//! character classes with ranges (`[a-z0-9]`, `[ -~\r\n]`), groups,
+//! alternation, and the `?` `*` `+` `{m}` `{m,n}` quantifiers.
+//! Unbounded quantifiers are capped at 8 repetitions.
+
+use crate::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Inclusive character ranges; single chars are (c, c).
+    Class(Vec<(char, char)>),
+    /// Alternation of sequences.
+    Group(Vec<Vec<(Node, Quant)>>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+const ONCE: Quant = Quant { min: 1, max: 1 };
+
+/// Generates a string matching `pattern`. Panics on syntax outside the
+/// supported subset — that is a bug in the test, not an input condition.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let alts = parse_alternation(&chars, &mut pos);
+    assert!(pos == chars.len(), "unparsed regex trailer in {pattern:?}");
+    let mut out = String::new();
+    emit_alts(&alts, rng, &mut out);
+    out
+}
+
+fn emit_alts(alts: &[Vec<(Node, Quant)>], rng: &mut TestRng, out: &mut String) {
+    let seq = &alts[rng.below(alts.len() as u64) as usize];
+    for (node, quant) in seq {
+        let n = quant.min + rng.below(u64::from(quant.max - quant.min) + 1) as u32;
+        for _ in 0..n {
+            match node {
+                Node::Literal(c) => out.push(*c),
+                Node::Class(ranges) => {
+                    // Weight each range by its width for a uniform draw
+                    // over the class's full alphabet.
+                    let total: u64 =
+                        ranges.iter().map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1).sum();
+                    let mut pick = rng.below(total);
+                    for (lo, hi) in ranges {
+                        let width = (*hi as u64) - (*lo as u64) + 1;
+                        if pick < width {
+                            out.push(char::from_u32(*lo as u32 + pick as u32).unwrap());
+                            break;
+                        }
+                        pick -= width;
+                    }
+                }
+                Node::Group(inner) => emit_alts(inner, rng, out),
+            }
+        }
+    }
+}
+
+fn parse_alternation(chars: &[char], pos: &mut usize) -> Vec<Vec<(Node, Quant)>> {
+    let mut alts = vec![parse_sequence(chars, pos)];
+    while *pos < chars.len() && chars[*pos] == '|' {
+        *pos += 1;
+        alts.push(parse_sequence(chars, pos));
+    }
+    alts
+}
+
+fn parse_sequence(chars: &[char], pos: &mut usize) -> Vec<(Node, Quant)> {
+    let mut seq = Vec::new();
+    while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+        let node = parse_atom(chars, pos);
+        let quant = parse_quant(chars, pos);
+        seq.push((node, quant));
+    }
+    seq
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            let alts = parse_alternation(chars, pos);
+            assert!(*pos < chars.len() && chars[*pos] == ')', "unterminated group");
+            *pos += 1;
+            Node::Group(alts)
+        }
+        '[' => {
+            *pos += 1;
+            let mut ranges = Vec::new();
+            while *pos < chars.len() && chars[*pos] != ']' {
+                let lo = parse_class_char(chars, pos);
+                if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                    *pos += 1;
+                    let hi = parse_class_char(chars, pos);
+                    assert!(lo <= hi, "inverted class range");
+                    ranges.push((lo, hi));
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+            assert!(*pos < chars.len(), "unterminated character class");
+            *pos += 1;
+            Node::Class(ranges)
+        }
+        '\\' => {
+            *pos += 1;
+            let c = escape_value(chars[*pos]);
+            *pos += 1;
+            Node::Literal(c)
+        }
+        '.' => {
+            *pos += 1;
+            // Any printable ASCII stands in for "any char".
+            Node::Class(vec![(' ', '~')])
+        }
+        c => {
+            *pos += 1;
+            Node::Literal(c)
+        }
+    }
+}
+
+fn parse_class_char(chars: &[char], pos: &mut usize) -> char {
+    if chars[*pos] == '\\' {
+        *pos += 1;
+        let c = escape_value(chars[*pos]);
+        *pos += 1;
+        c
+    } else {
+        let c = chars[*pos];
+        *pos += 1;
+        c
+    }
+}
+
+fn escape_value(c: char) -> char {
+    match c {
+        'r' => '\r',
+        'n' => '\n',
+        't' => '\t',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_quant(chars: &[char], pos: &mut usize) -> Quant {
+    if *pos >= chars.len() {
+        return ONCE;
+    }
+    match chars[*pos] {
+        '?' => {
+            *pos += 1;
+            Quant { min: 0, max: 1 }
+        }
+        '*' => {
+            *pos += 1;
+            Quant { min: 0, max: UNBOUNDED_CAP }
+        }
+        '+' => {
+            *pos += 1;
+            Quant { min: 1, max: UNBOUNDED_CAP }
+        }
+        '{' => {
+            *pos += 1;
+            let min = parse_number(chars, pos);
+            let max = if chars[*pos] == ',' {
+                *pos += 1;
+                if chars[*pos] == '}' {
+                    min + UNBOUNDED_CAP
+                } else {
+                    parse_number(chars, pos)
+                }
+            } else {
+                min
+            };
+            assert!(chars[*pos] == '}', "unterminated quantifier");
+            *pos += 1;
+            Quant { min, max }
+        }
+        _ => ONCE,
+    }
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> u32 {
+    let start = *pos;
+    while chars[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    chars[start..*pos].iter().collect::<String>().parse().expect("number in quantifier")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, case: u32) -> String {
+        let mut rng = TestRng::for_case("string::tests", case);
+        generate_matching(pattern, &mut rng)
+    }
+
+    #[test]
+    fn hostname_pattern() {
+        for case in 0..200 {
+            let s = gen("[a-z][a-z0-9]{0,10}(\\.[a-z]{2,3})?", case);
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.'));
+        }
+    }
+
+    #[test]
+    fn printable_with_crlf() {
+        for case in 0..200 {
+            let s = gen("[ -~\\r\\n]{0,200}", case);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\r' || c == '\n'));
+        }
+    }
+
+    #[test]
+    fn token_pattern() {
+        for case in 0..200 {
+            let s = gen("[A-Za-z][A-Za-z0-9-]{0,15}", case);
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.len() <= 16);
+        }
+    }
+
+    #[test]
+    fn alternation_and_plus() {
+        for case in 0..50 {
+            let s = gen("(ab|cd)+", case);
+            assert!(!s.is_empty() && s.len() % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        assert_eq!(gen("[a-z]{8}", 7), gen("[a-z]{8}", 7));
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides just enough surface for `#[derive(serde::Serialize,
+//! serde::Deserialize)]` to compile: two marker traits and the no-op
+//! derive macros from `vendor/serde_derive`. Nothing in the workspace
+//! drives serde's data model — on-disk persistence (campaign checkpoints)
+//! goes through the explicit JSON codec in `hdiff-diff::checkpoint`.
+//!
+//! If real serialization through serde is ever needed, replace this
+//! directory with the published crate and delete nothing else: the trait
+//! names and derive spellings are identical.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

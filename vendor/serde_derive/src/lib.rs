@@ -1,0 +1,109 @@
+//! Offline stand-in for serde's derive macros.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a serde facade (see `vendor/serde`). Nothing in this repository
+//! serializes through serde's data model — persistence uses the explicit
+//! JSON codec in `hdiff-diff` — so the derives only need to make
+//! `#[derive(serde::Serialize, serde::Deserialize)]` compile. They expand
+//! to marker-trait impls for the annotated type.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier of the type a derive is attached to, skipping
+/// attributes, doc comments, visibility and the struct/enum keyword.
+/// Returns the ident plus the generics parameter names (if any).
+fn type_ident(input: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the following attribute group.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    if let Some(TokenTree::Ident(name)) = iter.next() {
+                        let mut generics = Vec::new();
+                        if let Some(TokenTree::Punct(p)) = iter.peek() {
+                            if p.as_char() == '<' {
+                                let _ = iter.next();
+                                let mut depth = 1usize;
+                                let mut expect_param = true;
+                                let mut lifetime = false;
+                                for tt in iter.by_ref() {
+                                    match tt {
+                                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                                        TokenTree::Punct(p) if p.as_char() == '>' => {
+                                            depth -= 1;
+                                            if depth == 0 {
+                                                break;
+                                            }
+                                        }
+                                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                                            expect_param = true;
+                                            lifetime = false;
+                                        }
+                                        TokenTree::Punct(p)
+                                            if p.as_char() == '\'' && depth == 1 =>
+                                        {
+                                            lifetime = true;
+                                        }
+                                        TokenTree::Ident(g) if depth == 1 && expect_param => {
+                                            let gs = g.to_string();
+                                            if gs != "const" {
+                                                generics.push(if lifetime {
+                                                    format!("'{gs}")
+                                                } else {
+                                                    gs
+                                                });
+                                            }
+                                            expect_param = false;
+                                            lifetime = false;
+                                        }
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                        return Some((name.to_string(), generics));
+                    }
+                    return None;
+                }
+                // `pub`, `pub(crate)` etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str, lifetime: bool) -> TokenStream {
+    let Some((name, generics)) = type_ident(input) else {
+        return TokenStream::new();
+    };
+    let mut params: Vec<String> = Vec::new();
+    if lifetime {
+        params.push("'de".to_string());
+    }
+    params.extend(generics.iter().cloned());
+    let impl_params =
+        if params.is_empty() { String::new() } else { format!("<{}>", params.join(", ")) };
+    let ty_params =
+        if generics.is_empty() { String::new() } else { format!("<{}>", generics.join(", ")) };
+    let trait_args = if lifetime { "<'de>" } else { "" };
+    let out = format!("impl{impl_params} {trait_path}{trait_args} for {name}{ty_params} {{}}");
+    out.parse().unwrap_or_default()
+}
+
+/// No-op `Serialize` derive: emits a marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize", false)
+}
+
+/// No-op `Deserialize` derive: emits a marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize", true)
+}
