@@ -1,0 +1,682 @@
+//! Compiled grammar IR: the matcher's and generator's shared hot-path form.
+//!
+//! [`Grammar`] keeps rules as name-keyed AST trees, which is the right
+//! shape for extraction and adaptation but a terrible shape for the two
+//! hot loops (recognition and generation): every rule expansion pays a
+//! string-keyed `BTreeMap` lookup plus a deep clone of the rule's tree.
+//! [`CompiledGrammar`] lowers the whole grammar once into:
+//!
+//! * an **interning table** — rule names (grammar rules, core rules, and
+//!   referenced-but-undefined names) become dense `u32` indices;
+//! * a **contiguous op arena** — every AST node becomes one [`Op`] in a
+//!   flat `Vec`, children referenced by index (no pointer chasing, no
+//!   clones); literal bytes live in one shared pool;
+//! * per-rule **nullability** and **first-byte sets** — a rule that cannot
+//!   match empty and whose first set excludes the next input byte is
+//!   rejected in O(1) without expansion.
+//!
+//! The lowering is structure-preserving (one op per AST node, groups
+//! inlined), so a generator walking the arena makes exactly the decisions
+//! the AST walker made — including its RNG draw sequence. The packrat
+//! matcher over this IR lives in [`crate::memo`].
+
+use std::collections::HashMap;
+
+use crate::ast::{Node, Repeat};
+use crate::core_rules;
+use crate::grammar::Grammar;
+
+/// Sentinel repetition maximum meaning "unbounded" (`*`).
+pub const UNBOUNDED: u32 = u32::MAX;
+
+/// A `(start, len)` window into the arena's child-index table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KidRange {
+    /// First index into [`OpArena::kids`].
+    pub start: u32,
+    /// Number of children.
+    pub len: u32,
+}
+
+/// A `(start, len)` window into the arena's literal byte pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolRange {
+    /// First byte index into [`OpArena::pool`].
+    pub start: u32,
+    /// Number of bytes.
+    pub len: u32,
+}
+
+/// One lowered grammar operation. Child ops are referenced by arena index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `a / b / c` — ordered choice.
+    Alt(KidRange),
+    /// `a b c` — sequence.
+    Cat(KidRange),
+    /// `n*m element`; `max == UNBOUNDED` encodes `*`.
+    Repeat {
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions ([`UNBOUNDED`] for `*`).
+        max: u32,
+        /// The repeated op.
+        kid: u32,
+    },
+    /// `[ element ]`.
+    Opt {
+        /// The optional op.
+        kid: u32,
+    },
+    /// Reference to an interned rule. Indices `>=
+    /// CompiledGrammar::rule_count()` address a [`DetachedProgram`]'s
+    /// extra (grammar-unknown) names.
+    Rule(u32),
+    /// A literal byte string from the pool. Covers char-vals (with
+    /// `case_insensitive` per RFC 7405) and multi-byte num-vals/num-seqs
+    /// (always case-sensitive).
+    Lit {
+        /// Bytes, as written, in [`OpArena::pool`].
+        range: PoolRange,
+        /// Whether matching ignores ASCII case.
+        case_insensitive: bool,
+    },
+    /// A single exact byte (`%x41` and friends).
+    Byte(u8),
+    /// `%x41-5A` — inclusive numeric range. Bounds are kept as written
+    /// (generation samples the full range; matching only ever consumes a
+    /// single byte, exactly like the AST matcher).
+    Range {
+        /// Inclusive lower bound.
+        lo: u32,
+        /// Inclusive upper bound.
+        hi: u32,
+    },
+    /// Matches nothing and generates nothing: prose-vals and num-vals
+    /// naming invalid scalar values.
+    Fail,
+}
+
+/// A 256-bit byte set (first-byte sets).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ByteSet(pub [u64; 4]);
+
+impl ByteSet {
+    /// The empty set.
+    pub const EMPTY: ByteSet = ByteSet([0; 4]);
+
+    /// Inserts one byte.
+    pub fn insert(&mut self, b: u8) {
+        self.0[usize::from(b >> 6)] |= 1u64 << (b & 63);
+    }
+
+    /// Membership test.
+    pub fn contains(self, b: u8) -> bool {
+        self.0[usize::from(b >> 6)] & (1u64 << (b & 63)) != 0
+    }
+
+    /// In-place union; returns whether `self` grew.
+    pub fn union_with(&mut self, other: ByteSet) -> bool {
+        let mut grew = false;
+        for (s, o) in self.0.iter_mut().zip(other.0) {
+            let next = *s | o;
+            grew |= next != *s;
+            *s = next;
+        }
+        grew
+    }
+
+    /// Number of bytes in the set.
+    pub fn len(self) -> usize {
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == [0; 4]
+    }
+}
+
+/// Where an interned rule name came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleOrigin {
+    /// Defined by the grammar itself (possibly shadowing a core rule).
+    Grammar,
+    /// An RFC 5234 core rule reachable through the implicit fallback.
+    Core,
+    /// Referenced somewhere but defined nowhere: matches nothing.
+    Undefined,
+}
+
+/// One interned rule with its precomputed matching metadata.
+#[derive(Debug, Clone)]
+pub struct RuleInfo {
+    /// Rule name as written at its first definition or reference.
+    pub name: String,
+    /// Root op index; `None` for undefined references.
+    pub root: Option<u32>,
+    /// Provenance of the definition.
+    pub origin: RuleOrigin,
+    /// Whether the rule can match the empty string (over-approximation).
+    pub nullable: bool,
+    /// Bytes any non-empty match of this rule can start with
+    /// (over-approximation).
+    pub first: ByteSet,
+    /// `Some(set)` when the rule's entire language is "exactly one byte
+    /// from `set`" (character classes like `ALPHA` or `unreserved`) —
+    /// the matcher answers these in O(1) without touching the memo
+    /// table. This is exact, never an approximation.
+    pub single: Option<ByteSet>,
+}
+
+/// The flat op storage shared by compiled grammars and detached programs.
+#[derive(Debug, Clone, Default)]
+pub struct OpArena {
+    /// All ops, children before parents.
+    pub ops: Vec<Op>,
+    /// Child-index pool for [`Op::Alt`]/[`Op::Cat`].
+    pub kids: Vec<u32>,
+    /// Literal byte pool for [`Op::Lit`].
+    pub pool: Vec<u8>,
+}
+
+impl OpArena {
+    /// The op at `idx`.
+    pub fn op(&self, idx: u32) -> Op {
+        self.ops[idx as usize]
+    }
+
+    /// The children of an [`Op::Alt`]/[`Op::Cat`].
+    pub fn kid_slice(&self, range: KidRange) -> &[u32] {
+        &self.kids[range.start as usize..(range.start + range.len) as usize]
+    }
+
+    /// The bytes of an [`Op::Lit`].
+    pub fn lit_bytes(&self, range: PoolRange) -> &[u8] {
+        &self.pool[range.start as usize..(range.start + range.len) as usize]
+    }
+}
+
+/// A grammar lowered to the arena IR, with interned rule names and
+/// per-rule match metadata. Built once per [`Grammar`] (see
+/// [`Grammar::compiled`]) and shared via `Arc`.
+#[derive(Debug, Clone)]
+pub struct CompiledGrammar {
+    arena: OpArena,
+    rules: Vec<RuleInfo>,
+    index: HashMap<String, u32>,
+}
+
+/// An AST node compiled against an existing [`CompiledGrammar`] — the
+/// tree mutator's path: rule references resolve into the shared grammar;
+/// names the grammar does not know are kept (so predefined-value lookup
+/// by name still works) but expand to nothing.
+#[derive(Debug, Clone)]
+pub struct DetachedProgram {
+    /// The program's own little arena. `Op::Rule` indices below the
+    /// grammar's rule count refer into the grammar.
+    pub arena: OpArena,
+    /// Root op of the compiled node.
+    pub root: u32,
+    /// Names for rule indices at `rule_count() + i`.
+    pub extra_names: Vec<String>,
+}
+
+impl CompiledGrammar {
+    /// Lowers a grammar: interns every grammar rule (in insertion order),
+    /// every core rule, and every referenced-but-undefined name; flattens
+    /// all definitions into one arena; computes nullability and first
+    /// sets to fixpoint.
+    pub fn compile(g: &Grammar) -> CompiledGrammar {
+        let mut c =
+            Compiler { arena: OpArena::default(), rules: Vec::new(), index: HashMap::new() };
+        // Intern grammar rules first (stable, insertion-ordered indices),
+        // then the implicit core rules.
+        for rule in g.iter() {
+            c.intern(&rule.name);
+        }
+        for rule in core_rules::core_rules() {
+            c.intern(&rule.name);
+        }
+        // Compile definitions; references discovered along the way extend
+        // the worklist with new (possibly undefined) indices.
+        let mut i = 0usize;
+        while i < c.rules.len() {
+            let name = c.rules[i].name.clone();
+            if let Some(rule) = g.get(&name) {
+                let node = rule.node.clone();
+                let root = c.lower(&node, &mut Resolver::Intern);
+                c.rules[i].root = Some(root);
+                c.rules[i].origin = if g.source_of(&name).is_some() {
+                    RuleOrigin::Grammar
+                } else {
+                    RuleOrigin::Core
+                };
+            }
+            i += 1;
+        }
+        let mut cg = CompiledGrammar { arena: c.arena, rules: c.rules, index: c.index };
+        cg.compute_nullability();
+        cg.compute_first_sets();
+        cg.compute_single_byte_classes();
+        cg
+    }
+
+    /// Number of interned rules (grammar + core + undefined references).
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Case-insensitive name lookup.
+    pub fn rule_index(&self, name: &str) -> Option<u32> {
+        self.index.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// The rule at `idx`.
+    pub fn rule(&self, idx: u32) -> &RuleInfo {
+        &self.rules[idx as usize]
+    }
+
+    /// Whether `name` resolves to a defined rule (grammar or core).
+    pub fn has_rule(&self, name: &str) -> bool {
+        self.rule_index(name).is_some_and(|i| self.rule(i).root.is_some())
+    }
+
+    /// The shared op arena.
+    pub fn arena(&self) -> &OpArena {
+        &self.arena
+    }
+
+    /// Compiles a free-standing AST node (e.g. a mutated rule tree)
+    /// against this grammar.
+    pub fn compile_detached(&self, node: &Node) -> DetachedProgram {
+        let mut c =
+            Compiler { arena: OpArena::default(), rules: Vec::new(), index: HashMap::new() };
+        let mut resolver =
+            Resolver::External { cg: self, extra_names: Vec::new(), extra_index: HashMap::new() };
+        let root = c.lower(node, &mut resolver);
+        let Resolver::External { extra_names, .. } = resolver else { unreachable!() };
+        DetachedProgram { arena: c.arena, root, extra_names }
+    }
+
+    fn compute_nullability(&mut self) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..self.rules.len() {
+                if self.rules[i].nullable {
+                    continue;
+                }
+                let Some(root) = self.rules[i].root else { continue };
+                if self.op_nullable(root) {
+                    self.rules[i].nullable = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    fn op_nullable(&self, op: u32) -> bool {
+        match self.arena.op(op) {
+            Op::Alt(kids) => self.arena.kid_slice(kids).iter().any(|&k| self.op_nullable(k)),
+            Op::Cat(kids) => self.arena.kid_slice(kids).iter().all(|&k| self.op_nullable(k)),
+            Op::Repeat { min, kid, .. } => min == 0 || self.op_nullable(kid),
+            Op::Opt { .. } => true,
+            Op::Rule(r) => self.rules.get(r as usize).is_some_and(|info| info.nullable),
+            Op::Lit { range, .. } => range.len == 0,
+            Op::Byte(_) | Op::Range { .. } | Op::Fail => false,
+        }
+    }
+
+    fn compute_first_sets(&mut self) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..self.rules.len() {
+                let Some(root) = self.rules[i].root else { continue };
+                let first = self.op_first(root);
+                if self.rules[i].first.union_with(first) {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    fn op_first(&self, op: u32) -> ByteSet {
+        let mut set = ByteSet::EMPTY;
+        match self.arena.op(op) {
+            Op::Alt(kids) => {
+                for &k in self.arena.kid_slice(kids) {
+                    set.union_with(self.op_first(k));
+                }
+            }
+            Op::Cat(kids) => {
+                for &k in self.arena.kid_slice(kids) {
+                    set.union_with(self.op_first(k));
+                    if !self.op_nullable(k) {
+                        break;
+                    }
+                }
+            }
+            Op::Repeat { kid, .. } | Op::Opt { kid } => {
+                set.union_with(self.op_first(kid));
+            }
+            Op::Rule(r) => {
+                if let Some(info) = self.rules.get(r as usize) {
+                    set.union_with(info.first);
+                }
+            }
+            Op::Lit { range, case_insensitive } => {
+                if let Some(&b) = self.arena.lit_bytes(range).first() {
+                    set.insert(b);
+                    if case_insensitive {
+                        set.insert(b.to_ascii_lowercase());
+                        set.insert(b.to_ascii_uppercase());
+                    }
+                }
+            }
+            Op::Byte(b) => set.insert(b),
+            Op::Range { lo, hi } => {
+                // Matching only ever consumes one byte, so clamp to 0..=255.
+                if lo <= 0xff {
+                    for b in lo..=hi.min(0xff) {
+                        set.insert(b as u8);
+                    }
+                }
+            }
+            Op::Fail => {}
+        }
+        set
+    }
+
+    /// Fixpoint over [`RuleInfo::single`]: a rule is a character class
+    /// when every derivation consumes exactly one byte. Starts all-`None`
+    /// and only promotes rules whose ops fully resolve, so recursive or
+    /// structurally unknown rules conservatively stay `None`.
+    fn compute_single_byte_classes(&mut self) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..self.rules.len() {
+                if self.rules[i].single.is_some() {
+                    continue;
+                }
+                let Some(root) = self.rules[i].root else { continue };
+                if let Some(set) = self.op_single(root) {
+                    self.rules[i].single = Some(set);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    fn op_single(&self, op: u32) -> Option<ByteSet> {
+        match self.arena.op(op) {
+            Op::Alt(kids) => {
+                let mut set = ByteSet::EMPTY;
+                for &k in self.arena.kid_slice(kids) {
+                    set.union_with(self.op_single(k)?);
+                }
+                Some(set)
+            }
+            Op::Repeat { min: 1, max: 1, kid } => self.op_single(kid),
+            Op::Rule(r) => self.rules.get(r as usize).and_then(|info| info.single),
+            Op::Lit { range, case_insensitive } => {
+                let lit = self.arena.lit_bytes(range);
+                let [b] = lit else { return None };
+                let mut set = ByteSet::EMPTY;
+                set.insert(*b);
+                if case_insensitive {
+                    set.insert(b.to_ascii_lowercase());
+                    set.insert(b.to_ascii_uppercase());
+                }
+                Some(set)
+            }
+            Op::Byte(b) => {
+                let mut set = ByteSet::EMPTY;
+                set.insert(b);
+                Some(set)
+            }
+            Op::Range { lo, hi } => {
+                let mut set = ByteSet::EMPTY;
+                if lo <= 0xff {
+                    for b in lo..=hi.min(0xff) {
+                        set.insert(b as u8);
+                    }
+                }
+                Some(set)
+            }
+            // `Fail` matches nothing: the empty class is exact.
+            Op::Fail => Some(ByteSet::EMPTY),
+            Op::Cat(_) | Op::Repeat { .. } | Op::Opt { .. } => None,
+        }
+    }
+}
+
+/// How `Op::Rule` references resolve during lowering.
+enum Resolver<'c> {
+    /// Grammar compilation: intern names into the compiler itself.
+    Intern,
+    /// Detached compilation: resolve against a finished grammar; unknown
+    /// names get indices past its rule count.
+    External {
+        cg: &'c CompiledGrammar,
+        extra_names: Vec<String>,
+        extra_index: HashMap<String, u32>,
+    },
+}
+
+struct Compiler {
+    arena: OpArena,
+    rules: Vec<RuleInfo>,
+    index: HashMap<String, u32>,
+}
+
+impl Compiler {
+    fn intern(&mut self, name: &str) -> u32 {
+        let key = name.to_ascii_lowercase();
+        if let Some(&idx) = self.index.get(&key) {
+            return idx;
+        }
+        let idx = self.rules.len() as u32;
+        self.index.insert(key, idx);
+        self.rules.push(RuleInfo {
+            name: name.to_string(),
+            root: None,
+            origin: RuleOrigin::Undefined,
+            nullable: false,
+            first: ByteSet::EMPTY,
+            single: None,
+        });
+        idx
+    }
+
+    fn lower(&mut self, node: &Node, resolver: &mut Resolver<'_>) -> u32 {
+        match node {
+            Node::Alternation(alts) => {
+                let kids: Vec<u32> = alts.iter().map(|n| self.lower(n, resolver)).collect();
+                let range = self.push_kids(&kids);
+                self.push_op(Op::Alt(range))
+            }
+            Node::Concatenation(seq) => {
+                let kids: Vec<u32> = seq.iter().map(|n| self.lower(n, resolver)).collect();
+                let range = self.push_kids(&kids);
+                self.push_op(Op::Cat(range))
+            }
+            Node::Repetition(rep, inner) => {
+                let kid = self.lower(inner, resolver);
+                let Repeat { min, max } = *rep;
+                self.push_op(Op::Repeat { min, max: max.unwrap_or(UNBOUNDED), kid })
+            }
+            // Groups are pure syntax: lower the inner node directly.
+            Node::Group(inner) => self.lower(inner, resolver),
+            Node::Optional(inner) => {
+                let kid = self.lower(inner, resolver);
+                self.push_op(Op::Opt { kid })
+            }
+            Node::RuleRef(name) => {
+                let idx = match resolver {
+                    Resolver::Intern => self.intern(name),
+                    Resolver::External { cg, extra_names, extra_index } => {
+                        match cg.rule_index(name) {
+                            Some(idx) => idx,
+                            None => {
+                                let key = name.to_ascii_lowercase();
+                                let base = cg.rule_count() as u32;
+                                *extra_index.entry(key).or_insert_with(|| {
+                                    extra_names.push(name.to_string());
+                                    base + extra_names.len() as u32 - 1
+                                })
+                            }
+                        }
+                    }
+                };
+                self.push_op(Op::Rule(idx))
+            }
+            Node::CharVal { value, case_sensitive } => {
+                let range = self.push_pool(value.as_bytes());
+                self.push_op(Op::Lit { range, case_insensitive: !case_sensitive })
+            }
+            Node::NumVal(v) => self.lower_scalar(*v),
+            Node::NumRange(lo, hi) => self.push_op(Op::Range { lo: *lo, hi: *hi }),
+            Node::NumSeq(vs) => {
+                let mut bytes = Vec::with_capacity(vs.len());
+                for &v in vs {
+                    if v <= 0xff {
+                        bytes.push(v as u8);
+                    } else if let Some(c) = char::from_u32(v) {
+                        let mut buf = [0u8; 4];
+                        bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    } else {
+                        return self.push_op(Op::Fail);
+                    }
+                }
+                let range = self.push_pool(&bytes);
+                self.push_op(Op::Lit { range, case_insensitive: false })
+            }
+            Node::ProseVal(_) => self.push_op(Op::Fail),
+        }
+    }
+
+    fn lower_scalar(&mut self, v: u32) -> u32 {
+        if v <= 0xff {
+            self.push_op(Op::Byte(v as u8))
+        } else if let Some(c) = char::from_u32(v) {
+            let mut buf = [0u8; 4];
+            let enc = c.encode_utf8(&mut buf).as_bytes().to_vec();
+            let range = self.push_pool(&enc);
+            self.push_op(Op::Lit { range, case_insensitive: false })
+        } else {
+            self.push_op(Op::Fail)
+        }
+    }
+
+    fn push_op(&mut self, op: Op) -> u32 {
+        self.arena.ops.push(op);
+        (self.arena.ops.len() - 1) as u32
+    }
+
+    fn push_kids(&mut self, kids: &[u32]) -> KidRange {
+        let start = self.arena.kids.len() as u32;
+        self.arena.kids.extend_from_slice(kids);
+        KidRange { start, len: kids.len() as u32 }
+    }
+
+    fn push_pool(&mut self, bytes: &[u8]) -> PoolRange {
+        let start = self.arena.pool.len() as u32;
+        self.arena.pool.extend_from_slice(bytes);
+        PoolRange { start, len: bytes.len() as u32 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rulelist;
+
+    fn grammar(text: &str) -> Grammar {
+        Grammar::from_rules("t", parse_rulelist(text).unwrap())
+    }
+
+    #[test]
+    fn interning_covers_grammar_core_and_undefined() {
+        let g = grammar("Host = uri-host [ \":\" port ]\nuri-host = 1*ALPHA\n");
+        let cg = CompiledGrammar::compile(&g);
+        let host = cg.rule_index("host").unwrap();
+        assert_eq!(cg.rule(host).origin, RuleOrigin::Grammar);
+        assert!(cg.rule(host).root.is_some());
+        let alpha = cg.rule_index("ALPHA").unwrap();
+        assert_eq!(cg.rule(alpha).origin, RuleOrigin::Core);
+        // `port` is referenced but never defined.
+        let port = cg.rule_index("PORT").unwrap();
+        assert_eq!(cg.rule(port).origin, RuleOrigin::Undefined);
+        assert!(cg.rule(port).root.is_none());
+        assert!(cg.has_rule("host"));
+        assert!(!cg.has_rule("port"));
+    }
+
+    #[test]
+    fn nullability_and_first_sets() {
+        let g = grammar(
+            "a = *\"x\"\nb = \"y\" a\nc = [ \"z\" ]\nd = a b\ncase = \"gEt\"\nr = %x30-39\n",
+        );
+        let cg = CompiledGrammar::compile(&g);
+        let info = |n: &str| cg.rule(cg.rule_index(n).unwrap()).clone();
+        assert!(info("a").nullable);
+        assert!(!info("b").nullable);
+        assert!(info("c").nullable);
+        assert!(!info("d").nullable, "d needs b which needs 'y'");
+        assert!(info("a").first.contains(b'x'));
+        assert!(info("b").first.contains(b'y') && !info("b").first.contains(b'x'));
+        // d = a b: a is nullable, so first(d) includes both x and y.
+        assert!(info("d").first.contains(b'x') && info("d").first.contains(b'y'));
+        // Case-insensitive literals admit both cases of the first byte.
+        assert!(info("case").first.contains(b'g') && info("case").first.contains(b'G'));
+        for b in b'0'..=b'9' {
+            assert!(info("r").first.contains(b));
+        }
+        assert!(!info("r").first.contains(b'a'));
+    }
+
+    #[test]
+    fn recursive_rules_compile_with_finite_fixpoints() {
+        let g = grammar("comment = \"(\" *( ctext / comment ) \")\"\nctext = %x61-7A\n");
+        let cg = CompiledGrammar::compile(&g);
+        let comment = cg.rule(cg.rule_index("comment").unwrap());
+        assert!(!comment.nullable);
+        assert!(comment.first.contains(b'(') && !comment.first.contains(b'a'));
+    }
+
+    #[test]
+    fn detached_compilation_resolves_known_and_keeps_unknown_names() {
+        let g = grammar("x = 1*ALPHA\n");
+        let cg = CompiledGrammar::compile(&g);
+        let node =
+            Node::Concatenation(vec![Node::RuleRef("x".into()), Node::RuleRef("mystery".into())]);
+        let p = cg.compile_detached(&node);
+        assert_eq!(p.extra_names, vec!["mystery".to_string()]);
+        let Op::Cat(kids) = p.arena.op(p.root) else { panic!() };
+        let kids = p.arena.kid_slice(kids).to_vec();
+        let Op::Rule(known) = p.arena.op(kids[0]) else { panic!() };
+        assert_eq!(known, cg.rule_index("x").unwrap());
+        let Op::Rule(unknown) = p.arena.op(kids[1]) else { panic!() };
+        assert_eq!(unknown as usize, cg.rule_count());
+    }
+
+    #[test]
+    fn byteset_basics() {
+        let mut s = ByteSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(255);
+        s.insert(b'a');
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0) && s.contains(255) && s.contains(b'a'));
+        assert!(!s.contains(b'b'));
+        let mut t = ByteSet::EMPTY;
+        t.insert(b'b');
+        assert!(s.union_with(t));
+        assert!(!s.union_with(t), "second union is a no-op");
+        assert!(s.contains(b'b'));
+    }
+}

@@ -2,8 +2,10 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use crate::ast::{Node, Rule};
+use crate::compile::CompiledGrammar;
 use crate::core_rules;
 
 /// A grammar: rules from one or more sources, keyed case-insensitively.
@@ -19,6 +21,9 @@ pub struct Grammar {
     /// deterministic generation).
     order: Vec<String>,
     core: BTreeMap<String, Rule>,
+    /// Lazily-built compiled form (see [`Grammar::compiled`]); reset on
+    /// every mutation. Cloning a grammar shares the cached compilation.
+    compiled: OnceLock<Arc<CompiledGrammar>>,
 }
 
 impl Grammar {
@@ -28,7 +33,15 @@ impl Grammar {
             .into_iter()
             .map(|r| (r.name.to_ascii_lowercase(), r))
             .collect();
-        Grammar { rules: BTreeMap::new(), order: Vec::new(), core }
+        Grammar { rules: BTreeMap::new(), order: Vec::new(), core, compiled: OnceLock::new() }
+    }
+
+    /// The grammar lowered to the arena IR ([`CompiledGrammar`]), built on
+    /// first use and cached; [`insert`](Grammar::insert) (and therefore
+    /// [`merge`](Grammar::merge)) invalidates the cache. The `Arc` makes
+    /// sharing across matchers, generators and threads free.
+    pub fn compiled(&self) -> Arc<CompiledGrammar> {
+        self.compiled.get_or_init(|| Arc::new(CompiledGrammar::compile(self))).clone()
     }
 
     /// Builds a grammar from rules attributed to one `source` (e.g.
@@ -55,6 +68,7 @@ impl Grammar {
     /// Inserts a rule. A plain duplicate replaces the existing definition;
     /// an incremental (`=/`) rule appends alternatives to it.
     pub fn insert(&mut self, source: &str, rule: Rule) {
+        self.compiled = OnceLock::new();
         let key = rule.name.to_ascii_lowercase();
         if rule.incremental {
             if let Some((existing, _)) = self.rules.get_mut(&key) {

@@ -35,14 +35,17 @@
 
 pub mod adapt;
 pub mod ast;
+pub mod compile;
 pub mod core_rules;
 pub mod extract;
 pub mod grammar;
 pub mod matcher;
+pub mod memo;
 pub mod parser;
 
 pub use adapt::{AdaptOptions, AdaptReport, Adaptor};
 pub use ast::{Element, Node, Repeat, Rule};
+pub use compile::{CompiledGrammar, DetachedProgram, Op, OpArena};
 pub use extract::{extract_abnf, ExtractStats};
 pub use grammar::Grammar;
 pub use matcher::{matches, MatchOutcome};

@@ -1,0 +1,400 @@
+//! Packrat matcher over the compiled grammar IR.
+//!
+//! The reference matcher ([`crate::matcher::reference`]) re-expands every
+//! rule reference it meets, so a sub-derivation shared by two alternatives
+//! is paid for twice — and in ambiguous HTTP grammars (`uri-host` inside
+//! `authority` inside `Host`, all over the same span) the re-expansion
+//! count grows exponentially with input length. This matcher memoizes
+//! `(rule index, position) → end-offset set`, so each rule is expanded at
+//! most once per position: worst-case work is `O(rules × positions ×
+//! alternative-width)` instead of exponential, and the expansion budget —
+//! which here counts **memo misses** (fresh rule computations), not node
+//! visits — is effectively never reached on real inputs.
+//!
+//! Two further cheap rejections avoid even the memo lookup:
+//!
+//! * **first-set pruning** — a rule that cannot match empty and whose
+//!   precomputed first-byte set excludes `input[pos]` fails in O(1);
+//! * **cycle detection** — re-entering a rule at the same position (left
+//!   recursion) returns the empty set instead of recursing; since the
+//!   partial sets this produces are *subsets* of the true end sets, any
+//!   `Match` found is still sound, and a non-match with a detected cycle
+//!   is reported as [`MatchOutcome::Overflow`] rather than claiming a
+//!   definite `NoMatch`.
+//!
+//! Match semantics (which end offsets each construct yields, including
+//! the zero-width-repetition quirks) deliberately mirror the reference
+//! matcher op for op; `tests/matcher_equivalence.rs` holds the
+//! differential property test.
+
+use std::collections::HashMap;
+
+use crate::compile::CompiledGrammar;
+use crate::compile::Op;
+use crate::matcher::MatchOutcome;
+
+/// Memo table entry for one `(rule, pos)` key.
+#[derive(Debug, Clone, Default)]
+enum Memo {
+    /// Never computed.
+    #[default]
+    Unseen,
+    /// Currently being computed further up the stack (cycle sentinel).
+    InProgress,
+    /// Finished: the full end-offset set (sorted ascending).
+    Done(Vec<usize>),
+}
+
+/// Row table for short inputs, sparse for long ones.
+///
+/// A row (one rule's `len+1` slots) is allocated lazily the first time
+/// that rule is queried: a typical match touches a handful of the
+/// grammar's hundreds of rules, so zeroing the full `rules × (len+1)`
+/// matrix up front would cost more than the match itself. Past ~1M
+/// total slots even single rows get big, and the sparse map wins.
+enum Table {
+    Rows { rows: Vec<Option<Box<[Memo]>>>, width: usize },
+    Sparse(HashMap<u64, Memo>),
+}
+
+const DENSE_SLOT_LIMIT: usize = 1 << 20;
+
+impl Table {
+    fn new(rules: usize, input_len: usize) -> Table {
+        let width = input_len + 1;
+        match rules.checked_mul(width) {
+            Some(slots) if slots <= DENSE_SLOT_LIMIT => {
+                Table::Rows { rows: vec![None; rules], width }
+            }
+            _ => Table::Sparse(HashMap::new()),
+        }
+    }
+
+    fn slot(&mut self, rule: u32, pos: usize) -> &mut Memo {
+        match self {
+            Table::Rows { rows, width } => {
+                let row = rows[rule as usize]
+                    .get_or_insert_with(|| vec![Memo::Unseen; *width].into_boxed_slice());
+                &mut row[pos]
+            }
+            Table::Sparse(map) => map.entry((u64::from(rule) << 32) | pos as u64).or_default(),
+        }
+    }
+}
+
+/// One match attempt's state: input, memo table, budget, outcome flags.
+pub struct MemoMatcher<'a> {
+    cg: &'a CompiledGrammar,
+    input: &'a [u8],
+    table: Table,
+    /// Remaining fresh rule computations.
+    budget: usize,
+    overflowed: bool,
+    cycled: bool,
+}
+
+impl<'a> MemoMatcher<'a> {
+    /// Creates a matcher for one `input` against `cg`.
+    pub fn new(cg: &'a CompiledGrammar, input: &'a [u8], budget: usize) -> MemoMatcher<'a> {
+        MemoMatcher {
+            cg,
+            input,
+            table: Table::new(cg.rule_count(), input.len()),
+            budget,
+            overflowed: false,
+            cycled: false,
+        }
+    }
+
+    /// Full-input match of `rule_idx`, mirroring the reference matcher's
+    /// outcome mapping: a found `Match` wins even over an overflow.
+    pub fn match_full(&mut self, rule_idx: u32) -> MatchOutcome {
+        let ends = self.rule_ends(rule_idx, 0);
+        if ends.contains(&self.input.len()) {
+            MatchOutcome::Match
+        } else if self.overflowed || self.cycled {
+            MatchOutcome::Overflow
+        } else {
+            MatchOutcome::NoMatch
+        }
+    }
+
+    /// End offsets reachable by matching `rule_idx` at `pos` (sorted
+    /// ascending, deduplicated; possibly a subset of the true set when a
+    /// cycle or budget overflow was hit — check [`Self::indeterminate`]).
+    pub fn rule_ends(&mut self, rule_idx: u32, pos: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.rule_ends_into(rule_idx, pos, &mut out);
+        out
+    }
+
+    /// [`Self::rule_ends`] in accumulator style: a memo hit appends the
+    /// cached (sorted) set without cloning it.
+    fn rule_ends_into(&mut self, rule_idx: u32, pos: usize, out: &mut Vec<usize>) {
+        if rule_idx as usize >= self.cg.rule_count() {
+            // Detached-program extra names: defined nowhere.
+            return;
+        }
+        let info = self.cg.rule(rule_idx);
+        let Some(root) = info.root else {
+            return;
+        };
+        if let Some(class) = info.single {
+            // Exact character class: answer in O(1), no memo traffic.
+            if let Some(&b) = self.input.get(pos) {
+                if class.contains(b) {
+                    out.push(pos + 1);
+                }
+            }
+            return;
+        }
+        if !info.nullable {
+            // The rule must consume at least one byte; reject in O(1) if
+            // the next byte cannot start it.
+            match self.input.get(pos) {
+                Some(&b) if info.first.contains(b) => {}
+                _ => return,
+            }
+        }
+        match self.table.slot(rule_idx, pos) {
+            Memo::Done(ends) => {
+                out.extend_from_slice(ends);
+                return;
+            }
+            Memo::InProgress => {
+                self.cycled = true;
+                return;
+            }
+            Memo::Unseen => {}
+        }
+        if self.budget == 0 {
+            self.overflowed = true;
+            return;
+        }
+        self.budget -= 1;
+        *self.table.slot(rule_idx, pos) = Memo::InProgress;
+        let ends = self.op_ends(root, pos);
+        out.extend_from_slice(&ends);
+        *self.table.slot(rule_idx, pos) = Memo::Done(ends);
+    }
+
+    /// Whether the attempt hit the budget or a left-recursive cycle (end
+    /// sets may be incomplete).
+    pub fn indeterminate(&self) -> bool {
+        self.overflowed || self.cycled
+    }
+
+    /// End-offset *set* (sorted, deduplicated) for one op.
+    fn op_ends(&mut self, op: u32, pos: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.op_ends_into(op, pos, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Appends the reachable end offsets of `op` at `pos` to `out`,
+    /// possibly unsorted and with duplicates — the accumulator style
+    /// keeps leaf ops (bytes, ranges, literals) allocation-free, which
+    /// dominates matcher throughput. Callers that need set semantics
+    /// sort+dedup at their consumption boundary ([`Self::op_ends`], the
+    /// concatenation frontier, each repetition round).
+    fn op_ends_into(&mut self, op: u32, pos: usize, out: &mut Vec<usize>) {
+        // Copy the arena reference out of `self` so iterating kid slices
+        // does not hold a borrow across the recursive calls.
+        let arena = self.cg.arena();
+        match arena.op(op) {
+            Op::Alt(range) => {
+                for &k in arena.kid_slice(range) {
+                    self.op_ends_into(k, pos, out);
+                }
+            }
+            Op::Cat(range) => {
+                let mut current = vec![pos];
+                let mut next = Vec::new();
+                for &k in arena.kid_slice(range) {
+                    next.clear();
+                    for &p in &current {
+                        self.op_ends_into(k, p, &mut next);
+                    }
+                    next.sort_unstable();
+                    next.dedup();
+                    if next.is_empty() {
+                        return;
+                    }
+                    std::mem::swap(&mut current, &mut next);
+                }
+                out.extend_from_slice(&current);
+            }
+            Op::Repeat { min, max, kid } => self.repeat_ends_into(min, max, kid, pos, out),
+            Op::Opt { kid } => {
+                self.op_ends_into(kid, pos, out);
+                out.push(pos);
+            }
+            Op::Rule(r) => self.rule_ends_into(r, pos, out),
+            Op::Lit { range, case_insensitive } => {
+                let lit = arena.lit_bytes(range);
+                let end = pos + lit.len();
+                if end <= self.input.len() {
+                    let slice = &self.input[pos..end];
+                    let ok = if case_insensitive {
+                        slice.eq_ignore_ascii_case(lit)
+                    } else {
+                        slice == lit
+                    };
+                    if ok {
+                        out.push(end);
+                    }
+                }
+            }
+            Op::Byte(b) => {
+                if self.input.get(pos) == Some(&b) {
+                    out.push(pos + 1);
+                }
+            }
+            Op::Range { lo, hi } => {
+                if let Some(&b) = self.input.get(pos) {
+                    if u32::from(b) >= lo && u32::from(b) <= hi {
+                        out.push(pos + 1);
+                    }
+                }
+            }
+            Op::Fail => {}
+        }
+    }
+
+    /// Frontier-based repetition, the reference algorithm set-for-set
+    /// (including its zero-width quirks: a zero-width inner match is
+    /// accepted once but never looped, and `2*4("")` matches nothing).
+    fn repeat_ends_into(&mut self, min: u32, max: u32, kid: u32, pos: usize, out: &mut Vec<usize>) {
+        let mut frontier = vec![pos];
+        if min == 0 {
+            out.push(pos);
+        }
+        let mut count = 0u32;
+        let mut kid_ends = Vec::new();
+        let mut next = Vec::new();
+        while count < max && !frontier.is_empty() {
+            count += 1;
+            next.clear();
+            for &p in &frontier {
+                kid_ends.clear();
+                self.op_ends_into(kid, p, &mut kid_ends);
+                for &end in &kid_ends {
+                    if end > p {
+                        next.push(end);
+                    } else if count >= min {
+                        // Zero-width inner match: accept but do not loop.
+                        out.push(end);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            if count >= min {
+                out.extend_from_slice(&next);
+            }
+            std::mem::swap(&mut frontier, &mut next);
+            if self.overflowed {
+                break;
+            }
+        }
+    }
+}
+
+/// Full-input match of `rule` against the compiled grammar.
+pub fn match_rule(cg: &CompiledGrammar, rule: &str, input: &[u8], budget: usize) -> MatchOutcome {
+    let Some(idx) = cg.rule_index(rule) else {
+        return MatchOutcome::NoMatch;
+    };
+    if cg.rule(idx).root.is_none() {
+        // Referenced-but-undefined names are not matchable rules, exactly
+        // like `Grammar::get` returning `None`.
+        return MatchOutcome::NoMatch;
+    }
+    MemoMatcher::new(cg, input, budget).match_full(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::Grammar;
+    use crate::matcher::DEFAULT_BUDGET;
+    use crate::parser::parse_rulelist;
+
+    fn compiled(text: &str) -> CompiledGrammar {
+        CompiledGrammar::compile(&Grammar::from_rules("t", parse_rulelist(text).unwrap()))
+    }
+
+    fn m(cg: &CompiledGrammar, rule: &str, input: &[u8]) -> MatchOutcome {
+        match_rule(cg, rule, input, DEFAULT_BUDGET)
+    }
+
+    #[test]
+    fn shared_subderivations_are_memoized() {
+        // Both alternatives re-derive `1*ALPHA` over the same span; the
+        // memo table must make the second derivation free. With a budget
+        // of exactly the distinct (rule, pos) pairs this cannot overflow.
+        let cg = compiled("t = a \"!\" / a \"?\"\na = 1*ALPHA\n");
+        let input = b"abcdefghij!";
+        let budget = cg.rule_count() * (input.len() + 1);
+        assert_eq!(match_rule(&cg, "t", input, budget), MatchOutcome::Match);
+    }
+
+    #[test]
+    fn left_recursion_is_overflow_not_hang() {
+        let cg = compiled("a = a \"x\" / \"y\"\n");
+        // `y` is reachable without the cycle: a genuine match is found.
+        assert_eq!(m(&cg, "a", b"y"), MatchOutcome::Match);
+        // `yx` needs the left-recursive arm, which the seed cut off: the
+        // matcher must refuse to claim NoMatch.
+        assert_eq!(m(&cg, "a", b"yx"), MatchOutcome::Overflow);
+    }
+
+    #[test]
+    fn first_set_pruning_does_not_reject_valid_inputs() {
+        let cg = compiled("t = *\"a\" \"b\"\n");
+        assert_eq!(m(&cg, "t", b"b"), MatchOutcome::Match);
+        assert_eq!(m(&cg, "t", b"aab"), MatchOutcome::Match);
+        assert_eq!(m(&cg, "t", b"c"), MatchOutcome::NoMatch);
+        assert_eq!(m(&cg, "t", b""), MatchOutcome::NoMatch);
+    }
+
+    #[test]
+    fn zero_budget_overflows() {
+        // Two-byte literal: not a character class, so the rule needs one
+        // budgeted memo computation (single-byte class rules like
+        // `t = "x"` answer in O(1) and never consume budget).
+        let cg = compiled("t = \"xy\"\n");
+        assert_eq!(match_rule(&cg, "t", b"xy", 0), MatchOutcome::Overflow);
+    }
+
+    #[test]
+    fn character_class_rules_need_no_budget() {
+        let cg = compiled("t = ALPHA / DIGIT / \"-\"\n");
+        assert_eq!(match_rule(&cg, "t", b"x", 0), MatchOutcome::Match);
+        assert_eq!(match_rule(&cg, "t", b"7", 0), MatchOutcome::Match);
+        assert_eq!(match_rule(&cg, "t", b"-", 0), MatchOutcome::Match);
+        assert_eq!(match_rule(&cg, "t", b"!", 0), MatchOutcome::NoMatch);
+        assert_eq!(match_rule(&cg, "t", b"xx", 0), MatchOutcome::NoMatch);
+        assert_eq!(match_rule(&cg, "t", b"", 0), MatchOutcome::NoMatch);
+    }
+
+    #[test]
+    fn undefined_rule_is_no_match() {
+        let cg = compiled("t = missing\n");
+        assert_eq!(m(&cg, "missing", b"x"), MatchOutcome::NoMatch);
+        assert_eq!(m(&cg, "t", b"x"), MatchOutcome::NoMatch);
+        assert_eq!(m(&cg, "nowhere", b"x"), MatchOutcome::NoMatch);
+    }
+
+    #[test]
+    fn long_input_uses_sparse_table() {
+        let cg = compiled("t = *OCTET\n");
+        // Force the sparse path: rules × (len+1) must exceed the dense
+        // slot limit.
+        let len = super::DENSE_SLOT_LIMIT / cg.rule_count() + 1;
+        let input = vec![b'a'; len];
+        assert_eq!(m(&cg, "t", &input), MatchOutcome::Match);
+    }
+}

@@ -1,0 +1,133 @@
+//! Differential property test: the compiled packrat matcher and the
+//! legacy backtracking matcher ([`hdiff_abnf::matcher::reference`]) must
+//! agree on `Match`/`NoMatch` for every rule in the real adapted grammar.
+//!
+//! The reference matcher is the semantic oracle; the compiled matcher is
+//! the performance rewrite. Cases where the reference overflows its
+//! (generous, 500k-expansion) budget are skipped — there the oracle has
+//! no definite verdict to compare against.
+
+use std::sync::OnceLock;
+
+use hdiff_abnf::matcher::{self, MatchOutcome};
+use hdiff_abnf::{AdaptOptions, Adaptor, Grammar};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Budget for the reference oracle: far above anything the compiled path
+/// needs, so "reference overflowed" really means "oracle gave up".
+const REFERENCE_BUDGET: usize = 500_000;
+
+fn corpus_grammar() -> &'static Grammar {
+    static GRAMMAR: OnceLock<Grammar> = OnceLock::new();
+    GRAMMAR.get_or_init(|| {
+        let mut adaptor = Adaptor::new();
+        for doc in hdiff_corpus::core_documents() {
+            let (rules, _) = hdiff_abnf::extract_abnf(&doc.full_text());
+            adaptor.add_document(doc.tag.clone(), rules);
+        }
+        for doc in hdiff_corpus::reference_documents() {
+            let (rules, _) = hdiff_abnf::extract_abnf(&doc.full_text());
+            adaptor.register_reference(doc.tag.clone(), Grammar::from_rules(&doc.tag, rules));
+        }
+        adaptor.adapt(&AdaptOptions::default()).0
+    })
+}
+
+fn rule_names() -> &'static [String] {
+    static NAMES: OnceLock<Vec<String>> = OnceLock::new();
+    NAMES.get_or_init(|| corpus_grammar().iter().map(|r| r.name.clone()).collect())
+}
+
+/// Inputs that hit the shapes HTTP rules care about: valid members of
+/// common productions, near-misses, delimiter-laced ambiguity probes.
+const POOL: &[&str] = &[
+    "",
+    " ",
+    "*",
+    "0",
+    "100",
+    "8080",
+    "example.com",
+    "h1.com:8080",
+    "h2.com",
+    "127.0.0.1",
+    "[::1]:80",
+    "h1.com@h2.com",
+    "h1.com, h2.com",
+    "h1 h2",
+    "h1..com",
+    "h1.com:80:80",
+    "GET",
+    "POST",
+    "HTTP/1.1",
+    "close",
+    "keep-alive",
+    "chunked",
+    "gzip, deflate",
+    "text/html",
+    "bytes=0-499",
+    "Mon, 02 Jan 2006 15:04:05 GMT",
+    "/index.html",
+    "a=b; c=d",
+];
+
+fn agree(rule: &str, input: &[u8]) -> Result<(), TestCaseError> {
+    let reference =
+        matcher::reference::matches_with_budget(corpus_grammar(), rule, input, REFERENCE_BUDGET);
+    if reference == MatchOutcome::Overflow {
+        return Ok(()); // no oracle verdict for this case
+    }
+    let compiled = matcher::matches(corpus_grammar(), rule, input);
+    prop_assert_eq!(
+        compiled,
+        reference,
+        "rule {} on {:?}: compiled {:?} vs reference {:?}",
+        rule,
+        String::from_utf8_lossy(input),
+        compiled,
+        reference
+    );
+    Ok(())
+}
+
+/// Exhaustive sweep: every adapted-grammar rule against every pool input.
+#[test]
+fn every_rule_agrees_on_the_realistic_pool() {
+    let mut checked = 0usize;
+    for rule in rule_names() {
+        for input in POOL {
+            agree(rule, input.as_bytes()).unwrap();
+            checked += 1;
+        }
+    }
+    assert!(checked >= rule_names().len() * POOL.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Random rule × random byte string (arbitrary, printable, or a pool
+    /// value with random bytes appended) — the fuzzing arm of the oracle.
+    #[test]
+    fn compiled_matcher_agrees_with_reference(
+        rule_sel in 0usize..1_000_000,
+        mode in 0usize..3,
+        pool_sel in 0usize..1_000_000,
+        raw in collection::vec(any::<u8>(), 0..24),
+        printable in "[ -~]{0,24}",
+    ) {
+        let rules = rule_names();
+        let rule = &rules[rule_sel % rules.len()];
+        let input: Vec<u8> = match mode {
+            0 => raw,
+            1 => printable.into_bytes(),
+            _ => {
+                let mut v = POOL[pool_sel % POOL.len()].as_bytes().to_vec();
+                v.extend_from_slice(&raw[..raw.len().min(4)]);
+                v
+            }
+        };
+        agree(rule, &input)?;
+    }
+}

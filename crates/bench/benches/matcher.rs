@@ -1,0 +1,55 @@
+//! Criterion bench: the compiled packrat matcher vs the legacy
+//! backtracking reference ([`hdiff_abnf::matcher::reference`]) over the
+//! adapted grammar — the speedup the compiled IR exists for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdiff_abnf::matcher;
+use hdiff_analyzer::DocumentAnalyzer;
+
+/// (rule, input) pairs spanning the shapes campaigns actually match:
+/// plain members, near-misses, and backtracking-hostile long values.
+const WORKLOAD: &[(&str, &str)] = &[
+    ("Host", "example.com:8080"),
+    ("Host", "a.b.c.d.e.f.g.example.com:80"),
+    ("Host", "mutated.host.with.many.labels.and.a.long.tail.example.com:8080"),
+    ("Host", "h1.com@h2.com"),
+    ("uri-host", "127.0.0.1"),
+    ("origin-form", "/a/b/c/d/e/index.html?q=1&r=2"),
+    ("transfer-coding", "chunked"),
+];
+
+/// Reference budget matching the old call sites' workaround value.
+const REFERENCE_BUDGET: usize = 500_000;
+
+fn bench_matcher(c: &mut Criterion) {
+    let analysis = DocumentAnalyzer::with_default_inputs().analyze(&hdiff_corpus::core_documents());
+    let grammar = &analysis.grammar;
+    // Warm the per-grammar compilation cache outside the timing loops.
+    let _ = grammar.compiled();
+
+    let mut group = c.benchmark_group("matcher_compiled");
+    for (rule, input) in WORKLOAD {
+        group.bench_with_input(BenchmarkId::new(*rule, *input), input, |b, input| {
+            b.iter(|| std::hint::black_box(matcher::matches(grammar, rule, input.as_bytes())));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("matcher_reference");
+    for (rule, input) in WORKLOAD {
+        group.bench_with_input(BenchmarkId::new(*rule, *input), input, |b, input| {
+            b.iter(|| {
+                std::hint::black_box(matcher::reference::matches_with_budget(
+                    grammar,
+                    rule,
+                    input.as_bytes(),
+                    REFERENCE_BUDGET,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matcher);
+criterion_main!(benches);

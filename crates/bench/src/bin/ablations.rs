@@ -120,8 +120,11 @@ fn main() {
     let escaped = values
         .iter()
         .filter(|(v, _)| {
-            !hdiff_abnf::matcher::matches_with_budget(&analysis.grammar, "Host", v, 500_000)
-                .is_match()
+            // Default budget: the memoizing matcher decides every
+            // tree-mutated value without overflowing.
+            let outcome = hdiff_abnf::matcher::matches(&analysis.grammar, "Host", v);
+            assert_ne!(outcome, hdiff_abnf::MatchOutcome::Overflow, "matcher overflowed on {v:?}");
+            !outcome.is_match()
         })
         .count();
     println!(

@@ -1,0 +1,96 @@
+//! Writes `BENCH_matcher.json`: median ns/op for the compiled matcher,
+//! the legacy reference matcher, ABNF generation, and a full
+//! workflow+detection case — the perf numbers the compiled-IR rewrite
+//! is accountable for.
+//!
+//! Usage: `cargo run --release -p hdiff-bench --bin perf_snapshot`
+//! (`-- --smoke` for a fast CI-sized run).
+
+use std::time::Instant;
+
+use hdiff_abnf::matcher;
+use hdiff_analyzer::DocumentAnalyzer;
+use hdiff_diff::detect_case;
+use hdiff_diff::workflow::Workflow;
+use hdiff_gen::{AbnfGenerator, GenOptions, TestCase};
+use hdiff_wire::Request;
+
+/// Budget the old call sites granted the backtracking matcher.
+const REFERENCE_BUDGET: usize = 500_000;
+
+/// The matching workload (same shapes as `benches/matcher.rs`).
+const WORKLOAD: &[(&str, &str)] = &[
+    ("Host", "example.com:8080"),
+    ("Host", "a.b.c.d.e.f.g.example.com:80"),
+    ("Host", "mutated.host.with.many.labels.and.a.long.tail.example.com:8080"),
+    ("Host", "h1.com@h2.com"),
+    ("uri-host", "127.0.0.1"),
+    ("origin-form", "/a/b/c/d/e/index.html?q=1&r=2"),
+    ("transfer-coding", "chunked"),
+];
+
+/// Runs `f` (`reps` ops per sample, `samples` samples) and returns the
+/// median per-op nanoseconds.
+fn median_ns(samples: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut per_op = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        per_op.push(start.elapsed().as_nanos() as f64 / reps as f64);
+    }
+    per_op.sort_by(|a, b| a.total_cmp(b));
+    per_op[per_op.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (samples, reps) = if smoke { (5, 10) } else { (21, 200) };
+
+    let analysis = DocumentAnalyzer::with_default_inputs().analyze(&hdiff_corpus::core_documents());
+    let grammar = &analysis.grammar;
+    let _ = grammar.compiled(); // compile once, outside the timing loops
+
+    // One matching "op" sweeps the whole workload, so both matchers pay
+    // for the same mix of accepts and rejects.
+    let compiled_ns = median_ns(samples, reps, || {
+        for (rule, input) in WORKLOAD {
+            std::hint::black_box(matcher::matches(grammar, rule, input.as_bytes()));
+        }
+    }) / WORKLOAD.len() as f64;
+    let reference_ns = median_ns(samples, reps.div_ceil(10), || {
+        for (rule, input) in WORKLOAD {
+            std::hint::black_box(matcher::reference::matches_with_budget(
+                grammar,
+                rule,
+                input.as_bytes(),
+                REFERENCE_BUDGET,
+            ));
+        }
+    }) / WORKLOAD.len() as f64;
+    let speedup = reference_ns / compiled_ns;
+
+    let mut generator = AbnfGenerator::new(grammar.clone(), GenOptions::default());
+    let generate_ns = median_ns(samples, reps, || {
+        std::hint::black_box(generator.generate("Host"));
+    });
+
+    let workflow = Workflow::standard();
+    let products = hdiff_servers::products();
+    let case = TestCase::generated(1, Request::get("h1.com@h2.com"), "perf snapshot case");
+    let full_case_ns = median_ns(samples, reps.div_ceil(10), || {
+        let outcome = workflow.run_case(&case);
+        std::hint::black_box(detect_case(&products, &outcome));
+    });
+
+    let json = format!(
+        "{{\n  \"schema\": \"hdiff-bench-matcher-v1\",\n  \"smoke\": {smoke},\n  \"samples\": {samples},\n  \"workload_inputs\": {},\n  \"match_compiled_ns\": {compiled_ns:.1},\n  \"match_reference_ns\": {reference_ns:.1},\n  \"speedup\": {speedup:.1},\n  \"generate_host_ns\": {generate_ns:.1},\n  \"full_case_ns\": {full_case_ns:.1}\n}}\n",
+        WORKLOAD.len()
+    );
+    std::fs::write("BENCH_matcher.json", &json).expect("write BENCH_matcher.json");
+    print!("{json}");
+    eprintln!(
+        "compiled {compiled_ns:.0} ns/op vs reference {reference_ns:.0} ns/op -> {speedup:.1}x"
+    );
+}

@@ -189,6 +189,10 @@ impl HDiff {
 
         let mut engine = DiffEngine::standard();
         engine.threads = self.config.threads;
+        // The adapted grammar doubles as a syntax oracle: HoT findings
+        // get per-view `Host` conformance verdicts and lenient hosts
+        // surface as SR violations.
+        engine.syntax_oracle = Some(hdiff_diff::SyntaxOracle::new(&analysis.grammar));
         if self.config.fault_rate > 0 {
             engine.fault_plan =
                 hdiff_servers::fault::FaultPlan::new(self.config.seed, self.config.fault_rate);

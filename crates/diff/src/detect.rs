@@ -14,6 +14,7 @@ use hdiff_servers::{interpret, Outcome, ParserProfile};
 
 use crate::baseline::{baseline_profile, deviations, Deviation, DeviationKind};
 use crate::findings::Finding;
+use crate::syntax::SyntaxOracle;
 use crate::workflow::{CaseOutcome, FaultReaction};
 
 /// Two proxies reacting differently to the *same* injected upstream
@@ -99,6 +100,20 @@ pub fn detect_degradation(outcome: &CaseOutcome) -> Vec<DegradationFinding> {
 /// `profiles` must contain every product profile participating (for
 /// deviation attribution).
 pub fn detect_case(profiles: &[ParserProfile], outcome: &CaseOutcome) -> Vec<Finding> {
+    detect_case_with_oracle(profiles, outcome, None)
+}
+
+/// [`detect_case`], with an optional grammar-conformance oracle.
+///
+/// When an oracle is supplied, HoT findings are annotated with each
+/// host view's verdict against the adapted `Host` production, turning
+/// "the views differ" into "the views differ *and this one is not even
+/// syntactically a host*" — which is what makes the pair exploitable.
+pub fn detect_case_with_oracle(
+    profiles: &[ParserProfile],
+    outcome: &CaseOutcome,
+    oracle: Option<&SyntaxOracle>,
+) -> Vec<Finding> {
     let baseline = interpret(&baseline_profile(), &outcome.bytes);
     let mut findings = Vec::new();
 
@@ -190,6 +205,18 @@ pub fn detect_case(profiles: &[ParserProfile], outcome: &CaseOutcome) -> Vec<Fin
             if first_reply.interpretation.outcome.is_accept() {
                 let backend_host = &first_reply.interpretation.host;
                 if proxy_host.is_some() && backend_host.is_some() && proxy_host != *backend_host {
+                    let mut evidence = format!(
+                        "host views differ: proxy sees {:?}, backend sees {:?}",
+                        String::from_utf8_lossy(proxy_host.as_deref().unwrap_or_default()),
+                        String::from_utf8_lossy(backend_host.as_deref().unwrap_or_default()),
+                    );
+                    if let Some(oracle) = oracle {
+                        evidence.push_str(&format!(
+                            "; Host ABNF: proxy view {}, backend view {}",
+                            oracle.host_label(proxy_host.as_deref().unwrap_or_default()),
+                            oracle.host_label(backend_host.as_deref().unwrap_or_default()),
+                        ));
+                    }
                     findings.push(Finding {
                         class: AttackClass::Hot,
                         uuid: outcome.uuid,
@@ -202,11 +229,7 @@ pub fn detect_case(profiles: &[ParserProfile], outcome: &CaseOutcome) -> Vec<Fin
                             c.insert(replay.backend.clone());
                             c
                         },
-                        evidence: format!(
-                            "host views differ: proxy sees {:?}, backend sees {:?}",
-                            String::from_utf8_lossy(proxy_host.as_deref().unwrap_or_default()),
-                            String::from_utf8_lossy(backend_host.as_deref().unwrap_or_default()),
-                        ),
+                        evidence,
                     });
                 }
             }

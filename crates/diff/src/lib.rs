@@ -12,8 +12,11 @@
 //! * [`detect`] — the three detection models (HRS, HoT, CPDoS) expressed
 //!   as predicates over `HMetrics`/chain outcomes.
 //! * [`srcheck`] — single-implementation SR-assertion checking.
+//! * [`syntax`] — the grammar-conformance oracle over the compiled ABNF
+//!   matcher, annotating findings with per-view validity verdicts.
 //! * [`verdict`] — aggregation into Table I verdicts and Fig. 7 pair
 //!   matrices.
+//! * [`schedule`] — the work-stealing fan-out used by the runner.
 //! * [`runner`] — drives a whole test-case corpus through everything.
 
 pub mod baseline;
@@ -22,17 +25,20 @@ pub mod detect;
 pub mod findings;
 pub mod hmetrics;
 pub mod runner;
+pub mod schedule;
 pub mod srcheck;
+pub mod syntax;
 pub mod verdict;
 pub mod verify;
 pub mod workflow;
 
 pub use baseline::{deviations, Deviation, DeviationKind};
-pub use detect::{detect_case, detect_degradation, DegradationFinding};
+pub use detect::{detect_case, detect_case_with_oracle, detect_degradation, DegradationFinding};
 pub use findings::Finding;
 pub use hmetrics::HMetrics;
 pub use runner::{CaseError, CaseRecord, DiffEngine, RunSummary};
-pub use srcheck::{check_assertions, SrViolation};
+pub use srcheck::{check_assertions, check_host_conformance, SrViolation};
+pub use syntax::SyntaxOracle;
 pub use verdict::{PairMatrix, Verdicts};
 pub use verify::{verify_all, verify_finding, VerifiedFinding};
 pub use workflow::{CaseOutcome, ChainRun, FaultReaction, ReplayRun, Workflow};

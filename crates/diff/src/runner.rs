@@ -20,9 +20,11 @@ use hdiff_servers::fault::{FaultInjector, FaultKind, FaultPlan, FaultSession};
 use hdiff_servers::ParserProfile;
 
 use crate::checkpoint;
-use crate::detect::{detect_case, detect_degradation, DegradationFinding};
+use crate::detect::{detect_case_with_oracle, detect_degradation, DegradationFinding};
 use crate::findings::Finding;
-use crate::srcheck::{check_all, SrViolation};
+use crate::schedule;
+use crate::srcheck::{check_all, check_host_conformance, SrViolation};
+use crate::syntax::SyntaxOracle;
 use crate::verdict::{PairMatrix, Verdicts};
 use crate::workflow::Workflow;
 
@@ -135,6 +137,10 @@ pub struct DiffEngine {
     /// Stop after this many checkpoint intervals — simulates a campaign
     /// killed mid-run (tests and operational drills).
     pub stop_after_chunks: Option<usize>,
+    /// Optional grammar-conformance oracle. When set, HoT findings carry
+    /// per-view `Host` validity verdicts and the summary includes
+    /// [`check_host_conformance`] violations.
+    pub syntax_oracle: Option<SyntaxOracle>,
 }
 
 impl DiffEngine {
@@ -164,6 +170,7 @@ impl DiffEngine {
             step_budget: 4096,
             checkpoint_every: 64,
             stop_after_chunks: None,
+            syntax_oracle: None,
         }
     }
 
@@ -210,11 +217,14 @@ impl DiffEngine {
     ) -> io::Result<()> {
         let pending: Vec<&TestCase> =
             cases.iter().filter(|c| !completed.contains_key(&c.uuid)).collect();
+        // Resolve the thread count once per run; `available_parallelism`
+        // is a syscall and the answer cannot change between chunks.
+        let threads = self.effective_threads();
         for (i, chunk) in pending.chunks(self.checkpoint_every.max(1)).enumerate() {
             if self.stop_after_chunks.is_some_and(|n| i >= n) {
                 break;
             }
-            for record in self.run_chunk(chunk) {
+            for record in self.run_chunk(chunk, threads) {
                 completed.insert(record.uuid, record);
             }
             if let Some(path) = ckpt {
@@ -224,21 +234,13 @@ impl DiffEngine {
         Ok(())
     }
 
-    /// Runs one chunk's cases across the worker threads.
-    fn run_chunk(&self, chunk: &[&TestCase]) -> Vec<CaseRecord> {
-        let per = chunk.len().div_ceil(self.effective_threads()).max(1);
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for batch in chunk.chunks(per) {
-                handles.push(s.spawn(move || {
-                    batch.iter().map(|c| self.run_case_resilient(c)).collect::<Vec<_>>()
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker died outside catch_unwind"))
-                .collect()
-        })
+    /// Runs one chunk's cases across the worker threads. Workers steal
+    /// cases from a shared cursor (see [`schedule::run_stealing`]), so a
+    /// stalled-read straggler occupies one thread while the rest drain
+    /// the chunk, and a chunk smaller than the thread count spawns only
+    /// as many workers as it has cases.
+    fn run_chunk(&self, chunk: &[&TestCase], threads: usize) -> Vec<CaseRecord> {
+        schedule::run_stealing(chunk, threads, |case| self.run_case_resilient(case))
     }
 
     /// Runs one case under `catch_unwind` with a fresh fault session per
@@ -256,7 +258,8 @@ impl DiffEngine {
             let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
                 let outcome = self.workflow.run_case_faulted(case, Some(&session));
                 let replayed = outcome.chains.iter().any(|c| !c.replays.is_empty());
-                let findings = detect_case(&self.profiles, &outcome);
+                let findings =
+                    detect_case_with_oracle(&self.profiles, &outcome, self.syntax_oracle.as_ref());
                 let degradations = detect_degradation(&outcome);
                 (outcome.fault_events, outcome.budget_exhausted, replayed, findings, degradations)
             }));
@@ -346,7 +349,10 @@ impl DiffEngine {
         }
         quarantined.sort_unstable();
 
-        let sr_violations = check_all(&self.profiles, cases);
+        let mut sr_violations = check_all(&self.profiles, cases);
+        if let Some(oracle) = &self.syntax_oracle {
+            sr_violations.extend(check_host_conformance(oracle, &self.profiles, cases));
+        }
         let pairs = PairMatrix::from_findings(&findings);
         let verdicts = Verdicts::from_findings(&findings, &self.profiles);
 
@@ -463,6 +469,65 @@ mod tests {
         let mut c = DiffEngine::standard();
         c.fault_plan = FaultPlan::new(43, 35);
         assert_ne!(a.run(&cases), c.run(&cases), "a different seed reschedules faults");
+    }
+
+    #[test]
+    fn stall_read_stragglers_do_not_change_the_summary() {
+        // A stall-read-only fault plan makes some cases burn their whole
+        // step budget (slow) while others finish instantly — the skew the
+        // work-stealing scheduler exists for. The multi-threaded run must
+        // complete and agree byte-for-byte with the single-threaded one.
+        let cases = catalog_cases();
+        let plan = FaultPlan::new(11, 70).with_kinds(&[FaultKind::StallRead]);
+        let mut one = DiffEngine::standard();
+        one.fault_plan = plan.clone();
+        one.threads = 1;
+        let mut many = DiffEngine::standard();
+        many.fault_plan = plan;
+        many.threads = 3;
+        let s1 = one.run(&cases);
+        let s3 = many.run(&cases);
+        assert_eq!(s1, s3);
+        assert!(s1.errors > 0, "a 70% stall-read rate must exhaust some step budgets: {s1:?}");
+    }
+
+    #[test]
+    fn syntax_oracle_annotates_hot_findings_and_audits_hosts() {
+        let grammar = hdiff_analyzer::DocumentAnalyzer::with_default_inputs()
+            .analyze(&hdiff_corpus::core_documents())
+            .grammar;
+        let cases = catalog_cases();
+        let mut engine = DiffEngine::standard();
+        engine.syntax_oracle = Some(crate::syntax::SyntaxOracle::new(&grammar));
+        let summary = engine.run(&cases);
+        // Pair findings (Model HoT proper) carry per-view verdicts;
+        // Model-0 single-implementation deviations have no pair of views.
+        let hot: Vec<_> = summary
+            .findings_of(AttackClass::Hot)
+            .into_iter()
+            .filter(|f| f.pair().is_some())
+            .collect();
+        assert!(!hot.is_empty());
+        assert!(
+            hot.iter().all(|f| f.evidence.contains("Host ABNF")),
+            "oracle-run HoT pair findings must carry conformance verdicts: {hot:?}"
+        );
+        assert!(
+            hot.iter().any(|f| f.evidence.contains("proxy view invalid")),
+            "the invalid-host catalog entries must be called out: {hot:?}"
+        );
+        assert!(
+            summary.sr_violations.iter().any(|v| v.sr_id == "rfc7230:host-abnf"),
+            "catalog contains invalid-host cases some product accepts"
+        );
+
+        // Without the oracle the same run carries no annotations.
+        let plain = DiffEngine::standard().run(&cases);
+        assert!(plain
+            .findings_of(AttackClass::Hot)
+            .iter()
+            .all(|f| !f.evidence.contains("Host ABNF")));
+        assert!(!plain.sr_violations.iter().any(|v| v.sr_id == "rfc7230:host-abnf"));
     }
 
     #[test]

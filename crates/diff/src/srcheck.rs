@@ -9,6 +9,8 @@ use hdiff_gen::{Assertion, TestCase};
 use hdiff_servers::{interpret, ParserProfile, Proxy};
 use hdiff_sr::{Modality, Role};
 
+use crate::syntax::SyntaxOracle;
+
 /// One observed violation of an SR assertion.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SrViolation {
@@ -118,6 +120,48 @@ pub fn check_assertions(profile: &ParserProfile, case: &TestCase) -> Vec<SrViola
     out
 }
 
+/// Grammar-conformance checking against the adapted `Host` production.
+///
+/// RFC 7230 §5.4: a server MUST respond 400 to a request whose Host
+/// field-value is invalid. The oracle's compiled matcher supplies the
+/// "invalid" verdict; any implementation that *accepts* such a request
+/// violates the requirement. Requests without a Host header, with a
+/// syntactically valid one, or where the oracle has no verdict produce
+/// nothing.
+pub fn check_host_conformance(
+    oracle: &SyntaxOracle,
+    profiles: &[ParserProfile],
+    cases: &[TestCase],
+) -> Vec<SrViolation> {
+    let mut out = Vec::new();
+    for case in cases {
+        let Some(host) = case.request.host() else { continue };
+        if oracle.conforms("Host", host) != Some(false) {
+            continue;
+        }
+        let bytes = case.request.to_bytes();
+        for profile in profiles {
+            let i = interpret(profile, &bytes);
+            if !i.outcome.is_accept() {
+                continue;
+            }
+            out.push(SrViolation {
+                implementation: profile.name.clone(),
+                sr_id: "rfc7230:host-abnf".to_string(),
+                modality: Modality::Must,
+                expected: "400 for a Host field-value outside the Host production".to_string(),
+                observed: format!(
+                    "accepted ({}) despite invalid host {:?}",
+                    i.outcome.status(),
+                    String::from_utf8_lossy(host)
+                ),
+                code_mismatch_only: false,
+            });
+        }
+    }
+    out
+}
+
 /// Checks a batch of cases against a batch of implementations, returning
 /// all violations (mandatory and advisory).
 pub fn check_all(profiles: &[ParserProfile], cases: &[TestCase]) -> Vec<SrViolation> {
@@ -189,6 +233,26 @@ mod tests {
         let v = check_assertions(&product(ProductId::Varnish), &case);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].observed.contains("stores error"));
+    }
+
+    #[test]
+    fn host_conformance_flags_accepting_implementations_only() {
+        let grammar = hdiff_analyzer::DocumentAnalyzer::with_default_inputs()
+            .analyze(&hdiff_corpus::core_documents())
+            .grammar;
+        let oracle = crate::syntax::SyntaxOracle::new(&grammar);
+        let products = hdiff_servers::products();
+
+        let mut b = Request::builder();
+        b.header("Host", "h1.com, h2.com");
+        let invalid = TestCase::generated(1, b.build(), "comma-joined hosts");
+        let violations = check_host_conformance(&oracle, &products, &[invalid]);
+        assert!(!violations.is_empty(), "some product accepts the comma-joined host");
+        assert!(violations.iter().all(|v| v.is_mandatory()));
+        assert!(violations.iter().all(|v| v.sr_id == "rfc7230:host-abnf"));
+
+        let clean = TestCase::generated(2, Request::get("example.com"), "clean host");
+        assert!(check_host_conformance(&oracle, &products, &[clean]).is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Depth-bounded ABNF tree traversal (§III-D, *ABNF Generator*).
 //!
-//! The generator walks the adapted grammar's syntax tree from a start rule
-//! down to leaf nodes. Two mechanisms keep output useful and finite:
+//! The generator walks the adapted grammar from a start rule down to leaf
+//! nodes. Two mechanisms keep output useful and finite:
 //!
 //! * a **recursion depth cap** (the paper limits traversal to depth 7) —
 //!   when the cap is hit, the generator takes the alternative/repetition
@@ -10,14 +10,27 @@
 //!   RFC 7230's `comment`;
 //! * **predefined leaf rules** that replace free traversal for selected
 //!   rules with representative values (see [`crate::predefined`]).
+//!
+//! Traversal runs over the grammar's compiled arena IR
+//! ([`hdiff_abnf::compile`]): rule references are `u32` indices into a
+//! shared `Arc<CompiledGrammar>` instead of string-keyed map lookups that
+//! clone whole AST subtrees, and the min-depth table is a dense `Vec`
+//! indexed by rule id. The lowering is structure-preserving (one op per
+//! AST node, groups inlined), so the walk makes exactly the same RNG
+//! draws as the original AST walk — generation is bit-for-bit identical
+//! per seed. Free-standing (e.g. mutated) trees are compiled on the fly
+//! against the shared grammar ([`CompiledGrammar::compile_detached`]).
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use hdiff_abnf::{Grammar, Node, Repeat};
+use hdiff_abnf::compile::{CompiledGrammar, Op, OpArena, RuleOrigin, UNBOUNDED};
+use hdiff_abnf::{Grammar, Node};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::predefined::PredefinedRules;
+
+const INF: usize = usize::MAX / 4;
 
 /// Generation options.
 #[derive(Debug, Clone)]
@@ -47,16 +60,22 @@ impl Default for GenOptions {
 #[derive(Debug)]
 pub struct AbnfGenerator {
     grammar: Grammar,
+    compiled: Arc<CompiledGrammar>,
     opts: GenOptions,
     rng: StdRng,
-    min_depth: BTreeMap<String, usize>,
+    /// Min expansion depth per compiled rule index (grammar rules only;
+    /// core rules cost a flat 1, undefined rules are unreachable).
+    min_depth: Vec<usize>,
 }
 
 impl AbnfGenerator {
-    /// Builds a generator over an adapted grammar.
+    /// Builds a generator over an adapted grammar. The compiled form is
+    /// taken from the grammar's cache, so constructing many generators
+    /// over (clones of) one grammar compiles it once.
     pub fn new(grammar: Grammar, opts: GenOptions) -> AbnfGenerator {
         let rng = StdRng::seed_from_u64(opts.seed);
-        let mut g = AbnfGenerator { grammar, opts, rng, min_depth: BTreeMap::new() };
+        let compiled = grammar.compiled();
+        let mut g = AbnfGenerator { grammar, compiled, opts, rng, min_depth: Vec::new() };
         g.compute_min_depths();
         g
     }
@@ -68,17 +87,21 @@ impl AbnfGenerator {
 
     /// Generates one value for `rule`, or `None` when the rule is unknown.
     pub fn generate(&mut self, rule: &str) -> Option<Vec<u8>> {
-        let node = self.grammar.get(rule)?.node.clone();
+        let cg = self.compiled.clone();
+        let root = cg.rule_index(rule).and_then(|i| cg.rule(i).root)?;
         let mut out = Vec::new();
-        self.eval(&node, 0, &mut out);
+        self.eval_op(&cg, cg.arena(), &[], root, 0, &mut out);
         Some(out)
     }
 
     /// Generates one value from an arbitrary syntax-tree node (used by the
-    /// tree mutator to generate from mutated grammars).
+    /// tree mutator to generate from mutated grammars). The node is
+    /// compiled against the shared grammar on the fly.
     pub fn generate_node(&mut self, node: &Node) -> Vec<u8> {
+        let cg = self.compiled.clone();
+        let program = cg.compile_detached(node);
         let mut out = Vec::new();
-        self.eval(node, 0, &mut out);
+        self.eval_op(&cg, &program.arena, &program.extra_names, program.root, 0, &mut out);
         out
     }
 
@@ -111,112 +134,126 @@ impl AbnfGenerator {
     /// contribute only their endpoints plus one midpoint so enumeration
     /// stays representative rather than exhaustive over bytes.
     pub fn enumerate(&mut self, rule: &str, limit: usize) -> Vec<Vec<u8>> {
-        let Some(r) = self.grammar.get(rule) else {
+        let cg = self.compiled.clone();
+        let Some(root) = cg.rule_index(rule).and_then(|i| cg.rule(i).root) else {
             return Vec::new();
         };
-        let node = r.node.clone();
-        let mut out = self.enumerate_node(&node, 0, limit);
+        let mut out = self.enum_op(&cg, cg.arena(), &[], root, 0, limit);
         out.truncate(limit);
         out.sort();
         out.dedup();
         out
     }
 
-    fn enumerate_node(&mut self, node: &Node, depth: usize, limit: usize) -> Vec<Vec<u8>> {
+    /// The rule name an `Op::Rule` index refers to (grammar/core rules or
+    /// a detached program's extra names).
+    fn rule_name<'c>(cg: &'c CompiledGrammar, extra: &'c [String], r: u32) -> &'c str {
+        let count = cg.rule_count() as u32;
+        if r < count {
+            &cg.rule(r).name
+        } else {
+            &extra[(r - count) as usize]
+        }
+    }
+
+    fn enum_op(
+        &mut self,
+        cg: &CompiledGrammar,
+        arena: &OpArena,
+        extra: &[String],
+        op: u32,
+        depth: usize,
+        limit: usize,
+    ) -> Vec<Vec<u8>> {
         if limit == 0 {
             return Vec::new();
         }
-        match node {
-            Node::Alternation(alts) => {
+        match arena.op(op) {
+            Op::Alt(range) => {
                 let mut out = Vec::new();
-                for a in alts {
+                for &k in arena.kid_slice(range) {
                     if out.len() >= limit {
                         break;
                     }
-                    out.extend(self.enumerate_node(a, depth, limit - out.len()));
+                    let got = self.enum_op(cg, arena, extra, k, depth, limit - out.len());
+                    out.extend(got);
                 }
                 out
             }
-            Node::Concatenation(seq) => {
+            Op::Cat(range) => {
                 let mut prefixes: Vec<Vec<u8>> = vec![Vec::new()];
-                for part in seq {
-                    let parts = self.enumerate_node(part, depth, limit);
+                for &part in arena.kid_slice(range) {
+                    let parts = self.enum_op(cg, arena, extra, part, depth, limit);
                     if parts.is_empty() {
                         return Vec::new();
                     }
-                    let mut next = Vec::new();
-                    'outer: for p in &prefixes {
-                        for q in &parts {
-                            if next.len() >= limit {
-                                break 'outer;
-                            }
-                            let mut v = p.clone();
-                            v.extend_from_slice(q);
-                            next.push(v);
-                        }
-                    }
-                    prefixes = next;
+                    prefixes = cross(&prefixes, &parts, limit);
                 }
                 prefixes
             }
-            Node::Repetition(rep, inner) => {
-                let max = rep
-                    .max
-                    .unwrap_or(rep.min.saturating_add(self.opts.max_repeat))
-                    .min(rep.min.saturating_add(self.opts.max_repeat));
+            Op::Repeat { min, max, kid } => {
+                let cap = min.saturating_add(self.opts.max_repeat);
+                let max = if max == UNBOUNDED { cap } else { max.min(cap) };
                 let mut out = Vec::new();
-                for n in rep.min..=max {
+                for n in min..=max {
                     if out.len() >= limit {
                         break;
                     }
-                    let reps = Node::Concatenation(vec![(**inner).clone(); n as usize]);
                     if n == 0 {
                         out.push(Vec::new());
-                    } else {
-                        out.extend(self.enumerate_node(&reps, depth, limit - out.len()));
+                        continue;
+                    }
+                    // Each of the n slots is enumerated afresh and crossed
+                    // in, under the remaining budget.
+                    let remaining = limit - out.len();
+                    let mut prefixes: Vec<Vec<u8>> = vec![Vec::new()];
+                    let mut dead = false;
+                    for _ in 0..n {
+                        let parts = self.enum_op(cg, arena, extra, kid, depth, remaining);
+                        if parts.is_empty() {
+                            dead = true;
+                            break;
+                        }
+                        prefixes = cross(&prefixes, &parts, remaining);
+                    }
+                    if !dead {
+                        out.extend(prefixes);
                     }
                 }
                 out
             }
-            Node::Group(inner) => self.enumerate_node(inner, depth, limit),
-            Node::Optional(inner) => {
+            Op::Opt { kid } => {
                 let mut out = vec![Vec::new()];
-                out.extend(self.enumerate_node(inner, depth, limit.saturating_sub(1)));
+                out.extend(self.enum_op(cg, arena, extra, kid, depth, limit.saturating_sub(1)));
                 out
             }
-            Node::RuleRef(name) => {
+            Op::Rule(r) => {
+                let name = Self::rule_name(cg, extra, r);
                 if let Some(values) = self.opts.predefined.get(name) {
                     if !values.is_empty() {
                         return values.iter().take(limit).cloned().collect();
                     }
                 }
+                let root = if (r as usize) < cg.rule_count() { cg.rule(r).root } else { None };
                 if depth >= self.opts.max_depth {
                     // Depth cap: fall back to one sampled value.
                     let mut v = Vec::new();
-                    if let Some(rule) = self.grammar.get(name) {
-                        let node = rule.node.clone();
-                        self.eval(&node, depth + 1, &mut v);
+                    if let Some(root) = root {
+                        self.eval_op(cg, cg.arena(), extra, root, depth + 1, &mut v);
                     }
                     return vec![v];
                 }
-                match self.grammar.get(name) {
-                    Some(rule) => {
-                        let node = rule.node.clone();
-                        self.enumerate_node(&node, depth + 1, limit)
-                    }
+                match root {
+                    Some(root) => self.enum_op(cg, cg.arena(), extra, root, depth + 1, limit),
                     None => Vec::new(),
                 }
             }
-            Node::CharVal { value, .. } => vec![value.as_bytes().to_vec()],
-            Node::NumVal(v) => {
-                let mut out = Vec::new();
-                push_char(*v, &mut out);
-                vec![out]
-            }
-            Node::NumRange(lo, hi) => {
+            Op::Lit { range, .. } => vec![arena.lit_bytes(range).to_vec()],
+            Op::Byte(b) => vec![vec![b]],
+            Op::Range { lo, hi } => {
                 // Representative endpoints + midpoint.
                 let mid = lo + (hi - lo) / 2;
-                let mut picks = vec![*lo, mid, *hi];
+                let mut picks = vec![lo, mid, hi];
                 picks.dedup();
                 picks
                     .into_iter()
@@ -228,47 +265,51 @@ impl AbnfGenerator {
                     })
                     .collect()
             }
-            Node::NumSeq(vs) => {
-                let mut out = Vec::new();
-                for v in vs {
-                    push_char(*v, &mut out);
-                }
-                vec![out]
-            }
-            Node::ProseVal(_) => Vec::new(),
+            Op::Fail => Vec::new(),
         }
     }
 
-    fn eval(&mut self, node: &Node, depth: usize, out: &mut Vec<u8>) {
-        match node {
-            Node::Alternation(alts) => {
+    fn eval_op(
+        &mut self,
+        cg: &CompiledGrammar,
+        arena: &OpArena,
+        extra: &[String],
+        op: u32,
+        depth: usize,
+        out: &mut Vec<u8>,
+    ) {
+        match arena.op(op) {
+            Op::Alt(range) => {
+                let kids = arena.kid_slice(range);
                 let idx = if depth >= self.opts.max_depth {
                     // Depth cap: cheapest alternative.
-                    (0..alts.len()).min_by_key(|&i| self.node_min_depth(&alts[i])).unwrap_or(0)
+                    (0..kids.len())
+                        .min_by_key(|&i| self.op_min_depth(cg, arena, extra, kids[i]))
+                        .unwrap_or(0)
                 } else {
-                    self.rng.gen_range(0..alts.len())
+                    self.rng.gen_range(0..kids.len())
                 };
-                self.eval(&alts[idx], depth, out);
+                self.eval_op(cg, arena, extra, kids[idx], depth, out);
             }
-            Node::Concatenation(seq) => {
-                for n in seq {
-                    self.eval(n, depth, out);
+            Op::Cat(range) => {
+                for &k in arena.kid_slice(range) {
+                    self.eval_op(cg, arena, extra, k, depth, out);
                 }
             }
-            Node::Repetition(rep, inner) => {
-                let n = self.pick_repeat(*rep, depth);
+            Op::Repeat { min, max, kid } => {
+                let n = self.pick_repeat(min, max, depth);
                 for _ in 0..n {
-                    self.eval(inner, depth, out);
+                    self.eval_op(cg, arena, extra, kid, depth, out);
                 }
             }
-            Node::Group(inner) => self.eval(inner, depth, out),
-            Node::Optional(inner) => {
+            Op::Opt { kid } => {
                 let take = depth < self.opts.max_depth && self.rng.gen_bool(0.5);
                 if take {
-                    self.eval(inner, depth, out);
+                    self.eval_op(cg, arena, extra, kid, depth, out);
                 }
             }
-            Node::RuleRef(name) => {
+            Op::Rule(r) => {
+                let name = Self::rule_name(cg, extra, r);
                 if let Some(values) = self.opts.predefined.get(name) {
                     if !values.is_empty() {
                         let idx = self.rng.gen_range(0..values.len());
@@ -282,17 +323,17 @@ impl AbnfGenerator {
                 if depth > self.opts.max_depth + 64 {
                     return;
                 }
-                if let Some(rule) = self.grammar.get(name) {
-                    let node = rule.node.clone();
-                    self.eval(&node, depth + 1, out);
+                if (r as usize) < cg.rule_count() {
+                    if let Some(root) = cg.rule(r).root {
+                        self.eval_op(cg, cg.arena(), extra, root, depth + 1, out);
+                    }
                 }
                 // Unknown rule: generate nothing (adaptor reports these).
             }
-            Node::CharVal { value, .. } => out.extend_from_slice(value.as_bytes()),
-            Node::NumVal(v) => push_char(*v, out),
-            Node::NumRange(lo, hi) => {
-                let lo = *lo;
-                let hi = (*hi).max(lo);
+            Op::Lit { range, .. } => out.extend_from_slice(arena.lit_bytes(range)),
+            Op::Byte(b) => out.push(b),
+            Op::Range { lo, hi } => {
+                let hi = hi.max(lo);
                 // Bias printable ASCII inside wide ranges.
                 let v = if lo <= 0x21 && hi >= 0x7e {
                     self.rng.gen_range(0x21..=0x7e)
@@ -301,87 +342,107 @@ impl AbnfGenerator {
                 };
                 push_char(v, out);
             }
-            Node::NumSeq(vs) => {
-                for v in vs {
-                    push_char(*v, out);
-                }
-            }
-            Node::ProseVal(_) => {
-                // Unexpanded prose: nothing to generate.
+            Op::Fail => {
+                // Prose-vals and invalid scalars: nothing to generate.
             }
         }
     }
 
-    fn pick_repeat(&mut self, rep: Repeat, depth: usize) -> u32 {
-        let min = rep.min;
-        let max = rep.max.unwrap_or(min.saturating_add(self.opts.max_repeat));
-        let max = max.min(min.saturating_add(self.opts.max_repeat));
+    fn pick_repeat(&mut self, min: u32, max: u32, depth: usize) -> u32 {
+        let cap = min.saturating_add(self.opts.max_repeat);
+        let max = if max == UNBOUNDED { cap } else { max.min(cap) };
         if depth >= self.opts.max_depth || min >= max {
             return min;
         }
         self.rng.gen_range(min..=max)
     }
 
-    /// Minimum expansion depth of a rule (∞ for rules that cannot
-    /// terminate without the depth cap, which the grammar should not have).
+    /// Minimum expansion depth of each grammar rule (∞ for rules that
+    /// cannot terminate without the depth cap, which the grammar should
+    /// not have). Fixpoint over the compiled rule table.
     fn compute_min_depths(&mut self) {
-        // Iterate to fixpoint: min_depth(rule) over the grammar.
-        const INF: usize = usize::MAX / 4;
-        let names: Vec<String> = self.grammar.iter().map(|r| r.name.to_ascii_lowercase()).collect();
-        for n in &names {
-            self.min_depth.insert(n.clone(), INF);
-        }
+        let cg = self.compiled.clone();
+        self.min_depth = vec![INF; cg.rule_count()];
         let mut changed = true;
         while changed {
             changed = false;
-            for name in &names {
-                let node = match self.grammar.get(name) {
-                    Some(r) => r.node.clone(),
-                    None => continue,
-                };
-                let d = 1 + self.node_min_depth(&node);
-                let entry = self.min_depth.get_mut(name).expect("inserted above");
-                if d < *entry {
-                    *entry = d;
+            for i in 0..cg.rule_count() {
+                let info = cg.rule(i as u32);
+                if info.origin != RuleOrigin::Grammar {
+                    continue;
+                }
+                let Some(root) = info.root else { continue };
+                let d = 1 + self.op_min_depth(&cg, cg.arena(), &[], root);
+                if d < self.min_depth[i] {
+                    self.min_depth[i] = d;
                     changed = true;
                 }
             }
         }
     }
 
-    fn node_min_depth(&self, node: &Node) -> usize {
-        const INF: usize = usize::MAX / 4;
-        match node {
-            Node::Alternation(alts) => {
-                alts.iter().map(|n| self.node_min_depth(n)).min().unwrap_or(0)
-            }
-            Node::Concatenation(seq) => {
-                seq.iter().map(|n| self.node_min_depth(n)).max().unwrap_or(0)
-            }
-            Node::Repetition(rep, inner) => {
-                if rep.min == 0 {
+    fn op_min_depth(
+        &self,
+        cg: &CompiledGrammar,
+        arena: &OpArena,
+        extra: &[String],
+        op: u32,
+    ) -> usize {
+        match arena.op(op) {
+            Op::Alt(range) => arena
+                .kid_slice(range)
+                .iter()
+                .map(|&k| self.op_min_depth(cg, arena, extra, k))
+                .min()
+                .unwrap_or(0),
+            Op::Cat(range) => arena
+                .kid_slice(range)
+                .iter()
+                .map(|&k| self.op_min_depth(cg, arena, extra, k))
+                .max()
+                .unwrap_or(0),
+            Op::Repeat { min, kid, .. } => {
+                if min == 0 {
                     0
                 } else {
-                    self.node_min_depth(inner)
+                    self.op_min_depth(cg, arena, extra, kid)
                 }
             }
-            Node::Group(inner) => self.node_min_depth(inner),
-            Node::Optional(_) => 0,
-            Node::RuleRef(name) => {
+            Op::Opt { .. } => 0,
+            Op::Rule(r) => {
+                let name = Self::rule_name(cg, extra, r);
                 if self.opts.predefined.get(name).is_some() {
                     return 0; // predefined values cost no traversal
                 }
-                self.min_depth.get(&name.to_ascii_lowercase()).copied().unwrap_or_else(|| {
-                    if hdiff_abnf::core_rules::is_core_rule(name) {
-                        1
-                    } else {
-                        INF
+                if (r as usize) < cg.rule_count() {
+                    match cg.rule(r).origin {
+                        RuleOrigin::Grammar => self.min_depth[r as usize],
+                        RuleOrigin::Core => 1,
+                        RuleOrigin::Undefined => INF,
                     }
-                })
+                } else {
+                    INF
+                }
             }
             _ => 0,
         }
     }
+}
+
+/// Cross product of `prefixes × parts`, capped at `limit` results.
+fn cross(prefixes: &[Vec<u8>], parts: &[Vec<u8>], limit: usize) -> Vec<Vec<u8>> {
+    let mut next = Vec::new();
+    'outer: for p in prefixes {
+        for q in parts {
+            if next.len() >= limit {
+                break 'outer;
+            }
+            let mut v = p.clone();
+            v.extend_from_slice(q);
+            next.push(v);
+        }
+    }
+    next
 }
 
 fn push_char(v: u32, out: &mut Vec<u8>) {
@@ -598,5 +659,29 @@ mod tests {
         for m in &msgs {
             assert!(m.windows(2).any(|w| w == b"\r\n"), "{:?}", String::from_utf8_lossy(m));
         }
+    }
+
+    #[test]
+    fn compiled_walk_preserves_the_ast_walk_rng_stream() {
+        // The arena lowering is structure-preserving, so generation from a
+        // detached compilation of a rule's AST must be byte-identical to
+        // generation from the rule itself under the same seed.
+        let g = grammar("Host = 1*3ALPHA [ \":\" 1*2DIGIT ] *( \";\" %x61-7A )");
+        let direct: Vec<_> = {
+            let mut gen = AbnfGenerator::new(
+                g.clone(),
+                GenOptions { predefined: PredefinedRules::empty(), ..GenOptions::default() },
+            );
+            (0..30).filter_map(|_| gen.generate("Host")).collect()
+        };
+        let via_node: Vec<_> = {
+            let node = g.get("Host").unwrap().node.clone();
+            let mut gen = AbnfGenerator::new(
+                g,
+                GenOptions { predefined: PredefinedRules::empty(), ..GenOptions::default() },
+            );
+            (0..30).map(|_| gen.generate_node(&node)).collect()
+        };
+        assert_eq!(direct, via_node);
     }
 }
