@@ -91,6 +91,10 @@ pub struct MemoMatcher<'a> {
     budget: usize,
     overflowed: bool,
     cycled: bool,
+    /// One bit per interned rule: entered during this attempt. Allocated
+    /// only when tracing is enabled ([`Self::enable_trace`]) so the hot
+    /// path pays a single `Option` check.
+    trace: Option<Box<[u64]>>,
 }
 
 impl<'a> MemoMatcher<'a> {
@@ -103,7 +107,32 @@ impl<'a> MemoMatcher<'a> {
             budget,
             overflowed: false,
             cycled: false,
+            trace: None,
         }
+    }
+
+    /// Starts recording which defined rules this attempt enters (feeds
+    /// grammar-coverage accounting). Idempotent.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            let words = self.cg.rule_count().div_ceil(64).max(1);
+            self.trace = Some(vec![0u64; words].into_boxed_slice());
+        }
+    }
+
+    /// The rules entered since tracing was enabled, ascending by index.
+    pub fn visited_rules(&self) -> Vec<u32> {
+        let Some(trace) = &self.trace else { return Vec::new() };
+        let mut out = Vec::new();
+        for (w, &word) in trace.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let bit = word.trailing_zeros();
+                out.push(w as u32 * 64 + bit);
+                word &= word - 1;
+            }
+        }
+        out
     }
 
     /// Full-input match of `rule_idx`, mirroring the reference matcher's
@@ -139,6 +168,9 @@ impl<'a> MemoMatcher<'a> {
         let Some(root) = info.root else {
             return;
         };
+        if let Some(trace) = &mut self.trace {
+            trace[rule_idx as usize / 64] |= 1u64 << (rule_idx % 64);
+        }
         if let Some(class) = info.single {
             // Exact character class: answer in O(1), no memo traffic.
             if let Some(&b) = self.input.get(pos) {
@@ -313,6 +345,28 @@ pub fn match_rule(cg: &CompiledGrammar, rule: &str, input: &[u8], budget: usize)
         return MatchOutcome::NoMatch;
     }
     MemoMatcher::new(cg, input, budget).match_full(idx)
+}
+
+/// [`match_rule`] plus the set of defined rules the attempt entered
+/// (ascending by interned index) — the matcher-side feed for grammar
+/// coverage. Memoization means a rule appears once per attempt however
+/// often its derivation is shared.
+pub fn match_rule_traced(
+    cg: &CompiledGrammar,
+    rule: &str,
+    input: &[u8],
+    budget: usize,
+) -> (MatchOutcome, Vec<u32>) {
+    let Some(idx) = cg.rule_index(rule) else {
+        return (MatchOutcome::NoMatch, Vec::new());
+    };
+    if cg.rule(idx).root.is_none() {
+        return (MatchOutcome::NoMatch, Vec::new());
+    }
+    let mut m = MemoMatcher::new(cg, input, budget);
+    m.enable_trace();
+    let outcome = m.match_full(idx);
+    (outcome, m.visited_rules())
 }
 
 #[cfg(test)]

@@ -1,7 +1,9 @@
 //! Writes `BENCH_matcher.json`: median ns/op for the compiled matcher,
 //! the legacy reference matcher, ABNF generation, and a full
 //! workflow+detection case — the perf numbers the compiled-IR rewrite
-//! is accountable for.
+//! is accountable for. Also writes `BENCH_minimize.json`: aggregate
+//! shrink ratio and wall time for delta-debugging the noise-padded
+//! Table II catalog down to minimal reproducers.
 //!
 //! Usage: `cargo run --release -p hdiff-bench --bin perf_snapshot`
 //! (`-- --smoke` for a fast CI-sized run).
@@ -10,9 +12,9 @@ use std::time::Instant;
 
 use hdiff_abnf::matcher;
 use hdiff_analyzer::DocumentAnalyzer;
-use hdiff_diff::detect_case;
 use hdiff_diff::workflow::Workflow;
-use hdiff_gen::{AbnfGenerator, GenOptions, TestCase};
+use hdiff_diff::{detect_case, FindingContext, MinimizeOptions};
+use hdiff_gen::{catalog, AbnfGenerator, GenOptions, TestCase};
 use hdiff_wire::Request;
 
 /// Budget the old call sites granted the backtracking matcher.
@@ -92,5 +94,83 @@ fn main() {
     print!("{json}");
     eprintln!(
         "compiled {compiled_ns:.0} ns/op vs reference {reference_ns:.0} ns/op -> {speedup:.1}x"
+    );
+
+    minimize_snapshot(smoke, &workflow, &products);
+}
+
+/// Campaign-style padding: inert noise headers inserted before the blank
+/// line, tripling the request size (same shape `regen_golden` uses).
+fn pad_with_noise(bytes: &[u8]) -> Vec<u8> {
+    let Some(head_end) = bytes.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return bytes.to_vec();
+    };
+    let mut out = bytes[..head_end + 2].to_vec();
+    let mut i = 0usize;
+    while out.len() + (bytes.len() - head_end - 2) < bytes.len() * 3 {
+        out.extend_from_slice(format!("X-Pad-{i}: {:a>40}\r\n", "").as_bytes());
+        i += 1;
+    }
+    out.extend_from_slice(&bytes[head_end + 2..]);
+    out
+}
+
+/// Writes `BENCH_minimize.json`: the delta-debugging minimizer run over
+/// every noise-padded Table II vector that flags a finding — aggregate
+/// shrink ratio, probe counts, and wall time.
+fn minimize_snapshot(smoke: bool, workflow: &Workflow, products: &[hdiff_servers::ParserProfile]) {
+    let ctx = FindingContext::new(workflow, products);
+    let opts = MinimizeOptions::default();
+
+    // The workload: one (padded bytes, finding) seed per catalog vector.
+    let mut seeds = Vec::new();
+    for (idx, entry) in catalog::catalog().iter().enumerate() {
+        let uuid = 9000 + idx as u64;
+        let origin = format!("catalog:{}", entry.id);
+        let seed = entry.requests.iter().find_map(|(req, _)| {
+            let padded = pad_with_noise(&req.to_bytes());
+            let findings = ctx.findings_for(uuid, &origin, &padded);
+            let of_class = |f: &&hdiff_diff::Finding| entry.classes.contains(&f.class);
+            findings
+                .iter()
+                .filter(of_class)
+                .find(|f| f.is_pair())
+                .or_else(|| findings.iter().find(of_class))
+                .cloned()
+                .map(|f| (padded, f))
+        });
+        if let Some(s) = seed {
+            seeds.push(s);
+        }
+        if smoke && seeds.len() >= 3 {
+            break;
+        }
+    }
+
+    let start = Instant::now();
+    let mut padded_bytes = 0usize;
+    let mut minimized_bytes = 0usize;
+    let mut attempts = 0usize;
+    let mut accepted = 0usize;
+    for (padded, finding) in &seeds {
+        let out = ctx.minimize_finding(finding, padded, &opts);
+        padded_bytes += out.stats.original_len;
+        minimized_bytes += out.stats.minimized_len;
+        attempts += out.stats.attempts;
+        accepted += out.stats.accepted;
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let shrink_ratio = minimized_bytes as f64 / padded_bytes.max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"schema\": \"hdiff-bench-minimize-v1\",\n  \"smoke\": {smoke},\n  \"cases\": {},\n  \"padded_bytes\": {padded_bytes},\n  \"minimized_bytes\": {minimized_bytes},\n  \"shrink_ratio\": {shrink_ratio:.3},\n  \"attempts\": {attempts},\n  \"accepted\": {accepted},\n  \"wall_ms\": {wall_ms:.1}\n}}\n",
+        seeds.len()
+    );
+    std::fs::write("BENCH_minimize.json", &json).expect("write BENCH_minimize.json");
+    print!("{json}");
+    eprintln!(
+        "minimized {} case(s): {padded_bytes} -> {minimized_bytes} bytes \
+         (ratio {shrink_ratio:.2}) in {wall_ms:.0} ms",
+        seeds.len()
     );
 }

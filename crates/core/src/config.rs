@@ -22,6 +22,10 @@ pub struct HdiffConfig {
     pub max_gen_depth: usize,
     /// Fault-injection rate in percent (0 disables the fault campaign).
     pub fault_rate: u8,
+    /// Bias the ABNF generator toward grammar alternations it has not
+    /// taken yet (changes the generated stream for a given seed; coverage
+    /// is tracked and reported either way).
+    pub coverage_guided: bool,
 }
 
 impl HdiffConfig {
@@ -37,6 +41,7 @@ impl HdiffConfig {
             threads: 0,
             max_gen_depth: 7,
             fault_rate: 0,
+            coverage_guided: false,
         }
     }
 
@@ -52,6 +57,7 @@ impl HdiffConfig {
             threads: 2,
             max_gen_depth: 7,
             fault_rate: 0,
+            coverage_guided: false,
         }
     }
 }

@@ -64,6 +64,16 @@ impl HDiff {
 
     /// Generates the full test-case corpus from an analysis.
     pub fn generate_cases(&self, analysis: &AnalyzerOutput) -> Vec<TestCase> {
+        self.generate_cases_with_coverage(analysis).0
+    }
+
+    /// [`HDiff::generate_cases`] plus the grammar coverage the generation
+    /// phase reached: generator-side rule/alternation hits merged with
+    /// packrat-matcher traces over the generated `Host` values.
+    pub fn generate_cases_with_coverage(
+        &self,
+        analysis: &AnalyzerOutput,
+    ) -> (Vec<TestCase>, Option<hdiff_gen::GrammarCoverage>) {
         let mut cases = Vec::new();
         let mut next_uuid = 1u64;
 
@@ -91,12 +101,31 @@ impl HDiff {
             GenOptions {
                 max_depth: self.config.max_gen_depth,
                 seed: self.config.seed ^ 0xabcd,
+                coverage_guided: self.config.coverage_guided,
                 ..GenOptions::default()
             },
         );
+        gen.enable_coverage();
         let mut mutator = MutationEngine::new(self.config.seed ^ 0x5eed);
         mutator.rounds = self.config.mutation_rounds;
         let hosts = gen.generate_many("Host", self.config.abnf_seeds);
+        // Matcher-side coverage feed: re-match each generated host so the
+        // rules reachable only through matching (e.g. the `uri-host`
+        // breakdown under predefined leaf values) are accounted too.
+        {
+            let cg = analysis.grammar.compiled();
+            for host in &hosts {
+                let (_, visited) = hdiff_abnf::memo::match_rule_traced(
+                    &cg,
+                    "Host",
+                    host,
+                    hdiff_abnf::matcher::DEFAULT_BUDGET,
+                );
+                if let Some(cov) = gen.coverage_mut() {
+                    cov.absorb_rules(&visited);
+                }
+            }
+        }
         let targets = gen.generate_many("origin-form", self.config.abnf_seeds / 2 + 1);
         let te_values = gen.generate_many("transfer-coding", 8);
         let expect_values = gen.generate_many("Expect", 4);
@@ -175,13 +204,14 @@ impl HDiff {
                 }
             }
         }
-        cases
+        let coverage = gen.take_coverage().map(|c| c.summary());
+        (cases, coverage)
     }
 
     /// Runs the whole pipeline.
     pub fn run(&self) -> PipelineReport {
         let analysis = self.analyze();
-        let cases = self.generate_cases(&analysis);
+        let (cases, coverage) = self.generate_cases_with_coverage(&analysis);
 
         let sr_cases = cases.iter().filter(|c| matches!(c.origin, Origin::Sr(_))).count();
         let abnf_cases = cases.iter().filter(|c| matches!(c.origin, Origin::Abnf)).count();
@@ -193,6 +223,7 @@ impl HDiff {
         // get per-view `Host` conformance verdicts and lenient hosts
         // surface as SR violations.
         engine.syntax_oracle = Some(hdiff_diff::SyntaxOracle::new(&analysis.grammar));
+        engine.grammar_coverage = coverage;
         if self.config.fault_rate > 0 {
             engine.fault_plan =
                 hdiff_servers::fault::FaultPlan::new(self.config.seed, self.config.fault_rate);
@@ -226,6 +257,23 @@ mod tests {
             assert!(!report.summary.findings_of(class).is_empty(), "no {class} findings");
         }
         assert!(!report.summary.sr_violations.is_empty());
+        let cov = report.summary.coverage.expect("pipeline campaigns report grammar coverage");
+        assert!(cov.rules_covered > 0 && cov.rules_covered <= cov.rules_total, "{cov}");
+        assert!(cov.alts_covered > 0 && cov.alts_covered <= cov.alts_total, "{cov}");
+    }
+
+    #[test]
+    fn coverage_guided_pipeline_does_not_lose_coverage() {
+        let uniform = HDiff::new(HdiffConfig::quick()).run();
+        let mut config = HdiffConfig::quick();
+        config.coverage_guided = true;
+        let guided = HDiff::new(config).run();
+        let (u, g) = (uniform.summary.coverage.unwrap(), guided.summary.coverage.unwrap());
+        assert_eq!(u.alts_total, g.alts_total);
+        assert!(
+            g.alts_covered >= u.alts_covered,
+            "cold-biased generation must not cover fewer arms: {g} vs {u}"
+        );
     }
 
     #[test]

@@ -187,6 +187,10 @@ pub fn render_resilience(summary: &RunSummary) -> String {
     out.push_str("== resilience: errors, retries, quarantine, degradation ==\n");
     out.push_str(&format!("cases with terminal errors: {}\n", summary.errors));
     out.push_str(&format!("transient-fault retries   : {}\n", summary.retries));
+    out.push_str(&format!("logical backoff units     : {}\n", summary.backoff_units));
+    if let Some(cov) = &summary.coverage {
+        out.push_str(&format!("grammar coverage          : {cov}\n"));
+    }
     out.push_str(&format!(
         "quarantined cases         : {}{}\n",
         summary.quarantined.len(),

@@ -24,6 +24,9 @@ pub mod checkpoint;
 pub mod detect;
 pub mod findings;
 pub mod hmetrics;
+mod json;
+pub mod minimize;
+pub mod replay;
 pub mod runner;
 pub mod schedule;
 pub mod srcheck;
@@ -36,6 +39,8 @@ pub use baseline::{deviations, Deviation, DeviationKind};
 pub use detect::{detect_case, detect_case_with_oracle, detect_degradation, DegradationFinding};
 pub use findings::Finding;
 pub use hmetrics::HMetrics;
+pub use minimize::{minimize, FindingContext, MinimizeOptions, MinimizeStats, Minimized};
+pub use replay::{ReplayBundle, ReplayReport};
 pub use runner::{CaseError, CaseRecord, DiffEngine, RunSummary};
 pub use srcheck::{check_assertions, check_host_conformance, SrViolation};
 pub use syntax::SyntaxOracle;

@@ -1,0 +1,624 @@
+//! Self-contained replay bundles for recorded findings.
+//!
+//! A finding flagged by a campaign is only as good as its reproduction: a
+//! [`ReplayBundle`] freezes everything needed to re-execute one case
+//! byte-identically — the exact client bytes, the fault-plan parameters
+//! (if any), the findings the detectors flagged, and an FNV-1a digest of
+//! every implementation's `HMetrics` view. Replaying a bundle re-runs the
+//! workflow and diffs both the detector verdicts and the digests, so any
+//! behavioral drift in the simulated implementations is caught even when
+//! the top-level verdict happens to survive.
+//!
+//! Bundles serialize to single JSON files via the hand-rolled codec in
+//! [`crate::json`] (request bytes hex-encoded so arbitrary octets
+//! survive). The checked-in `tests/golden/` corpus — one minimized bundle
+//! per Table II catalog vector, built by [`regen_golden`] — is the
+//! regression gate: `hdiff replay --all tests/golden` must stay green.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use hdiff_servers::fault::{FaultInjector, FaultPlan, FaultSession};
+use hdiff_servers::ParserProfile;
+
+use crate::checkpoint::{data_err, read_finding, write_finding};
+use crate::detect::detect_case_with_oracle;
+use crate::findings::Finding;
+use crate::hmetrics::HMetrics;
+use crate::json::{push_json_str, Json, Parser};
+use crate::minimize::{FindingContext, MinimizeOptions};
+use crate::syntax::SyntaxOracle;
+use crate::workflow::{CaseOutcome, Workflow};
+
+/// On-disk bundle format version; bumped on incompatible changes.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Per-attempt logical step budget used when recording and replaying.
+/// Fixed by the format (not a knob): digests recorded under one budget
+/// must be reproduced under the same budget.
+pub const STEP_BUDGET: u64 = 4096;
+
+/// A frozen, re-executable finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayBundle {
+    /// Bundle name (also the suggested file stem).
+    pub name: String,
+    /// Human-readable description of what the case demonstrates.
+    pub description: String,
+    /// Test-case id the detectors saw.
+    pub uuid: u64,
+    /// Origin string (`catalog:…`/`sr:…`/`abnf`).
+    pub origin: String,
+    /// The exact client bytes.
+    pub request: Vec<u8>,
+    /// Fault-plan `(seed, rate)` when the case ran under injection;
+    /// `None` replays under a disabled plan.
+    pub fault: Option<(u64, u8)>,
+    /// The findings the detectors flagged at record time.
+    pub findings: Vec<Finding>,
+    /// FNV-1a 64 digests of every implementation view, labelled
+    /// `direct:<backend>` / `proxy:<proxy>`.
+    pub digests: Vec<(String, u64)>,
+}
+
+/// The outcome of replaying one bundle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Name of the bundle replayed.
+    pub bundle: String,
+    /// Expected findings that were not re-detected.
+    pub missing: Vec<Finding>,
+    /// Re-detected findings the bundle did not expect.
+    pub unexpected: Vec<Finding>,
+    /// Digest labels whose value drifted (or vanished / appeared).
+    pub drifted: Vec<String>,
+}
+
+impl ReplayReport {
+    /// Whether the replay reproduced the record byte-identically.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.unexpected.is_empty() && self.drifted.is_empty()
+    }
+
+    /// One-line rendering for CLI output.
+    pub fn summary(&self) -> String {
+        if self.passed() {
+            format!("PASS {}", self.bundle)
+        } else {
+            format!(
+                "FAIL {} (missing {}, unexpected {}, drifted {})",
+                self.bundle,
+                self.missing.len(),
+                self.unexpected.len(),
+                self.drifted.join("+"),
+            )
+        }
+    }
+}
+
+impl ReplayBundle {
+    /// Records a bundle by executing `bytes` through `workflow` and
+    /// freezing the detector verdicts and behavior digests.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        name: &str,
+        description: &str,
+        uuid: u64,
+        origin: &str,
+        bytes: &[u8],
+        fault: Option<(u64, u8)>,
+        workflow: &Workflow,
+        profiles: &[ParserProfile],
+        oracle: Option<&SyntaxOracle>,
+    ) -> ReplayBundle {
+        let (outcome, findings) = execute(workflow, profiles, oracle, uuid, origin, bytes, fault);
+        ReplayBundle {
+            name: name.to_string(),
+            description: description.to_string(),
+            uuid,
+            origin: origin.to_string(),
+            request: bytes.to_vec(),
+            fault,
+            findings,
+            digests: digests_of(&outcome),
+        }
+    }
+
+    /// Re-executes the bundle and diffs verdicts and digests against the
+    /// recorded expectations.
+    pub fn replay(
+        &self,
+        workflow: &Workflow,
+        profiles: &[ParserProfile],
+        oracle: Option<&SyntaxOracle>,
+    ) -> ReplayReport {
+        let (outcome, findings) =
+            execute(workflow, profiles, oracle, self.uuid, &self.origin, &self.request, self.fault);
+        let actual = digests_of(&outcome);
+        let mut drifted: Vec<String> = Vec::new();
+        for (label, expected) in &self.digests {
+            match actual.iter().find(|(l, _)| l == label) {
+                Some((_, got)) if got == expected => {}
+                _ => drifted.push(label.clone()),
+            }
+        }
+        for (label, _) in &actual {
+            if !self.digests.iter().any(|(l, _)| l == label) {
+                drifted.push(label.clone());
+            }
+        }
+        ReplayReport {
+            bundle: self.name.clone(),
+            missing: self.findings.iter().filter(|f| !findings.contains(f)).cloned().collect(),
+            unexpected: findings.iter().filter(|f| !self.findings.contains(f)).cloned().collect(),
+            drifted,
+        }
+    }
+
+    /// Serializes the bundle as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{{\"version\":{FORMAT_VERSION},\"name\":"));
+        push_json_str(&mut out, &self.name);
+        out.push_str(",\"description\":");
+        push_json_str(&mut out, &self.description);
+        out.push_str(&format!(",\"uuid\":{},\"origin\":", self.uuid));
+        push_json_str(&mut out, &self.origin);
+        out.push_str(",\"request_hex\":");
+        push_json_str(&mut out, &hex_encode(&self.request));
+        out.push_str(",\"fault\":");
+        match self.fault {
+            None => out.push_str("null"),
+            Some((seed, rate)) => out.push_str(&format!("{{\"seed\":{seed},\"rate\":{rate}}}")),
+        }
+        out.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_finding(&mut out, f);
+        }
+        out.push_str("],\"digests\":[");
+        for (i, (label, digest)) in self.digests.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"label\":");
+            push_json_str(&mut out, label);
+            out.push_str(&format!(",\"digest\":{digest}}}"));
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parses a bundle from JSON bytes.
+    pub fn from_json(bytes: &[u8]) -> io::Result<ReplayBundle> {
+        let root = Parser::new(bytes).value()?;
+        let version = root.get("version").and_then(Json::as_u64).unwrap_or(0);
+        if version != FORMAT_VERSION {
+            return Err(data_err(format!(
+                "replay bundle format v{version}, this build reads v{FORMAT_VERSION}"
+            )));
+        }
+        let string = |key: &str| {
+            root.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| data_err(format!("bundle {key}")))
+        };
+        let fault = match root.get("fault") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let seed =
+                    v.get("seed").and_then(Json::as_u64).ok_or_else(|| data_err("fault seed"))?;
+                let rate =
+                    v.get("rate").and_then(Json::as_u64).ok_or_else(|| data_err("fault rate"))?;
+                let rate = u8::try_from(rate).map_err(|_| data_err("fault rate range"))?;
+                Some((seed, rate))
+            }
+        };
+        let mut digests = Vec::new();
+        for d in root.get("digests").and_then(Json::as_arr).unwrap_or_default() {
+            let label = d
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or_else(|| data_err("digest label"))?
+                .to_string();
+            let digest =
+                d.get("digest").and_then(Json::as_u64).ok_or_else(|| data_err("digest value"))?;
+            digests.push((label, digest));
+        }
+        Ok(ReplayBundle {
+            name: string("name")?,
+            description: string("description")?,
+            uuid: root.get("uuid").and_then(Json::as_u64).ok_or_else(|| data_err("bundle uuid"))?,
+            origin: string("origin")?,
+            request: hex_decode(&string("request_hex")?)?,
+            fault,
+            findings: root
+                .get("findings")
+                .and_then(Json::as_arr)
+                .unwrap_or_default()
+                .iter()
+                .map(read_finding)
+                .collect::<io::Result<_>>()?,
+            digests,
+        })
+    }
+
+    /// Writes the bundle to `path` atomically.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json().as_bytes())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a bundle written by [`ReplayBundle::save`].
+    pub fn load(path: &Path) -> io::Result<ReplayBundle> {
+        ReplayBundle::from_json(&std::fs::read(path)?)
+    }
+}
+
+/// Replays every `*.json` bundle in `dir` (sorted by file name, so runs
+/// are order-stable) and returns one report per bundle.
+pub fn replay_dir(
+    dir: &Path,
+    workflow: &Workflow,
+    profiles: &[ParserProfile],
+    oracle: Option<&SyntaxOracle>,
+) -> io::Result<Vec<(PathBuf, ReplayReport)>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    paths.sort();
+    let mut reports = Vec::new();
+    for path in paths {
+        let bundle = ReplayBundle::load(&path)?;
+        reports.push((path, bundle.replay(workflow, profiles, oracle)));
+    }
+    Ok(reports)
+}
+
+/// Regenerates the golden corpus: for each Table II catalog vector, finds
+/// a payload that trips a detector of the entry's class, pads it with
+/// campaign-style noise headers, delta-minimizes it, and records the
+/// minimized case as `catalog-<id>.json` in `dir`. Returns the written
+/// paths. Entries whose payloads flag nothing in the simulated
+/// environment are skipped (reported by absence).
+pub fn regen_golden(
+    dir: &Path,
+    workflow: &Workflow,
+    profiles: &[ParserProfile],
+) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let ctx = FindingContext::new(workflow, profiles);
+    let opts = MinimizeOptions::default();
+    let mut written = Vec::new();
+    for (idx, entry) in hdiff_gen::catalog::catalog().iter().enumerate() {
+        let uuid = 9000 + idx as u64;
+        let origin = format!("catalog:{}", entry.id);
+        // First payload whose (padded) bytes flag a finding of the
+        // entry's class; pair findings preferred as the stronger repro.
+        let mut picked: Option<(Vec<u8>, Finding, String)> = None;
+        for (request, note) in &entry.requests {
+            let padded = pad_with_noise(&request.to_bytes());
+            let findings = ctx.findings_for(uuid, &origin, &padded);
+            let of_class = |f: &&Finding| entry.classes.contains(&f.class);
+            let best = findings
+                .iter()
+                .filter(of_class)
+                .find(|f| f.is_pair())
+                .or_else(|| findings.iter().find(of_class));
+            if let Some(f) = best {
+                picked = Some((padded, f.clone(), note.clone()));
+                break;
+            }
+        }
+        let Some((padded, finding, note)) = picked else { continue };
+        let minimized = ctx.minimize_finding(&finding, &padded, &opts);
+        let name = format!("catalog-{}", entry.id);
+        let description = format!("{} — {note}", entry.description);
+        let bundle = ReplayBundle::record(
+            &name,
+            &description,
+            uuid,
+            &origin,
+            &minimized.bytes,
+            None,
+            workflow,
+            profiles,
+            ctx.oracle,
+        );
+        let path = dir.join(format!("{name}.json"));
+        bundle.save(&path)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Runs one case exactly the way record/replay both must: a fresh fault
+/// session (disabled plan unless `fault` is set) under [`STEP_BUDGET`].
+fn execute(
+    workflow: &Workflow,
+    profiles: &[ParserProfile],
+    oracle: Option<&SyntaxOracle>,
+    uuid: u64,
+    origin: &str,
+    bytes: &[u8],
+    fault: Option<(u64, u8)>,
+) -> (CaseOutcome, Vec<Finding>) {
+    let plan = match fault {
+        Some((seed, rate)) => FaultPlan::new(seed, rate),
+        None => FaultPlan::disabled(),
+    };
+    let injector = FaultInjector::new(plan);
+    let session = FaultSession::new(&injector, uuid, 0, STEP_BUDGET);
+    let outcome = workflow.run_bytes_faulted(uuid, origin, bytes, Some(&session));
+    let findings = detect_case_with_oracle(profiles, &outcome, oracle);
+    (outcome, findings)
+}
+
+// ---------------------------------------------------------------------------
+// HMetrics digests
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64 running hash.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Length separator: distinguishes ("ab","c") from ("a","bc").
+        self.write_u64(bytes.len() as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn hash_metrics(h: &mut Fnv, m: &HMetrics) {
+    h.write(m.implementation.as_bytes());
+    h.write_u64(u64::from(m.status_code));
+    h.write_u64(u64::from(m.accepted));
+    match &m.host {
+        None => h.write_u64(0),
+        Some(host) => {
+            h.write_u64(1);
+            h.write(host);
+        }
+    }
+    h.write(&m.data);
+    h.write(format!("{:?}", m.framing).as_bytes());
+    h.write_u64(m.consumed as u64);
+    h.write_u64(u64::from(m.repaired));
+    for note in &m.notes {
+        h.write(note.as_bytes());
+    }
+}
+
+/// Canonical behavior digests for one case outcome: one per direct
+/// back-end view, one per proxy chain (covering the proxy's own
+/// interpretations, the exact forwarded bytes, and every step-2 replay).
+fn digests_of(outcome: &CaseOutcome) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for (backend, replies) in &outcome.direct {
+        let mut h = Fnv::new();
+        for reply in replies {
+            hash_metrics(
+                &mut h,
+                &HMetrics::from_interpretation(outcome.uuid, backend, &reply.interpretation),
+            );
+            h.write_u64(u64::from(reply.response.status.as_u16()));
+        }
+        out.push((format!("direct:{backend}"), h.0));
+    }
+    for chain in &outcome.chains {
+        let mut h = Fnv::new();
+        for r in &chain.proxy_results {
+            hash_metrics(
+                &mut h,
+                &HMetrics::from_interpretation(outcome.uuid, &chain.proxy, &r.interpretation),
+            );
+        }
+        h.write(&chain.forwarded);
+        h.write_u64(chain.forwarded_count as u64);
+        for replay in &chain.replays {
+            h.write(replay.backend.as_bytes());
+            h.write_u64(u64::from(replay.cache_stored_error));
+            for reply in &replay.replies {
+                hash_metrics(
+                    &mut h,
+                    &HMetrics::from_interpretation(
+                        outcome.uuid,
+                        &replay.backend,
+                        &reply.interpretation,
+                    ),
+                );
+                h.write_u64(u64::from(reply.response.status.as_u16()));
+            }
+        }
+        out.push((format!("proxy:{}", chain.proxy), h.0));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Hex codec
+// ---------------------------------------------------------------------------
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(s: &str) -> io::Result<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return Err(data_err("odd-length hex request"));
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(s.get(i..i + 2).unwrap_or_default(), 16)
+                .map_err(|_| data_err("invalid hex request"))
+        })
+        .collect()
+}
+
+/// Pads a request with inert noise headers (inserted before the blank
+/// line) to model the generation noise a campaign case carries; the
+/// minimizer's job is to strip them back out.
+fn pad_with_noise(bytes: &[u8]) -> Vec<u8> {
+    let Some(head_end) = bytes.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return bytes.to_vec();
+    };
+    let mut out = bytes[..head_end + 2].to_vec();
+    let mut i = 0usize;
+    while out.len() + (bytes.len() - head_end - 2) < bytes.len() * 3 {
+        out.extend_from_slice(format!("X-Pad-{i}: {:a>40}\r\n", "").as_bytes());
+        i += 1;
+    }
+    out.extend_from_slice(&bytes[head_end + 2..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdiff_gen::AttackClass;
+
+    fn dual_host() -> Vec<u8> {
+        b"GET / HTTP/1.1\r\nHost: h1.com\r\nHost: h2.com\r\n\r\n".to_vec()
+    }
+
+    #[test]
+    fn record_then_replay_passes() {
+        let workflow = Workflow::standard();
+        let profiles = hdiff_servers::products();
+        let bundle = ReplayBundle::record(
+            "dual-host",
+            "two plain Host headers",
+            77,
+            "catalog:multiple-host",
+            &dual_host(),
+            None,
+            &workflow,
+            &profiles,
+            None,
+        );
+        assert!(bundle.findings.iter().any(|f| f.class == AttackClass::Hot));
+        assert_eq!(bundle.digests.len(), 12, "6 direct + 6 proxy views");
+        let report = bundle.replay(&workflow, &profiles, None);
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let workflow = Workflow::standard();
+        let profiles = hdiff_servers::products();
+        let bundle = ReplayBundle::record(
+            "rt",
+            "roundtrip \"quoted\" — unicode",
+            3,
+            "catalog:multiple-host",
+            b"GET / HTTP/1.1\r\nHost: h1.com\r\nHost: h2.com\r\n\r\n\x00\xff",
+            Some((42, 7)),
+            &workflow,
+            &profiles,
+            None,
+        );
+        let parsed = ReplayBundle::from_json(bundle.to_json().as_bytes()).unwrap();
+        assert_eq!(bundle, parsed);
+    }
+
+    #[test]
+    fn tampered_request_is_caught_as_drift() {
+        let workflow = Workflow::standard();
+        let profiles = hdiff_servers::products();
+        let mut bundle = ReplayBundle::record(
+            "tampered",
+            "",
+            5,
+            "catalog:multiple-host",
+            &dual_host(),
+            None,
+            &workflow,
+            &profiles,
+            None,
+        );
+        // Swap the second host: the verdict class may survive but the
+        // behavior digests must not.
+        let pos = bundle.request.windows(6).position(|w| w == b"h2.com").unwrap();
+        bundle.request[pos] = b'x';
+        let report = bundle.replay(&workflow, &profiles, None);
+        assert!(!report.passed(), "{report:?}");
+        assert!(!report.drifted.is_empty());
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_bundles_are_errors() {
+        assert!(ReplayBundle::from_json(b"{").is_err());
+        assert!(ReplayBundle::from_json(b"{\"version\":99}").is_err());
+        assert!(ReplayBundle::from_json(
+            b"{\"version\":1,\"name\":\"x\",\"description\":\"\",\"uuid\":1,\"origin\":\"o\",\"request_hex\":\"zz\",\"fault\":null,\"findings\":[],\"digests\":[]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn hex_roundtrips_arbitrary_octets() {
+        let all: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(hex_decode(&hex_encode(&all)).unwrap(), all);
+        assert!(hex_decode("abc").is_err());
+    }
+
+    #[test]
+    fn save_load_and_replay_dir() {
+        let dir = std::env::temp_dir().join("hdiff-replay-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let workflow = Workflow::standard();
+        let profiles = hdiff_servers::products();
+        let bundle = ReplayBundle::record(
+            "on-disk",
+            "",
+            9,
+            "catalog:multiple-host",
+            &dual_host(),
+            None,
+            &workflow,
+            &profiles,
+            None,
+        );
+        bundle.save(&dir.join("on-disk.json")).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let reports = replay_dir(&dir, &workflow, &profiles, None).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].1.passed());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn noise_padding_triples_and_minimizes_away() {
+        let padded = pad_with_noise(&dual_host());
+        assert!(padded.len() >= dual_host().len() * 5 / 2);
+        assert!(padded.windows(6).any(|w| w == b"X-Pad-"));
+        // The padded case still ends with the original body section.
+        assert!(padded.ends_with(b"\r\n\r\n"));
+    }
+}

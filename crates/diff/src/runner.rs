@@ -107,8 +107,15 @@ pub struct RunSummary {
     pub errors: usize,
     /// Total retries spent on transient faults.
     pub retries: usize,
+    /// Total logical backoff units accumulated across those retries
+    /// (recorded, not slept; each retry `k` of a case charges `2^k`).
+    pub backoff_units: u64,
     /// Quarantined (panicking) case uuids, ascending.
     pub quarantined: Vec<u64>,
+    /// Grammar coverage reached by the generation phase that produced the
+    /// corpus, when the campaign tracked it (see
+    /// [`DiffEngine::grammar_coverage`]).
+    pub coverage: Option<hdiff_gen::GrammarCoverage>,
 }
 
 impl RunSummary {
@@ -141,6 +148,10 @@ pub struct DiffEngine {
     /// per-view `Host` validity verdicts and the summary includes
     /// [`check_host_conformance`] violations.
     pub syntax_oracle: Option<SyntaxOracle>,
+    /// Grammar coverage reached while generating the corpus, carried into
+    /// every [`RunSummary`] this engine produces. The engine itself never
+    /// mutates it, so summaries stay identical across thread counts.
+    pub grammar_coverage: Option<hdiff_gen::GrammarCoverage>,
 }
 
 impl DiffEngine {
@@ -171,6 +182,7 @@ impl DiffEngine {
             checkpoint_every: 64,
             stop_after_chunks: None,
             syntax_oracle: None,
+            grammar_coverage: None,
         }
     }
 
@@ -333,6 +345,7 @@ impl DiffEngine {
         let mut replayed_cases = 0usize;
         let mut errors = 0usize;
         let mut retries = 0usize;
+        let mut backoff_units = 0u64;
         let mut quarantined = Vec::new();
         let mut executed = 0usize;
         for case in cases {
@@ -343,6 +356,7 @@ impl DiffEngine {
             replayed_cases += usize::from(r.replayed);
             errors += usize::from(r.error.is_some());
             retries += r.retries as usize;
+            backoff_units += r.backoff_units;
             if r.quarantined {
                 quarantined.push(r.uuid);
             }
@@ -366,7 +380,9 @@ impl DiffEngine {
             verdicts,
             errors,
             retries,
+            backoff_units,
             quarantined,
+            coverage: self.grammar_coverage,
         }
     }
 }

@@ -136,7 +136,26 @@ impl Workflow {
         case: &TestCase,
         faults: Option<&FaultSession<'_>>,
     ) -> CaseOutcome {
-        let bytes = case.request.to_bytes();
+        self.run_bytes_faulted(
+            case.uuid,
+            &case.origin.to_string(),
+            &case.request.to_bytes(),
+            faults,
+        )
+    }
+
+    /// The raw-bytes workflow entry: runs all three steps over an exact
+    /// client byte stream, bypassing [`hdiff_wire::Request`] re-rendering.
+    /// This is what the minimizer and replay bundles drive — a shrunk or
+    /// recorded case is just bytes, with no structured request behind it.
+    pub fn run_bytes_faulted(
+        &self,
+        uuid: u64,
+        origin: &str,
+        bytes: &[u8],
+        faults: Option<&FaultSession<'_>>,
+    ) -> CaseOutcome {
+        let bytes = bytes.to_vec();
         let origin_fault =
             faults.and_then(|s| s.decide(ORIGIN_HOP, FaultStage::OriginRespond)).map(|d| d.kind);
         let probe_bytes = origin_fault.and_then(damaged_upstream_bytes);
@@ -204,8 +223,8 @@ impl Workflow {
         }
 
         CaseOutcome {
-            uuid: case.uuid,
-            origin: case.origin.to_string(),
+            uuid,
+            origin: origin.to_string(),
             bytes,
             chains,
             direct,

@@ -28,6 +28,7 @@ use hdiff_abnf::{Grammar, Node};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::coverage::CoverageMap;
 use crate::predefined::PredefinedRules;
 
 const INF: usize = usize::MAX / 4;
@@ -43,6 +44,11 @@ pub struct GenOptions {
     pub predefined: PredefinedRules,
     /// RNG seed — generation is fully deterministic per seed.
     pub seed: u64,
+    /// Bias alternation choices toward arms the coverage map has not seen
+    /// yet (implies coverage tracking). Off by default: the cold-arm pick
+    /// consumes RNG draws differently from the uniform walk, so enabling
+    /// it changes the generated stream for a given seed.
+    pub coverage_guided: bool,
 }
 
 impl Default for GenOptions {
@@ -52,6 +58,7 @@ impl Default for GenOptions {
             max_repeat: 3,
             predefined: PredefinedRules::standard(),
             seed: 0x4844_6966_6621,
+            coverage_guided: false,
         }
     }
 }
@@ -66,6 +73,8 @@ pub struct AbnfGenerator {
     /// Min expansion depth per compiled rule index (grammar rules only;
     /// core rules cost a flat 1, undefined rules are unreachable).
     min_depth: Vec<usize>,
+    /// Grammar coverage accumulated across generations, when enabled.
+    coverage: Option<CoverageMap>,
 }
 
 impl AbnfGenerator {
@@ -75,9 +84,35 @@ impl AbnfGenerator {
     pub fn new(grammar: Grammar, opts: GenOptions) -> AbnfGenerator {
         let rng = StdRng::seed_from_u64(opts.seed);
         let compiled = grammar.compiled();
-        let mut g = AbnfGenerator { grammar, compiled, opts, rng, min_depth: Vec::new() };
+        let mut g =
+            AbnfGenerator { grammar, compiled, opts, rng, min_depth: Vec::new(), coverage: None };
         g.compute_min_depths();
+        if g.opts.coverage_guided {
+            g.enable_coverage();
+        }
         g
+    }
+
+    /// Starts coverage tracking (idempotent; accumulated state is kept).
+    pub fn enable_coverage(&mut self) {
+        if self.coverage.is_none() {
+            self.coverage = Some(CoverageMap::new(&self.compiled));
+        }
+    }
+
+    /// The accumulated coverage map, if tracking is enabled.
+    pub fn coverage(&self) -> Option<&CoverageMap> {
+        self.coverage.as_ref()
+    }
+
+    /// Mutable access to the coverage map (e.g. to absorb matcher traces).
+    pub fn coverage_mut(&mut self) -> Option<&mut CoverageMap> {
+        self.coverage.as_mut()
+    }
+
+    /// Takes the coverage map out of the generator, disabling tracking.
+    pub fn take_coverage(&mut self) -> Option<CoverageMap> {
+        self.coverage.take()
     }
 
     /// The grammar being generated from.
@@ -88,7 +123,11 @@ impl AbnfGenerator {
     /// Generates one value for `rule`, or `None` when the rule is unknown.
     pub fn generate(&mut self, rule: &str) -> Option<Vec<u8>> {
         let cg = self.compiled.clone();
-        let root = cg.rule_index(rule).and_then(|i| cg.rule(i).root)?;
+        let idx = cg.rule_index(rule)?;
+        let root = cg.rule(idx).root?;
+        if let Some(cov) = &mut self.coverage {
+            cov.record_rule(idx);
+        }
         let mut out = Vec::new();
         self.eval_op(&cg, cg.arena(), &[], root, 0, &mut out);
         Some(out)
@@ -135,9 +174,11 @@ impl AbnfGenerator {
     /// stays representative rather than exhaustive over bytes.
     pub fn enumerate(&mut self, rule: &str, limit: usize) -> Vec<Vec<u8>> {
         let cg = self.compiled.clone();
-        let Some(root) = cg.rule_index(rule).and_then(|i| cg.rule(i).root) else {
-            return Vec::new();
-        };
+        let Some(idx) = cg.rule_index(rule) else { return Vec::new() };
+        let Some(root) = cg.rule(idx).root else { return Vec::new() };
+        if let Some(cov) = &mut self.coverage {
+            cov.record_rule(idx);
+        }
         let mut out = self.enum_op(&cg, cg.arena(), &[], root, 0, limit);
         out.truncate(limit);
         out.sort();
@@ -170,10 +211,16 @@ impl AbnfGenerator {
         }
         match arena.op(op) {
             Op::Alt(range) => {
+                let shared = std::ptr::eq(arena, cg.arena());
                 let mut out = Vec::new();
-                for &k in arena.kid_slice(range) {
+                for (arm, &k) in arena.kid_slice(range).iter().enumerate() {
                     if out.len() >= limit {
                         break;
+                    }
+                    if shared {
+                        if let Some(cov) = &mut self.coverage {
+                            cov.record_alt(op, arm);
+                        }
                     }
                     let got = self.enum_op(cg, arena, extra, k, depth, limit - out.len());
                     out.extend(got);
@@ -228,6 +275,9 @@ impl AbnfGenerator {
                 out
             }
             Op::Rule(r) => {
+                if let Some(cov) = &mut self.coverage {
+                    cov.record_rule(r);
+                }
                 let name = Self::rule_name(cg, extra, r);
                 if let Some(values) = self.opts.predefined.get(name) {
                     if !values.is_empty() {
@@ -281,14 +331,25 @@ impl AbnfGenerator {
         match arena.op(op) {
             Op::Alt(range) => {
                 let kids = arena.kid_slice(range);
+                // Alt-arm coverage is keyed by op index, which is only
+                // meaningful in the grammar's own arena (detached mutant
+                // programs have their own index space).
+                let shared = std::ptr::eq(arena, cg.arena());
                 let idx = if depth >= self.opts.max_depth {
                     // Depth cap: cheapest alternative.
                     (0..kids.len())
                         .min_by_key(|&i| self.op_min_depth(cg, arena, extra, kids[i]))
                         .unwrap_or(0)
+                } else if self.opts.coverage_guided && shared {
+                    self.pick_alt_guided(op, kids.len())
                 } else {
                     self.rng.gen_range(0..kids.len())
                 };
+                if shared {
+                    if let Some(cov) = &mut self.coverage {
+                        cov.record_alt(op, idx);
+                    }
+                }
                 self.eval_op(cg, arena, extra, kids[idx], depth, out);
             }
             Op::Cat(range) => {
@@ -309,6 +370,9 @@ impl AbnfGenerator {
                 }
             }
             Op::Rule(r) => {
+                if let Some(cov) = &mut self.coverage {
+                    cov.record_rule(r);
+                }
                 let name = Self::rule_name(cg, extra, r);
                 if let Some(values) = self.opts.predefined.get(name) {
                     if !values.is_empty() {
@@ -346,6 +410,20 @@ impl AbnfGenerator {
                 // Prose-vals and invalid scalars: nothing to generate.
             }
         }
+    }
+
+    /// Cold-biased alternation pick: choose uniformly among the arms the
+    /// coverage map has not seen yet, falling back to a uniform pick over
+    /// all arms once the alternation is saturated.
+    fn pick_alt_guided(&mut self, op: u32, arms: usize) -> usize {
+        if let Some(cov) = &self.coverage {
+            let cold: Vec<usize> = (0..arms).filter(|&i| !cov.alt_covered(op, i)).collect();
+            if !cold.is_empty() {
+                let pick = self.rng.gen_range(0..cold.len());
+                return cold[pick];
+            }
+        }
+        self.rng.gen_range(0..arms)
     }
 
     fn pick_repeat(&mut self, min: u32, max: u32, depth: usize) -> u32 {

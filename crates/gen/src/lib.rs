@@ -14,8 +14,12 @@
 //!   assertions, via the SR semantic definitions.
 //! * [`catalog`] — the named attack-vector inventory of Table II, used by
 //!   the differential engine and the `table2` harness.
+//! * [`coverage`] — rule- and alternation-level grammar coverage over the
+//!   compiled op arena, fed by the generator and matcher, and consumed by
+//!   the coverage-guided generation mode.
 
 pub mod catalog;
+pub mod coverage;
 pub mod generator;
 pub mod mutate;
 pub mod predefined;
@@ -24,6 +28,7 @@ pub mod testcase;
 pub mod tree_mutate;
 
 pub use catalog::{AttackClass, CatalogEntry};
+pub use coverage::{CoverageMap, GrammarCoverage};
 pub use generator::{AbnfGenerator, GenOptions};
 pub use mutate::{MutationEngine, MutationKind};
 pub use predefined::PredefinedRules;

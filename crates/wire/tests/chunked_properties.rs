@@ -1,0 +1,119 @@
+//! Property-based tests over the chunked transfer coding.
+//!
+//! Two invariant families: (1) encode → strict-decode is the identity for
+//! every payload and chunking width, with exact `consumed` accounting and
+//! no repair flag; (2) malformed chunk-size lines are rejected by the
+//! strict decoder — and when a lenient option accepts one instead, the
+//! result is always marked `repaired`.
+
+use proptest::prelude::*;
+
+use hdiff_wire::chunked::encode_chunked_with;
+use hdiff_wire::{
+    decode_chunked, encode_chunked, ChunkedDecodeOptions, ChunkedError, OverflowBehavior,
+};
+
+proptest! {
+    /// Round trip: any payload, any chunk width, strict decode returns
+    /// the payload, consumes exactly the encoding, and repairs nothing.
+    #[test]
+    fn encode_then_strict_decode_is_identity(
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+        width in 1usize..40,
+    ) {
+        let enc = encode_chunked_with(&payload, width);
+        let dec = decode_chunked(&enc, &ChunkedDecodeOptions::strict()).unwrap();
+        prop_assert_eq!(&dec.payload, &payload);
+        prop_assert_eq!(dec.consumed, enc.len());
+        prop_assert!(!dec.repaired);
+    }
+
+    /// Pipelined bytes after the terminating chunk are never consumed.
+    #[test]
+    fn decode_never_consumes_pipelined_bytes(
+        payload in proptest::collection::vec(any::<u8>(), 0..100),
+        trailer in proptest::collection::vec(any::<u8>(), 0..50),
+    ) {
+        let mut stream = encode_chunked(&payload);
+        let body_len = stream.len();
+        stream.extend_from_slice(&trailer);
+        let dec = decode_chunked(&stream, &ChunkedDecodeOptions::strict()).unwrap();
+        prop_assert_eq!(dec.consumed, body_len);
+        prop_assert_eq!(&stream[dec.consumed..], &trailer[..]);
+    }
+
+    /// A chunk-size line containing a non-hex byte is rejected outright
+    /// by the strict decoder.
+    #[test]
+    fn strict_rejects_malformed_size_lines(
+        size_line in "[g-zG-Z!@#%&*_=+]{1,8}",
+        data in proptest::collection::vec(any::<u8>(), 0..30),
+    ) {
+        let mut body = size_line.as_bytes().to_vec();
+        body.extend_from_slice(b"\r\n");
+        body.extend_from_slice(&data);
+        body.extend_from_slice(b"\r\n0\r\n\r\n");
+        let err = decode_chunked(&body, &ChunkedDecodeOptions::strict()).unwrap_err();
+        prop_assert!(
+            matches!(err, ChunkedError::InvalidSize(_)),
+            "{size_line:?} -> {err:?}"
+        );
+    }
+
+    /// A hex size wider than 16 digits overflows u64: strict decoding
+    /// rejects it (as overflow, or as truncation when the fantasy size
+    /// exceeds the bytes present).
+    #[test]
+    fn strict_rejects_overflowing_sizes(
+        prefix in "[1-9a-f]",
+        tail in "[0-9a-f]{16,24}",
+    ) {
+        let mut body = format!("{prefix}{tail}\r\n").into_bytes();
+        body.extend_from_slice(b"abc\r\n0\r\n\r\n");
+        let err = decode_chunked(&body, &ChunkedDecodeOptions::strict()).unwrap_err();
+        prop_assert!(
+            matches!(err, ChunkedError::SizeOverflow(_) | ChunkedError::Truncated),
+            "{err:?}"
+        );
+    }
+
+    /// Leniency is never silent: whenever a lenient decoder accepts a
+    /// size line the strict decoder rejects, the result carries the
+    /// `repaired` marker.
+    #[test]
+    fn lenient_acceptance_of_strict_rejects_is_always_marked_repaired(
+        junk in "(0x[0-9a-f]{1,4}|[0-9a-f]{1,3}[g-z!]{1,3})",
+        data in proptest::collection::vec(any::<u8>(), 0..20),
+    ) {
+        let mut body = junk.as_bytes().to_vec();
+        body.extend_from_slice(b"\r\n");
+        body.extend_from_slice(&data);
+        body.extend_from_slice(b"\r\n0\r\n\r\n");
+        prop_assume!(decode_chunked(&body, &ChunkedDecodeOptions::strict()).is_err());
+        let lenient = ChunkedDecodeOptions {
+            overflow: OverflowBehavior::Wrap,
+            allow_0x_prefix: true,
+            stop_at_invalid_digit: true,
+            truncate_short_final_chunk: true,
+            ..ChunkedDecodeOptions::strict()
+        };
+        if let Ok(dec) = decode_chunked(&body, &lenient) {
+            prop_assert!(dec.repaired, "lenient decode of {junk:?} not marked repaired");
+        }
+    }
+
+    /// Encoding is compositional with itself: decoding a multi-chunk
+    /// encoding equals decoding the single-chunk encoding of the same
+    /// payload.
+    #[test]
+    fn chunk_width_is_invisible_to_the_payload(
+        payload in proptest::collection::vec(any::<u8>(), 1..120),
+        w1 in 1usize..30,
+        w2 in 1usize..30,
+    ) {
+        let opts = ChunkedDecodeOptions::strict();
+        let a = decode_chunked(&encode_chunked_with(&payload, w1), &opts).unwrap();
+        let b = decode_chunked(&encode_chunked_with(&payload, w2), &opts).unwrap();
+        prop_assert_eq!(a.payload, b.payload);
+    }
+}

@@ -9,8 +9,12 @@
 //! hdiff findings [--csv]     every finding (text or CSV)
 //! hdiff probe <file>         interpret a raw request file under all ten
 //!                            product models and the strict baseline
+//! hdiff replay [--all] <p>   re-execute recorded replay bundles and diff
+//!                            verdicts + behavior digests
+//! hdiff golden regen <dir>   rebuild the minimized golden bundle corpus
 //! ```
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use hdiff::report;
@@ -51,6 +55,9 @@ fn main() -> ExitCode {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
+    }
+    if args.iter().any(|a| a == "--coverage-guided") {
+        config.coverage_guided = true;
     }
 
     match command {
@@ -115,6 +122,24 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "replay" => {
+            let Some(path) = args.iter().skip(1).find(|a| !a.starts_with('-')) else {
+                eprintln!("usage: hdiff replay [--all] <bundle.json | directory>");
+                return ExitCode::FAILURE;
+            };
+            replay(Path::new(path))
+        }
+        "golden" => {
+            let (Some(sub), Some(dir)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: hdiff golden regen <directory>");
+                return ExitCode::FAILURE;
+            };
+            if sub != "regen" {
+                eprintln!("unknown golden subcommand {sub:?} (expected: regen)");
+                return ExitCode::FAILURE;
+            }
+            golden_regen(Path::new(dir))
+        }
         "--help" | "-h" | "help" => {
             print_help();
             ExitCode::SUCCESS
@@ -142,8 +167,82 @@ fn print_help() {
          \x20 figure7          Figure 7 pair grids\n\
          \x20 findings [--csv] list every finding\n\
          \x20 exploits         exploit write-ups with payloads\n\
-         \x20 probe <file>     interpret a raw request under all products"
+         \x20 probe <file>     interpret a raw request under all products\n\
+         \x20 replay [--all] <p>  re-execute replay bundle(s), diff verdicts\n\
+         \x20 golden regen <dir>  rebuild the minimized golden corpus\n\n\
+         generation options:\n\
+         \x20 --coverage-guided  bias ABNF generation toward cold alternations"
     );
+}
+
+/// Replays one bundle file or every `*.json` bundle in a directory;
+/// fails when any replay drifts from its recorded verdicts or digests.
+fn replay(path: &Path) -> ExitCode {
+    use hdiff::diff::{replay::replay_dir, ReplayBundle, Workflow};
+
+    let workflow = Workflow::standard();
+    let profiles = hdiff::servers::products();
+    let reports: Vec<(std::path::PathBuf, hdiff::diff::ReplayReport)> = if path.is_dir() {
+        match replay_dir(path, &workflow, &profiles, None) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot replay {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match ReplayBundle::load(path) {
+            Ok(bundle) => vec![(path.to_path_buf(), bundle.replay(&workflow, &profiles, None))],
+            Err(e) => {
+                eprintln!("cannot load {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if reports.is_empty() {
+        eprintln!("no replay bundles found in {}", path.display());
+        return ExitCode::FAILURE;
+    }
+    let mut failed = 0usize;
+    for (p, report) in &reports {
+        println!("{}  [{}]", report.summary(), p.display());
+        if !report.passed() {
+            failed += 1;
+            for f in &report.missing {
+                println!("  missing    : {f}");
+            }
+            for f in &report.unexpected {
+                println!("  unexpected : {f}");
+            }
+        }
+    }
+    println!("{} bundle(s), {} failed", reports.len(), failed);
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Regenerates the golden replay corpus from the Table II catalog.
+fn golden_regen(dir: &Path) -> ExitCode {
+    use hdiff::diff::{replay::regen_golden, Workflow};
+
+    let workflow = Workflow::standard();
+    let profiles = hdiff::servers::products();
+    match regen_golden(dir, &workflow, &profiles) {
+        Ok(paths) => {
+            for p in &paths {
+                println!("wrote {}", p.display());
+            }
+            println!("{} bundle(s) regenerated", paths.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("golden regen failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Interprets raw request bytes under every product and the baseline.

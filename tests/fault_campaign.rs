@@ -6,10 +6,10 @@
 
 use std::sync::Once;
 
-use hdiff::diff::DiffEngine;
+use hdiff::diff::{DiffEngine, FindingContext, MinimizeOptions, Workflow};
 use hdiff::gen::{catalog, Origin, TestCase};
-use hdiff::servers::fault::FaultPlan;
-use hdiff::servers::ParserProfile;
+use hdiff::servers::fault::{FaultInjector, FaultKind, FaultPlan, FaultSession, FaultStage};
+use hdiff::servers::{ParserProfile, ORIGIN_HOP};
 
 /// Silences the panic hook for the *injected* parser panics only: the
 /// campaign triggers hundreds of them deliberately and the spew would
@@ -107,6 +107,99 @@ fn killed_campaign_resumes_to_the_identical_summary() {
     resumed_engine.checkpoint_every = 5;
     let resumed = resumed_engine.run_with_checkpoint(&cases, &ckpt).unwrap();
     assert_eq!(resumed, uninterrupted, "resume converges to the uninterrupted summary");
+
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Replays the runner's retry policy for one case against the fault
+/// plan's deterministic schedule: attempts keep firing the transient
+/// origin fault until one comes back clean or `max_retries` is spent.
+/// Returns `(retries, backoff_units, terminal_error)`.
+fn expected_schedule(plan: &FaultPlan, uuid: u64, max_retries: u32) -> (u32, u64, bool) {
+    let injector = FaultInjector::new(plan.clone());
+    let mut retries = 0u32;
+    let mut backoff = 0u64;
+    loop {
+        let session = FaultSession::new(&injector, uuid, retries, 4096);
+        let fired = session.decide(ORIGIN_HOP, FaultStage::OriginRespond).is_some();
+        if !fired {
+            return (retries, backoff, false);
+        }
+        if retries >= max_retries {
+            return (retries, backoff, true);
+        }
+        retries += 1;
+        backoff += 1u64 << retries.min(16);
+    }
+}
+
+#[test]
+fn recorded_retry_counts_match_the_injected_transient_schedule_exactly() {
+    // Regression: `RunSummary.backoff_units` must aggregate the per-case
+    // backoff bookkeeping (it used to be recorded per case and then
+    // dropped on aggregation). With the plan restricted to Transient5xx —
+    // which only fires at the origin-respond decision point — the retry
+    // and backoff totals are exactly computable from the fault schedule.
+    let cases = catalog_cases();
+    let plan = FaultPlan::new(0x5c3d, 40).with_kinds(&[FaultKind::Transient5xx]);
+    let mut engine = DiffEngine::standard();
+    engine.fault_plan = plan.clone();
+    let summary = engine.run(&cases);
+
+    let mut retries = 0usize;
+    let mut backoff = 0u64;
+    let mut errors = 0usize;
+    for case in &cases {
+        let (r, b, failed) = expected_schedule(&plan, case.uuid, engine.max_retries);
+        retries += r as usize;
+        backoff += b;
+        errors += usize::from(failed);
+    }
+    assert!(retries > 0, "a 40% rate over the catalog must schedule retries");
+    assert_eq!(summary.retries, retries, "recorded retries drift from the fault schedule");
+    assert_eq!(summary.backoff_units, backoff, "recorded backoff drifts from the fault schedule");
+    assert_eq!(summary.errors, errors, "terminal transient-5xx errors drift from the schedule");
+}
+
+#[test]
+fn findings_from_a_resumed_campaign_minimize_to_identical_bytes() {
+    // Checkpoint/resume × minimizer: a campaign killed at a checkpoint
+    // and resumed must hand the minimizer the same findings, and the
+    // minimizer must converge to byte-identical minimized cases.
+    let cases = catalog_cases();
+    let dir = std::env::temp_dir().join("hdiff-resume-minimize");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("campaign.json");
+    std::fs::remove_file(&ckpt).ok();
+
+    let uninterrupted = DiffEngine::standard().run(&cases);
+
+    let mut killed = DiffEngine::standard();
+    killed.checkpoint_every = 7;
+    killed.stop_after_chunks = Some(1);
+    let partial = killed.run_with_checkpoint(&cases, &ckpt).unwrap();
+    assert!(partial.cases < cases.len(), "the kill left work undone");
+    let mut resumed_engine = DiffEngine::standard();
+    resumed_engine.checkpoint_every = 7;
+    let resumed = resumed_engine.run_with_checkpoint(&cases, &ckpt).unwrap();
+    assert_eq!(resumed, uninterrupted);
+
+    let workflow = Workflow::standard();
+    let profiles = hdiff::servers::products();
+    let ctx = FindingContext::new(&workflow, &profiles);
+    let opts = MinimizeOptions::default();
+    let finding = resumed.findings.iter().find(|f| f.is_pair()).unwrap();
+    let case = cases.iter().find(|c| c.uuid == finding.uuid).unwrap();
+    let bytes = case.request.to_bytes();
+    let from_resumed = ctx.minimize_finding(finding, &bytes, &opts);
+    let from_uninterrupted = ctx.minimize_finding(
+        uninterrupted.findings.iter().find(|f| *f == finding).unwrap(),
+        &bytes,
+        &opts,
+    );
+    assert_eq!(from_resumed, from_uninterrupted);
+    assert!(from_resumed.bytes.len() <= bytes.len());
 
     std::fs::remove_file(&ckpt).ok();
     std::fs::remove_dir_all(&dir).ok();

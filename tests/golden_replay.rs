@@ -1,0 +1,66 @@
+//! Golden-corpus regression gate.
+//!
+//! `tests/golden/` holds one minimized replay bundle per Table II catalog
+//! vector, written by `hdiff golden regen tests/golden`. Each bundle
+//! freezes the exact request bytes, the detector verdicts, and an FNV
+//! digest of every implementation's behavior; this gate re-executes all
+//! of them and fails on any drift. A legitimate behavior change (a new
+//! profile policy, a detector fix) is accepted by regenerating the
+//! corpus and reviewing the bundle diff.
+
+use std::path::Path;
+
+use hdiff::diff::replay::replay_dir;
+use hdiff::diff::{ReplayBundle, Workflow};
+
+fn golden_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn golden_corpus_replays_byte_identically() {
+    let workflow = Workflow::standard();
+    let profiles = hdiff::servers::products();
+    let reports = replay_dir(&golden_dir(), &workflow, &profiles, None).unwrap();
+    assert!(reports.len() >= 10, "golden corpus too small: {} bundles", reports.len());
+    for (path, report) in &reports {
+        assert!(report.passed(), "{}: {}", path.display(), report.summary());
+    }
+}
+
+#[test]
+fn golden_corpus_covers_every_catalog_vector() {
+    let names: Vec<String> = std::fs::read_dir(golden_dir())
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    for entry in hdiff::gen::catalog::catalog() {
+        assert!(
+            names.iter().any(|n| n == &format!("catalog-{}.json", entry.id)),
+            "no golden bundle for catalog vector {}",
+            entry.id
+        );
+    }
+}
+
+#[test]
+fn golden_bundles_are_minimized_and_well_formed() {
+    for path in std::fs::read_dir(golden_dir()).unwrap().filter_map(Result::ok) {
+        let path = path.path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let bundle = ReplayBundle::load(&path).unwrap();
+        assert!(!bundle.findings.is_empty(), "{}: bundle with no findings", path.display());
+        assert_eq!(bundle.digests.len(), 12, "{}: 6 direct + 6 proxy views", path.display());
+        // Minimization floor: nothing in the corpus should carry more
+        // than 100 bytes of request — the vectors are tiny by design.
+        assert!(
+            bundle.request.len() <= 100,
+            "{}: {}-byte request looks unminimized",
+            path.display(),
+            bundle.request.len()
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Minimizer acceptance over the Table II catalog.
+//!
+//! Every catalog vector, padded with campaign-style noise headers, must
+//! shrink to at most half its padded size while the same detector keeps
+//! firing on the same profile pair — and the minimized bytes must be
+//! identical whether the finding came from a single-threaded or a
+//! multi-threaded campaign.
+
+use hdiff::diff::{DiffEngine, Finding, FindingContext, MinimizeOptions, Workflow};
+use hdiff::gen::{catalog, Origin, TestCase};
+
+/// Campaign-style padding: inert noise headers inserted before the blank
+/// line, tripling the request size.
+fn pad_with_noise(bytes: &[u8]) -> Vec<u8> {
+    let Some(head_end) = bytes.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return bytes.to_vec();
+    };
+    let mut out = bytes[..head_end + 2].to_vec();
+    let mut i = 0usize;
+    while out.len() + (bytes.len() - head_end - 2) < bytes.len() * 3 {
+        out.extend_from_slice(format!("X-Pad-{i}: {:a>40}\r\n", "").as_bytes());
+        i += 1;
+    }
+    out.extend_from_slice(&bytes[head_end + 2..]);
+    out
+}
+
+fn pick<'a>(findings: &'a [Finding], entry: &catalog::CatalogEntry) -> Option<&'a Finding> {
+    let of_class = |f: &&Finding| entry.classes.contains(&f.class);
+    findings
+        .iter()
+        .filter(of_class)
+        .find(|f| f.is_pair())
+        .or_else(|| findings.iter().find(of_class))
+}
+
+#[test]
+fn every_catalog_vector_minimizes_to_half_or_less() {
+    let workflow = Workflow::standard();
+    let profiles = hdiff::servers::products();
+    let ctx = FindingContext::new(&workflow, &profiles);
+    let opts = MinimizeOptions::default();
+    for (idx, entry) in catalog::catalog().iter().enumerate() {
+        let uuid = 100 + idx as u64;
+        let origin = format!("catalog:{}", entry.id);
+        // First payload of the entry that flags a finding of its class.
+        let seed = entry.requests.iter().find_map(|(req, _)| {
+            let padded = pad_with_noise(&req.to_bytes());
+            let findings = ctx.findings_for(uuid, &origin, &padded);
+            pick(&findings, entry).cloned().map(|f| (padded, f))
+        });
+        let Some((padded, finding)) = seed else {
+            panic!("{}: no payload flags any of {:?}", entry.id, entry.classes);
+        };
+        let out = ctx.minimize_finding(&finding, &padded, &opts);
+        assert!(
+            out.bytes.len() * 2 <= padded.len(),
+            "{}: {} -> {} bytes (ratio {:.2})",
+            entry.id,
+            padded.len(),
+            out.bytes.len(),
+            out.stats.shrink_ratio()
+        );
+        // The minimized case still trips the same detector on the same
+        // profile pair.
+        let again = ctx.findings_for(uuid, &origin, &out.bytes);
+        assert!(
+            again.iter().any(|f| f.class == finding.class
+                && f.front == finding.front
+                && f.back == finding.back),
+            "{}: minimized case no longer flags {}",
+            entry.id,
+            finding
+        );
+    }
+}
+
+#[test]
+fn minimization_is_identical_across_thread_counts() {
+    let cases: Vec<TestCase> = {
+        let mut out = Vec::new();
+        let mut uuid = 1u64;
+        for entry in catalog::catalog() {
+            for (req, note) in &entry.requests {
+                out.push(TestCase {
+                    uuid,
+                    request: req.clone(),
+                    assertions: Vec::new(),
+                    origin: Origin::Catalog(entry.id.to_string()),
+                    note: note.clone(),
+                });
+                uuid += 1;
+            }
+        }
+        out
+    };
+    let mut one = DiffEngine::standard();
+    one.threads = 1;
+    let mut four = DiffEngine::standard();
+    four.threads = 4;
+    let s1 = one.run(&cases);
+    let s4 = four.run(&cases);
+    assert_eq!(s1, s4, "campaign summaries must not depend on the thread count");
+
+    // Minimize the same finding as reported by each run; the minimized
+    // bytes must agree exactly.
+    let workflow = Workflow::standard();
+    let profiles = hdiff::servers::products();
+    let ctx = FindingContext::new(&workflow, &profiles);
+    let opts = MinimizeOptions::default();
+    let survives_padding = |f: &&Finding| {
+        let case = cases.iter().find(|c| c.uuid == f.uuid).unwrap();
+        let padded = pad_with_noise(&case.request.to_bytes());
+        ctx.findings_for(f.uuid, &f.origin, &padded)
+            .iter()
+            .any(|g| g.class == f.class && g.front == f.front && g.back == f.back)
+    };
+    let f1 = s1
+        .findings
+        .iter()
+        .filter(|f| f.is_pair())
+        .find(survives_padding)
+        .expect("catalog run flags pair findings that survive noise padding");
+    let f4 = s4.findings.iter().find(|f| *f == f1).unwrap();
+    let case = cases.iter().find(|c| c.uuid == f1.uuid).unwrap();
+    let padded = pad_with_noise(&case.request.to_bytes());
+    let a = ctx.minimize_finding(f1, &padded, &opts);
+    let b = ctx.minimize_finding(f4, &padded, &opts);
+    assert_eq!(a, b, "minimization must be deterministic across thread counts");
+    assert!(a.bytes.len() < padded.len());
+}
