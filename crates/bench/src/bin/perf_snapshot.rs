@@ -5,6 +5,10 @@
 //! shrink ratio and wall time for delta-debugging the noise-padded
 //! Table II catalog down to minimal reproducers.
 //!
+//! Also writes `BENCH_net.json`: throughput and round-trip latency of
+//! the loopback TCP transport against the same profiles called
+//! in-process, over the Table II catalog payloads.
+//!
 //! Usage: `cargo run --release -p hdiff-bench --bin perf_snapshot`
 //! (`-- --smoke` for a fast CI-sized run).
 
@@ -97,6 +101,71 @@ fn main() {
     );
 
     minimize_snapshot(smoke, &workflow, &products);
+    net_snapshot(smoke);
+}
+
+/// Writes `BENCH_net.json`: requests/second and p50/p99 round-trip time
+/// for the Table II catalog served over loopback TCP, next to the same
+/// profile invoked as an in-process function on identical bytes.
+fn net_snapshot(smoke: bool) {
+    use hdiff_net::{NetServer, NetServerConfig, SendMode, WireClient};
+
+    let rounds = if smoke { 2 } else { 10 };
+    let payloads: Vec<Vec<u8>> = catalog::catalog()
+        .iter()
+        .flat_map(|e| e.requests.iter().map(|(req, _)| req.to_bytes()))
+        .collect();
+    let profile = hdiff_servers::backends().into_iter().next().expect("at least one backend");
+
+    // In-process baseline: the same engine as a function call.
+    let server = hdiff_servers::Server::new(profile.clone());
+    let mut sim_rtts_ns = Vec::new();
+    for _ in 0..rounds {
+        for bytes in &payloads {
+            let start = Instant::now();
+            std::hint::black_box(server.handle_stream(bytes));
+            sim_rtts_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    // Wire: one exchange (connect, send, FIN, read to EOF) per payload.
+    let net = NetServer::spawn(profile, NetServerConfig::default()).expect("spawn net server");
+    let client = WireClient::new(net.addr());
+    let mut tcp_rtts_ns = Vec::new();
+    let wall = Instant::now();
+    for _ in 0..rounds {
+        for bytes in &payloads {
+            let start = Instant::now();
+            let exchange = client.exchange(bytes, &SendMode::Whole).expect("wire exchange");
+            std::hint::black_box(&exchange.response);
+            tcp_rtts_ns.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+    let tcp_wall_s = wall.elapsed().as_secs_f64();
+    let req_per_s = tcp_rtts_ns.len() as f64 / tcp_wall_s.max(1e-9);
+    drop(net);
+
+    let percentile = |samples: &mut Vec<f64>, p: f64| -> f64 {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+        samples[idx]
+    };
+    let tcp_p50_us = percentile(&mut tcp_rtts_ns, 0.50) / 1e3;
+    let tcp_p99_us = percentile(&mut tcp_rtts_ns, 0.99) / 1e3;
+    let sim_p50_us = percentile(&mut sim_rtts_ns, 0.50) / 1e3;
+    let sim_p99_us = percentile(&mut sim_rtts_ns, 0.99) / 1e3;
+
+    let json = format!(
+        "{{\n  \"schema\": \"hdiff-bench-net-v1\",\n  \"smoke\": {smoke},\n  \"payloads\": {},\n  \"requests\": {},\n  \"tcp_req_per_s\": {req_per_s:.0},\n  \"tcp_rtt_p50_us\": {tcp_p50_us:.1},\n  \"tcp_rtt_p99_us\": {tcp_p99_us:.1},\n  \"inprocess_p50_us\": {sim_p50_us:.1},\n  \"inprocess_p99_us\": {sim_p99_us:.1}\n}}\n",
+        payloads.len(),
+        tcp_rtts_ns.len(),
+    );
+    std::fs::write("BENCH_net.json", &json).expect("write BENCH_net.json");
+    print!("{json}");
+    eprintln!(
+        "wire {req_per_s:.0} req/s (p50 {tcp_p50_us:.0} us, p99 {tcp_p99_us:.0} us) \
+         vs in-process p50 {sim_p50_us:.1} us"
+    );
 }
 
 /// Campaign-style padding: inert noise headers inserted before the blank

@@ -1,5 +1,7 @@
 //! Pipeline configuration.
 
+use hdiff_diff::Transport;
+
 /// Configuration for one [`crate::HDiff`] run.
 #[derive(Debug, Clone)]
 pub struct HdiffConfig {
@@ -26,6 +28,9 @@ pub struct HdiffConfig {
     /// taken yet (changes the generated stream for a given seed; coverage
     /// is tracked and reported either way).
     pub coverage_guided: bool,
+    /// How test cases reach the behavioral profiles: in-process
+    /// simulation (the default) or real TCP sockets.
+    pub transport: Transport,
 }
 
 impl HdiffConfig {
@@ -42,6 +47,7 @@ impl HdiffConfig {
             max_gen_depth: 7,
             fault_rate: 0,
             coverage_guided: false,
+            transport: Transport::Sim,
         }
     }
 
@@ -58,6 +64,7 @@ impl HdiffConfig {
             max_gen_depth: 7,
             fault_rate: 0,
             coverage_guided: false,
+            transport: Transport::Sim,
         }
     }
 }

@@ -219,6 +219,7 @@ impl HDiff {
 
         let mut engine = DiffEngine::standard();
         engine.threads = self.config.threads;
+        engine.transport = self.config.transport;
         // The adapted grammar doubles as a syntax oracle: HoT findings
         // get per-view `Host` conformance verdicts and lenient hosts
         // surface as SR violations.

@@ -31,6 +31,7 @@ pub mod runner;
 pub mod schedule;
 pub mod srcheck;
 pub mod syntax;
+pub mod transport;
 pub mod verdict;
 pub mod verify;
 pub mod workflow;
@@ -44,6 +45,10 @@ pub use replay::{ReplayBundle, ReplayReport};
 pub use runner::{CaseError, CaseRecord, DiffEngine, RunSummary};
 pub use srcheck::{check_assertions, check_host_conformance, SrViolation};
 pub use syntax::SyntaxOracle;
+pub use transport::{
+    consistency_findings, pipelined_desync_findings, run_bytes_tcp, run_case_tcp, segmented_probe,
+    Transport,
+};
 pub use verdict::{PairMatrix, Verdicts};
 pub use verify::{verify_all, verify_finding, VerifiedFinding};
 pub use workflow::{CaseOutcome, ChainRun, FaultReaction, ReplayRun, Workflow};

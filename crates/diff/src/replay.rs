@@ -28,6 +28,7 @@ use crate::hmetrics::HMetrics;
 use crate::json::{push_json_str, Json, Parser};
 use crate::minimize::{FindingContext, MinimizeOptions};
 use crate::syntax::SyntaxOracle;
+use crate::transport::{run_bytes_tcp, Transport};
 use crate::workflow::{CaseOutcome, Workflow};
 
 /// On-disk bundle format version; bumped on incompatible changes.
@@ -59,6 +60,11 @@ pub struct ReplayBundle {
     /// FNV-1a 64 digests of every implementation view, labelled
     /// `direct:<backend>` / `proxy:<proxy>`.
     pub digests: Vec<(String, u64)>,
+    /// Transport the bundle replays under. Bundles recorded before the
+    /// wire transport existed carry no key and default to [`Transport::Sim`],
+    /// so the checked-in golden corpus keeps working unchanged; `hdiff
+    /// replay --transport tcp` overrides it at replay time.
+    pub transport: Transport,
 }
 
 /// The outcome of replaying one bundle.
@@ -111,7 +117,8 @@ impl ReplayBundle {
         profiles: &[ParserProfile],
         oracle: Option<&SyntaxOracle>,
     ) -> ReplayBundle {
-        let (outcome, findings) = execute(workflow, profiles, oracle, uuid, origin, bytes, fault);
+        let (outcome, findings) =
+            execute(workflow, profiles, oracle, uuid, origin, bytes, fault, Transport::Sim);
         ReplayBundle {
             name: name.to_string(),
             description: description.to_string(),
@@ -121,6 +128,7 @@ impl ReplayBundle {
             fault,
             findings,
             digests: digests_of(&outcome),
+            transport: Transport::Sim,
         }
     }
 
@@ -132,8 +140,16 @@ impl ReplayBundle {
         profiles: &[ParserProfile],
         oracle: Option<&SyntaxOracle>,
     ) -> ReplayReport {
-        let (outcome, findings) =
-            execute(workflow, profiles, oracle, self.uuid, &self.origin, &self.request, self.fault);
+        let (outcome, findings) = execute(
+            workflow,
+            profiles,
+            oracle,
+            self.uuid,
+            &self.origin,
+            &self.request,
+            self.fault,
+            self.transport,
+        );
         let actual = digests_of(&outcome);
         let mut drifted: Vec<String> = Vec::new();
         for (label, expected) in &self.digests {
@@ -187,7 +203,15 @@ impl ReplayBundle {
             push_json_str(&mut out, label);
             out.push_str(&format!(",\"digest\":{digest}}}"));
         }
-        out.push_str("]}\n");
+        out.push(']');
+        // The default (sim) is written as key absence, so sim bundles —
+        // the golden corpus included — stay byte-identical to the
+        // pre-wire-transport format.
+        if self.transport != Transport::Sim {
+            out.push_str(",\"transport\":");
+            push_json_str(&mut out, self.transport.as_str());
+        }
+        out.push_str("}\n");
         out
     }
 
@@ -228,6 +252,12 @@ impl ReplayBundle {
                 d.get("digest").and_then(Json::as_u64).ok_or_else(|| data_err("digest value"))?;
             digests.push((label, digest));
         }
+        let transport = match root.get("transport") {
+            None | Some(Json::Null) => Transport::Sim,
+            Some(v) => {
+                v.as_str().and_then(Transport::parse).ok_or_else(|| data_err("bundle transport"))?
+            }
+        };
         Ok(ReplayBundle {
             name: string("name")?,
             description: string("description")?,
@@ -243,6 +273,7 @@ impl ReplayBundle {
                 .map(read_finding)
                 .collect::<io::Result<_>>()?,
             digests,
+            transport,
         })
     }
 
@@ -339,7 +370,9 @@ pub fn regen_golden(
 }
 
 /// Runs one case exactly the way record/replay both must: a fresh fault
-/// session (disabled plan unless `fault` is set) under [`STEP_BUDGET`].
+/// session (disabled plan unless `fault` is set) under [`STEP_BUDGET`],
+/// through the chosen transport.
+#[allow(clippy::too_many_arguments)]
 fn execute(
     workflow: &Workflow,
     profiles: &[ParserProfile],
@@ -348,6 +381,7 @@ fn execute(
     origin: &str,
     bytes: &[u8],
     fault: Option<(u64, u8)>,
+    transport: Transport,
 ) -> (CaseOutcome, Vec<Finding>) {
     let plan = match fault {
         Some((seed, rate)) => FaultPlan::new(seed, rate),
@@ -355,7 +389,10 @@ fn execute(
     };
     let injector = FaultInjector::new(plan);
     let session = FaultSession::new(&injector, uuid, 0, STEP_BUDGET);
-    let outcome = workflow.run_bytes_faulted(uuid, origin, bytes, Some(&session));
+    let outcome = match transport {
+        Transport::Sim => workflow.run_bytes_faulted(uuid, origin, bytes, Some(&session)),
+        Transport::Tcp => run_bytes_tcp(workflow, uuid, origin, bytes, Some(&session)),
+    };
     let findings = detect_case_with_oracle(profiles, &outcome, oracle);
     (outcome, findings)
 }
@@ -413,6 +450,12 @@ fn hash_metrics(h: &mut Fnv, m: &HMetrics) {
 /// Canonical behavior digests for one case outcome: one per direct
 /// back-end view, one per proxy chain (covering the proxy's own
 /// interpretations, the exact forwarded bytes, and every step-2 replay).
+/// The cross-transport consistency pass compares these digests between a
+/// sim and a TCP execution of the same case.
+pub fn behavior_digests(outcome: &CaseOutcome) -> Vec<(String, u64)> {
+    digests_of(outcome)
+}
+
 fn digests_of(outcome: &CaseOutcome) -> Vec<(String, u64)> {
     let mut out = Vec::new();
     for (backend, replies) in &outcome.direct {

@@ -25,6 +25,7 @@ use crate::findings::Finding;
 use crate::schedule;
 use crate::srcheck::{check_all, check_host_conformance, SrViolation};
 use crate::syntax::SyntaxOracle;
+use crate::transport::{run_case_tcp, Transport};
 use crate::verdict::{PairMatrix, Verdicts};
 use crate::workflow::Workflow;
 
@@ -116,6 +117,8 @@ pub struct RunSummary {
     /// corpus, when the campaign tracked it (see
     /// [`DiffEngine::grammar_coverage`]).
     pub coverage: Option<hdiff_gen::GrammarCoverage>,
+    /// Transport the campaign executed over.
+    pub transport: Transport,
 }
 
 impl RunSummary {
@@ -152,6 +155,9 @@ pub struct DiffEngine {
     /// every [`RunSummary`] this engine produces. The engine itself never
     /// mutates it, so summaries stay identical across thread counts.
     pub grammar_coverage: Option<hdiff_gen::GrammarCoverage>,
+    /// How cases execute: in-process simulation (default) or real
+    /// loopback TCP (see [`crate::transport`]).
+    pub transport: Transport,
 }
 
 impl DiffEngine {
@@ -183,6 +189,7 @@ impl DiffEngine {
             stop_after_chunks: None,
             syntax_oracle: None,
             grammar_coverage: None,
+            transport: Transport::Sim,
         }
     }
 
@@ -268,7 +275,10 @@ impl DiffEngine {
         loop {
             let session = FaultSession::new(&injector, case.uuid, retries, self.step_budget);
             let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
-                let outcome = self.workflow.run_case_faulted(case, Some(&session));
+                let outcome = match self.transport {
+                    Transport::Sim => self.workflow.run_case_faulted(case, Some(&session)),
+                    Transport::Tcp => run_case_tcp(&self.workflow, case, Some(&session)),
+                };
                 let replayed = outcome.chains.iter().any(|c| !c.replays.is_empty());
                 let findings =
                     detect_case_with_oracle(&self.profiles, &outcome, self.syntax_oracle.as_ref());
@@ -383,6 +393,7 @@ impl DiffEngine {
             backoff_units,
             quarantined,
             coverage: self.grammar_coverage,
+            transport: self.transport,
         }
     }
 }

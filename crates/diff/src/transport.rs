@@ -1,0 +1,485 @@
+//! The wire transport: the Fig. 6 workflow executed over real sockets.
+//!
+//! [`run_bytes_tcp`] is a drop-in alternative to
+//! [`Workflow::run_bytes_faulted`]: every behavioral profile is served by
+//! an [`hdiff_net::NetServer`] on an ephemeral loopback port, each proxy
+//! hop is an [`hdiff_net::NetProxy`] relaying to an
+//! [`hdiff_net::NetEcho`], and the test case's bytes genuinely travel
+//! through the kernel's TCP stack. The resulting [`CaseOutcome`] is built
+//! from the servers' connection logs and mirrors the in-process outcome
+//! field-for-field — fault bookkeeping included — so detection, replay
+//! digests, and the run summary are transport-agnostic.
+//!
+//! # Synchronization
+//!
+//! The campaign client writes a case's bytes, half-closes (FIN), and
+//! reads to EOF; every `hdiff-net` listener pushes its connection log
+//! *before* closing its end. Client EOF therefore implies the log is
+//! complete — no sleeps, no polling.
+//!
+//! # Fault mirroring
+//!
+//! [`hdiff_servers::fault::FaultSession`] is interior-mutable and owned by
+//! the case thread, so the socket threads never see it. Instead:
+//!
+//! * the **origin** decision is made once on the case thread (recording
+//!   the event exactly like the sim does) and its *effect* is passed to
+//!   every backend listener as an [`hdiff_net::ServerFault`];
+//! * each proxy's **forward** decision is [`FaultSession::peek`]ed (no
+//!   event) and passed as data into [`hdiff_net::NetProxyConfig`]; after
+//!   the wire run, [`FaultSession::decide`] is replayed for the kept
+//!   forwarded messages so events and budget exhaustion land exactly
+//!   where the sim puts them;
+//! * step-budget charges are replayed on the case thread in the sim's
+//!   order (direct backends, then per proxy: forwards, then replays), so
+//!   `budget_exhausted` and retry behavior are identical.
+//!
+//! Beyond parity, the wire observes behavior the simulation cannot:
+//! [`segmented_probe`] delivers a request in arbitrary TCP segments (or
+//! cut short mid-body), and [`pipelined_desync_findings`] submits a
+//! pipelined batch to every backend and flags response-attribution
+//! disagreements — the on-the-wire symptom of request smuggling.
+
+use std::time::Duration;
+
+use hdiff_gen::{AttackClass, TestCase};
+use hdiff_net::{
+    compare_attribution, NetEcho, NetProxy, NetProxyConfig, NetServer, NetServerConfig, SendMode,
+    ServerFault, WireClient,
+};
+use hdiff_servers::fault::{FaultKind, FaultSession, FaultStage};
+use hdiff_servers::{ParserProfile, Proxy, ServerReply, ORIGIN_HOP};
+
+use crate::findings::Finding;
+use crate::hmetrics::HMetrics;
+use crate::workflow::{
+    damaged_upstream_bytes, is_ambiguous, probe_relay, simulate_cache, CaseOutcome, ChainRun,
+    ReplayRun, Workflow,
+};
+
+/// How a campaign executes its cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// In-process simulation (the default): function calls, no sockets.
+    #[default]
+    Sim,
+    /// Real loopback TCP: every hop is a listener, bytes travel the wire.
+    Tcp,
+}
+
+impl Transport {
+    /// Stable name used by the CLI, config, and replay bundles.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Transport::Sim => "sim",
+            Transport::Tcp => "tcp",
+        }
+    }
+
+    /// Parses [`Transport::as_str`] output.
+    pub fn parse(s: &str) -> Option<Transport> {
+        match s {
+            "sim" => Some(Transport::Sim),
+            "tcp" => Some(Transport::Tcp),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Read timeout for every listener and campaign client connection.
+const WIRE_TIMEOUT: Duration = Duration::from_millis(500);
+/// Short client timeout used to *observe* an injected stall without
+/// spending the full wire timeout on every stalled attempt.
+const STALL_OBSERVE_TIMEOUT: Duration = Duration::from_millis(40);
+
+/// [`Workflow::run_case_faulted`], over TCP.
+pub fn run_case_tcp(
+    workflow: &Workflow,
+    case: &TestCase,
+    faults: Option<&FaultSession<'_>>,
+) -> CaseOutcome {
+    run_bytes_tcp(workflow, case.uuid, &case.origin.to_string(), &case.request.to_bytes(), faults)
+}
+
+/// [`Workflow::run_bytes_faulted`], over TCP. Panics on loopback socket
+/// failure (bind/spawn), which the resilient runner quarantines like any
+/// other case panic.
+pub fn run_bytes_tcp(
+    workflow: &Workflow,
+    uuid: u64,
+    origin: &str,
+    bytes: &[u8],
+    faults: Option<&FaultSession<'_>>,
+) -> CaseOutcome {
+    let bytes = bytes.to_vec();
+    let origin_fault =
+        faults.and_then(|s| s.decide(ORIGIN_HOP, FaultStage::OriginRespond)).map(|d| d.kind);
+    let probe_bytes = origin_fault.and_then(damaged_upstream_bytes);
+
+    // Step 3: direct back-end interpretation, plus the listeners the
+    // step-2 replays reuse (they carry the same origin-fault effect, just
+    // as the sim re-decides the same fault on every backend call).
+    let mut direct: Vec<(String, Vec<ServerReply>)> = Vec::new();
+    let mut backend_nets: Vec<Option<NetServer>> = Vec::new();
+    if origin_fault == Some(FaultKind::StallRead) {
+        // Sim semantics: every backend exhausts the budget and produces
+        // nothing. One real stalled exchange gives the wire observation —
+        // a client-side read timeout — and the rest are skipped.
+        if let Some(first) = workflow.backends().first() {
+            let config =
+                NetServerConfig { fault: Some(ServerFault::Stall), ..NetServerConfig::default() };
+            if let Ok(server) = NetServer::spawn(first.clone(), config) {
+                let mut client = WireClient::new(server.addr());
+                client.read_timeout = STALL_OBSERVE_TIMEOUT;
+                let _ = client.exchange(&bytes, &SendMode::Whole);
+            }
+        }
+        if let Some(session) = faults {
+            session.exhaust();
+        }
+        for b in workflow.backends() {
+            direct.push((b.name.clone(), Vec::new()));
+            backend_nets.push(None);
+        }
+    } else {
+        let server_fault = match origin_fault {
+            Some(FaultKind::ConnReset) => Some(ServerFault::CloseNoReply),
+            Some(FaultKind::Transient5xx) => Some(ServerFault::Substitute503),
+            Some(FaultKind::TruncateResponse) => Some(ServerFault::TruncateBody),
+            _ => None,
+        };
+        for b in workflow.backends() {
+            let config = NetServerConfig { fault: server_fault, ..NetServerConfig::default() };
+            let server =
+                NetServer::spawn(b.clone(), config).expect("bind loopback backend listener");
+            let raw = roundtrip(&server, &bytes, &SendMode::Whole);
+            let mut kept = Vec::new();
+            for reply in raw {
+                if let Some(session) = faults {
+                    if !session.charge(1) {
+                        break;
+                    }
+                }
+                kept.push(reply);
+            }
+            direct.push((b.name.clone(), kept));
+            backend_nets.push(Some(server));
+        }
+    }
+
+    // Steps 1 and 2 per proxy.
+    let mut chains = Vec::new();
+    for proxy_profile in workflow.proxies() {
+        let decision = faults.and_then(|s| s.peek(&proxy_profile.name, FaultStage::Forward));
+        let raw_results = if faults.is_some_and(FaultSession::exhausted) {
+            Vec::new() // the sim's charge fails before the first message
+        } else {
+            let echo = NetEcho::spawn(WIRE_TIMEOUT).expect("bind loopback echo listener");
+            let config = NetProxyConfig { fault: decision, ..NetProxyConfig::new(echo.addr()) };
+            let proxy = NetProxy::spawn(proxy_profile.clone(), config)
+                .expect("bind loopback proxy listener");
+            let client = WireClient::new(proxy.addr());
+            let _ = client.exchange(&bytes, &SendMode::Whole);
+            proxy.take_logs().pop().map(|l| l.results).unwrap_or_default()
+        };
+
+        // Replay the sim's per-message bookkeeping over the wire results:
+        // one budget charge per message, fault events recorded only for
+        // messages that were actually forwarded.
+        let mut proxy_results = Vec::new();
+        for r in raw_results {
+            if let Some(session) = faults {
+                if !session.charge(1) {
+                    break;
+                }
+            }
+            if let (Some(session), Some(_)) = (faults, r.action.forwarded()) {
+                if let Some(d) = session.decide(&proxy_profile.name, FaultStage::Forward) {
+                    if d.kind == FaultKind::StallRead {
+                        session.exhaust();
+                    }
+                }
+            }
+            proxy_results.push(r);
+        }
+
+        let mut forwarded = Vec::new();
+        let mut forwarded_count = 0usize;
+        let mut forwarded_lens = Vec::new();
+        for r in &proxy_results {
+            if let Some(f) = r.action.forwarded() {
+                forwarded.extend_from_slice(f);
+                forwarded_lens.push(f.len());
+                forwarded_count += 1;
+            }
+        }
+
+        let any_accepted = proxy_results.iter().any(|r| r.interpretation.outcome.is_accept());
+        let should_replay = forwarded_count > 0
+            && any_accepted
+            && (!workflow.replay_reduction || is_ambiguous(&bytes));
+
+        let mut replays = Vec::new();
+        if should_replay {
+            let proxy_sim = Proxy::new(proxy_profile.clone());
+            for (backend_profile, net) in workflow.backends().iter().zip(&backend_nets) {
+                let raw = match (net, faults.is_some_and(FaultSession::exhausted)) {
+                    (Some(server), false) => roundtrip(server, &forwarded, &SendMode::Whole),
+                    _ => Vec::new(),
+                };
+                let mut replies = Vec::new();
+                for reply in raw {
+                    if let Some(session) = faults {
+                        if !session.charge(1) {
+                            break;
+                        }
+                    }
+                    replies.push(reply);
+                }
+                let cache_stored_error = simulate_cache(&proxy_sim, &proxy_results, &replies);
+                replays.push(ReplayRun {
+                    backend: backend_profile.name.clone(),
+                    replies,
+                    cache_stored_error,
+                });
+            }
+        }
+
+        let relay_reaction = match (&origin_fault, &probe_bytes) {
+            (Some(kind), Some(probe)) => Some(probe_relay(proxy_profile, *kind, probe)),
+            _ => None,
+        };
+
+        chains.push(ChainRun {
+            proxy: proxy_profile.name.clone(),
+            proxy_results,
+            forwarded,
+            forwarded_count,
+            forwarded_lens,
+            replays,
+            relay_reaction,
+        });
+    }
+
+    CaseOutcome {
+        uuid,
+        origin: origin.to_string(),
+        bytes,
+        chains,
+        direct,
+        fault_events: faults.map(|s| s.events()).unwrap_or_default(),
+        budget_exhausted: faults.is_some_and(FaultSession::exhausted),
+    }
+}
+
+/// One campaign-style wire exchange against a backend listener: send per
+/// `mode`, FIN, read to EOF, pop the (now guaranteed) connection log.
+fn roundtrip(server: &NetServer, bytes: &[u8], mode: &SendMode) -> Vec<ServerReply> {
+    let client = WireClient::new(server.addr());
+    let _ = client.exchange(bytes, mode);
+    server.take_logs().pop().map(|l| l.replies).unwrap_or_default()
+}
+
+/// Runs one case over both transports and reports any divergence as a
+/// finding: the two executions must yield the same behavior digests and
+/// the same detector verdicts. A divergence means a bug in one transport
+/// (or genuinely transport-dependent behavior) — either way worth a
+/// first-class report, never a silent pass.
+pub fn consistency_findings(
+    workflow: &Workflow,
+    profiles: &[ParserProfile],
+    uuid: u64,
+    origin: &str,
+    bytes: &[u8],
+) -> Vec<Finding> {
+    let sim = workflow.run_bytes_faulted(uuid, origin, bytes, None);
+    let tcp = run_bytes_tcp(workflow, uuid, origin, bytes, None);
+    let mut out = Vec::new();
+
+    let sim_digests = crate::replay::behavior_digests(&sim);
+    let tcp_digests = crate::replay::behavior_digests(&tcp);
+    for (label, expected) in &sim_digests {
+        match tcp_digests.iter().find(|(l, _)| l == label) {
+            Some((_, got)) if got == expected => {}
+            other => out.push(divergence(
+                uuid,
+                origin,
+                label,
+                &format!(
+                    "behavior digest {label} diverges across transports: sim {expected:#018x}, tcp {}",
+                    other.map_or("<missing>".to_string(), |(_, g)| format!("{g:#018x}")),
+                ),
+            )),
+        }
+    }
+
+    let sim_findings = crate::detect::detect_case(profiles, &sim);
+    let tcp_findings = crate::detect::detect_case(profiles, &tcp);
+    if sim_findings != tcp_findings {
+        out.push(divergence(
+            uuid,
+            origin,
+            "findings",
+            &format!(
+                "detector verdicts diverge across transports: {} sim vs {} tcp findings",
+                sim_findings.len(),
+                tcp_findings.len()
+            ),
+        ));
+    }
+    out
+}
+
+fn divergence(uuid: u64, origin: &str, label: &str, evidence: &str) -> Finding {
+    Finding {
+        class: AttackClass::Hrs,
+        uuid,
+        origin: origin.to_string(),
+        front: None,
+        back: None,
+        culprits: std::iter::once(format!("transport:{label}")).collect(),
+        evidence: evidence.to_string(),
+    }
+}
+
+/// Delivers `bytes` to every profile with the given wire shaping
+/// (segmented at arbitrary offsets, or truncated mid-stream) and returns
+/// each implementation's [`HMetrics`] view of the *first* message — the
+/// partial-read behavior only a real socket can exercise.
+pub fn segmented_probe(
+    profiles: &[ParserProfile],
+    uuid: u64,
+    bytes: &[u8],
+    mode: &SendMode,
+) -> Vec<HMetrics> {
+    let mut out = Vec::new();
+    for profile in profiles {
+        let name = profile.name.clone();
+        let Ok(server) = NetServer::spawn(profile.clone(), NetServerConfig::default()) else {
+            continue;
+        };
+        if let Some(reply) = roundtrip(&server, bytes, mode).into_iter().next() {
+            out.push(HMetrics::from_interpretation(uuid, &name, &reply.interpretation));
+        }
+    }
+    out
+}
+
+/// Submits `requests` as one pipelined batch to every profile and flags
+/// every pair whose response attribution disagrees (count, or status at
+/// any index) — the wire-level desync signal.
+pub fn pipelined_desync_findings(
+    profiles: &[ParserProfile],
+    uuid: u64,
+    origin: &str,
+    requests: &[&[u8]],
+) -> Vec<Finding> {
+    let mut attributions = Vec::new();
+    for profile in profiles {
+        let name = profile.name.clone();
+        let Ok(server) = NetServer::spawn(profile.clone(), NetServerConfig::default()) else {
+            continue;
+        };
+        let client = WireClient::new(server.addr());
+        if let Ok(batch) = client.pipelined(requests) {
+            attributions.push((name, batch.attribution));
+        }
+    }
+
+    let mut out = Vec::new();
+    for i in 0..attributions.len() {
+        for j in i + 1..attributions.len() {
+            let (a_name, a) = &attributions[i];
+            let (b_name, b) = &attributions[j];
+            if let Some(signal) = compare_attribution(a_name, a, b_name, b) {
+                out.push(Finding {
+                    class: AttackClass::Hrs,
+                    uuid,
+                    origin: origin.to_string(),
+                    front: None,
+                    back: None,
+                    culprits: [a_name.clone(), b_name.clone()].into_iter().collect(),
+                    evidence: signal.describe(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_names_round_trip() {
+        for t in [Transport::Sim, Transport::Tcp] {
+            assert_eq!(Transport::parse(t.as_str()), Some(t));
+        }
+        assert_eq!(Transport::parse("quic"), None);
+        assert_eq!(Transport::default(), Transport::Sim);
+        assert_eq!(Transport::Tcp.to_string(), "tcp");
+    }
+
+    #[test]
+    fn fault_free_case_is_transport_consistent() {
+        let workflow = Workflow::standard();
+        let profiles = hdiff_servers::products();
+        let bytes = b"GET / HTTP/1.1\r\nHost: h1.com\r\nHost: h2.com\r\n\r\n";
+        let findings = consistency_findings(&workflow, &profiles, 7, "catalog:multi-host", bytes);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn pipelined_desync_fires_on_framing_disagreement() {
+        // CL + a whitespace-damaged Transfer-Encoding: Tomcat-style
+        // parsers recognize "chunked" by substring and let it override
+        // CL, consuming the chunked body and answering the pipelined
+        // GET; strict parsers 400-reject the first message and stop —
+        // the classic attribution split.
+        let smuggle: &[u8] =
+            b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 10\r\nTransfer-Encoding:\x0bchunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+        let tail: &[u8] = b"GET /next HTTP/1.1\r\nHost: h\r\n\r\n";
+        let findings = pipelined_desync_findings(
+            &hdiff_servers::backends(),
+            11,
+            "probe:pipelined",
+            &[smuggle, tail],
+        );
+        assert!(!findings.is_empty(), "no desync signal over the wire");
+        for f in &findings {
+            assert_eq!(f.class, AttackClass::Hrs);
+            assert_eq!(f.culprits.len(), 2);
+            assert!(f.evidence.contains("attribution disagreement"), "{}", f.evidence);
+        }
+    }
+
+    #[test]
+    fn truncated_delivery_splits_the_profiles() {
+        // A Content-Length that overshoots the delivered bytes next to a
+        // whitespace-damaged Transfer-Encoding, with the connection cut
+        // right after the final chunk: profiles that let the lenient
+        // chunked reading win see a complete message, profiles that
+        // honor CL (or reject the conflict) see a truncated or invalid
+        // one — acceptance at EOF diverges.
+        let bytes =
+            b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 99\r\nTransfer-Encoding:\x0bchunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+        let metrics = segmented_probe(
+            &hdiff_servers::backends(),
+            13,
+            bytes,
+            &SendMode::TruncateAt(bytes.len()),
+        );
+        assert!(metrics.len() >= 2, "need at least two profile views");
+        let disagree = metrics.iter().any(|a| {
+            metrics.iter().any(|b| a.accepted != b.accepted || a.status_code != b.status_code)
+        });
+        assert!(disagree, "{metrics:?}");
+    }
+}

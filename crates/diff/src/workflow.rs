@@ -248,7 +248,7 @@ impl Workflow {
 /// * `Transient5xx` — a well-formed 503; every conformant proxy relays it
 ///   untouched (the uniform-reaction control).
 /// * `StallRead` — no bytes ever arrive; nothing to probe with.
-fn damaged_upstream_bytes(kind: FaultKind) -> Option<Vec<u8>> {
+pub(crate) fn damaged_upstream_bytes(kind: FaultKind) -> Option<Vec<u8>> {
     match kind {
         FaultKind::ConnReset => Some(
             b"HTTP/1.1 200 OK\r\nX-Upstream-State: aborted\r\n retrying\r\nContent-Length: 4\r\n\r\nlost"
@@ -270,7 +270,11 @@ fn damaged_upstream_bytes(kind: FaultKind) -> Option<Vec<u8>> {
 
 /// Runs the relay probe: `profile` relays the damaged bytes and the
 /// reaction is summarized for pairwise comparison.
-fn probe_relay(profile: &ParserProfile, fault: FaultKind, damaged: &[u8]) -> FaultReaction {
+pub(crate) fn probe_relay(
+    profile: &ParserProfile,
+    fault: FaultKind,
+    damaged: &[u8],
+) -> FaultReaction {
     match relay_response(profile, damaged) {
         RelayAction::Relayed(bytes) => FaultReaction {
             fault,
@@ -289,7 +293,11 @@ fn probe_relay(profile: &ParserProfile, fault: FaultKind, damaged: &[u8]) -> Fau
 
 /// Simulates the proxy caching the back-end's first response; returns
 /// whether an *error* response was stored (the CPDoS precondition).
-fn simulate_cache(proxy: &Proxy, proxy_results: &[ProxyResult], replies: &[ServerReply]) -> bool {
+pub(crate) fn simulate_cache(
+    proxy: &Proxy,
+    proxy_results: &[ProxyResult],
+    replies: &[ServerReply],
+) -> bool {
     let (Some(first_proxy), Some(first_reply)) = (proxy_results.first(), replies.first()) else {
         return false;
     };

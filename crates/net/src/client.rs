@@ -1,0 +1,258 @@
+//! The campaign's wire client.
+//!
+//! Three interaction styles, matching what the differential harness
+//! needs:
+//!
+//! * [`WireClient::exchange`] — campaign style: write the whole request
+//!   stream (optionally segmented at arbitrary offsets, or truncated to a
+//!   prefix), FIN, read to EOF. EOF doubles as the synchronization point
+//!   with the server's connection log.
+//! * [`WireClient::request`] — keep-alive style with connection reuse:
+//!   write one request, read exactly one response by framing
+//!   (`hdiff_wire::parse_response`), keep the connection open for the
+//!   next call.
+//! * [`WireClient::pipelined`] — submit N requests back-to-back on one
+//!   connection and attribute the response bytes back to each request
+//!   (see [`crate::desync`]).
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+use hdiff_wire::{parse_response, ParsedResponse};
+
+use crate::desync::{attribute_responses, ResponseAttribution};
+
+/// How [`WireClient::exchange`] puts request bytes on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendMode {
+    /// One `write_all` of the whole stream.
+    Whole,
+    /// Split the stream at the given byte offsets (ascending), one
+    /// `write` + flush per segment — exercises partial-read paths.
+    Segmented(Vec<usize>),
+    /// Send only the first `n` bytes, then FIN — models a client (or a
+    /// mid-stream reset) that never delivers the rest.
+    TruncateAt(usize),
+}
+
+/// The outcome of one [`WireClient::exchange`].
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    /// Raw response bytes read before EOF (or timeout).
+    pub response: Vec<u8>,
+    /// Whether the read ended on the client's timeout rather than EOF —
+    /// the wire observation of a stalled server.
+    pub timed_out: bool,
+}
+
+/// The outcome of one pipelined batch.
+#[derive(Debug, Clone)]
+pub struct PipelinedExchange {
+    /// Raw concatenated response bytes.
+    pub raw: Vec<u8>,
+    /// Per-request response attribution over `raw`.
+    pub attribution: ResponseAttribution,
+    /// Whether the read ended on the client's timeout rather than EOF.
+    pub timed_out: bool,
+}
+
+/// A loopback HTTP client driving one server address.
+#[derive(Debug)]
+pub struct WireClient {
+    addr: SocketAddr,
+    /// Read timeout for every connection this client opens.
+    pub read_timeout: Duration,
+    /// Write timeout for every connection this client opens.
+    pub write_timeout: Duration,
+    reused: Option<TcpStream>,
+    reused_buf: Vec<u8>,
+}
+
+impl WireClient {
+    /// A client for `addr` with default timeouts.
+    pub fn new(addr: SocketAddr) -> WireClient {
+        WireClient {
+            addr,
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            reused: None,
+            reused_buf: Vec::new(),
+        }
+    }
+
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.read_timeout))?;
+        stream.set_write_timeout(Some(self.write_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    fn write_mode(stream: &mut TcpStream, bytes: &[u8], mode: &SendMode) -> std::io::Result<()> {
+        match mode {
+            SendMode::Whole => stream.write_all(bytes),
+            SendMode::Segmented(offsets) => {
+                let mut prev = 0usize;
+                for &off in offsets {
+                    let off = off.min(bytes.len());
+                    if off > prev {
+                        stream.write_all(&bytes[prev..off])?;
+                        stream.flush()?;
+                        prev = off;
+                    }
+                }
+                stream.write_all(&bytes[prev..])
+            }
+            SendMode::TruncateAt(n) => stream.write_all(&bytes[..(*n).min(bytes.len())]),
+        }
+    }
+
+    fn read_to_eof(stream: &mut TcpStream) -> (Vec<u8>, bool) {
+        let mut out = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => return (out, false),
+                Ok(n) => out.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return (out, true)
+                }
+                Err(_) => return (out, false),
+            }
+        }
+    }
+
+    /// Campaign-style exchange on a fresh connection: send per `mode`,
+    /// FIN, read to EOF.
+    pub fn exchange(&self, bytes: &[u8], mode: &SendMode) -> std::io::Result<Exchange> {
+        let mut stream = self.connect()?;
+        Self::write_mode(&mut stream, bytes, mode)?;
+        stream.shutdown(Shutdown::Write)?;
+        let (response, timed_out) = Self::read_to_eof(&mut stream);
+        Ok(Exchange { response, timed_out })
+    }
+
+    /// Keep-alive exchange with connection reuse: writes one request on
+    /// the persistent connection (opening it on first use) and reads one
+    /// framed response. Returns the parsed response; call again to reuse
+    /// the same connection.
+    pub fn request(&mut self, bytes: &[u8]) -> std::io::Result<ParsedResponse> {
+        if self.reused.is_none() {
+            self.reused = Some(self.connect()?);
+            self.reused_buf.clear();
+        }
+        let stream = self.reused.as_mut().expect("just connected");
+        if let Err(e) = stream.write_all(bytes) {
+            self.reused = None; // a dead kept-alive connection is not reusable
+            return Err(e);
+        }
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Ok(parsed) = parse_response(&self.reused_buf) {
+                self.reused_buf.drain(..parsed.consumed);
+                return Ok(parsed);
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.reused = None;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed before a complete response",
+                    ));
+                }
+                Ok(n) => self.reused_buf.extend_from_slice(&chunk[..n]),
+                Err(e) => {
+                    self.reused = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Closes the kept-alive connection, if any: sends FIN and drains to
+    /// the server's EOF, so the server has recorded the connection log by
+    /// the time this returns.
+    pub fn close(&mut self) {
+        if let Some(mut s) = self.reused.take() {
+            let _ = s.shutdown(Shutdown::Write);
+            let mut sink = [0u8; 1024];
+            while matches!(s.read(&mut sink), Ok(n) if n > 0) {}
+        }
+        self.reused_buf.clear();
+    }
+
+    /// Submits `requests` back-to-back on one fresh connection and
+    /// attributes the response bytes back per request.
+    pub fn pipelined(&self, requests: &[&[u8]]) -> std::io::Result<PipelinedExchange> {
+        let mut stream = self.connect()?;
+        for r in requests {
+            stream.write_all(r)?;
+        }
+        stream.shutdown(Shutdown::Write)?;
+        let (raw, timed_out) = Self::read_to_eof(&mut stream);
+        let attribution = attribute_responses(&raw, requests.len());
+        Ok(PipelinedExchange { raw, attribution, timed_out })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{NetServer, NetServerConfig};
+    use hdiff_servers::ParserProfile;
+
+    fn server() -> NetServer {
+        NetServer::spawn(ParserProfile::strict("wire"), NetServerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn whole_and_segmented_sends_agree() {
+        let s = server();
+        let bytes = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello";
+        let client = WireClient::new(s.addr());
+        let whole = client.exchange(bytes, &SendMode::Whole).unwrap();
+        let seg = client.exchange(bytes, &SendMode::Segmented(vec![3, 19, 40])).unwrap();
+        assert!(!whole.timed_out && !seg.timed_out);
+        assert_eq!(whole.response, seg.response);
+        assert_eq!(s.take_logs().len(), 2);
+    }
+
+    #[test]
+    fn truncate_at_delivers_a_prefix() {
+        let s = server();
+        let bytes = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhello";
+        let client = WireClient::new(s.addr());
+        let cut = client.exchange(bytes, &SendMode::TruncateAt(bytes.len() - 3)).unwrap();
+        assert!(String::from_utf8_lossy(&cut.response).starts_with("HTTP/1.1 408"), "{cut:?}");
+    }
+
+    #[test]
+    fn request_reuses_one_connection() {
+        let s = server();
+        let mut client = WireClient::new(s.addr());
+        let r1 = client.request(b"GET /a HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        let r2 = client.request(b"GET /b HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        assert_eq!(r1.status.as_u16(), 200);
+        assert_eq!(r2.status.as_u16(), 200);
+        client.close();
+        // Both requests and their replies rode a single connection.
+        let logs = s.take_logs();
+        assert_eq!(logs.len(), 1);
+        assert_eq!(logs[0].replies.len(), 2);
+    }
+
+    #[test]
+    fn pipelined_batches_attribute_per_request() {
+        let s = server();
+        let client = WireClient::new(s.addr());
+        let a: &[u8] = b"GET /a HTTP/1.1\r\nHost: h\r\n\r\n";
+        let b: &[u8] = b"GET /b HTTP/1.1\r\nHost: h\r\n\r\n";
+        let batch = client.pipelined(&[a, b]).unwrap();
+        assert_eq!(batch.attribution.statuses, vec![200, 200]);
+        assert_eq!(batch.attribution.lens.iter().sum::<usize>(), batch.raw.len());
+    }
+}

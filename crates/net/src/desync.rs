@@ -1,0 +1,148 @@
+//! Per-request response attribution and the wire-level desync signal.
+//!
+//! When N requests are pipelined on one connection, the client must split
+//! the returned byte stream back into N responses using message framing
+//! alone. Two implementations that split the *same* request stream into
+//! different response sequences — different counts, or different statuses
+//! at the same index — have desynchronized: the classic symptom of a
+//! request-smuggling gap, observable only on the wire.
+
+use hdiff_wire::parse_response;
+
+/// The result of splitting one response stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseAttribution {
+    /// Status code of each attributed response, in order.
+    pub statuses: Vec<u16>,
+    /// Wire length of each attributed response.
+    pub lens: Vec<usize>,
+    /// Bytes left over after the last parseable response (0 when the
+    /// stream split cleanly).
+    pub trailing_bytes: usize,
+}
+
+impl ResponseAttribution {
+    /// Number of responses attributed.
+    pub fn count(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// Whether every byte of the stream was attributed to a response.
+    pub fn clean(&self) -> bool {
+        self.trailing_bytes == 0
+    }
+}
+
+/// Splits `stream` into consecutive framed responses (at most `max`),
+/// using [`parse_response`]'s consumed-byte accounting.
+pub fn attribute_responses(stream: &[u8], max: usize) -> ResponseAttribution {
+    let mut statuses = Vec::new();
+    let mut lens = Vec::new();
+    let mut pos = 0usize;
+    while pos < stream.len() && statuses.len() < max {
+        match parse_response(&stream[pos..]) {
+            Ok(r) if r.consumed > 0 => {
+                statuses.push(r.status.as_u16());
+                lens.push(r.consumed);
+                pos += r.consumed;
+            }
+            _ => break,
+        }
+    }
+    ResponseAttribution { statuses, lens, trailing_bytes: stream.len() - pos }
+}
+
+/// An attribution disagreement between two implementations on the same
+/// pipelined request stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesyncSignal {
+    /// First implementation.
+    pub impl_a: String,
+    /// Second implementation.
+    pub impl_b: String,
+    /// Responses `impl_a` produced.
+    pub responses_a: usize,
+    /// Responses `impl_b` produced.
+    pub responses_b: usize,
+    /// First index where both produced a response but the statuses
+    /// differ, with the two statuses.
+    pub first_status_disagreement: Option<(usize, u16, u16)>,
+}
+
+impl DesyncSignal {
+    /// Human-readable evidence line for detection reports.
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "pipelined attribution disagreement {} vs {}: {} vs {} responses",
+            self.impl_a, self.impl_b, self.responses_a, self.responses_b
+        );
+        if let Some((idx, a, b)) = self.first_status_disagreement {
+            out.push_str(&format!("; response #{idx} status {a} vs {b}"));
+        }
+        out
+    }
+}
+
+/// Compares two attributions of the same request stream; `Some` when they
+/// disagree on response count or on any per-index status.
+pub fn compare_attribution(
+    impl_a: &str,
+    a: &ResponseAttribution,
+    impl_b: &str,
+    b: &ResponseAttribution,
+) -> Option<DesyncSignal> {
+    let first_status_disagreement = a
+        .statuses
+        .iter()
+        .zip(&b.statuses)
+        .enumerate()
+        .find(|(_, (sa, sb))| sa != sb)
+        .map(|(i, (sa, sb))| (i, *sa, *sb));
+    if a.count() == b.count() && first_status_disagreement.is_none() {
+        return None;
+    }
+    Some(DesyncSignal {
+        impl_a: impl_a.to_string(),
+        impl_b: impl_b.to_string(),
+        responses_a: a.count(),
+        responses_b: b.count(),
+        first_status_disagreement,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_a_clean_stream() {
+        let stream = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhiHTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n";
+        let a = attribute_responses(stream, 16);
+        assert_eq!(a.statuses, vec![200, 404]);
+        assert!(a.clean());
+        assert_eq!(a.lens.iter().sum::<usize>(), stream.len());
+    }
+
+    #[test]
+    fn stops_at_garbage_and_counts_trailing() {
+        let stream = b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\nnot-http";
+        let a = attribute_responses(stream, 16);
+        assert_eq!(a.statuses, vec![200]);
+        assert_eq!(a.trailing_bytes, 8);
+        assert!(!a.clean());
+    }
+
+    #[test]
+    fn disagreements_surface_as_signals() {
+        let two = attribute_responses(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\nHTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n",
+            16,
+        );
+        let one = attribute_responses(b"HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n", 16);
+        let signal = compare_attribution("a", &two, "b", &one).unwrap();
+        assert_eq!((signal.responses_a, signal.responses_b), (2, 1));
+        assert_eq!(signal.first_status_disagreement, Some((0, 200, 400)));
+        assert!(signal.describe().contains("2 vs 1"));
+        assert!(compare_attribution("a", &two, "b", &two).is_none());
+    }
+}

@@ -1,0 +1,105 @@
+//! The recording echo origin of Fig. 6, served over a socket.
+//!
+//! Each forwarded message travels on its own upstream connection (the
+//! proxy opens a fresh connection per message), so the echo learns exact
+//! message boundaries without parsing: it reads one connection to EOF,
+//! records the bytes, and echoes them back in a 200 response — the same
+//! behavior as the in-process [`hdiff_servers::EchoServer`], whose
+//! response construction it reuses.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hdiff_servers::EchoServer;
+
+/// A recording echo listener on an ephemeral loopback port.
+#[derive(Debug)]
+pub struct NetEcho {
+    addr: SocketAddr,
+    inner: Arc<Mutex<EchoServer>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl NetEcho {
+    /// Binds `127.0.0.1:0` and starts recording.
+    pub fn spawn(read_timeout: Duration) -> std::io::Result<NetEcho> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Mutex::new(EchoServer::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let inner = Arc::clone(&inner);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new().name("net-echo".to_string()).spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let Ok((mut stream, _)) = listener.accept() else { break };
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let _ = stream.set_read_timeout(Some(read_timeout));
+                    let mut bytes = Vec::new();
+                    let _ = stream.read_to_end(&mut bytes);
+                    let response = inner.lock().expect("echo mutex").receive(&bytes);
+                    let _ = stream.write_all(&response.to_bytes());
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            })?
+        };
+        Ok(NetEcho { addr, inner, stop, thread: Some(thread) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Drains the recorded forwarded messages, in arrival order.
+    pub fn take_records(&self) -> Vec<Vec<u8>> {
+        let mut echo = self.inner.lock().expect("echo mutex");
+        let records = echo.records().to_vec();
+        echo.clear();
+        records
+    }
+
+    /// Stops the accept loop and joins the listener thread.
+    pub fn shutdown(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for NetEcho {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_echoes_over_the_wire() {
+        let echo = NetEcho::spawn(Duration::from_secs(1)).unwrap();
+        let msg = b"GET / HTTP/1.1\r\nHost: h\r\n\r\n";
+        let mut s = TcpStream::connect(echo.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        s.write_all(msg).unwrap();
+        s.shutdown(Shutdown::Write).unwrap();
+        let mut raw = Vec::new();
+        s.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(raw.ends_with(msg), "echoed body");
+        assert_eq!(echo.take_records(), vec![msg.to_vec()]);
+        assert!(echo.take_records().is_empty(), "records drain");
+    }
+}

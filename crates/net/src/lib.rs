@@ -1,0 +1,51 @@
+//! Loopback TCP transport for the HDiff testbed.
+//!
+//! The paper's harness sends every test case over a real network; the
+//! rest of this reproduction calls the simulated products as in-process
+//! functions. This crate closes that gap: it serves every
+//! [`hdiff_servers`] behavioral profile over real sockets, so an entire
+//! class of behaviors — pipelining desync, connection-boundary smuggling,
+//! partial-read handling — can be observed as *byte streams* instead of
+//! function calls.
+//!
+//! * [`server`] — [`server::NetServer`]: an ephemeral-port origin server
+//!   running the `servers::engine` over a buffered connection loop with
+//!   keep-alive, pipelined request accounting, read/write timeouts, and
+//!   per-connection teardown records (graceful FIN vs. abort).
+//! * [`echo`] — [`echo::NetEcho`]: the recording echo origin of Fig. 6,
+//!   as a socket: one upstream connection per forwarded message, read to
+//!   EOF, echoed back.
+//! * [`proxy`] — [`proxy::NetProxy`]: a forwarding proxy hop that parses
+//!   the client stream with a [`hdiff_servers::Proxy`] and relays each
+//!   forwarded message over a fresh upstream connection.
+//! * [`client`] — [`client::WireClient`]: the campaign's client driver:
+//!   whole/segmented/truncated sends, framed keep-alive requests with
+//!   connection reuse, and pipelined batches with per-request response
+//!   attribution.
+//! * [`desync`] — splitting a response stream back into per-request
+//!   responses and comparing two implementations' attributions; a
+//!   disagreement is the wire-level desync signal.
+//!
+//! # Synchronization model
+//!
+//! The campaign drivers write the entire request stream, then
+//! `shutdown(Write)` (FIN), then read to EOF. Every server handler pushes
+//! its connection log *before* closing the stream, so a client that
+//! observed EOF is guaranteed to observe the complete log — no sleeps, no
+//! polling. Incremental parsing only finalizes a message early when the
+//! parse cannot change with more bytes (see
+//! [`server::incomplete_reason`]), which keeps the wire outcome equal to
+//! the in-process [`hdiff_servers::Server::handle_stream`] outcome for
+//! identical byte streams.
+
+pub mod client;
+pub mod desync;
+pub mod echo;
+pub mod proxy;
+pub mod server;
+
+pub use client::{Exchange, PipelinedExchange, SendMode, WireClient};
+pub use desync::{attribute_responses, compare_attribution, DesyncSignal, ResponseAttribution};
+pub use echo::NetEcho;
+pub use proxy::{NetProxy, NetProxyConfig, ProxyConnLog};
+pub use server::{ConnectionLog, NetServer, NetServerConfig, ServerFault, Teardown};

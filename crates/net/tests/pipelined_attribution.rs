@@ -1,0 +1,74 @@
+//! Cross-product integration test for pipelined delivery on the wire.
+//!
+//! Three requests ride one connection, the middle one malformed. For
+//! every backend product the per-request response attribution and the
+//! consumed-byte accounting on the socket must match what the in-process
+//! engine (`Server::handle_stream`) computes for the same byte stream —
+//! the core equivalence the TCP transport relies on.
+
+use hdiff_net::{attribute_responses, NetServer, NetServerConfig, WireClient};
+use hdiff_servers::products::{backends, ProductId};
+use hdiff_servers::Server;
+
+const REQ_A: &[u8] = b"GET /a HTTP/1.1\r\nHost: one.example\r\n\r\n";
+// Whitespace before the colon: rejected by strict parsers, tolerated
+// (stripped or used) by others — a genuine mid-stream divergence point.
+const REQ_BAD: &[u8] = b"GET /b HTTP/1.1\r\nHost : two.example\r\n\r\n";
+const REQ_C: &[u8] = b"GET /c HTTP/1.1\r\nHost: three.example\r\n\r\n";
+
+#[test]
+fn pipelined_attribution_matches_the_in_process_engine_for_every_backend() {
+    let mut stream = Vec::new();
+    stream.extend_from_slice(REQ_A);
+    stream.extend_from_slice(REQ_BAD);
+    stream.extend_from_slice(REQ_C);
+
+    for profile in backends() {
+        let name = profile.name.clone();
+        let expected = Server::new(profile.clone()).handle_stream(&stream);
+        let server = NetServer::spawn(profile, NetServerConfig::default()).unwrap();
+        let client = WireClient::new(server.addr());
+
+        let batch = client.pipelined(&[REQ_A, REQ_BAD, REQ_C]).unwrap();
+        assert!(!batch.timed_out, "{name}: wire exchange timed out");
+
+        let logs = server.take_logs();
+        assert_eq!(logs.len(), 1, "{name}: one connection expected");
+        let log = &logs[0];
+
+        // Reply-for-reply equality with the in-process engine.
+        assert_eq!(log.replies, expected, "{name}: reply sequence diverged");
+
+        // Consumed-byte accounting: all request bytes arrived, and the
+        // engine's consumed offsets are reproduced on the wire.
+        assert_eq!(log.bytes_in, stream.len(), "{name}: bytes_in");
+        let consumed: Vec<usize> = log.replies.iter().map(|r| r.interpretation.consumed).collect();
+        let expected_consumed: Vec<usize> =
+            expected.iter().map(|r| r.interpretation.consumed).collect();
+        assert_eq!(consumed, expected_consumed, "{name}: consumed accounting");
+
+        // Per-request attribution: one framed response per engine reply,
+        // statuses in the same order, and every response byte attributed.
+        let expected_statuses: Vec<u16> = expected.iter().map(|r| r.response.status.0).collect();
+        assert_eq!(batch.attribution.statuses, expected_statuses, "{name}: attribution statuses");
+        assert!(batch.attribution.clean(), "{name}: unattributed trailing bytes");
+        assert_eq!(log.bytes_out, batch.raw.len(), "{name}: bytes_out");
+    }
+}
+
+#[test]
+fn strict_backend_stops_answering_after_the_malformed_request() {
+    // Sanity-check the scenario actually exercises a mid-stream reject:
+    // a strict parser answers request 1, rejects request 2, and never
+    // sees request 3.
+    let profile = hdiff_servers::products::product(ProductId::Nginx);
+    let server = NetServer::spawn(profile, NetServerConfig::default()).unwrap();
+    let client = WireClient::new(server.addr());
+    let batch = client.pipelined(&[REQ_A, REQ_BAD, REQ_C]).unwrap();
+    assert_eq!(batch.attribution.count(), 2, "200 then 400, nothing more");
+    assert_eq!(batch.attribution.statuses[0], 200);
+    assert_ne!(batch.attribution.statuses[1], 200);
+
+    let attribution = attribute_responses(&batch.raw, 16);
+    assert_eq!(attribution, batch.attribution);
+}

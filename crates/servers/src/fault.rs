@@ -290,6 +290,15 @@ impl<'a> FaultSession<'a> {
         }
     }
 
+    /// Looks up the decision for `(hop, stage)` *without* recording an
+    /// event. The wire transport needs the decision before a hop runs (the
+    /// socket thread cannot share this `RefCell`-based session), but the
+    /// event must only be recorded if the hop actually reaches the faulted
+    /// stage — the caller follows up with [`FaultSession::decide`] then.
+    pub fn peek(&self, hop: &str, stage: FaultStage) -> Option<FaultDecision> {
+        self.injector.decide(self.uuid, hop, stage, self.attempt)
+    }
+
     /// Decides a fault for `(hop, stage)` and records it. Deterministic,
     /// so repeated calls for the same point record one event.
     pub fn decide(&self, hop: &str, stage: FaultStage) -> Option<FaultDecision> {

@@ -9,6 +9,8 @@
 //! hdiff findings [--csv]     every finding (text or CSV)
 //! hdiff probe <file>         interpret a raw request file under all ten
 //!                            product models and the strict baseline
+//! hdiff probe <host:port>    send a catalog vector to a live server and
+//!                            pretty-print the raw response
 //! hdiff replay [--all] <p>   re-execute recorded replay bundles and diff
 //!                            verdicts + behavior digests
 //! hdiff golden regen <dir>   rebuild the minimized golden bundle corpus
@@ -59,6 +61,23 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--coverage-guided") {
         config.coverage_guided = true;
     }
+    let transport = match flag_value::<String>(&args, "--transport") {
+        Ok(Some(raw)) => match hdiff::diff::Transport::parse(&raw) {
+            Some(t) => Some(t),
+            None => {
+                eprintln!("--transport: unknown transport {raw:?} (expected: sim, tcp)");
+                return ExitCode::FAILURE;
+            }
+        },
+        Ok(None) => None,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(t) = transport {
+        config.transport = t;
+    }
 
     match command {
         "run" => {
@@ -107,27 +126,38 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "probe" => {
-            let Some(path) = args.get(1) else {
-                eprintln!("usage: hdiff probe <raw-request-file>");
+            let Some(target) = args.get(1) else {
+                eprintln!("usage: hdiff probe <raw-request-file | host:port>");
                 return ExitCode::FAILURE;
             };
-            match std::fs::read(path) {
+            if !Path::new(target).exists() && target.contains(':') {
+                return probe_live(target);
+            }
+            match std::fs::read(target) {
                 Ok(bytes) => {
                     probe(&bytes);
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    eprintln!("cannot read {path}: {e}");
+                    eprintln!("cannot read {target}: {e}");
                     ExitCode::FAILURE
                 }
             }
         }
         "replay" => {
-            let Some(path) = args.iter().skip(1).find(|a| !a.starts_with('-')) else {
-                eprintln!("usage: hdiff replay [--all] <bundle.json | directory>");
+            let Some(path) = args
+                .iter()
+                .enumerate()
+                .skip(1)
+                .find(|(i, a)| !a.starts_with('-') && args[i - 1] != "--transport")
+                .map(|(_, a)| a)
+            else {
+                eprintln!(
+                    "usage: hdiff replay [--all] [--transport sim|tcp] <bundle.json | directory>"
+                );
                 return ExitCode::FAILURE;
             };
-            replay(Path::new(path))
+            replay(Path::new(path), transport)
         }
         "golden" => {
             let (Some(sub), Some(dir)) = (args.get(1), args.get(2)) else {
@@ -158,7 +188,9 @@ fn print_help() {
          options (any command):\n\
          \x20 --quick          small corpus for fast runs\n\
          \x20 --threads N      worker threads (0 = one per core)\n\
-         \x20 --fault-rate N   inject faults into N% of hop decisions\n\n\
+         \x20 --fault-rate N   inject faults into N% of hop decisions\n\
+         \x20 --transport T    run cases over `sim` (in-process, default)\n\
+         \x20                  or `tcp` (real loopback sockets)\n\n\
          commands:\n\
          \x20 run [--quick]    full pipeline: stats, Table I, Figure 7\n\
          \x20 stats            corpus/extraction statistics\n\
@@ -168,6 +200,7 @@ fn print_help() {
          \x20 findings [--csv] list every finding\n\
          \x20 exploits         exploit write-ups with payloads\n\
          \x20 probe <file>     interpret a raw request under all products\n\
+         \x20 probe <host:port>   send a catalog vector to a live server\n\
          \x20 replay [--all] <p>  re-execute replay bundle(s), diff verdicts\n\
          \x20 golden regen <dir>  rebuild the minimized golden corpus\n\n\
          generation options:\n\
@@ -177,28 +210,45 @@ fn print_help() {
 
 /// Replays one bundle file or every `*.json` bundle in a directory;
 /// fails when any replay drifts from its recorded verdicts or digests.
-fn replay(path: &Path) -> ExitCode {
-    use hdiff::diff::{replay::replay_dir, ReplayBundle, Workflow};
+/// A `--transport` override re-executes recorded bundles over that
+/// transport instead of the one they were recorded with.
+fn replay(path: &Path, transport: Option<hdiff::diff::Transport>) -> ExitCode {
+    use hdiff::diff::{ReplayBundle, Workflow};
 
     let workflow = Workflow::standard();
     let profiles = hdiff::servers::products();
-    let reports: Vec<(std::path::PathBuf, hdiff::diff::ReplayReport)> = if path.is_dir() {
-        match replay_dir(path, &workflow, &profiles, None) {
-            Ok(r) => r,
+    let mut paths: Vec<std::path::PathBuf> = if path.is_dir() {
+        match std::fs::read_dir(path) {
+            Ok(entries) => entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "json"))
+                .collect(),
             Err(e) => {
                 eprintln!("cannot replay {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
         }
     } else {
-        match ReplayBundle::load(path) {
-            Ok(bundle) => vec![(path.to_path_buf(), bundle.replay(&workflow, &profiles, None))],
+        vec![path.to_path_buf()]
+    };
+    paths.sort();
+    let mut reports: Vec<(std::path::PathBuf, hdiff::diff::ReplayReport)> = Vec::new();
+    for p in paths {
+        match ReplayBundle::load(&p) {
+            Ok(mut bundle) => {
+                if let Some(t) = transport {
+                    bundle.transport = t;
+                }
+                let report = bundle.replay(&workflow, &profiles, None);
+                reports.push((p, report));
+            }
             Err(e) => {
-                eprintln!("cannot load {}: {e}", path.display());
+                eprintln!("cannot load {}: {e}", p.display());
                 return ExitCode::FAILURE;
             }
         }
-    };
+    }
     if reports.is_empty() {
         eprintln!("no replay bundles found in {}", path.display());
         return ExitCode::FAILURE;
@@ -240,6 +290,48 @@ fn golden_regen(dir: &Path) -> ExitCode {
         }
         Err(e) => {
             eprintln!("golden regen failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Sends a Table II catalog vector to a live `host:port` over TCP and
+/// pretty-prints the raw response bytes.
+fn probe_live(target: &str) -> ExitCode {
+    use hdiff::net::{SendMode, WireClient};
+    use hdiff::wire::ascii;
+    use std::net::ToSocketAddrs;
+
+    let addr = match target.to_socket_addrs().map(|mut a| a.next()) {
+        Ok(Some(addr)) => addr,
+        _ => {
+            eprintln!("cannot resolve {target}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let catalog = hdiff::gen::catalog::catalog();
+    let Some((request, note)) = catalog.first().and_then(|e| e.requests.first()) else {
+        eprintln!("catalog is empty");
+        return ExitCode::FAILURE;
+    };
+    let bytes = request.to_bytes();
+    println!("probing {target} with catalog vector {:?} ({note})", catalog[0].id);
+    println!("request ({} bytes):", bytes.len());
+    println!("  {}\n", ascii::escape_bytes(&bytes));
+    let client = WireClient::new(addr);
+    match client.exchange(&bytes, &SendMode::Whole) {
+        Ok(exchange) => {
+            if exchange.timed_out {
+                println!("(read timed out; showing what arrived)");
+            }
+            println!("response ({} bytes):", exchange.response.len());
+            for line in exchange.response.split(|&b| b == b'\n') {
+                println!("  {}", ascii::escape_bytes(line));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("exchange with {target} failed: {e}");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,95 @@
+//! Cross-transport consistency gate.
+//!
+//! The wire transport (`crates/net`) exists to observe byte-stream
+//! behaviors the in-process calls cannot show — but on a fault-free
+//! corpus the two transports run the *same* engine over the *same*
+//! delivered bytes, so every finding, pair verdict, and behavior digest
+//! must agree. This gate runs the full Table II catalog through the
+//! differential engine over both transports and fails on any drift; it
+//! also checks that segmented delivery over real sockets still splits
+//! the profiles (the HMetrics divergence the transport is for).
+
+use hdiff::diff::{consistency_findings, segmented_probe, DiffEngine, Transport, Workflow};
+use hdiff::gen::{catalog, Origin, TestCase};
+use hdiff::net::SendMode;
+
+/// The Table II catalog as a test-case corpus (same construction as the
+/// pipeline's step 3).
+fn catalog_cases() -> Vec<TestCase> {
+    let mut cases = Vec::new();
+    let mut next_uuid = 1u64;
+    for entry in catalog::catalog() {
+        for (req, note) in &entry.requests {
+            cases.push(TestCase {
+                uuid: next_uuid,
+                request: req.clone(),
+                assertions: Vec::new(),
+                origin: Origin::Catalog(entry.id.to_string()),
+                note: note.clone(),
+            });
+            next_uuid += 1;
+        }
+    }
+    cases
+}
+
+#[test]
+fn catalog_campaign_findings_match_across_transports() {
+    let cases = catalog_cases();
+
+    let mut sim = DiffEngine::standard();
+    sim.threads = 2;
+    let sim_summary = sim.run(&cases);
+
+    let mut tcp = DiffEngine::standard();
+    tcp.threads = 2;
+    tcp.transport = Transport::Tcp;
+    let tcp_summary = tcp.run(&cases);
+
+    assert_eq!(sim_summary.transport, Transport::Sim);
+    assert_eq!(tcp_summary.transport, Transport::Tcp);
+    assert_eq!(sim_summary.cases, tcp_summary.cases);
+    assert_eq!(sim_summary.errors, 0, "sim campaign hit terminal errors");
+    assert_eq!(tcp_summary.errors, 0, "tcp campaign hit terminal errors");
+    assert_eq!(
+        sim_summary.findings, tcp_summary.findings,
+        "wire campaign found different findings than the simulation"
+    );
+    assert_eq!(sim_summary.pairs, tcp_summary.pairs);
+    assert_eq!(sim_summary.verdicts, tcp_summary.verdicts);
+    assert!(!tcp_summary.findings.is_empty(), "catalog campaign found nothing");
+}
+
+#[test]
+fn catalog_vectors_have_consistent_behavior_digests() {
+    let workflow = Workflow::standard();
+    let profiles = hdiff::servers::products();
+    for (idx, entry) in catalog::catalog().iter().enumerate() {
+        let uuid = 500 + idx as u64;
+        let origin = format!("catalog:{}", entry.id);
+        for (req, note) in &entry.requests {
+            let findings =
+                consistency_findings(&workflow, &profiles, uuid, &origin, &req.to_bytes());
+            assert!(findings.is_empty(), "transport divergence on {origin} ({note}): {findings:?}");
+        }
+    }
+}
+
+#[test]
+fn segmented_delivery_still_splits_the_profiles() {
+    // The Tomcat-style lenient Transfer-Encoding vector, delivered one
+    // byte at a time across real socket writes: lenient profiles accept
+    // the chunked body, strict profiles reject the TE/CL conflict. The
+    // divergence must survive segmentation (incremental reads only
+    // finalize when the parse cannot change with more bytes).
+    let bytes: &[u8] =
+        b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 10\r\nTransfer-Encoding:\x0bchunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n";
+    let splits: Vec<usize> = (1..bytes.len()).collect();
+    let metrics =
+        segmented_probe(&hdiff::servers::backends(), 901, bytes, &SendMode::Segmented(splits));
+    assert!(metrics.len() >= 2, "need at least two profile views");
+    let disagree = metrics.iter().any(|a| {
+        metrics.iter().any(|b| a.accepted != b.accepted || a.status_code != b.status_code)
+    });
+    assert!(disagree, "segmented delivery produced uniform behavior: {metrics:?}");
+}
