@@ -95,6 +95,20 @@ pub struct MemoMatcher<'a> {
     /// only when tracing is enabled ([`Self::enable_trace`]) so the hot
     /// path pays a single `Option` check.
     trace: Option<Box<[u64]>>,
+    /// Memo-table hit/miss tallies, accumulated in plain fields so the
+    /// hot path never touches thread-local telemetry; flushed once per
+    /// attempt on drop.
+    memo_hits: u64,
+    memo_misses: u64,
+}
+
+impl Drop for MemoMatcher<'_> {
+    fn drop(&mut self) {
+        hdiff_obs::count_many(&[
+            ("abnf.memo.hit", self.memo_hits),
+            ("abnf.memo.miss", self.memo_misses),
+        ]);
+    }
 }
 
 impl<'a> MemoMatcher<'a> {
@@ -108,6 +122,8 @@ impl<'a> MemoMatcher<'a> {
             overflowed: false,
             cycled: false,
             trace: None,
+            memo_hits: 0,
+            memo_misses: 0,
         }
     }
 
@@ -190,6 +206,7 @@ impl<'a> MemoMatcher<'a> {
         }
         match self.table.slot(rule_idx, pos) {
             Memo::Done(ends) => {
+                self.memo_hits += 1;
                 out.extend_from_slice(ends);
                 return;
             }
@@ -204,6 +221,7 @@ impl<'a> MemoMatcher<'a> {
             return;
         }
         self.budget -= 1;
+        self.memo_misses += 1;
         *self.table.slot(rule_idx, pos) = Memo::InProgress;
         let ends = self.op_ends(root, pos);
         out.extend_from_slice(&ends);
@@ -440,6 +458,18 @@ mod tests {
         assert_eq!(m(&cg, "missing", b"x"), MatchOutcome::NoMatch);
         assert_eq!(m(&cg, "t", b"x"), MatchOutcome::NoMatch);
         assert_eq!(m(&cg, "nowhere", b"x"), MatchOutcome::NoMatch);
+    }
+
+    #[test]
+    fn memo_hits_and_misses_are_counted() {
+        let _ = hdiff_obs::drain();
+        let cg = compiled("t = a \"!\" / a \"?\"\na = 1*ALPHA\n");
+        // `a` is derived at position 0 by both alternatives: the second
+        // derivation must be a memo hit, not a fresh computation.
+        assert_eq!(m(&cg, "t", b"abc?"), MatchOutcome::Match);
+        let tel = hdiff_obs::drain();
+        assert!(tel.counters.get("abnf.memo.miss").is_some_and(|&n| n > 0));
+        assert!(tel.counters.get("abnf.memo.hit").is_some_and(|&n| n > 0));
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! the loopback TCP transport against the same profiles called
 //! in-process, over the Table II catalog payloads.
 //!
+//! Also writes `BENCH_obs.json`: quick-campaign wall time with telemetry
+//! collecting versus disabled — the overhead budget for the
+//! instrumentation layer.
+//!
 //! Usage: `cargo run --release -p hdiff-bench --bin perf_snapshot`
 //! (`-- --smoke` for a fast CI-sized run).
 
@@ -102,6 +106,49 @@ fn main() {
 
     minimize_snapshot(smoke, &workflow, &products);
     net_snapshot(smoke);
+    obs_snapshot(smoke);
+}
+
+/// Writes `BENCH_obs.json`: wall time of the quick campaign with
+/// telemetry collecting versus fully disabled, and the overhead the
+/// instrumentation layer is accountable for (budget: <= 5%).
+fn obs_snapshot(smoke: bool) {
+    use hdiff_core::{HDiff, HdiffConfig};
+
+    let rounds = if smoke { 2 } else { 7 };
+    let campaign = |telemetry: bool| -> f64 {
+        let mut config = HdiffConfig::quick();
+        config.telemetry = telemetry;
+        let start = Instant::now();
+        let report = HDiff::new(config).run();
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&report.summary);
+        wall
+    };
+    // Warm-up pass so neither arm pays one-time lazy-init costs, then
+    // interleave the arms so clock drift and cache state hit both
+    // equally; the minimum is the least-noisy estimate of each.
+    let _ = campaign(false);
+    let mut instrumented_ms = f64::INFINITY;
+    let mut disabled_ms = f64::INFINITY;
+    for _ in 0..rounds {
+        instrumented_ms = instrumented_ms.min(campaign(true));
+        disabled_ms = disabled_ms.min(campaign(false));
+    }
+    hdiff_obs::set_enabled(true);
+    let overhead = instrumented_ms / disabled_ms.max(1e-9) - 1.0;
+
+    let json = format!(
+        "{{\n  \"schema\": \"hdiff-bench-obs-v1\",\n  \"smoke\": {smoke},\n  \"rounds\": {rounds},\n  \"instrumented_ms\": {instrumented_ms:.1},\n  \"disabled_ms\": {disabled_ms:.1},\n  \"overhead_pct\": {:.1}\n}}\n",
+        overhead * 100.0
+    );
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    print!("{json}");
+    eprintln!(
+        "telemetry on {instrumented_ms:.0} ms vs off {disabled_ms:.0} ms \
+         -> {:.1}% overhead",
+        overhead * 100.0
+    );
 }
 
 /// Writes `BENCH_net.json`: requests/second and p50/p99 round-trip time

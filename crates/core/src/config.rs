@@ -31,6 +31,10 @@ pub struct HdiffConfig {
     /// How test cases reach the behavioral profiles: in-process
     /// simulation (the default) or real TCP sockets.
     pub transport: Transport,
+    /// Collect spans, counters and latency histograms during the run
+    /// (surfaced via `RunSummary::telemetry` and `hdiff report`). On by
+    /// default; disable to shave the last few percent off a campaign.
+    pub telemetry: bool,
 }
 
 impl HdiffConfig {
@@ -48,6 +52,7 @@ impl HdiffConfig {
             fault_rate: 0,
             coverage_guided: false,
             transport: Transport::Sim,
+            telemetry: true,
         }
     }
 
@@ -65,6 +70,7 @@ impl HdiffConfig {
             fault_rate: 0,
             coverage_guided: false,
             transport: Transport::Sim,
+            telemetry: true,
         }
     }
 }

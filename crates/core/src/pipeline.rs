@@ -78,22 +78,25 @@ impl HDiff {
         let mut next_uuid = 1u64;
 
         // 1. SR translator cases (with assertions).
-        let gen = AbnfGenerator::new(
-            analysis.grammar.clone(),
-            GenOptions {
-                max_depth: self.config.max_gen_depth,
-                seed: self.config.seed,
-                ..GenOptions::default()
-            },
-        );
-        let mut translator = SrTranslator::new(gen);
-        translator.variants = self.config.sr_variants;
-        let mut sr_cases = translator.translate_all(&analysis.requirements);
-        for c in &mut sr_cases {
-            c.uuid = next_uuid;
-            next_uuid += 1;
+        {
+            let _stage = hdiff_obs::span("stage.sr-translate");
+            let gen = AbnfGenerator::new(
+                analysis.grammar.clone(),
+                GenOptions {
+                    max_depth: self.config.max_gen_depth,
+                    seed: self.config.seed,
+                    ..GenOptions::default()
+                },
+            );
+            let mut translator = SrTranslator::new(gen);
+            translator.variants = self.config.sr_variants;
+            let mut sr_cases = translator.translate_all(&analysis.requirements);
+            for c in &mut sr_cases {
+                c.uuid = next_uuid;
+                next_uuid += 1;
+            }
+            cases.extend(sr_cases);
         }
-        cases.extend(sr_cases);
 
         // 2. ABNF-generated seeds plus mutations.
         let mut gen = AbnfGenerator::new(
@@ -108,6 +111,7 @@ impl HDiff {
         gen.enable_coverage();
         let mut mutator = MutationEngine::new(self.config.seed ^ 0x5eed);
         mutator.rounds = self.config.mutation_rounds;
+        let gen_stage = hdiff_obs::span("stage.generate");
         let hosts = gen.generate_many("Host", self.config.abnf_seeds);
         // Matcher-side coverage feed: re-match each generated host so the
         // rules reachable only through matching (e.g. the `uri-host`
@@ -129,6 +133,7 @@ impl HDiff {
         let targets = gen.generate_many("origin-form", self.config.abnf_seeds / 2 + 1);
         let te_values = gen.generate_many("transfer-coding", 8);
         let expect_values = gen.generate_many("Expect", 4);
+        drop(gen_stage);
         for i in 0..self.config.abnf_seeds {
             let host = &hosts[i % hosts.len().max(1)];
             let target =
@@ -162,6 +167,7 @@ impl HDiff {
             next_uuid += 1;
             cases.push(seed_case);
             for _ in 0..self.config.mutants_per_seed {
+                let _mutate = hdiff_obs::span("stage.mutate");
                 let mut mutant = seed_req.clone();
                 let notes = mutator.mutate(&mut mutant);
                 let mut c = TestCase::generated(next_uuid, mutant, notes.join("; "));
@@ -174,9 +180,11 @@ impl HDiff {
         // 2b. Tree-mutated host values: "mutate the original ABNF syntax
         // tree to generate malformed host data" (§III-D).
         let mut tree_mutator = TreeMutator::new(self.config.seed ^ 0x7ee);
-        for (value, op) in
+        let malformed = {
+            let _mutate = hdiff_obs::span("stage.mutate");
             tree_mutator.malformed_values(&analysis.grammar, "Host", self.config.abnf_seeds / 4)
-        {
+        };
+        for (value, op) in malformed {
             if value.is_empty() || value.len() > 256 {
                 continue;
             }
@@ -210,12 +218,24 @@ impl HDiff {
 
     /// Runs the whole pipeline.
     pub fn run(&self) -> PipelineReport {
-        let analysis = self.analyze();
+        hdiff_obs::set_enabled(self.config.telemetry);
+        // Start the generation phase from a clean thread-local slate so a
+        // previous run on this thread cannot leak into this summary.
+        let _ = hdiff_obs::drain();
+        let analysis = {
+            let _stage = hdiff_obs::span("stage.analyze");
+            self.analyze()
+        };
         let (cases, coverage) = self.generate_cases_with_coverage(&analysis);
 
         let sr_cases = cases.iter().filter(|c| matches!(c.origin, Origin::Sr(_))).count();
         let abnf_cases = cases.iter().filter(|c| matches!(c.origin, Origin::Abnf)).count();
         let catalog_cases = cases.iter().filter(|c| matches!(c.origin, Origin::Catalog(_))).count();
+        hdiff_obs::count_many(&[
+            ("gen.cases.sr", sr_cases as u64),
+            ("gen.cases.abnf", abnf_cases as u64),
+            ("gen.cases.catalog", catalog_cases as u64),
+        ]);
 
         let mut engine = DiffEngine::standard();
         engine.threads = self.config.threads;
@@ -229,6 +249,9 @@ impl HDiff {
             engine.fault_plan =
                 hdiff_servers::fault::FaultPlan::new(self.config.seed, self.config.fault_rate);
         }
+        // Generation-phase telemetry accumulated on this thread rides into
+        // the summary alongside the per-case buckets the engine merges.
+        engine.base_telemetry = hdiff_obs::drain();
         let summary = engine.run(&cases);
 
         PipelineReport { analysis, sr_cases, abnf_cases, catalog_cases, cases, summary }

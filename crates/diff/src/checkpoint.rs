@@ -112,7 +112,14 @@ fn write_record(out: &mut String, r: &CaseRecord) {
         }
         write_degradation(out, d);
     }
-    out.push_str("]}");
+    out.push(']');
+    // Telemetry is optional on disk (absent when recording was off), so
+    // telemetry-free checkpoints keep their pre-telemetry byte shape.
+    if !r.telemetry.is_empty() {
+        out.push_str(",\"telemetry\":");
+        crate::telemetry_codec::write_telemetry(out, &r.telemetry);
+    }
+    out.push('}');
 }
 
 /// Serializes the completed-case map to `path`, atomically (write to a
@@ -237,6 +244,11 @@ fn read_record(v: &Json) -> io::Result<CaseRecord> {
             .iter()
             .map(read_degradation)
             .collect::<io::Result<_>>()?,
+        telemetry: v
+            .get("telemetry")
+            .map(crate::telemetry_codec::read_telemetry)
+            .transpose()?
+            .unwrap_or_default(),
     })
 }
 
@@ -296,6 +308,13 @@ mod tests {
                     error: Some(CaseError::Io("reset persisted".into())),
                     findings: vec![finding],
                     degradations: vec![degradation],
+                    telemetry: {
+                        let mut t = hdiff_obs::Telemetry::default();
+                        t.record_span("case", 1234);
+                        t.record_count("fault.events", 2);
+                        t.record_hist("transport.rtt.sim", 987);
+                        t
+                    },
                 },
             ),
             (
@@ -309,6 +328,7 @@ mod tests {
                     error: Some(CaseError::Panic("injected parser panic".into())),
                     findings: Vec::new(),
                     degradations: Vec::new(),
+                    telemetry: hdiff_obs::Telemetry::default(),
                 },
             ),
         ]

@@ -1,10 +1,15 @@
 //! Minimal hand-rolled JSON value, parser, and string writer.
 //!
 //! Shared by the checkpoint codec ([`crate::checkpoint`]) and the replay
-//! bundle codec ([`crate::replay`]); only the subset those formats need
-//! (no floats, no negative numbers). Keeping the codec hand-rolled keeps
-//! the on-disk formats free of any serialization dependency and fully
-//! under this crate's control.
+//! bundle codec ([`crate::replay`]). Values are the subset those formats
+//! need: numbers are `u64` integers. The parser still accepts the full
+//! JSON number grammar (sign, fraction, exponent) so a hand-edited
+//! bundle gets a precise "that number doesn't fit here" error instead of
+//! a misleading "expected a value"; tokens whose exact value is a `u64`
+//! integer (e.g. `1e3`, `-0`) decode, everything else is rejected naming
+//! the token and its offset. Keeping the codec hand-rolled keeps the
+//! on-disk formats free of any serialization dependency and fully under
+//! this crate's control.
 
 use std::io;
 
@@ -67,10 +72,11 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, msg: &str) -> io::Error {
-        io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("JSON parse error at byte {}: {msg}", self.pos),
-        )
+        self.err_at(self.pos, msg)
+    }
+
+    fn err_at(&self, pos: usize, msg: &str) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, format!("JSON parse error at byte {pos}: {msg}"))
     }
 
     fn skip_ws(&mut self) {
@@ -110,18 +116,139 @@ impl<'a> Parser<'a> {
             Some(b'"') => self.string().map(Json::Str),
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
+            Some(b'-') => self.number(),
             Some(b) if b.is_ascii_digit() => self.number(),
             _ => Err(self.err("expected a value")),
         }
     }
 
+    /// Scans a full JSON number token (`-?(0|[1-9][0-9]*)(\.[0-9]+)?`
+    /// `([eE][+-]?[0-9]+)?`) and decodes it only when its exact value is
+    /// an integer in `u64` range; everything else is rejected naming the
+    /// token and its offset.
     fn number(&mut self) -> io::Result<Json> {
         let start = self.pos;
-        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+        let neg = self.peek() == Some(b'-');
+        if neg {
             self.pos += 1;
         }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are UTF-8");
-        s.parse::<u64>().map(Json::Num).map_err(|_| self.err("number out of range"))
+
+        let int_start = self.pos;
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err_at(start, "expected digits in number")),
+        }
+        if self.bytes[int_start] == b'0' && self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            return Err(self.err_at(start, "leading zero in number"));
+        }
+        let int_end = self.pos;
+
+        let mut frac = int_end..int_end;
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err_at(start, "expected digits after '.' in number"));
+            }
+            frac = frac_start..self.pos;
+        }
+
+        let mut exp: i64 = 0;
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            let exp_neg = match self.peek() {
+                Some(b'+') => {
+                    self.pos += 1;
+                    false
+                }
+                Some(b'-') => {
+                    self.pos += 1;
+                    true
+                }
+                _ => false,
+            };
+            let exp_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err_at(start, "expected digits in number exponent"));
+            }
+            for &b in &self.bytes[exp_start..self.pos] {
+                exp = exp.saturating_mul(10).saturating_add(i64::from(b - b'0'));
+            }
+            if exp_neg {
+                exp = -exp;
+            }
+        }
+
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number tokens are ASCII")
+            .to_string();
+        let reject = |parser: &Parser<'_>, why: &str| {
+            parser.err_at(start, &format!("number {token} {why} (this format stores u64 integers)"))
+        };
+
+        // Normalize to `digits * 10^exp10`, dropping the zeros that make
+        // tokens like `1.50e2` or `100e-2` exactly integral.
+        let mut digits: Vec<u8> =
+            self.bytes[int_start..int_end].iter().chain(&self.bytes[frac]).copied().collect();
+        let mut exp10 = exp.saturating_sub(digits.len() as i64 - (int_end - int_start) as i64);
+        while digits.len() > 1 && digits[0] == b'0' {
+            digits.remove(0);
+        }
+        if digits == [b'0'] {
+            // Zero however spelled (-0, 0.000, 0e99) is exactly 0.
+            return Ok(Json::Num(0));
+        }
+        while digits.last() == Some(&b'0') {
+            digits.pop();
+            exp10 += 1;
+        }
+        if neg {
+            return Err(reject(self, "is negative"));
+        }
+        if exp10 < 0 {
+            return Err(reject(self, "is not an integer"));
+        }
+        let mut value: u128 = 0;
+        for &d in &digits {
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u128::from(d - b'0')))
+                .filter(|v| *v <= u128::from(u64::MAX))
+                .ok_or_else(|| reject(self, "does not fit in u64"))?;
+        }
+        for _ in 0..exp10 {
+            value = value
+                .checked_mul(10)
+                .filter(|v| *v <= u128::from(u64::MAX))
+                .ok_or_else(|| reject(self, "does not fit in u64"))?;
+        }
+        Ok(Json::Num(value as u64))
+    }
+
+    /// Reads the 4 hex digits of a `\uXXXX` escape at the cursor.
+    fn hex4(&mut self) -> io::Result<u32> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        if !hex.iter().all(u8::is_ascii_hexdigit) {
+            return Err(self.err("bad \\u escape"));
+        }
+        let hex = std::str::from_utf8(hex).map_err(|_| self.err("non-ASCII \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
     }
 
     pub(crate) fn string(&mut self) -> io::Result<String> {
@@ -147,19 +274,44 @@ impl<'a> Parser<'a> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("unpaired surrogate"))?,
-                            );
+                            let esc_start = self.pos - 2;
+                            let code = self.hex4()?;
+                            let ch = match code {
+                                0xD800..=0xDBFF => {
+                                    // A high surrogate is only valid as the
+                                    // first half of a \uXXXX\uXXXX pair
+                                    // encoding one supplementary-plane char.
+                                    if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                        return Err(self.err_at(
+                                            esc_start,
+                                            &format!("lone high surrogate \\u{code:04x}"),
+                                        ));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.err_at(
+                                            esc_start,
+                                            &format!(
+                                                "high surrogate \\u{code:04x} must be followed \
+                                                 by a low surrogate, got \\u{low:04x}"
+                                            ),
+                                        ));
+                                    }
+                                    let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(scalar)
+                                        .expect("surrogate pairs decode to valid scalars")
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(self.err_at(
+                                        esc_start,
+                                        &format!("lone low surrogate \\u{code:04x}"),
+                                    ));
+                                }
+                                _ => char::from_u32(code)
+                                    .expect("non-surrogate BMP codes are valid scalars"),
+                            };
+                            out.push(ch);
                         }
                         _ => return Err(self.err("unknown escape")),
                     }
@@ -278,6 +430,96 @@ mod tests {
     fn garbage_is_an_error() {
         for garbage in ["", "{", "[1,2", "\"unterminated", "{\"k\" 1}"] {
             assert!(Parser::new(garbage.as_bytes()).value().is_err(), "{garbage}");
+        }
+    }
+
+    fn decode_num(text: &str) -> io::Result<Json> {
+        Parser::new(text.as_bytes()).value()
+    }
+
+    #[test]
+    fn integral_number_spellings_decode_exactly() {
+        for (text, expect) in [
+            ("0", 0),
+            ("-0", 0),
+            ("0.000", 0),
+            ("1e3", 1000),
+            ("1.25e2", 125),
+            ("100e-2", 1),
+            ("1.50e2", 150),
+            ("18446744073709551615", u64::MAX),
+            ("1844674407370955161.5e1", u64::MAX),
+        ] {
+            assert_eq!(decode_num(text).unwrap(), Json::Num(expect), "{text}");
+        }
+    }
+
+    #[test]
+    fn non_u64_numbers_are_rejected_naming_the_token_and_offset() {
+        for (text, why) in [
+            ("-1", "is negative"),
+            ("1.5", "is not an integer"),
+            ("2e-1", "is not an integer"),
+            ("18446744073709551616", "does not fit in u64"),
+            ("2e100", "does not fit in u64"),
+        ] {
+            let err = decode_num(text).unwrap_err().to_string();
+            assert!(err.contains(text), "error must name the token {text:?}: {err}");
+            assert!(err.contains(why), "error for {text:?} must say it {why}: {err}");
+            assert!(err.contains("at byte 0"), "error must carry the offset: {err}");
+        }
+        // Offsets point at the token, not the failure position.
+        let err = Parser::new(b"[7, -1]").value().unwrap_err().to_string();
+        assert!(err.contains("at byte 4"), "{err}");
+    }
+
+    #[test]
+    fn malformed_number_tokens_are_rejected() {
+        for text in ["-", "01", "1.", "1.e3", "1e", "1e+", "-.5"] {
+            assert!(decode_num(text).is_err(), "{text} must not parse as a number");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_combine_and_lone_surrogates_are_precise_errors() {
+        let mut p = Parser::new(br#""\ud83d\ude00!""#);
+        assert_eq!(p.string().unwrap(), "\u{1F600}!");
+
+        let lone_high = Parser::new(br#""\ud800""#).string().unwrap_err().to_string();
+        assert!(lone_high.contains("lone high surrogate \\ud800"), "{lone_high}");
+        let lone_low = Parser::new(br#""\udc00""#).string().unwrap_err().to_string();
+        assert!(lone_low.contains("lone low surrogate \\udc00"), "{lone_low}");
+        let bad_pair = Parser::new(br#""\ud83d\u0041""#).string().unwrap_err().to_string();
+        assert!(bad_pair.contains("must be followed by a low surrogate"), "{bad_pair}");
+        // A literal char after a high surrogate is a lone surrogate too.
+        let high_then_literal = Parser::new(br#""\ud83dA""#).string().unwrap_err().to_string();
+        assert!(high_then_literal.contains("lone high surrogate"), "{high_then_literal}");
+        // A high surrogate at end-of-input must error, not panic.
+        assert!(Parser::new(br#""\ud83d"#).string().is_err());
+    }
+
+    fn roundtrip(s: &str) -> String {
+        let mut out = String::new();
+        push_json_str(&mut out, s);
+        Parser::new(out.as_bytes()).string().unwrap_or_else(|e| panic!("{s:?} -> {out}: {e}"))
+    }
+
+    #[test]
+    fn encoder_output_roundtrips_for_hostile_strings() {
+        for s in
+            ["", "\u{0}\u{1f}\u{7f}", "a\"b\\c/d", "\n\r\t", "héllo", "\u{1F600}\u{10FFFF}", " "]
+        {
+            assert_eq!(roundtrip(s), s);
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn decode_encode_roundtrips_arbitrary_strings(
+            codes in proptest::collection::vec(0u32..0x110000u32, 0..64)
+        ) {
+            let s: String = codes.into_iter().filter_map(char::from_u32).collect();
+            proptest::prop_assert_eq!(roundtrip(&s), s);
         }
     }
 }

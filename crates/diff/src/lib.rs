@@ -31,6 +31,7 @@ pub mod runner;
 pub mod schedule;
 pub mod srcheck;
 pub mod syntax;
+pub mod telemetry_codec;
 pub mod transport;
 pub mod verdict;
 pub mod verify;
@@ -42,9 +43,12 @@ pub use findings::Finding;
 pub use hmetrics::HMetrics;
 pub use minimize::{minimize, FindingContext, MinimizeOptions, MinimizeStats, Minimized};
 pub use replay::{ReplayBundle, ReplayReport};
-pub use runner::{CaseError, CaseRecord, DiffEngine, RunSummary};
+pub use runner::{CaseError, CaseRecord, DiffEngine, RunSummary, RunTelemetry};
 pub use srcheck::{check_assertions, check_host_conformance, SrViolation};
 pub use syntax::SyntaxOracle;
+pub use telemetry_codec::{
+    load_report, summary_to_json, trace_to_jsonl, write_summary, write_trace,
+};
 pub use transport::{
     consistency_findings, pipelined_desync_findings, run_bytes_tcp, run_case_tcp, segmented_probe,
     Transport,

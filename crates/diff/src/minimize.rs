@@ -301,6 +301,7 @@ impl<'a> FindingContext<'a> {
         bytes: &[u8],
         opts: &MinimizeOptions,
     ) -> Minimized {
+        let _span = hdiff_obs::span("stage.minimize");
         minimize(
             bytes,
             |candidate| {

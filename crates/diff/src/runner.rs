@@ -85,6 +85,12 @@ pub struct CaseRecord {
     pub findings: Vec<Finding>,
     /// Degradation divergences from the final attempt.
     pub degradations: Vec<DegradationFinding>,
+    /// Everything the case recorded through `hdiff_obs` while it ran
+    /// (spans, counters, histograms — and trace events when tracing).
+    /// Travels with the record through checkpoints, so a resumed
+    /// campaign merges partial telemetry without double-counting.
+    /// Equality is `Telemetry`'s shape-only equality.
+    pub telemetry: hdiff_obs::Telemetry,
 }
 
 /// Summary of one differential-testing run.
@@ -119,6 +125,36 @@ pub struct RunSummary {
     pub coverage: Option<hdiff_gen::GrammarCoverage>,
     /// Transport the campaign executed over.
     pub transport: Transport,
+    /// Campaign telemetry: merged spans/counters/histograms plus the
+    /// slowest cases (see [`RunTelemetry`]).
+    pub telemetry: RunTelemetry,
+}
+
+/// Campaign telemetry carried by a [`RunSummary`].
+///
+/// `PartialEq` compares only [`RunTelemetry::merged`] (itself the
+/// deterministic shape: span counts, counter totals, histogram
+/// populations); the slowest-case list is wall-clock ordering and two
+/// equal runs will rank it differently.
+#[derive(Debug, Clone, Default)]
+pub struct RunTelemetry {
+    /// Telemetry merged across the generation stages and every case, in
+    /// input-corpus order.
+    pub merged: hdiff_obs::Telemetry,
+    /// `(case uuid, case wall time ns)`, slowest first; capped at
+    /// [`RunTelemetry::SLOWEST_KEPT`].
+    pub slowest: Vec<(u64, u64)>,
+}
+
+impl RunTelemetry {
+    /// How many slowest cases a summary keeps.
+    pub const SLOWEST_KEPT: usize = 16;
+}
+
+impl PartialEq for RunTelemetry {
+    fn eq(&self, other: &RunTelemetry) -> bool {
+        self.merged == other.merged
+    }
 }
 
 impl RunSummary {
@@ -158,6 +194,10 @@ pub struct DiffEngine {
     /// How cases execute: in-process simulation (default) or real
     /// loopback TCP (see [`crate::transport`]).
     pub transport: Transport,
+    /// Telemetry recorded before the campaign (the generation stages the
+    /// pipeline runs) — merged into every [`RunSummary`] this engine
+    /// produces, never mutated by the engine itself.
+    pub base_telemetry: hdiff_obs::Telemetry,
 }
 
 impl DiffEngine {
@@ -190,6 +230,7 @@ impl DiffEngine {
             syntax_oracle: None,
             grammar_coverage: None,
             transport: Transport::Sim,
+            base_telemetry: hdiff_obs::Telemetry::default(),
         }
     }
 
@@ -269,16 +310,38 @@ impl DiffEngine {
     /// [`CaseError`]; truncation/garbling faults are behavioral (no error)
     /// and surface through degradation findings instead.
     fn run_case_resilient(&self, case: &TestCase) -> CaseRecord {
+        let (mut record, telemetry) = hdiff_obs::with_case(case.uuid, || {
+            let _case = hdiff_obs::span("case");
+            self.run_case_attempts(case)
+        });
+        record.telemetry = telemetry;
+        record
+    }
+
+    /// The attempt loop of [`DiffEngine::run_case_resilient`], running
+    /// inside the case's telemetry scope.
+    fn run_case_attempts(&self, case: &TestCase) -> CaseRecord {
         let injector = FaultInjector::new(self.fault_plan.clone());
         let mut retries = 0u32;
         let mut backoff_units = 0u64;
         loop {
             let session = FaultSession::new(&injector, case.uuid, retries, self.step_budget);
             let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
-                let outcome = match self.transport {
-                    Transport::Sim => self.workflow.run_case_faulted(case, Some(&session)),
-                    Transport::Tcp => run_case_tcp(&self.workflow, case, Some(&session)),
+                let outcome = {
+                    let _execute = hdiff_obs::span("stage.chain-execute");
+                    let started = std::time::Instant::now();
+                    let outcome = match self.transport {
+                        Transport::Sim => self.workflow.run_case_faulted(case, Some(&session)),
+                        Transport::Tcp => run_case_tcp(&self.workflow, case, Some(&session)),
+                    };
+                    let rtt = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    match self.transport {
+                        Transport::Sim => hdiff_obs::observe("transport.rtt.sim", rtt),
+                        Transport::Tcp => hdiff_obs::observe("transport.rtt.tcp", rtt),
+                    }
+                    outcome
                 };
+                let _detect = hdiff_obs::span("stage.detect");
                 let replayed = outcome.chains.iter().any(|c| !c.replays.is_empty());
                 let findings =
                     detect_case_with_oracle(&self.profiles, &outcome, self.syntax_oracle.as_ref());
@@ -287,6 +350,7 @@ impl DiffEngine {
             }));
             let (events, budget_exhausted, replayed, findings, degradations) = match attempt {
                 Err(payload) => {
+                    hdiff_obs::count("case.quarantined", 1);
                     return CaseRecord {
                         uuid: case.uuid,
                         replayed: false,
@@ -296,16 +360,19 @@ impl DiffEngine {
                         error: Some(CaseError::Panic(panic_message(&payload))),
                         findings: Vec::new(),
                         degradations: Vec::new(),
-                    }
+                        telemetry: hdiff_obs::Telemetry::default(),
+                    };
                 }
                 Ok(r) => r,
             };
+            hdiff_obs::count("fault.events", events.len() as u64);
 
             let transient = events.iter().map(|e| e.kind).find(|k| k.is_transient());
             if let Some(kind) = transient {
                 if retries < self.max_retries {
                     retries += 1;
                     backoff_units += 1u64 << retries.min(16);
+                    hdiff_obs::count("case.retry", 1);
                     continue;
                 }
                 let error = match kind {
@@ -328,6 +395,7 @@ impl DiffEngine {
                     error: Some(error),
                     findings,
                     degradations,
+                    telemetry: hdiff_obs::Telemetry::default(),
                 };
             }
 
@@ -342,6 +410,7 @@ impl DiffEngine {
                 error,
                 findings,
                 degradations,
+                telemetry: hdiff_obs::Telemetry::default(),
             };
         }
     }
@@ -358,6 +427,12 @@ impl DiffEngine {
         let mut backoff_units = 0u64;
         let mut quarantined = Vec::new();
         let mut executed = 0usize;
+        // Same reassembly discipline as case results: merge per-case
+        // telemetry in input-corpus order, so the merged view is
+        // identical however many threads (or interruptions) produced the
+        // records.
+        let mut merged = self.base_telemetry.clone();
+        let mut slowest: Vec<(u64, u64)> = Vec::new();
         for case in cases {
             let Some(r) = completed.get(&case.uuid) else { continue };
             executed += 1;
@@ -370,8 +445,15 @@ impl DiffEngine {
             if r.quarantined {
                 quarantined.push(r.uuid);
             }
+            merged.merge(&r.telemetry);
+            if let Some(span) = r.telemetry.spans.get("case") {
+                slowest.push((r.uuid, span.total_ns));
+            }
         }
         quarantined.sort_unstable();
+        // Ties break toward the lower uuid so the ranking is stable.
+        slowest.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        slowest.truncate(RunTelemetry::SLOWEST_KEPT);
 
         let mut sr_violations = check_all(&self.profiles, cases);
         if let Some(oracle) = &self.syntax_oracle {
@@ -394,6 +476,7 @@ impl DiffEngine {
             quarantined,
             coverage: self.grammar_coverage,
             transport: self.transport,
+            telemetry: RunTelemetry { merged, slowest },
         }
     }
 }

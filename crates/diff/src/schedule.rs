@@ -6,6 +6,14 @@
 //! Here workers share a single atomic cursor over the chunk and claim the
 //! next pending case the moment they finish one, so stragglers never
 //! strand unrelated work behind them.
+//!
+//! Telemetry note: workers never touch shared telemetry state. Each case
+//! runs under [`hdiff_obs::with_case`], which collects that case's spans,
+//! counters and histograms into a private bucket travelling inside the
+//! [`crate::CaseRecord`]. The runner merges buckets in corpus order during
+//! `summarize`, so the merged totals are identical whichever worker — or
+//! how many workers — executed each case, and resuming from a checkpoint
+//! re-merges persisted buckets without double-counting.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -1,0 +1,378 @@
+//! Telemetry persistence: the JSON shape checkpoints and summary files
+//! use for [`hdiff_obs::Telemetry`], the campaign summary file
+//! `--summary-out` writes, and the JSONL trace `--trace-out` writes —
+//! everything `hdiff report` reads back.
+//!
+//! All of it rides the same hand-rolled [`crate::json`] codec the
+//! checkpoint and replay formats use. Trace events are *not* persisted
+//! in checkpoints (they are a profiling artifact, not campaign state);
+//! histograms are stored sparsely as `[bucket, population]` pairs.
+
+use std::io;
+use std::path::Path;
+
+use hdiff_obs::{EventKind, Histogram, ReportInput, SpanStat, Telemetry, TraceEvent, HIST_BUCKETS};
+
+use crate::checkpoint::data_err;
+use crate::json::{push_json_str, Json, Parser};
+use crate::runner::{RunSummary, RunTelemetry};
+
+// ---------------------------------------------------------------------------
+// Telemetry value <-> JSON
+// ---------------------------------------------------------------------------
+
+pub(crate) fn write_telemetry(out: &mut String, t: &Telemetry) {
+    out.push_str("{\"spans\":[");
+    for (i, (name, s)) in t.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_str(out, name);
+        out.push_str(&format!(
+            ",\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+            s.count, s.total_ns, s.min_ns, s.max_ns
+        ));
+    }
+    out.push_str("],\"counters\":[");
+    for (i, (name, total)) in t.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        push_json_str(out, name);
+        out.push_str(&format!(",{total}]"));
+    }
+    out.push_str("],\"hists\":[");
+    for (i, (name, h)) in t.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_str(out, name);
+        out.push_str(&format!(",\"count\":{},\"total_ns\":{},\"buckets\":[", h.count, h.total_ns));
+        let mut first = true;
+        for (bucket, &population) in h.buckets.iter().enumerate() {
+            if population == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("[{bucket},{population}]"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+}
+
+pub(crate) fn read_telemetry(v: &Json) -> io::Result<Telemetry> {
+    let mut t = Telemetry::default();
+    for s in v.get("spans").and_then(Json::as_arr).unwrap_or_default() {
+        let name = s
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| data_err("telemetry span without a name"))?;
+        let field = |key: &str| {
+            s.get(key).and_then(Json::as_u64).ok_or_else(|| data_err(format!("span {key}")))
+        };
+        t.spans.insert(
+            name.to_string(),
+            SpanStat {
+                count: field("count")?,
+                total_ns: field("total_ns")?,
+                min_ns: field("min_ns")?,
+                max_ns: field("max_ns")?,
+            },
+        );
+    }
+    for c in v.get("counters").and_then(Json::as_arr).unwrap_or_default() {
+        let pair = c.as_arr().ok_or_else(|| data_err("telemetry counter shape"))?;
+        let (name, total) = match pair {
+            [Json::Str(name), total] => {
+                (name, total.as_u64().ok_or_else(|| data_err("counter total"))?)
+            }
+            _ => return Err(data_err("telemetry counter shape")),
+        };
+        t.counters.insert(name.clone(), total);
+    }
+    for h in v.get("hists").and_then(Json::as_arr).unwrap_or_default() {
+        let name = h
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| data_err("telemetry hist without a name"))?;
+        let mut hist = Histogram {
+            count: h.get("count").and_then(Json::as_u64).ok_or_else(|| data_err("hist count"))?,
+            total_ns: h
+                .get("total_ns")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| data_err("hist total_ns"))?,
+            ..Histogram::default()
+        };
+        for b in h.get("buckets").and_then(Json::as_arr).unwrap_or_default() {
+            let pair = b.as_arr().ok_or_else(|| data_err("hist bucket shape"))?;
+            let (bucket, population) = match pair {
+                [i, p] => (
+                    i.as_u64().ok_or_else(|| data_err("hist bucket index"))? as usize,
+                    p.as_u64().ok_or_else(|| data_err("hist bucket population"))?,
+                ),
+                _ => return Err(data_err("hist bucket shape")),
+            };
+            if bucket >= HIST_BUCKETS {
+                return Err(data_err(format!("hist bucket {bucket} out of range")));
+            }
+            hist.buckets[bucket] = population;
+        }
+        t.hists.insert(name.to_string(), hist);
+    }
+    Ok(t)
+}
+
+// ---------------------------------------------------------------------------
+// Campaign summary file (`--summary-out`, read by `hdiff report`)
+// ---------------------------------------------------------------------------
+
+/// Marker distinguishing a summary file from any other JSON document.
+const SUMMARY_KIND: &str = "hdiff-summary";
+
+/// Serializes a campaign summary's telemetry view to a JSON string.
+pub fn summary_to_json(summary: &RunSummary) -> String {
+    let mut out = String::new();
+    out.push_str("{\"kind\":");
+    push_json_str(&mut out, SUMMARY_KIND);
+    out.push_str(&format!(
+        ",\"transport\":\"{}\",\"cases\":{},\"findings\":{},\"errors\":{},\"retries\":{},\"backoff_units\":{}",
+        summary.transport,
+        summary.cases,
+        summary.findings.len(),
+        summary.errors,
+        summary.retries,
+        summary.backoff_units
+    ));
+    out.push_str(",\"slowest\":[");
+    for (i, (uuid, ns)) in summary.telemetry.slowest.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{uuid},{ns}]"));
+    }
+    out.push_str("],\"telemetry\":");
+    write_telemetry(&mut out, &summary.telemetry.merged);
+    out.push_str("}\n");
+    out
+}
+
+/// Writes [`summary_to_json`] to `path`.
+pub fn write_summary(path: &Path, summary: &RunSummary) -> io::Result<()> {
+    std::fs::write(path, summary_to_json(summary).as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// JSONL trace (`--trace-out`, read by `hdiff report`)
+// ---------------------------------------------------------------------------
+
+/// Serializes the trace events as JSONL, one event per line, in the
+/// replay-stable `(case, seq)` order.
+pub fn trace_to_jsonl(t: &Telemetry) -> String {
+    let mut out = String::new();
+    for e in t.sorted_events() {
+        out.push_str(&format!(
+            "{{\"case\":{},\"seq\":{},\"kind\":\"{}\",\"name\":",
+            e.case,
+            e.seq,
+            e.kind.as_str()
+        ));
+        push_json_str(&mut out, &e.name);
+        out.push_str(&format!(",\"value\":{}}}\n", e.value));
+    }
+    out
+}
+
+/// Writes [`trace_to_jsonl`] to `path`.
+pub fn write_trace(path: &Path, t: &Telemetry) -> io::Result<()> {
+    std::fs::write(path, trace_to_jsonl(t).as_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// `hdiff report` input loading
+// ---------------------------------------------------------------------------
+
+fn parse_trace_line(line: &[u8]) -> io::Result<TraceEvent> {
+    let v = Parser::new(line).value()?;
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .and_then(EventKind::parse)
+        .ok_or_else(|| data_err("trace event without a valid kind"))?;
+    let field = |key: &str| {
+        v.get(key).and_then(Json::as_u64).ok_or_else(|| data_err(format!("trace event {key}")))
+    };
+    Ok(TraceEvent {
+        case: field("case")?,
+        seq: field("seq")?,
+        kind,
+        name: v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| data_err("trace event name"))?
+            .to_string(),
+        value: field("value")?,
+    })
+}
+
+/// Rebuilds a merged [`Telemetry`] from trace events (spans and
+/// histograms re-aggregate; per-case wall time reassembles from each
+/// case's `case` span events).
+fn telemetry_from_events(events: &[TraceEvent]) -> (Telemetry, Vec<(u64, u64)>) {
+    let mut t = Telemetry::default();
+    let mut case_ns: Vec<(u64, u64)> = Vec::new();
+    for e in events {
+        match e.kind {
+            EventKind::Span => {
+                t.record_span(&e.name, e.value);
+                if e.name == "case" {
+                    case_ns.push((e.case, e.value));
+                }
+            }
+            EventKind::Counter => t.record_count(&e.name, e.value),
+            EventKind::Hist => t.record_hist(&e.name, e.value),
+        }
+    }
+    case_ns.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    case_ns.truncate(RunTelemetry::SLOWEST_KEPT);
+    (t, case_ns)
+}
+
+/// Loads either artifact `hdiff report` accepts — a summary file written
+/// by [`write_summary`] or a JSONL trace written by [`write_trace`] —
+/// and produces the renderer's input. The two are distinguished by
+/// content (`"kind":"hdiff-summary"`), not extension.
+pub fn load_report(path: &Path) -> io::Result<ReportInput> {
+    let bytes = std::fs::read(path)?;
+    if let Ok(v) = Parser::new(&bytes).value() {
+        if v.get("kind").and_then(Json::as_str) == Some(SUMMARY_KIND) {
+            let telemetry = read_telemetry(
+                v.get("telemetry").ok_or_else(|| data_err("summary without telemetry"))?,
+            )?;
+            let slowest = v
+                .get("slowest")
+                .and_then(Json::as_arr)
+                .unwrap_or_default()
+                .iter()
+                .map(|pair| match pair.as_arr() {
+                    Some([uuid, ns]) => Ok((
+                        uuid.as_u64().ok_or_else(|| data_err("slowest uuid"))?,
+                        ns.as_u64().ok_or_else(|| data_err("slowest ns"))?,
+                    )),
+                    _ => Err(data_err("slowest pair shape")),
+                })
+                .collect::<io::Result<Vec<_>>>()?;
+            return Ok(ReportInput {
+                title: format!("campaign summary: {}", path.display()),
+                telemetry,
+                slowest,
+                top_n: RunTelemetry::SLOWEST_KEPT,
+            });
+        }
+    }
+    // Not a summary document: treat as a JSONL trace.
+    let mut events = Vec::new();
+    for (lineno, line) in bytes.split(|b| *b == b'\n').enumerate() {
+        if line.iter().all(u8::is_ascii_whitespace) {
+            continue;
+        }
+        let event = parse_trace_line(line)
+            .map_err(|e| data_err(format!("trace line {}: {e}", lineno + 1)))?;
+        events.push(event);
+    }
+    if events.is_empty() {
+        return Err(data_err("not a summary file and no trace events found"));
+    }
+    let (telemetry, slowest) = telemetry_from_events(&events);
+    Ok(ReportInput {
+        title: format!("campaign trace: {}", path.display()),
+        telemetry,
+        slowest,
+        top_n: RunTelemetry::SLOWEST_KEPT,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_telemetry() -> Telemetry {
+        let mut t = Telemetry::default();
+        t.record_span("case", 5_000);
+        t.record_span("stage.detect", 2_000);
+        t.record_span("stage.detect", 3_000);
+        t.record_count("memo.hit", 41);
+        t.record_count("fault.events", 3);
+        t.record_hist("transport.rtt.sim", 900);
+        t.record_hist("transport.rtt.sim", 70_000);
+        t
+    }
+
+    #[test]
+    fn telemetry_roundtrips_through_the_codec() {
+        let t = sample_telemetry();
+        let mut out = String::new();
+        write_telemetry(&mut out, &t);
+        let parsed = Parser::new(out.as_bytes()).value().unwrap();
+        let back = read_telemetry(&parsed).unwrap();
+        assert_eq!(t, back);
+        // The codec is exact beyond shape equality: durations survive.
+        assert_eq!(back.spans["stage.detect"].total_ns, 5_000);
+        assert_eq!(back.spans["stage.detect"].min_ns, 2_000);
+        assert_eq!(back.hists["transport.rtt.sim"].total_ns, 70_900);
+    }
+
+    #[test]
+    fn empty_telemetry_roundtrips() {
+        let mut out = String::new();
+        write_telemetry(&mut out, &Telemetry::default());
+        let parsed = Parser::new(out.as_bytes()).value().unwrap();
+        assert!(read_telemetry(&parsed).unwrap().is_empty());
+    }
+
+    #[test]
+    fn trace_jsonl_roundtrips_into_a_report_input() {
+        let mut t = Telemetry::default();
+        t.events.push(TraceEvent {
+            case: 2,
+            seq: 0,
+            kind: EventKind::Span,
+            name: "case".into(),
+            value: 1_000,
+        });
+        t.events.push(TraceEvent {
+            case: 1,
+            seq: 0,
+            kind: EventKind::Counter,
+            name: "memo.hit".into(),
+            value: 7,
+        });
+        let dir = std::env::temp_dir().join("hdiff-trace-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        write_trace(&path, &t).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("\"case\":1"), "events are sorted by (case, seq): {text}");
+        let input = load_report(&path).unwrap();
+        assert_eq!(input.telemetry.counters["memo.hit"], 7);
+        assert_eq!(input.slowest, vec![(2, 1_000)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unrecognized_files_are_an_error() {
+        let dir = std::env::temp_dir().join("hdiff-report-garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.txt");
+        std::fs::write(&path, b"not a summary\nnot a trace\n").unwrap();
+        assert!(load_report(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -92,11 +92,19 @@ impl std::fmt::Display for Transport {
     }
 }
 
-/// Read timeout for every listener and campaign client connection.
-const WIRE_TIMEOUT: Duration = Duration::from_millis(500);
+/// Read timeout for every listener and campaign client connection — the
+/// shared testbed timeout ([`hdiff_net::io_timeout`], overridable via
+/// `HDIFF_NET_TIMEOUT_MS`).
+fn wire_timeout() -> Duration {
+    hdiff_net::io_timeout()
+}
+
 /// Short client timeout used to *observe* an injected stall without
-/// spending the full wire timeout on every stalled attempt.
-const STALL_OBSERVE_TIMEOUT: Duration = Duration::from_millis(40);
+/// spending the full wire timeout on every stalled attempt; derived from
+/// the shared timeout, not a second magic number.
+fn stall_observe_timeout() -> Duration {
+    hdiff_net::stall_observe_timeout()
+}
 
 /// [`Workflow::run_case_faulted`], over TCP.
 pub fn run_case_tcp(
@@ -136,7 +144,7 @@ pub fn run_bytes_tcp(
                 NetServerConfig { fault: Some(ServerFault::Stall), ..NetServerConfig::default() };
             if let Ok(server) = NetServer::spawn(first.clone(), config) {
                 let mut client = WireClient::new(server.addr());
-                client.read_timeout = STALL_OBSERVE_TIMEOUT;
+                client.read_timeout = stall_observe_timeout();
                 let _ = client.exchange(&bytes, &SendMode::Whole);
             }
         }
@@ -180,7 +188,7 @@ pub fn run_bytes_tcp(
         let raw_results = if faults.is_some_and(FaultSession::exhausted) {
             Vec::new() // the sim's charge fails before the first message
         } else {
-            let echo = NetEcho::spawn(WIRE_TIMEOUT).expect("bind loopback echo listener");
+            let echo = NetEcho::spawn(wire_timeout()).expect("bind loopback echo listener");
             let config = NetProxyConfig { fault: decision, ..NetProxyConfig::new(echo.addr()) };
             let proxy = NetProxy::spawn(proxy_profile.clone(), config)
                 .expect("bind loopback proxy listener");
@@ -282,7 +290,13 @@ pub fn run_bytes_tcp(
 /// `mode`, FIN, read to EOF, pop the (now guaranteed) connection log.
 fn roundtrip(server: &NetServer, bytes: &[u8], mode: &SendMode) -> Vec<ServerReply> {
     let client = WireClient::new(server.addr());
-    let _ = client.exchange(bytes, mode);
+    let started = std::time::Instant::now();
+    let exchange = client.exchange(bytes, mode);
+    let rtt = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    hdiff_obs::observe("net.exchange.rtt", rtt);
+    if exchange.as_ref().is_ok_and(|e| e.timed_out) {
+        hdiff_obs::count("net.exchange.timeout", 1);
+    }
     server.take_logs().pop().map(|l| l.replies).unwrap_or_default()
 }
 

@@ -419,9 +419,11 @@ impl AbnfGenerator {
         if let Some(cov) = &self.coverage {
             let cold: Vec<usize> = (0..arms).filter(|&i| !cov.alt_covered(op, i)).collect();
             if !cold.is_empty() {
+                hdiff_obs::count("gen.alt.cold", 1);
                 let pick = self.rng.gen_range(0..cold.len());
                 return cold[pick];
             }
+            hdiff_obs::count("gen.alt.saturated", 1);
         }
         self.rng.gen_range(0..arms)
     }

@@ -22,6 +22,22 @@ use std::time::Duration;
 use hdiff_wire::{parse_response, ParsedResponse};
 
 use crate::desync::{attribute_responses, ResponseAttribution};
+use crate::timeout::io_timeout;
+
+/// Timeout configuration for a [`WireClient`].
+#[derive(Debug, Clone)]
+pub struct NetClientConfig {
+    /// Read timeout for every connection the client opens.
+    pub read_timeout: Duration,
+    /// Write timeout for every connection the client opens.
+    pub write_timeout: Duration,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> NetClientConfig {
+        NetClientConfig { read_timeout: io_timeout(), write_timeout: io_timeout() }
+    }
+}
 
 /// How [`WireClient::exchange`] puts request bytes on the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,12 +86,18 @@ pub struct WireClient {
 }
 
 impl WireClient {
-    /// A client for `addr` with default timeouts.
+    /// A client for `addr` with the shared default timeouts
+    /// ([`crate::timeout::io_timeout`]).
     pub fn new(addr: SocketAddr) -> WireClient {
+        WireClient::with_config(addr, NetClientConfig::default())
+    }
+
+    /// A client for `addr` with explicit timeouts.
+    pub fn with_config(addr: SocketAddr, config: NetClientConfig) -> WireClient {
         WireClient {
             addr,
-            read_timeout: Duration::from_millis(500),
-            write_timeout: Duration::from_millis(500),
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
             reused: None,
             reused_buf: Vec::new(),
         }
@@ -86,6 +108,7 @@ impl WireClient {
         stream.set_read_timeout(Some(self.read_timeout))?;
         stream.set_write_timeout(Some(self.write_timeout))?;
         stream.set_nodelay(true)?;
+        hdiff_obs::count("net.conn.open", 1);
         Ok(stream)
     }
 
@@ -119,9 +142,13 @@ impl WireClient {
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    return (out, true)
+                    hdiff_obs::count("net.read.timeout", 1);
+                    return (out, true);
                 }
-                Err(_) => return (out, false),
+                Err(_) => {
+                    hdiff_obs::count("net.read.error", 1);
+                    return (out, false);
+                }
             }
         }
     }

@@ -99,8 +99,10 @@ pub fn compare_attribution(
         .find(|(_, (sa, sb))| sa != sb)
         .map(|(i, (sa, sb))| (i, *sa, *sb));
     if a.count() == b.count() && first_status_disagreement.is_none() {
+        hdiff_obs::count("net.attr.agree", 1);
         return None;
     }
+    hdiff_obs::count("net.attr.disagree", 1);
     Some(DesyncSignal {
         impl_a: impl_a.to_string(),
         impl_b: impl_b.to_string(),

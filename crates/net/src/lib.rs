@@ -43,9 +43,11 @@ pub mod desync;
 pub mod echo;
 pub mod proxy;
 pub mod server;
+pub mod timeout;
 
-pub use client::{Exchange, PipelinedExchange, SendMode, WireClient};
+pub use client::{Exchange, NetClientConfig, PipelinedExchange, SendMode, WireClient};
 pub use desync::{attribute_responses, compare_attribution, DesyncSignal, ResponseAttribution};
 pub use echo::NetEcho;
 pub use proxy::{NetProxy, NetProxyConfig, ProxyConnLog};
 pub use server::{ConnectionLog, NetServer, NetServerConfig, ServerFault, Teardown};
+pub use timeout::{io_timeout, stall_observe_timeout, DEFAULT_IO_TIMEOUT, IO_TIMEOUT_ENV};

@@ -24,6 +24,7 @@ use hdiff_servers::fault::{FaultDecision, FaultKind};
 use hdiff_servers::{ForwardAction, ParserProfile, Proxy, ProxyResult};
 
 use crate::server::{incomplete_reason, Teardown, MAX_MESSAGES};
+use crate::timeout::io_timeout;
 
 /// Configuration for one proxy listener.
 #[derive(Debug, Clone)]
@@ -41,12 +42,13 @@ pub struct NetProxyConfig {
 }
 
 impl NetProxyConfig {
-    /// A default configuration forwarding to `upstream`.
+    /// A default configuration forwarding to `upstream`, using the
+    /// shared testbed timeout ([`crate::timeout::io_timeout`]).
     pub fn new(upstream: SocketAddr) -> NetProxyConfig {
         NetProxyConfig {
             upstream,
-            read_timeout: Duration::from_millis(500),
-            write_timeout: Duration::from_millis(500),
+            read_timeout: io_timeout(),
+            write_timeout: io_timeout(),
             fault: None,
             max_messages: MAX_MESSAGES,
         }

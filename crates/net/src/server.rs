@@ -87,8 +87,8 @@ pub struct NetServerConfig {
 impl Default for NetServerConfig {
     fn default() -> NetServerConfig {
         NetServerConfig {
-            read_timeout: Duration::from_millis(500),
-            write_timeout: Duration::from_millis(500),
+            read_timeout: crate::timeout::io_timeout(),
+            write_timeout: crate::timeout::io_timeout(),
             fault: None,
             max_messages: MAX_MESSAGES,
         }

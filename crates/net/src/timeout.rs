@@ -1,0 +1,60 @@
+//! The one shared I/O timeout every loopback socket in the testbed uses.
+//!
+//! The client, origin server, proxy hop, and echo listener all used to
+//! hard-code `500ms` independently; a CI box under load that needed a
+//! wider margin had no single place to turn. [`io_timeout`] is that
+//! place: it reads [`IO_TIMEOUT_ENV`] once (first use wins, cached for
+//! the process) and falls back to [`DEFAULT_IO_TIMEOUT`]. The
+//! stalled-read *observation* threshold — the short read a campaign
+//! spends to witness an injected stall without waiting out the full
+//! timeout — derives from the same value instead of being a second
+//! magic number, so widening the env var widens everything coherently.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Read/write timeout applied when [`IO_TIMEOUT_ENV`] is unset.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Environment variable overriding the shared timeout, in milliseconds.
+/// Read once per process; tests that need wider margins (CI under load)
+/// must set it before the first socket is opened.
+pub const IO_TIMEOUT_ENV: &str = "HDIFF_NET_TIMEOUT_MS";
+
+/// The process-wide read/write timeout for testbed sockets.
+pub fn io_timeout() -> Duration {
+    static CACHED: OnceLock<Duration> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var(IO_TIMEOUT_ENV)
+            .ok()
+            .and_then(|ms| ms.trim().parse::<u64>().ok())
+            .filter(|ms| *ms > 0)
+            .map(Duration::from_millis)
+            .unwrap_or(DEFAULT_IO_TIMEOUT)
+    })
+}
+
+/// How long a client read waits to *observe* an injected stall: a
+/// fraction of [`io_timeout`] (1/12 — ~41ms at the 500ms default, close
+/// to the 40ms this threshold was historically tuned to) so stalled
+/// attempts stay cheap but scale with any widened timeout.
+pub fn stall_observe_timeout() -> Duration {
+    io_timeout() / 12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_threshold_derives_from_the_shared_timeout() {
+        assert_eq!(stall_observe_timeout(), io_timeout() / 12);
+        assert!(stall_observe_timeout() < io_timeout());
+        assert!(stall_observe_timeout() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn default_matches_the_historical_hardcoded_value() {
+        assert_eq!(DEFAULT_IO_TIMEOUT, Duration::from_millis(500));
+    }
+}

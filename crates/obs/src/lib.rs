@@ -1,0 +1,49 @@
+//! Campaign observability: tracing spans, counters, and fixed-bucket
+//! latency histograms — with zero dependencies and an overhead budget.
+//!
+//! A differential campaign is a pipeline of stages (generate, mutate,
+//! SR-translate, chain-execute, detect, minimize) fanned out over worker
+//! threads. Explaining *where time goes and what each stage produced*
+//! needs instrumentation, but the instrumentation must not perturb the
+//! thing it measures: the campaign's hot paths (the packrat matcher, the
+//! wire client) run in the hundreds of nanoseconds to tens of
+//! microseconds, so every recording primitive here is a thread-local
+//! operation — no locks, no atomics on the data path, no allocation
+//! after the first touch of a name.
+//!
+//! The model:
+//!
+//! * every thread owns a private [`Telemetry`] behind a `thread_local!`;
+//!   [`span`], [`count`], and [`observe`] record into it;
+//! * the campaign runner brackets each test case with [`with_case`],
+//!   which drains exactly the telemetry that case produced (stashing and
+//!   restoring whatever ambient telemetry the thread already held) — the
+//!   per-case bucket travels with the case record, so checkpoints carry
+//!   partial telemetry and a resumed campaign merges it back without
+//!   double-counting;
+//! * buckets are merged ([`Telemetry::merge`]) at campaign end in input
+//!   order — the same reassembly pattern the work-stealing scheduler
+//!   uses for case results, so the merged view is identical across
+//!   thread counts.
+//!
+//! Durations are wall-clock and therefore nondeterministic; everything
+//! else (span counts, counter totals, histogram populations) is a pure
+//! function of the campaign's seed. [`Telemetry`]'s `PartialEq` compares
+//! only that deterministic shape, which is what lets `RunSummary`
+//! equality gates keep holding across thread counts and hardware.
+//!
+//! Recording is globally gated by [`set_enabled`] (on by default; the
+//! CLI's `--no-telemetry` turns it off) and event tracing — one
+//! [`TraceEvent`] per span/counter/histogram observation, for the
+//! `--trace-out` JSONL log — by [`set_trace`] (off by default).
+
+mod record;
+mod report;
+mod telemetry;
+
+pub use record::{
+    count, count_many, drain, enabled, observe, set_enabled, set_trace, span, trace_enabled,
+    with_case, SpanGuard,
+};
+pub use report::{render_report, ReportInput};
+pub use telemetry::{EventKind, Histogram, SpanStat, Telemetry, TraceEvent, HIST_BUCKETS};

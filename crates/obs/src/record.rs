@@ -1,0 +1,245 @@
+//! The recording side: thread-local collection, scoped spans, and the
+//! per-case drain the campaign runner uses.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use crate::telemetry::{EventKind, Telemetry, TraceEvent};
+
+/// Process-wide recording gate. On by default; `--no-telemetry` (and the
+/// overhead benchmark's control arm) turn it off. Checked with one
+/// relaxed load per recording call.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Process-wide event-tracing gate (the `--trace-out` JSONL log). Off by
+/// default: traces keep every observation and are meant for profiling
+/// runs, not steady state.
+static TRACE: AtomicBool = AtomicBool::new(false);
+
+/// Whether recording is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Globally enables or disables recording.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether event tracing is currently enabled.
+pub fn trace_enabled() -> bool {
+    TRACE.load(Ordering::Relaxed)
+}
+
+/// Globally enables or disables event tracing.
+pub fn set_trace(on: bool) {
+    TRACE.store(on, Ordering::Relaxed);
+}
+
+/// One thread's private recording state.
+#[derive(Default)]
+struct Local {
+    tel: Telemetry,
+    /// Case uuid events are attributed to (0 outside [`with_case`]).
+    case: u64,
+    /// Next event sequence number within the current case scope.
+    seq: u64,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Local> = RefCell::new(Local::default());
+}
+
+/// Runs `f` against the thread's local state. Re-entrant drops (a span
+/// guard dropping while the local is borrowed) are silently skipped —
+/// losing one observation beats panicking in a destructor.
+fn with_local(f: impl FnOnce(&mut Local)) {
+    LOCAL.with(|l| {
+        if let Ok(mut l) = l.try_borrow_mut() {
+            f(&mut l);
+        }
+    });
+}
+
+fn push_event(local: &mut Local, kind: EventKind, name: &str, value: u64) {
+    let event =
+        TraceEvent { case: local.case, seq: local.seq, kind, name: name.to_string(), value };
+    local.seq += 1;
+    local.tel.events.push(event);
+}
+
+/// Adds `delta` to the named counter on this thread.
+#[inline]
+pub fn count(name: &str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    let trace = trace_enabled();
+    with_local(|l| {
+        l.tel.record_count(name, delta);
+        if trace {
+            push_event(l, EventKind::Counter, name, delta);
+        }
+    });
+}
+
+/// Adds several counters in one thread-local access — what hot callers
+/// (the memo matcher) use to keep overhead to a single borrow per batch.
+#[inline]
+pub fn count_many(pairs: &[(&str, u64)]) {
+    if !enabled() || pairs.iter().all(|(_, d)| *d == 0) {
+        return;
+    }
+    let trace = trace_enabled();
+    with_local(|l| {
+        for &(name, delta) in pairs {
+            if delta == 0 {
+                continue;
+            }
+            l.tel.record_count(name, delta);
+            if trace {
+                push_event(l, EventKind::Counter, name, delta);
+            }
+        }
+    });
+}
+
+/// Records one observation of `ns` into the named histogram.
+#[inline]
+pub fn observe(name: &str, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let trace = trace_enabled();
+    with_local(|l| {
+        l.tel.record_hist(name, ns);
+        if trace {
+            push_event(l, EventKind::Hist, name, ns);
+        }
+    });
+}
+
+/// A scoped span: created by [`span`], records its wall duration into
+/// the named span statistic when dropped.
+#[must_use = "a span measures the scope it lives in; drop it where the stage ends"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let trace = trace_enabled();
+        with_local(|l| {
+            l.tel.record_span(self.name, ns);
+            if trace {
+                push_event(l, EventKind::Span, self.name, ns);
+            }
+        });
+    }
+}
+
+/// Enters a named span; the returned guard records enter-to-drop wall
+/// time (monotonic, via [`Instant`]). Inert when recording is disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard { name, start: enabled().then(Instant::now) }
+}
+
+/// Takes everything this thread has recorded, leaving it empty.
+pub fn drain() -> Telemetry {
+    let mut out = Telemetry::default();
+    with_local(|l| out = std::mem::take(&mut l.tel));
+    out
+}
+
+/// Runs `f` with all telemetry it records collected into a private
+/// bucket attributed to case `uuid`, returning `(result, bucket)`.
+///
+/// Whatever the thread had already recorded (generation-stage telemetry
+/// on the main thread, a previous case's leftovers) is stashed before
+/// `f` runs and restored after, so per-case buckets never absorb ambient
+/// state and ambient state never loses observations. Event sequence
+/// numbers restart at 0 for the case, which is what makes the trace
+/// ordering replay-stable across thread counts.
+pub fn with_case<R>(uuid: u64, f: impl FnOnce() -> R) -> (R, Telemetry) {
+    let mut stash = Telemetry::default();
+    let mut prev_case = 0u64;
+    let mut prev_seq = 0u64;
+    with_local(|l| {
+        stash = std::mem::take(&mut l.tel);
+        prev_case = std::mem::replace(&mut l.case, uuid);
+        prev_seq = std::mem::replace(&mut l.seq, 0);
+    });
+    let result = f();
+    let mut bucket = Telemetry::default();
+    with_local(|l| {
+        bucket = std::mem::replace(&mut l.tel, stash);
+        l.case = prev_case;
+        l.seq = prev_seq;
+    });
+    (result, bucket)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_case_isolates_and_restores_ambient_telemetry() {
+        let _ = drain();
+        count("ambient", 2);
+        let ((), bucket) = with_case(7, || {
+            count("inner", 5);
+            let _s = span("work");
+        });
+        assert_eq!(bucket.counters.get("inner"), Some(&5));
+        assert_eq!(bucket.counters.get("ambient"), None);
+        assert_eq!(bucket.spans["work"].count, 1);
+        let ambient = drain();
+        assert_eq!(ambient.counters.get("ambient"), Some(&2));
+        assert_eq!(ambient.counters.get("inner"), None);
+    }
+
+    #[test]
+    fn disabled_recording_is_inert() {
+        let _ = drain();
+        set_enabled(false);
+        count("c", 1);
+        observe("h", 10);
+        let _s = span("s");
+        drop(_s);
+        set_enabled(true);
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn trace_events_carry_case_and_restarting_seq() {
+        let _ = drain();
+        set_trace(true);
+        let ((), a) = with_case(3, || {
+            count("x", 1);
+            count("y", 1);
+        });
+        let ((), b) = with_case(4, || count("z", 1));
+        set_trace(false);
+        let seqs: Vec<(u64, u64)> = a.events.iter().map(|e| (e.case, e.seq)).collect();
+        assert_eq!(seqs, vec![(3, 0), (3, 1)]);
+        assert_eq!(b.events[0].case, 4);
+        assert_eq!(b.events[0].seq, 0, "seq restarts per case");
+        let _ = drain();
+    }
+
+    #[test]
+    fn count_many_batches_into_one_bucket() {
+        let _ = drain();
+        count_many(&[("a", 2), ("b", 0), ("c", 3)]);
+        let t = drain();
+        assert_eq!(t.counters.get("a"), Some(&2));
+        assert_eq!(t.counters.get("b"), None, "zero deltas are not recorded");
+        assert_eq!(t.counters.get("c"), Some(&3));
+    }
+}

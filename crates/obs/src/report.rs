@@ -1,0 +1,177 @@
+//! Text rendering for merged telemetry — what `hdiff report` prints.
+
+use crate::telemetry::Telemetry;
+
+/// Everything the renderer needs: the merged telemetry plus the bits of
+/// campaign context (slowest cases, a title line) that live outside the
+/// [`Telemetry`] value itself.
+#[derive(Debug, Clone, Default)]
+pub struct ReportInput {
+    /// Heading printed above the tables (e.g. the summary path).
+    pub title: String,
+    /// The campaign's merged telemetry.
+    pub telemetry: Telemetry,
+    /// `(case uuid, case duration ns)` pairs, slowest first.
+    pub slowest: Vec<(u64, u64)>,
+    /// How many slowest cases to print (0 hides the section).
+    pub top_n: usize,
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn push_row(out: &mut String, cols: &[(&str, usize)]) {
+    for (i, (cell, width)) in cols.iter().enumerate() {
+        if i == 0 {
+            out.push_str(&format!("  {cell:<width$}"));
+        } else {
+            out.push_str(&format!("  {cell:>width$}"));
+        }
+    }
+    out.push('\n');
+}
+
+/// Renders a merged telemetry view as plain-text tables: span (stage)
+/// breakdown with time share, counter totals, histogram summaries, and
+/// the top-N slowest cases.
+pub fn render_report(input: &ReportInput) -> String {
+    let tel = &input.telemetry;
+    let mut out = String::new();
+    if !input.title.is_empty() {
+        out.push_str(&input.title);
+        out.push('\n');
+        out.push_str(&"=".repeat(input.title.len()));
+        out.push('\n');
+    }
+    if tel.is_empty() && input.slowest.is_empty() {
+        out.push_str("no telemetry recorded\n");
+        return out;
+    }
+
+    if !tel.spans.is_empty() {
+        // Share is computed against the stage.* spans only: "case" and
+        // transport spans nest inside stages and would double-count.
+        let stage_total: u64 = tel
+            .spans
+            .iter()
+            .filter(|(name, _)| name.starts_with("stage."))
+            .map(|(_, s)| s.total_ns)
+            .sum();
+        let mut rows: Vec<_> = tel.spans.iter().collect();
+        rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        out.push_str("\nspans\n");
+        push_row(
+            &mut out,
+            &[("name", 24), ("count", 10), ("total", 10), ("mean", 10), ("max", 10), ("share", 6)],
+        );
+        for (name, stat) in rows {
+            let share = if name.starts_with("stage.") && stage_total > 0 {
+                format!("{:.1}%", stat.total_ns as f64 * 100.0 / stage_total as f64)
+            } else {
+                "-".to_string()
+            };
+            push_row(
+                &mut out,
+                &[
+                    (name.as_str(), 24),
+                    (&stat.count.to_string(), 10),
+                    (&fmt_ns(stat.total_ns), 10),
+                    (&fmt_ns(stat.mean_ns()), 10),
+                    (&fmt_ns(stat.max_ns), 10),
+                    (&share, 6),
+                ],
+            );
+        }
+    }
+
+    if !tel.counters.is_empty() {
+        out.push_str("\ncounters\n");
+        push_row(&mut out, &[("name", 24), ("total", 12)]);
+        let mut rows: Vec<_> = tel.counters.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (name, total) in rows {
+            push_row(&mut out, &[(name.as_str(), 24), (&total.to_string(), 12)]);
+        }
+    }
+
+    if !tel.hists.is_empty() {
+        out.push_str("\nlatency histograms\n");
+        push_row(
+            &mut out,
+            &[("name", 24), ("count", 10), ("mean", 10), ("p50>=", 10), ("p99>=", 10)],
+        );
+        for (name, hist) in &tel.hists {
+            push_row(
+                &mut out,
+                &[
+                    (name.as_str(), 24),
+                    (&hist.count.to_string(), 10),
+                    (&fmt_ns(hist.mean_ns()), 10),
+                    (&fmt_ns(hist.quantile_lower_ns(0.5)), 10),
+                    (&fmt_ns(hist.quantile_lower_ns(0.99)), 10),
+                ],
+            );
+        }
+    }
+
+    if input.top_n > 0 && !input.slowest.is_empty() {
+        out.push_str(&format!("\nslowest cases (top {})\n", input.top_n));
+        push_row(&mut out, &[("case", 20), ("duration", 10)]);
+        for &(uuid, ns) in input.slowest.iter().take(input.top_n) {
+            push_row(&mut out, &[(&format!("{uuid:#018x}"), 20), (&fmt_ns(ns), 10)]);
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_sections() {
+        let mut tel = Telemetry::default();
+        tel.record_span("stage.generate", 2_000_000);
+        tel.record_span("stage.detect", 6_000_000);
+        tel.record_span("case", 8_000_000);
+        tel.record_count("memo.hit", 42);
+        tel.record_hist("transport.rtt.sim", 1500);
+        let input = ReportInput {
+            title: "campaign".to_string(),
+            telemetry: tel,
+            slowest: vec![(0xabc, 8_000_000), (0x1, 10)],
+            top_n: 1,
+        };
+        let text = render_report(&input);
+        assert!(text.contains("stage.detect"), "{text}");
+        assert!(text.contains("75.0%"), "detect is 6/8 of stage time: {text}");
+        assert!(text.contains("memo.hit"), "{text}");
+        assert!(text.contains("transport.rtt.sim"), "{text}");
+        assert!(text.contains("0x0000000000000abc"), "{text}");
+        assert!(!text.contains("0x0000000000000001"), "top_n=1 must truncate: {text}");
+    }
+
+    #[test]
+    fn empty_telemetry_says_so() {
+        let text = render_report(&ReportInput::default());
+        assert!(text.contains("no telemetry recorded"));
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(fmt_ns(5), "5ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -16,6 +16,7 @@ pub use hdiff_corpus as corpus;
 pub use hdiff_diff as diff;
 pub use hdiff_gen as gen;
 pub use hdiff_net as net;
+pub use hdiff_obs as obs;
 pub use hdiff_servers as servers;
 pub use hdiff_sr as sr;
 pub use hdiff_wire as wire;

@@ -78,10 +78,24 @@ fn main() -> ExitCode {
     if let Some(t) = transport {
         config.transport = t;
     }
+    if args.iter().any(|a| a == "--no-telemetry") {
+        config.telemetry = false;
+    }
+    let (trace_out, summary_out) = match (
+        flag_value::<String>(&args, "--trace-out"),
+        flag_value::<String>(&args, "--summary-out"),
+    ) {
+        (Ok(t), Ok(s)) => (t, s),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sinks = TelemetrySinks { trace_out, summary_out };
 
     match command {
         "run" => {
-            let r = HDiff::new(config).run();
+            let r = run_pipeline(config, &sinks);
             println!("{}", report::render_stats(&r));
             println!("{}", report::render_table1(&r.summary));
             println!("{}", report::render_figure7(&r.summary));
@@ -89,33 +103,49 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "stats" => {
-            let r = HDiff::new(config).run();
+            let r = run_pipeline(config, &sinks);
             println!("{}", report::render_stats(&r));
             ExitCode::SUCCESS
         }
         "table1" => {
-            let r = HDiff::new(config).run();
+            let r = run_pipeline(config, &sinks);
             println!("{}", report::render_table1(&r.summary));
             println!("{}", report::render_sr_violations(&r.summary));
             ExitCode::SUCCESS
         }
         "table2" => {
-            let r = HDiff::new(config).run();
+            let r = run_pipeline(config, &sinks);
             println!("{}", report::render_table2(&r.summary));
             ExitCode::SUCCESS
         }
         "figure7" => {
-            let r = HDiff::new(config).run();
+            let r = run_pipeline(config, &sinks);
             println!("{}", report::render_figure7(&r.summary));
             ExitCode::SUCCESS
         }
         "exploits" => {
-            let r = HDiff::new(config).run();
+            let r = run_pipeline(config, &sinks);
             println!("{}", report::render_exploits(&r, 20));
             ExitCode::SUCCESS
         }
+        "report" => {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with('-')) else {
+                eprintln!("usage: hdiff report <summary.json | trace.jsonl>");
+                return ExitCode::FAILURE;
+            };
+            match hdiff::diff::load_report(Path::new(path)) {
+                Ok(input) => {
+                    println!("{}", hdiff::obs::render_report(&input));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot report on {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "findings" => {
-            let r = HDiff::new(config).run();
+            let r = run_pipeline(config, &sinks);
             if args.iter().any(|a| a == "--csv") {
                 print!("{}", report::render_findings_csv(&r.summary));
             } else {
@@ -182,6 +212,35 @@ fn main() -> ExitCode {
     }
 }
 
+/// Where campaign telemetry goes besides the summary itself.
+struct TelemetrySinks {
+    trace_out: Option<String>,
+    summary_out: Option<String>,
+}
+
+/// Runs the pipeline honoring the telemetry sinks: `--trace-out` turns on
+/// raw event capture and writes the replay-stable JSONL event log;
+/// `--summary-out` writes the machine-readable campaign summary.
+fn run_pipeline(config: HdiffConfig, sinks: &TelemetrySinks) -> hdiff::PipelineReport {
+    if sinks.trace_out.is_some() {
+        hdiff::obs::set_trace(true);
+    }
+    let r = HDiff::new(config).run();
+    if let Some(path) = &sinks.summary_out {
+        match hdiff::diff::write_summary(Path::new(path), &r.summary) {
+            Ok(()) => eprintln!("summary written to {path}"),
+            Err(e) => eprintln!("cannot write summary to {path}: {e}"),
+        }
+    }
+    if let Some(path) = &sinks.trace_out {
+        match hdiff::diff::write_trace(Path::new(path), &r.summary.telemetry.merged) {
+            Ok(()) => eprintln!("trace written to {path}"),
+            Err(e) => eprintln!("cannot write trace to {path}: {e}"),
+        }
+    }
+    r
+}
+
 fn print_help() {
     println!(
         "hdiff — semantic gap attack discovery (DSN 2022 reproduction)\n\n\
@@ -190,7 +249,10 @@ fn print_help() {
          \x20 --threads N      worker threads (0 = one per core)\n\
          \x20 --fault-rate N   inject faults into N% of hop decisions\n\
          \x20 --transport T    run cases over `sim` (in-process, default)\n\
-         \x20                  or `tcp` (real loopback sockets)\n\n\
+         \x20                  or `tcp` (real loopback sockets)\n\
+         \x20 --no-telemetry   skip span/counter/histogram collection\n\
+         \x20 --summary-out F  write the machine-readable summary JSON to F\n\
+         \x20 --trace-out F    record raw events, write JSONL trace to F\n\n\
          commands:\n\
          \x20 run [--quick]    full pipeline: stats, Table I, Figure 7\n\
          \x20 stats            corpus/extraction statistics\n\
@@ -198,6 +260,7 @@ fn print_help() {
          \x20 table2           Table II attack-vector inventory\n\
          \x20 figure7          Figure 7 pair grids\n\
          \x20 findings [--csv] list every finding\n\
+         \x20 report <path>    profile a recorded summary JSON or JSONL trace\n\
          \x20 exploits         exploit write-ups with payloads\n\
          \x20 probe <file>     interpret a raw request under all products\n\
          \x20 probe <host:port>   send a catalog vector to a live server\n\
