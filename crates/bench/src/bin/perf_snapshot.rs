@@ -13,6 +13,11 @@
 //! collecting versus disabled — the overhead budget for the
 //! instrumentation layer.
 //!
+//! Also writes `BENCH_fleet.json`: quick-campaign wall time single-process
+//! versus a four-shard worker fleet, and whether the merged summary
+//! converged to the single-process one. Skipped (with a note) when the
+//! `hdiff` binary is not built next to this snapshot binary.
+//!
 //! Usage: `cargo run --release -p hdiff-bench --bin perf_snapshot`
 //! (`-- --smoke` for a fast CI-sized run).
 
@@ -107,6 +112,75 @@ fn main() {
     minimize_snapshot(smoke, &workflow, &products);
     net_snapshot(smoke);
     obs_snapshot(smoke);
+    fleet_snapshot(smoke);
+}
+
+/// Writes `BENCH_fleet.json`: quick-campaign wall time in-process versus
+/// a four-shard worker fleet, plus a convergence bit (merged summary ==
+/// single-process summary). The fleet pays per-worker corpus preparation,
+/// so on the quick campaign the interesting number is the overhead, not a
+/// speedup.
+fn fleet_snapshot(smoke: bool) {
+    use hdiff_core::{HDiff, HdiffConfig};
+    use hdiff_fleet::{run_fleet, FleetConfig};
+
+    let worker_exe = std::env::current_exe()
+        .ok()
+        .and_then(|p| Some(p.parent()?.join(format!("hdiff{}", std::env::consts::EXE_SUFFIX))))
+        .filter(|p| p.is_file());
+    let Some(worker_exe) = worker_exe else {
+        eprintln!(
+            "BENCH_fleet: no hdiff binary next to perf_snapshot \
+             (build it with `cargo build --release` first); skipping"
+        );
+        return;
+    };
+
+    let rounds = if smoke { 1 } else { 3 };
+    let shards = 4u32;
+    let config = HdiffConfig::quick();
+
+    let mut single_ms = f64::INFINITY;
+    let mut single_summary = None;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let report = HDiff::new(config.clone()).run();
+        single_ms = single_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        single_summary = Some(report.summary);
+    }
+
+    let mut fleet_ms = f64::INFINITY;
+    let mut converged = false;
+    for round in 0..rounds {
+        let dir =
+            std::env::temp_dir().join(format!("hdiff-bench-fleet-{}-{round}", std::process::id()));
+        let mut fleet = FleetConfig::new(shards, dir);
+        fleet.worker_exe = worker_exe.clone();
+        let start = Instant::now();
+        match run_fleet(&config, &fleet) {
+            Ok(report) => {
+                fleet_ms = fleet_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                converged = Some(&report.summary) == single_summary.as_ref();
+            }
+            Err(err) => {
+                eprintln!("BENCH_fleet: fleet round failed: {err}");
+                return;
+            }
+        }
+    }
+    let overhead = fleet_ms / single_ms.max(1e-9) - 1.0;
+
+    let json = format!(
+        "{{\n  \"schema\": \"hdiff-bench-fleet-v1\",\n  \"smoke\": {smoke},\n  \"rounds\": {rounds},\n  \"shards\": {shards},\n  \"single_ms\": {single_ms:.1},\n  \"fleet_ms\": {fleet_ms:.1},\n  \"overhead_pct\": {:.1},\n  \"converged\": {converged}\n}}\n",
+        overhead * 100.0
+    );
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    print!("{json}");
+    eprintln!(
+        "single {single_ms:.0} ms vs {shards}-shard fleet {fleet_ms:.0} ms \
+         -> {:.1}% overhead, converged: {converged}",
+        overhead * 100.0
+    );
 }
 
 /// Writes `BENCH_obs.json`: wall time of the quick campaign with

@@ -1,5 +1,8 @@
 //! Pipeline configuration.
 
+use std::io;
+
+use hdiff_diff::json::Parser;
 use hdiff_diff::Transport;
 
 /// Configuration for one [`crate::HDiff`] run.
@@ -35,6 +38,16 @@ pub struct HdiffConfig {
     /// (surfaced via `RunSummary::telemetry` and `hdiff report`). On by
     /// default; disable to shave the last few percent off a campaign.
     pub telemetry: bool,
+    /// Worker *processes* for the sharded campaign fabric; `0` (the
+    /// default) keeps the current in-process path.
+    pub shards: u32,
+    /// Fleet-chaos rate in percent: the supervisor SIGKILLs worker
+    /// incarnations on a pure-hash schedule to exercise the recovery
+    /// path (0 disables; only meaningful with `shards > 0`).
+    pub fleet_chaos: u8,
+    /// Cases per checkpoint interval (shard workers checkpoint and
+    /// heartbeat at this granularity).
+    pub checkpoint_every: usize,
 }
 
 impl HdiffConfig {
@@ -53,6 +66,9 @@ impl HdiffConfig {
             coverage_guided: false,
             transport: Transport::Sim,
             telemetry: true,
+            shards: 0,
+            fleet_chaos: 0,
+            checkpoint_every: 64,
         }
     }
 
@@ -71,7 +87,99 @@ impl HdiffConfig {
             coverage_guided: false,
             transport: Transport::Sim,
             telemetry: true,
+            shards: 0,
+            fleet_chaos: 0,
+            checkpoint_every: 64,
         }
+    }
+
+    /// Serializes the configuration as one JSON object — how a fleet
+    /// supervisor ships the *exact* campaign parameters to its worker
+    /// processes, so every worker regenerates the identical corpus.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"sr_variants\":{},\"abnf_seeds\":{},\"mutants_per_seed\":{},",
+                "\"mutation_rounds\":{},\"include_catalog\":{},\"seed\":{},\"threads\":{},",
+                "\"max_gen_depth\":{},\"fault_rate\":{},\"coverage_guided\":{},",
+                "\"transport\":\"{}\",\"telemetry\":{},\"shards\":{},\"fleet_chaos\":{},",
+                "\"checkpoint_every\":{}}}"
+            ),
+            self.sr_variants,
+            self.abnf_seeds,
+            self.mutants_per_seed,
+            self.mutation_rounds,
+            self.include_catalog,
+            self.seed,
+            self.threads,
+            self.max_gen_depth,
+            self.fault_rate,
+            self.coverage_guided,
+            self.transport,
+            self.telemetry,
+            self.shards,
+            self.fleet_chaos,
+            self.checkpoint_every,
+        )
+    }
+
+    /// Parses [`HdiffConfig::to_json`] output. Unknown keys are ignored
+    /// and missing keys keep their [`HdiffConfig::full`] defaults, so
+    /// config files stay forward- and backward-compatible.
+    pub fn from_json(bytes: &[u8]) -> io::Result<HdiffConfig> {
+        let root = Parser::new(bytes).value()?;
+        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+        let mut config = HdiffConfig::full();
+        let usize_field = |key: &str, default: usize| -> io::Result<usize> {
+            match root.get(key) {
+                None => Ok(default),
+                Some(v) => usize::try_from(
+                    v.as_u64().ok_or_else(|| bad(&format!("config {key} must be a number")))?,
+                )
+                .map_err(|_| bad(&format!("config {key} out of range"))),
+            }
+        };
+        config.sr_variants = usize_field("sr_variants", config.sr_variants)?;
+        config.abnf_seeds = usize_field("abnf_seeds", config.abnf_seeds)?;
+        config.mutants_per_seed = usize_field("mutants_per_seed", config.mutants_per_seed)?;
+        config.mutation_rounds = usize_field("mutation_rounds", config.mutation_rounds)?;
+        config.threads = usize_field("threads", config.threads)?;
+        config.max_gen_depth = usize_field("max_gen_depth", config.max_gen_depth)?;
+        config.checkpoint_every = usize_field("checkpoint_every", config.checkpoint_every)?;
+        if let Some(v) = root.get("include_catalog") {
+            config.include_catalog =
+                v.as_bool().ok_or_else(|| bad("config include_catalog must be a bool"))?;
+        }
+        if let Some(v) = root.get("coverage_guided") {
+            config.coverage_guided =
+                v.as_bool().ok_or_else(|| bad("config coverage_guided must be a bool"))?;
+        }
+        if let Some(v) = root.get("telemetry") {
+            config.telemetry = v.as_bool().ok_or_else(|| bad("config telemetry must be a bool"))?;
+        }
+        if let Some(v) = root.get("seed") {
+            config.seed = v.as_u64().ok_or_else(|| bad("config seed must be a number"))?;
+        }
+        if let Some(v) = root.get("fault_rate") {
+            let n = v.as_u64().ok_or_else(|| bad("config fault_rate must be a number"))?;
+            config.fault_rate =
+                u8::try_from(n).map_err(|_| bad("config fault_rate out of range"))?;
+        }
+        if let Some(v) = root.get("fleet_chaos") {
+            let n = v.as_u64().ok_or_else(|| bad("config fleet_chaos must be a number"))?;
+            config.fleet_chaos =
+                u8::try_from(n).map_err(|_| bad("config fleet_chaos out of range"))?;
+        }
+        if let Some(v) = root.get("shards") {
+            let n = v.as_u64().ok_or_else(|| bad("config shards must be a number"))?;
+            config.shards = u32::try_from(n).map_err(|_| bad("config shards out of range"))?;
+        }
+        if let Some(v) = root.get("transport") {
+            let s = v.as_str().ok_or_else(|| bad("config transport must be a string"))?;
+            config.transport = Transport::parse(s)
+                .ok_or_else(|| bad(&format!("unknown config transport {s:?}")))?;
+        }
+        Ok(config)
     }
 }
 
@@ -92,5 +200,32 @@ mod tests {
         assert!(full.abnf_seeds > quick.abnf_seeds);
         assert_eq!(HdiffConfig::default().abnf_seeds, full.abnf_seeds);
         assert_eq!(full.max_gen_depth, 7, "the paper's depth cap");
+        assert_eq!(full.shards, 0, "default stays in-process");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let mut config = HdiffConfig::quick();
+        config.seed = 0xdead_beef;
+        config.fault_rate = 13;
+        config.coverage_guided = true;
+        config.transport = Transport::Tcp;
+        config.telemetry = false;
+        config.shards = 4;
+        config.fleet_chaos = 85;
+        config.checkpoint_every = 8;
+        let parsed = HdiffConfig::from_json(config.to_json().as_bytes()).expect("roundtrip");
+        assert_eq!(format!("{config:?}"), format!("{parsed:?}"));
+    }
+
+    #[test]
+    fn from_json_defaults_missing_keys_and_rejects_garbage() {
+        let sparse = HdiffConfig::from_json(b"{\"abnf_seeds\":5,\"shards\":2}").expect("sparse");
+        assert_eq!(sparse.abnf_seeds, 5);
+        assert_eq!(sparse.shards, 2);
+        assert_eq!(sparse.checkpoint_every, HdiffConfig::full().checkpoint_every);
+        assert!(HdiffConfig::from_json(b"not json").is_err());
+        assert!(HdiffConfig::from_json(b"{\"transport\":\"carrier-pigeon\"}").is_err());
+        assert!(HdiffConfig::from_json(b"{\"fault_rate\":700}").is_err());
     }
 }

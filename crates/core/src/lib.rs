@@ -28,4 +28,4 @@ pub mod pipeline;
 pub mod report;
 
 pub use config::HdiffConfig;
-pub use pipeline::{HDiff, PipelineReport};
+pub use pipeline::{HDiff, PipelineReport, PreparedCampaign};

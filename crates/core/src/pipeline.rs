@@ -216,8 +216,15 @@ impl HDiff {
         (cases, coverage)
     }
 
-    /// Runs the whole pipeline.
-    pub fn run(&self) -> PipelineReport {
+    /// Analyzes, generates the corpus, and builds the configured engine
+    /// — everything [`HDiff::run`] does short of executing the cases.
+    ///
+    /// This is the determinism anchor for the sharded campaign fabric:
+    /// the supervisor and every worker process call `prepare()` from the
+    /// same [`HdiffConfig`], so corpus order, case UUIDs, and engine
+    /// construction are byte-identical across processes and a shard is
+    /// fully described by a contiguous index range into `cases`.
+    pub fn prepare(&self) -> PreparedCampaign {
         hdiff_obs::set_enabled(self.config.telemetry);
         // Start the generation phase from a clean thread-local slate so a
         // previous run on this thread cannot leak into this summary.
@@ -240,6 +247,7 @@ impl HDiff {
         let mut engine = DiffEngine::standard();
         engine.threads = self.config.threads;
         engine.transport = self.config.transport;
+        engine.checkpoint_every = self.config.checkpoint_every.max(1);
         // The adapted grammar doubles as a syntax oracle: HoT findings
         // get per-view `Host` conformance verdicts and lenient hosts
         // surface as SR violations.
@@ -252,9 +260,50 @@ impl HDiff {
         // Generation-phase telemetry accumulated on this thread rides into
         // the summary alongside the per-case buckets the engine merges.
         engine.base_telemetry = hdiff_obs::drain();
-        let summary = engine.run(&cases);
 
-        PipelineReport { analysis, sr_cases, abnf_cases, catalog_cases, cases, summary }
+        PreparedCampaign { analysis, sr_cases, abnf_cases, catalog_cases, cases, engine }
+    }
+
+    /// Runs the whole pipeline.
+    pub fn run(&self) -> PipelineReport {
+        let prepared = self.prepare();
+        let summary = prepared.engine.run(&prepared.cases);
+        prepared.into_report(summary)
+    }
+}
+
+/// A fully generated campaign that has not executed yet: the corpus in
+/// canonical order plus the configured [`DiffEngine`]. Produced by
+/// [`HDiff::prepare`]; shard workers run a slice of `cases`, the fleet
+/// supervisor merges their checkpoints with the same engine.
+#[derive(Debug)]
+pub struct PreparedCampaign {
+    /// Documentation-analyzer output (SRs, grammar, statistics).
+    pub analysis: AnalyzerOutput,
+    /// Test cases translated from SRs.
+    pub sr_cases: usize,
+    /// Test cases generated from the ABNF grammar (+ mutations).
+    pub abnf_cases: usize,
+    /// Catalog cases.
+    pub catalog_cases: usize,
+    /// The corpus in canonical (deterministic) order.
+    pub cases: Vec<TestCase>,
+    /// The configured engine, ready to run or to merge shard records.
+    pub engine: DiffEngine,
+}
+
+impl PreparedCampaign {
+    /// Packages an executed summary with this campaign's generation
+    /// metadata into the [`PipelineReport`] that [`HDiff::run`] returns.
+    pub fn into_report(self, summary: RunSummary) -> PipelineReport {
+        PipelineReport {
+            analysis: self.analysis,
+            sr_cases: self.sr_cases,
+            abnf_cases: self.abnf_cases,
+            catalog_cases: self.catalog_cases,
+            cases: self.cases,
+            summary,
+        }
     }
 }
 

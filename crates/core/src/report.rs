@@ -207,6 +207,27 @@ pub fn render_resilience(summary: &RunSummary) -> String {
     for d in &summary.degradations {
         out.push_str(&format!("  {d}\n"));
     }
+    let topo = &summary.topology;
+    if topo.shards > 0 {
+        out.push_str(&format!(
+            "fleet topology            : {} shard(s), {} respawn(s), {} chaos kill(s), {} watchdog kill(s)\n",
+            topo.shards,
+            topo.total_respawns(),
+            topo.total_chaos_kills(),
+            topo.total_watchdog_kills(),
+        ));
+        for (i, s) in topo.stats.iter().enumerate() {
+            if s.respawns > 0 || s.chaos_kills > 0 || s.watchdog_kills > 0 {
+                out.push_str(&format!(
+                    "  shard {i}: {} case(s), {} respawn(s), {} chaos kill(s), {} watchdog kill(s), generation {}\n",
+                    s.cases, s.respawns, s.chaos_kills, s.watchdog_kills, s.generation
+                ));
+            }
+        }
+    }
+    for e in &summary.shard_errors {
+        out.push_str(&format!("  {e}\n"));
+    }
     out
 }
 

@@ -8,11 +8,19 @@
 //! The format is a single JSON object:
 //!
 //! ```json
-//! {"version":1,"completed":[{"uuid":7,"replayed":true,"retries":1,
-//!  "backoff_units":4,"quarantined":false,
+//! {"version":1,"generation":3,"completed":[{"uuid":7,"replayed":true,
+//!  "retries":1,"backoff_units":4,"quarantined":false,
 //!  "error":{"kind":"io","detail":"connection reset …"},
 //!  "findings":[…],"degradations":[…]}]}
 //! ```
+//!
+//! `generation` is a monotonic save counter: every save writes the next
+//! generation, and a resumed run continues counting from the loaded
+//! value. A fleet supervisor that watched a worker heartbeat generation
+//! `g` can therefore demand `g` as a floor when re-dispatching the shard
+//! — a file older than the progress it already witnessed (swapped,
+//! rolled back, left over from an earlier incarnation) is *stale* and
+//! must not be resumed from (see [`resume_state`]).
 //!
 //! The JSON value/parser machinery lives in [`crate::json`] (shared with
 //! the replay-bundle codec); this module owns the record shape. The codec
@@ -124,10 +132,22 @@ fn write_record(out: &mut String, r: &CaseRecord) {
 
 /// Serializes the completed-case map to `path`, atomically (write to a
 /// sibling temp file, then rename) so an interruption mid-save never
-/// leaves a corrupt checkpoint behind.
+/// leaves a corrupt checkpoint behind. Writes generation 0; checkpoint
+/// chains that resume use [`save_with_generation`].
 pub fn save(path: &Path, completed: &BTreeMap<u64, CaseRecord>) -> io::Result<()> {
+    save_with_generation(path, completed, 0)
+}
+
+/// [`save`] with an explicit generation counter.
+pub fn save_with_generation(
+    path: &Path,
+    completed: &BTreeMap<u64, CaseRecord>,
+    generation: u64,
+) -> io::Result<()> {
     let mut out = String::new();
-    out.push_str(&format!("{{\"version\":{FORMAT_VERSION},\"completed\":[\n"));
+    out.push_str(&format!(
+        "{{\"version\":{FORMAT_VERSION},\"generation\":{generation},\"completed\":[\n"
+    ));
     for (i, record) in completed.values().enumerate() {
         if i > 0 {
             out.push_str(",\n");
@@ -254,6 +274,12 @@ fn read_record(v: &Json) -> io::Result<CaseRecord> {
 
 /// Loads a checkpoint written by [`save`].
 pub fn load(path: &Path) -> io::Result<BTreeMap<u64, CaseRecord>> {
+    load_with_generation(path).map(|(completed, _)| completed)
+}
+
+/// Loads a checkpoint plus its generation counter (0 when the file
+/// predates generations).
+pub fn load_with_generation(path: &Path) -> io::Result<(BTreeMap<u64, CaseRecord>, u64)> {
     let bytes = std::fs::read(path)?;
     let mut parser = Parser::new(&bytes);
     let root = parser.value()?;
@@ -263,6 +289,7 @@ pub fn load(path: &Path) -> io::Result<BTreeMap<u64, CaseRecord>> {
             "checkpoint format v{version}, this build reads v{FORMAT_VERSION}"
         )));
     }
+    let generation = root.get("generation").and_then(Json::as_u64).unwrap_or(0);
     let mut completed = BTreeMap::new();
     for record in root
         .get("completed")
@@ -272,7 +299,67 @@ pub fn load(path: &Path) -> io::Result<BTreeMap<u64, CaseRecord>> {
         let record = read_record(record)?;
         completed.insert(record.uuid, record);
     }
-    Ok(completed)
+    Ok((completed, generation))
+}
+
+// ---------------------------------------------------------------------------
+// Resilient resume (shard workers)
+// ---------------------------------------------------------------------------
+
+/// What a tolerant checkpoint load produced: either resumed progress, or
+/// a clean slate with the reason the file was unusable.
+#[derive(Debug)]
+pub struct ResumeState {
+    /// Completed records to skip (empty on a clean start).
+    pub completed: BTreeMap<u64, CaseRecord>,
+    /// Generation counter to continue from: the loaded generation, or
+    /// the caller's floor on a clean start (so fresh saves are never
+    /// mistaken for the discarded file).
+    pub generation: u64,
+    /// Why the file was discarded, when it was (`None` = resumed or no
+    /// file existed yet).
+    pub discarded: Option<String>,
+}
+
+impl ResumeState {
+    /// Whether any prior progress was recovered.
+    pub fn resumed_cases(&self) -> usize {
+        self.completed.len()
+    }
+}
+
+/// Loads `path` tolerantly for a shard worker restart: a missing file is
+/// a normal first start; a truncated/garbled file (a worker killed
+/// mid-write before the atomic rename, disk damage) or a *stale* file
+/// (generation below `min_generation`, i.e. older than progress the
+/// supervisor already witnessed via heartbeats) is discarded — the shard
+/// restarts clean instead of erroring the campaign or silently resuming
+/// from wrong state. The discard reason is surfaced for logging.
+pub fn resume_state(path: &Path, min_generation: u64) -> ResumeState {
+    if !path.exists() {
+        return ResumeState {
+            completed: BTreeMap::new(),
+            generation: min_generation,
+            discarded: None,
+        };
+    }
+    match load_with_generation(path) {
+        Ok((completed, generation)) if generation >= min_generation => {
+            ResumeState { completed, generation, discarded: None }
+        }
+        Ok((_, generation)) => ResumeState {
+            completed: BTreeMap::new(),
+            generation: min_generation,
+            discarded: Some(format!(
+                "stale checkpoint: generation {generation} < supervisor floor {min_generation}"
+            )),
+        },
+        Err(e) => ResumeState {
+            completed: BTreeMap::new(),
+            generation: min_generation,
+            discarded: Some(format!("unreadable checkpoint: {e}")),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -355,6 +442,60 @@ mod tests {
         let path = dir.join("old.json");
         std::fs::write(&path, b"{\"version\":99,\"completed\":[]}").unwrap();
         assert!(load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generation_roundtrips_and_defaults_to_zero() {
+        let dir = std::env::temp_dir().join("hdiff-ckpt-generation");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gen.json");
+        let records = sample_records();
+        save_with_generation(&path, &records, 7).unwrap();
+        let (loaded, generation) = load_with_generation(&path).unwrap();
+        assert_eq!((loaded, generation), (records.clone(), 7));
+
+        // A pre-generation file (no "generation" key) reads as 0.
+        std::fs::write(&path, b"{\"version\":1,\"completed\":[\n]}\n").unwrap();
+        let (loaded, generation) = load_with_generation(&path).unwrap();
+        assert!(loaded.is_empty());
+        assert_eq!(generation, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_state_tolerates_missing_corrupt_and_stale_files() {
+        let dir = std::env::temp_dir().join("hdiff-ckpt-resume-state");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard0.json");
+
+        // Missing file: normal first start, generation seeded at the floor.
+        let fresh = resume_state(&path, 3);
+        assert!(fresh.completed.is_empty() && fresh.discarded.is_none());
+        assert_eq!(fresh.generation, 3);
+
+        // Healthy file at or above the floor: resumed.
+        let records = sample_records();
+        save_with_generation(&path, &records, 5).unwrap();
+        let resumed = resume_state(&path, 5);
+        assert_eq!(resumed.completed, records);
+        assert_eq!(resumed.generation, 5);
+        assert!(resumed.discarded.is_none());
+        assert_eq!(resumed.resumed_cases(), 2);
+
+        // Stale file (generation below the supervisor's floor): discarded.
+        let stale = resume_state(&path, 9);
+        assert!(stale.completed.is_empty());
+        assert_eq!(stale.generation, 9);
+        assert!(stale.discarded.as_deref().unwrap_or("").contains("stale"), "{stale:?}");
+
+        // Truncated mid-write garbage: discarded with a reason, never a panic.
+        for garbage in ["", "{\"version\":1,\"generation\":5,\"completed\":[{\"uu", "not json"] {
+            std::fs::write(&path, garbage.as_bytes()).unwrap();
+            let torn = resume_state(&path, 0);
+            assert!(torn.completed.is_empty(), "{garbage:?}");
+            assert!(torn.discarded.as_deref().unwrap_or("").contains("unreadable"), "{garbage:?}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,7 +15,7 @@ use std::io;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     Null,
     Bool(bool),
     Num(u64),
@@ -25,35 +25,35 @@ pub(crate) enum Json {
 }
 
 impl Json {
-    pub(crate) fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
 
-    pub(crate) fn as_bool(&self) -> Option<bool> {
+    pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
@@ -61,13 +61,13 @@ impl Json {
     }
 }
 
-pub(crate) struct Parser<'a> {
+pub struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Parser<'a> {
-    pub(crate) fn new(bytes: &'a [u8]) -> Parser<'a> {
+    pub fn new(bytes: &'a [u8]) -> Parser<'a> {
         Parser { bytes, pos: 0 }
     }
 
@@ -107,7 +107,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    pub(crate) fn value(&mut self) -> io::Result<Json> {
+    pub fn value(&mut self) -> io::Result<Json> {
         self.skip_ws();
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
@@ -251,7 +251,7 @@ impl<'a> Parser<'a> {
         Ok(code)
     }
 
-    pub(crate) fn string(&mut self) -> io::Result<String> {
+    pub fn string(&mut self) -> io::Result<String> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
@@ -380,7 +380,7 @@ impl<'a> Parser<'a> {
 
 /// Appends `s` as a JSON string literal (quotes, escapes, controls as
 /// `\uXXXX`).
-pub(crate) fn push_json_str(out: &mut String, s: &str) {
+pub fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -397,7 +397,7 @@ pub(crate) fn push_json_str(out: &mut String, s: &str) {
 }
 
 /// Appends `v` as a JSON string or `null`.
-pub(crate) fn push_opt_str(out: &mut String, v: Option<&str>) {
+pub fn push_opt_str(out: &mut String, v: Option<&str>) {
     match v {
         Some(s) => push_json_str(out, s),
         None => out.push_str("null"),

@@ -18,17 +18,20 @@
 //!   matrices.
 //! * [`schedule`] — the work-stealing fan-out used by the runner.
 //! * [`runner`] — drives a whole test-case corpus through everything.
+//! * [`shard`] — deterministic case-space sharding for the multi-process
+//!   campaign fabric (`crates/fleet`).
 
 pub mod baseline;
 pub mod checkpoint;
 pub mod detect;
 pub mod findings;
 pub mod hmetrics;
-mod json;
+pub mod json;
 pub mod minimize;
 pub mod replay;
 pub mod runner;
 pub mod schedule;
+pub mod shard;
 pub mod srcheck;
 pub mod syntax;
 pub mod telemetry_codec;
@@ -43,7 +46,10 @@ pub use findings::Finding;
 pub use hmetrics::HMetrics;
 pub use minimize::{minimize, FindingContext, MinimizeOptions, MinimizeStats, Minimized};
 pub use replay::{ReplayBundle, ReplayReport};
-pub use runner::{CaseError, CaseRecord, DiffEngine, RunSummary, RunTelemetry};
+pub use runner::{
+    CaseError, CaseRecord, ChunkProgress, DiffEngine, ProgressHook, RunSummary, RunTelemetry,
+};
+pub use shard::{shard_ranges, ShardError, ShardErrorKind, ShardSpec, ShardStat, ShardTopology};
 pub use srcheck::{check_assertions, check_host_conformance, SrViolation};
 pub use syntax::SyntaxOracle;
 pub use telemetry_codec::{
@@ -51,7 +57,7 @@ pub use telemetry_codec::{
 };
 pub use transport::{
     consistency_findings, pipelined_desync_findings, run_bytes_tcp, run_case_tcp, segmented_probe,
-    Transport,
+    try_run_bytes_tcp, try_run_case_tcp, Transport,
 };
 pub use verdict::{PairMatrix, Verdicts};
 pub use verify::{verify_all, verify_finding, VerifiedFinding};

@@ -11,6 +11,7 @@
 //! converges to the identical [`RunSummary`].
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::io;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
@@ -23,9 +24,10 @@ use crate::checkpoint;
 use crate::detect::{detect_case_with_oracle, detect_degradation, DegradationFinding};
 use crate::findings::Finding;
 use crate::schedule;
+use crate::shard::{ShardError, ShardTopology};
 use crate::srcheck::{check_all, check_host_conformance, SrViolation};
 use crate::syntax::SyntaxOracle;
-use crate::transport::{run_case_tcp, Transport};
+use crate::transport::{try_run_case_tcp, Transport};
 use crate::verdict::{PairMatrix, Verdicts};
 use crate::workflow::Workflow;
 
@@ -128,6 +130,13 @@ pub struct RunSummary {
     /// Campaign telemetry: merged spans/counters/histograms plus the
     /// slowest cases (see [`RunTelemetry`]).
     pub telemetry: RunTelemetry,
+    /// Shards that exhausted their respawn budget and were quarantined
+    /// by the fleet supervisor (always empty for in-process runs).
+    pub shard_errors: Vec<ShardError>,
+    /// How the campaign was executed across processes. Operational
+    /// metadata: its `PartialEq` compares nothing, so a sharded run's
+    /// summary stays equal to the single-process one.
+    pub topology: ShardTopology,
 }
 
 /// Campaign telemetry carried by a [`RunSummary`].
@@ -161,6 +170,38 @@ impl RunSummary {
     /// Findings of one class.
     pub fn findings_of(&self, class: hdiff_gen::AttackClass) -> Vec<&Finding> {
         self.findings.iter().filter(|f| f.class == class).collect()
+    }
+}
+
+/// What [`ProgressHook`] reports after every completed chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkProgress {
+    /// Completed cases so far, including any resumed from a checkpoint.
+    pub completed: usize,
+    /// Checkpoint generation just written (unchanged when the run has no
+    /// checkpoint path).
+    pub generation: u64,
+}
+
+/// A per-chunk progress callback — how a shard worker streams heartbeats
+/// to its supervisor without the engine knowing what a supervisor is.
+pub struct ProgressHook(Box<dyn Fn(ChunkProgress) + Send + Sync>);
+
+impl ProgressHook {
+    /// Wraps a callback.
+    pub fn new(f: impl Fn(ChunkProgress) + Send + Sync + 'static) -> ProgressHook {
+        ProgressHook(Box::new(f))
+    }
+
+    /// Invokes the callback.
+    pub fn report(&self, progress: ChunkProgress) {
+        (self.0)(progress);
+    }
+}
+
+impl fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ProgressHook(..)")
     }
 }
 
@@ -198,6 +239,9 @@ pub struct DiffEngine {
     /// pipeline runs) — merged into every [`RunSummary`] this engine
     /// produces, never mutated by the engine itself.
     pub base_telemetry: hdiff_obs::Telemetry,
+    /// Called after every chunk (post-save when checkpointing) — the
+    /// shard worker's heartbeat source.
+    pub progress: Option<ProgressHook>,
 }
 
 impl DiffEngine {
@@ -231,6 +275,7 @@ impl DiffEngine {
             grammar_coverage: None,
             transport: Transport::Sim,
             base_telemetry: hdiff_obs::Telemetry::default(),
+            progress: None,
         }
     }
 
@@ -251,7 +296,7 @@ impl DiffEngine {
     /// Runs the full analysis over a batch of test cases.
     pub fn run(&self, cases: &[TestCase]) -> RunSummary {
         let mut completed = BTreeMap::new();
-        self.execute(cases, &mut completed, None)
+        self.execute(cases, &mut completed, None, 0)
             .expect("no I/O happens without a checkpoint path");
         self.summarize(cases, &completed)
     }
@@ -262,19 +307,60 @@ impl DiffEngine {
     /// loaded and skipped; the resumed run converges to the identical
     /// summary an uninterrupted run produces.
     pub fn run_with_checkpoint(&self, cases: &[TestCase], path: &Path) -> io::Result<RunSummary> {
-        let mut completed = if path.exists() { checkpoint::load(path)? } else { BTreeMap::new() };
-        self.execute(cases, &mut completed, Some(path))?;
+        let (mut completed, generation) = if path.exists() {
+            checkpoint::load_with_generation(path)?
+        } else {
+            (BTreeMap::new(), 0)
+        };
+        self.execute(cases, &mut completed, Some(path), generation)?;
         Ok(self.summarize(cases, &completed))
     }
 
+    /// The shard-worker entry point: like
+    /// [`DiffEngine::run_with_checkpoint`], but starts from a
+    /// pre-loaded, tolerant [`checkpoint::ResumeState`] (see
+    /// [`checkpoint::resume_state`]) instead of erroring on a corrupt or
+    /// stale file, and always writes a final checkpoint — even when the
+    /// resume already covered every case — so the supervisor can merge
+    /// the shard from its file alone.
+    pub fn run_resuming(
+        &self,
+        cases: &[TestCase],
+        resume: checkpoint::ResumeState,
+        path: &Path,
+    ) -> io::Result<RunSummary> {
+        let checkpoint::ResumeState { mut completed, generation, .. } = resume;
+        let generation = self.execute(cases, &mut completed, Some(path), generation)?;
+        checkpoint::save_with_generation(path, &completed, generation + 1)?;
+        if let Some(hook) = &self.progress {
+            hook.report(ChunkProgress { completed: completed.len(), generation: generation + 1 });
+        }
+        Ok(self.summarize(cases, &completed))
+    }
+
+    /// Assembles a [`RunSummary`] from records produced elsewhere (the
+    /// fleet supervisor merging per-shard checkpoints). Same corpus-order
+    /// reassembly as every in-process run, so the result is identical to
+    /// running `cases` directly.
+    pub fn summarize_records(
+        &self,
+        cases: &[TestCase],
+        completed: &BTreeMap<u64, CaseRecord>,
+    ) -> RunSummary {
+        self.summarize(cases, completed)
+    }
+
     /// Executes every not-yet-completed case, chunk by chunk, saving a
-    /// checkpoint (when a path is given) at each chunk boundary.
+    /// checkpoint (when a path is given) at each chunk boundary with a
+    /// generation counter continuing from `generation`. Returns the last
+    /// generation written.
     fn execute(
         &self,
         cases: &[TestCase],
         completed: &mut BTreeMap<u64, CaseRecord>,
         ckpt: Option<&Path>,
-    ) -> io::Result<()> {
+        mut generation: u64,
+    ) -> io::Result<u64> {
         let pending: Vec<&TestCase> =
             cases.iter().filter(|c| !completed.contains_key(&c.uuid)).collect();
         // Resolve the thread count once per run; `available_parallelism`
@@ -288,10 +374,14 @@ impl DiffEngine {
                 completed.insert(record.uuid, record);
             }
             if let Some(path) = ckpt {
-                checkpoint::save(path, completed)?;
+                generation += 1;
+                checkpoint::save_with_generation(path, completed, generation)?;
+            }
+            if let Some(hook) = &self.progress {
+                hook.report(ChunkProgress { completed: completed.len(), generation });
             }
         }
-        Ok(())
+        Ok(generation)
     }
 
     /// Runs one chunk's cases across the worker threads. Workers steal
@@ -331,22 +421,31 @@ impl DiffEngine {
                     let _execute = hdiff_obs::span("stage.chain-execute");
                     let started = std::time::Instant::now();
                     let outcome = match self.transport {
-                        Transport::Sim => self.workflow.run_case_faulted(case, Some(&session)),
-                        Transport::Tcp => run_case_tcp(&self.workflow, case, Some(&session)),
+                        Transport::Sim => Ok(self.workflow.run_case_faulted(case, Some(&session))),
+                        Transport::Tcp => try_run_case_tcp(&self.workflow, case, Some(&session)),
                     };
                     let rtt = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     match self.transport {
                         Transport::Sim => hdiff_obs::observe("transport.rtt.sim", rtt),
                         Transport::Tcp => hdiff_obs::observe("transport.rtt.tcp", rtt),
                     }
-                    outcome
+                    match outcome {
+                        Ok(o) => o,
+                        Err(net) => return Err(net),
+                    }
                 };
                 let _detect = hdiff_obs::span("stage.detect");
                 let replayed = outcome.chains.iter().any(|c| !c.replays.is_empty());
                 let findings =
                     detect_case_with_oracle(&self.profiles, &outcome, self.syntax_oracle.as_ref());
                 let degradations = detect_degradation(&outcome);
-                (outcome.fault_events, outcome.budget_exhausted, replayed, findings, degradations)
+                Ok((
+                    outcome.fault_events,
+                    outcome.budget_exhausted,
+                    replayed,
+                    findings,
+                    degradations,
+                ))
             }));
             let (events, budget_exhausted, replayed, findings, degradations) = match attempt {
                 Err(payload) => {
@@ -363,7 +462,24 @@ impl DiffEngine {
                         telemetry: hdiff_obs::Telemetry::default(),
                     };
                 }
-                Ok(r) => r,
+                // The loopback testbed itself failed (bind/accept/spawn):
+                // a recorded, non-quarantining outcome — the case may
+                // succeed on a respawned worker or a later campaign.
+                Ok(Err(net)) => {
+                    hdiff_obs::count("case.net-error", 1);
+                    return CaseRecord {
+                        uuid: case.uuid,
+                        replayed: false,
+                        retries,
+                        backoff_units,
+                        quarantined: false,
+                        error: Some(CaseError::Io(net.to_string())),
+                        findings: Vec::new(),
+                        degradations: Vec::new(),
+                        telemetry: hdiff_obs::Telemetry::default(),
+                    };
+                }
+                Ok(Ok(r)) => r,
             };
             hdiff_obs::count("fault.events", events.len() as u64);
 
@@ -477,6 +593,8 @@ impl DiffEngine {
             coverage: self.grammar_coverage,
             transport: self.transport,
             telemetry: RunTelemetry { merged, slowest },
+            shard_errors: Vec::new(),
+            topology: ShardTopology::in_process(),
         }
     }
 }

@@ -1,0 +1,259 @@
+//! Deterministic case-space sharding for multi-process campaigns.
+//!
+//! A sharded campaign splits the generated corpus into contiguous
+//! corpus-order ranges — one per worker process — runs each range under
+//! its own checkpoint file, and merges the per-shard records back in
+//! corpus order. Everything here is a pure function of
+//! `(corpus length, shard count)`, so the supervisor, a freshly
+//! respawned worker, and a post-mortem debugging session all compute the
+//! identical split without coordination.
+//!
+//! The process-supervision machinery (spawning, heartbeats, watchdog,
+//! chaos) lives in `crates/fleet`; this module owns the *domain types*
+//! the merged [`crate::RunSummary`] records: the shard spec a worker is
+//! handed, the topology of the run, and the typed [`ShardError`] a
+//! quarantined shard degrades into.
+
+use std::fmt;
+
+/// One shard's slice of the corpus: contiguous `[start, end)` indices in
+/// corpus order, plus its position in the shard topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Shard index, `0..count`.
+    pub index: u32,
+    /// Total shards in the campaign.
+    pub count: u32,
+    /// First corpus index (inclusive).
+    pub start: usize,
+    /// One past the last corpus index (exclusive).
+    pub end: usize,
+}
+
+impl ShardSpec {
+    /// Number of cases in the shard.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the shard holds no cases (more shards than cases).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// The CLI form handed to `hdiff worker --shard`:
+    /// `index/count:start..end`.
+    pub fn to_arg(&self) -> String {
+        format!("{}/{}:{}..{}", self.index, self.count, self.start, self.end)
+    }
+
+    /// Parses [`ShardSpec::to_arg`] output.
+    pub fn parse(s: &str) -> Option<ShardSpec> {
+        let (topo, range) = s.split_once(':')?;
+        let (index, count) = topo.split_once('/')?;
+        let (start, end) = range.split_once("..")?;
+        let spec = ShardSpec {
+            index: index.parse().ok()?,
+            count: count.parse().ok()?,
+            start: start.parse().ok()?,
+            end: end.parse().ok()?,
+        };
+        (spec.index < spec.count && spec.start <= spec.end).then_some(spec)
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {}/{} [{}..{})", self.index, self.count, self.start, self.end)
+    }
+}
+
+/// Splits `cases` corpus indices into `count` contiguous shards.
+///
+/// The first `cases % count` shards get one extra case, so shard sizes
+/// differ by at most one and concatenating the ranges in shard order
+/// reproduces `0..cases` exactly — the property the corpus-order merge
+/// relies on.
+pub fn shard_ranges(cases: usize, count: u32) -> Vec<ShardSpec> {
+    let count = count.max(1);
+    let base = cases / count as usize;
+    let extra = cases % count as usize;
+    let mut out = Vec::with_capacity(count as usize);
+    let mut start = 0usize;
+    for index in 0..count {
+        let len = base + usize::from((index as usize) < extra);
+        out.push(ShardSpec { index, count, start, end: start + len });
+        start += len;
+    }
+    debug_assert_eq!(start, cases);
+    out
+}
+
+/// Why a shard was quarantined (its respawn budget ran out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardErrorKind {
+    /// The worker process could not be spawned at all.
+    Spawn,
+    /// The worker exited (crash, SIGKILL, nonzero status) before
+    /// reporting completion.
+    Exit,
+    /// The watchdog declared the worker dead on heartbeat silence.
+    HeartbeatTimeout,
+}
+
+impl ShardErrorKind {
+    /// Stable lowercase tag (used by reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardErrorKind::Spawn => "spawn",
+            ShardErrorKind::Exit => "exit",
+            ShardErrorKind::HeartbeatTimeout => "heartbeat-timeout",
+        }
+    }
+}
+
+/// A shard that exhausted its respawn budget. The campaign continues —
+/// the merged summary simply lacks the shard's unfinished cases and
+/// carries this record instead of aborting (the fleet-level analogue of
+/// the runner's per-case quarantine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardError {
+    /// Which shard was quarantined.
+    pub shard: u32,
+    /// Respawns spent before giving up.
+    pub respawns: u32,
+    /// The final failure that exhausted the budget.
+    pub kind: ShardErrorKind,
+    /// Human-readable detail (exit status, silence duration, …).
+    pub detail: String,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {} quarantined after {} respawn(s): {} ({})",
+            self.shard,
+            self.respawns,
+            self.kind.as_str(),
+            self.detail
+        )
+    }
+}
+
+/// Per-shard operational statistics recorded by the supervisor.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStat {
+    /// Cases in the shard's range.
+    pub cases: usize,
+    /// Worker respawns (0 = the first incarnation finished).
+    pub respawns: u32,
+    /// Chaos-injected SIGKILLs delivered to the shard's workers.
+    pub chaos_kills: u32,
+    /// Watchdog kills on heartbeat silence.
+    pub watchdog_kills: u32,
+    /// Logical backoff units spent before respawns (each respawn `k`
+    /// charges `2^k`, mirroring the runner's retry bookkeeping).
+    pub backoff_units: u64,
+    /// Highest checkpoint generation the shard reached.
+    pub generation: u64,
+}
+
+/// How a campaign was executed across processes.
+///
+/// # Equality
+///
+/// `PartialEq` deliberately compares **nothing**: the topology is
+/// operational metadata, and the whole point of the sharded fabric is
+/// that a 4-shard run with a hostile kill schedule produces a
+/// [`crate::RunSummary`] *equal* to the single-process run. Assert on
+/// individual fields when the topology itself is under test.
+#[derive(Debug, Clone, Default)]
+pub struct ShardTopology {
+    /// Shard count (0 = the in-process, non-sharded path).
+    pub shards: u32,
+    /// Per-shard statistics, indexed by shard.
+    pub stats: Vec<ShardStat>,
+}
+
+impl PartialEq for ShardTopology {
+    fn eq(&self, _: &ShardTopology) -> bool {
+        true
+    }
+}
+
+impl ShardTopology {
+    /// The topology of a plain in-process run.
+    pub fn in_process() -> ShardTopology {
+        ShardTopology::default()
+    }
+
+    /// Total respawns across all shards.
+    pub fn total_respawns(&self) -> u32 {
+        self.stats.iter().map(|s| s.respawns).sum()
+    }
+
+    /// Total chaos kills across all shards.
+    pub fn total_chaos_kills(&self) -> u32 {
+        self.stats.iter().map(|s| s.chaos_kills).sum()
+    }
+
+    /// Total watchdog kills across all shards.
+    pub fn total_watchdog_kills(&self) -> u32 {
+        self.stats.iter().map(|s| s.watchdog_kills).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tile_the_corpus_exactly() {
+        for cases in [0usize, 1, 5, 24, 97, 1000] {
+            for count in [1u32, 2, 3, 4, 7, 16] {
+                let ranges = shard_ranges(cases, count);
+                assert_eq!(ranges.len(), count as usize);
+                let mut next = 0usize;
+                for (i, r) in ranges.iter().enumerate() {
+                    assert_eq!(r.index, i as u32);
+                    assert_eq!(r.count, count);
+                    assert_eq!(r.start, next, "gap at shard {i} ({cases} cases / {count})");
+                    next = r.end;
+                }
+                assert_eq!(next, cases, "{cases} cases / {count} shards");
+                let sizes: Vec<usize> = ranges.iter().map(ShardSpec::len).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "uneven split {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_arg_roundtrip() {
+        for spec in shard_ranges(97, 4) {
+            assert_eq!(ShardSpec::parse(&spec.to_arg()), Some(spec));
+        }
+        assert_eq!(ShardSpec::parse("junk"), None);
+        assert_eq!(ShardSpec::parse("2/2:0..5"), None, "index out of range");
+        assert_eq!(ShardSpec::parse("0/1:9..5"), None, "inverted range");
+    }
+
+    #[test]
+    fn topology_equality_never_breaks_summary_equality() {
+        let a = ShardTopology { shards: 4, stats: vec![ShardStat::default(); 4] };
+        let b = ShardTopology::in_process();
+        assert_eq!(a, b, "topology is operational metadata, not a campaign result");
+    }
+
+    #[test]
+    fn shard_error_renders_its_kind() {
+        let e = ShardError {
+            shard: 2,
+            respawns: 4,
+            kind: ShardErrorKind::HeartbeatTimeout,
+            detail: "silent for 20s".into(),
+        };
+        assert!(e.to_string().contains("heartbeat-timeout"), "{e}");
+    }
+}

@@ -150,6 +150,12 @@ pub fn summary_to_json(summary: &RunSummary) -> String {
         summary.retries,
         summary.backoff_units
     ));
+    out.push_str(&format!(
+        ",\"shards\":{},\"shard_respawns\":{},\"shard_errors\":{}",
+        summary.topology.shards,
+        summary.topology.total_respawns(),
+        summary.shard_errors.len()
+    ));
     out.push_str(",\"slowest\":[");
     for (i, (uuid, ns)) in summary.telemetry.slowest.iter().enumerate() {
         if i > 0 {

@@ -115,9 +115,27 @@ pub fn run_case_tcp(
     run_bytes_tcp(workflow, case.uuid, &case.origin.to_string(), &case.request.to_bytes(), faults)
 }
 
+/// [`try_run_case_tcp`]'s checked sibling of [`run_case_tcp`]: a loopback
+/// testbed failure (bind, accept-loop death, thread spawn) comes back as
+/// a typed [`hdiff_net::NetError`] for the runner to record as a case
+/// outcome instead of aborting the worker.
+pub fn try_run_case_tcp(
+    workflow: &Workflow,
+    case: &TestCase,
+    faults: Option<&FaultSession<'_>>,
+) -> Result<CaseOutcome, hdiff_net::NetError> {
+    try_run_bytes_tcp(
+        workflow,
+        case.uuid,
+        &case.origin.to_string(),
+        &case.request.to_bytes(),
+        faults,
+    )
+}
+
 /// [`Workflow::run_bytes_faulted`], over TCP. Panics on loopback socket
-/// failure (bind/spawn), which the resilient runner quarantines like any
-/// other case panic.
+/// failure (bind/spawn); callers that must degrade instead use
+/// [`try_run_bytes_tcp`].
 pub fn run_bytes_tcp(
     workflow: &Workflow,
     uuid: u64,
@@ -125,6 +143,19 @@ pub fn run_bytes_tcp(
     bytes: &[u8],
     faults: Option<&FaultSession<'_>>,
 ) -> CaseOutcome {
+    try_run_bytes_tcp(workflow, uuid, origin, bytes, faults)
+        .unwrap_or_else(|e| panic!("loopback testbed unavailable: {e}"))
+}
+
+/// [`run_bytes_tcp`] with loopback testbed failures surfaced as typed
+/// errors instead of panics.
+pub fn try_run_bytes_tcp(
+    workflow: &Workflow,
+    uuid: u64,
+    origin: &str,
+    bytes: &[u8],
+    faults: Option<&FaultSession<'_>>,
+) -> Result<CaseOutcome, hdiff_net::NetError> {
     let bytes = bytes.to_vec();
     let origin_fault =
         faults.and_then(|s| s.decide(ORIGIN_HOP, FaultStage::OriginRespond)).map(|d| d.kind);
@@ -164,8 +195,7 @@ pub fn run_bytes_tcp(
         };
         for b in workflow.backends() {
             let config = NetServerConfig { fault: server_fault, ..NetServerConfig::default() };
-            let server =
-                NetServer::spawn(b.clone(), config).expect("bind loopback backend listener");
+            let server = NetServer::spawn(b.clone(), config)?;
             let raw = roundtrip(&server, &bytes, &SendMode::Whole);
             let mut kept = Vec::new();
             for reply in raw {
@@ -188,10 +218,9 @@ pub fn run_bytes_tcp(
         let raw_results = if faults.is_some_and(FaultSession::exhausted) {
             Vec::new() // the sim's charge fails before the first message
         } else {
-            let echo = NetEcho::spawn(wire_timeout()).expect("bind loopback echo listener");
+            let echo = NetEcho::spawn(wire_timeout())?;
             let config = NetProxyConfig { fault: decision, ..NetProxyConfig::new(echo.addr()) };
-            let proxy = NetProxy::spawn(proxy_profile.clone(), config)
-                .expect("bind loopback proxy listener");
+            let proxy = NetProxy::spawn(proxy_profile.clone(), config)?;
             let client = WireClient::new(proxy.addr());
             let _ = client.exchange(&bytes, &SendMode::Whole);
             proxy.take_logs().pop().map(|l| l.results).unwrap_or_default()
@@ -275,7 +304,7 @@ pub fn run_bytes_tcp(
         });
     }
 
-    CaseOutcome {
+    Ok(CaseOutcome {
         uuid,
         origin: origin.to_string(),
         bytes,
@@ -283,7 +312,7 @@ pub fn run_bytes_tcp(
         direct,
         fault_events: faults.map(|s| s.events()).unwrap_or_default(),
         budget_exhausted: faults.is_some_and(FaultSession::exhausted),
-    }
+    })
 }
 
 /// One campaign-style wire exchange against a backend listener: send per

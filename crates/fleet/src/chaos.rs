@@ -1,0 +1,94 @@
+//! Deterministic worker-kill schedule for recovery drills.
+//!
+//! `hdiff run --fleet-chaos <rate>` makes the supervisor SIGKILL its own
+//! workers — the only honest way to exercise the respawn/resume path.
+//! Every kill decision is a pure hash of
+//! `(campaign seed, shard index, incarnation)`, the same discipline as
+//! the runner's fault injector: re-running the campaign replays the
+//! identical kill schedule, so a recovery bug reproduces.
+//!
+//! The *when* of a kill is not scheduled here: the supervisor arms a
+//! doomed incarnation with a completed-case threshold one checkpoint
+//! interval past what the shard had already saved, and fires when a
+//! heartbeat crosses it. That guarantees every killed incarnation banked
+//! at least one new checkpoint first, so shard progress is monotonic and
+//! a 100% kill rate still terminates.
+
+/// The deterministic kill schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosPlan {
+    seed: u64,
+    rate: u8,
+}
+
+impl ChaosPlan {
+    /// A plan killing roughly `rate`% of worker incarnations (clamped to
+    /// 100), scheduled by `seed`.
+    pub fn new(seed: u64, rate: u8) -> ChaosPlan {
+        ChaosPlan { seed, rate: rate.min(100) }
+    }
+
+    /// The no-op plan (rate 0).
+    pub fn disabled() -> ChaosPlan {
+        ChaosPlan::new(0, 0)
+    }
+
+    /// Whether any kill can ever fire.
+    pub fn is_enabled(&self) -> bool {
+        self.rate > 0
+    }
+
+    /// Whether incarnation `incarnation` of shard `shard` is scheduled
+    /// to die.
+    pub fn kills(&self, shard: u32, incarnation: u32) -> bool {
+        if self.rate == 0 {
+            return false;
+        }
+        let key = (u64::from(shard) << 32) | u64::from(incarnation);
+        mix(self.seed ^ mix(key ^ 0x464c_4545_5421)) % 100 < u64::from(self.rate)
+    }
+}
+
+// Same finalizer as the fault injector's decision hash (splitmix64).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_rate_bounded() {
+        let plan = ChaosPlan::new(7, 50);
+        let again = ChaosPlan::new(7, 50);
+        let mut kills = 0u32;
+        for shard in 0..8 {
+            for inc in 0..32 {
+                assert_eq!(plan.kills(shard, inc), again.kills(shard, inc));
+                kills += u32::from(plan.kills(shard, inc));
+            }
+        }
+        // 256 rolls at 50%: a wildly skewed count means the hash is broken.
+        assert!((64..=192).contains(&kills), "{kills} kills out of 256 at rate 50");
+        assert_ne!(
+            (0..8).map(|s| ChaosPlan::new(1, 50).kills(s, 0)).collect::<Vec<_>>(),
+            (0..8).map(|s| ChaosPlan::new(2, 50).kills(s, 0)).collect::<Vec<_>>(),
+            "different seeds must reschedule"
+        );
+    }
+
+    #[test]
+    fn rate_extremes() {
+        assert!(!ChaosPlan::disabled().is_enabled());
+        for shard in 0..4 {
+            for inc in 0..8 {
+                assert!(!ChaosPlan::new(9, 0).kills(shard, inc));
+                assert!(ChaosPlan::new(9, 100).kills(shard, inc));
+                assert!(ChaosPlan::new(9, 200).kills(shard, inc), "rate clamps to 100");
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The worker → supervisor stdout protocol.
+//!
+//! One line per event, plain text, so a worker can be driven by hand and
+//! its output read in a terminal. Three line shapes:
+//!
+//! * `hdiff-alive` — liveness tick from a background thread, covering
+//!   the corpus-regeneration phase (and long chunks) when no checkpoint
+//!   progress exists yet.
+//! * `hdiff-hb <completed> <generation>` — emitted after every
+//!   checkpoint save: the shard-local completed-case count and the
+//!   generation just written. The supervisor feeds the generation back
+//!   as the resume floor when it re-dispatches the shard.
+//! * `hdiff-done <completed>` — the shard finished; the final checkpoint
+//!   holds every record.
+//!
+//! Anything else (stray prints, future extensions) parses as
+//! [`WorkerLine::Other`] and still counts as liveness — an old
+//! supervisor never kills a newer worker for talking too much.
+
+/// Liveness tick line.
+pub const ALIVE: &str = "hdiff-alive";
+
+const HEARTBEAT: &str = "hdiff-hb";
+const DONE: &str = "hdiff-done";
+
+/// One parsed line of worker stdout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerLine {
+    /// Liveness tick (no progress information).
+    Alive,
+    /// Checkpoint saved: shard-local completed count and the generation
+    /// just written.
+    Heartbeat {
+        /// Completed cases in the shard's checkpoint, including resumed.
+        completed: usize,
+        /// Checkpoint generation just written.
+        generation: u64,
+    },
+    /// The shard finished with this many completed cases.
+    Done {
+        /// Final completed-case count.
+        completed: usize,
+    },
+    /// Unrecognized output; treated as liveness only.
+    Other(String),
+}
+
+/// Formats the post-checkpoint heartbeat line.
+pub fn heartbeat_line(completed: usize, generation: u64) -> String {
+    format!("{HEARTBEAT} {completed} {generation}")
+}
+
+/// Formats the completion line.
+pub fn done_line(completed: usize) -> String {
+    format!("{DONE} {completed}")
+}
+
+/// Parses one line of worker stdout. Never fails: malformed lines
+/// degrade to [`WorkerLine::Other`].
+pub fn parse(line: &str) -> WorkerLine {
+    let line = line.trim_end();
+    if line == ALIVE {
+        return WorkerLine::Alive;
+    }
+    if let Some(rest) = line.strip_prefix(HEARTBEAT) {
+        let mut parts = rest.split_whitespace();
+        if let (Some(completed), Some(generation), None) =
+            (parts.next(), parts.next(), parts.next())
+        {
+            if let (Ok(completed), Ok(generation)) = (completed.parse(), generation.parse()) {
+                return WorkerLine::Heartbeat { completed, generation };
+            }
+        }
+    }
+    if let Some(rest) = line.strip_prefix(DONE) {
+        let mut parts = rest.split_whitespace();
+        if let (Some(completed), None) = (parts.next(), parts.next()) {
+            if let Ok(completed) = completed.parse() {
+                return WorkerLine::Done { completed };
+            }
+        }
+    }
+    WorkerLine::Other(line.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_roundtrip() {
+        assert_eq!(parse(ALIVE), WorkerLine::Alive);
+        assert_eq!(
+            parse(&heartbeat_line(128, 3)),
+            WorkerLine::Heartbeat { completed: 128, generation: 3 }
+        );
+        assert_eq!(parse(&done_line(512)), WorkerLine::Done { completed: 512 });
+    }
+
+    #[test]
+    fn malformed_lines_degrade_to_other() {
+        for junk in ["", "hdiff-hb", "hdiff-hb 1", "hdiff-hb one 2", "hdiff-done x", "warning: x"] {
+            assert!(matches!(parse(junk), WorkerLine::Other(_)), "{junk:?}");
+        }
+    }
+}

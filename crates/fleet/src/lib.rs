@@ -1,0 +1,39 @@
+//! Crash-tolerant sharded campaign fabric.
+//!
+//! A long differential campaign should survive more than hostile *cases*
+//! (the runner's quarantine) — it should survive hostile *infrastructure*:
+//! a worker process segfaulting, being OOM-killed, or silently hanging.
+//! This crate runs a campaign as a supervisor plus `N` worker processes,
+//! each owning one contiguous corpus-order shard (see
+//! [`hdiff_diff::shard`]) under its own checkpoint file, and recovers
+//! dead workers deterministically:
+//!
+//! * [`worker`] — the `hdiff worker` process body: regenerate the corpus
+//!   from the shipped [`hdiff_core::HdiffConfig`] (cases cannot travel as
+//!   bytes — malformed requests do not round-trip), slice out the shard,
+//!   resume tolerantly from the checkpoint, and stream heartbeats on
+//!   stdout.
+//! * [`heartbeat`] — the one-line stdout protocol between the two:
+//!   `hdiff-alive` liveness ticks, `hdiff-hb <completed> <generation>`
+//!   after every checkpoint save, `hdiff-done <completed>` on completion.
+//! * [`supervisor`] — spawn, watch (process exit *or* heartbeat silence
+//!   past a deadline derived from [`hdiff_net::io_timeout`]), respawn
+//!   with exponential backoff from the orphaned checkpoint, quarantine a
+//!   shard as a typed [`hdiff_diff::ShardError`] once its budget is
+//!   spent, and merge the per-shard checkpoints in corpus order.
+//! * [`chaos`] — a pure-hash SIGKILL schedule the supervisor uses to
+//!   drill the recovery path (`hdiff run --fleet-chaos <rate>`).
+//!
+//! The invariant the whole fabric is built around: the merged
+//! [`hdiff_diff::RunSummary`] is identical to the single-process run's,
+//! regardless of shard count, kill schedule, or resume history.
+
+pub mod chaos;
+pub mod heartbeat;
+pub mod supervisor;
+pub mod worker;
+
+pub use chaos::ChaosPlan;
+pub use heartbeat::WorkerLine;
+pub use supervisor::{run_fleet, FleetConfig};
+pub use worker::{run_worker, WorkerOptions};

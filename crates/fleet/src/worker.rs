@@ -1,0 +1,111 @@
+//! The `hdiff worker` process body.
+//!
+//! A worker is handed a [`ShardSpec`], a checkpoint path, and the
+//! supervisor's serialized [`HdiffConfig`]. Test cases never travel
+//! between processes — malformed requests do not round-trip through
+//! bytes — so the worker regenerates the *entire* corpus through
+//! [`HDiff::prepare`] (deterministic per config) and slices out its
+//! shard by corpus index. It then resumes tolerantly from the checkpoint
+//! (missing, torn, or stale files fall back to a clean shard restart;
+//! see [`hdiff_diff::checkpoint::resume_state`]) and streams the
+//! [`crate::heartbeat`] protocol on stdout while it runs.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hdiff_core::HDiff;
+use hdiff_core::HdiffConfig;
+use hdiff_diff::checkpoint;
+use hdiff_diff::{shard_ranges, ChunkProgress, ProgressHook, ShardSpec};
+
+use crate::heartbeat;
+
+/// Everything a worker invocation needs (parsed from the CLI by the
+/// `hdiff worker` subcommand).
+#[derive(Debug)]
+pub struct WorkerOptions {
+    /// The shard this process owns.
+    pub shard: ShardSpec,
+    /// Checkpoint file for the shard (shared across incarnations).
+    pub checkpoint: PathBuf,
+    /// The campaign configuration, exactly as the supervisor runs it.
+    pub config: HdiffConfig,
+    /// Resume floor: checkpoint generations below this are stale (older
+    /// than progress the supervisor already witnessed) and are discarded.
+    pub min_generation: u64,
+    /// Interval between `hdiff-alive` liveness ticks.
+    pub alive_interval: Duration,
+    /// After each heartbeat, sleep this long — the chaos drill's kill
+    /// window (zero outside drills).
+    pub chaos_pause: Duration,
+    /// Test hook: print one liveness tick, then hang forever (exercises
+    /// the supervisor's silence watchdog).
+    pub stall: bool,
+}
+
+/// Runs one shard to completion, returning the completed-case count.
+///
+/// Stdout is the supervisor protocol; human-facing notes go to stderr.
+pub fn run_worker(opts: WorkerOptions) -> io::Result<usize> {
+    println!("{}", heartbeat::ALIVE);
+    if opts.stall {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+
+    // Liveness ticker: covers corpus regeneration (no checkpoints yet)
+    // and chunks that outlast the heartbeat interval. Detached — the
+    // process exits out from under it when the shard completes.
+    let finished = Arc::new(AtomicBool::new(false));
+    {
+        let finished = Arc::clone(&finished);
+        let interval = opts.alive_interval.max(Duration::from_millis(1));
+        std::thread::spawn(move || {
+            while !finished.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                if finished.load(Ordering::Relaxed) {
+                    break;
+                }
+                println!("{}", heartbeat::ALIVE);
+            }
+        });
+    }
+
+    let prepared = HDiff::new(opts.config).prepare();
+    let expected = shard_ranges(prepared.cases.len(), opts.shard.count)
+        .into_iter()
+        .find(|s| s.index == opts.shard.index);
+    if expected != Some(opts.shard) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "{} does not match a corpus of {} cases (config drift between supervisor and worker?)",
+                opts.shard,
+                prepared.cases.len()
+            ),
+        ));
+    }
+    let slice = &prepared.cases[opts.shard.start..opts.shard.end];
+
+    let resume = checkpoint::resume_state(&opts.checkpoint, opts.min_generation);
+    if let Some(reason) = &resume.discarded {
+        eprintln!("hdiff worker {}: {reason}; restarting the shard clean", opts.shard);
+    }
+
+    let mut engine = prepared.engine;
+    let chaos_pause = opts.chaos_pause;
+    engine.progress = Some(ProgressHook::new(move |p: ChunkProgress| {
+        println!("{}", heartbeat::heartbeat_line(p.completed, p.generation));
+        if !chaos_pause.is_zero() {
+            std::thread::sleep(chaos_pause);
+        }
+    }));
+    let summary = engine.run_resuming(slice, resume, &opts.checkpoint)?;
+    finished.store(true, Ordering::Relaxed);
+    println!("{}", heartbeat::done_line(summary.cases));
+    Ok(summary.cases)
+}

@@ -172,7 +172,14 @@ impl WireClient {
             self.reused = Some(self.connect()?);
             self.reused_buf.clear();
         }
-        let stream = self.reused.as_mut().expect("just connected");
+        let Some(stream) = self.reused.as_mut() else {
+            // Unreachable after the connect above, but a dead kept-alive
+            // slot must degrade into an error, never a panic.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "kept-alive connection unavailable",
+            ));
+        };
         if let Err(e) = stream.write_all(bytes) {
             self.reused = None; // a dead kept-alive connection is not reusable
             return Err(e);

@@ -10,11 +10,20 @@
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hdiff_servers::EchoServer;
+
+use crate::error::NetError;
+
+/// Poison-tolerant lock: the echo's record list stays structurally
+/// intact across a panicking peer thread, and the recorded bytes matter
+/// more than poison hygiene.
+fn lock_echo(inner: &Mutex<EchoServer>) -> MutexGuard<'_, EchoServer> {
+    inner.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A recording echo listener on an ephemeral loopback port.
 #[derive(Debug)]
@@ -26,29 +35,46 @@ pub struct NetEcho {
 }
 
 impl NetEcho {
-    /// Binds `127.0.0.1:0` and starts recording.
-    pub fn spawn(read_timeout: Duration) -> std::io::Result<NetEcho> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = listener.local_addr()?;
+    /// Binds `127.0.0.1:0` and starts recording. Bind/spawn failures are
+    /// typed [`NetError`]s; a transient accept failure is counted and
+    /// tolerated (see [`crate::server::MAX_ACCEPT_ERRORS`]).
+    pub fn spawn(read_timeout: Duration) -> Result<NetEcho, NetError> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(NetError::bind)?;
+        let addr = listener.local_addr().map_err(NetError::bind)?;
         let inner = Arc::new(Mutex::new(EchoServer::new()));
         let stop = Arc::new(AtomicBool::new(false));
         let thread = {
             let inner = Arc::clone(&inner);
             let stop = Arc::clone(&stop);
-            std::thread::Builder::new().name("net-echo".to_string()).spawn(move || {
-                while !stop.load(Ordering::SeqCst) {
-                    let Ok((mut stream, _)) = listener.accept() else { break };
-                    if stop.load(Ordering::SeqCst) {
-                        break;
+            std::thread::Builder::new()
+                .name("net-echo".to_string())
+                .spawn(move || {
+                    let mut accept_errors = 0u32;
+                    while !stop.load(Ordering::SeqCst) {
+                        let mut stream = match listener.accept() {
+                            Ok((stream, _)) => stream,
+                            Err(_) => {
+                                hdiff_obs::count("net.accept.error", 1);
+                                accept_errors += 1;
+                                if accept_errors >= crate::server::MAX_ACCEPT_ERRORS {
+                                    break;
+                                }
+                                continue;
+                            }
+                        };
+                        accept_errors = 0;
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let _ = stream.set_read_timeout(Some(read_timeout));
+                        let mut bytes = Vec::new();
+                        let _ = stream.read_to_end(&mut bytes);
+                        let response = lock_echo(&inner).receive(&bytes);
+                        let _ = stream.write_all(&response.to_bytes());
+                        let _ = stream.shutdown(Shutdown::Both);
                     }
-                    let _ = stream.set_read_timeout(Some(read_timeout));
-                    let mut bytes = Vec::new();
-                    let _ = stream.read_to_end(&mut bytes);
-                    let response = inner.lock().expect("echo mutex").receive(&bytes);
-                    let _ = stream.write_all(&response.to_bytes());
-                    let _ = stream.shutdown(Shutdown::Both);
-                }
-            })?
+                })
+                .map_err(NetError::spawn)?
         };
         Ok(NetEcho { addr, inner, stop, thread: Some(thread) })
     }
@@ -60,7 +86,7 @@ impl NetEcho {
 
     /// Drains the recorded forwarded messages, in arrival order.
     pub fn take_records(&self) -> Vec<Vec<u8>> {
-        let mut echo = self.inner.lock().expect("echo mutex");
+        let mut echo = lock_echo(&self.inner);
         let records = echo.records().to_vec();
         echo.clear();
         records

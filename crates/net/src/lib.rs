@@ -41,6 +41,7 @@
 pub mod client;
 pub mod desync;
 pub mod echo;
+pub mod error;
 pub mod proxy;
 pub mod server;
 pub mod timeout;
@@ -48,6 +49,7 @@ pub mod timeout;
 pub use client::{Exchange, NetClientConfig, PipelinedExchange, SendMode, WireClient};
 pub use desync::{attribute_responses, compare_attribution, DesyncSignal, ResponseAttribution};
 pub use echo::NetEcho;
+pub use error::{NetError, NetErrorKind};
 pub use proxy::{NetProxy, NetProxyConfig, ProxyConnLog};
 pub use server::{ConnectionLog, NetServer, NetServerConfig, ServerFault, Teardown};
 pub use timeout::{io_timeout, stall_observe_timeout, DEFAULT_IO_TIMEOUT, IO_TIMEOUT_ENV};

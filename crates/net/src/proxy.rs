@@ -16,15 +16,22 @@
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hdiff_servers::fault::{FaultDecision, FaultKind};
 use hdiff_servers::{ForwardAction, ParserProfile, Proxy, ProxyResult};
 
-use crate::server::{incomplete_reason, Teardown, MAX_MESSAGES};
+use crate::error::NetError;
+use crate::server::{incomplete_reason, Teardown, MAX_ACCEPT_ERRORS, MAX_MESSAGES};
 use crate::timeout::io_timeout;
+
+/// Poison-tolerant lock over the append-only connection log (same
+/// rationale as the origin server's log lock).
+fn lock_logs(logs: &Mutex<Vec<ProxyConnLog>>) -> MutexGuard<'_, Vec<ProxyConnLog>> {
+    logs.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Configuration for one proxy listener.
 #[derive(Debug, Clone)]
@@ -78,15 +85,17 @@ pub struct NetProxy {
 }
 
 impl NetProxy {
-    /// Binds `127.0.0.1:0` and starts proxying.
+    /// Binds `127.0.0.1:0` and starts proxying. Bind/spawn failures are
+    /// typed [`NetError`]s; transient accept failures are counted and
+    /// tolerated up to [`MAX_ACCEPT_ERRORS`] in a row.
     ///
     /// # Panics
     ///
     /// Panics if `profile` has no proxy behavior configured (same
     /// contract as [`Proxy::new`]).
-    pub fn spawn(profile: ParserProfile, config: NetProxyConfig) -> std::io::Result<NetProxy> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = listener.local_addr()?;
+    pub fn spawn(profile: ParserProfile, config: NetProxyConfig) -> Result<NetProxy, NetError> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(NetError::bind)?;
+        let addr = listener.local_addr().map_err(NetError::bind)?;
         let logs = Arc::new(Mutex::new(Vec::new()));
         let stop = Arc::new(AtomicBool::new(false));
         let name = profile.name.clone();
@@ -94,15 +103,30 @@ impl NetProxy {
         let thread = {
             let logs = Arc::clone(&logs);
             let stop = Arc::clone(&stop);
-            std::thread::Builder::new().name(format!("net-proxy-{name}")).spawn(move || {
-                while !stop.load(Ordering::SeqCst) {
-                    let Ok((stream, _)) = listener.accept() else { break };
-                    if stop.load(Ordering::SeqCst) {
-                        break;
+            std::thread::Builder::new()
+                .name(format!("net-proxy-{name}"))
+                .spawn(move || {
+                    let mut accept_errors = 0u32;
+                    while !stop.load(Ordering::SeqCst) {
+                        let stream = match listener.accept() {
+                            Ok((stream, _)) => stream,
+                            Err(_) => {
+                                hdiff_obs::count("net.accept.error", 1);
+                                accept_errors += 1;
+                                if accept_errors >= MAX_ACCEPT_ERRORS {
+                                    break;
+                                }
+                                continue;
+                            }
+                        };
+                        accept_errors = 0;
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        handle_connection(&proxy, &config, stream, &logs);
                     }
-                    handle_connection(&proxy, &config, stream, &logs);
-                }
-            })?
+                })
+                .map_err(NetError::spawn)?
         };
         Ok(NetProxy { addr, logs, stop, thread: Some(thread), name })
     }
@@ -114,7 +138,7 @@ impl NetProxy {
 
     /// Drains the accumulated connection logs.
     pub fn take_logs(&self) -> Vec<ProxyConnLog> {
-        std::mem::take(&mut *self.logs.lock().expect("log mutex"))
+        std::mem::take(&mut *lock_logs(&self.logs))
     }
 
     /// Stops the accept loop and joins the listener thread.
@@ -259,7 +283,7 @@ fn handle_connection(
         }
     }
 
-    logs.lock().expect("log mutex").push(ProxyConnLog { results, teardown });
+    lock_logs(logs).push(ProxyConnLog { results, teardown });
     let _ = stream.shutdown(Shutdown::Both);
 }
 

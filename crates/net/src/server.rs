@@ -13,12 +13,28 @@
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use hdiff_servers::{Interpretation, ParserProfile, Server, ServerReply};
 use hdiff_wire::{Response, StatusCode};
+
+use crate::error::NetError;
+
+/// Consecutive `accept` failures the listener tolerates (counting and
+/// continuing) before it concludes the listener socket itself is dead
+/// and exits the loop. A transient per-connection error (aborted
+/// handshake, EMFILE pressure easing) must not kill the whole server.
+pub const MAX_ACCEPT_ERRORS: u32 = 8;
+
+/// Locks a connection-log mutex, tolerating poison: the log is
+/// append-only accounting, so a panic in another handler thread leaves
+/// it structurally intact — losing the whole campaign's wire log over it
+/// would be the worse failure.
+fn lock_logs(logs: &Mutex<Vec<ConnectionLog>>) -> MutexGuard<'_, Vec<ConnectionLog>> {
+    logs.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Mirror of the in-process pipelining cap (see `Server::handle_stream`).
 pub const MAX_MESSAGES: usize = 16;
@@ -139,26 +155,45 @@ pub struct NetServer {
 }
 
 impl NetServer {
-    /// Binds `127.0.0.1:0` and starts serving `profile`.
-    pub fn spawn(profile: ParserProfile, config: NetServerConfig) -> std::io::Result<NetServer> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = listener.local_addr()?;
+    /// Binds `127.0.0.1:0` and starts serving `profile`. A bind or
+    /// thread-spawn failure comes back as a typed [`NetError`] for the
+    /// caller to record; the accept loop itself tolerates up to
+    /// [`MAX_ACCEPT_ERRORS`] consecutive transient failures before
+    /// concluding the listener is dead.
+    pub fn spawn(profile: ParserProfile, config: NetServerConfig) -> Result<NetServer, NetError> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(NetError::bind)?;
+        let addr = listener.local_addr().map_err(NetError::bind)?;
         let logs = Arc::new(Mutex::new(Vec::new()));
         let stop = Arc::new(AtomicBool::new(false));
         let name = profile.name.clone();
         let thread = {
             let logs = Arc::clone(&logs);
             let stop = Arc::clone(&stop);
-            std::thread::Builder::new().name(format!("net-{name}")).spawn(move || {
-                let server = Server::new(profile);
-                while !stop.load(Ordering::SeqCst) {
-                    let Ok((stream, _)) = listener.accept() else { break };
-                    if stop.load(Ordering::SeqCst) {
-                        break;
+            std::thread::Builder::new()
+                .name(format!("net-{name}"))
+                .spawn(move || {
+                    let server = Server::new(profile);
+                    let mut accept_errors = 0u32;
+                    while !stop.load(Ordering::SeqCst) {
+                        let stream = match listener.accept() {
+                            Ok((stream, _)) => stream,
+                            Err(_) => {
+                                hdiff_obs::count("net.accept.error", 1);
+                                accept_errors += 1;
+                                if accept_errors >= MAX_ACCEPT_ERRORS {
+                                    break;
+                                }
+                                continue;
+                            }
+                        };
+                        accept_errors = 0;
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        handle_connection(&server, &config, stream, &logs);
                     }
-                    handle_connection(&server, &config, stream, &logs);
-                }
-            })?
+                })
+                .map_err(NetError::spawn)?
         };
         Ok(NetServer { addr, logs, stop, thread: Some(thread), name })
     }
@@ -170,7 +205,7 @@ impl NetServer {
 
     /// Drains the accumulated connection logs.
     pub fn take_logs(&self) -> Vec<ConnectionLog> {
-        std::mem::take(&mut *self.logs.lock().expect("log mutex"))
+        std::mem::take(&mut *lock_logs(&self.logs))
     }
 
     /// Stops the accept loop and joins the listener thread.
@@ -208,7 +243,7 @@ fn handle_connection(
             // Read whatever is in flight, then abort without a byte.
             let mut sink = [0u8; 4096];
             let bytes_in = stream.read(&mut sink).unwrap_or(0);
-            logs.lock().expect("log mutex").push(ConnectionLog {
+            lock_logs(logs).push(ConnectionLog {
                 replies: Vec::new(),
                 bytes_in,
                 bytes_out: 0,
@@ -224,7 +259,7 @@ fn handle_connection(
             // campaign collects it after its client times out.
             let mut sink = [0u8; 4096];
             let bytes_in = stream.read(&mut sink).unwrap_or(0);
-            logs.lock().expect("log mutex").push(ConnectionLog {
+            lock_logs(logs).push(ConnectionLog {
                 replies: Vec::new(),
                 bytes_in,
                 bytes_out: 0,
@@ -294,12 +329,7 @@ fn handle_connection(
         }
     }
 
-    logs.lock().expect("log mutex").push(ConnectionLog {
-        replies,
-        bytes_in: buf.len(),
-        bytes_out,
-        teardown,
-    });
+    lock_logs(logs).push(ConnectionLog { replies, bytes_in: buf.len(), bytes_out, teardown });
     let _ = stream.shutdown(Shutdown::Both);
 }
 

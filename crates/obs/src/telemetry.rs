@@ -236,6 +236,41 @@ impl Telemetry {
         self.events.extend(other.events.iter().cloned());
     }
 
+    /// A 64-bit FNV-1a digest of the deterministic shape — exactly the
+    /// fields [`Telemetry`] equality compares (span names and counts,
+    /// counter names and totals, histogram names and populations), never
+    /// durations. Two telemetries are `==` iff their digests agree (up
+    /// to hash collisions), which gives distributed-campaign gates a
+    /// single number to compare and log instead of a structural diff.
+    pub fn shape_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            // Length-separated so ("ab", 1) never collides with ("a", b1).
+            for &b in (bytes.len() as u64).to_le_bytes().iter().chain(bytes) {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for (name, stat) in &self.spans {
+            eat(b"span");
+            eat(name.as_bytes());
+            eat(&stat.count.to_le_bytes());
+        }
+        for (name, total) in &self.counters {
+            eat(b"counter");
+            eat(name.as_bytes());
+            eat(&total.to_le_bytes());
+        }
+        for (name, hist) in &self.hists {
+            eat(b"hist");
+            eat(name.as_bytes());
+            eat(&hist.count.to_le_bytes());
+        }
+        h
+    }
+
     /// The events sorted into their replay-stable `(case, seq)` order.
     pub fn sorted_events(&self) -> Vec<TraceEvent> {
         let mut events = self.events.clone();
@@ -329,6 +364,33 @@ mod tests {
         assert_eq!(a, b, "durations must not break equality");
         b.record_span("s", 1);
         assert_ne!(a, b, "span counts must break equality");
+    }
+
+    #[test]
+    fn shape_digest_tracks_equality_not_durations() {
+        let mut a = Telemetry::default();
+        a.record_span("stage.detect", 10);
+        a.record_count("memo.hit", 3);
+        a.record_hist("rtt", 50);
+        let mut b = Telemetry::default();
+        b.record_span("stage.detect", 99999); // same shape, wild duration
+        b.record_count("memo.hit", 3);
+        b.record_hist("rtt", 1 << 30);
+        assert_eq!(a, b);
+        assert_eq!(a.shape_digest(), b.shape_digest());
+
+        b.record_count("memo.hit", 1);
+        assert_ne!(a, b);
+        assert_ne!(a.shape_digest(), b.shape_digest());
+
+        // Name/count boundaries must not alias.
+        let mut c = Telemetry::default();
+        c.record_span("ab", 1);
+        let mut d = Telemetry::default();
+        d.record_span("a", 1);
+        d.record_span("b", 1);
+        assert_ne!(c.shape_digest(), d.shape_digest());
+        assert_ne!(Telemetry::default().shape_digest(), c.shape_digest());
     }
 
     #[test]

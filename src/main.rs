@@ -14,6 +14,9 @@
 //! hdiff replay [--all] <p>   re-execute recorded replay bundles and diff
 //!                            verdicts + behavior digests
 //! hdiff golden regen <dir>   rebuild the minimized golden bundle corpus
+//! hdiff run --shards N       run the campaign through the crash-tolerant
+//!                            sharded fleet (supervisor + N workers)
+//! hdiff worker ...           internal: one shard of a fleet campaign
 //! ```
 
 use std::path::Path;
@@ -81,19 +84,53 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--no-telemetry") {
         config.telemetry = false;
     }
-    let (trace_out, summary_out) = match (
+    match flag_value::<u32>(&args, "--shards") {
+        Ok(Some(n)) => config.shards = n,
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match flag_value::<u8>(&args, "--fleet-chaos") {
+        Ok(Some(pct)) if pct <= 100 => config.fleet_chaos = pct,
+        Ok(Some(pct)) => {
+            eprintln!("--fleet-chaos: {pct} is not a percentage");
+            return ExitCode::FAILURE;
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match flag_value::<usize>(&args, "--checkpoint-every") {
+        Ok(Some(n)) if n > 0 => config.checkpoint_every = n,
+        Ok(Some(_)) => {
+            eprintln!("--checkpoint-every: must be at least 1");
+            return ExitCode::FAILURE;
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let (trace_out, summary_out, fleet_dir) = match (
         flag_value::<String>(&args, "--trace-out"),
         flag_value::<String>(&args, "--summary-out"),
+        flag_value::<String>(&args, "--fleet-dir"),
     ) {
-        (Ok(t), Ok(s)) => (t, s),
-        (Err(e), _) | (_, Err(e)) => {
+        (Ok(t), Ok(s), Ok(d)) => (t, s, d),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    let sinks = TelemetrySinks { trace_out, summary_out };
+    let sinks = TelemetrySinks { trace_out, summary_out, fleet_dir };
 
     match command {
+        "worker" => run_worker_cli(&args),
         "run" => {
             let r = run_pipeline(config, &sinks);
             println!("{}", report::render_stats(&r));
@@ -212,20 +249,46 @@ fn main() -> ExitCode {
     }
 }
 
-/// Where campaign telemetry goes besides the summary itself.
+/// Where campaign telemetry goes besides the summary itself, plus the
+/// fleet working directory when one was requested.
 struct TelemetrySinks {
     trace_out: Option<String>,
     summary_out: Option<String>,
+    fleet_dir: Option<String>,
 }
 
 /// Runs the pipeline honoring the telemetry sinks: `--trace-out` turns on
 /// raw event capture and writes the replay-stable JSONL event log;
-/// `--summary-out` writes the machine-readable campaign summary.
+/// `--summary-out` writes the machine-readable campaign summary. With
+/// `--shards N` (N > 0) the campaign runs through the sharded fleet
+/// fabric instead of in-process.
 fn run_pipeline(config: HdiffConfig, sinks: &TelemetrySinks) -> hdiff::PipelineReport {
     if sinks.trace_out.is_some() {
         hdiff::obs::set_trace(true);
     }
-    let r = HDiff::new(config).run();
+    let r = if config.shards > 0 {
+        let mut fleet = match &sinks.fleet_dir {
+            Some(dir) => {
+                let mut f = hdiff::fleet::FleetConfig::new(config.shards, dir);
+                f.keep_dir = true;
+                f
+            }
+            None => hdiff::fleet::FleetConfig::new(
+                config.shards,
+                std::env::temp_dir().join(format!("hdiff-fleet-{}", std::process::id())),
+            ),
+        };
+        fleet.chaos_rate = config.fleet_chaos;
+        match hdiff::fleet::run_fleet(&config, &fleet) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fleet campaign failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        HDiff::new(config).run()
+    };
     if let Some(path) = &sinks.summary_out {
         match hdiff::diff::write_summary(Path::new(path), &r.summary) {
             Ok(()) => eprintln!("summary written to {path}"),
@@ -267,7 +330,14 @@ fn print_help() {
          \x20 replay [--all] <p>  re-execute replay bundle(s), diff verdicts\n\
          \x20 golden regen <dir>  rebuild the minimized golden corpus\n\n\
          generation options:\n\
-         \x20 --coverage-guided  bias ABNF generation toward cold alternations"
+         \x20 --coverage-guided  bias ABNF generation toward cold alternations\n\n\
+         fleet options (sharded multi-process campaigns):\n\
+         \x20 --shards N           run the campaign as N worker processes\n\
+         \x20                      (0 = in-process, the default)\n\
+         \x20 --fleet-chaos N      SIGKILL N% of worker incarnations on a\n\
+         \x20                      deterministic schedule (recovery drill)\n\
+         \x20 --fleet-dir D        keep shard checkpoints under D\n\
+         \x20 --checkpoint-every N cases per shard checkpoint (default 64)"
     );
 }
 
@@ -358,18 +428,86 @@ fn golden_regen(dir: &Path) -> ExitCode {
     }
 }
 
+/// `hdiff worker` — one shard of a fleet campaign (spawned by the
+/// supervisor; see `hdiff run --shards N`).
+fn run_worker_cli(args: &[String]) -> ExitCode {
+    use std::time::Duration;
+
+    let parse = || -> Result<hdiff::fleet::WorkerOptions, String> {
+        let shard_arg = flag_value::<String>(args, "--shard")?
+            .ok_or_else(|| "--shard is required".to_string())?;
+        let shard = hdiff::diff::ShardSpec::parse(&shard_arg)
+            .ok_or_else(|| format!("--shard: invalid spec {shard_arg:?}"))?;
+        let checkpoint = flag_value::<String>(args, "--checkpoint")?
+            .ok_or_else(|| "--checkpoint is required".to_string())?;
+        let config_path = flag_value::<String>(args, "--config")?
+            .ok_or_else(|| "--config is required".to_string())?;
+        let bytes =
+            std::fs::read(&config_path).map_err(|e| format!("cannot read {config_path}: {e}"))?;
+        let config = HdiffConfig::from_json(&bytes).map_err(|e| format!("{config_path}: {e}"))?;
+        Ok(hdiff::fleet::WorkerOptions {
+            shard,
+            checkpoint: checkpoint.into(),
+            config,
+            min_generation: flag_value::<u64>(args, "--min-generation")?.unwrap_or(0),
+            alive_interval: Duration::from_millis(
+                flag_value::<u64>(args, "--alive-interval-ms")?.unwrap_or(1000),
+            ),
+            chaos_pause: Duration::from_millis(
+                flag_value::<u64>(args, "--chaos-pause-ms")?.unwrap_or(0),
+            ),
+            stall: args.iter().any(|a| a == "--stall"),
+        })
+    };
+    let opts = match parse() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!(
+                "usage: hdiff worker --shard i/k:start..end --checkpoint F --config F \
+                 [--min-generation G] [--alive-interval-ms N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let shard = opts.shard;
+    match hdiff::fleet::run_worker(opts) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hdiff worker {shard}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `hdiff probe <host:port>` exit code: the TCP connection never opened.
+const PROBE_EXIT_CONNECT: u8 = 2;
+/// `hdiff probe <host:port>` exit code: the server accepted but the read
+/// timed out with nothing arriving.
+const PROBE_EXIT_TIMEOUT: u8 = 3;
+/// `hdiff probe <host:port>` exit code: the live server's response status
+/// class diverges from the RFC-strict baseline's interpretation.
+const PROBE_EXIT_DIVERGENCE: u8 = 4;
+
 /// Sends a Table II catalog vector to a live `host:port` over TCP and
-/// pretty-prints the raw response bytes.
+/// pretty-prints the raw response bytes. Transient failures (connection
+/// refused, timeout) are retried with backoff; terminal outcomes map to
+/// distinct exit codes so scripts can branch: 0 = agrees with the strict
+/// baseline, [`PROBE_EXIT_CONNECT`], [`PROBE_EXIT_TIMEOUT`],
+/// [`PROBE_EXIT_DIVERGENCE`].
 fn probe_live(target: &str) -> ExitCode {
-    use hdiff::net::{SendMode, WireClient};
+    use hdiff::net::{io_timeout, SendMode, WireClient};
     use hdiff::wire::ascii;
+    use std::io::ErrorKind;
     use std::net::ToSocketAddrs;
+
+    const RETRIES: u32 = 3;
 
     let addr = match target.to_socket_addrs().map(|mut a| a.next()) {
         Ok(Some(addr)) => addr,
         _ => {
             eprintln!("cannot resolve {target}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(PROBE_EXIT_CONNECT);
         }
     };
     let catalog = hdiff::gen::catalog::catalog();
@@ -381,23 +519,70 @@ fn probe_live(target: &str) -> ExitCode {
     println!("probing {target} with catalog vector {:?} ({note})", catalog[0].id);
     println!("request ({} bytes):", bytes.len());
     println!("  {}\n", ascii::escape_bytes(&bytes));
+    // The client reads/writes under the testbed's shared io_timeout().
     let client = WireClient::new(addr);
-    match client.exchange(&bytes, &SendMode::Whole) {
-        Ok(exchange) => {
-            if exchange.timed_out {
-                println!("(read timed out; showing what arrived)");
+    let mut attempt = 0u32;
+    let exchange = loop {
+        match client.exchange(&bytes, &SendMode::Whole) {
+            Ok(x) => break x,
+            Err(e) => {
+                let timeout = matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock);
+                if (timeout || e.kind() == ErrorKind::ConnectionRefused) && attempt < RETRIES {
+                    attempt += 1;
+                    let backoff = io_timeout() / 4 * (1 << attempt);
+                    eprintln!("attempt {attempt} failed ({e}); retrying in {backoff:?}");
+                    std::thread::sleep(backoff);
+                    continue;
+                }
+                eprintln!("exchange with {target} failed after {attempt} retries: {e}");
+                return ExitCode::from(if timeout {
+                    PROBE_EXIT_TIMEOUT
+                } else {
+                    PROBE_EXIT_CONNECT
+                });
             }
-            println!("response ({} bytes):", exchange.response.len());
-            for line in exchange.response.split(|&b| b == b'\n') {
-                println!("  {}", ascii::escape_bytes(line));
-            }
+        }
+    };
+    if exchange.timed_out {
+        println!("(read timed out; showing what arrived)");
+    }
+    println!("response ({} bytes):", exchange.response.len());
+    for line in exchange.response.split(|&b| b == b'\n') {
+        println!("  {}", ascii::escape_bytes(line));
+    }
+    if exchange.response.is_empty() {
+        eprintln!("no response bytes arrived before the timeout");
+        return ExitCode::from(PROBE_EXIT_TIMEOUT);
+    }
+    // Semantic check: does the live server's status class agree with the
+    // RFC-strict baseline's interpretation of the same bytes?
+    let baseline =
+        hdiff::servers::interpret(&hdiff::servers::ParserProfile::strict("baseline"), &bytes);
+    let expected = baseline.outcome.status();
+    match parse_status_code(&exchange.response) {
+        Some(live) if live / 100 == expected / 100 => {
+            println!("\nstatus {live} agrees with the strict baseline ({expected})");
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("exchange with {target} failed: {e}");
-            ExitCode::FAILURE
+        Some(live) => {
+            println!("\nDIVERGENCE: live server answered {live}, strict baseline says {expected}");
+            ExitCode::from(PROBE_EXIT_DIVERGENCE)
+        }
+        None => {
+            println!("\nDIVERGENCE: response has no parseable HTTP status line");
+            ExitCode::from(PROBE_EXIT_DIVERGENCE)
         }
     }
+}
+
+/// Extracts the status code from a raw `HTTP/x.y NNN ...` response.
+fn parse_status_code(response: &[u8]) -> Option<u16> {
+    let line = response.split(|&b| b == b'\n').next()?;
+    let text = std::str::from_utf8(line).ok()?;
+    if !text.starts_with("HTTP/") {
+        return None;
+    }
+    text.split_whitespace().nth(1)?.parse().ok()
 }
 
 /// Interprets raw request bytes under every product and the baseline.
