@@ -106,9 +106,25 @@ impl DocumentAnalyzer {
         self
     }
 
-    /// Runs the full analysis over a document set.
-    pub fn analyze(&self, documents: &[RfcDocument]) -> AnalyzerOutput {
-        // Track 1: syntax.
+    /// Track 1 only: ABNF extraction and grammar adaptation, skipping
+    /// the sentence-level SR pipeline entirely. The grammar (and the
+    /// dictionary and report derived from it) is identical to what
+    /// [`DocumentAnalyzer::analyze`] produces — this is the entry point
+    /// for processes that only need the syntax oracle, like fleet
+    /// workers fed a pre-generated corpus artifact.
+    pub fn analyze_syntax(&self, documents: &[RfcDocument]) -> AnalyzerOutput {
+        let (grammar, adapt_report, dictionary) = self.adapt_syntax(documents);
+        let stats = AnalyzerStats {
+            documents: documents.len(),
+            abnf_rules: grammar.len(),
+            ..AnalyzerStats::default()
+        };
+        AnalyzerOutput { requirements: Vec::new(), grammar, dictionary, adapt_report, stats }
+    }
+
+    /// The shared Track 1 body: extract every document's ABNF, register
+    /// the reference grammars, adapt, and derive the field dictionary.
+    fn adapt_syntax(&self, documents: &[RfcDocument]) -> (Grammar, AdaptReport, FieldDictionary) {
         let mut adaptor = Adaptor::new();
         for doc in documents {
             let (rules, _) = extract_abnf(&doc.full_text());
@@ -123,6 +139,13 @@ impl DocumentAnalyzer {
         }
         let (grammar, adapt_report) = adaptor.adapt(&self.adapt_options);
         let dictionary = FieldDictionary::from_grammar(&grammar);
+        (grammar, adapt_report, dictionary)
+    }
+
+    /// Runs the full analysis over a document set.
+    pub fn analyze(&self, documents: &[RfcDocument]) -> AnalyzerOutput {
+        // Track 1: syntax.
+        let (grammar, adapt_report, dictionary) = self.adapt_syntax(documents);
 
         // Track 2: semantics.
         let converter = Text2Rule::new(dictionary.clone(), self.templates.clone());
@@ -177,6 +200,16 @@ mod tests {
 
     fn output() -> AnalyzerOutput {
         DocumentAnalyzer::with_default_inputs().analyze(&hdiff_corpus::core_documents())
+    }
+
+    #[test]
+    fn syntax_only_analysis_reproduces_the_grammar() {
+        let full = output();
+        let syntax =
+            DocumentAnalyzer::with_default_inputs().analyze_syntax(&hdiff_corpus::core_documents());
+        assert_eq!(syntax.grammar.to_string(), full.grammar.to_string());
+        assert_eq!(syntax.stats.abnf_rules, full.stats.abnf_rules);
+        assert!(syntax.requirements.is_empty());
     }
 
     #[test]

@@ -110,9 +110,24 @@ fn main() {
     );
 
     minimize_snapshot(smoke, &workflow, &products);
-    net_snapshot(smoke);
+    let net_gate_ok = net_snapshot(smoke);
     obs_snapshot(smoke);
     fleet_snapshot(smoke);
+    if !net_gate_ok {
+        eprintln!("perf_snapshot: BENCH_net regression gate FAILED (see above)");
+        std::process::exit(1);
+    }
+}
+
+/// Pulls a bare numeric value out of the flat snapshot JSON (the files
+/// this binary writes never nest, so a key scan is enough).
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end =
+        rest.find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Writes `BENCH_fleet.json`: quick-campaign wall time in-process versus
@@ -227,10 +242,21 @@ fn obs_snapshot(smoke: bool) {
 
 /// Writes `BENCH_net.json`: requests/second and p50/p99 round-trip time
 /// for the Table II catalog served over loopback TCP, next to the same
-/// profile invoked as an in-process function on identical bytes.
-fn net_snapshot(smoke: bool) {
-    use hdiff_net::{NetServer, NetServerConfig, SendMode, WireClient};
+/// profile invoked as an in-process function on identical bytes — plus a
+/// reactor concurrency sweep (1/64/512 driven connections, pipelined 32
+/// deep) for the async transport.
+///
+/// Returns the regression-gate verdict against the *committed*
+/// `BENCH_net.json` read before overwriting: in full mode the async
+/// 512-connection throughput must stay within 20% of the baseline; in
+/// smoke mode (CI hardware varies) the speedup-over-blocking ratio is
+/// compared instead, with the 10x acceptance target as an alternate
+/// floor. A baseline without async keys skips the gate with a note.
+fn net_snapshot(smoke: bool) -> bool {
+    use hdiff_net::{DriveSpec, Job, NetServer, NetServerConfig, Reactor, SendMode, WireClient};
+    use std::time::Duration;
 
+    let previous = std::fs::read_to_string("BENCH_net.json").ok();
     let rounds = if smoke { 2 } else { 10 };
     let payloads: Vec<Vec<u8>> = catalog::catalog()
         .iter()
@@ -250,7 +276,8 @@ fn net_snapshot(smoke: bool) {
     }
 
     // Wire: one exchange (connect, send, FIN, read to EOF) per payload.
-    let net = NetServer::spawn(profile, NetServerConfig::default()).expect("spawn net server");
+    let net =
+        NetServer::spawn(profile.clone(), NetServerConfig::default()).expect("spawn net server");
     let client = WireClient::new(net.addr());
     let mut tcp_rtts_ns = Vec::new();
     let wall = Instant::now();
@@ -276,8 +303,72 @@ fn net_snapshot(smoke: bool) {
     let sim_p50_us = percentile(&mut sim_rtts_ns, 0.50) / 1e3;
     let sim_p99_us = percentile(&mut sim_rtts_ns, 0.99) / 1e3;
 
+    // Async sweep: N pipelined connections driven by the epoll reactor
+    // against one strict origin (reply retention off, so the numbers
+    // measure the loop, not Vec growth).
+    const PIPELINE: usize = 32;
+    const SWEEP: [usize; 3] = [1, 64, 512];
+    let async_points: Option<Vec<f64>> = match Reactor::spawn() {
+        Err(err) => {
+            eprintln!("BENCH_net: async sweep skipped (no reactor backend: {err})");
+            None
+        }
+        Ok(reactor) => {
+            let config = NetServerConfig { max_messages: usize::MAX, ..NetServerConfig::default() };
+            let origin = reactor.add_origin(profile, config, false).expect("add sweep origin");
+            let payload = b"GET / HTTP/1.1\r\nHost: h\r\n\r\n".to_vec();
+            let sweep_rounds = if smoke { 1 } else { 3 };
+            let mut points = Vec::new();
+            for conns in SWEEP {
+                let per_conn = if smoke {
+                    (20_000 / conns as u64).max(100)
+                } else {
+                    (150_000 / conns as u64).max(1_000)
+                };
+                let mut best = 0f64;
+                for _ in 0..sweep_rounds {
+                    let jobs: Vec<Job> = (0..conns)
+                        .map(|_| {
+                            Job::Drive(DriveSpec {
+                                addr: origin.addr,
+                                payload: payload.clone(),
+                                requests: per_conn,
+                                pipeline: PIPELINE,
+                                read_timeout: Duration::from_secs(5),
+                            })
+                        })
+                        .collect();
+                    let start = Instant::now();
+                    let outs = reactor.run(jobs);
+                    let wall = start.elapsed().as_secs_f64();
+                    let completed: u64 =
+                        outs.iter().filter_map(|o| o.as_drive()).map(|d| d.completed).sum();
+                    assert_eq!(
+                        completed,
+                        per_conn * conns as u64,
+                        "async sweep dropped requests at {conns} conns"
+                    );
+                    best = best.max(completed as f64 / wall.max(1e-9));
+                }
+                eprintln!("async sweep: {conns} conns x {per_conn} reqs -> {best:.0} req/s");
+                points.push(best);
+            }
+            Some(points)
+        }
+    };
+
+    let async_block = match &async_points {
+        Some(points) => {
+            let speedup = points[2] / req_per_s.max(1e-9);
+            format!(
+                ",\n  \"async_pipeline_depth\": {PIPELINE},\n  \"async_1_req_per_s\": {:.0},\n  \"async_64_req_per_s\": {:.0},\n  \"async_512_req_per_s\": {:.0},\n  \"speedup_vs_blocking\": {speedup:.1}",
+                points[0], points[1], points[2]
+            )
+        }
+        None => ",\n  \"async_supported\": false".to_string(),
+    };
     let json = format!(
-        "{{\n  \"schema\": \"hdiff-bench-net-v1\",\n  \"smoke\": {smoke},\n  \"payloads\": {},\n  \"requests\": {},\n  \"tcp_req_per_s\": {req_per_s:.0},\n  \"tcp_rtt_p50_us\": {tcp_p50_us:.1},\n  \"tcp_rtt_p99_us\": {tcp_p99_us:.1},\n  \"inprocess_p50_us\": {sim_p50_us:.1},\n  \"inprocess_p99_us\": {sim_p99_us:.1}\n}}\n",
+        "{{\n  \"schema\": \"hdiff-bench-net-v2\",\n  \"smoke\": {smoke},\n  \"payloads\": {},\n  \"requests\": {},\n  \"tcp_req_per_s\": {req_per_s:.0},\n  \"tcp_rtt_p50_us\": {tcp_p50_us:.1},\n  \"tcp_rtt_p99_us\": {tcp_p99_us:.1},\n  \"inprocess_p50_us\": {sim_p50_us:.1},\n  \"inprocess_p99_us\": {sim_p99_us:.1}{async_block}\n}}\n",
         payloads.len(),
         tcp_rtts_ns.len(),
     );
@@ -287,6 +378,48 @@ fn net_snapshot(smoke: bool) {
         "wire {req_per_s:.0} req/s (p50 {tcp_p50_us:.0} us, p99 {tcp_p99_us:.0} us) \
          vs in-process p50 {sim_p50_us:.1} us"
     );
+
+    net_gate(smoke, previous.as_deref(), &async_points, req_per_s)
+}
+
+/// The BENCH_net regression gate (see [`net_snapshot`]).
+fn net_gate(smoke: bool, previous: Option<&str>, points: &Option<Vec<f64>>, blocking: f64) -> bool {
+    let (Some(points), Some(previous)) = (points, previous) else {
+        eprintln!("BENCH_net gate: no async sweep or no committed baseline; skipped");
+        return true;
+    };
+    let async_512 = points[2];
+    let speedup = async_512 / blocking.max(1e-9);
+    let baseline = json_number(previous, "async_512_req_per_s")
+        .zip(json_number(previous, "speedup_vs_blocking"));
+    let Some((prev_rps, prev_speedup)) = baseline else {
+        eprintln!("BENCH_net gate: committed baseline predates the async sweep; skipped");
+        return true;
+    };
+    if smoke {
+        // CI hardware varies, so compare the hardware-relative speedup
+        // ratio; the 10x acceptance target is an alternate floor so a
+        // faster committed baseline can't make the gate flaky.
+        let ok = speedup >= 0.8 * prev_speedup || speedup >= 10.0;
+        if !ok {
+            eprintln!(
+                "BENCH_net gate: speedup regressed to {speedup:.1}x \
+                 (baseline {prev_speedup:.1}x, floor {:.1}x)",
+                0.8 * prev_speedup
+            );
+        }
+        ok
+    } else {
+        let ok = async_512 >= 0.8 * prev_rps;
+        if !ok {
+            eprintln!(
+                "BENCH_net gate: async 512-conn throughput regressed to {async_512:.0} req/s \
+                 (baseline {prev_rps:.0}, floor {:.0})",
+                0.8 * prev_rps
+            );
+        }
+        ok
+    }
 }
 
 /// Campaign-style padding: inert noise headers inserted before the blank

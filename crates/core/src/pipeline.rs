@@ -62,6 +62,14 @@ impl HDiff {
         DocumentAnalyzer::with_default_inputs().analyze(&hdiff_corpus::core_documents())
     }
 
+    /// Track-1-only analysis: the adapted grammar (and everything
+    /// derived from it) without the sentence-level SR extraction. The
+    /// grammar is identical to [`HDiff::analyze`]'s; requirements are
+    /// empty.
+    pub fn analyze_syntax(&self) -> AnalyzerOutput {
+        DocumentAnalyzer::with_default_inputs().analyze_syntax(&hdiff_corpus::core_documents())
+    }
+
     /// Generates the full test-case corpus from an analysis.
     pub fn generate_cases(&self, analysis: &AnalyzerOutput) -> Vec<TestCase> {
         self.generate_cases_with_coverage(analysis).0
@@ -244,6 +252,46 @@ impl HDiff {
             ("gen.cases.catalog", catalog_cases as u64),
         ]);
 
+        let engine = self.build_engine(&analysis, coverage);
+        PreparedCampaign { analysis, sr_cases, abnf_cases, catalog_cases, cases, engine }
+    }
+
+    /// [`HDiff::prepare`] fed a pre-generated corpus (the fleet
+    /// supervisor's `corpus.json` artifact): skips SR extraction and
+    /// case generation, rebuilding only the grammar the engine's syntax
+    /// oracle needs. The engine configuration is identical to
+    /// [`HDiff::prepare`]'s, so per-case records come out byte-identical
+    /// — that is the fleet's merge invariant. Summary-level fields
+    /// derived from generation (grammar coverage, SR assertions,
+    /// generation telemetry) are absent here; fleet workers' own
+    /// summaries are discarded in favor of the supervisor's canonical
+    /// merge, which recomputes them from the full `prepare()`.
+    pub fn prepare_with_cases(&self, cases: Vec<TestCase>) -> PreparedCampaign {
+        hdiff_obs::set_enabled(self.config.telemetry);
+        let _ = hdiff_obs::drain();
+        let analysis = {
+            let _stage = hdiff_obs::span("stage.analyze");
+            self.analyze_syntax()
+        };
+        let sr_cases = cases.iter().filter(|c| matches!(c.origin, Origin::Sr(_))).count();
+        let abnf_cases = cases.iter().filter(|c| matches!(c.origin, Origin::Abnf)).count();
+        let catalog_cases = cases.iter().filter(|c| matches!(c.origin, Origin::Catalog(_))).count();
+        hdiff_obs::count_many(&[
+            ("gen.cases.sr", sr_cases as u64),
+            ("gen.cases.abnf", abnf_cases as u64),
+            ("gen.cases.catalog", catalog_cases as u64),
+        ]);
+        let engine = self.build_engine(&analysis, None);
+        PreparedCampaign { analysis, sr_cases, abnf_cases, catalog_cases, cases, engine }
+    }
+
+    /// The one place engine knobs are set from the config, shared by
+    /// both prepare paths so they cannot drift.
+    fn build_engine(
+        &self,
+        analysis: &AnalyzerOutput,
+        coverage: Option<hdiff_gen::GrammarCoverage>,
+    ) -> DiffEngine {
         let mut engine = DiffEngine::standard();
         engine.threads = self.config.threads;
         engine.transport = self.config.transport;
@@ -260,8 +308,7 @@ impl HDiff {
         // Generation-phase telemetry accumulated on this thread rides into
         // the summary alongside the per-case buckets the engine merges.
         engine.base_telemetry = hdiff_obs::drain();
-
-        PreparedCampaign { analysis, sr_cases, abnf_cases, catalog_cases, cases, engine }
+        engine
     }
 
     /// Runs the whole pipeline.

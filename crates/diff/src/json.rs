@@ -317,12 +317,16 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Copy one UTF-8 scalar verbatim.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let ch = rest.chars().next().ok_or_else(|| self.err("empty string tail"))?;
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                    // Copy the maximal run up to the next quote or escape
+                    // verbatim, validating UTF-8 once per run (per-scalar
+                    // validation of the remaining input is quadratic).
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err_at(start, "invalid UTF-8 in string"))?;
+                    out.push_str(run);
                 }
             }
         }

@@ -392,6 +392,20 @@ fn execute(
     let outcome = match transport {
         Transport::Sim => workflow.run_bytes_faulted(uuid, origin, bytes, Some(&session)),
         Transport::Tcp => run_bytes_tcp(workflow, uuid, origin, bytes, Some(&session)),
+        Transport::TcpAsync => {
+            // Replays are one-shot: an ephemeral testbed per execution
+            // still exercises the multiplexed code path end to end.
+            let testbed = hdiff_net::AsyncTestbed::new(workflow.backends(), workflow.proxies())
+                .unwrap_or_else(|e| panic!("loopback testbed unavailable: {e}"));
+            crate::transport::run_bytes_tcp_async(
+                workflow,
+                uuid,
+                origin,
+                bytes,
+                Some(&session),
+                &testbed,
+            )
+        }
     };
     let findings = detect_case_with_oracle(profiles, &outcome, oracle);
     (outcome, findings)

@@ -27,7 +27,7 @@ use crate::schedule;
 use crate::shard::{ShardError, ShardTopology};
 use crate::srcheck::{check_all, check_host_conformance, SrViolation};
 use crate::syntax::SyntaxOracle;
-use crate::transport::{try_run_case_tcp, Transport};
+use crate::transport::{try_run_case_tcp, try_run_case_tcp_async, Transport};
 use crate::verdict::{PairMatrix, Verdicts};
 use crate::workflow::Workflow;
 
@@ -242,6 +242,10 @@ pub struct DiffEngine {
     /// Called after every chunk (post-save when checkpointing) — the
     /// shard worker's heartbeat source.
     pub progress: Option<ProgressHook>,
+    /// The multiplexed-transport testbed, spawned on first use and shared
+    /// by every worker thread for the engine's lifetime (the reactor
+    /// multiplexes all of their cases over one event loop).
+    async_testbed: std::sync::OnceLock<Result<hdiff_net::AsyncTestbed, hdiff_net::NetError>>,
 }
 
 impl DiffEngine {
@@ -276,7 +280,21 @@ impl DiffEngine {
             transport: Transport::Sim,
             base_telemetry: hdiff_obs::Telemetry::default(),
             progress: None,
+            async_testbed: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The shared multiplexed-transport testbed, spawning it on first
+    /// use. A spawn failure (unsupported platform, exhausted fds) is
+    /// cached and surfaces as a per-case net error, same as a blocking
+    /// testbed failure.
+    fn async_testbed(&self) -> Result<&hdiff_net::AsyncTestbed, hdiff_net::NetError> {
+        self.async_testbed
+            .get_or_init(|| {
+                hdiff_net::AsyncTestbed::new(self.workflow.backends(), self.workflow.proxies())
+            })
+            .as_ref()
+            .map_err(Clone::clone)
     }
 
     /// The workflow in use.
@@ -423,11 +441,15 @@ impl DiffEngine {
                     let outcome = match self.transport {
                         Transport::Sim => Ok(self.workflow.run_case_faulted(case, Some(&session))),
                         Transport::Tcp => try_run_case_tcp(&self.workflow, case, Some(&session)),
+                        Transport::TcpAsync => self.async_testbed().and_then(|testbed| {
+                            try_run_case_tcp_async(&self.workflow, case, Some(&session), testbed)
+                        }),
                     };
                     let rtt = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     match self.transport {
                         Transport::Sim => hdiff_obs::observe("transport.rtt.sim", rtt),
                         Transport::Tcp => hdiff_obs::observe("transport.rtt.tcp", rtt),
+                        Transport::TcpAsync => hdiff_obs::observe("transport.rtt.tcp-async", rtt),
                     }
                     match outcome {
                         Ok(o) => o,
@@ -670,6 +692,21 @@ mod tests {
             "{:?}",
             summary.pairs.fronts(AttackClass::Cpdos)
         );
+    }
+
+    #[test]
+    fn tcp_async_campaign_matches_the_sim_findings() {
+        let cases = catalog_cases();
+        let sim = DiffEngine::standard().run(&cases);
+        let mut engine = DiffEngine::standard();
+        engine.transport = Transport::TcpAsync;
+        engine.threads = 2;
+        let wire = engine.run(&cases);
+        assert_eq!(sim.findings, wire.findings);
+        assert_eq!(sim.pairs, wire.pairs);
+        assert_eq!(sim.verdicts, wire.verdicts);
+        assert_eq!(wire.transport, Transport::TcpAsync);
+        assert_eq!(wire.errors, 0);
     }
 
     #[test]

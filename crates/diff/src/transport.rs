@@ -44,8 +44,8 @@ use std::time::Duration;
 
 use hdiff_gen::{AttackClass, TestCase};
 use hdiff_net::{
-    compare_attribution, NetEcho, NetProxy, NetProxyConfig, NetServer, NetServerConfig, SendMode,
-    ServerFault, WireClient,
+    compare_attribution, AsyncTestbed, ExchangeOutput, NetEcho, NetProxy, NetProxyConfig,
+    NetServer, NetServerConfig, SendMode, ServerFault, WireClient,
 };
 use hdiff_servers::fault::{FaultKind, FaultSession, FaultStage};
 use hdiff_servers::{ParserProfile, Proxy, ServerReply, ORIGIN_HOP};
@@ -63,8 +63,12 @@ pub enum Transport {
     /// In-process simulation (the default): function calls, no sockets.
     #[default]
     Sim,
-    /// Real loopback TCP: every hop is a listener, bytes travel the wire.
+    /// Real loopback TCP, blocking: fresh listeners (threads) per case.
     Tcp,
+    /// Real loopback TCP, multiplexed: every hop lives in one
+    /// [`AsyncTestbed`] event loop; a case fans out to all views
+    /// concurrently over pooled keep-alive connections.
+    TcpAsync,
 }
 
 impl Transport {
@@ -73,6 +77,7 @@ impl Transport {
         match self {
             Transport::Sim => "sim",
             Transport::Tcp => "tcp",
+            Transport::TcpAsync => "tcp-async",
         }
     }
 
@@ -81,6 +86,7 @@ impl Transport {
         match s {
             "sim" => Some(Transport::Sim),
             "tcp" => Some(Transport::Tcp),
+            "tcp-async" => Some(Transport::TcpAsync),
             _ => None,
         }
     }
@@ -329,6 +335,259 @@ fn roundtrip(server: &NetServer, bytes: &[u8], mode: &SendMode) -> Vec<ServerRep
     server.take_logs().pop().map(|l| l.replies).unwrap_or_default()
 }
 
+/// [`run_case_tcp`] over the multiplexed transport: the case fans out to
+/// every backend and proxy view of `testbed` concurrently.
+pub fn run_case_tcp_async(
+    workflow: &Workflow,
+    case: &TestCase,
+    faults: Option<&FaultSession<'_>>,
+    testbed: &AsyncTestbed,
+) -> CaseOutcome {
+    run_bytes_tcp_async(
+        workflow,
+        case.uuid,
+        &case.origin.to_string(),
+        &case.request.to_bytes(),
+        faults,
+        testbed,
+    )
+}
+
+/// [`try_run_bytes_tcp_async`] for a structured [`TestCase`].
+pub fn try_run_case_tcp_async(
+    workflow: &Workflow,
+    case: &TestCase,
+    faults: Option<&FaultSession<'_>>,
+    testbed: &AsyncTestbed,
+) -> Result<CaseOutcome, hdiff_net::NetError> {
+    try_run_bytes_tcp_async(
+        workflow,
+        case.uuid,
+        &case.origin.to_string(),
+        &case.request.to_bytes(),
+        faults,
+        testbed,
+    )
+}
+
+/// [`run_bytes_tcp`] over the multiplexed transport. Panics on testbed
+/// failure; see [`try_run_bytes_tcp_async`].
+pub fn run_bytes_tcp_async(
+    workflow: &Workflow,
+    uuid: u64,
+    origin: &str,
+    bytes: &[u8],
+    faults: Option<&FaultSession<'_>>,
+    testbed: &AsyncTestbed,
+) -> CaseOutcome {
+    try_run_bytes_tcp_async(workflow, uuid, origin, bytes, faults, testbed)
+        .unwrap_or_else(|e| panic!("loopback testbed unavailable: {e}"))
+}
+
+/// One case over the multiplexed transport.
+///
+/// Fault-free cases (the overwhelming majority of a campaign) take the
+/// fast path: one concurrent fan-out of the case's bytes to every
+/// backend and proxy view over `testbed`'s pooled keep-alive
+/// connections, then the sim's budget/event bookkeeping replayed
+/// serially in the blocking path's exact order — wherever the blocking
+/// path gates a wire operation on budget exhaustion, the pre-collected
+/// result is discarded the same way, so the [`CaseOutcome`] is
+/// field-for-field identical.
+///
+/// A case with any pending fault decision needs per-case listener
+/// configuration, which the persistent testbed cannot provide; those
+/// cases delegate to [`try_run_bytes_tcp`]. The delegation is decided by
+/// [`FaultSession::peek`] (pure, no event recorded), so the blocking run
+/// makes the identical decisions the sim would.
+pub fn try_run_bytes_tcp_async(
+    workflow: &Workflow,
+    uuid: u64,
+    origin: &str,
+    bytes: &[u8],
+    faults: Option<&FaultSession<'_>>,
+    testbed: &AsyncTestbed,
+) -> Result<CaseOutcome, hdiff_net::NetError> {
+    let faulted = faults.is_some_and(|s| {
+        s.peek(ORIGIN_HOP, FaultStage::OriginRespond).is_some()
+            || workflow.proxies().iter().any(|p| s.peek(&p.name, FaultStage::Forward).is_some())
+    });
+    if faulted {
+        return try_run_bytes_tcp(workflow, uuid, origin, bytes, faults);
+    }
+    let bytes = bytes.to_vec();
+    // Parity with the blocking path's origin decision: no origin fault
+    // pends (checked above), and `decide` records nothing when it
+    // returns `None`.
+    let origin_fault =
+        faults.and_then(|s| s.decide(ORIGIN_HOP, FaultStage::OriginRespond)).map(|d| d.kind);
+    debug_assert!(origin_fault.is_none());
+
+    // Wave A: every backend and every proxy view observes the case's
+    // bytes simultaneously.
+    let backend_listeners = testbed.backends();
+    let proxy_listeners = testbed.proxies();
+    let mut jobs = Vec::with_capacity(backend_listeners.len() + proxy_listeners.len());
+    for l in backend_listeners.iter().chain(proxy_listeners) {
+        jobs.push(testbed.exchange_job(l, &bytes, SendMode::Whole));
+    }
+    let outs = testbed.run(jobs);
+    let (backend_outs, proxy_outs) = outs.split_at(backend_listeners.len());
+
+    // Serial bookkeeping in the blocking path's order: direct backends
+    // first.
+    let mut direct: Vec<(String, Vec<ServerReply>)> = Vec::new();
+    for (b, out) in workflow.backends().iter().zip(backend_outs) {
+        let ex = out.as_exchange();
+        observe_async_exchange(ex);
+        let raw =
+            ex.and_then(|e| e.server_log.as_ref()).map(|l| l.replies.clone()).unwrap_or_default();
+        let mut kept = Vec::new();
+        for reply in raw {
+            if let Some(session) = faults {
+                if !session.charge(1) {
+                    break;
+                }
+            }
+            kept.push(reply);
+        }
+        direct.push((b.name.clone(), kept));
+    }
+
+    // Then per proxy: message charges, then replays.
+    let mut chains = Vec::new();
+    for (proxy_profile, out) in workflow.proxies().iter().zip(proxy_outs) {
+        let ex = out.as_exchange();
+        observe_async_exchange(ex);
+        let raw_results = if faults.is_some_and(FaultSession::exhausted) {
+            Vec::new() // the sim's charge fails before the first message
+        } else {
+            ex.and_then(|e| e.proxy_log.as_ref()).map(|l| l.results.clone()).unwrap_or_default()
+        };
+        let mut proxy_results = Vec::new();
+        for r in raw_results {
+            if let Some(session) = faults {
+                if !session.charge(1) {
+                    break;
+                }
+            }
+            if let (Some(session), Some(_)) = (faults, r.action.forwarded()) {
+                if let Some(d) = session.decide(&proxy_profile.name, FaultStage::Forward) {
+                    if d.kind == FaultKind::StallRead {
+                        session.exhaust();
+                    }
+                }
+            }
+            proxy_results.push(r);
+        }
+
+        let mut forwarded = Vec::new();
+        let mut forwarded_count = 0usize;
+        let mut forwarded_lens = Vec::new();
+        for r in &proxy_results {
+            if let Some(f) = r.action.forwarded() {
+                forwarded.extend_from_slice(f);
+                forwarded_lens.push(f.len());
+                forwarded_count += 1;
+            }
+        }
+
+        let any_accepted = proxy_results.iter().any(|r| r.interpretation.outcome.is_accept());
+        let should_replay = forwarded_count > 0
+            && any_accepted
+            && (!workflow.replay_reduction || is_ambiguous(&bytes));
+
+        let mut replays = Vec::new();
+        if should_replay {
+            let proxy_sim = Proxy::new(proxy_profile.clone());
+            // Wave B for this proxy: the forwarded stream replays to
+            // every backend concurrently. The blocking path gates each
+            // backend's replay exchange on exhaustion; charges inside
+            // this very loop can exhaust the budget, so the gate is
+            // re-checked (and the collected result discarded) per
+            // backend below.
+            let replay_outs = if faults.is_some_and(FaultSession::exhausted) {
+                None
+            } else {
+                let jobs = backend_listeners
+                    .iter()
+                    .map(|l| testbed.exchange_job(l, &forwarded, SendMode::Whole))
+                    .collect();
+                Some(testbed.run(jobs))
+            };
+            for (i, backend_profile) in workflow.backends().iter().enumerate() {
+                let raw = match (&replay_outs, faults.is_some_and(FaultSession::exhausted)) {
+                    (Some(outs), false) => {
+                        let ex = outs.get(i).and_then(|o| o.as_exchange());
+                        observe_async_exchange(ex);
+                        ex.and_then(|e| e.server_log.as_ref())
+                            .map(|l| l.replies.clone())
+                            .unwrap_or_default()
+                    }
+                    _ => Vec::new(),
+                };
+                let mut replies = Vec::new();
+                for reply in raw {
+                    if let Some(session) = faults {
+                        if !session.charge(1) {
+                            break;
+                        }
+                    }
+                    replies.push(reply);
+                }
+                let cache_stored_error = simulate_cache(&proxy_sim, &proxy_results, &replies);
+                replays.push(ReplayRun {
+                    backend: backend_profile.name.clone(),
+                    replies,
+                    cache_stored_error,
+                });
+            }
+        }
+
+        chains.push(ChainRun {
+            proxy: proxy_profile.name.clone(),
+            proxy_results,
+            forwarded,
+            forwarded_count,
+            forwarded_lens,
+            replays,
+            relay_reaction: None, // an origin fault would have delegated
+        });
+    }
+
+    Ok(CaseOutcome {
+        uuid,
+        origin: origin.to_string(),
+        bytes,
+        chains,
+        direct,
+        fault_events: faults.map(|s| s.events()).unwrap_or_default(),
+        budget_exhausted: faults.is_some_and(FaultSession::exhausted),
+    })
+}
+
+/// Campaign telemetry for one multiplexed exchange, emitted from the
+/// case thread (the event loop itself records nothing): the RTT/timeout
+/// observations [`roundtrip`] makes, plus the pool counters the
+/// blocking [`hdiff_net::ConnPool`] emits.
+fn observe_async_exchange(ex: Option<&ExchangeOutput>) {
+    let Some(e) = ex else { return };
+    hdiff_obs::observe("net.exchange.rtt", e.rtt_ns);
+    if e.timed_out {
+        hdiff_obs::count("net.exchange.timeout", 1);
+    }
+    if e.reused {
+        hdiff_obs::count("net.pool.hit", 1);
+    } else {
+        hdiff_obs::count("net.pool.miss", 1);
+        hdiff_obs::count("net.conn.open", 1);
+    }
+    if e.retried {
+        hdiff_obs::count("net.pool.evict", 1);
+        hdiff_obs::count("net.conn.open", 1);
+    }
+}
+
 /// Runs one case over both transports and reports any divergence as a
 /// finding: the two executions must yield the same behavior digests and
 /// the same detector verdicts. A divergence means a bug in one transport
@@ -343,36 +602,67 @@ pub fn consistency_findings(
 ) -> Vec<Finding> {
     let sim = workflow.run_bytes_faulted(uuid, origin, bytes, None);
     let tcp = run_bytes_tcp(workflow, uuid, origin, bytes, None);
-    let mut out = Vec::new();
+    outcome_divergences(profiles, uuid, origin, &sim, "tcp", &tcp)
+}
 
-    let sim_digests = crate::replay::behavior_digests(&sim);
-    let tcp_digests = crate::replay::behavior_digests(&tcp);
+/// [`consistency_findings`] extended to the multiplexed transport: the
+/// same case runs over sim, blocking TCP, *and* `testbed`, and every
+/// wire execution must match the sim baseline.
+pub fn consistency_findings_async(
+    workflow: &Workflow,
+    profiles: &[ParserProfile],
+    uuid: u64,
+    origin: &str,
+    bytes: &[u8],
+    testbed: &AsyncTestbed,
+) -> Vec<Finding> {
+    let sim = workflow.run_bytes_faulted(uuid, origin, bytes, None);
+    let tcp = run_bytes_tcp(workflow, uuid, origin, bytes, None);
+    let tcp_async = run_bytes_tcp_async(workflow, uuid, origin, bytes, None, testbed);
+    let mut out = outcome_divergences(profiles, uuid, origin, &sim, "tcp", &tcp);
+    out.extend(outcome_divergences(profiles, uuid, origin, &sim, "tcp-async", &tcp_async));
+    out
+}
+
+/// Compares one wire execution against the sim baseline: behavior
+/// digests and detector verdicts must both match.
+fn outcome_divergences(
+    profiles: &[ParserProfile],
+    uuid: u64,
+    origin: &str,
+    sim: &CaseOutcome,
+    wire_label: &str,
+    wire: &CaseOutcome,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let sim_digests = crate::replay::behavior_digests(sim);
+    let wire_digests = crate::replay::behavior_digests(wire);
     for (label, expected) in &sim_digests {
-        match tcp_digests.iter().find(|(l, _)| l == label) {
+        match wire_digests.iter().find(|(l, _)| l == label) {
             Some((_, got)) if got == expected => {}
             other => out.push(divergence(
                 uuid,
                 origin,
                 label,
                 &format!(
-                    "behavior digest {label} diverges across transports: sim {expected:#018x}, tcp {}",
+                    "behavior digest {label} diverges across transports: sim {expected:#018x}, {wire_label} {}",
                     other.map_or("<missing>".to_string(), |(_, g)| format!("{g:#018x}")),
                 ),
             )),
         }
     }
 
-    let sim_findings = crate::detect::detect_case(profiles, &sim);
-    let tcp_findings = crate::detect::detect_case(profiles, &tcp);
-    if sim_findings != tcp_findings {
+    let sim_findings = crate::detect::detect_case(profiles, sim);
+    let wire_findings = crate::detect::detect_case(profiles, wire);
+    if sim_findings != wire_findings {
         out.push(divergence(
             uuid,
             origin,
             "findings",
             &format!(
-                "detector verdicts diverge across transports: {} sim vs {} tcp findings",
+                "detector verdicts diverge across transports: {} sim vs {} {wire_label} findings",
                 sim_findings.len(),
-                tcp_findings.len()
+                wire_findings.len()
             ),
         ));
     }
@@ -462,12 +752,13 @@ mod tests {
 
     #[test]
     fn transport_names_round_trip() {
-        for t in [Transport::Sim, Transport::Tcp] {
+        for t in [Transport::Sim, Transport::Tcp, Transport::TcpAsync] {
             assert_eq!(Transport::parse(t.as_str()), Some(t));
         }
         assert_eq!(Transport::parse("quic"), None);
         assert_eq!(Transport::default(), Transport::Sim);
         assert_eq!(Transport::Tcp.to_string(), "tcp");
+        assert_eq!(Transport::TcpAsync.to_string(), "tcp-async");
     }
 
     #[test]
@@ -477,6 +768,62 @@ mod tests {
         let bytes = b"GET / HTTP/1.1\r\nHost: h1.com\r\nHost: h2.com\r\n\r\n";
         let findings = consistency_findings(&workflow, &profiles, 7, "catalog:multi-host", bytes);
         assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn fault_free_case_is_consistent_over_the_multiplexed_transport() {
+        let workflow = Workflow::standard();
+        let profiles = hdiff_servers::products();
+        let testbed = AsyncTestbed::new(workflow.backends(), workflow.proxies()).unwrap();
+        let bytes = b"GET / HTTP/1.1\r\nHost: h1.com\r\nHost: h2.com\r\n\r\n";
+        let findings = consistency_findings_async(
+            &workflow,
+            &profiles,
+            7,
+            "catalog:multi-host",
+            bytes,
+            &testbed,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        // A second case over the same testbed rides the warm pool.
+        let findings = consistency_findings_async(
+            &workflow,
+            &profiles,
+            8,
+            "catalog:multi-host",
+            bytes,
+            &testbed,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        let stats = testbed.stats();
+        assert!(stats.pool_hits > 0, "repeat cases must reuse pooled connections: {stats:?}");
+    }
+
+    #[test]
+    fn faulted_cases_agree_between_blocking_and_multiplexed_paths() {
+        use hdiff_servers::fault::{FaultInjector, FaultPlan, FaultSession};
+        // A high fault rate exercises the delegation path (any pending
+        // decision falls back to the blocking testbed) alongside fast-path
+        // cases, and the outcome must match the blocking transport
+        // field-for-field either way.
+        let workflow = Workflow::standard();
+        let testbed = AsyncTestbed::new(workflow.backends(), workflow.proxies()).unwrap();
+        let injector = FaultInjector::new(FaultPlan::new(42, 60));
+        let bytes: &[u8] = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\n\r\nabc";
+        for uuid in 1..6u64 {
+            let blocking_session = FaultSession::new(&injector, uuid, 0, 4096);
+            let blocking = run_bytes_tcp(&workflow, uuid, "seed", bytes, Some(&blocking_session));
+            let async_session = FaultSession::new(&injector, uuid, 0, 4096);
+            let multiplexed =
+                run_bytes_tcp_async(&workflow, uuid, "seed", bytes, Some(&async_session), &testbed);
+            assert_eq!(
+                crate::replay::behavior_digests(&blocking),
+                crate::replay::behavior_digests(&multiplexed),
+                "uuid {uuid}"
+            );
+            assert_eq!(blocking.fault_events, multiplexed.fault_events, "uuid {uuid}");
+            assert_eq!(blocking.budget_exhausted, multiplexed.budget_exhausted, "uuid {uuid}");
+        }
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! The supervisor-written corpus artifact.
+//!
+//! Workers used to regenerate the entire corpus through
+//! [`hdiff_core::HDiff::prepare`] on every spawn — a fixed cost paid per
+//! incarnation (including every chaos respawn) that dominated short
+//! campaigns (`BENCH_fleet.json` measured ~594% overhead at 4 shards).
+//! The supervisor already holds the canonical corpus, so it persists it
+//! once into the fleet directory and hands workers `--corpus`; a worker
+//! then only rebuilds the grammar for its syntax oracle
+//! ([`hdiff_core::HDiff::prepare_with_cases`]) instead of re-running SR
+//! extraction and generation.
+//!
+//! Requests are serialized *structurally* — request-line components,
+//! raw header lines, and body each hex-encoded on their own — never as
+//! concatenated wire bytes, because malformed requests do not round-trip
+//! through a parse (the exact byte shapes under test are the ones
+//! parsers disagree on). SR assertions are deliberately not carried:
+//! they are only read at summarize time, and the merged fleet summary
+//! always comes from the supervisor's canonical corpus, never from a
+//! worker's.
+//!
+//! The format is the same hand-rolled JSON the checkpoint and replay
+//! codecs use ([`hdiff_diff::json`]); a worker that finds the artifact
+//! missing or unreadable falls back to full regeneration, keeping the
+//! fabric's crash tolerance.
+
+use std::io;
+use std::path::Path;
+
+use hdiff_diff::json::{push_json_str, Json, Parser};
+use hdiff_gen::{Origin, TestCase};
+use hdiff_wire::Request;
+
+/// On-disk format version.
+const FORMAT_VERSION: u64 = 1;
+
+fn data_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+fn nibble(b: u8) -> io::Result<u8> {
+    match b {
+        b'0'..=b'9' => Ok(b - b'0'),
+        b'a'..=b'f' => Ok(b - b'a' + 10),
+        b'A'..=b'F' => Ok(b - b'A' + 10),
+        _ => Err(data_err("invalid hex field")),
+    }
+}
+
+fn hex_decode(s: &str) -> io::Result<Vec<u8>> {
+    let s = s.as_bytes();
+    if !s.len().is_multiple_of(2) {
+        return Err(data_err("odd-length hex field"));
+    }
+    s.chunks_exact(2).map(|pair| Ok(nibble(pair[0])? << 4 | nibble(pair[1])?)).collect()
+}
+
+/// Hex needs no JSON escaping, so this writes the string literal directly.
+fn push_hex(out: &mut String, bytes: &[u8]) {
+    out.reserve(bytes.len() * 2 + 2);
+    out.push('"');
+    for &b in bytes {
+        out.push(char::from(HEX[usize::from(b >> 4)]));
+        out.push(char::from(HEX[usize::from(b & 0xf)]));
+    }
+    out.push('"');
+}
+
+/// Parses the `Display` form of [`Origin`] back (`sr:<id>`, `abnf`,
+/// `catalog:<name>`).
+fn parse_origin(s: &str) -> io::Result<Origin> {
+    if s == "abnf" {
+        return Ok(Origin::Abnf);
+    }
+    if let Some(id) = s.strip_prefix("sr:") {
+        return Ok(Origin::Sr(id.to_string()));
+    }
+    if let Some(name) = s.strip_prefix("catalog:") {
+        return Ok(Origin::Catalog(name.to_string()));
+    }
+    Err(data_err(format!("unknown case origin {s:?}")))
+}
+
+fn write_case(out: &mut String, case: &TestCase) {
+    out.push_str(&format!("{{\"uuid\":{},\"origin\":", case.uuid));
+    push_json_str(out, &case.origin.to_string());
+    out.push_str(",\"note\":");
+    push_json_str(out, &case.note);
+    out.push_str(",\"method\":");
+    push_hex(out, case.request.method_bytes());
+    out.push_str(",\"target\":");
+    push_hex(out, case.request.target());
+    out.push_str(",\"version\":");
+    push_hex(out, case.request.version_bytes());
+    if case.request.has_raw_request_line() {
+        out.push_str(",\"raw_line\":");
+        push_hex(out, &case.request.request_line());
+    }
+    out.push_str(",\"headers\":[");
+    for (i, field) in case.request.headers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_hex(out, field.raw());
+    }
+    out.push_str("],\"body\":");
+    push_hex(out, &case.request.body);
+    out.push('}');
+}
+
+fn read_case(v: &Json) -> io::Result<TestCase> {
+    let hex_field = |key: &str| -> io::Result<Vec<u8>> {
+        hex_decode(
+            v.get(key).and_then(Json::as_str).ok_or_else(|| data_err(format!("case {key}")))?,
+        )
+    };
+    let mut b = Request::builder();
+    b.method_raw(hex_field("method")?)
+        .target(hex_field("target")?)
+        .version_raw(hex_field("version")?)
+        .body(hex_field("body")?);
+    for raw in v.get("headers").and_then(Json::as_arr).unwrap_or_default() {
+        let raw = raw.as_str().ok_or_else(|| data_err("case header"))?;
+        b.header_raw(hex_decode(raw)?);
+    }
+    if v.get("raw_line").is_some() {
+        b.raw_request_line(hex_field("raw_line")?);
+    }
+    Ok(TestCase {
+        uuid: v.get("uuid").and_then(Json::as_u64).ok_or_else(|| data_err("case uuid"))?,
+        request: b.build(),
+        assertions: Vec::new(),
+        origin: parse_origin(
+            v.get("origin").and_then(Json::as_str).ok_or_else(|| data_err("case origin"))?,
+        )?,
+        note: v
+            .get("note")
+            .and_then(Json::as_str)
+            .ok_or_else(|| data_err("case note"))?
+            .to_string(),
+    })
+}
+
+/// Serializes the corpus as a JSON document.
+pub fn to_json(cases: &[TestCase]) -> String {
+    let mut out = format!("{{\"version\":{FORMAT_VERSION},\"cases\":[\n");
+    for (i, case) in cases.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        write_case(&mut out, case);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Parses a corpus written by [`to_json`].
+pub fn from_json(bytes: &[u8]) -> io::Result<Vec<TestCase>> {
+    let root = Parser::new(bytes).value()?;
+    let version = root.get("version").and_then(Json::as_u64).unwrap_or(0);
+    if version != FORMAT_VERSION {
+        return Err(data_err(format!(
+            "corpus artifact format v{version}, this build reads v{FORMAT_VERSION}"
+        )));
+    }
+    root.get("cases")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| data_err("corpus cases"))?
+        .iter()
+        .map(read_case)
+        .collect()
+}
+
+/// Writes the corpus artifact to `path` atomically.
+pub fn save(path: &Path, cases: &[TestCase]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, to_json(cases).as_bytes())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads an artifact written by [`save`].
+pub fn load(path: &Path) -> io::Result<Vec<TestCase>> {
+    from_json(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdiff_core::{HDiff, HdiffConfig};
+
+    /// The artifact round-trips every field except assertions, which it
+    /// drops on purpose.
+    fn strip_assertions(mut cases: Vec<TestCase>) -> Vec<TestCase> {
+        for c in &mut cases {
+            c.assertions.clear();
+        }
+        cases
+    }
+
+    #[test]
+    fn quick_corpus_roundtrips_byte_exactly() {
+        let cases = HDiff::new(HdiffConfig::quick()).prepare().cases;
+        let loaded = from_json(to_json(&cases).as_bytes()).unwrap();
+        assert_eq!(loaded, strip_assertions(cases));
+    }
+
+    #[test]
+    fn malformed_shapes_survive_the_codec() {
+        let mut b = Request::builder();
+        b.method_raw(b"GE\x00T")
+            .target(b"/\xff ")
+            .version_raw(b"")
+            .header_raw(b"Content-Length : 5".to_vec())
+            .header_raw(b"Transfer-Encoding:\x0bchunked".to_vec())
+            .body(b"hel\r\nlo".to_vec())
+            .raw_request_line(b"GET /?a=b 1.1/HTTP HTTP/1.0".to_vec());
+        let case = TestCase {
+            uuid: 7,
+            request: b.build(),
+            assertions: Vec::new(),
+            origin: Origin::Catalog("cl-ows".to_string()),
+            note: "codec probe".to_string(),
+        };
+        let loaded = from_json(to_json(std::slice::from_ref(&case)).as_bytes()).unwrap();
+        assert_eq!(loaded, vec![case]);
+    }
+
+    #[test]
+    fn artifact_fed_prepare_matches_full_prepare() {
+        let config = HdiffConfig::quick();
+        let full = HDiff::new(config.clone()).prepare();
+        let slice: Vec<TestCase> = full.cases.iter().take(40).cloned().collect();
+        let loaded = from_json(to_json(&full.cases).as_bytes()).unwrap();
+        let fed = HDiff::new(config).prepare_with_cases(loaded);
+        assert_eq!(fed.cases.len(), full.cases.len());
+        // The merge invariant: identical per-case results, so findings,
+        // pair matrices, and verdicts agree (SR violations differ by
+        // design — assertions do not travel).
+        let a = full.engine.run(&slice);
+        let b = fed.engine.run(&fed.cases[..slice.len()]);
+        assert_eq!(a.findings, b.findings);
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.verdicts, b.verdicts);
+        assert_eq!(a.errors, b.errors);
+    }
+}

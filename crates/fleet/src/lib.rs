@@ -8,11 +8,14 @@
 //! [`hdiff_diff::shard`]) under its own checkpoint file, and recovers
 //! dead workers deterministically:
 //!
-//! * [`worker`] — the `hdiff worker` process body: regenerate the corpus
-//!   from the shipped [`hdiff_core::HdiffConfig`] (cases cannot travel as
-//!   bytes — malformed requests do not round-trip), slice out the shard,
-//!   resume tolerantly from the checkpoint, and stream heartbeats on
-//!   stdout.
+//! * [`worker`] — the `hdiff worker` process body: load the supervisor's
+//!   [`corpus`] artifact (falling back to full regeneration from the
+//!   shipped [`hdiff_core::HdiffConfig`] when it is missing or torn),
+//!   slice out the shard, resume tolerantly from the checkpoint, and
+//!   stream heartbeats on stdout.
+//! * [`corpus`] — the corpus artifact codec: requests serialized
+//!   *structurally* (each component hex-encoded), because malformed
+//!   requests do not round-trip through concatenated wire bytes.
 //! * [`heartbeat`] — the one-line stdout protocol between the two:
 //!   `hdiff-alive` liveness ticks, `hdiff-hb <completed> <generation>`
 //!   after every checkpoint save, `hdiff-done <completed>` on completion.
@@ -29,6 +32,7 @@
 //! regardless of shard count, kill schedule, or resume history.
 
 pub mod chaos;
+pub mod corpus;
 pub mod heartbeat;
 pub mod supervisor;
 pub mod worker;

@@ -153,6 +153,10 @@ fn supervise(
     std::fs::create_dir_all(&fleet.dir)?;
     let config_path = fleet.dir.join("config.json");
     std::fs::write(&config_path, config.to_json())?;
+    // The canonical corpus, persisted once: workers load it instead of
+    // re-running SR extraction and generation on every incarnation.
+    let corpus_path = fleet.dir.join("corpus.json");
+    crate::corpus::save(&corpus_path, &prepared.cases)?;
     let chaos = ChaosPlan::new(config.seed, fleet.chaos_rate);
     let checkpoint_every = config.checkpoint_every.max(1);
 
@@ -181,7 +185,7 @@ fn supervise(
     loop {
         for s in &mut shards {
             if matches!(s.phase, Phase::Pending(due) if Instant::now() >= due) {
-                spawn_worker(s, fleet, &config_path, &chaos, checkpoint_every, &tx);
+                spawn_worker(s, fleet, &config_path, &corpus_path, &chaos, checkpoint_every, &tx);
             }
         }
         if shards.iter().all(|s| matches!(s.phase, Phase::Done | Phase::Failed)) {
@@ -292,6 +296,7 @@ fn spawn_worker(
     s: &mut ShardRun,
     fleet: &FleetConfig,
     config_path: &Path,
+    corpus_path: &Path,
     chaos: &ChaosPlan,
     checkpoint_every: usize,
     tx: &mpsc::Sender<(u32, u32, WorkerLine)>,
@@ -314,6 +319,8 @@ fn spawn_worker(
         .arg(&s.ckpt)
         .arg("--config")
         .arg(config_path)
+        .arg("--corpus")
+        .arg(corpus_path)
         .arg("--min-generation")
         .arg(s.generation.to_string())
         .arg("--alive-interval-ms")

@@ -1,13 +1,17 @@
 //! The `hdiff worker` process body.
 //!
-//! A worker is handed a [`ShardSpec`], a checkpoint path, and the
-//! supervisor's serialized [`HdiffConfig`]. Test cases never travel
-//! between processes — malformed requests do not round-trip through
-//! bytes — so the worker regenerates the *entire* corpus through
-//! [`HDiff::prepare`] (deterministic per config) and slices out its
-//! shard by corpus index. It then resumes tolerantly from the checkpoint
-//! (missing, torn, or stale files fall back to a clean shard restart;
-//! see [`hdiff_diff::checkpoint::resume_state`]) and streams the
+//! A worker is handed a [`ShardSpec`], a checkpoint path, the
+//! supervisor's serialized [`HdiffConfig`], and (normally) the
+//! supervisor's corpus artifact ([`crate::corpus`]). Loading the
+//! artifact skips the per-incarnation SR extraction and generation cost
+//! — the worker rebuilds only the grammar its syntax oracle needs
+//! ([`HDiff::prepare_with_cases`]) and slices out its shard by corpus
+//! index. A missing or unreadable artifact degrades to full
+//! regeneration through [`HDiff::prepare`] (deterministic per config,
+//! so the records come out identical either way). It then resumes
+//! tolerantly from the checkpoint (missing, torn, or stale files fall
+//! back to a clean shard restart; see
+//! [`hdiff_diff::checkpoint::resume_state`]) and streams the
 //! [`crate::heartbeat`] protocol on stdout while it runs.
 
 use std::io;
@@ -33,6 +37,9 @@ pub struct WorkerOptions {
     pub checkpoint: PathBuf,
     /// The campaign configuration, exactly as the supervisor runs it.
     pub config: HdiffConfig,
+    /// The supervisor's corpus artifact ([`crate::corpus`]), when one
+    /// was shipped; `None` (or a load failure) regenerates instead.
+    pub corpus: Option<PathBuf>,
     /// Resume floor: checkpoint generations below this are stale (older
     /// than progress the supervisor already witnessed) and are discarded.
     pub min_generation: u64,
@@ -75,7 +82,21 @@ pub fn run_worker(opts: WorkerOptions) -> io::Result<usize> {
         });
     }
 
-    let prepared = HDiff::new(opts.config).prepare();
+    let artifact = opts.corpus.as_ref().and_then(|path| match crate::corpus::load(path) {
+        Ok(cases) => Some(cases),
+        Err(e) => {
+            eprintln!(
+                "hdiff worker {}: corpus artifact {} unreadable ({e}); regenerating",
+                opts.shard,
+                path.display()
+            );
+            None
+        }
+    });
+    let prepared = match artifact {
+        Some(cases) => HDiff::new(opts.config).prepare_with_cases(cases),
+        None => HDiff::new(opts.config).prepare(),
+    };
     let expected = shard_ranges(prepared.cases.len(), opts.shard.count)
         .into_iter()
         .find(|s| s.index == opts.shard.index);

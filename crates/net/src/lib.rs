@@ -42,14 +42,23 @@ pub mod client;
 pub mod desync;
 pub mod echo;
 pub mod error;
+pub mod pool;
 pub mod proxy;
+pub mod reactor;
 pub mod server;
+pub mod testbed;
 pub mod timeout;
 
 pub use client::{Exchange, NetClientConfig, PipelinedExchange, SendMode, WireClient};
 pub use desync::{attribute_responses, compare_attribution, DesyncSignal, ResponseAttribution};
 pub use echo::NetEcho;
 pub use error::{NetError, NetErrorKind};
+pub use pool::{ConnPool, PoolStats};
 pub use proxy::{NetProxy, NetProxyConfig, ProxyConnLog};
+pub use reactor::{
+    AsyncListener, DriveOutput, DriveSpec, ExchangeOutput, ExchangeSpec, Job, JobOutput,
+    ListenerId, Reactor, ReactorStats,
+};
 pub use server::{ConnectionLog, NetServer, NetServerConfig, ServerFault, Teardown};
+pub use testbed::AsyncTestbed;
 pub use timeout::{io_timeout, stall_observe_timeout, DEFAULT_IO_TIMEOUT, IO_TIMEOUT_ENV};

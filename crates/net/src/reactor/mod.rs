@@ -1,0 +1,2327 @@
+//! The readiness-driven event loop behind the async transport.
+//!
+//! One [`Reactor`] owns one epoll instance and one loop thread that
+//! multiplexes every socket the async testbed touches: origin/proxy/echo
+//! listeners, their accepted connections, upstream relay connections,
+//! and the client side of every in-flight exchange. Each connection is a
+//! small state machine ported line-for-line from the blocking handlers
+//! in [`crate::server`], [`crate::proxy`], [`crate::echo`], and
+//! [`crate::client`] — the parity the cross-transport consistency gate
+//! asserts comes from running the *same* parse/finalize/fault logic,
+//! just cooperatively instead of a thread per socket.
+//!
+//! Design points:
+//!
+//! * **Edge-triggered epoll, slab tokens.** Every fd registers once with
+//!   `EPOLLIN|EPOLLOUT|EPOLLRDHUP|EPOLLET`; the event token packs a slab
+//!   index and a generation counter so a recycled slot can never receive
+//!   a stale event. Handlers read/write until `WouldBlock`.
+//! * **Deadline wheel, not per-socket timeouts.** Sockets are
+//!   nonblocking; the per-read 500 ms budget of the blocking layer
+//!   becomes a [`super::reactor::wheel::Wheel`] entry re-armed on every
+//!   read with progress. Cancellation is a sequence-number bump.
+//! * **Log-before-EOF ordering for free.** The blocking layer's
+//!   synchronization contract (a server pushes its connection log before
+//!   closing, a client that saw EOF sees the complete log) holds here
+//!   because server finalize and client EOF run on the same loop thread:
+//!   the close that produces the client's EOF readiness happens strictly
+//!   after the log was delivered.
+//! * **Warm connection pool.** `warm()` pre-opens idle connections per
+//!   listener address; an exchange submitted with `warm: true` claims
+//!   one (pool hit) instead of connecting (miss). A server-side close of
+//!   an idle connection is detected by its read readiness and counted as
+//!   an eviction; a claimed-but-stale connection (empty response, no
+//!   server log) is retried once on a fresh connection.
+//! * **Blocking `connect`, bounded burst.** Loopback connects complete
+//!   in microseconds *when the listener backlog has room*, so the loop
+//!   issues at most [`CONNECT_BURST`] connects per iteration and drains
+//!   accepts in between — the backlog (128) can never overflow and the
+//!   kernel's 1 s SYN-retry stall can never trigger.
+
+pub mod sys;
+pub mod wheel;
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::rc::Rc;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hdiff_servers::fault::FaultKind;
+use hdiff_servers::{
+    EchoServer, ForwardAction, ParserProfile, Proxy, ProxyResult, Server, ServerReply,
+};
+use hdiff_wire::parse_response;
+
+use crate::client::SendMode;
+use crate::error::NetError;
+use crate::proxy::{NetProxyConfig, ProxyConnLog};
+use crate::server::{
+    apply_reply_fault, incomplete_reason, is_final, ConnectionLog, NetServerConfig, ServerFault,
+    Teardown,
+};
+
+use sys::{Epoll, EpollEvent, EPOLLET, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use wheel::Wheel;
+
+/// Event token reserved for the loop's wake channel.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Maximum outbound connects initiated per loop iteration (see module
+/// docs: must stay below the listen backlog).
+const CONNECT_BURST: usize = 64;
+
+/// Read chunk size, matching the blocking handlers.
+const CHUNK: usize = 4096;
+
+/// Idle epoll wait cap when no deadline is armed.
+const IDLE_WAIT_MS: u64 = 100;
+
+/// Opaque handle to a listener hosted by the reactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListenerId(u64);
+
+/// A listener the reactor serves, as seen by the submitting thread.
+#[derive(Debug, Clone)]
+pub struct AsyncListener {
+    /// Product name (profile name) this listener serves.
+    pub name: String,
+    /// Bound loopback address.
+    pub addr: SocketAddr,
+    /// Handle for log collection and exchange pairing.
+    pub id: ListenerId,
+}
+
+/// One unit of client work submitted to the loop.
+#[derive(Debug, Clone)]
+pub enum Job {
+    /// Campaign-style exchange: write, FIN, read to EOF.
+    Exchange(ExchangeSpec),
+    /// Bench-style drive: N framed keep-alive requests on one connection.
+    Drive(DriveSpec),
+}
+
+/// Parameters of one campaign exchange.
+#[derive(Debug, Clone)]
+pub struct ExchangeSpec {
+    /// Target address.
+    pub addr: SocketAddr,
+    /// Request stream bytes.
+    pub bytes: Vec<u8>,
+    /// How the bytes go on the wire.
+    pub mode: SendMode,
+    /// Read deadline (re-armed on progress), mirroring the blocking
+    /// client's per-read timeout.
+    pub read_timeout: Duration,
+    /// Listener whose connection log this exchange collects, if any.
+    pub pair: Option<ListenerId>,
+    /// Claim a pre-warmed pool connection when one is available.
+    pub warm: bool,
+}
+
+/// Parameters of one throughput drive.
+#[derive(Debug, Clone)]
+pub struct DriveSpec {
+    /// Target address.
+    pub addr: SocketAddr,
+    /// One framed request; sent `requests` times.
+    pub payload: Vec<u8>,
+    /// Total requests to complete.
+    pub requests: u64,
+    /// Requests kept in flight per refill (1 = strict request/response).
+    pub pipeline: usize,
+    /// Read deadline (re-armed on progress).
+    pub read_timeout: Duration,
+}
+
+/// Result of one [`Job::Exchange`].
+#[derive(Debug, Clone, Default)]
+pub struct ExchangeOutput {
+    /// Raw response bytes read before EOF (or the deadline).
+    pub response: Vec<u8>,
+    /// Whether the read ended on the deadline rather than EOF.
+    pub timed_out: bool,
+    /// Connect or stream failure, if the exchange never completed.
+    pub error: Option<NetError>,
+    /// The paired origin listener's connection log, when requested.
+    pub server_log: Option<ConnectionLog>,
+    /// The paired proxy listener's connection log, when requested.
+    pub proxy_log: Option<ProxyConnLog>,
+    /// Wall time from job assignment to completion.
+    pub rtt_ns: u64,
+    /// Whether a warm pooled connection was claimed.
+    pub reused: bool,
+    /// Whether the exchange re-ran on a fresh connection after a stale
+    /// pooled one.
+    pub retried: bool,
+}
+
+/// Result of one [`Job::Drive`].
+#[derive(Debug, Clone, Default)]
+pub struct DriveOutput {
+    /// Requests that received a complete framed response.
+    pub completed: u64,
+    /// Connect or stream errors (the drive stops on the first).
+    pub errors: u64,
+    /// Wall time for the whole drive.
+    pub elapsed_ns: u64,
+    /// Per-request RTTs, recorded only at `pipeline == 1`.
+    pub rtt_ns: Vec<u64>,
+    /// Whether the drive ended on the deadline.
+    pub timed_out: bool,
+}
+
+/// Output of one [`Job`], in submission order.
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// Result of an exchange job.
+    Exchange(ExchangeOutput),
+    /// Result of a drive job.
+    Drive(DriveOutput),
+}
+
+impl JobOutput {
+    /// The exchange result, when this job was an exchange.
+    pub fn as_exchange(&self) -> Option<&ExchangeOutput> {
+        match self {
+            JobOutput::Exchange(e) => Some(e),
+            JobOutput::Drive(_) => None,
+        }
+    }
+
+    /// The drive result, when this job was a drive.
+    pub fn as_drive(&self) -> Option<&DriveOutput> {
+        match self {
+            JobOutput::Drive(d) => Some(d),
+            JobOutput::Exchange(_) => None,
+        }
+    }
+}
+
+/// Loop-side counters, snapshotted via [`Reactor::stats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReactorStats {
+    /// `epoll_wait` returns.
+    pub wakeups: u64,
+    /// Readiness events delivered.
+    pub events: u64,
+    /// Connections the loop opened or accepted.
+    pub conns_opened: u64,
+    /// Connections the loop closed.
+    pub conns_closed: u64,
+    /// Warm-pool connections opened beyond each address's first fill —
+    /// the keep-alive churn signal.
+    pub conn_churn: u64,
+    /// Exchanges that claimed a warm pooled connection.
+    pub pool_hits: u64,
+    /// Warm-requested exchanges that found the pool empty.
+    pub pool_misses: u64,
+    /// Idle pooled connections discarded after a server-side close.
+    pub pool_evictions: u64,
+    /// Deadline-wheel entries that fired against a live connection.
+    pub deadline_fires: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Commands from the handle to the loop.
+// ---------------------------------------------------------------------------
+
+enum Cmd {
+    AddOrigin {
+        listener: TcpListener,
+        server: Server,
+        config: NetServerConfig,
+        record: bool,
+        name: String,
+        ack: Sender<ListenerId>,
+    },
+    AddProxy {
+        listener: TcpListener,
+        proxy: Proxy,
+        config: NetProxyConfig,
+        name: String,
+        ack: Sender<ListenerId>,
+    },
+    AddEcho {
+        listener: TcpListener,
+        read_timeout: Duration,
+        ack: Sender<ListenerId>,
+    },
+    Warm {
+        addr: SocketAddr,
+        depth: usize,
+        ack: Sender<()>,
+    },
+    Submit {
+        jobs: Vec<Job>,
+        done: Sender<Vec<JobOutput>>,
+    },
+    TakeServerLogs {
+        id: ListenerId,
+        ack: Sender<Vec<ConnectionLog>>,
+    },
+    TakeProxyLogs {
+        id: ListenerId,
+        ack: Sender<Vec<ProxyConnLog>>,
+    },
+    TakeEchoRecords {
+        id: ListenerId,
+        ack: Sender<Vec<Vec<u8>>>,
+    },
+    Stats {
+        ack: Sender<ReactorStats>,
+    },
+    Shutdown,
+}
+
+// ---------------------------------------------------------------------------
+// Loop-side state.
+// ---------------------------------------------------------------------------
+
+struct OriginListener {
+    listener: TcpListener,
+    server: Rc<Server>,
+    config: Rc<NetServerConfig>,
+    record: bool,
+    logs: Vec<ConnectionLog>,
+    #[allow(dead_code)]
+    name: String,
+}
+
+struct ProxyListener {
+    listener: TcpListener,
+    proxy: Rc<Proxy>,
+    config: Rc<NetProxyConfig>,
+    logs: Vec<ProxyConnLog>,
+    #[allow(dead_code)]
+    name: String,
+}
+
+struct EchoListener {
+    listener: TcpListener,
+    echo: Rc<RefCell<EchoServer>>,
+    read_timeout: Duration,
+}
+
+/// Origin-side fault phase for the two whole-connection faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OriginFaultPhase {
+    /// No whole-connection fault; run the normal parse loop.
+    None,
+    /// `CloseNoReply`: waiting for the first bytes, then abort.
+    AwaitAbort,
+    /// `Stall`: log already pushed, draining quietly until EOF.
+    Stalling,
+}
+
+struct OriginConn {
+    stream: TcpStream,
+    server: Rc<Server>,
+    config: Rc<NetServerConfig>,
+    record: bool,
+    owner: usize,
+    peer: SocketAddr,
+    buf: Vec<u8>,
+    pos: usize,
+    replies: Vec<ServerReply>,
+    bytes_out: usize,
+    eof: bool,
+    teardown: Teardown,
+    out: Vec<u8>,
+    out_pos: usize,
+    closing: bool,
+    finalized: bool,
+    fault_phase: OriginFaultPhase,
+    seq: u64,
+}
+
+struct PendingRelay {
+    result: ProxyResult,
+    consumed: usize,
+    rejected: bool,
+    drop_rest: bool,
+}
+
+struct ProxyConn {
+    stream: TcpStream,
+    proxy: Rc<Proxy>,
+    config: Rc<NetProxyConfig>,
+    owner: usize,
+    peer: SocketAddr,
+    buf: Vec<u8>,
+    pos: usize,
+    results: Vec<ProxyResult>,
+    eof: bool,
+    teardown: Teardown,
+    out: Vec<u8>,
+    out_pos: usize,
+    closing: bool,
+    relay: Option<PendingRelay>,
+    seq: u64,
+}
+
+struct UpstreamConn {
+    stream: TcpStream,
+    /// Slab index of the proxy connection awaiting this relay.
+    owner: usize,
+    out: Vec<u8>,
+    out_pos: usize,
+    fin_sent: bool,
+    resp: Vec<u8>,
+    seq: u64,
+}
+
+struct EchoConn {
+    stream: TcpStream,
+    echo: Rc<RefCell<EchoServer>>,
+    buf: Vec<u8>,
+    out: Vec<u8>,
+    out_pos: usize,
+    responded: bool,
+    seq: u64,
+}
+
+struct ExchangeState {
+    batch: usize,
+    job: usize,
+    out: Vec<u8>,
+    out_pos: usize,
+    fin_sent: bool,
+    resp: Vec<u8>,
+    read_timeout: Duration,
+    started: Instant,
+    reused: bool,
+    retried: bool,
+    pair: Option<usize>,
+    /// Original spec kept for the stale-connection retry.
+    spec: ExchangeSpec,
+}
+
+struct DriveState {
+    batch: usize,
+    job: usize,
+    payload: Vec<u8>,
+    requests: u64,
+    sent: u64,
+    completed: u64,
+    pipeline: usize,
+    out: Vec<u8>,
+    out_pos: usize,
+    resp_buf: Vec<u8>,
+    rtts: Vec<u64>,
+    last_send: Instant,
+    read_timeout: Duration,
+    started: Instant,
+}
+
+enum ClientKind {
+    /// Warm pool member, waiting for an exchange to claim it.
+    Idle {
+        addr: SocketAddr,
+    },
+    Exchange(Box<ExchangeState>),
+    Drive(Box<DriveState>),
+}
+
+struct ClientConn {
+    stream: TcpStream,
+    kind: ClientKind,
+    seq: u64,
+}
+
+enum Entry {
+    OriginListener(OriginListener),
+    ProxyListener(ProxyListener),
+    EchoListener(EchoListener),
+    Origin(OriginConn),
+    ProxyDown(Box<ProxyConn>),
+    Upstream(UpstreamConn),
+    EchoConn(EchoConn),
+    Client(ClientConn),
+}
+
+struct Slot {
+    gen: u32,
+    entry: Option<Entry>,
+}
+
+struct BatchState {
+    outputs: Vec<Option<JobOutput>>,
+    remaining: usize,
+    done: Sender<Vec<JobOutput>>,
+    pending_server_logs: HashMap<usize, ConnectionLog>,
+    pending_proxy_logs: HashMap<usize, ProxyConnLog>,
+}
+
+enum ConnectIntent {
+    Exchange { batch: usize, job: usize, spec: ExchangeSpec, retried: bool },
+    Drive { batch: usize, job: usize, spec: DriveSpec },
+    Idle { addr: SocketAddr },
+    Upstream { owner: usize, addr: SocketAddr, bytes: Vec<u8>, read_timeout: Duration },
+}
+
+enum Wake {
+    Io(u64),
+    Deadline(usize, u64),
+    Resume(usize),
+    RelayDone(usize, Result<Vec<u8>, ()>),
+}
+
+enum ReadOutcome {
+    /// Read until `WouldBlock`; `true` when any bytes arrived.
+    More(bool),
+    /// Peer sent FIN.
+    Eof,
+    /// Hard stream error.
+    Error,
+}
+
+/// Drains `stream` into `buf` until `WouldBlock`, EOF, or error.
+fn drain_read(stream: &mut TcpStream, buf: &mut Vec<u8>) -> ReadOutcome {
+    let mut any = false;
+    let mut chunk = [0u8; CHUNK];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Eof,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                any = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return ReadOutcome::More(any),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Error,
+        }
+    }
+}
+
+enum WriteOutcome {
+    Flushed,
+    Partial,
+    Error,
+}
+
+/// Writes `out[*pos..]` until `WouldBlock`, completion, or error.
+fn drain_write(stream: &mut TcpStream, out: &[u8], pos: &mut usize) -> WriteOutcome {
+    while *pos < out.len() {
+        match stream.write(&out[*pos..]) {
+            Ok(0) => return WriteOutcome::Error,
+            Ok(n) => *pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return WriteOutcome::Partial,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return WriteOutcome::Error,
+        }
+    }
+    WriteOutcome::Flushed
+}
+
+/// Flattens a [`SendMode`] into the exact bytes an exchange puts on the
+/// wire. Segment boundaries are not reproduced as separate writes: the
+/// blocking client emits its segments back-to-back with no pauses, so
+/// coalescing is already possible there, and the servers' finalization
+/// rule (`is_final`) makes outcomes depend only on the total stream.
+fn mode_bytes(bytes: &[u8], mode: &SendMode) -> Vec<u8> {
+    match mode {
+        SendMode::Whole | SendMode::Segmented(_) => bytes.to_vec(),
+        SendMode::TruncateAt(n) => bytes[..(*n).min(bytes.len())].to_vec(),
+    }
+}
+
+struct EventLoop {
+    ep: Epoll,
+    wake_rx: TcpStream,
+    cmds: Arc<Mutex<VecDeque<Cmd>>>,
+    slab: Vec<Slot>,
+    free: Vec<usize>,
+    wheel: Wheel,
+    next_seq: u64,
+    batches: Vec<Option<BatchState>>,
+    free_batches: Vec<usize>,
+    tickets: HashMap<(usize, SocketAddr), (usize, usize)>,
+    /// Idle pooled connections per address, as (slab idx, generation).
+    warm: HashMap<SocketAddr, VecDeque<(usize, u32)>>,
+    /// Registered pool depth per address.
+    warm_targets: HashMap<SocketAddr, usize>,
+    /// Addresses that completed their first pool fill (for churn
+    /// accounting).
+    warm_filled: HashMap<SocketAddr, bool>,
+    pending_connects: VecDeque<ConnectIntent>,
+    agenda: VecDeque<Wake>,
+    stats: ReactorStats,
+}
+
+impl EventLoop {
+    fn new(ep: Epoll, wake_rx: TcpStream, cmds: Arc<Mutex<VecDeque<Cmd>>>) -> EventLoop {
+        EventLoop {
+            ep,
+            wake_rx,
+            cmds,
+            slab: Vec::new(),
+            free: Vec::new(),
+            wheel: Wheel::new(Instant::now()),
+            next_seq: 1,
+            batches: Vec::new(),
+            free_batches: Vec::new(),
+            tickets: HashMap::new(),
+            warm: HashMap::new(),
+            warm_targets: HashMap::new(),
+            warm_filled: HashMap::new(),
+            pending_connects: VecDeque::new(),
+            agenda: VecDeque::new(),
+            stats: ReactorStats::default(),
+        }
+    }
+
+    // -- slab ------------------------------------------------------------
+
+    fn insert(&mut self, entry: Entry) -> usize {
+        match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx].entry = Some(entry);
+                idx
+            }
+            None => {
+                self.slab.push(Slot { gen: 0, entry: Some(entry) });
+                self.slab.len() - 1
+            }
+        }
+    }
+
+    fn token(&self, idx: usize) -> u64 {
+        ((self.slab[idx].gen as u64) << 32) | idx as u64
+    }
+
+    /// Frees a slot whose entry has already been taken out.
+    fn release(&mut self, idx: usize) {
+        self.slab[idx].gen = self.slab[idx].gen.wrapping_add(1);
+        self.slab[idx].entry = None;
+        self.free.push(idx);
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    fn arm(&mut self, idx: usize, seq: u64, after: Duration) {
+        self.wheel.arm(Instant::now(), idx, seq, after);
+    }
+
+    fn register(&mut self, fd: std::os::fd::RawFd, idx: usize) -> std::io::Result<()> {
+        self.ep.add(fd, EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET, self.token(idx))
+    }
+
+    // -- main loop -------------------------------------------------------
+
+    fn run(mut self) {
+        let mut events = vec![EpollEvent::default(); 1024];
+        loop {
+            let timeout_ms = if self.pending_connects.is_empty() && self.agenda.is_empty() {
+                self.wheel.next_timeout_ms(Instant::now(), IDLE_WAIT_MS) as i32
+            } else {
+                0
+            };
+            let n = self.ep.wait(&mut events, timeout_ms).unwrap_or(0);
+            self.stats.wakeups += 1;
+            self.stats.events += n as u64;
+            let mut woken = false;
+            for ev in &events[..n] {
+                if ev.data() == WAKE_TOKEN {
+                    woken = true;
+                } else {
+                    self.agenda.push_back(Wake::Io(ev.data()));
+                }
+            }
+            if woken {
+                let mut sink = [0u8; 256];
+                while matches!(self.wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+            }
+            let now = Instant::now();
+            let mut fired = Vec::new();
+            self.wheel.advance(now, |c, s| fired.push((c, s)));
+            for (c, s) in fired {
+                self.agenda.push_back(Wake::Deadline(c, s));
+            }
+            loop {
+                let cmd = self.cmds.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
+                match cmd {
+                    Some(Cmd::Shutdown) => return,
+                    Some(cmd) => self.handle_cmd(cmd),
+                    None => break,
+                }
+            }
+            while let Some(wake) = self.agenda.pop_front() {
+                self.dispatch(wake);
+            }
+            for _ in 0..CONNECT_BURST {
+                match self.pending_connects.pop_front() {
+                    Some(intent) => self.do_connect(intent),
+                    None => break,
+                }
+            }
+        }
+    }
+
+    fn handle_cmd(&mut self, cmd: Cmd) {
+        match cmd {
+            Cmd::AddOrigin { listener, server, config, record, name, ack } => {
+                let _ = listener.set_nonblocking(true);
+                let fd = listener.as_raw_fd();
+                let idx = self.insert(Entry::OriginListener(OriginListener {
+                    listener,
+                    server: Rc::new(server),
+                    config: Rc::new(config),
+                    record,
+                    logs: Vec::new(),
+                    name,
+                }));
+                let _ = self.register(fd, idx);
+                let _ = ack.send(ListenerId(self.token(idx)));
+            }
+            Cmd::AddProxy { listener, proxy, config, name, ack } => {
+                let _ = listener.set_nonblocking(true);
+                let fd = listener.as_raw_fd();
+                let idx = self.insert(Entry::ProxyListener(ProxyListener {
+                    listener,
+                    proxy: Rc::new(proxy),
+                    config: Rc::new(config),
+                    logs: Vec::new(),
+                    name,
+                }));
+                let _ = self.register(fd, idx);
+                let _ = ack.send(ListenerId(self.token(idx)));
+            }
+            Cmd::AddEcho { listener, read_timeout, ack } => {
+                let _ = listener.set_nonblocking(true);
+                let fd = listener.as_raw_fd();
+                let idx = self.insert(Entry::EchoListener(EchoListener {
+                    listener,
+                    echo: Rc::new(RefCell::new(EchoServer::new())),
+                    read_timeout,
+                }));
+                let _ = self.register(fd, idx);
+                let _ = ack.send(ListenerId(self.token(idx)));
+            }
+            Cmd::Warm { addr, depth, ack } => {
+                self.warm_targets.insert(addr, depth);
+                let have = self.idle_count(addr);
+                for _ in have..depth {
+                    self.pending_connects.push_back(ConnectIntent::Idle { addr });
+                }
+                let _ = ack.send(());
+            }
+            Cmd::Submit { jobs, done } => self.handle_submit(jobs, done),
+            Cmd::TakeServerLogs { id, ack } => {
+                let logs = match self.resolve(id) {
+                    Some(idx) => match self.slab[idx].entry.as_mut() {
+                        Some(Entry::OriginListener(l)) => std::mem::take(&mut l.logs),
+                        _ => Vec::new(),
+                    },
+                    None => Vec::new(),
+                };
+                let _ = ack.send(logs);
+            }
+            Cmd::TakeProxyLogs { id, ack } => {
+                let logs = match self.resolve(id) {
+                    Some(idx) => match self.slab[idx].entry.as_mut() {
+                        Some(Entry::ProxyListener(l)) => std::mem::take(&mut l.logs),
+                        _ => Vec::new(),
+                    },
+                    None => Vec::new(),
+                };
+                let _ = ack.send(logs);
+            }
+            Cmd::TakeEchoRecords { id, ack } => {
+                let records = match self.resolve(id) {
+                    Some(idx) => match self.slab[idx].entry.as_ref() {
+                        Some(Entry::EchoListener(l)) => {
+                            let mut echo = l.echo.borrow_mut();
+                            let records = echo.records().to_vec();
+                            echo.clear();
+                            records
+                        }
+                        _ => Vec::new(),
+                    },
+                    None => Vec::new(),
+                };
+                let _ = ack.send(records);
+            }
+            Cmd::Stats { ack } => {
+                let _ = ack.send(self.stats);
+            }
+            Cmd::Shutdown => {}
+        }
+    }
+
+    fn resolve(&self, id: ListenerId) -> Option<usize> {
+        let idx = (id.0 & 0xffff_ffff) as usize;
+        let gen = (id.0 >> 32) as u32;
+        (idx < self.slab.len() && self.slab[idx].gen == gen).then_some(idx)
+    }
+
+    fn idle_count(&self, addr: SocketAddr) -> usize {
+        self.warm.get(&addr).map_or(0, VecDeque::len)
+    }
+
+    // -- submission ------------------------------------------------------
+
+    fn handle_submit(&mut self, jobs: Vec<Job>, done: Sender<Vec<JobOutput>>) {
+        let batch = match self.free_batches.pop() {
+            Some(b) => b,
+            None => {
+                self.batches.push(None);
+                self.batches.len() - 1
+            }
+        };
+        self.batches[batch] = Some(BatchState {
+            outputs: vec![None; jobs.len()],
+            remaining: jobs.len(),
+            done,
+            pending_server_logs: HashMap::new(),
+            pending_proxy_logs: HashMap::new(),
+        });
+        if jobs.is_empty() {
+            self.finish_batch_if_done(batch);
+            return;
+        }
+        for (job, spec) in jobs.into_iter().enumerate() {
+            match spec {
+                Job::Exchange(spec) => self.submit_exchange(batch, job, spec, false),
+                Job::Drive(spec) => {
+                    self.pending_connects.push_back(ConnectIntent::Drive { batch, job, spec });
+                }
+            }
+        }
+    }
+
+    fn submit_exchange(&mut self, batch: usize, job: usize, spec: ExchangeSpec, retried: bool) {
+        if spec.warm && !retried {
+            if let Some(idx) = self.claim_idle(spec.addr) {
+                self.stats.pool_hits += 1;
+                self.replenish(spec.addr);
+                self.assign_exchange(idx, batch, job, spec, true, false);
+                return;
+            }
+            self.stats.pool_misses += 1;
+            self.replenish(spec.addr);
+        }
+        self.pending_connects.push_back(ConnectIntent::Exchange { batch, job, spec, retried });
+    }
+
+    /// Pops idle pooled connections for `addr` until a live one is found.
+    fn claim_idle(&mut self, addr: SocketAddr) -> Option<usize> {
+        let deque = self.warm.get_mut(&addr)?;
+        while let Some((idx, gen)) = deque.pop_front() {
+            if self.slab.get(idx).is_some_and(|s| {
+                s.gen == gen
+                    && matches!(
+                        s.entry,
+                        Some(Entry::Client(ClientConn { kind: ClientKind::Idle { .. }, .. }))
+                    )
+            }) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Tops the pool back up to the registered depth for `addr`.
+    fn replenish(&mut self, addr: SocketAddr) {
+        let Some(&depth) = self.warm_targets.get(&addr) else { return };
+        if self.idle_count(addr) < depth {
+            self.pending_connects.push_back(ConnectIntent::Idle { addr });
+        }
+    }
+
+    /// Converts a connected client slot into a running exchange.
+    fn assign_exchange(
+        &mut self,
+        idx: usize,
+        batch: usize,
+        job: usize,
+        spec: ExchangeSpec,
+        reused: bool,
+        retried: bool,
+    ) {
+        let pair = spec.pair.and_then(|id| self.resolve(id));
+        let seq = self.next_seq();
+        let read_timeout = spec.read_timeout;
+        let state = ExchangeState {
+            batch,
+            job,
+            out: mode_bytes(&spec.bytes, &spec.mode),
+            out_pos: 0,
+            fin_sent: false,
+            resp: Vec::new(),
+            read_timeout,
+            started: Instant::now(),
+            reused,
+            retried,
+            pair,
+            spec,
+        };
+        if let Some(Entry::Client(c)) = self.slab[idx].entry.as_mut() {
+            c.kind = ClientKind::Exchange(Box::new(state));
+            c.seq = seq;
+            if let (Some(owner), Ok(local)) = (pair, c.stream.local_addr()) {
+                self.tickets.insert((owner, local), (batch, job));
+            }
+        }
+        self.arm(idx, seq, read_timeout);
+        self.agenda.push_back(Wake::Resume(idx));
+    }
+
+    // -- connect processing ---------------------------------------------
+
+    fn do_connect(&mut self, intent: ConnectIntent) {
+        match intent {
+            ConnectIntent::Exchange { batch, job, spec, retried } => match self.open(spec.addr) {
+                Ok(idx) => self.assign_exchange(idx, batch, job, spec, false, retried),
+                Err(e) => {
+                    let out = ExchangeOutput {
+                        error: Some(NetError::connect(e)),
+                        retried,
+                        ..ExchangeOutput::default()
+                    };
+                    self.complete(batch, job, JobOutput::Exchange(out));
+                }
+            },
+            ConnectIntent::Drive { batch, job, spec } => match self.open(spec.addr) {
+                Ok(idx) => {
+                    let seq = self.next_seq();
+                    let read_timeout = spec.read_timeout;
+                    let mut state = DriveState {
+                        batch,
+                        job,
+                        payload: spec.payload,
+                        requests: spec.requests,
+                        sent: 0,
+                        completed: 0,
+                        pipeline: spec.pipeline.max(1),
+                        out: Vec::new(),
+                        out_pos: 0,
+                        resp_buf: Vec::new(),
+                        rtts: Vec::new(),
+                        last_send: Instant::now(),
+                        read_timeout,
+                        started: Instant::now(),
+                    };
+                    refill_drive(&mut state);
+                    if let Some(Entry::Client(c)) = self.slab[idx].entry.as_mut() {
+                        c.kind = ClientKind::Drive(Box::new(state));
+                        c.seq = seq;
+                    }
+                    self.arm(idx, seq, read_timeout);
+                    self.agenda.push_back(Wake::Resume(idx));
+                }
+                Err(_) => {
+                    let out = DriveOutput { errors: 1, ..DriveOutput::default() };
+                    self.complete(batch, job, JobOutput::Drive(out));
+                }
+            },
+            ConnectIntent::Idle { addr } => {
+                let depth = self.warm_targets.get(&addr).copied().unwrap_or(0);
+                if self.idle_count(addr) >= depth {
+                    return; // pool refilled by a competing intent
+                }
+                if let Ok(idx) = self.open(addr) {
+                    if let Some(Entry::Client(c)) = self.slab[idx].entry.as_mut() {
+                        c.kind = ClientKind::Idle { addr };
+                    }
+                    let gen = self.slab[idx].gen;
+                    self.warm.entry(addr).or_default().push_back((idx, gen));
+                    if self.warm_filled.get(&addr).copied().unwrap_or(false) {
+                        self.stats.conn_churn += 1;
+                    } else if self.idle_count(addr) >= depth {
+                        self.warm_filled.insert(addr, true);
+                    }
+                }
+            }
+            ConnectIntent::Upstream { owner, addr, bytes, read_timeout } => {
+                match TcpStream::connect(addr) {
+                    Ok(stream) => {
+                        let _ = stream.set_nonblocking(true);
+                        let _ = stream.set_nodelay(true);
+                        self.stats.conns_opened += 1;
+                        let fd = stream.as_raw_fd();
+                        let seq = self.next_seq();
+                        let idx = self.insert(Entry::Upstream(UpstreamConn {
+                            stream,
+                            owner,
+                            out: bytes,
+                            out_pos: 0,
+                            fin_sent: false,
+                            resp: Vec::new(),
+                            seq,
+                        }));
+                        let _ = self.register(fd, idx);
+                        self.arm(idx, seq, read_timeout);
+                    }
+                    Err(_) => {
+                        self.agenda.push_back(Wake::RelayDone(owner, Err(())));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Opens a client connection and registers it as an (unassigned)
+    /// idle entry; the caller converts it.
+    fn open(&mut self, addr: SocketAddr) -> std::io::Result<usize> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        self.stats.conns_opened += 1;
+        let fd = stream.as_raw_fd();
+        let idx = self.insert(Entry::Client(ClientConn {
+            stream,
+            kind: ClientKind::Idle { addr },
+            seq: 0,
+        }));
+        let _ = self.register(fd, idx);
+        Ok(idx)
+    }
+
+    // -- dispatch --------------------------------------------------------
+
+    fn dispatch(&mut self, wake: Wake) {
+        let (idx, deadline_seq, relay) = match wake {
+            Wake::Io(token) => {
+                let idx = (token & 0xffff_ffff) as usize;
+                let gen = (token >> 32) as u32;
+                if idx >= self.slab.len() || self.slab[idx].gen != gen {
+                    return;
+                }
+                (idx, None, None)
+            }
+            Wake::Resume(idx) => (idx, None, None),
+            Wake::Deadline(idx, seq) => (idx, Some(seq), None),
+            Wake::RelayDone(idx, result) => (idx, None, Some(result)),
+        };
+        let Some(entry) = self.slab.get_mut(idx).and_then(|s| s.entry.take()) else {
+            return;
+        };
+        let keep = match entry {
+            Entry::OriginListener(mut l) => {
+                self.accept_origin(idx, &mut l);
+                self.slab[idx].entry = Some(Entry::OriginListener(l));
+                return;
+            }
+            Entry::ProxyListener(mut l) => {
+                self.accept_proxy(idx, &mut l);
+                self.slab[idx].entry = Some(Entry::ProxyListener(l));
+                return;
+            }
+            Entry::EchoListener(mut l) => {
+                self.accept_echo(&mut l);
+                self.slab[idx].entry = Some(Entry::EchoListener(l));
+                return;
+            }
+            Entry::Origin(mut c) => {
+                let keep = if let Some(seq) = deadline_seq {
+                    if seq != c.seq {
+                        true
+                    } else {
+                        self.stats.deadline_fires += 1;
+                        self.origin_deadline(&mut c)
+                    }
+                } else {
+                    self.origin_step(idx, &mut c)
+                };
+                if keep {
+                    self.slab[idx].entry = Some(Entry::Origin(c));
+                }
+                keep
+            }
+            Entry::ProxyDown(mut c) => {
+                let keep = if let Some(seq) = deadline_seq {
+                    if seq != c.seq {
+                        true
+                    } else {
+                        self.stats.deadline_fires += 1;
+                        self.proxy_deadline(&mut c)
+                    }
+                } else if let Some(result) = relay {
+                    self.proxy_relay_done(idx, &mut c, result)
+                } else {
+                    self.proxy_step(idx, &mut c)
+                };
+                if keep {
+                    self.slab[idx].entry = Some(Entry::ProxyDown(c));
+                }
+                keep
+            }
+            Entry::Upstream(mut c) => {
+                let keep = if let Some(seq) = deadline_seq {
+                    if seq != c.seq {
+                        true
+                    } else {
+                        self.stats.deadline_fires += 1;
+                        self.agenda.push_back(Wake::RelayDone(c.owner, Err(())));
+                        false
+                    }
+                } else {
+                    self.upstream_step(&mut c)
+                };
+                if keep {
+                    self.slab[idx].entry = Some(Entry::Upstream(c));
+                }
+                keep
+            }
+            Entry::EchoConn(mut c) => {
+                let keep = if let Some(seq) = deadline_seq {
+                    if seq != c.seq {
+                        true
+                    } else {
+                        self.stats.deadline_fires += 1;
+                        self.echo_deadline(&mut c)
+                    }
+                } else {
+                    self.echo_step(&mut c)
+                };
+                if keep {
+                    self.slab[idx].entry = Some(Entry::EchoConn(c));
+                }
+                keep
+            }
+            Entry::Client(mut c) => {
+                let keep = if let Some(seq) = deadline_seq {
+                    if seq != c.seq {
+                        true
+                    } else {
+                        self.stats.deadline_fires += 1;
+                        self.client_deadline(&mut c)
+                    }
+                } else {
+                    self.client_step(idx, &mut c)
+                };
+                if keep {
+                    self.slab[idx].entry = Some(Entry::Client(c));
+                }
+                keep
+            }
+        };
+        if !keep {
+            self.stats.conns_closed += 1;
+            self.release(idx);
+        }
+    }
+
+    // -- accept ----------------------------------------------------------
+
+    fn accept_origin(&mut self, owner: usize, l: &mut OriginListener) {
+        loop {
+            match l.listener.accept() {
+                Ok((stream, peer)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    self.stats.conns_opened += 1;
+                    let fd = stream.as_raw_fd();
+                    let seq = self.next_seq();
+                    // Both whole-connection faults start by waiting for
+                    // the first bytes; which one applies is re-checked
+                    // when the wait ends.
+                    let fault_phase = match l.config.fault {
+                        Some(ServerFault::CloseNoReply) | Some(ServerFault::Stall) => {
+                            OriginFaultPhase::AwaitAbort
+                        }
+                        _ => OriginFaultPhase::None,
+                    };
+                    let read_timeout = l.config.read_timeout;
+                    let idx = self.insert(Entry::Origin(OriginConn {
+                        stream,
+                        server: Rc::clone(&l.server),
+                        config: Rc::clone(&l.config),
+                        record: l.record,
+                        owner,
+                        peer,
+                        buf: Vec::new(),
+                        pos: 0,
+                        replies: Vec::new(),
+                        bytes_out: 0,
+                        eof: false,
+                        teardown: Teardown::Fin,
+                        out: Vec::new(),
+                        out_pos: 0,
+                        closing: false,
+                        finalized: false,
+                        fault_phase,
+                        seq,
+                    }));
+                    let _ = self.register(fd, idx);
+                    self.arm(idx, seq, read_timeout);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn accept_proxy(&mut self, owner: usize, l: &mut ProxyListener) {
+        loop {
+            match l.listener.accept() {
+                Ok((stream, peer)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    self.stats.conns_opened += 1;
+                    let fd = stream.as_raw_fd();
+                    let seq = self.next_seq();
+                    let read_timeout = l.config.read_timeout;
+                    let idx = self.insert(Entry::ProxyDown(Box::new(ProxyConn {
+                        stream,
+                        proxy: Rc::clone(&l.proxy),
+                        config: Rc::clone(&l.config),
+                        owner,
+                        peer,
+                        buf: Vec::new(),
+                        pos: 0,
+                        results: Vec::new(),
+                        eof: false,
+                        teardown: Teardown::Fin,
+                        out: Vec::new(),
+                        out_pos: 0,
+                        closing: false,
+                        relay: None,
+                        seq,
+                    })));
+                    let _ = self.register(fd, idx);
+                    self.arm(idx, seq, read_timeout);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn accept_echo(&mut self, l: &mut EchoListener) {
+        loop {
+            match l.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    self.stats.conns_opened += 1;
+                    let fd = stream.as_raw_fd();
+                    let seq = self.next_seq();
+                    let read_timeout = l.read_timeout;
+                    let idx = self.insert(Entry::EchoConn(EchoConn {
+                        stream,
+                        echo: Rc::clone(&l.echo),
+                        buf: Vec::new(),
+                        out: Vec::new(),
+                        out_pos: 0,
+                        responded: false,
+                        seq,
+                    }));
+                    let _ = self.register(fd, idx);
+                    self.arm(idx, seq, read_timeout);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    // -- origin connection state machine ---------------------------------
+
+    /// Delivers an origin connection log to its paired exchange, or to
+    /// the listener's accumulated logs.
+    fn deliver_server_log(&mut self, owner: usize, peer: SocketAddr, log: ConnectionLog) {
+        if let Some((batch, job)) = self.tickets.remove(&(owner, peer)) {
+            if let Some(Some(b)) = self.batches.get_mut(batch) {
+                b.pending_server_logs.insert(job, log);
+                return;
+            }
+        }
+        if let Some(Entry::OriginListener(l)) =
+            self.slab.get_mut(owner).and_then(|s| s.entry.as_mut())
+        {
+            l.logs.push(log);
+        }
+    }
+
+    fn deliver_proxy_log(&mut self, owner: usize, peer: SocketAddr, log: ProxyConnLog) {
+        if let Some((batch, job)) = self.tickets.remove(&(owner, peer)) {
+            if let Some(Some(b)) = self.batches.get_mut(batch) {
+                b.pending_proxy_logs.insert(job, log);
+                return;
+            }
+        }
+        if let Some(Entry::ProxyListener(l)) =
+            self.slab.get_mut(owner).and_then(|s| s.entry.as_mut())
+        {
+            l.logs.push(log);
+        }
+    }
+
+    fn origin_finalize(&mut self, c: &mut OriginConn) {
+        if c.finalized {
+            return;
+        }
+        c.finalized = true;
+        let replies = if c.record { std::mem::take(&mut c.replies) } else { Vec::new() };
+        let log = ConnectionLog {
+            replies,
+            bytes_in: c.buf.len(),
+            bytes_out: c.bytes_out,
+            teardown: c.teardown,
+        };
+        self.deliver_server_log(c.owner, c.peer, log);
+    }
+
+    /// Returns `true` to keep the connection alive.
+    fn origin_step(&mut self, idx: usize, c: &mut OriginConn) -> bool {
+        match c.fault_phase {
+            OriginFaultPhase::AwaitAbort => return self.origin_fault_await(c),
+            OriginFaultPhase::Stalling => {
+                // Drain quietly; close silently on EOF or error.
+                let mut sink = Vec::new();
+                return matches!(drain_read(&mut c.stream, &mut sink), ReadOutcome::More(_));
+            }
+            OriginFaultPhase::None => {}
+        }
+
+        if c.closing {
+            return self.origin_flush_close(c);
+        }
+
+        let mut progressed = false;
+        match drain_read(&mut c.stream, &mut c.buf) {
+            ReadOutcome::More(any) => progressed = any,
+            ReadOutcome::Eof => c.eof = true,
+            ReadOutcome::Error => {
+                c.teardown = Teardown::Abort;
+                c.closing = true;
+            }
+        }
+
+        if !c.closing {
+            self.origin_parse(c);
+            if !c.closing && (c.eof || c.replies.len() >= c.config.max_messages) {
+                c.closing = true;
+            }
+        }
+
+        if c.closing {
+            return self.origin_flush_close(c);
+        }
+        let out = std::mem::take(&mut c.out);
+        match drain_write(&mut c.stream, &out, &mut c.out_pos) {
+            WriteOutcome::Error => {
+                c.teardown = Teardown::Abort;
+                self.origin_finalize(c);
+                return false;
+            }
+            WriteOutcome::Partial => c.out = out,
+            WriteOutcome::Flushed => {
+                c.out = Vec::new();
+                c.out_pos = 0;
+            }
+        }
+        if progressed {
+            c.seq = self.next_seq();
+            let t = c.config.read_timeout;
+            self.wheel.arm(Instant::now(), idx, c.seq, t);
+        }
+        true
+    }
+
+    /// First-bytes wait shared by the two whole-connection faults.
+    fn origin_fault_await(&mut self, c: &mut OriginConn) -> bool {
+        let outcome = drain_read(&mut c.stream, &mut c.buf);
+        let got = !c.buf.is_empty() || matches!(outcome, ReadOutcome::Eof | ReadOutcome::Error);
+        if !got {
+            return true; // keep waiting for the first bytes
+        }
+        match c.config.fault {
+            Some(ServerFault::Stall) => {
+                c.teardown = Teardown::Stalled;
+                self.origin_finalize(c);
+                c.fault_phase = OriginFaultPhase::Stalling;
+                // Hold the socket open; the client's read deadline is the
+                // observation. EOF/error later closes silently.
+                !matches!(outcome, ReadOutcome::Eof | ReadOutcome::Error)
+            }
+            _ => {
+                // CloseNoReply: abort without a byte.
+                c.teardown = Teardown::Abort;
+                self.origin_finalize(c);
+                false
+            }
+        }
+    }
+
+    fn origin_parse(&mut self, c: &mut OriginConn) {
+        while c.replies.len() < c.config.max_messages && c.pos < c.buf.len() {
+            let reply = c.server.handle(&c.buf[c.pos..]);
+            if !is_final(&reply, c.buf.len() - c.pos, c.eof) {
+                break;
+            }
+            let consumed = reply.interpretation.consumed;
+            let rejected = !reply.interpretation.outcome.is_accept();
+            let reply = apply_reply_fault(&c.server, c.config.fault, reply);
+            let wire = reply.response.to_bytes();
+            c.out.extend_from_slice(&wire);
+            c.bytes_out += wire.len();
+            c.replies.push(reply);
+            if rejected || consumed == 0 {
+                c.closing = true;
+                break;
+            }
+            c.pos += consumed;
+        }
+    }
+
+    fn origin_flush_close(&mut self, c: &mut OriginConn) -> bool {
+        let out = std::mem::take(&mut c.out);
+        match drain_write(&mut c.stream, &out, &mut c.out_pos) {
+            WriteOutcome::Flushed => {
+                self.origin_finalize(c);
+                let _ = c.stream.shutdown(Shutdown::Both);
+                false
+            }
+            WriteOutcome::Partial => {
+                c.out = out;
+                true
+            }
+            WriteOutcome::Error => {
+                c.teardown = Teardown::Abort;
+                self.origin_finalize(c);
+                false
+            }
+        }
+    }
+
+    fn origin_deadline(&mut self, c: &mut OriginConn) -> bool {
+        match c.fault_phase {
+            OriginFaultPhase::Stalling => {
+                // The blocking stall loop exits on its own read timeout.
+                return false;
+            }
+            OriginFaultPhase::AwaitAbort => {
+                c.teardown = if matches!(c.config.fault, Some(ServerFault::Stall)) {
+                    Teardown::Stalled
+                } else {
+                    Teardown::Abort
+                };
+                self.origin_finalize(c);
+                return false;
+            }
+            OriginFaultPhase::None => {}
+        }
+        if c.closing {
+            // Mid-close flush stalled past the read budget; give up.
+            self.origin_finalize(c);
+            return false;
+        }
+        c.teardown = Teardown::TimedOut;
+        self.origin_finalize(c);
+        false
+    }
+
+    // -- proxy connection state machine ----------------------------------
+
+    fn proxy_step(&mut self, idx: usize, c: &mut ProxyConn) -> bool {
+        if c.closing {
+            return self.proxy_flush_close(c);
+        }
+        let mut progressed = false;
+        match drain_read(&mut c.stream, &mut c.buf) {
+            ReadOutcome::More(any) => progressed = any,
+            ReadOutcome::Eof => c.eof = true,
+            ReadOutcome::Error => {
+                c.teardown = Teardown::Abort;
+                c.closing = true;
+            }
+        }
+        if !c.closing && c.relay.is_none() {
+            self.proxy_parse(idx, c);
+            if c.relay.is_none()
+                && !c.closing
+                && (c.eof || c.results.len() >= c.config.max_messages)
+            {
+                c.closing = true;
+            }
+        }
+        if c.closing {
+            return self.proxy_flush_close(c);
+        }
+        let out = std::mem::take(&mut c.out);
+        match drain_write(&mut c.stream, &out, &mut c.out_pos) {
+            WriteOutcome::Error => {
+                c.teardown = Teardown::Abort;
+                self.proxy_finalize(c);
+                return false;
+            }
+            WriteOutcome::Partial => c.out = out,
+            WriteOutcome::Flushed => {
+                c.out = Vec::new();
+                c.out_pos = 0;
+            }
+        }
+        if progressed && c.relay.is_none() {
+            c.seq = self.next_seq();
+            let t = c.config.read_timeout;
+            self.wheel.arm(Instant::now(), idx, c.seq, t);
+        }
+        true
+    }
+
+    fn proxy_parse(&mut self, idx: usize, c: &mut ProxyConn) {
+        while c.relay.is_none()
+            && !c.closing
+            && c.results.len() < c.config.max_messages
+            && c.pos < c.buf.len()
+        {
+            let mut r = c.proxy.forward(&c.buf[c.pos..]);
+            let i = &r.interpretation;
+            let finalizable = c.eof
+                || if i.outcome.is_accept() {
+                    !(i.repaired_chunked && i.consumed >= c.buf.len() - c.pos)
+                } else {
+                    !incomplete_reason(i)
+                };
+            if !finalizable {
+                break;
+            }
+            let consumed = r.interpretation.consumed;
+            let rejected = matches!(r.action, ForwardAction::Rejected(_));
+            let mut drop_rest = false;
+
+            if let (Some(decision), ForwardAction::Forwarded(bytes)) = (c.config.fault, &r.action) {
+                match decision.kind {
+                    FaultKind::ConnReset => {
+                        let cut = decision.reset_point(bytes.len());
+                        r.action = ForwardAction::Forwarded(bytes[..cut].to_vec());
+                        drop_rest = true;
+                    }
+                    FaultKind::GarbleForward => {
+                        r.action = ForwardAction::Forwarded(decision.garble(bytes));
+                    }
+                    FaultKind::StallRead => {
+                        r.action = ForwardAction::Forwarded(Vec::new());
+                        drop_rest = true;
+                    }
+                    _ => {}
+                }
+            }
+
+            match &r.action {
+                ForwardAction::Forwarded(bytes) if !bytes.is_empty() => {
+                    self.pending_connects.push_back(ConnectIntent::Upstream {
+                        owner: idx,
+                        addr: c.config.upstream,
+                        bytes: bytes.clone(),
+                        read_timeout: c.config.read_timeout,
+                    });
+                    // Suspend the downstream deadline for the relay's
+                    // duration, exactly like the blocking hop (which is
+                    // blocked inside `relay_upstream` and cannot time the
+                    // downstream side out).
+                    c.seq = self.next_seq();
+                    c.relay = Some(PendingRelay { result: r, consumed, rejected, drop_rest });
+                    return;
+                }
+                ForwardAction::Forwarded(_) => {
+                    c.results.push(r);
+                    if drop_rest {
+                        c.teardown = Teardown::Abort;
+                    }
+                    if rejected || consumed == 0 || drop_rest {
+                        c.closing = true;
+                        return;
+                    }
+                    c.pos += consumed;
+                }
+                ForwardAction::Rejected(response) => {
+                    c.out.extend_from_slice(&response.to_bytes());
+                    c.results.push(r);
+                    c.closing = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn proxy_relay_done(
+        &mut self,
+        idx: usize,
+        c: &mut ProxyConn,
+        result: Result<Vec<u8>, ()>,
+    ) -> bool {
+        let Some(pending) = c.relay.take() else { return true };
+        match result {
+            Ok(response) => {
+                c.out.extend_from_slice(&response);
+                let rejected = pending.rejected;
+                let consumed = pending.consumed;
+                let drop_rest = pending.drop_rest;
+                c.results.push(pending.result);
+                if drop_rest {
+                    c.teardown = Teardown::Abort;
+                }
+                if rejected || consumed == 0 || drop_rest {
+                    c.closing = true;
+                } else {
+                    c.pos += consumed;
+                    c.seq = self.next_seq();
+                    let t = c.config.read_timeout;
+                    self.wheel.arm(Instant::now(), idx, c.seq, t);
+                    self.proxy_parse(idx, c);
+                    if c.relay.is_none()
+                        && !c.closing
+                        && (c.eof || c.results.len() >= c.config.max_messages)
+                    {
+                        c.closing = true;
+                    }
+                }
+            }
+            Err(()) => {
+                c.teardown = Teardown::Abort;
+                c.results.push(pending.result);
+                self.proxy_finalize(c);
+                return false;
+            }
+        }
+        if c.closing {
+            return self.proxy_flush_close(c);
+        }
+        let out = std::mem::take(&mut c.out);
+        match drain_write(&mut c.stream, &out, &mut c.out_pos) {
+            WriteOutcome::Error => {
+                c.teardown = Teardown::Abort;
+                self.proxy_finalize(c);
+                false
+            }
+            WriteOutcome::Partial => {
+                c.out = out;
+                true
+            }
+            WriteOutcome::Flushed => {
+                c.out = Vec::new();
+                c.out_pos = 0;
+                true
+            }
+        }
+    }
+
+    fn proxy_finalize(&mut self, c: &mut ProxyConn) {
+        let log = ProxyConnLog { results: std::mem::take(&mut c.results), teardown: c.teardown };
+        self.deliver_proxy_log(c.owner, c.peer, log);
+    }
+
+    fn proxy_flush_close(&mut self, c: &mut ProxyConn) -> bool {
+        let out = std::mem::take(&mut c.out);
+        match drain_write(&mut c.stream, &out, &mut c.out_pos) {
+            WriteOutcome::Flushed => {
+                self.proxy_finalize(c);
+                let _ = c.stream.shutdown(Shutdown::Both);
+                false
+            }
+            WriteOutcome::Partial => {
+                c.out = out;
+                true
+            }
+            WriteOutcome::Error => {
+                c.teardown = Teardown::Abort;
+                self.proxy_finalize(c);
+                false
+            }
+        }
+    }
+
+    fn proxy_deadline(&mut self, c: &mut ProxyConn) -> bool {
+        if c.relay.is_some() {
+            return true; // suspended during a relay; stale by construction
+        }
+        c.teardown = Teardown::TimedOut;
+        self.proxy_finalize(c);
+        false
+    }
+
+    // -- upstream relay connection ---------------------------------------
+
+    fn upstream_step(&mut self, c: &mut UpstreamConn) -> bool {
+        if !c.fin_sent {
+            let out = std::mem::take(&mut c.out);
+            match drain_write(&mut c.stream, &out, &mut c.out_pos) {
+                WriteOutcome::Flushed => {
+                    let _ = c.stream.shutdown(Shutdown::Write);
+                    c.fin_sent = true;
+                }
+                WriteOutcome::Partial => c.out = out,
+                WriteOutcome::Error => {
+                    self.agenda.push_back(Wake::RelayDone(c.owner, Err(())));
+                    return false;
+                }
+            }
+        }
+        match drain_read(&mut c.stream, &mut c.resp) {
+            ReadOutcome::More(_) => true,
+            ReadOutcome::Eof => {
+                self.agenda.push_back(Wake::RelayDone(c.owner, Ok(std::mem::take(&mut c.resp))));
+                false
+            }
+            ReadOutcome::Error => {
+                self.agenda.push_back(Wake::RelayDone(c.owner, Err(())));
+                false
+            }
+        }
+    }
+
+    // -- echo connection -------------------------------------------------
+
+    fn echo_step(&mut self, c: &mut EchoConn) -> bool {
+        if !c.responded {
+            match drain_read(&mut c.stream, &mut c.buf) {
+                ReadOutcome::More(_) => return true,
+                ReadOutcome::Eof | ReadOutcome::Error => {
+                    let response = c.echo.borrow_mut().receive(&c.buf);
+                    c.out = response.to_bytes();
+                    c.responded = true;
+                }
+            }
+        }
+        let out = std::mem::take(&mut c.out);
+        match drain_write(&mut c.stream, &out, &mut c.out_pos) {
+            WriteOutcome::Flushed => {
+                let _ = c.stream.shutdown(Shutdown::Both);
+                false
+            }
+            WriteOutcome::Partial => {
+                c.out = out;
+                true
+            }
+            WriteOutcome::Error => false,
+        }
+    }
+
+    fn echo_deadline(&mut self, c: &mut EchoConn) -> bool {
+        // The blocking echo responds with whatever arrived before its
+        // read timeout; mirror that.
+        if !c.responded {
+            let response = c.echo.borrow_mut().receive(&c.buf);
+            c.out = response.to_bytes();
+            c.responded = true;
+        }
+        let out = std::mem::take(&mut c.out);
+        match drain_write(&mut c.stream, &out, &mut c.out_pos) {
+            WriteOutcome::Flushed => {
+                let _ = c.stream.shutdown(Shutdown::Both);
+                false
+            }
+            WriteOutcome::Partial => {
+                c.out = out;
+                true
+            }
+            WriteOutcome::Error => false,
+        }
+    }
+
+    // -- client connections ----------------------------------------------
+
+    fn client_step(&mut self, idx: usize, c: &mut ClientConn) -> bool {
+        match &mut c.kind {
+            ClientKind::Idle { addr } => {
+                // Any readiness on an idle pooled connection means the
+                // server closed (or errored) it: evict.
+                let mut sink = Vec::new();
+                match drain_read(&mut c.stream, &mut sink) {
+                    ReadOutcome::More(false) => true, // spurious (writable edge)
+                    _ => {
+                        self.stats.pool_evictions += 1;
+                        let addr = *addr;
+                        self.drop_idle_entry(addr, idx);
+                        false
+                    }
+                }
+            }
+            ClientKind::Exchange(_) => self.exchange_step(idx, c),
+            ClientKind::Drive(_) => self.drive_step(idx, c),
+        }
+    }
+
+    fn drop_idle_entry(&mut self, addr: SocketAddr, idx: usize) {
+        if let Some(q) = self.warm.get_mut(&addr) {
+            q.retain(|(i, _)| *i != idx);
+        }
+    }
+
+    fn exchange_step(&mut self, idx: usize, c: &mut ClientConn) -> bool {
+        let ClientKind::Exchange(state) = &mut c.kind else { return true };
+        if !state.fin_sent {
+            let out = std::mem::take(&mut state.out);
+            match drain_write(&mut c.stream, &out, &mut state.out_pos) {
+                WriteOutcome::Flushed => {
+                    let _ = c.stream.shutdown(Shutdown::Write);
+                    state.fin_sent = true;
+                }
+                WriteOutcome::Partial => state.out = out,
+                WriteOutcome::Error => {
+                    return self.exchange_done(c, ExchangeEnd::WriteError);
+                }
+            }
+        }
+        let ClientKind::Exchange(state) = &mut c.kind else { return true };
+        let read_timeout = state.read_timeout;
+        let progressed = match drain_read(&mut c.stream, &mut state.resp) {
+            ReadOutcome::More(any) => any,
+            // The blocking client treats read errors as EOF.
+            ReadOutcome::Eof | ReadOutcome::Error => {
+                return self.exchange_done(c, ExchangeEnd::Eof);
+            }
+        };
+        if progressed {
+            c.seq = self.next_seq();
+            self.wheel.arm(Instant::now(), idx, c.seq, read_timeout);
+        }
+        true
+    }
+
+    fn client_deadline(&mut self, c: &mut ClientConn) -> bool {
+        match &mut c.kind {
+            ClientKind::Idle { .. } => true,
+            ClientKind::Exchange(_) => {
+                // Take the exchange to completion with timed_out set.
+                self.exchange_complete(c, true);
+                false
+            }
+            ClientKind::Drive(_) => {
+                self.drive_complete(c, true);
+                false
+            }
+        }
+    }
+
+    fn exchange_done(&mut self, c: &mut ClientConn, end: ExchangeEnd) -> bool {
+        let ClientKind::Exchange(state) = &mut c.kind else { return true };
+        // Stale pooled connection: the server closed it between claim
+        // and use — no bytes, no log, nothing charged. Retry once fresh.
+        let log_pending = state.pair.is_some_and(|owner| match c.stream.local_addr() {
+            Ok(local) => self.tickets.contains_key(&(owner, local)),
+            Err(_) => false,
+        });
+        if state.reused && !state.retried && state.resp.is_empty() && log_pending {
+            if let (Some(owner), Ok(local)) = (state.pair, c.stream.local_addr()) {
+                self.tickets.remove(&(owner, local));
+            }
+            let batch = state.batch;
+            let job = state.job;
+            let spec = state.spec.clone();
+            self.submit_exchange(batch, job, spec, true);
+            return false;
+        }
+        match end {
+            ExchangeEnd::WriteError => {
+                let err = Some(NetError::io(std::io::Error::other("write failed mid-exchange")));
+                self.exchange_complete_with(c, false, err);
+            }
+            ExchangeEnd::Eof => self.exchange_complete(c, false),
+        }
+        false
+    }
+
+    fn exchange_complete(&mut self, c: &mut ClientConn, timed_out: bool) {
+        self.exchange_complete_with(c, timed_out, None);
+    }
+
+    fn exchange_complete_with(
+        &mut self,
+        c: &mut ClientConn,
+        timed_out: bool,
+        error: Option<NetError>,
+    ) {
+        let ClientKind::Exchange(state) = &mut c.kind else { return };
+        let batch = state.batch;
+        let job = state.job;
+        // Unregister a still-pending ticket so a late server log lands in
+        // the listener's accumulated logs instead of a dead batch slot.
+        let mut server_log = None;
+        let mut proxy_log = None;
+        if let Some(Some(b)) = self.batches.get_mut(batch) {
+            server_log = b.pending_server_logs.remove(&job);
+            proxy_log = b.pending_proxy_logs.remove(&job);
+        }
+        let out = ExchangeOutput {
+            response: std::mem::take(&mut state.resp),
+            timed_out,
+            error,
+            server_log,
+            proxy_log,
+            rtt_ns: state.started.elapsed().as_nanos() as u64,
+            reused: state.reused,
+            retried: state.retried,
+        };
+        let _ = c.stream.shutdown(Shutdown::Both);
+        self.complete(batch, job, JobOutput::Exchange(out));
+    }
+
+    fn drive_step(&mut self, idx: usize, c: &mut ClientConn) -> bool {
+        let ClientKind::Drive(state) = &mut c.kind else { return true };
+        let mut progressed = false;
+        loop {
+            // Flush whatever is queued.
+            let out = std::mem::take(&mut state.out);
+            match drain_write(&mut c.stream, &out, &mut state.out_pos) {
+                WriteOutcome::Flushed => {
+                    state.out = Vec::new();
+                    state.out_pos = 0;
+                }
+                WriteOutcome::Partial => {
+                    state.out = out;
+                }
+                WriteOutcome::Error => {
+                    self.drive_complete(c, false);
+                    return false;
+                }
+            }
+            // Read and frame responses.
+            match drain_read(&mut c.stream, &mut state.resp_buf) {
+                ReadOutcome::More(any) => progressed |= any,
+                ReadOutcome::Eof | ReadOutcome::Error => {
+                    drive_parse(state);
+                    self.drive_complete(c, false);
+                    return false;
+                }
+            }
+            drive_parse(state);
+            if state.completed >= state.requests {
+                self.drive_complete(c, false);
+                return false;
+            }
+            let inflight = state.sent - state.completed;
+            if inflight == 0 && state.sent < state.requests {
+                refill_drive(state);
+                continue; // write the fresh batch now
+            }
+            break;
+        }
+        if progressed {
+            let t = state.read_timeout;
+            c.seq = self.next_seq();
+            self.wheel.arm(Instant::now(), idx, c.seq, t);
+        }
+        true
+    }
+
+    fn drive_complete(&mut self, c: &mut ClientConn, timed_out: bool) {
+        let ClientKind::Drive(state) = &mut c.kind else { return };
+        let out = DriveOutput {
+            completed: state.completed,
+            errors: u64::from(state.completed < state.requests && !timed_out),
+            elapsed_ns: state.started.elapsed().as_nanos() as u64,
+            rtt_ns: std::mem::take(&mut state.rtts),
+            timed_out,
+        };
+        let batch = state.batch;
+        let job = state.job;
+        let _ = c.stream.shutdown(Shutdown::Both);
+        self.complete(batch, job, JobOutput::Drive(out));
+    }
+
+    // -- batch completion ------------------------------------------------
+
+    fn complete(&mut self, batch: usize, job: usize, output: JobOutput) {
+        let Some(Some(b)) = self.batches.get_mut(batch) else { return };
+        if b.outputs[job].is_none() {
+            b.outputs[job] = Some(output);
+            b.remaining -= 1;
+        }
+        self.finish_batch_if_done(batch);
+    }
+
+    fn finish_batch_if_done(&mut self, batch: usize) {
+        let done = matches!(&self.batches[batch], Some(b) if b.remaining == 0);
+        if done {
+            if let Some(b) = self.batches[batch].take() {
+                let outputs = b
+                    .outputs
+                    .into_iter()
+                    .map(|o| o.unwrap_or(JobOutput::Exchange(ExchangeOutput::default())))
+                    .collect();
+                let _ = b.done.send(outputs);
+            }
+            self.free_batches.push(batch);
+        }
+    }
+}
+
+enum ExchangeEnd {
+    Eof,
+    WriteError,
+}
+
+/// Queues the next pipeline window of requests on a drive.
+fn refill_drive(state: &mut DriveState) {
+    let window = (state.requests - state.sent).min(state.pipeline as u64);
+    for _ in 0..window {
+        state.out.extend_from_slice(&state.payload);
+    }
+    state.sent += window;
+    if state.pipeline == 1 {
+        state.last_send = Instant::now();
+    }
+}
+
+/// Frames completed responses out of a drive's read buffer.
+fn drive_parse(state: &mut DriveState) {
+    while let Ok(parsed) = parse_response(&state.resp_buf) {
+        state.resp_buf.drain(..parsed.consumed);
+        state.completed += 1;
+        if state.pipeline == 1 {
+            state.rtts.push(state.last_send.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The handle.
+// ---------------------------------------------------------------------------
+
+/// Handle to a running event loop. Cloneable operations go through an
+/// internal command queue plus a loopback wake byte; dropping the handle
+/// shuts the loop down and joins its thread.
+#[derive(Debug)]
+pub struct Reactor {
+    cmds: Arc<Mutex<VecDeque<Cmd>>>,
+    wake_tx: TcpStream,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EventLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLoop").field("slots", &self.slab.len()).finish()
+    }
+}
+
+impl std::fmt::Debug for Cmd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Cmd")
+    }
+}
+
+impl Reactor {
+    /// Starts the loop thread. Fails with a typed error when the target
+    /// has no epoll backend (callers fall back to the blocking
+    /// transport) or when the wake channel cannot be established.
+    pub fn spawn() -> Result<Reactor, NetError> {
+        if !sys::supported() {
+            return Err(NetError::spawn(std::io::Error::other(
+                "epoll reactor unsupported on this target",
+            )));
+        }
+        // Portable in-process wake channel: a loopback TCP pair (no
+        // platform-gated socketpair needed outside sys.rs).
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(NetError::bind)?;
+        let addr = listener.local_addr().map_err(NetError::bind)?;
+        let wake_tx = TcpStream::connect(addr).map_err(NetError::connect)?;
+        let (wake_rx, _) = listener.accept().map_err(NetError::accept)?;
+        drop(listener);
+        wake_tx.set_nodelay(true).map_err(NetError::connect)?;
+        wake_rx.set_nonblocking(true).map_err(NetError::accept)?;
+
+        let ep = Epoll::new().map_err(NetError::spawn)?;
+        ep.add(wake_rx.as_raw_fd(), EPOLLIN | EPOLLET, WAKE_TOKEN).map_err(NetError::spawn)?;
+
+        let cmds: Arc<Mutex<VecDeque<Cmd>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let thread = {
+            let cmds = Arc::clone(&cmds);
+            std::thread::Builder::new()
+                .name("hdiff-reactor".to_string())
+                .spawn(move || EventLoop::new(ep, wake_rx, cmds).run())
+                .map_err(NetError::spawn)?
+        };
+        Ok(Reactor { cmds, wake_tx, thread: Some(thread) })
+    }
+
+    fn send(&self, cmd: Cmd) {
+        self.cmds.lock().unwrap_or_else(|e| e.into_inner()).push_back(cmd);
+        let _ = (&self.wake_tx).write(&[1u8]);
+    }
+
+    /// Hosts an origin server (a behavioral profile) on an ephemeral
+    /// loopback port inside the loop. `record: false` drops per-reply
+    /// accounting (bench mode — memory stays flat over millions of
+    /// requests).
+    pub fn add_origin(
+        &self,
+        profile: ParserProfile,
+        config: NetServerConfig,
+        record: bool,
+    ) -> Result<AsyncListener, NetError> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(NetError::bind)?;
+        let addr = listener.local_addr().map_err(NetError::bind)?;
+        let name = profile.name.clone();
+        let server = Server::new(profile);
+        let (ack, rx) = channel();
+        self.send(Cmd::AddOrigin { listener, server, config, record, name: name.clone(), ack });
+        let id = rx.recv().map_err(|_| {
+            NetError::spawn(std::io::Error::other("reactor loop gone during add_origin"))
+        })?;
+        Ok(AsyncListener { name, addr, id })
+    }
+
+    /// Hosts a proxy hop inside the loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profile` has no proxy behavior configured (same
+    /// contract as [`hdiff_servers::Proxy::new`]).
+    pub fn add_proxy(
+        &self,
+        profile: ParserProfile,
+        config: NetProxyConfig,
+    ) -> Result<AsyncListener, NetError> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(NetError::bind)?;
+        let addr = listener.local_addr().map_err(NetError::bind)?;
+        let name = profile.name.clone();
+        let proxy = Proxy::new(profile);
+        let (ack, rx) = channel();
+        self.send(Cmd::AddProxy { listener, proxy, config, name: name.clone(), ack });
+        let id = rx.recv().map_err(|_| {
+            NetError::spawn(std::io::Error::other("reactor loop gone during add_proxy"))
+        })?;
+        Ok(AsyncListener { name, addr, id })
+    }
+
+    /// Hosts a recording echo origin inside the loop.
+    pub fn add_echo(&self, read_timeout: Duration) -> Result<AsyncListener, NetError> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(NetError::bind)?;
+        let addr = listener.local_addr().map_err(NetError::bind)?;
+        let (ack, rx) = channel();
+        self.send(Cmd::AddEcho { listener, read_timeout, ack });
+        let id = rx.recv().map_err(|_| {
+            NetError::spawn(std::io::Error::other("reactor loop gone during add_echo"))
+        })?;
+        Ok(AsyncListener { name: "echo".to_string(), addr, id })
+    }
+
+    /// Registers `addr` for keep-alive pooling at `depth` pre-opened
+    /// connections, and fills the pool.
+    pub fn warm(&self, addr: SocketAddr, depth: usize) {
+        let (ack, rx) = channel();
+        self.send(Cmd::Warm { addr, depth, ack });
+        let _ = rx.recv();
+    }
+
+    /// Runs `jobs` to completion concurrently and returns their outputs
+    /// in submission order. Blocks the calling thread; the loop itself
+    /// never blocks on any single job.
+    pub fn run(&self, jobs: Vec<Job>) -> Vec<JobOutput> {
+        let (done, rx) = channel();
+        self.send(Cmd::Submit { jobs, done });
+        rx.recv().unwrap_or_default()
+    }
+
+    /// Drains connection logs accumulated by an origin listener outside
+    /// of paired exchanges.
+    pub fn take_server_logs(&self, id: ListenerId) -> Vec<ConnectionLog> {
+        let (ack, rx) = channel();
+        self.send(Cmd::TakeServerLogs { id, ack });
+        rx.recv().unwrap_or_default()
+    }
+
+    /// Drains connection logs accumulated by a proxy listener outside of
+    /// paired exchanges.
+    pub fn take_proxy_logs(&self, id: ListenerId) -> Vec<ProxyConnLog> {
+        let (ack, rx) = channel();
+        self.send(Cmd::TakeProxyLogs { id, ack });
+        rx.recv().unwrap_or_default()
+    }
+
+    /// Drains the forwarded messages an echo listener recorded.
+    pub fn take_echo_records(&self, id: ListenerId) -> Vec<Vec<u8>> {
+        let (ack, rx) = channel();
+        self.send(Cmd::TakeEchoRecords { id, ack });
+        rx.recv().unwrap_or_default()
+    }
+
+    /// Snapshot of the loop-side counters.
+    pub fn stats(&self) -> ReactorStats {
+        let (ack, rx) = channel();
+        self.send(Cmd::Stats { ack });
+        rx.recv().unwrap_or_default()
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.send(Cmd::Shutdown);
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeout::{io_timeout, stall_observe_timeout};
+    use hdiff_servers::ParserProfile;
+
+    fn exchange(reactor: &Reactor, l: &AsyncListener, bytes: &[u8]) -> ExchangeOutput {
+        exchange_with_timeout(reactor, l, bytes, io_timeout())
+    }
+
+    fn exchange_with_timeout(
+        reactor: &Reactor,
+        l: &AsyncListener,
+        bytes: &[u8],
+        read_timeout: Duration,
+    ) -> ExchangeOutput {
+        let outs = reactor.run(vec![Job::Exchange(ExchangeSpec {
+            addr: l.addr,
+            bytes: bytes.to_vec(),
+            mode: SendMode::Whole,
+            read_timeout,
+            pair: Some(l.id),
+            warm: false,
+        })]);
+        match outs.into_iter().next() {
+            Some(JobOutput::Exchange(e)) => e,
+            other => panic!("expected exchange output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drive_completes_a_pipelined_run() {
+        let reactor = Reactor::spawn().unwrap();
+        let config = NetServerConfig { max_messages: 1 << 20, ..NetServerConfig::default() };
+        let l = reactor.add_origin(ParserProfile::strict("wire"), config, false).unwrap();
+        let outs = reactor.run(vec![Job::Drive(DriveSpec {
+            addr: l.addr,
+            payload: b"GET / HTTP/1.1\r\nHost: h\r\n\r\n".to_vec(),
+            requests: 100,
+            pipeline: 8,
+            read_timeout: io_timeout(),
+        })]);
+        let d = outs[0].as_drive().expect("drive output");
+        assert_eq!(d.completed, 100, "{d:?}");
+        assert_eq!(d.errors, 0, "{d:?}");
+        assert!(!d.timed_out);
+        assert!(d.elapsed_ns > 0);
+    }
+
+    #[test]
+    fn close_no_reply_fault_delivers_an_abort_log() {
+        let reactor = Reactor::spawn().unwrap();
+        let config = NetServerConfig {
+            fault: Some(ServerFault::CloseNoReply),
+            ..NetServerConfig::default()
+        };
+        let l = reactor.add_origin(ParserProfile::strict("wire"), config, true).unwrap();
+        let ex = exchange(&reactor, &l, b"GET / HTTP/1.1\r\nHost: h\r\n\r\n");
+        assert!(ex.response.is_empty(), "{ex:?}");
+        assert!(!ex.timed_out);
+        let log = ex.server_log.expect("paired log");
+        assert_eq!(log.teardown, Teardown::Abort);
+        assert!(log.replies.is_empty());
+    }
+
+    #[test]
+    fn stall_fault_never_replies_and_delivers_a_stalled_log() {
+        let reactor = Reactor::spawn().unwrap();
+        let config =
+            NetServerConfig { fault: Some(ServerFault::Stall), ..NetServerConfig::default() };
+        let l = reactor.add_origin(ParserProfile::strict("wire"), config, true).unwrap();
+        // The exchange client FINs after writing; the stalling server's
+        // drain observes it and closes — same as the blocking stack, the
+        // client sees EOF with nothing received and the Stalled log is
+        // already delivered.
+        let ex = exchange_with_timeout(
+            &reactor,
+            &l,
+            b"GET / HTTP/1.1\r\nHost: h\r\n\r\n",
+            stall_observe_timeout(),
+        );
+        assert!(ex.response.is_empty(), "{ex:?}");
+        let log = ex.server_log.expect("stall log is pushed before the stall begins");
+        assert_eq!(log.teardown, Teardown::Stalled);
+    }
+
+    #[test]
+    fn deadline_wheel_times_out_a_drive_with_no_response() {
+        let reactor = Reactor::spawn().unwrap();
+        let config =
+            NetServerConfig { fault: Some(ServerFault::Stall), ..NetServerConfig::default() };
+        let l = reactor.add_origin(ParserProfile::strict("wire"), config, true).unwrap();
+        // A drive keeps the connection open (no FIN), so a never-replying
+        // server leaves only the deadline wheel to end the job.
+        let outs = reactor.run(vec![Job::Drive(DriveSpec {
+            addr: l.addr,
+            payload: b"GET / HTTP/1.1\r\nHost: h\r\n\r\n".to_vec(),
+            requests: 4,
+            pipeline: 1,
+            read_timeout: stall_observe_timeout(),
+        })]);
+        let d = outs[0].as_drive().expect("drive output");
+        assert!(d.timed_out, "{d:?}");
+        assert_eq!(d.completed, 0, "{d:?}");
+        assert!(reactor.stats().deadline_fires >= 1);
+    }
+
+    #[test]
+    fn batch_outputs_keep_submission_order() {
+        let reactor = Reactor::spawn().unwrap();
+        let strict = reactor
+            .add_origin(ParserProfile::strict("wire"), NetServerConfig::default(), true)
+            .unwrap();
+        let jobs: Vec<Job> = (0..16)
+            .map(|i| {
+                Job::Exchange(ExchangeSpec {
+                    addr: strict.addr,
+                    bytes: format!("GET /{i} HTTP/1.1\r\nHost: h\r\n\r\n").into_bytes(),
+                    mode: SendMode::Whole,
+                    read_timeout: io_timeout(),
+                    pair: Some(strict.id),
+                    warm: false,
+                })
+            })
+            .collect();
+        let outs = reactor.run(jobs);
+        assert_eq!(outs.len(), 16);
+        for (i, out) in outs.iter().enumerate() {
+            let ex = out.as_exchange().expect("exchange");
+            let log = ex.server_log.as_ref().expect("own log");
+            assert_eq!(log.replies.len(), 1, "job {i}: {ex:?}");
+            let text = String::from_utf8_lossy(&ex.response);
+            assert!(text.starts_with("HTTP/1.1 200"), "job {i}: {text}");
+        }
+    }
+
+    #[test]
+    fn segmented_and_truncated_modes_match_the_blocking_client() {
+        let reactor = Reactor::spawn().unwrap();
+        let l = reactor
+            .add_origin(ParserProfile::strict("wire"), NetServerConfig::default(), true)
+            .unwrap();
+        let bytes = b"GET /seg HTTP/1.1\r\nHost: h\r\n\r\n".to_vec();
+        let outs = reactor.run(vec![
+            Job::Exchange(ExchangeSpec {
+                addr: l.addr,
+                bytes: bytes.clone(),
+                mode: SendMode::Segmented(vec![4, 9]),
+                read_timeout: io_timeout(),
+                pair: Some(l.id),
+                warm: false,
+            }),
+            Job::Exchange(ExchangeSpec {
+                addr: l.addr,
+                bytes: bytes.clone(),
+                mode: SendMode::TruncateAt(10),
+                read_timeout: io_timeout(),
+                pair: Some(l.id),
+                warm: false,
+            }),
+        ]);
+        let seg = outs[0].as_exchange().unwrap();
+        assert!(String::from_utf8_lossy(&seg.response).starts_with("HTTP/1.1 200"), "{seg:?}");
+        let trunc = outs[1].as_exchange().unwrap();
+        let log = trunc.server_log.as_ref().expect("log");
+        assert_eq!(log.replies.len(), 1, "truncated prefix finalizes at EOF: {log:?}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Raw epoll syscalls, `libc`-free.
+//!
+//! The workspace has a zero-dependency policy (everything outside `std`
+//! is vendored), so the reactor cannot link `libc` or `mio`. Epoll is
+//! reached through `core::arch::asm!` syscall stubs instead: four
+//! instructions per call, the same ABI `libc` would use. Only the three
+//! calls the reactor needs are wrapped — `epoll_create1`, `epoll_ctl`,
+//! and `epoll_pwait` (the `pwait` variant because aarch64 has no plain
+//! `epoll_wait` syscall).
+//!
+//! Everything else the event loop does (socket creation, nonblocking
+//! mode, reads, writes, shutdown) goes through `std`, which keeps this
+//! file tiny and auditable. On targets without a wrapper implementation
+//! the functions return `Unsupported`, and [`supported`] lets callers
+//! degrade to the blocking transport up front.
+
+use std::io;
+use std::os::fd::RawFd;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLET: u32 = 1 << 31;
+
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+
+const EPOLL_CLOEXEC: usize = 0o2000000;
+
+/// The kernel's `epoll_event`. x86_64 is the one architecture where the
+/// kernel declares it packed (12 bytes); everywhere else it is a plain
+/// 16-byte struct.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+impl EpollEvent {
+    pub fn new(events: u32, data: u64) -> EpollEvent {
+        EpollEvent { events, data }
+    }
+
+    /// Field reads that copy out of the (possibly packed) struct, so
+    /// callers never form an unaligned reference.
+    pub fn events(&self) -> u32 {
+        let e = *self;
+        e.events
+    }
+
+    pub fn data(&self) -> u64 {
+        let e = *self;
+        e.data
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod arch {
+    const SYS_EPOLL_CREATE1: usize = 291;
+    const SYS_EPOLL_CTL: usize = 233;
+    const SYS_EPOLL_PWAIT: usize = 281;
+
+    pub const SUPPORTED: bool = true;
+
+    /// # Safety
+    /// Arguments must be valid for the given syscall number.
+    unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub fn epoll_create1(flags: usize) -> isize {
+        unsafe { syscall6(SYS_EPOLL_CREATE1, flags, 0, 0, 0, 0, 0) }
+    }
+
+    pub fn epoll_ctl(epfd: usize, op: usize, fd: usize, event: usize) -> isize {
+        unsafe { syscall6(SYS_EPOLL_CTL, epfd, op, fd, event, 0, 0) }
+    }
+
+    pub fn epoll_pwait(epfd: usize, events: usize, maxevents: usize, timeout_ms: usize) -> isize {
+        // Null sigmask: plain epoll_wait semantics. The final argument is
+        // the kernel's sigsetsize and is ignored for a null mask.
+        unsafe { syscall6(SYS_EPOLL_PWAIT, epfd, events, maxevents, timeout_ms, 0, 8) }
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod arch {
+    const SYS_EPOLL_CREATE1: usize = 20;
+    const SYS_EPOLL_CTL: usize = 21;
+    const SYS_EPOLL_PWAIT: usize = 22;
+
+    pub const SUPPORTED: bool = true;
+
+    /// # Safety
+    /// Arguments must be valid for the given syscall number.
+    unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            inlateout("x0") a1 as isize => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            in("x8") nr,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub fn epoll_create1(flags: usize) -> isize {
+        unsafe { syscall6(SYS_EPOLL_CREATE1, flags, 0, 0, 0, 0, 0) }
+    }
+
+    pub fn epoll_ctl(epfd: usize, op: usize, fd: usize, event: usize) -> isize {
+        unsafe { syscall6(SYS_EPOLL_CTL, epfd, op, fd, event, 0, 0) }
+    }
+
+    pub fn epoll_pwait(epfd: usize, events: usize, maxevents: usize, timeout_ms: usize) -> isize {
+        unsafe { syscall6(SYS_EPOLL_PWAIT, epfd, events, maxevents, timeout_ms, 0, 8) }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod arch {
+    pub const SUPPORTED: bool = false;
+
+    pub fn epoll_create1(_flags: usize) -> isize {
+        -38 // -ENOSYS
+    }
+
+    pub fn epoll_ctl(_epfd: usize, _op: usize, _fd: usize, _event: usize) -> isize {
+        -38
+    }
+
+    pub fn epoll_pwait(_epfd: usize, _events: usize, _maxevents: usize, _timeout: usize) -> isize {
+        -38
+    }
+}
+
+/// Whether the reactor's epoll backend exists on this target.
+pub fn supported() -> bool {
+    arch::SUPPORTED
+}
+
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// An owned epoll instance; the fd is closed on drop (via `std`'s
+/// `OwnedFd`, so no raw `close` syscall is needed).
+#[derive(Debug)]
+pub struct Epoll {
+    fd: std::os::fd::OwnedFd,
+}
+
+impl Epoll {
+    pub fn new() -> io::Result<Epoll> {
+        let raw = check(arch::epoll_create1(EPOLL_CLOEXEC))? as RawFd;
+        // SAFETY: epoll_create1 returned a fresh fd we exclusively own.
+        let fd = unsafe { <std::os::fd::OwnedFd as std::os::fd::FromRawFd>::from_raw_fd(raw) };
+        Ok(Epoll { fd })
+    }
+
+    fn raw(&self) -> usize {
+        use std::os::fd::AsRawFd;
+        self.fd.as_raw_fd() as usize
+    }
+
+    /// Registers `fd` for edge-triggered readiness with `data` as the
+    /// token delivered in events.
+    pub fn add(&self, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        let ev = EpollEvent::new(events, data);
+        check(arch::epoll_ctl(
+            self.raw(),
+            EPOLL_CTL_ADD as usize,
+            fd as usize,
+            std::ptr::addr_of!(ev) as usize,
+        ))?;
+        Ok(())
+    }
+
+    /// Deregisters `fd`. Harmless to call for an fd the kernel already
+    /// dropped (closing an fd removes it from every epoll set).
+    pub fn del(&self, fd: RawFd) -> io::Result<()> {
+        let ev = EpollEvent::default();
+        check(arch::epoll_ctl(
+            self.raw(),
+            EPOLL_CTL_DEL as usize,
+            fd as usize,
+            std::ptr::addr_of!(ev) as usize,
+        ))?;
+        Ok(())
+    }
+
+    /// Waits up to `timeout_ms` (`-1` blocks) and fills `events`,
+    /// returning how many fired. EINTR is retried internally.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let ret = arch::epoll_pwait(
+                self.raw(),
+                events.as_mut_ptr() as usize,
+                events.len(),
+                timeout_ms as usize,
+            );
+            match check(ret) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn epoll_sees_readiness_on_a_socketpair() {
+        let (mut a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN | EPOLLET, 42).unwrap();
+
+        let mut events = [EpollEvent::default(); 8];
+        let n = ep.wait(&mut events, 0).unwrap();
+        assert_eq!(n, 0, "no readiness before a write");
+
+        a.write_all(b"x").unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].data(), 42);
+        assert!(events[0].events() & EPOLLIN != 0);
+
+        ep.del(b.as_raw_fd()).unwrap();
+    }
+}

@@ -131,7 +131,7 @@ pub fn incomplete_reason(i: &Interpretation) -> bool {
 /// EOF. Accepts are prefix-stable except when a chunked-repair consumed
 /// everything buffered (more bytes could extend the repaired body);
 /// rejects are final unless they look like a partial message.
-fn is_final(reply: &ServerReply, remaining: usize, eof: bool) -> bool {
+pub(crate) fn is_final(reply: &ServerReply, remaining: usize, eof: bool) -> bool {
     if eof {
         return true;
     }
@@ -335,7 +335,7 @@ fn handle_connection(
 
 /// Applies the reply-shaped fault effects exactly the way the in-process
 /// engine does, so recorded replies stay comparable across transports.
-fn apply_reply_fault(
+pub(crate) fn apply_reply_fault(
     server: &Server,
     fault: Option<ServerFault>,
     mut reply: ServerReply,

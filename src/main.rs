@@ -68,7 +68,7 @@ fn main() -> ExitCode {
         Ok(Some(raw)) => match hdiff::diff::Transport::parse(&raw) {
             Some(t) => Some(t),
             None => {
-                eprintln!("--transport: unknown transport {raw:?} (expected: sim, tcp)");
+                eprintln!("--transport: unknown transport {raw:?} (expected: sim, tcp, tcp-async)");
                 return ExitCode::FAILURE;
             }
         },
@@ -220,7 +220,7 @@ fn main() -> ExitCode {
                 .map(|(_, a)| a)
             else {
                 eprintln!(
-                    "usage: hdiff replay [--all] [--transport sim|tcp] <bundle.json | directory>"
+                    "usage: hdiff replay [--all] [--transport sim|tcp|tcp-async] <bundle.json | directory>"
                 );
                 return ExitCode::FAILURE;
             };
@@ -311,8 +311,10 @@ fn print_help() {
          \x20 --quick          small corpus for fast runs\n\
          \x20 --threads N      worker threads (0 = one per core)\n\
          \x20 --fault-rate N   inject faults into N% of hop decisions\n\
-         \x20 --transport T    run cases over `sim` (in-process, default)\n\
-         \x20                  or `tcp` (real loopback sockets)\n\
+         \x20 --transport T    run cases over `sim` (in-process, default),\n\
+         \x20                  `tcp` (blocking loopback sockets), or\n\
+         \x20                  `tcp-async` (multiplexed event-loop sockets\n\
+         \x20                  with pooled keep-alive connections)\n\
          \x20 --no-telemetry   skip span/counter/histogram collection\n\
          \x20 --summary-out F  write the machine-readable summary JSON to F\n\
          \x20 --trace-out F    record raw events, write JSONL trace to F\n\n\
@@ -449,6 +451,7 @@ fn run_worker_cli(args: &[String]) -> ExitCode {
             shard,
             checkpoint: checkpoint.into(),
             config,
+            corpus: flag_value::<String>(args, "--corpus")?.map(Into::into),
             min_generation: flag_value::<u64>(args, "--min-generation")?.unwrap_or(0),
             alive_interval: Duration::from_millis(
                 flag_value::<u64>(args, "--alive-interval-ms")?.unwrap_or(1000),
@@ -465,7 +468,7 @@ fn run_worker_cli(args: &[String]) -> ExitCode {
             eprintln!("{e}");
             eprintln!(
                 "usage: hdiff worker --shard i/k:start..end --checkpoint F --config F \
-                 [--min-generation G] [--alive-interval-ms N]"
+                 [--corpus F] [--min-generation G] [--alive-interval-ms N]"
             );
             return ExitCode::FAILURE;
         }
@@ -489,17 +492,24 @@ const PROBE_EXIT_TIMEOUT: u8 = 3;
 /// class diverges from the RFC-strict baseline's interpretation.
 const PROBE_EXIT_DIVERGENCE: u8 = 4;
 
-/// Sends a Table II catalog vector to a live `host:port` over TCP and
-/// pretty-prints the raw response bytes. Transient failures (connection
-/// refused, timeout) are retried with backoff; terminal outcomes map to
-/// distinct exit codes so scripts can branch: 0 = agrees with the strict
-/// baseline, [`PROBE_EXIT_CONNECT`], [`PROBE_EXIT_TIMEOUT`],
+/// Repetitions per catalog vector in the live-probe sweep — enough for
+/// stable p50/p99 quantiles without hammering the target.
+const PROBE_REPS: usize = 8;
+
+/// Sweeps the entire Table II catalog against a live `host:port`,
+/// reusing one pooled keep-alive connection across vectors (reconnecting
+/// only when the server closes it), and reports per-vector RTT p50/p99
+/// plus agreement with the RFC-strict baseline's interpretation.
+/// Transient connect failures are retried with backoff; terminal
+/// outcomes map to distinct exit codes so scripts can branch: 0 = every
+/// answered vector agrees with the strict baseline,
+/// [`PROBE_EXIT_CONNECT`], [`PROBE_EXIT_TIMEOUT`],
 /// [`PROBE_EXIT_DIVERGENCE`].
 fn probe_live(target: &str) -> ExitCode {
-    use hdiff::net::{io_timeout, SendMode, WireClient};
-    use hdiff::wire::ascii;
+    use hdiff::net::{io_timeout, ConnPool, NetClientConfig};
     use std::io::ErrorKind;
     use std::net::ToSocketAddrs;
+    use std::time::Instant;
 
     const RETRIES: u32 = 3;
 
@@ -511,78 +521,121 @@ fn probe_live(target: &str) -> ExitCode {
         }
     };
     let catalog = hdiff::gen::catalog::catalog();
-    let Some((request, note)) = catalog.first().and_then(|e| e.requests.first()) else {
+    if catalog.is_empty() {
         eprintln!("catalog is empty");
         return ExitCode::FAILURE;
-    };
-    let bytes = request.to_bytes();
-    println!("probing {target} with catalog vector {:?} ({note})", catalog[0].id);
-    println!("request ({} bytes):", bytes.len());
-    println!("  {}\n", ascii::escape_bytes(&bytes));
-    // The client reads/writes under the testbed's shared io_timeout().
-    let client = WireClient::new(addr);
+    }
+    // One pooled keep-alive connection serves the whole sweep; a vector
+    // the server answers slowly (or not at all) costs one quarter of the
+    // shared timeout instead of the full 500ms default.
+    let config = NetClientConfig { read_timeout: io_timeout() / 4, ..NetClientConfig::default() };
+    let mut pool = ConnPool::with_config(addr, 1, config);
+
+    // Fail fast (with retries) if the target is not accepting at all.
     let mut attempt = 0u32;
-    let exchange = loop {
-        match client.exchange(&bytes, &SendMode::Whole) {
-            Ok(x) => break x,
-            Err(e) => {
-                let timeout = matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock);
-                if (timeout || e.kind() == ErrorKind::ConnectionRefused) && attempt < RETRIES {
-                    attempt += 1;
-                    let backoff = io_timeout() / 4 * (1 << attempt);
-                    eprintln!("attempt {attempt} failed ({e}); retrying in {backoff:?}");
-                    std::thread::sleep(backoff);
-                    continue;
-                }
-                eprintln!("exchange with {target} failed after {attempt} retries: {e}");
-                return ExitCode::from(if timeout {
-                    PROBE_EXIT_TIMEOUT
-                } else {
-                    PROBE_EXIT_CONNECT
-                });
+    loop {
+        match pool.request(b"GET / HTTP/1.1\r\nHost: probe\r\n\r\n") {
+            Ok(_) => break,
+            Err(e) if e.kind() == ErrorKind::ConnectionRefused && attempt < RETRIES => {
+                attempt += 1;
+                let backoff = io_timeout() / 4 * (1 << attempt);
+                eprintln!("attempt {attempt} failed ({e}); retrying in {backoff:?}");
+                std::thread::sleep(backoff);
             }
+            Err(e) if e.kind() == ErrorKind::ConnectionRefused => {
+                eprintln!("cannot connect to {target} after {attempt} retries: {e}");
+                return ExitCode::from(PROBE_EXIT_CONNECT);
+            }
+            // Reachable but not speaking framed HTTP to the warmup probe:
+            // the sweep itself will classify each vector.
+            Err(_) => break,
         }
-    };
-    if exchange.timed_out {
-        println!("(read timed out; showing what arrived)");
     }
-    println!("response ({} bytes):", exchange.response.len());
-    for line in exchange.response.split(|&b| b == b'\n') {
-        println!("  {}", ascii::escape_bytes(line));
+
+    println!("probing {target}: full catalog sweep, {PROBE_REPS} reps/vector over one keep-alive connection\n");
+    println!("{:<26} {:<6} {:>9} {:>9} {:<8} verdict", "vector", "reps", "p50", "p99", "status");
+    let mut divergences = 0usize;
+    let mut answered = 0usize;
+    let mut silent = 0usize;
+    for entry in &catalog {
+        for (idx, (request, _note)) in entry.requests.iter().enumerate() {
+            let bytes = request.to_bytes();
+            let label = if entry.requests.len() == 1 {
+                entry.id.to_string()
+            } else {
+                format!("{}#{}", entry.id, idx)
+            };
+            let mut rtts_ns: Vec<u64> = Vec::with_capacity(PROBE_REPS);
+            let mut last_status: Option<u16> = None;
+            for _ in 0..PROBE_REPS {
+                let started = Instant::now();
+                match pool.request(&bytes) {
+                    Ok(parsed) => {
+                        rtts_ns
+                            .push(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                        last_status = Some(parsed.status.as_u16());
+                    }
+                    // No framed answer (timeout, close, garbage): one
+                    // attempt is the observation; repeating would spend
+                    // the timeout budget seven more times for nothing.
+                    Err(_) => break,
+                }
+            }
+            let baseline = hdiff::servers::interpret(
+                &hdiff::servers::ParserProfile::strict("baseline"),
+                &bytes,
+            );
+            let expected = baseline.outcome.status();
+            let verdict = match last_status {
+                Some(live) if live / 100 == expected / 100 => {
+                    answered += 1;
+                    "agrees".to_string()
+                }
+                Some(_) => {
+                    answered += 1;
+                    divergences += 1;
+                    format!("DIVERGES (baseline {expected})")
+                }
+                None => {
+                    silent += 1;
+                    "no framed response".to_string()
+                }
+            };
+            println!(
+                "{:<26} {:<6} {:>9} {:>9} {:<8} {}",
+                label,
+                rtts_ns.len(),
+                quantile_ms(&mut rtts_ns, 50),
+                quantile_ms(&mut rtts_ns, 99),
+                last_status.map_or_else(|| "-".to_string(), |s| s.to_string()),
+                verdict,
+            );
+        }
     }
-    if exchange.response.is_empty() {
-        eprintln!("no response bytes arrived before the timeout");
-        return ExitCode::from(PROBE_EXIT_TIMEOUT);
-    }
-    // Semantic check: does the live server's status class agree with the
-    // RFC-strict baseline's interpretation of the same bytes?
-    let baseline =
-        hdiff::servers::interpret(&hdiff::servers::ParserProfile::strict("baseline"), &bytes);
-    let expected = baseline.outcome.status();
-    match parse_status_code(&exchange.response) {
-        Some(live) if live / 100 == expected / 100 => {
-            println!("\nstatus {live} agrees with the strict baseline ({expected})");
-            ExitCode::SUCCESS
-        }
-        Some(live) => {
-            println!("\nDIVERGENCE: live server answered {live}, strict baseline says {expected}");
-            ExitCode::from(PROBE_EXIT_DIVERGENCE)
-        }
-        None => {
-            println!("\nDIVERGENCE: response has no parseable HTTP status line");
-            ExitCode::from(PROBE_EXIT_DIVERGENCE)
-        }
+    let stats = pool.stats();
+    println!(
+        "\n{} vectors answered, {} silent, {} divergent; pool: {} reuse hits, {} connects, {} evictions",
+        answered, silent, divergences, stats.hits, stats.misses, stats.evictions
+    );
+    if divergences > 0 {
+        ExitCode::from(PROBE_EXIT_DIVERGENCE)
+    } else if answered == 0 {
+        eprintln!("no vector produced a framed response before the timeout");
+        ExitCode::from(PROBE_EXIT_TIMEOUT)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
-/// Extracts the status code from a raw `HTTP/x.y NNN ...` response.
-fn parse_status_code(response: &[u8]) -> Option<u16> {
-    let line = response.split(|&b| b == b'\n').next()?;
-    let text = std::str::from_utf8(line).ok()?;
-    if !text.starts_with("HTTP/") {
-        return None;
+/// Formats the `pct`-th percentile of `rtts_ns` (sorting in place) as
+/// milliseconds, `-` when no samples arrived.
+fn quantile_ms(rtts_ns: &mut [u64], pct: usize) -> String {
+    if rtts_ns.is_empty() {
+        return "-".to_string();
     }
-    text.split_whitespace().nth(1)?.parse().ok()
+    rtts_ns.sort_unstable();
+    let idx = (rtts_ns.len() * pct / 100).min(rtts_ns.len() - 1);
+    format!("{:.3}ms", rtts_ns[idx] as f64 / 1e6)
 }
 
 /// Interprets raw request bytes under every product and the baseline.

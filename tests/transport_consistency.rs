@@ -1,17 +1,22 @@
 //! Cross-transport consistency gate.
 //!
-//! The wire transport (`crates/net`) exists to observe byte-stream
+//! The wire transports (`crates/net`) exist to observe byte-stream
 //! behaviors the in-process calls cannot show — but on a fault-free
-//! corpus the two transports run the *same* engine over the *same*
+//! corpus every transport runs the *same* engine over the *same*
 //! delivered bytes, so every finding, pair verdict, and behavior digest
 //! must agree. This gate runs the full Table II catalog through the
-//! differential engine over both transports and fails on any drift; it
-//! also checks that segmented delivery over real sockets still splits
-//! the profiles (the HMetrics divergence the transport is for).
+//! differential engine over all three transports (`sim`, blocking
+//! `tcp`, and the multiplexed `tcp-async` event loop) and fails on any
+//! drift; it also checks that segmented delivery over real sockets
+//! still splits the profiles (the HMetrics divergence the transport is
+//! for).
 
-use hdiff::diff::{consistency_findings, segmented_probe, DiffEngine, Transport, Workflow};
+use hdiff::diff::{
+    consistency_findings, consistency_findings_async, segmented_probe, DiffEngine, Transport,
+    Workflow,
+};
 use hdiff::gen::{catalog, Origin, TestCase};
-use hdiff::net::SendMode;
+use hdiff::net::{AsyncTestbed, SendMode};
 
 /// Widens the shared socket timeout for this gate unless the caller
 /// already chose one: a loaded CI box can stall a loopback read past the
@@ -77,6 +82,25 @@ fn catalog_campaign_findings_match_across_transports() {
     assert_eq!(sim_summary.pairs, tcp_summary.pairs);
     assert_eq!(sim_summary.verdicts, tcp_summary.verdicts);
     assert!(!tcp_summary.findings.is_empty(), "catalog campaign found nothing");
+
+    if !hdiff::net::reactor::sys::supported() {
+        eprintln!("skipping tcp-async leg: no epoll backend on this target");
+        return;
+    }
+    let mut multiplexed = DiffEngine::standard();
+    multiplexed.threads = 2;
+    multiplexed.transport = Transport::TcpAsync;
+    let async_summary = multiplexed.run(&cases);
+
+    assert_eq!(async_summary.transport, Transport::TcpAsync);
+    assert_eq!(sim_summary.cases, async_summary.cases);
+    assert_eq!(async_summary.errors, 0, "tcp-async campaign hit terminal errors");
+    assert_eq!(
+        sim_summary.findings, async_summary.findings,
+        "multiplexed campaign found different findings than the simulation"
+    );
+    assert_eq!(sim_summary.pairs, async_summary.pairs);
+    assert_eq!(sim_summary.verdicts, async_summary.verdicts);
 }
 
 #[test]
@@ -93,6 +117,40 @@ fn catalog_vectors_have_consistent_behavior_digests() {
             assert!(findings.is_empty(), "transport divergence on {origin} ({note}): {findings:?}");
         }
     }
+}
+
+#[test]
+fn catalog_vectors_are_consistent_over_the_multiplexed_transport() {
+    widen_timeouts_for_ci();
+    if !hdiff::net::reactor::sys::supported() {
+        eprintln!("skipping: no epoll backend on this target");
+        return;
+    }
+    let workflow = Workflow::standard();
+    let profiles = hdiff::servers::products();
+    // One shared testbed serves the whole catalog, so later vectors ride
+    // the warm keep-alive pool instead of fresh connections.
+    let testbed = AsyncTestbed::new(workflow.backends(), workflow.proxies()).unwrap();
+    for (idx, entry) in catalog::catalog().iter().enumerate() {
+        let uuid = 700 + idx as u64;
+        let origin = format!("catalog:{}", entry.id);
+        for (req, note) in &entry.requests {
+            let findings = consistency_findings_async(
+                &workflow,
+                &profiles,
+                uuid,
+                &origin,
+                &req.to_bytes(),
+                &testbed,
+            );
+            assert!(
+                findings.is_empty(),
+                "multiplexed transport divergence on {origin} ({note}): {findings:?}"
+            );
+        }
+    }
+    let stats = testbed.stats();
+    assert!(stats.pool_hits > 0, "catalog sweep never reused a pooled connection: {stats:?}");
 }
 
 #[test]
