@@ -44,7 +44,9 @@ pub use baseline::{deviations, Deviation, DeviationKind};
 pub use detect::{detect_case, detect_case_with_oracle, detect_degradation, DegradationFinding};
 pub use findings::Finding;
 pub use hmetrics::HMetrics;
-pub use minimize::{minimize, FindingContext, MinimizeOptions, MinimizeStats, Minimized};
+pub use minimize::{
+    ddmin_items, minimize, FindingContext, MinimizeOptions, MinimizeStats, Minimized,
+};
 pub use replay::{ReplayBundle, ReplayReport};
 pub use runner::{
     CaseError, CaseRecord, ChunkProgress, DiffEngine, ProgressHook, RunSummary, RunTelemetry,

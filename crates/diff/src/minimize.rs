@@ -115,6 +115,81 @@ where
     Minimized { bytes: current, stats: m.stats }
 }
 
+/// Zeller-style ddmin over an arbitrary atom sequence — the
+/// stream-level entry point: callers minimizing a multi-request
+/// connection stream pass the requests as atoms and a predicate over
+/// the surviving subsequence, then shrink each surviving atom's bytes
+/// with [`minimize`]. Same contract as [`minimize`]: the predicate must
+/// hold on the full sequence (otherwise it is returned unchanged with
+/// `stats.attempts == 1`), every predicate call runs under
+/// `catch_unwind` (a panicking candidate is counted as quarantined and
+/// rejected), and the whole pass is budgeted by
+/// [`MinimizeOptions::max_attempts`]. Deterministic: same items,
+/// predicate, and options give the same surviving subsequence.
+pub fn ddmin_items<T, P>(
+    items: &[T],
+    predicate: P,
+    opts: &MinimizeOptions,
+) -> (Vec<T>, MinimizeStats)
+where
+    T: Clone,
+    P: Fn(&[T]) -> bool,
+{
+    let mut stats = MinimizeStats { original_len: items.len(), ..MinimizeStats::default() };
+    let check = |candidate: &[T], stats: &mut MinimizeStats| -> bool {
+        if stats.attempts >= opts.max_attempts {
+            return false;
+        }
+        stats.attempts += 1;
+        match panic::catch_unwind(AssertUnwindSafe(|| predicate(candidate))) {
+            Ok(true) => {
+                stats.accepted += 1;
+                true
+            }
+            Ok(false) => false,
+            Err(_) => {
+                stats.quarantined += 1;
+                false
+            }
+        }
+    };
+    if !check(items, &mut stats) {
+        stats.minimized_len = items.len();
+        return (items.to_vec(), stats);
+    }
+    let mut atoms = items.to_vec();
+    if check(&[], &mut stats) {
+        stats.minimized_len = 0;
+        return (Vec::new(), stats);
+    }
+    let mut n = 2usize.min(atoms.len());
+    while atoms.len() >= 2 && stats.attempts < opts.max_attempts {
+        let chunk = atoms.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < atoms.len() && stats.attempts < opts.max_attempts {
+            let end = (start + chunk).min(atoms.len());
+            let complement: Vec<T> =
+                atoms[..start].iter().chain(atoms[end..].iter()).cloned().collect();
+            if check(&complement, &mut stats) {
+                atoms = complement;
+                n = n.saturating_sub(1).max(2).min(atoms.len().max(2));
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break;
+            }
+            n = (n * 2).min(atoms.len());
+        }
+    }
+    stats.minimized_len = atoms.len();
+    (atoms, stats)
+}
+
 struct Minimizer<'a> {
     predicate: &'a dyn Fn(&[u8]) -> bool,
     opts: &'a MinimizeOptions,
@@ -321,6 +396,43 @@ mod tests {
 
     fn opts() -> MinimizeOptions {
         MinimizeOptions::default()
+    }
+
+    #[test]
+    fn ddmin_items_shrinks_to_the_needed_atoms() {
+        let items: Vec<u32> = (0..16).collect();
+        let (kept, stats) = ddmin_items(&items, |c| c.contains(&3) && c.contains(&11), &opts());
+        assert_eq!(kept, vec![3, 11]);
+        assert_eq!(stats.original_len, 16);
+        assert_eq!(stats.minimized_len, 2);
+    }
+
+    #[test]
+    fn ddmin_items_rejected_input_is_unchanged() {
+        let items = vec![1u8, 2, 3];
+        let (kept, stats) = ddmin_items(&items, |_| false, &opts());
+        assert_eq!(kept, items);
+        assert_eq!(stats.attempts, 1);
+    }
+
+    #[test]
+    fn ddmin_items_quarantines_panicking_candidates() {
+        let hook = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        let items: Vec<u32> = (0..12).collect();
+        let (kept, stats) = ddmin_items(
+            &items,
+            |c| {
+                if c.len() < 2 {
+                    panic!("harness wedged");
+                }
+                c.contains(&5) && c.contains(&9)
+            },
+            &opts(),
+        );
+        panic::set_hook(hook);
+        assert_eq!(kept, vec![5, 9]);
+        assert!(stats.quarantined > 0, "{stats:?}");
     }
 
     #[test]

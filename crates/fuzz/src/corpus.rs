@@ -1,0 +1,147 @@
+//! Energy-weighted corpus scheduling.
+//!
+//! Every interesting stream (it touched a cold grammar arm or produced
+//! a never-seen behavior digest) earns a corpus slot with an energy
+//! budget; parents are drawn with probability proportional to energy,
+//! so the scheduler spends its executions descending from inputs that
+//! recently paid off. Producing another novel child rewards the parent.
+//! The corpus is bounded: when full, the lowest-energy (oldest on ties)
+//! entry is evicted. All decisions are pure functions of the RNG
+//! stream, so a seeded session replays identically.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::stream::Stream;
+
+/// One scheduled input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Stable id (assignment order).
+    pub id: u64,
+    /// The stream itself.
+    pub stream: Stream,
+    /// Scheduling weight.
+    pub energy: u64,
+    /// Parent entry id, if the stream was derived by mutation.
+    pub parent: Option<u64>,
+}
+
+/// The bounded, energy-weighted corpus.
+#[derive(Debug)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+    next_id: u64,
+    cap: usize,
+}
+
+/// Energy ceiling — rewards saturate so one lucky ancestor cannot
+/// monopolize the schedule forever.
+pub const ENERGY_CAP: u64 = 32;
+
+impl Corpus {
+    /// An empty corpus holding at most `cap` entries.
+    pub fn new(cap: usize) -> Corpus {
+        Corpus { entries: Vec::new(), next_id: 0, cap: cap.max(1) }
+    }
+
+    /// Entries currently scheduled.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Admits a stream with starting `energy`, evicting the weakest
+    /// entry when full. Returns the new entry's id.
+    pub fn add(&mut self, stream: Stream, energy: u64, parent: Option<u64>) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.push(CorpusEntry { id, stream, energy: energy.clamp(1, ENERGY_CAP), parent });
+        if self.entries.len() > self.cap {
+            // Weakest first, oldest on ties: deterministic eviction.
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.energy, e.id))
+                .map(|(i, _)| i)
+                .expect("corpus is non-empty");
+            self.entries.remove(victim);
+        }
+        id
+    }
+
+    /// Draws one parent, weighted by energy.
+    pub fn pick<'a>(&'a self, rng: &mut StdRng) -> &'a CorpusEntry {
+        assert!(!self.entries.is_empty(), "cannot schedule from an empty corpus");
+        let total: u64 = self.entries.iter().map(|e| e.energy).sum();
+        let mut x = rng.gen_range(0..total);
+        for e in &self.entries {
+            if x < e.energy {
+                return e;
+            }
+            x -= e.energy;
+        }
+        self.entries.last().expect("non-empty")
+    }
+
+    /// Rewards an entry (a descendant paid off). Missing ids — evicted
+    /// parents — are ignored.
+    pub fn reward(&mut self, id: u64, delta: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
+            e.energy = (e.energy + delta).min(ENERGY_CAP);
+        }
+    }
+
+    /// Structural digests of every entry, in admission order — the
+    /// corpus identity the determinism gates compare.
+    pub fn digests(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.stream.digest()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn stream(tag: u8) -> Stream {
+        Stream::single(vec![b'G', b'E', b'T', b' ', tag])
+    }
+
+    #[test]
+    fn eviction_removes_the_weakest_oldest() {
+        let mut c = Corpus::new(2);
+        let a = c.add(stream(1), 1, None);
+        let b = c.add(stream(2), 5, None);
+        let d = c.add(stream(3), 3, None);
+        assert_eq!(c.len(), 2);
+        assert!(c.entries.iter().all(|e| e.id != a), "lowest energy evicted");
+        assert!(c.entries.iter().any(|e| e.id == b));
+        assert!(c.entries.iter().any(|e| e.id == d));
+    }
+
+    #[test]
+    fn weighted_pick_prefers_high_energy() {
+        let mut c = Corpus::new(8);
+        let low = c.add(stream(1), 1, None);
+        let high = c.add(stream(2), ENERGY_CAP, None);
+        let mut rng = StdRng::seed_from_u64(3);
+        let picks: Vec<u64> = (0..200).map(|_| c.pick(&mut rng).id).collect();
+        let high_share = picks.iter().filter(|&&id| id == high).count();
+        assert!(high_share > 150, "{high_share} of 200 picks; low id {low}");
+    }
+
+    #[test]
+    fn rewards_saturate_and_tolerate_missing_ids() {
+        let mut c = Corpus::new(4);
+        let id = c.add(stream(1), 1, None);
+        c.reward(id, 1000);
+        c.reward(9999, 5);
+        assert_eq!(c.entries[0].energy, ENERGY_CAP);
+    }
+}

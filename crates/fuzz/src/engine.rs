@@ -1,0 +1,755 @@
+//! The coverage-guided differential fuzzing loop.
+//!
+//! Each iteration draws an energy-weighted parent (and a second parent
+//! for splices) from the corpus, mutates it into a candidate stream,
+//! executes the stream's effective bytes through the full Fig. 6
+//! workflow on the configured transport, and scores it with a two-part
+//! fitness signal:
+//!
+//! 1. **grammar coverage delta** — alternation arms the candidate's
+//!    freshly generated material touched (generator-side
+//!    [`CoverageMap`] merge delta) plus rules its `Host` values visit
+//!    under the packrat matcher's trace;
+//! 2. **behavior-digest novelty** — `(view label, FNV-1a digest)` pairs
+//!    across the 12 implementation views (6 direct back-ends, 6 proxy
+//!    chains) never seen in the session.
+//!
+//! Either signal earns a corpus slot and rewards the parent. Every
+//! never-seen divergence class (`class|front|back` of a detector
+//! finding) is ddmin-minimized at stream granularity
+//! ([`minimize_stream`]) and promoted to a candidate golden
+//! [`ReplayBundle`].
+//!
+//! Determinism-under-seed is the core promise: candidates are derived
+//! and scored serially in batch order from one RNG stream; worker
+//! threads only execute a batch (order-preserving, see
+//! `hdiff_diff::schedule`), so a session is a pure function of
+//! `(seed, iteration budget, transport)` — invariant across `--threads`.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use hdiff_abnf::Grammar;
+use hdiff_diff::minimize::{ddmin_items, minimize, MinimizeOptions, MinimizeStats};
+use hdiff_diff::replay::behavior_digests;
+use hdiff_diff::transport::{try_run_bytes_tcp, try_run_bytes_tcp_async};
+use hdiff_diff::{detect_case, schedule, Finding, ReplayBundle, Transport, Workflow};
+use hdiff_gen::{AbnfGenerator, CoverageMap, GenOptions, GrammarCoverage};
+use hdiff_servers::fault::{FaultInjector, FaultPlan, FaultSession};
+use hdiff_servers::ParserProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::corpus::Corpus;
+use crate::mutate::{host_values, inject_line, IngredientPool, StreamMutator};
+use crate::stream::Stream;
+
+/// Per-attempt logical step budget (matches the campaign runner's).
+pub const STEP_BUDGET: u64 = 4096;
+
+/// `(grammar rule, header-line prefix)` pairs the fresh-material
+/// operator draws from: the fields the three detection models care
+/// about plus the alternation-rich grammar regions.
+pub const FRESH_RULES: [(&str, &[u8]); 6] = [
+    ("Host", b"Host: "),
+    ("transfer-coding", b"Transfer-Encoding: "),
+    ("TE", b"TE: "),
+    ("Via", b"Via: "),
+    ("Expect", b"Expect: "),
+    ("Connection", b"Connection: "),
+];
+
+/// Base of the uuid range fuzz cases occupy, far above campaign uuids.
+pub const FUZZ_UUID_BASE: u64 = 0xfa22_0000_0000_0000;
+
+/// How long the loop runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzBudget {
+    /// Exactly this many stream executions (seed streams included) —
+    /// the fully deterministic mode the regression gates use.
+    Iters(u64),
+    /// Wall-clock bound: the deterministic candidate sequence is cut at
+    /// whatever prefix fits the time window.
+    Seconds(u64),
+}
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// RNG seed — the session is a pure function of it (given the same
+    /// iteration budget and transport).
+    pub seed: u64,
+    /// Iteration or wall-clock budget.
+    pub budget: FuzzBudget,
+    /// Worker threads for batch execution; `0` = one per core. Never
+    /// affects results, only wall-clock.
+    pub threads: usize,
+    /// Transport streams execute over.
+    pub transport: Transport,
+    /// Corpus capacity.
+    pub corpus_cap: usize,
+    /// Candidates per scheduling batch. Fixed independently of
+    /// `threads` so the candidate sequence is thread-invariant.
+    pub batch: usize,
+    /// Predicate-call budget for stream minimization at promotion.
+    pub minimize_attempts: usize,
+    /// Promotion ceiling per session (counted when hit, never silent).
+    pub max_promotions: usize,
+    /// Directory promoted bundles (and their stream sidecars) are
+    /// written to.
+    pub promote_dir: Option<PathBuf>,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: 0xfa22,
+            budget: FuzzBudget::Iters(256),
+            threads: 0,
+            transport: Transport::Sim,
+            corpus_cap: 256,
+            batch: 8,
+            minimize_attempts: 256,
+            max_promotions: 16,
+            promote_dir: None,
+        }
+    }
+}
+
+/// A minimized, bundled divergence the session discovered.
+#[derive(Debug, Clone)]
+pub struct PromotedStream {
+    /// Bundle name (`fuzz-<fnv64 of the class key>`).
+    pub name: String,
+    /// The divergence class that triggered promotion.
+    pub class_key: String,
+    /// The minimized stream.
+    pub stream: Stream,
+    /// The candidate golden bundle recorded from the minimized stream.
+    pub bundle: ReplayBundle,
+    /// Minimization bookkeeping (byte lengths, attempts, quarantines).
+    pub shrink: MinimizeStats,
+}
+
+/// Everything a session produced. The determinism gates compare
+/// [`FuzzReport::corpus_digests`], [`FuzzReport::coverage`],
+/// [`FuzzReport::novel_digest_views`], [`FuzzReport::divergence_classes`]
+/// and the promoted name set — never wall-clock.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// Transport the session executed over.
+    pub transport: Transport,
+    /// Streams executed (seeds included).
+    pub execs: u64,
+    /// Executions that panicked the harness (quarantined, skipped).
+    pub quarantined: u64,
+    /// Executions lost to loopback testbed failures (wire transports).
+    pub net_errors: u64,
+    /// Wall-clock of the loop.
+    pub elapsed: Duration,
+    /// Structural digests of the final corpus, admission order.
+    pub corpus_digests: Vec<u64>,
+    /// Grammar coverage the session reached.
+    pub coverage: GrammarCoverage,
+    /// Distinct `(view label, digest)` pairs observed.
+    pub novel_digest_views: u64,
+    /// Distinct divergence class keys observed, ascending.
+    pub divergence_classes: Vec<String>,
+    /// Minimized promoted bundles, discovery order.
+    pub promoted: Vec<PromotedStream>,
+    /// Session telemetry (fuzz counters, generation counters, per-case
+    /// spans) merged in batch order.
+    pub telemetry: hdiff_obs::Telemetry,
+}
+
+impl FuzzReport {
+    /// Executions per second.
+    pub fn execs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.execs as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Names of the promoted bundles, discovery order.
+    pub fn promoted_names(&self) -> Vec<String> {
+        self.promoted.iter().map(|p| p.name.clone()).collect()
+    }
+
+    /// Human-readable session summary (the `hdiff fuzz` stdout view).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+
+        let mut out = String::new();
+        let _ = writeln!(out, "== fuzz session ({}) ==", self.transport.as_str());
+        let _ = writeln!(
+            out,
+            "executions      : {} ({:.1}/s, {} quarantined, {} net errors)",
+            self.execs,
+            self.execs_per_sec(),
+            self.quarantined,
+            self.net_errors
+        );
+        let _ = writeln!(out, "corpus          : {} entries", self.corpus_digests.len());
+        let _ = writeln!(
+            out,
+            "grammar coverage: {}/{} rules ({:.1}%), {}/{} alternation arms ({:.1}%)",
+            self.coverage.rules_covered,
+            self.coverage.rules_total,
+            100.0 * self.coverage.rule_fraction(),
+            self.coverage.alts_covered,
+            self.coverage.alts_total,
+            100.0 * self.coverage.alt_fraction(),
+        );
+        let _ =
+            writeln!(out, "novel digests   : {} behavior-digest views", self.novel_digest_views);
+        let _ = writeln!(
+            out,
+            "divergences     : {} class(es){}",
+            self.divergence_classes.len(),
+            if self.divergence_classes.is_empty() { String::new() } else { ":".to_string() }
+        );
+        for class in &self.divergence_classes {
+            let _ = writeln!(out, "  {class}");
+        }
+        let _ = writeln!(out, "promoted        : {} minimized bundle(s)", self.promoted.len());
+        for p in &self.promoted {
+            let _ = writeln!(
+                out,
+                "  {}  {}  {} -> {} bytes ({} requests)",
+                p.name,
+                p.class_key,
+                p.shrink.original_len,
+                p.shrink.minimized_len,
+                p.stream.requests.len(),
+            );
+        }
+        out
+    }
+}
+
+/// The fuzzing session driver.
+#[derive(Debug)]
+pub struct FuzzEngine {
+    opts: FuzzOptions,
+    workflow: Workflow,
+    profiles: Vec<ParserProfile>,
+    grammar: Grammar,
+    async_testbed: OnceLock<Result<hdiff_net::AsyncTestbed, hdiff_net::NetError>>,
+}
+
+/// What one executed candidate came back with.
+struct ExecResult {
+    digests: Vec<(String, u64)>,
+    findings: Vec<Finding>,
+    quarantined: bool,
+    net_error: bool,
+    telemetry: hdiff_obs::Telemetry,
+}
+
+/// A candidate awaiting execution: the stream, its parent (if any), and
+/// the generator-side coverage gain attributed at creation.
+struct Candidate {
+    stream: Stream,
+    parent: Option<u64>,
+    gen_gain: usize,
+    op: &'static str,
+    uuid: u64,
+    origin: String,
+}
+
+impl FuzzEngine {
+    /// An engine over the standard Fig. 6 environment and the adapted
+    /// RFC grammar.
+    pub fn standard(opts: FuzzOptions) -> FuzzEngine {
+        let grammar = hdiff_analyzer::DocumentAnalyzer::with_default_inputs()
+            .analyze_syntax(&hdiff_corpus::core_documents())
+            .grammar;
+        FuzzEngine::with_environment(opts, Workflow::standard(), hdiff_servers::products(), grammar)
+    }
+
+    /// An engine over an explicit environment (tests reuse one analyzed
+    /// grammar across many sessions).
+    pub fn with_environment(
+        opts: FuzzOptions,
+        workflow: Workflow,
+        profiles: Vec<ParserProfile>,
+        grammar: Grammar,
+    ) -> FuzzEngine {
+        FuzzEngine { opts, workflow, profiles, grammar, async_testbed: OnceLock::new() }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &FuzzOptions {
+        &self.opts
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.opts.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.opts.threads
+        }
+    }
+
+    fn async_testbed(&self) -> Result<&hdiff_net::AsyncTestbed, hdiff_net::NetError> {
+        self.async_testbed
+            .get_or_init(|| {
+                hdiff_net::AsyncTestbed::new(self.workflow.backends(), self.workflow.proxies())
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// Runs the session to its budget and reports.
+    pub fn run(&self) -> FuzzReport {
+        let started = Instant::now();
+        let opts = &self.opts;
+        if let Some(dir) = &opts.promote_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create promote dir {}: {e}", dir.display());
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let cg = self.grammar.compiled();
+        let mut global_cov = CoverageMap::new(&cg);
+        let mut tele = hdiff_obs::Telemetry::default();
+
+        // Pool + generator: built inside a case scope so their
+        // generation counters land in the session telemetry, not the
+        // ambient thread-local.
+        let ((pool, mut gen), build_tel) = hdiff_obs::with_case(FUZZ_UUID_BASE, || {
+            let pool = IngredientPool::build(&self.grammar, opts.seed);
+            let gen = AbnfGenerator::new(
+                self.grammar.clone(),
+                GenOptions {
+                    seed: opts.seed ^ 0x9e0_47a1,
+                    coverage_guided: true,
+                    ..GenOptions::default()
+                },
+            );
+            (pool, gen)
+        });
+        tele.merge(&build_tel);
+        let mut mutator = StreamMutator::new(opts.seed ^ 0x5_7e4a, pool);
+        let mut corpus = Corpus::new(opts.corpus_cap);
+
+        let mut execs = 0u64;
+        let mut quarantined = 0u64;
+        let mut net_errors = 0u64;
+        let mut seen_views: std::collections::BTreeSet<(String, u64)> =
+            std::collections::BTreeSet::new();
+        let mut novel_views = 0u64;
+        let mut seen_classes: std::collections::BTreeSet<String> =
+            std::collections::BTreeSet::new();
+        let mut promoted: Vec<PromotedStream> = Vec::new();
+
+        let deadline = match opts.budget {
+            FuzzBudget::Seconds(s) => Some(started + Duration::from_secs(s)),
+            FuzzBudget::Iters(_) => None,
+        };
+        let target = match opts.budget {
+            FuzzBudget::Iters(n) => Some(n),
+            FuzzBudget::Seconds(_) => None,
+        };
+        let threads = self.effective_threads();
+        let batch_cap = opts.batch.max(1);
+
+        // Seed streams: every pool template as a single-request stream,
+        // plus one pipelined two-request stream.
+        let mut pending_seeds: Vec<Stream> =
+            mutator.pool().requests.iter().map(|r| Stream::single(r.clone())).collect();
+        if mutator.pool().requests.len() >= 2 {
+            let mut s = Stream::single(mutator.pool().requests[0].clone());
+            s.requests.push(crate::stream::StreamRequest {
+                bytes: mutator.pool().requests[1].clone(),
+                delivery: crate::stream::Delivery::Whole,
+                pipelined: true,
+            });
+            pending_seeds.push(s);
+        }
+
+        loop {
+            if let Some(t) = target {
+                if execs >= t {
+                    break;
+                }
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    break;
+                }
+            }
+
+            // Assemble the next batch: remaining seeds first, then
+            // mutated candidates. Serial and RNG-driven — identical for
+            // every thread count.
+            let room = match target {
+                Some(t) => (t - execs).min(batch_cap as u64) as usize,
+                None => batch_cap,
+            };
+            let mut batch: Vec<Candidate> = Vec::with_capacity(room);
+            while batch.len() < room {
+                let exec_idx = execs + batch.len() as u64;
+                let uuid = FUZZ_UUID_BASE + 1 + exec_idx;
+                let origin = format!("fuzz:{}:{}", opts.seed, exec_idx);
+                if let Some(stream) = pending_seeds.first().cloned() {
+                    pending_seeds.remove(0);
+                    batch.push(Candidate {
+                        stream,
+                        parent: None,
+                        gen_gain: 0,
+                        op: "seed",
+                        uuid,
+                        origin,
+                    });
+                    continue;
+                }
+                if corpus.is_empty() {
+                    // Every seed quarantined (pathological profile set):
+                    // fall back to a pool template.
+                    batch.push(Candidate {
+                        stream: Stream::single(mutator.pool().requests[0].clone()),
+                        parent: None,
+                        gen_gain: 0,
+                        op: "seed",
+                        uuid,
+                        origin,
+                    });
+                    continue;
+                }
+                let parent = corpus.pick(&mut rng);
+                let parent_id = parent.id;
+                let parent_stream = parent.stream.clone();
+                let other = corpus.pick(&mut rng).stream.clone();
+                let ((mut stream, op), mut_tel) =
+                    hdiff_obs::with_case(uuid, || mutator.mutate(&parent_stream, &other));
+                tele.merge(&mut_tel);
+                // Fresh-material operator: a quarter of candidates get a
+                // grammar-generated header value spliced in; the
+                // alternation arms that generation touched are the
+                // candidate's gen-side coverage claim. The rule table
+                // mixes the attack-relevant fields (Host, the framing
+                // headers) with the arm-rich ones (Via, TE) so the
+                // session keeps finding cold grammar regions.
+                let mut gen_gain = 0usize;
+                if rng.gen_bool(0.25) {
+                    let (rule, header) = FRESH_RULES[rng.gen_range(0..FRESH_RULES.len())];
+                    let (value, gen_tel) = hdiff_obs::with_case(uuid, || gen.generate(rule));
+                    tele.merge(&gen_tel);
+                    if let Some(value) = value {
+                        let req = rng.gen_range(0..stream.requests.len());
+                        let line = [header, &value, b"\r\n"].concat();
+                        inject_line(&mut stream.requests[req].bytes, &line);
+                        stream.requests[req].repair_delivery();
+                        let before = summary_points(&global_cov);
+                        if let Some(cov) = gen.coverage() {
+                            global_cov.merge(cov);
+                        }
+                        gen_gain = summary_points(&global_cov) - before;
+                    }
+                }
+                batch.push(Candidate {
+                    stream,
+                    parent: Some(parent_id),
+                    gen_gain,
+                    op,
+                    uuid,
+                    origin,
+                });
+            }
+            if batch.is_empty() {
+                break;
+            }
+
+            // Execute the batch across workers; results come back in
+            // batch order regardless of scheduling.
+            let results: Vec<ExecResult> =
+                schedule::run_stealing(&batch, threads.min(batch.len()), |c| self.execute(c));
+
+            // Score serially, in batch order.
+            for (cand, result) in batch.iter().zip(results.iter()) {
+                execs += 1;
+                tele.record_count("fuzz.execs", 1);
+                tele.record_count(&format!("fuzz.op.{}", cand.op), 1);
+                tele.merge(&result.telemetry);
+                if result.quarantined {
+                    quarantined += 1;
+                    tele.record_count("fuzz.quarantined", 1);
+                    continue;
+                }
+                if result.net_error {
+                    net_errors += 1;
+                    tele.record_count("fuzz.net-error", 1);
+                    continue;
+                }
+
+                // Matcher-side coverage: trace every Host value the
+                // stream carries.
+                let before = summary_points(&global_cov);
+                for req in &cand.stream.requests {
+                    for host in host_values(&req.bytes) {
+                        let (_, visited) =
+                            hdiff_abnf::memo::match_rule_traced(&cg, "Host", &host, 20_000);
+                        global_cov.absorb_rules(&visited);
+                    }
+                }
+                let cov_gain = cand.gen_gain + (summary_points(&global_cov) - before);
+
+                let mut new_views = 0u64;
+                for (label, digest) in &result.digests {
+                    if seen_views.insert((label.clone(), *digest)) {
+                        new_views += 1;
+                    }
+                }
+                novel_views += new_views;
+                if new_views > 0 {
+                    tele.record_count("fuzz.digest.novel", new_views);
+                }
+
+                let mut fresh_classes: Vec<(String, Finding)> = Vec::new();
+                for f in &result.findings {
+                    let key = class_key(f);
+                    if seen_classes.insert(key.clone()) {
+                        fresh_classes.push((key, f.clone()));
+                    }
+                }
+                if !fresh_classes.is_empty() {
+                    tele.record_count("fuzz.class.novel", fresh_classes.len() as u64);
+                }
+
+                if cov_gain > 0 || new_views > 0 || !fresh_classes.is_empty() {
+                    let energy = 1 + 2 * (cov_gain as u64).min(8) + 2 * new_views.min(8);
+                    corpus.add(cand.stream.clone(), energy, cand.parent);
+                    tele.record_count("fuzz.corpus.add", 1);
+                    if let Some(parent) = cand.parent {
+                        corpus.reward(parent, 2);
+                    }
+                }
+
+                for (key, finding) in fresh_classes {
+                    if promoted.len() >= opts.max_promotions {
+                        tele.record_count("fuzz.promote.skipped", 1);
+                        continue;
+                    }
+                    let ((stream, bundle, shrink), promote_tel) =
+                        hdiff_obs::with_case(cand.uuid, || self.promote(cand, &finding, &key));
+                    tele.merge(&promote_tel);
+                    tele.record_count("fuzz.promoted", 1);
+                    let name = bundle_name(&key);
+                    if let Some(dir) = &opts.promote_dir {
+                        let _ = std::fs::create_dir_all(dir);
+                        if let Err(e) = bundle.save(&dir.join(format!("{name}.json"))) {
+                            eprintln!("cannot save promoted bundle {name}: {e}");
+                        }
+                        let _ =
+                            std::fs::write(dir.join(format!("{name}.stream")), stream.to_json());
+                    }
+                    promoted.push(PromotedStream { name, class_key: key, stream, bundle, shrink });
+                }
+            }
+        }
+
+        FuzzReport {
+            transport: opts.transport,
+            execs,
+            quarantined,
+            net_errors,
+            elapsed: started.elapsed(),
+            corpus_digests: corpus.digests(),
+            coverage: global_cov.summary(),
+            novel_digest_views: novel_views,
+            divergence_classes: seen_classes.into_iter().collect(),
+            promoted,
+            telemetry: tele,
+        }
+    }
+
+    /// Executes one candidate stream's effective bytes through the
+    /// workflow on the configured transport, under `catch_unwind`.
+    fn execute(&self, cand: &Candidate) -> ExecResult {
+        let (outcome, telemetry) = hdiff_obs::with_case(cand.uuid, || {
+            let _span = hdiff_obs::span("stage.fuzz-exec");
+            panic::catch_unwind(AssertUnwindSafe(|| {
+                let bytes = cand.stream.effective_bytes();
+                let injector = FaultInjector::new(FaultPlan::disabled());
+                let session = FaultSession::new(&injector, cand.uuid, 0, STEP_BUDGET);
+                let outcome = match self.opts.transport {
+                    Transport::Sim => Ok(self.workflow.run_bytes_faulted(
+                        cand.uuid,
+                        &cand.origin,
+                        &bytes,
+                        Some(&session),
+                    )),
+                    Transport::Tcp => try_run_bytes_tcp(
+                        &self.workflow,
+                        cand.uuid,
+                        &cand.origin,
+                        &bytes,
+                        Some(&session),
+                    ),
+                    Transport::TcpAsync => self.async_testbed().and_then(|testbed| {
+                        try_run_bytes_tcp_async(
+                            &self.workflow,
+                            cand.uuid,
+                            &cand.origin,
+                            &bytes,
+                            Some(&session),
+                            testbed,
+                        )
+                    }),
+                };
+                outcome.map(|outcome| {
+                    let digests = behavior_digests(&outcome);
+                    let findings = detect_case(&self.profiles, &outcome);
+                    (digests, findings)
+                })
+            }))
+        });
+        match outcome {
+            Ok(Ok((digests, findings))) => {
+                ExecResult { digests, findings, quarantined: false, net_error: false, telemetry }
+            }
+            Ok(Err(_net)) => ExecResult {
+                digests: Vec::new(),
+                findings: Vec::new(),
+                quarantined: false,
+                net_error: true,
+                telemetry,
+            },
+            Err(_panic) => ExecResult {
+                digests: Vec::new(),
+                findings: Vec::new(),
+                quarantined: true,
+                net_error: false,
+                telemetry,
+            },
+        }
+    }
+
+    /// Minimizes the triggering stream and records the candidate golden
+    /// bundle. The bundle is recorded over the sim transport (the
+    /// canonical form every golden bundle uses); transport parity is
+    /// the replay gate's job.
+    fn promote(
+        &self,
+        cand: &Candidate,
+        finding: &Finding,
+        key: &str,
+    ) -> (Stream, ReplayBundle, MinimizeStats) {
+        let opts = MinimizeOptions {
+            max_attempts: self.opts.minimize_attempts,
+            byte_pass_limit: 0,
+            chunk_width: 16,
+        };
+        let predicate = |s: &Stream| {
+            self.findings_for(cand.uuid, &cand.origin, &s.effective_bytes()).iter().any(|f| {
+                f.class == finding.class && f.front == finding.front && f.back == finding.back
+            })
+        };
+        let (stream, shrink) = minimize_stream(&cand.stream, predicate, &opts);
+        let bundle = ReplayBundle::record(
+            &bundle_name(key),
+            &format!("fuzz-promoted divergence {key}"),
+            cand.uuid,
+            &cand.origin,
+            &stream.effective_bytes(),
+            None,
+            &self.workflow,
+            &self.profiles,
+            None,
+        );
+        (stream, bundle, shrink)
+    }
+
+    /// Detects findings on exact candidate bytes (fresh disabled fault
+    /// session, same step budget as execution).
+    fn findings_for(&self, uuid: u64, origin: &str, bytes: &[u8]) -> Vec<Finding> {
+        let injector = FaultInjector::new(FaultPlan::disabled());
+        let session = FaultSession::new(&injector, uuid, 0, STEP_BUDGET);
+        let outcome = self.workflow.run_bytes_faulted(uuid, origin, bytes, Some(&session));
+        detect_case(&self.profiles, &outcome)
+    }
+}
+
+/// Shrinks a whole stream while `predicate` keeps holding: request-level
+/// ddmin first (dropping whole requests via
+/// [`hdiff_diff::minimize::ddmin_items`]), then a byte-level
+/// [`hdiff_diff::minimize::minimize`] pass inside each surviving
+/// request. Every predicate call — at both granularities — runs under
+/// `catch_unwind`; a candidate hostile enough to panic the probe is
+/// quarantined and rejected, never fatal. Deterministic.
+pub fn minimize_stream<P>(
+    stream: &Stream,
+    predicate: P,
+    opts: &MinimizeOptions,
+) -> (Stream, MinimizeStats)
+where
+    P: Fn(&Stream) -> bool,
+{
+    let original_len = stream.raw_len();
+    let (kept, mut stats) = ddmin_items(
+        &stream.requests,
+        |requests| !requests.is_empty() && predicate(&Stream { requests: requests.to_vec() }),
+        opts,
+    );
+    let mut current = Stream { requests: kept };
+    if !current.repair() {
+        current = stream.clone();
+    }
+    for i in 0..current.requests.len() {
+        if stats.attempts >= opts.max_attempts {
+            break;
+        }
+        let remaining =
+            MinimizeOptions { max_attempts: opts.max_attempts - stats.attempts, ..opts.clone() };
+        let base = current.clone();
+        let shrunk = minimize(
+            &base.requests[i].bytes,
+            |candidate| {
+                let mut t = base.clone();
+                t.requests[i].bytes = candidate.to_vec();
+                t.requests[i].repair_delivery();
+                predicate(&t)
+            },
+            &remaining,
+        );
+        stats.attempts += shrunk.stats.attempts;
+        stats.accepted += shrunk.stats.accepted;
+        stats.quarantined += shrunk.stats.quarantined;
+        current.requests[i].bytes = shrunk.bytes;
+        current.requests[i].repair_delivery();
+    }
+    stats.original_len = original_len;
+    stats.minimized_len = current.raw_len();
+    (current, stats)
+}
+
+/// `class|front|back` — the divergence-class identity promotion keys on.
+pub fn class_key(f: &Finding) -> String {
+    format!(
+        "{}|{}|{}",
+        f.class,
+        f.front.as_deref().unwrap_or("-"),
+        f.back.as_deref().unwrap_or("-")
+    )
+}
+
+/// `fuzz-<fnv64 of the class key>` — stable per divergence class.
+pub fn bundle_name(class_key: &str) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in class_key.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("fuzz-{h:016x}")
+}
+
+fn summary_points(cov: &CoverageMap) -> usize {
+    let s = cov.summary();
+    s.rules_covered + s.alts_covered
+}

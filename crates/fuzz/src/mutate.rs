@@ -1,0 +1,432 @@
+//! Stream-level and request-level mutators.
+//!
+//! Stream-level operators (splice, duplicate-with-mutation, reorder,
+//! boundary-shift segmentation, truncate-then-continue) reshape the
+//! connection; request-level operators rewrite one request's bytes from
+//! an [`IngredientPool`] of grammar-generated and tree-mutated
+//! material, composing with the existing `hdiff_gen::tree_mutate`
+//! single-request mutators. Every operator ends in [`Stream::repair`],
+//! so mutants always satisfy [`Stream::well_formed`] — the invariant
+//! the property tests pin.
+
+use hdiff_abnf::Grammar;
+use hdiff_gen::{AbnfGenerator, TreeMutator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stream::{Delivery, Stream, StreamRequest};
+
+/// Hard cap on requests per stream — keeps effective byte streams (and
+/// workflow execution cost) bounded while still exercising multi-request
+/// interactions.
+pub const MAX_REQUESTS: usize = 6;
+
+/// Deterministic pool of semantically loaded building blocks: `Host`
+/// values straight from the grammar generator, malformed hosts from the
+/// tree mutator, framing-relevant header lines, and fresh request
+/// templates. Built once per session from the seed, so the mutation
+/// neighborhood is a pure function of `(grammar, seed)`.
+#[derive(Debug, Clone)]
+pub struct IngredientPool {
+    /// Grammar-generated and tree-mutated `Host` values.
+    pub hosts: Vec<Vec<u8>>,
+    /// Complete `Name: value\r\n` header lines (framing conflicts,
+    /// duplicate hosts, obs-folds, bare CRs).
+    pub header_lines: Vec<Vec<u8>>,
+    /// Whole-request templates (GET, CL-body POST, chunked POST).
+    pub requests: Vec<Vec<u8>>,
+}
+
+impl IngredientPool {
+    /// Builds the pool from the adapted grammar and a seed.
+    pub fn build(grammar: &Grammar, seed: u64) -> IngredientPool {
+        let mut gen = AbnfGenerator::new(
+            grammar.clone(),
+            hdiff_gen::GenOptions { seed: seed ^ 0xf002, ..hdiff_gen::GenOptions::default() },
+        );
+        let mut hosts: Vec<Vec<u8>> = gen.generate_many("Host", 12);
+        let mut tree = TreeMutator::new(seed ^ 0x7ee);
+        hosts.extend(
+            tree.malformed_values(grammar, "Host", 12).into_iter().map(|(value, _op)| value),
+        );
+        hosts.retain(|h| !h.is_empty() && h.len() < 64);
+        if hosts.is_empty() {
+            hosts.push(b"h1.com".to_vec());
+        }
+
+        let h = |i: usize| -> &[u8] { &hosts[i % hosts.len()] };
+        let mut header_lines: Vec<Vec<u8>> = vec![
+            [b"Host: ".as_slice(), h(0), b"\r\n"].concat(),
+            [b"Host: ".as_slice(), h(1), b"\r\n"].concat(),
+            b"Transfer-Encoding: chunked\r\n".to_vec(),
+            b"Transfer-Encoding : chunked\r\n".to_vec(),
+            b"Transfer-Encoding: xchunked\r\n".to_vec(),
+            b"Transfer-Encoding: identity\r\n".to_vec(),
+            b"Content-Length: 0\r\n".to_vec(),
+            b"Content-Length: 5\r\n".to_vec(),
+            b"Content-Length: +5\r\n".to_vec(),
+            b"Content-Length: 5, 5\r\n".to_vec(),
+            b"Expect: 100-continue\r\n".to_vec(),
+            b" folded-continuation\r\n".to_vec(),
+            [b"X-Ignore: a\rHost: ".as_slice(), h(2), b"\r\n"].concat(),
+            b"Connection: keep-alive\r\n".to_vec(),
+        ];
+        for host in hosts.iter().skip(2).take(4) {
+            header_lines.push([b"Host: ".as_slice(), host, b"\r\n"].concat());
+        }
+
+        let requests: Vec<Vec<u8>> = vec![
+            [b"GET / HTTP/1.1\r\nHost: ".as_slice(), h(0), b"\r\n\r\n"].concat(),
+            [b"POST /p HTTP/1.1\r\nHost: ".as_slice(), h(1), b"\r\nContent-Length: 5\r\n\r\nAAAAA"]
+                .concat(),
+            {
+                let mut req = [
+                    b"POST /c HTTP/1.1\r\nHost: ".as_slice(),
+                    h(2),
+                    b"\r\nTransfer-Encoding: chunked\r\n\r\n",
+                ]
+                .concat();
+                req.extend_from_slice(&hdiff_wire::encode_chunked(b"abc"));
+                req
+            },
+            [b"GET /v HTTP/1.0\r\nHost: ".as_slice(), h(3), b"\r\n\r\n"].concat(),
+        ];
+
+        IngredientPool { hosts, header_lines, requests }
+    }
+
+    fn pick<'a>(&'a self, rng: &mut StdRng, which: &'a [Vec<u8>]) -> &'a [u8] {
+        &which[rng.gen_range(0..which.len())]
+    }
+}
+
+/// Names of the stream-level operators, for telemetry counters.
+pub const STREAM_OPS: [&str; 7] = [
+    "splice",
+    "dup-mutate",
+    "reorder",
+    "boundary-shift",
+    "truncate-continue",
+    "append-fresh",
+    "request-rewrite",
+];
+
+/// The seeded mutator. One [`StreamMutator::mutate`] call applies one
+/// operator (falling back to a byte tweak when the operator is a no-op
+/// on the given stream) and returns a repaired, well-formed mutant.
+#[derive(Debug)]
+pub struct StreamMutator {
+    rng: StdRng,
+    pool: IngredientPool,
+}
+
+impl StreamMutator {
+    /// Builds a mutator over a pool.
+    pub fn new(seed: u64, pool: IngredientPool) -> StreamMutator {
+        StreamMutator { rng: StdRng::seed_from_u64(seed), pool }
+    }
+
+    /// The ingredient pool in use.
+    pub fn pool(&self) -> &IngredientPool {
+        &self.pool
+    }
+
+    /// Mutates `base`, splicing against `other` when the chosen operator
+    /// needs a second parent. Returns the mutant and the operator name.
+    pub fn mutate(&mut self, base: &Stream, other: &Stream) -> (Stream, &'static str) {
+        let op = STREAM_OPS[self.rng.gen_range(0..STREAM_OPS.len())];
+        let mut out = match op {
+            "splice" => self.splice(base, other),
+            "dup-mutate" => self.duplicate_with_mutation(base),
+            "reorder" => self.reorder(base),
+            "boundary-shift" => self.boundary_shift(base),
+            "truncate-continue" => self.truncate_then_continue(base),
+            "append-fresh" => self.append_fresh(base),
+            _ => self.request_rewrite(base),
+        };
+        if !out.repair() || out == *base {
+            out = self.request_rewrite(base);
+            if !out.repair() {
+                out = base.clone();
+            }
+        }
+        debug_assert!(out.well_formed(), "mutator produced ill-formed stream: {out:?}");
+        (out, op)
+    }
+
+    /// Prefix of one parent, suffix of the other.
+    fn splice(&mut self, a: &Stream, b: &Stream) -> Stream {
+        let cut_a = self.rng.gen_range(0..=a.requests.len());
+        let cut_b = self.rng.gen_range(0..b.requests.len());
+        let mut requests: Vec<StreamRequest> = a.requests[..cut_a].to_vec();
+        requests.extend(b.requests[cut_b..].iter().cloned());
+        requests.truncate(MAX_REQUESTS);
+        Stream { requests }
+    }
+
+    /// Duplicates one request and rewrites the copy's bytes.
+    fn duplicate_with_mutation(&mut self, base: &Stream) -> Stream {
+        let mut out = base.clone();
+        if out.requests.len() >= MAX_REQUESTS {
+            return self.request_rewrite(base);
+        }
+        let i = self.rng.gen_range(0..out.requests.len());
+        let mut copy = out.requests[i].clone();
+        self.rewrite_bytes(&mut copy.bytes);
+        copy.repair_delivery();
+        copy.pipelined = self.rng.gen_bool(0.5);
+        out.requests.insert(i + 1, copy);
+        out
+    }
+
+    /// Swaps two requests.
+    fn reorder(&mut self, base: &Stream) -> Stream {
+        let mut out = base.clone();
+        if out.requests.len() < 2 {
+            return self.request_rewrite(base);
+        }
+        let i = self.rng.gen_range(0..out.requests.len());
+        let j = self.rng.gen_range(0..out.requests.len());
+        out.requests.swap(i, j);
+        out
+    }
+
+    /// Creates or shifts segmentation boundaries on one request.
+    fn boundary_shift(&mut self, base: &Stream) -> Stream {
+        let mut out = base.clone();
+        let i = self.rng.gen_range(0..out.requests.len());
+        let req = &mut out.requests[i];
+        let len = req.bytes.len();
+        if len < 2 {
+            return self.request_rewrite(base);
+        }
+        match &mut req.delivery {
+            Delivery::Segmented(offsets) if !offsets.is_empty() => {
+                let k = self.rng.gen_range(0..offsets.len());
+                let shifted = if self.rng.gen_bool(0.5) {
+                    offsets[k].saturating_add(1)
+                } else {
+                    offsets[k].saturating_sub(1)
+                };
+                offsets[k] = shifted.clamp(1, len - 1);
+            }
+            _ => {
+                let mut offsets = vec![self.rng.gen_range(1..len)];
+                if len > 3 && self.rng.gen_bool(0.5) {
+                    offsets.push(self.rng.gen_range(1..len));
+                }
+                req.delivery = Delivery::Segmented(offsets);
+            }
+        }
+        out
+    }
+
+    /// Cuts one request short and guarantees more bytes follow the cut —
+    /// the classic request-boundary confusion shape.
+    fn truncate_then_continue(&mut self, base: &Stream) -> Stream {
+        let mut out = base.clone();
+        let i = self.rng.gen_range(0..out.requests.len());
+        let len = out.requests[i].bytes.len();
+        if len < 2 {
+            return self.request_rewrite(base);
+        }
+        out.requests[i].delivery = Delivery::TruncateAt(self.rng.gen_range(1..len));
+        if i + 1 == out.requests.len() && out.requests.len() < MAX_REQUESTS {
+            let template = self.pool.pick(&mut self.rng, &self.pool.requests).to_vec();
+            out.requests.push(StreamRequest {
+                bytes: template,
+                delivery: Delivery::Whole,
+                pipelined: true,
+            });
+        }
+        out
+    }
+
+    /// Appends a fresh pool template request.
+    fn append_fresh(&mut self, base: &Stream) -> Stream {
+        let mut out = base.clone();
+        if out.requests.len() >= MAX_REQUESTS {
+            return self.request_rewrite(base);
+        }
+        let template = self.pool.pick(&mut self.rng, &self.pool.requests).to_vec();
+        out.requests.push(StreamRequest {
+            bytes: template,
+            delivery: Delivery::Whole,
+            pipelined: self.rng.gen_bool(0.5),
+        });
+        out
+    }
+
+    /// Rewrites one request's bytes in place (header injection,
+    /// duplication, host swap, drop, byte tweak).
+    fn request_rewrite(&mut self, base: &Stream) -> Stream {
+        let mut out = base.clone();
+        let i = self.rng.gen_range(0..out.requests.len());
+        self.rewrite_bytes(&mut out.requests[i].bytes);
+        out.requests[i].repair_delivery();
+        out
+    }
+
+    /// One byte-level operator on a raw request.
+    fn rewrite_bytes(&mut self, bytes: &mut Vec<u8>) {
+        match self.rng.gen_range(0u32..5) {
+            0 => self.inject_header(bytes),
+            1 => self.duplicate_header_line(bytes),
+            2 => self.swap_host_value(bytes),
+            3 => self.drop_header_line(bytes),
+            _ => self.tweak_byte(bytes),
+        }
+    }
+
+    /// Inserts a pool header line right after the request line.
+    fn inject_header(&mut self, bytes: &mut Vec<u8>) {
+        let line = self.pool.pick(&mut self.rng, &self.pool.header_lines).to_vec();
+        let at = find(bytes, b"\r\n").map_or(0, |i| i + 2);
+        bytes.splice(at..at, line);
+    }
+
+    /// Duplicates one existing header line adjacent to itself.
+    fn duplicate_header_line(&mut self, bytes: &mut Vec<u8>) {
+        let Some(lines) = header_line_spans(bytes) else { return self.tweak_byte(bytes) };
+        if lines.is_empty() {
+            return self.tweak_byte(bytes);
+        }
+        let (start, end) = lines[self.rng.gen_range(0..lines.len())];
+        let line = bytes[start..end].to_vec();
+        bytes.splice(start..start, line);
+    }
+
+    /// Replaces the first `Host` header's value with a pool host.
+    fn swap_host_value(&mut self, bytes: &mut Vec<u8>) {
+        let Some(lines) = header_line_spans(bytes) else { return self.tweak_byte(bytes) };
+        for (start, end) in lines {
+            let line = &bytes[start..end];
+            if line.len() >= 5 && line[..5].eq_ignore_ascii_case(b"host:") {
+                let value_start = start + 5 + line[5..].iter().take_while(|&&b| b == b' ').count();
+                let host = self.pool.pick(&mut self.rng, &self.pool.hosts).to_vec();
+                bytes.splice(value_start..end - 2, host);
+                return;
+            }
+        }
+        self.inject_header(bytes);
+    }
+
+    /// Removes one header line.
+    fn drop_header_line(&mut self, bytes: &mut Vec<u8>) {
+        let Some(lines) = header_line_spans(bytes) else { return self.tweak_byte(bytes) };
+        if lines.is_empty() {
+            return self.tweak_byte(bytes);
+        }
+        let (start, end) = lines[self.rng.gen_range(0..lines.len())];
+        bytes.drain(start..end);
+    }
+
+    /// Overwrites one byte with a delimiter-flavored replacement.
+    fn tweak_byte(&mut self, bytes: &mut Vec<u8>) {
+        const FLAVORS: &[u8] = b" \t:;,\r\n/.x0";
+        if bytes.is_empty() {
+            bytes.push(b'x');
+            return;
+        }
+        let i = self.rng.gen_range(0..bytes.len());
+        bytes[i] = FLAVORS[self.rng.gen_range(0..FLAVORS.len())];
+    }
+}
+
+/// Inserts a complete header line right after the request line — the
+/// engine's fresh-material operator (grammar-generated hosts drawn at
+/// candidate creation so their alternation arms are attributable).
+pub(crate) fn inject_line(bytes: &mut Vec<u8>, line: &[u8]) {
+    let at = find(bytes, b"\r\n").map_or(0, |i| i + 2);
+    bytes.splice(at..at, line.iter().copied());
+}
+
+/// The value of every `Host` header line in `bytes` — the matcher-trace
+/// coverage feed.
+pub(crate) fn host_values(bytes: &[u8]) -> Vec<Vec<u8>> {
+    let Some(lines) = header_line_spans(bytes) else { return Vec::new() };
+    let mut out = Vec::new();
+    for (start, end) in lines {
+        let line = &bytes[start..end - 2];
+        if line.len() >= 5 && line[..5].eq_ignore_ascii_case(b"host:") {
+            let value: Vec<u8> =
+                line[5..].iter().copied().skip_while(|&b| b == b' ' || b == b'\t').collect();
+            if !value.is_empty() && value.len() <= 128 {
+                out.push(value);
+            }
+        }
+    }
+    out
+}
+
+/// `(start, end)` spans of the header lines between the request line and
+/// the blank line, end-exclusive including the CRLF. `None` when the
+/// bytes have no HTTP-shaped head.
+fn header_line_spans(bytes: &[u8]) -> Option<Vec<(usize, usize)>> {
+    let head_end = find(bytes, b"\r\n\r\n")?;
+    let line_end = find(bytes, b"\r\n")?;
+    let mut spans = Vec::new();
+    let mut pos = line_end + 2;
+    while pos < head_end + 2 {
+        let rel = find(&bytes[pos..head_end + 2], b"\r\n")?;
+        spans.push((pos, pos + rel + 2));
+        pos += rel + 2;
+    }
+    Some(spans)
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grammar() -> Grammar {
+        hdiff_analyzer::DocumentAnalyzer::with_default_inputs()
+            .analyze_syntax(&hdiff_corpus::core_documents())
+            .grammar
+    }
+
+    fn seed_stream() -> Stream {
+        Stream::single(b"GET / HTTP/1.1\r\nHost: h1.com\r\nX-A: 1\r\n\r\n".to_vec())
+    }
+
+    #[test]
+    fn mutants_stay_well_formed_across_many_rounds() {
+        let g = grammar();
+        let pool = IngredientPool::build(&g, 1);
+        let mut m = StreamMutator::new(2, pool);
+        let other =
+            Stream::single(b"POST /p HTTP/1.1\r\nHost: b\r\nContent-Length: 3\r\n\r\nxyz".to_vec());
+        let mut current = seed_stream();
+        for _ in 0..400 {
+            let (next, op) = m.mutate(&current, &other);
+            assert!(next.well_formed(), "op {op} broke invariants: {next:?}");
+            assert!(next.requests.len() <= MAX_REQUESTS);
+            current = next;
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let g = grammar();
+        let mut a = StreamMutator::new(9, IngredientPool::build(&g, 9));
+        let mut b = StreamMutator::new(9, IngredientPool::build(&g, 9));
+        let base = seed_stream();
+        let other = seed_stream();
+        for _ in 0..50 {
+            assert_eq!(a.mutate(&base, &other), b.mutate(&base, &other));
+        }
+    }
+
+    #[test]
+    fn pool_carries_grammar_and_tree_mutated_hosts() {
+        let g = grammar();
+        let pool = IngredientPool::build(&g, 3);
+        assert!(pool.hosts.len() >= 4, "{:?}", pool.hosts.len());
+        assert!(pool.header_lines.iter().any(|l| l.starts_with(b"Transfer-Encoding")));
+        assert!(pool.requests.iter().all(|r| find(r, b"\r\n\r\n").is_some()));
+    }
+}

@@ -123,6 +123,22 @@ pub fn render_report(input: &ReportInput) -> String {
         }
     }
 
+    // Coverage-guided generation health: every `gen.alt.saturated` tick
+    // is an alternation pick that found no cold arm left to chase. Once
+    // those dominate, further generation stops buying grammar coverage —
+    // a campaign-level signal worth surfacing, not just a counter row.
+    let saturated = tel.counters.get("gen.alt.saturated").copied().unwrap_or(0);
+    let cold = tel.counters.get("gen.alt.cold").copied().unwrap_or(0);
+    if saturated > cold && saturated > 0 {
+        let picks = saturated + cold;
+        out.push_str(&format!(
+            "\nwarning: coverage-guided generation is saturated — {saturated} of {picks} \
+             alternation picks ({:.1}%) found no cold arm; more generation will not \
+             improve grammar coverage\n",
+            saturated as f64 * 100.0 / picks as f64
+        ));
+    }
+
     if input.top_n > 0 && !input.slowest.is_empty() {
         out.push_str(&format!("\nslowest cases (top {})\n", input.top_n));
         push_row(&mut out, &[("case", 20), ("duration", 10)]);
@@ -159,6 +175,26 @@ mod tests {
         assert!(text.contains("transport.rtt.sim"), "{text}");
         assert!(text.contains("0x0000000000000abc"), "{text}");
         assert!(!text.contains("0x0000000000000001"), "top_n=1 must truncate: {text}");
+    }
+
+    #[test]
+    fn saturation_warning_appears_when_saturated_dominates() {
+        let mut tel = Telemetry::default();
+        tel.record_count("gen.alt.saturated", 90);
+        tel.record_count("gen.alt.cold", 10);
+        let text = render_report(&ReportInput { telemetry: tel, ..ReportInput::default() });
+        assert!(text.contains("warning: coverage-guided generation is saturated"), "{text}");
+        assert!(text.contains("90 of 100"), "{text}");
+        assert!(text.contains("90.0%"), "{text}");
+    }
+
+    #[test]
+    fn no_saturation_warning_while_cold_arms_remain() {
+        let mut tel = Telemetry::default();
+        tel.record_count("gen.alt.saturated", 10);
+        tel.record_count("gen.alt.cold", 90);
+        let text = render_report(&ReportInput { telemetry: tel, ..ReportInput::default() });
+        assert!(!text.contains("warning:"), "{text}");
     }
 
     #[test]

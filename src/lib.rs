@@ -15,6 +15,7 @@ pub use hdiff_analyzer as analyzer;
 pub use hdiff_corpus as corpus;
 pub use hdiff_diff as diff;
 pub use hdiff_fleet as fleet;
+pub use hdiff_fuzz as fuzz;
 pub use hdiff_gen as gen;
 pub use hdiff_net as net;
 pub use hdiff_obs as obs;

@@ -211,6 +211,7 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "fuzz" => run_fuzz_cli(&args, transport),
         "replay" => {
             let Some(path) = args
                 .iter()
@@ -330,7 +331,10 @@ fn print_help() {
          \x20 probe <file>     interpret a raw request under all products\n\
          \x20 probe <host:port>   send a catalog vector to a live server\n\
          \x20 replay [--all] <p>  re-execute replay bundle(s), diff verdicts\n\
-         \x20 golden regen <dir>  rebuild the minimized golden corpus\n\n\
+         \x20 golden regen <dir>  rebuild the minimized golden corpus\n\
+         \x20 fuzz [...]       coverage-guided fuzzing over connection streams:\n\
+         \x20                  [--seconds N | --iters N] [--seed S]\n\
+         \x20                  [--promote-dir D] [--min-novel N]\n\n\
          generation options:\n\
          \x20 --coverage-guided  bias ABNF generation toward cold alternations\n\n\
          fleet options (sharded multi-process campaigns):\n\
@@ -407,6 +411,70 @@ fn replay(path: &Path, transport: Option<hdiff::diff::Transport>) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `hdiff fuzz` — coverage-guided differential fuzzing over connection
+/// streams. Runs a deterministic seeded session, prints the session
+/// stats and every promoted divergence, then renders the telemetry
+/// report. With `--min-novel N`, exits nonzero unless at least N novel
+/// behavior-digest views were observed (the CI smoke gate).
+fn run_fuzz_cli(args: &[String], transport: Option<hdiff::diff::Transport>) -> ExitCode {
+    use hdiff::fuzz::{FuzzBudget, FuzzEngine, FuzzOptions};
+
+    let parse = || -> Result<(FuzzOptions, u64), String> {
+        let mut opts = FuzzOptions::default();
+        if let Some(seed) = flag_value::<u64>(args, "--seed")? {
+            opts.seed = seed;
+        }
+        match (flag_value::<u64>(args, "--seconds")?, flag_value::<u64>(args, "--iters")?) {
+            (Some(_), Some(_)) => return Err("--seconds and --iters are exclusive".to_string()),
+            (Some(s), None) => opts.budget = FuzzBudget::Seconds(s),
+            (None, Some(n)) => opts.budget = FuzzBudget::Iters(n),
+            (None, None) => {}
+        }
+        if let Some(n) = flag_value::<usize>(args, "--threads")? {
+            opts.threads = n;
+        }
+        if let Some(t) = transport {
+            opts.transport = t;
+        }
+        if let Some(dir) = flag_value::<String>(args, "--promote-dir")? {
+            opts.promote_dir = Some(dir.into());
+        }
+        let min_novel = flag_value::<u64>(args, "--min-novel")?.unwrap_or(0);
+        Ok((opts, min_novel))
+    };
+    let (opts, min_novel) = match parse() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!(
+                "usage: hdiff fuzz [--seconds N | --iters N] [--seed S] [--threads N] \
+                 [--transport sim|tcp|tcp-async] [--promote-dir D] [--min-novel N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = FuzzEngine::standard(opts);
+    let r = engine.run();
+    println!("{}", r.render());
+    println!(
+        "{}",
+        hdiff::obs::render_report(&hdiff::obs::ReportInput {
+            title: format!("fuzz session (seed {})", engine.options().seed),
+            telemetry: r.telemetry.clone(),
+            slowest: Vec::new(),
+            top_n: 10,
+        })
+    );
+    if r.novel_digest_views < min_novel {
+        eprintln!(
+            "fuzz: only {} novel behavior-digest view(s), expected at least {min_novel}",
+            r.novel_digest_views
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 /// Regenerates the golden replay corpus from the Table II catalog.

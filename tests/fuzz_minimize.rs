@@ -1,0 +1,136 @@
+//! Stream-level minimization gates: after ddmin the shrunk stream still
+//! triggers the finding, padded synthetic corpora shrink substantially,
+//! and a probe hostile enough to panic the predicate is quarantined
+//! rather than fatal.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use hdiff::diff::{detect_case, MinimizeOptions, Workflow};
+use hdiff::fuzz::{minimize_stream, Stream, StreamRequest};
+use hdiff::servers::fault::{FaultInjector, FaultPlan, FaultSession};
+use hdiff::servers::ParserProfile;
+
+/// A CL.TE conflict request — the classic smuggling trigger (the
+/// catalog's `invalid-cl-te` vector, which keeps flagging HRS even when
+/// sandwiched between noise requests).
+fn trigger() -> Vec<u8> {
+    let catalog = hdiff::gen::catalog::catalog();
+    let entry = catalog
+        .iter()
+        .find(|e| e.id == "invalid-cl-te")
+        .expect("invalid-cl-te catalog vector exists");
+    entry.requests[0].0.to_bytes()
+}
+
+/// Noise requests the minimizer should discard wholesale.
+fn padding(n: usize) -> Vec<StreamRequest> {
+    (0..n)
+        .map(|i| {
+            StreamRequest::whole(
+                format!(
+                    "GET /pad{i} HTTP/1.1\r\nHost: pad{i}.example\r\nX-Filler: {}\r\n\r\n",
+                    "z".repeat(40)
+                )
+                .into_bytes(),
+            )
+        })
+        .collect()
+}
+
+fn padded_stream() -> Stream {
+    let mut requests = padding(3);
+    requests.push(StreamRequest::whole(trigger()));
+    requests.extend(padding(3));
+    Stream { requests }
+}
+
+/// Re-runs detection on a stream's effective bytes, exactly the way the
+/// fuzz engine's promotion predicate does.
+fn detects_hrs(workflow: &Workflow, profiles: &[ParserProfile], s: &Stream) -> bool {
+    let injector = FaultInjector::new(FaultPlan::disabled());
+    let session = FaultSession::new(&injector, 0xfa22, 0, 4096);
+    let outcome =
+        workflow.run_bytes_faulted(0xfa22, "fuzz:test", &s.effective_bytes(), Some(&session));
+    detect_case(profiles, &outcome).iter().any(|f| f.class == hdiff::gen::AttackClass::Hrs)
+}
+
+#[test]
+fn minimized_stream_still_triggers_the_finding() {
+    let workflow = Workflow::standard();
+    let profiles = hdiff::servers::products();
+    let stream = padded_stream();
+    assert!(detects_hrs(&workflow, &profiles, &stream), "padded stream must trigger HRS");
+
+    let (minimized, stats) = minimize_stream(
+        &stream,
+        |s| detects_hrs(&workflow, &profiles, s),
+        &MinimizeOptions::default(),
+    );
+    assert!(
+        detects_hrs(&workflow, &profiles, &minimized),
+        "minimization lost the finding: {minimized:?}"
+    );
+    assert!(minimized.well_formed());
+    assert_eq!(minimized.requests.len(), 1, "padding requests must be dropped: {minimized:?}");
+    assert!(stats.minimized_len < stats.original_len);
+}
+
+#[test]
+fn padded_corpus_shrinks_at_least_thirty_percent() {
+    let workflow = Workflow::standard();
+    let profiles = hdiff::servers::products();
+    let stream = padded_stream();
+    let (minimized, stats) = minimize_stream(
+        &stream,
+        |s| detects_hrs(&workflow, &profiles, s),
+        &MinimizeOptions::default(),
+    );
+    assert!(
+        stats.shrink_ratio() <= 0.7,
+        "only shrank {} -> {} bytes (ratio {:.2}): {minimized:?}",
+        stats.original_len,
+        stats.minimized_len,
+        stats.shrink_ratio(),
+    );
+}
+
+#[test]
+fn quarantining_probe_never_panics_the_minimizer() {
+    let stream = Stream {
+        requests: (0..8)
+            .map(|i| StreamRequest::whole(format!("REQ{i} / HTTP/1.1\r\n\r\n").into_bytes()))
+            .collect(),
+    };
+    // The probe panics on every candidate that drops below five requests
+    // — the minimizer must swallow those panics, count them, and settle
+    // on the smallest candidate the probe still accepts.
+    let probe = |s: &Stream| {
+        assert!(s.requests.len() >= 5, "hostile candidate");
+        s.requests.iter().any(|r| r.bytes.starts_with(b"REQ3"))
+    };
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        minimize_stream(&stream, probe, &MinimizeOptions::default())
+    }));
+    let (minimized, stats) = outcome.expect("minimizer must quarantine panicking probes");
+    assert!(stats.quarantined > 0, "no candidate exercised the quarantine path: {stats:?}");
+    assert!(minimized.requests.len() >= 5);
+    assert!(minimized.requests.iter().any(|r| r.bytes.starts_with(b"REQ3")));
+}
+
+#[test]
+fn minimization_is_deterministic() {
+    let workflow = Workflow::standard();
+    let profiles = hdiff::servers::products();
+    let stream = padded_stream();
+    let run = || {
+        minimize_stream(
+            &stream,
+            |s| detects_hrs(&workflow, &profiles, s),
+            &MinimizeOptions::default(),
+        )
+    };
+    let (a, sa) = run();
+    let (b, sb) = run();
+    assert_eq!(a, b);
+    assert_eq!(sa, sb);
+}

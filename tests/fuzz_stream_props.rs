@@ -1,0 +1,131 @@
+//! Property-based tests over the fuzzing stream model: mutators
+//! preserve the well-formedness invariants, and the stream JSON codec
+//! round-trips byte-exactly.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use hdiff::fuzz::{Delivery, IngredientPool, Stream, StreamMutator, StreamRequest, MAX_REQUESTS};
+
+/// The ingredient pool is distilled from the analyzed RFC grammar —
+/// expensive, so every proptest case shares one.
+fn pool() -> &'static IngredientPool {
+    static POOL: OnceLock<IngredientPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let grammar = hdiff::analyzer::DocumentAnalyzer::with_default_inputs()
+            .analyze_syntax(&hdiff::corpus::core_documents())
+            .grammar;
+        IngredientPool::build(&grammar, 0xbeef)
+    })
+}
+
+/// A stream assembled from raw proptest-drawn parts (parallel vectors,
+/// zipped to the shortest), then repaired — the repaired form must
+/// always satisfy the invariants. The shape knobs (`kinds`, `ats`,
+/// `pipelined`) deliberately produce out-of-bounds offsets and
+/// truncation points so repair has real work to do.
+fn assemble(bodies: &[Vec<u8>], kinds: &[u8], ats: &[usize], pipelined: &[bool]) -> Stream {
+    let n = bodies.len().min(kinds.len()).min(ats.len()).min(pipelined.len());
+    let requests = (0..n)
+        .map(|i| StreamRequest {
+            bytes: bodies[i].clone(),
+            delivery: match kinds[i] % 3 {
+                0 => Delivery::Whole,
+                1 => Delivery::Segmented(vec![ats[i] % 97, (ats[i] / 7) % 89]),
+                _ => Delivery::TruncateAt(ats[i] % 131),
+            },
+            pipelined: pipelined[i],
+        })
+        .collect();
+    Stream { requests }
+}
+
+proptest! {
+    /// Any mutation chain, from any seed, over any pair of corpus
+    /// parents, keeps every invariant: streams non-empty and bounded,
+    /// segment offsets strictly ascending and in-bounds, truncation
+    /// points within the request, the first request never pipelined.
+    #[test]
+    fn mutants_preserve_well_formedness(seed in any::<u64>(), rounds in 1usize..24) {
+        let mut mutator = StreamMutator::new(seed, pool().clone());
+        let mut base = Stream::single(mutator.pool().requests[0].clone());
+        let mut other = Stream::single(mutator.pool().requests[1].clone());
+        for _ in 0..rounds {
+            let (next, _op) = mutator.mutate(&base, &other);
+            prop_assert!(next.well_formed(), "ill-formed mutant: {next:?}");
+            prop_assert!(next.requests.len() <= MAX_REQUESTS);
+            prop_assert!(!next.requests[0].pipelined, "first request pipelined");
+            for r in &next.requests {
+                match &r.delivery {
+                    Delivery::Whole => {}
+                    Delivery::Segmented(cuts) => {
+                        prop_assert!(!cuts.is_empty());
+                        prop_assert!(cuts.windows(2).all(|w| w[0] < w[1]), "unsorted cuts {cuts:?}");
+                        prop_assert!(cuts.iter().all(|&c| c > 0 && c < r.bytes.len()));
+                    }
+                    Delivery::TruncateAt(at) => prop_assert!(*at <= r.bytes.len()),
+                }
+            }
+            other = base;
+            base = next;
+        }
+    }
+
+    /// `repair` always lands on a well-formed stream (or reports an
+    /// unrepairable one), no matter how hostile the raw parts are.
+    #[test]
+    fn repair_restores_invariants_on_arbitrary_parts(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..6),
+        kinds in proptest::collection::vec(any::<u8>(), 6usize),
+        ats in proptest::collection::vec(any::<usize>(), 6usize),
+        flags in proptest::collection::vec(any::<bool>(), 6usize),
+    ) {
+        let mut stream = assemble(&bodies, &kinds, &ats, &flags);
+        if stream.repair() {
+            prop_assert!(stream.well_formed(), "repair accepted an ill-formed stream: {stream:?}");
+        } else {
+            prop_assert!(stream.requests.is_empty(), "repair refused a non-empty stream");
+        }
+    }
+
+    /// The stream JSON codec round-trips byte-exactly: decode(encode(s))
+    /// is structurally equal AND re-encodes to the identical byte string
+    /// (so corpus sidecars are stable across save/load cycles).
+    #[test]
+    fn codec_round_trips_byte_exactly(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..40), 1..6),
+        kinds in proptest::collection::vec(any::<u8>(), 6usize),
+        ats in proptest::collection::vec(any::<usize>(), 6usize),
+        flags in proptest::collection::vec(any::<bool>(), 6usize),
+    ) {
+        let mut stream = assemble(&bodies, &kinds, &ats, &flags);
+        prop_assume!(stream.repair());
+        let json = stream.to_json();
+        let decoded = Stream::from_json(json.as_bytes()).expect("codec rejects its own output");
+        prop_assert_eq!(&decoded, &stream);
+        prop_assert_eq!(decoded.to_json(), json);
+    }
+
+    /// Effective bytes honor delivery semantics: truncation cuts the
+    /// request's contribution, segmentation never changes it.
+    #[test]
+    fn effective_bytes_respect_delivery(
+        bytes in proptest::collection::vec(any::<u8>(), 1..60),
+        at in any::<usize>(),
+        cut in any::<usize>(),
+    ) {
+        let whole = Stream::single(bytes.clone());
+        let mut segmented = Stream::single(bytes.clone());
+        segmented.requests[0].delivery = Delivery::Segmented(vec![1 + cut % bytes.len().max(1)]);
+        segmented.requests[0].repair_delivery();
+        prop_assert_eq!(segmented.effective_bytes(), whole.effective_bytes());
+
+        let mut truncated = Stream::single(bytes.clone());
+        truncated.requests[0].delivery = Delivery::TruncateAt(at % (bytes.len() + 1));
+        truncated.requests[0].repair_delivery();
+        let eff = truncated.effective_bytes();
+        prop_assert!(eff.len() <= bytes.len());
+        prop_assert_eq!(&bytes[..eff.len()], &eff[..]);
+    }
+}
