@@ -113,6 +113,7 @@ fn main() {
     let net_gate_ok = net_snapshot(smoke);
     obs_snapshot(smoke);
     fleet_snapshot(smoke);
+    h2_snapshot(smoke);
     if !net_gate_ok {
         eprintln!("perf_snapshot: BENCH_net regression gate FAILED (see above)");
         std::process::exit(1);
@@ -420,6 +421,87 @@ fn net_gate(smoke: bool, previous: Option<&str>, points: &Option<Vec<f64>>, bloc
         }
         ok
     }
+}
+
+/// Writes `BENCH_h2.json`: HTTP/2 framing and HPACK layer throughput
+/// (encode + parse of the downgrade seed-vector connections, HPACK
+/// block round-trips), plus end-to-end downgrade-campaign cases/s over
+/// the in-process fronts.
+fn h2_snapshot(smoke: bool) {
+    use hdiff_diff::{run_downgrade_campaign, seed_vectors, DowngradeCampaignOptions};
+    use hdiff_h2::hpack::{Decoder, Encoder, Header};
+    use hdiff_h2::{encode_client_connection, parse_client_connection, EncodeOptions};
+
+    let (samples, reps) = if smoke { (5, 20) } else { (21, 200) };
+
+    // Framing: one op encodes and re-parses every seed vector's whole
+    // client connection (preface, SETTINGS, HEADERS + DATA per stream).
+    let vectors = seed_vectors();
+    let encoded: Vec<Vec<u8>> = vectors
+        .iter()
+        .map(|v| encode_client_connection(&v.requests, &EncodeOptions::default()))
+        .collect();
+    let conn_bytes: usize = encoded.iter().map(Vec::len).sum();
+    let encode_ns = median_ns(samples, reps, || {
+        for v in &vectors {
+            std::hint::black_box(encode_client_connection(&v.requests, &EncodeOptions::default()));
+        }
+    }) / vectors.len() as f64;
+    let parse_ns = median_ns(samples, reps, || {
+        for bytes in &encoded {
+            std::hint::black_box(parse_client_connection(bytes).expect("seed vectors parse"));
+        }
+    }) / vectors.len() as f64;
+    let parse_mb_per_s =
+        (conn_bytes as f64 / vectors.len() as f64) / (parse_ns / 1e9) / (1024.0 * 1024.0);
+
+    // HPACK: block encode + decode of a realistic request header list.
+    let headers = vec![
+        Header::new(":method", "POST"),
+        Header::new(":path", "/submit/form?id=12345"),
+        Header::new(":scheme", "https"),
+        Header::new(":authority", "origin.example.com"),
+        Header::new("content-length", "512"),
+        Header::new("accept-encoding", "gzip, deflate, br"),
+        Header::new("user-agent", "bench/1.0 (perf snapshot)"),
+        Header::sensitive("authorization", "Bearer 0123456789abcdef"),
+    ];
+    let hpack_ns = median_ns(samples, reps, || {
+        let mut enc = Encoder::default();
+        let mut dec = Decoder::default();
+        let mut block = Vec::new();
+        enc.encode_block(&headers, &mut block);
+        std::hint::black_box(dec.decode_block(&block).expect("block decodes"));
+    });
+
+    // End to end: the seeded downgrade campaign (sim fronts), cases/s.
+    let campaign_rounds = if smoke { 2 } else { 7 };
+    let mut campaign_ms = f64::INFINITY;
+    let mut cases = 0usize;
+    for _ in 0..campaign_rounds {
+        let start = Instant::now();
+        let summary = run_downgrade_campaign(&DowngradeCampaignOptions {
+            threads: 0,
+            tcp: false,
+            promote_dir: None,
+        })
+        .expect("downgrade campaign runs");
+        campaign_ms = campaign_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        cases = summary.cases;
+    }
+    let cases_per_s = cases as f64 / (campaign_ms / 1e3).max(1e-9);
+
+    let json = format!(
+        "{{\n  \"schema\": \"hdiff-bench-h2-v1\",\n  \"smoke\": {smoke},\n  \"samples\": {samples},\n  \"vectors\": {},\n  \"encode_conn_ns\": {encode_ns:.1},\n  \"parse_conn_ns\": {parse_ns:.1},\n  \"parse_mb_per_s\": {parse_mb_per_s:.1},\n  \"hpack_roundtrip_ns\": {hpack_ns:.1},\n  \"campaign_cases\": {cases},\n  \"campaign_ms\": {campaign_ms:.1},\n  \"campaign_cases_per_s\": {cases_per_s:.0}\n}}\n",
+        vectors.len()
+    );
+    std::fs::write("BENCH_h2.json", &json).expect("write BENCH_h2.json");
+    print!("{json}");
+    eprintln!(
+        "h2 framing parse {parse_ns:.0} ns/conn ({parse_mb_per_s:.0} MB/s), \
+         hpack round-trip {hpack_ns:.0} ns/block, \
+         downgrade campaign {cases_per_s:.0} cases/s"
+    );
 }
 
 /// Campaign-style padding: inert noise headers inserted before the blank

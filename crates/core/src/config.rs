@@ -3,7 +3,7 @@
 use std::io;
 
 use hdiff_diff::json::Parser;
-use hdiff_diff::Transport;
+use hdiff_diff::{Frontend, Transport};
 
 /// Configuration for one [`crate::HDiff`] run.
 #[derive(Debug, Clone)]
@@ -34,6 +34,10 @@ pub struct HdiffConfig {
     /// How test cases reach the behavioral profiles: in-process
     /// simulation (the default) or real TCP sockets.
     pub transport: Transport,
+    /// Which protocol the campaign client speaks to the front of the
+    /// chain: HTTP/1.1 end to end (the default), or HTTP/2 into the
+    /// downgrade front ends (`hdiff run --frontend h2`).
+    pub frontend: Frontend,
     /// Collect spans, counters and latency histograms during the run
     /// (surfaced via `RunSummary::telemetry` and `hdiff report`). On by
     /// default; disable to shave the last few percent off a campaign.
@@ -65,6 +69,7 @@ impl HdiffConfig {
             fault_rate: 0,
             coverage_guided: false,
             transport: Transport::Sim,
+            frontend: Frontend::H1,
             telemetry: true,
             shards: 0,
             fleet_chaos: 0,
@@ -86,6 +91,7 @@ impl HdiffConfig {
             fault_rate: 0,
             coverage_guided: false,
             transport: Transport::Sim,
+            frontend: Frontend::H1,
             telemetry: true,
             shards: 0,
             fleet_chaos: 0,
@@ -102,8 +108,8 @@ impl HdiffConfig {
                 "{{\"sr_variants\":{},\"abnf_seeds\":{},\"mutants_per_seed\":{},",
                 "\"mutation_rounds\":{},\"include_catalog\":{},\"seed\":{},\"threads\":{},",
                 "\"max_gen_depth\":{},\"fault_rate\":{},\"coverage_guided\":{},",
-                "\"transport\":\"{}\",\"telemetry\":{},\"shards\":{},\"fleet_chaos\":{},",
-                "\"checkpoint_every\":{}}}"
+                "\"transport\":\"{}\",\"frontend\":\"{}\",\"telemetry\":{},\"shards\":{},",
+                "\"fleet_chaos\":{},\"checkpoint_every\":{}}}"
             ),
             self.sr_variants,
             self.abnf_seeds,
@@ -116,6 +122,7 @@ impl HdiffConfig {
             self.fault_rate,
             self.coverage_guided,
             self.transport,
+            self.frontend,
             self.telemetry,
             self.shards,
             self.fleet_chaos,
@@ -179,6 +186,11 @@ impl HdiffConfig {
             config.transport = Transport::parse(s)
                 .ok_or_else(|| bad(&format!("unknown config transport {s:?}")))?;
         }
+        if let Some(v) = root.get("frontend") {
+            let s = v.as_str().ok_or_else(|| bad("config frontend must be a string"))?;
+            config.frontend =
+                Frontend::parse(s).ok_or_else(|| bad(&format!("unknown config frontend {s:?}")))?;
+        }
         Ok(config)
     }
 }
@@ -210,6 +222,7 @@ mod tests {
         config.fault_rate = 13;
         config.coverage_guided = true;
         config.transport = Transport::Tcp;
+        config.frontend = Frontend::H2;
         config.telemetry = false;
         config.shards = 4;
         config.fleet_chaos = 85;
@@ -226,6 +239,7 @@ mod tests {
         assert_eq!(sparse.checkpoint_every, HdiffConfig::full().checkpoint_every);
         assert!(HdiffConfig::from_json(b"not json").is_err());
         assert!(HdiffConfig::from_json(b"{\"transport\":\"carrier-pigeon\"}").is_err());
+        assert!(HdiffConfig::from_json(b"{\"frontend\":\"h3\"}").is_err());
         assert!(HdiffConfig::from_json(b"{\"fault_rate\":700}").is_err());
     }
 }

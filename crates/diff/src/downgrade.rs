@@ -1,0 +1,1006 @@
+//! Downgrade-desync detection: the h2→h1 translation as a differential
+//! surface.
+//!
+//! The paper's three detection models (HRS, HoT, CPDoS) compare h1
+//! implementations against each other. Production chains add a fourth
+//! surface *in front of* all of them: an HTTP/2 edge that reconstructs
+//! an HTTP/1.1 byte stream for the origin. The reconstruction is a
+//! lossy translation — `Content-Length` must be invented, pseudo-headers
+//! must become a request line and `Host`, forbidden h2 fields must be
+//! rejected/stripped/forwarded — and every divergence between what the
+//! front *meant* to forward and what the back end *reads* is a
+//! semantic-gap candidate with the same exploit shapes as the h1
+//! catalog.
+//!
+//! The differential signal here is three-cornered:
+//!
+//! 1. the h2 request list the client actually sent (ground truth, from
+//!    [`hdiff_h2::parse_client_connection`]),
+//! 2. each [`hdiff_servers::DowngradeProfile`]'s reconstructed h1 bytes,
+//! 3. each h1 back-end's interpretation of those bytes.
+//!
+//! [`detect_downgrade`] emits [`Finding`]s in four downgrade classes,
+//! distinguished by an evidence tag (`downgrade:<tag>: …`) rather than
+//! by widening [`AttackClass`] — the pipeline's three-class vocabulary
+//! (and every test iterating `AttackClass::ALL`) stays intact, matching
+//! the [`crate::detect::DegradationFinding`] precedent:
+//!
+//! * `cl-mismatch` (HRS-shaped) — a forwarded `content-length` that lies
+//!   about the DATA bytes desynchronizes the back end's framing.
+//! * `te-forwarded` (HRS-shaped) — `transfer-encoding` survived the
+//!   downgrade; the back end honors chunked framing against a body the
+//!   front delimited by DATA length.
+//! * `crlf-injection` (HRS-shaped) — CR/LF inside an h2 field value
+//!   became real h1 header/request lines.
+//! * `authority-host` (HoT-shaped) — fronts (or front and back) resolve
+//!   the request's host identity differently.
+//!
+//! [`run_downgrade_campaign`] drives the seed-vector corpus through
+//! every front×back pair, deterministically and in parallel via
+//! [`crate::schedule::run_stealing`], minimizes the first finding of
+//! each class at the h2-request level, and promotes it to a
+//! [`ReplayBundle`] that `hdiff replay` re-verifies like any other.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use hdiff_gen::AttackClass;
+use hdiff_h2::{encode_client_connection, parse_client_connection, EncodeOptions, H2Request};
+use hdiff_servers::engine::FramingChoice;
+use hdiff_servers::{
+    fronts, DowngradeOutcome, DowngradeProfile, ParserProfile, Server, ServerReply,
+};
+
+use crate::findings::Finding;
+use crate::replay::{Fnv, ReplayBundle};
+use crate::schedule;
+
+/// Uuid base for downgrade-campaign cases (distinct from the h1
+/// campaign's and the fuzzer's ranges, so merged reports stay
+/// attributable).
+pub const H2_UUID_BASE: u64 = 0xd290_0000_0000_0000;
+
+/// Which protocol the campaign client speaks to the front of the chain.
+/// `H1` is the existing pipeline; `H2` runs the downgrade workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Frontend {
+    /// HTTP/1.1 end to end (the original Fig. 6 workflow).
+    #[default]
+    H1,
+    /// HTTP/2 client connection into downgrade front ends.
+    H2,
+}
+
+impl Frontend {
+    /// Stable name used by the CLI, config, and replay bundles.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Frontend::H1 => "h1",
+            Frontend::H2 => "h2",
+        }
+    }
+
+    /// Parses [`Frontend::as_str`] output.
+    pub fn parse(s: &str) -> Option<Frontend> {
+        match s {
+            "h1" => Some(Frontend::H1),
+            "h2" => Some(Frontend::H2),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Frontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One front end's view of a case: its per-request translation verdicts,
+/// the concatenated h1 stream it forwarded, and what every back end made
+/// of that stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DowngradeChain {
+    /// Front-end profile name.
+    pub front: String,
+    /// Per-h2-request translation outcomes, in stream order.
+    pub outcomes: Vec<DowngradeOutcome>,
+    /// The forwarded h1 byte stream (forwarded requests concatenated —
+    /// one upstream connection, exactly how a desync becomes exploitable).
+    pub h1: Vec<u8>,
+    /// How many of the h2 requests were forwarded (vs rejected).
+    pub forwarded_count: usize,
+    /// Every back end's replies to the forwarded stream.
+    pub backends: Vec<(String, Vec<ServerReply>)>,
+}
+
+/// Everything one h2 case produced across the downgrade matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DowngradeCaseOutcome {
+    pub uuid: u64,
+    pub origin: String,
+    /// The exact client connection bytes.
+    pub bytes: Vec<u8>,
+    /// Connection-level parse error, when the fronts never saw requests.
+    pub parse_error: Option<String>,
+    /// The h2 requests the client connection carried (ground truth).
+    pub requests: Vec<H2Request>,
+    /// One chain per front end.
+    pub chains: Vec<DowngradeChain>,
+}
+
+/// The downgrade test matrix: front ends × h1 back ends.
+#[derive(Debug, Clone)]
+pub struct DowngradeWorkflow {
+    pub fronts: Vec<DowngradeProfile>,
+    pub backends: Vec<ParserProfile>,
+}
+
+impl DowngradeWorkflow {
+    /// Every modeled front against every modeled h1 back end.
+    pub fn standard() -> DowngradeWorkflow {
+        DowngradeWorkflow { fronts: fronts(), backends: hdiff_servers::backends() }
+    }
+
+    /// Runs one h2 client connection through the whole matrix,
+    /// in-process. Deterministic: same bytes, same outcome.
+    pub fn run_bytes(&self, uuid: u64, origin: &str, bytes: &[u8]) -> DowngradeCaseOutcome {
+        hdiff_obs::count("h2.downgrade.cases", 1);
+        let (requests, parse_error) = match parse_client_connection(bytes) {
+            Ok(conn) => (conn.requests.into_iter().map(|p| p.request).collect::<Vec<_>>(), None),
+            Err(e) => (Vec::new(), Some(e.to_string())),
+        };
+        let chains = self
+            .fronts
+            .iter()
+            .map(|front| {
+                let chain = run_chain(front, &requests, &self.backends);
+                if chain.forwarded_count < chain.outcomes.len() {
+                    hdiff_obs::count("h2.downgrade.rejects", 1);
+                }
+                chain
+            })
+            .collect();
+        DowngradeCaseOutcome {
+            uuid,
+            origin: origin.to_string(),
+            bytes: bytes.to_vec(),
+            parse_error,
+            requests,
+            chains,
+        }
+    }
+}
+
+/// Translates `requests` through one front and feeds the forwarded
+/// stream to every back end. Shared between the sim and TCP paths (the
+/// TCP path substitutes the socket-observed translation for the local
+/// one, then reuses the back-end half).
+fn run_chain(
+    front: &DowngradeProfile,
+    requests: &[H2Request],
+    backends: &[ParserProfile],
+) -> DowngradeChain {
+    let outcomes: Vec<DowngradeOutcome> = requests.iter().map(|r| front.downgrade(r)).collect();
+    let h1: Vec<u8> = outcomes.iter().filter_map(|o| o.h1.as_deref()).flatten().copied().collect();
+    let forwarded_count = outcomes.iter().filter(|o| o.is_forwarded()).count();
+    let backends = run_backends(&h1, backends);
+    DowngradeChain { front: front.name.clone(), outcomes, h1, forwarded_count, backends }
+}
+
+fn run_backends(h1: &[u8], backends: &[ParserProfile]) -> Vec<(String, Vec<ServerReply>)> {
+    backends
+        .iter()
+        .map(|profile| {
+            let replies = if h1.is_empty() {
+                Vec::new()
+            } else {
+                Server::new(profile.clone()).handle_stream(h1)
+            };
+            (profile.name.clone(), replies)
+        })
+        .collect()
+}
+
+/// Runs one h2 case with the front ends served over real loopback
+/// sockets ([`hdiff_net::H2FrontServer`]): the client connection bytes
+/// travel a TCP stream, the front parses and downgrades them on its own
+/// thread, and the h1 bytes it *logged having forwarded* feed the back
+/// ends. `downgrade_digests` of this outcome must equal the sim
+/// execution's — that is the byte-stability gate.
+pub fn run_downgrade_case_tcp(
+    workflow: &DowngradeWorkflow,
+    uuid: u64,
+    origin: &str,
+    bytes: &[u8],
+) -> io::Result<DowngradeCaseOutcome> {
+    use std::io::{Read, Write};
+
+    let mut parse_error = None;
+    let mut requests: Vec<H2Request> = Vec::new();
+    let mut chains = Vec::new();
+    for front in &workflow.fronts {
+        let server = hdiff_net::H2FrontServer::spawn(front.clone(), hdiff_net::DEFAULT_IO_TIMEOUT)
+            .map_err(io::Error::other)?;
+        let mut stream = std::net::TcpStream::connect(server.addr())?;
+        stream.set_read_timeout(Some(hdiff_net::DEFAULT_IO_TIMEOUT))?;
+        stream.write_all(bytes)?;
+        stream.shutdown(std::net::Shutdown::Write)?;
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response)?;
+        let log = server
+            .take_logs()
+            .into_iter()
+            .next()
+            .ok_or_else(|| io::Error::other(format!("{}: no connection log", front.name)))?;
+        parse_error = log.parse_error;
+        requests = log.requests;
+        let forwarded_count = log.outcomes.iter().filter(|o| o.is_forwarded()).count();
+        let backends = run_backends(&log.h1, &workflow.backends);
+        chains.push(DowngradeChain {
+            front: front.name.clone(),
+            outcomes: log.outcomes,
+            h1: log.h1,
+            forwarded_count,
+            backends,
+        });
+    }
+    Ok(DowngradeCaseOutcome {
+        uuid,
+        origin: origin.to_string(),
+        bytes: bytes.to_vec(),
+        parse_error,
+        requests,
+        chains,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Detection
+// ---------------------------------------------------------------------------
+
+/// The class tag of a downgrade finding (`downgrade:<tag>: …`), when the
+/// finding came from [`detect_downgrade`].
+pub fn finding_tag(f: &Finding) -> Option<&str> {
+    f.evidence.strip_prefix("downgrade:")?.split(':').next()
+}
+
+/// First `host:` field value of an h1 byte stream (the host identity the
+/// front believes it forwarded; the fronts emit the field lowercased).
+fn first_host(h1: &[u8]) -> Option<Vec<u8>> {
+    for line in h1.split(|&b| b == b'\n') {
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        if line.is_empty() {
+            break; // end of the first request's header section
+        }
+        if line.len() >= 5 && line[..5].eq_ignore_ascii_case(b"host:") {
+            let mut v = line[5..].to_vec();
+            while v.first() == Some(&b' ') {
+                v.remove(0);
+            }
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Applies the downgrade detection model to one case outcome.
+///
+/// Findings reuse the existing [`Finding`] record: HRS-shaped classes
+/// carry [`AttackClass::Hrs`], the host-identity class carries
+/// [`AttackClass::Hot`]; the downgrade class proper lives in the
+/// evidence tag (see [`finding_tag`]). `front`/`back` name the
+/// implicated downgrade front and h1 back end (or two fronts, for the
+/// cross-front host disagreement).
+pub fn detect_downgrade(outcome: &DowngradeCaseOutcome) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for chain in &outcome.chains {
+        let notes: Vec<&str> =
+            chain.outcomes.iter().flat_map(|o| o.notes.iter()).map(String::as_str).collect();
+        if chain.forwarded_count == 0 {
+            continue;
+        }
+        let front_host = first_host(&chain.h1);
+
+        // cl-mismatch: the forwarded content-length lies about the DATA
+        // bytes; a back end that believed it desynchronizes (extra
+        // garbage message, or a framing reject).
+        if let Some(note) = notes.iter().find(|n| n.starts_with("cl-mismatch")) {
+            for (back, replies) in &chain.backends {
+                let first_reject =
+                    replies.first().is_none_or(|r| !r.interpretation.outcome.is_accept());
+                if replies.len() != chain.forwarded_count || first_reject {
+                    findings.push(finding(
+                        AttackClass::Hrs,
+                        outcome,
+                        &chain.front,
+                        back,
+                        format!(
+                            "downgrade:cl-mismatch: {note}; {back} read {} message(s) from {} forwarded",
+                            replies.len(),
+                            chain.forwarded_count
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // te-forwarded: transfer-encoding survived into the h1 stream; a
+        // back end that honors it frames the body differently than the
+        // DATA length the front saw.
+        if notes.contains(&"te-forwarded") {
+            for (back, replies) in &chain.backends {
+                let first = replies.first();
+                let chunked =
+                    first.is_some_and(|r| r.interpretation.framing == FramingChoice::Chunked);
+                let first_reject = first.is_none_or(|r| !r.interpretation.outcome.is_accept());
+                if chunked || first_reject || replies.len() != chain.forwarded_count {
+                    findings.push(finding(
+                        AttackClass::Hrs,
+                        outcome,
+                        &chain.front,
+                        back,
+                        format!(
+                            "downgrade:te-forwarded: {back} framed by transfer-encoding \
+                             ({} message(s) from {} forwarded, chunked={chunked})",
+                            replies.len(),
+                            chain.forwarded_count
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // crlf-injection: CR/LF from an h2 field value reached the h1
+        // wire verbatim; the back end read the injected bytes as real
+        // header lines (accept) or as a smuggled extra request.
+        if notes.iter().any(|n| n.starts_with("crlf-forwarded")) {
+            for (back, replies) in &chain.backends {
+                let first_accept =
+                    replies.first().is_some_and(|r| r.interpretation.outcome.is_accept());
+                if first_accept || replies.len() > chain.forwarded_count {
+                    findings.push(finding(
+                        AttackClass::Hrs,
+                        outcome,
+                        &chain.front,
+                        back,
+                        format!(
+                            "downgrade:crlf-injection: injected CR/LF reached {back} as h1 \
+                             structure ({} message(s) from {} forwarded)",
+                            replies.len(),
+                            chain.forwarded_count
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // authority-host within one chain: the front resolved a host
+        // identity, but the back end acts on a different one (duplicate
+        // Host surviving the downgrade, last-wins back ends, …).
+        let host_gap = notes.iter().any(|n| n.starts_with("authority-host-disagree"))
+            || notes.contains(&"host-duplicated");
+        if host_gap {
+            if let Some(fh) = &front_host {
+                for (back, replies) in &chain.backends {
+                    let Some(first) = replies.first() else { continue };
+                    if !first.interpretation.outcome.is_accept() {
+                        continue;
+                    }
+                    if let Some(bh) = &first.interpretation.host {
+                        if !bh.eq_ignore_ascii_case(fh) {
+                            findings.push(finding(
+                                AttackClass::Hot,
+                                outcome,
+                                &chain.front,
+                                back,
+                                format!(
+                                    "downgrade:authority-host: {} forwards host={}, {back} acts on host={}",
+                                    chain.front,
+                                    String::from_utf8_lossy(fh),
+                                    String::from_utf8_lossy(bh)
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // authority-host across fronts: two fronts forwarded the same h2
+    // request under different host identities — the HoT shape of the
+    // downgrade gap (front-dependent routing/vhost selection).
+    let forwarding: Vec<(&DowngradeChain, Vec<u8>)> = outcome
+        .chains
+        .iter()
+        .filter(|c| c.forwarded_count > 0)
+        .filter_map(|c| first_host(&c.h1).map(|h| (c, h)))
+        .collect();
+    for (i, (a, ha)) in forwarding.iter().enumerate() {
+        for (b, hb) in forwarding.iter().skip(i + 1) {
+            let noted = |c: &DowngradeChain| {
+                c.outcomes
+                    .iter()
+                    .flat_map(|o| o.notes.iter())
+                    .any(|n| n.starts_with("authority-host-disagree") || n == "host-duplicated")
+            };
+            if !ha.eq_ignore_ascii_case(hb) && (noted(a) || noted(b)) {
+                findings.push(finding(
+                    AttackClass::Hot,
+                    outcome,
+                    &a.front,
+                    &b.front,
+                    format!(
+                        "downgrade:authority-host: fronts disagree on effective host: {}={} vs {}={}",
+                        a.front,
+                        String::from_utf8_lossy(ha),
+                        b.front,
+                        String::from_utf8_lossy(hb)
+                    ),
+                ));
+            }
+        }
+    }
+
+    hdiff_obs::count("h2.downgrade.findings", findings.len() as u64);
+    findings
+}
+
+fn finding(
+    class: AttackClass,
+    outcome: &DowngradeCaseOutcome,
+    front: &str,
+    back: &str,
+    evidence: String,
+) -> Finding {
+    Finding {
+        class,
+        uuid: outcome.uuid,
+        origin: outcome.origin.clone(),
+        front: Some(front.to_string()),
+        back: Some(back.to_string()),
+        culprits: [front.to_string(), back.to_string()].into_iter().collect(),
+        evidence,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Digests
+// ---------------------------------------------------------------------------
+
+/// Behavior digests for one downgrade case: one `h2:conn` digest over
+/// the connection-level parse, and one `h2:<front>` digest per chain
+/// covering the translation verdicts, the exact forwarded h1 bytes, and
+/// every back-end reply. Sim and TCP executions of the same case must
+/// produce identical digests — this is the determinism anchor replay
+/// bundles freeze.
+pub fn downgrade_digests(outcome: &DowngradeCaseOutcome) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut conn = Fnv::new();
+    match &outcome.parse_error {
+        None => conn.write_u64(0),
+        Some(e) => {
+            conn.write_u64(1);
+            conn.write(e.as_bytes());
+        }
+    }
+    conn.write_u64(outcome.requests.len() as u64);
+    out.push(("h2:conn".to_string(), conn.0));
+
+    for chain in &outcome.chains {
+        let mut h = Fnv::new();
+        for o in &chain.outcomes {
+            match (&o.h1, &o.reject) {
+                (Some(bytes), _) => {
+                    h.write_u64(1);
+                    h.write(bytes);
+                }
+                (None, Some((status, reason))) => {
+                    h.write_u64(0);
+                    h.write_u64(u64::from(*status));
+                    h.write(reason.as_bytes());
+                }
+                (None, None) => h.write_u64(2),
+            }
+            for note in &o.notes {
+                h.write(note.as_bytes());
+            }
+        }
+        h.write(&chain.h1);
+        h.write_u64(chain.forwarded_count as u64);
+        for (back, replies) in &chain.backends {
+            h.write(back.as_bytes());
+            h.write_u64(replies.len() as u64);
+            for reply in replies {
+                let i = &reply.interpretation;
+                h.write_u64(u64::from(i.outcome.status()));
+                h.write_u64(u64::from(i.outcome.is_accept()));
+                match &i.host {
+                    None => h.write_u64(0),
+                    Some(host) => {
+                        h.write_u64(1);
+                        h.write(host);
+                    }
+                }
+                h.write(&i.body);
+                h.write(format!("{:?}", i.framing).as_bytes());
+                h.write_u64(i.consumed as u64);
+                h.write_u64(u64::from(reply.response.status.as_u16()));
+            }
+        }
+        out.push((format!("h2:{}", chain.front), h.0));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Seed vectors
+// ---------------------------------------------------------------------------
+
+/// One downgrade seed: a named h2 request list targeting a translation
+/// gap.
+#[derive(Debug, Clone)]
+pub struct SeedVector {
+    /// Stable identifier; campaign origins are `h2:<id>`.
+    pub id: &'static str,
+    pub description: &'static str,
+    pub requests: Vec<H2Request>,
+}
+
+/// The downgrade seed corpus, in canonical order. Deterministic: every
+/// call returns the same vectors.
+pub fn seed_vectors() -> Vec<SeedVector> {
+    let v = |id, description, requests| SeedVector { id, description, requests };
+    vec![
+        v("plain-get", "well-formed GET; must translate cleanly everywhere", vec![H2Request::get(
+            "/index.html",
+            "example.com",
+        )]),
+        v(
+            "pipelined-pair",
+            "two streams onto one upstream connection; boundary accounting baseline",
+            vec![H2Request::get("/a", "example.com"), H2Request::get("/b", "example.com")],
+        ),
+        v(
+            "authority-host",
+            ":authority and an h2 host header disagree on the request's identity",
+            vec![H2Request::get("/", "front.example").with_header("host", "back.example")],
+        ),
+        v(
+            "cl-short",
+            "content-length understates the DATA bytes; trailing bytes become a phantom message",
+            vec![H2Request::post("/upload", "example.com", b"AAAAAAAAAAA".to_vec())
+                .with_header("content-length", "3")],
+        ),
+        v(
+            "cl-long",
+            "content-length overstates the DATA bytes; the back end waits for a body that never comes",
+            vec![H2Request::post("/upload", "example.com", b"abc".to_vec())
+                .with_header("content-length", "11")],
+        ),
+        v(
+            "cl-dup",
+            "two content-length headers, the first lying about the DATA bytes",
+            vec![H2Request::post("/upload", "example.com", b"abcdefg".to_vec())
+                .with_header("content-length", "3")
+                .with_header("content-length", "7")],
+        ),
+        v(
+            "te-chunked",
+            "transfer-encoding in h2 (RFC 9113 forbids it); chunked terminator hides a smuggled request",
+            vec![H2Request::post(
+                "/submit",
+                "example.com",
+                b"0\r\n\r\nGET /smuggled HTTP/1.1\r\nhost: evil.example\r\n\r\n".to_vec(),
+            )
+            .with_header("transfer-encoding", "chunked")],
+        ),
+        v(
+            "crlf-value",
+            "CR/LF inside a header value becomes an extra h1 header line",
+            vec![H2Request::get("/", "example.com").with_header("x-note", "a\r\nx-injected: 1")],
+        ),
+        v(
+            "crlf-smuggle-request",
+            "CR/LF CR/LF inside a header value terminates the h1 head and smuggles a whole request",
+            vec![H2Request::get("/", "example.com").with_header(
+                "x-note",
+                "a\r\n\r\nGET /admin HTTP/1.1\r\nhost: internal.example\r\n\r\n",
+            )],
+        ),
+        v(
+            "path-dotdot",
+            "dot-segments in :path; edge normalization disagrees with verbatim fronts",
+            vec![H2Request::get("/static/../admin/panel", "example.com")],
+        ),
+        v(
+            "path-space",
+            "raw space in :path; verbatim translation corrupts the h1 request line",
+            vec![H2Request::get("/a b", "example.com")],
+        ),
+        v(
+            "pseudo-after-regular",
+            "pseudo-header after a regular field; ordering rule enforced only by strict fronts",
+            vec![H2Request {
+                headers: vec![
+                    hdiff_h2::Header::new(":method", "GET"),
+                    hdiff_h2::Header::new(":scheme", "http"),
+                    hdiff_h2::Header::new(":path", "/"),
+                    hdiff_h2::Header::new("x-early", "1"),
+                    hdiff_h2::Header::new(":authority", "example.com"),
+                ],
+                body: Vec::new(),
+            }],
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Minimization
+// ---------------------------------------------------------------------------
+
+/// Result of minimizing an h2 case against a finding predicate.
+#[derive(Debug, Clone)]
+pub struct H2Minimized {
+    /// The minimized request list (still triggers the finding).
+    pub requests: Vec<H2Request>,
+    /// Candidate executions tried.
+    pub attempts: usize,
+    /// Candidates that kept the finding and were accepted.
+    pub accepted: usize,
+}
+
+/// Greedy structural minimization at the h2-request level: drop whole
+/// requests, drop headers one at a time, then shrink bodies — keeping
+/// every candidate that still reproduces a finding with the `target`'s
+/// (class, tag, front, back). Deterministic; candidates are re-encoded
+/// with canonical [`EncodeOptions`].
+pub fn minimize_h2_case(
+    workflow: &DowngradeWorkflow,
+    requests: &[H2Request],
+    target: &Finding,
+) -> H2Minimized {
+    const MAX_ATTEMPTS: usize = 2000;
+    let mut attempts = 0usize;
+    let mut accepted = 0usize;
+    let tag = finding_tag(target).map(str::to_string);
+    let reproduces = |reqs: &[H2Request], attempts: &mut usize| -> bool {
+        if reqs.is_empty() {
+            return false;
+        }
+        *attempts += 1;
+        let bytes = encode_client_connection(reqs, &EncodeOptions::default());
+        let outcome = workflow.run_bytes(target.uuid, &target.origin, &bytes);
+        detect_downgrade(&outcome).iter().any(|f| {
+            f.class == target.class
+                && finding_tag(f).map(str::to_string) == tag
+                && f.front == target.front
+                && f.back == target.back
+        })
+    };
+
+    let mut cur = requests.to_vec();
+    loop {
+        let mut changed = false;
+
+        // Whole requests.
+        let mut i = 0;
+        while cur.len() > 1 && i < cur.len() && attempts < MAX_ATTEMPTS {
+            let mut cand = cur.clone();
+            cand.remove(i);
+            if reproduces(&cand, &mut attempts) {
+                cur = cand;
+                accepted += 1;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Individual headers.
+        for r in 0..cur.len() {
+            let mut h = 0;
+            while h < cur[r].headers.len() && attempts < MAX_ATTEMPTS {
+                let mut cand = cur.clone();
+                cand[r].headers.remove(h);
+                if reproduces(&cand, &mut attempts) {
+                    cur = cand;
+                    accepted += 1;
+                    changed = true;
+                } else {
+                    h += 1;
+                }
+            }
+        }
+
+        // Bodies: clear, else halve repeatedly.
+        for r in 0..cur.len() {
+            while !cur[r].body.is_empty() && attempts < MAX_ATTEMPTS {
+                let mut cand = cur.clone();
+                let len = cand[r].body.len();
+                cand[r].body.truncate(if len <= 4 { 0 } else { len / 2 });
+                if reproduces(&cand, &mut attempts) {
+                    cur = cand;
+                    accepted += 1;
+                    changed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        if !changed || attempts >= MAX_ATTEMPTS {
+            break;
+        }
+    }
+    H2Minimized { requests: cur, attempts, accepted }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign
+// ---------------------------------------------------------------------------
+
+/// Options for [`run_downgrade_campaign`].
+#[derive(Debug, Clone, Default)]
+pub struct DowngradeCampaignOptions {
+    /// Worker threads for the case fan-out (`0`/`1` runs inline).
+    pub threads: usize,
+    /// Serve the front ends over loopback TCP instead of in-process.
+    pub tcp: bool,
+    /// When set, the first finding of each downgrade class is minimized
+    /// and promoted to a replay bundle in this directory.
+    pub promote_dir: Option<PathBuf>,
+}
+
+/// What a downgrade campaign produced.
+#[derive(Debug, Clone)]
+pub struct DowngradeSummary {
+    /// Seed vectors executed.
+    pub cases: usize,
+    /// Every finding, in corpus order.
+    pub findings: Vec<Finding>,
+    /// Sorted distinct downgrade class tags observed.
+    pub classes: Vec<String>,
+    /// Replay bundles written (when `promote_dir` was set).
+    pub promoted: Vec<PathBuf>,
+}
+
+/// Runs the seed-vector corpus through the downgrade matrix. The result
+/// is invariant in `threads` (results merge in corpus order) and in the
+/// transport (TCP fronts must reproduce the sim translation byte for
+/// byte).
+pub fn run_downgrade_campaign(opts: &DowngradeCampaignOptions) -> io::Result<DowngradeSummary> {
+    let workflow = DowngradeWorkflow::standard();
+    let vectors = seed_vectors();
+    let cases: Vec<(u64, SeedVector)> =
+        vectors.into_iter().enumerate().map(|(i, v)| (H2_UUID_BASE + i as u64, v)).collect();
+
+    let results: Vec<io::Result<(DowngradeCaseOutcome, Vec<Finding>)>> =
+        schedule::run_stealing(&cases, opts.threads.max(1), |(uuid, vector)| {
+            let bytes = encode_client_connection(&vector.requests, &EncodeOptions::default());
+            let origin = format!("h2:{}", vector.id);
+            let outcome = if opts.tcp {
+                run_downgrade_case_tcp(&workflow, *uuid, &origin, &bytes)?
+            } else {
+                workflow.run_bytes(*uuid, &origin, &bytes)
+            };
+            let findings = detect_downgrade(&outcome);
+            Ok((outcome, findings))
+        });
+
+    let mut findings = Vec::new();
+    let mut per_case: Vec<(usize, Vec<Finding>)> = Vec::new();
+    for (idx, result) in results.into_iter().enumerate() {
+        let (_, case_findings) = result?;
+        per_case.push((idx, case_findings.clone()));
+        findings.extend(case_findings);
+    }
+
+    let mut classes: BTreeSet<String> = BTreeSet::new();
+    for f in &findings {
+        if let Some(tag) = finding_tag(f) {
+            classes.insert(tag.to_string());
+        }
+    }
+
+    let mut promoted = Vec::new();
+    if let Some(dir) = &opts.promote_dir {
+        std::fs::create_dir_all(dir)?;
+        let mut done: BTreeSet<String> = BTreeSet::new();
+        for (idx, case_findings) in &per_case {
+            let (_, vector) = &cases[*idx];
+            for f in case_findings {
+                let Some(tag) = finding_tag(f).map(str::to_string) else { continue };
+                if !done.insert(tag.clone()) {
+                    continue;
+                }
+                let minimized = minimize_h2_case(&workflow, &vector.requests, f);
+                let bytes =
+                    encode_client_connection(&minimized.requests, &EncodeOptions::default());
+                let name = format!("h2-{tag}");
+                let bundle = ReplayBundle::record_h2(
+                    &name,
+                    vector.description,
+                    f.uuid,
+                    &f.origin,
+                    &bytes,
+                    &workflow,
+                );
+                let path = dir.join(format!("{name}.json"));
+                bundle.save(&path)?;
+                promoted.push(path);
+            }
+        }
+    }
+
+    hdiff_obs::count("h2.campaign.findings", findings.len() as u64);
+    Ok(DowngradeSummary {
+        cases: cases.len(),
+        findings,
+        classes: classes.into_iter().collect(),
+        promoted,
+    })
+}
+
+/// Regenerates the golden h2 corpus: one minimized, promoted bundle per
+/// downgrade class the seed corpus detects, written to `dir`.
+pub fn regen_h2_golden(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let opts =
+        DowngradeCampaignOptions { threads: 1, tcp: false, promote_dir: Some(dir.to_path_buf()) };
+    Ok(run_downgrade_campaign(&opts)?.promoted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_vector(id: &str) -> (DowngradeCaseOutcome, Vec<Finding>) {
+        let workflow = DowngradeWorkflow::standard();
+        let vector = seed_vectors().into_iter().find(|v| v.id == id).unwrap();
+        let bytes = encode_client_connection(&vector.requests, &EncodeOptions::default());
+        let outcome = workflow.run_bytes(1, &format!("h2:{id}"), &bytes);
+        let findings = detect_downgrade(&outcome);
+        (outcome, findings)
+    }
+
+    #[test]
+    fn plain_get_is_clean() {
+        let (outcome, findings) = run_vector("plain-get");
+        assert!(outcome.parse_error.is_none());
+        assert_eq!(outcome.chains.len(), 3);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn cl_lie_flags_forwarding_fronts() {
+        let (_, findings) = run_vector("cl-short");
+        assert!(!findings.is_empty());
+        for f in &findings {
+            assert_eq!(f.class, AttackClass::Hrs);
+            assert_eq!(finding_tag(f), Some("cl-mismatch"));
+            assert_ne!(f.front.as_deref(), Some("h2-edge"), "edge recomputes CL: {f}");
+        }
+    }
+
+    #[test]
+    fn te_forwarded_flags_only_the_legacy_front() {
+        let (_, findings) = run_vector("te-chunked");
+        let te: Vec<&Finding> =
+            findings.iter().filter(|f| finding_tag(f) == Some("te-forwarded")).collect();
+        assert!(!te.is_empty());
+        for f in &te {
+            assert_eq!(f.front.as_deref(), Some("h2-legacy"), "{f}");
+        }
+    }
+
+    #[test]
+    fn crlf_value_injects_through_legacy() {
+        let (_, findings) = run_vector("crlf-value");
+        let inj: Vec<&Finding> =
+            findings.iter().filter(|f| finding_tag(f) == Some("crlf-injection")).collect();
+        assert!(!inj.is_empty());
+        assert!(inj.iter().all(|f| f.front.as_deref() == Some("h2-legacy")), "{inj:?}");
+    }
+
+    #[test]
+    fn authority_host_split_is_a_hot_finding() {
+        let (_, findings) = run_vector("authority-host");
+        let hot: Vec<&Finding> =
+            findings.iter().filter(|f| finding_tag(f) == Some("authority-host")).collect();
+        assert!(!hot.is_empty());
+        assert!(hot.iter().all(|f| f.class == AttackClass::Hot));
+        // The cross-front shape must be present: edge forwards the
+        // authority, relay prefers the h2 host header.
+        assert!(
+            hot.iter()
+                .any(|f| f.front.as_deref() == Some("h2-edge")
+                    && f.back.as_deref() == Some("h2-relay")),
+            "{hot:?}"
+        );
+    }
+
+    #[test]
+    fn campaign_detects_at_least_three_distinct_classes() {
+        let summary = run_downgrade_campaign(&DowngradeCampaignOptions::default()).unwrap();
+        assert!(summary.cases >= 10);
+        assert!(
+            summary.classes.len() >= 3,
+            "expected >=3 downgrade classes, got {:?}",
+            summary.classes
+        );
+        assert!(summary.classes.contains(&"cl-mismatch".to_string()));
+        assert!(summary.classes.contains(&"authority-host".to_string()));
+    }
+
+    #[test]
+    fn campaign_is_thread_invariant() {
+        let single = run_downgrade_campaign(&DowngradeCampaignOptions::default()).unwrap();
+        let threaded = run_downgrade_campaign(&DowngradeCampaignOptions {
+            threads: 4,
+            ..DowngradeCampaignOptions::default()
+        })
+        .unwrap();
+        assert_eq!(single.findings, threaded.findings);
+        assert_eq!(single.classes, threaded.classes);
+    }
+
+    #[test]
+    fn digests_are_stable_across_runs() {
+        let (a, _) = run_vector("cl-short");
+        let (b, _) = run_vector("cl-short");
+        let digests = downgrade_digests(&a);
+        assert_eq!(digests, downgrade_digests(&b));
+        let labels: Vec<&str> = digests.iter().map(|(l, _)| l.as_str()).collect();
+        assert!(labels.contains(&"h2:conn"));
+        assert!(labels.contains(&"h2:h2-edge"));
+    }
+
+    #[test]
+    fn minimizer_strips_inert_headers() {
+        let workflow = DowngradeWorkflow::standard();
+        let mut requests =
+            seed_vectors().into_iter().find(|v| v.id == "cl-short").unwrap().requests;
+        for i in 0..6 {
+            requests[0] = requests[0].clone().with_header(&format!("x-noise-{i}"), "padding");
+        }
+        let bytes = encode_client_connection(&requests, &EncodeOptions::default());
+        let outcome = workflow.run_bytes(7, "h2:cl-short", &bytes);
+        let target = detect_downgrade(&outcome).into_iter().next().unwrap();
+        let min = minimize_h2_case(&workflow, &requests, &target);
+        assert!(min.accepted > 0);
+        assert!(
+            !min.requests[0].headers.iter().any(|h| h.name.starts_with(b"x-noise")),
+            "noise headers survived: {:?}",
+            min.requests[0].headers
+        );
+        // The lying content-length must survive: it is the finding.
+        assert!(min.requests[0].header("content-length").is_some());
+    }
+
+    #[test]
+    fn finding_tag_parses_the_evidence_prefix() {
+        let f = Finding {
+            class: AttackClass::Hrs,
+            uuid: 1,
+            origin: "h2:x".into(),
+            front: None,
+            back: None,
+            culprits: BTreeSet::new(),
+            evidence: "downgrade:cl-mismatch: declared=3 data=11".into(),
+        };
+        assert_eq!(finding_tag(&f), Some("cl-mismatch"));
+        let plain = Finding { evidence: "host views differ".into(), ..f };
+        assert_eq!(finding_tag(&plain), None);
+    }
+
+    #[test]
+    fn frontend_round_trips() {
+        for fe in [Frontend::H1, Frontend::H2] {
+            assert_eq!(Frontend::parse(fe.as_str()), Some(fe));
+        }
+        assert_eq!(Frontend::parse("h3"), None);
+        assert_eq!(Frontend::default(), Frontend::H1);
+    }
+}

@@ -11,6 +11,10 @@
 //!   replay-reduction heuristics), and direct client → back-end runs.
 //! * [`detect`] — the three detection models (HRS, HoT, CPDoS) expressed
 //!   as predicates over `HMetrics`/chain outcomes.
+//! * [`downgrade`] — the h2→h1 downgrade-desync model: each front end's
+//!   reconstructed HTTP/1.1 stream diffed against every back end's
+//!   interpretation of it, with its own seed corpus, request-level
+//!   minimizer, campaign driver, and replay-bundle integration.
 //! * [`srcheck`] — single-implementation SR-assertion checking.
 //! * [`syntax`] — the grammar-conformance oracle over the compiled ABNF
 //!   matcher, annotating findings with per-view validity verdicts.
@@ -24,6 +28,7 @@
 pub mod baseline;
 pub mod checkpoint;
 pub mod detect;
+pub mod downgrade;
 pub mod findings;
 pub mod hmetrics;
 pub mod json;
@@ -42,6 +47,12 @@ pub mod workflow;
 
 pub use baseline::{deviations, Deviation, DeviationKind};
 pub use detect::{detect_case, detect_case_with_oracle, detect_degradation, DegradationFinding};
+pub use downgrade::{
+    detect_downgrade, downgrade_digests, finding_tag, minimize_h2_case, regen_h2_golden,
+    run_downgrade_campaign, run_downgrade_case_tcp, seed_vectors, DowngradeCampaignOptions,
+    DowngradeCaseOutcome, DowngradeChain, DowngradeSummary, DowngradeWorkflow, Frontend,
+    H2Minimized, SeedVector, H2_UUID_BASE,
+};
 pub use findings::Finding;
 pub use hmetrics::HMetrics;
 pub use minimize::{

@@ -23,6 +23,7 @@ use hdiff_servers::ParserProfile;
 
 use crate::checkpoint::{data_err, read_finding, write_finding};
 use crate::detect::detect_case_with_oracle;
+use crate::downgrade::{detect_downgrade, downgrade_digests, DowngradeWorkflow, Frontend};
 use crate::findings::Finding;
 use crate::hmetrics::HMetrics;
 use crate::json::{push_json_str, Json, Parser};
@@ -65,6 +66,12 @@ pub struct ReplayBundle {
     /// so the checked-in golden corpus keeps working unchanged; `hdiff
     /// replay --transport tcp` overrides it at replay time.
     pub transport: Transport,
+    /// Which protocol the recorded client bytes speak. `H1` bundles
+    /// (the default; key absent on disk, so the existing corpus is
+    /// untouched) replay through the h1 workflow; `H2` bundles carry a
+    /// whole h2 client connection and replay through the downgrade
+    /// matrix ([`crate::downgrade::DowngradeWorkflow`]).
+    pub frontend: Frontend,
 }
 
 /// The outcome of replaying one bundle.
@@ -129,45 +136,81 @@ impl ReplayBundle {
             findings,
             digests: digests_of(&outcome),
             transport: Transport::Sim,
+            frontend: Frontend::H1,
+        }
+    }
+
+    /// Records an h2 bundle: `bytes` is a whole h2 client connection,
+    /// executed through the downgrade matrix and frozen with the
+    /// downgrade detector's verdicts and `h2:*` digests.
+    pub fn record_h2(
+        name: &str,
+        description: &str,
+        uuid: u64,
+        origin: &str,
+        bytes: &[u8],
+        workflow: &DowngradeWorkflow,
+    ) -> ReplayBundle {
+        let outcome = workflow.run_bytes(uuid, origin, bytes);
+        ReplayBundle {
+            name: name.to_string(),
+            description: description.to_string(),
+            uuid,
+            origin: origin.to_string(),
+            request: bytes.to_vec(),
+            fault: None,
+            findings: detect_downgrade(&outcome),
+            digests: downgrade_digests(&outcome),
+            transport: Transport::Sim,
+            frontend: Frontend::H2,
         }
     }
 
     /// Re-executes the bundle and diffs verdicts and digests against the
-    /// recorded expectations.
+    /// recorded expectations. H2 bundles dispatch to the downgrade
+    /// matrix; the `workflow`/`profiles` arguments (which describe the
+    /// h1 pipeline) are not consulted for them.
     pub fn replay(
         &self,
         workflow: &Workflow,
         profiles: &[ParserProfile],
         oracle: Option<&SyntaxOracle>,
     ) -> ReplayReport {
-        let (outcome, findings) = execute(
-            workflow,
-            profiles,
-            oracle,
-            self.uuid,
-            &self.origin,
-            &self.request,
-            self.fault,
-            self.transport,
-        );
-        let actual = digests_of(&outcome);
-        let mut drifted: Vec<String> = Vec::new();
-        for (label, expected) in &self.digests {
-            match actual.iter().find(|(l, _)| l == label) {
-                Some((_, got)) if got == expected => {}
-                _ => drifted.push(label.clone()),
+        let (findings, actual) = match self.frontend {
+            Frontend::H1 => {
+                let (outcome, findings) = execute(
+                    workflow,
+                    profiles,
+                    oracle,
+                    self.uuid,
+                    &self.origin,
+                    &self.request,
+                    self.fault,
+                    self.transport,
+                );
+                (findings, digests_of(&outcome))
             }
-        }
-        for (label, _) in &actual {
-            if !self.digests.iter().any(|(l, _)| l == label) {
-                drifted.push(label.clone());
+            Frontend::H2 => {
+                let wf = DowngradeWorkflow::standard();
+                let outcome = if self.transport == Transport::Sim {
+                    wf.run_bytes(self.uuid, &self.origin, &self.request)
+                } else {
+                    crate::downgrade::run_downgrade_case_tcp(
+                        &wf,
+                        self.uuid,
+                        &self.origin,
+                        &self.request,
+                    )
+                    .unwrap_or_else(|e| panic!("h2 front testbed unavailable: {e}"))
+                };
+                (detect_downgrade(&outcome), downgrade_digests(&outcome))
             }
-        }
+        };
         ReplayReport {
             bundle: self.name.clone(),
             missing: self.findings.iter().filter(|f| !findings.contains(f)).cloned().collect(),
             unexpected: findings.iter().filter(|f| !self.findings.contains(f)).cloned().collect(),
-            drifted,
+            drifted: diff_digests(&self.digests, &actual),
         }
     }
 
@@ -210,6 +253,12 @@ impl ReplayBundle {
         if self.transport != Transport::Sim {
             out.push_str(",\"transport\":");
             push_json_str(&mut out, self.transport.as_str());
+        }
+        // Same pattern: h1 (the default) is key absence, so every bundle
+        // recorded before the h2 front ends existed parses unchanged.
+        if self.frontend != Frontend::H1 {
+            out.push_str(",\"frontend\":");
+            push_json_str(&mut out, self.frontend.as_str());
         }
         out.push_str("}\n");
         out
@@ -258,6 +307,12 @@ impl ReplayBundle {
                 v.as_str().and_then(Transport::parse).ok_or_else(|| data_err("bundle transport"))?
             }
         };
+        let frontend = match root.get("frontend") {
+            None | Some(Json::Null) => Frontend::H1,
+            Some(v) => {
+                v.as_str().and_then(Frontend::parse).ok_or_else(|| data_err("bundle frontend"))?
+            }
+        };
         Ok(ReplayBundle {
             name: string("name")?,
             description: string("description")?,
@@ -274,6 +329,7 @@ impl ReplayBundle {
                 .collect::<io::Result<_>>()?,
             digests,
             transport,
+            frontend,
         })
     }
 
@@ -288,6 +344,24 @@ impl ReplayBundle {
     pub fn load(path: &Path) -> io::Result<ReplayBundle> {
         ReplayBundle::from_json(&std::fs::read(path)?)
     }
+}
+
+/// Labels whose digest drifted between the recorded and replayed views
+/// (changed value, vanished, or newly appeared).
+fn diff_digests(expected: &[(String, u64)], actual: &[(String, u64)]) -> Vec<String> {
+    let mut drifted: Vec<String> = Vec::new();
+    for (label, want) in expected {
+        match actual.iter().find(|(l, _)| l == label) {
+            Some((_, got)) if got == want => {}
+            _ => drifted.push(label.clone()),
+        }
+    }
+    for (label, _) in actual {
+        if !expected.iter().any(|(l, _)| l == label) {
+            drifted.push(label.clone());
+        }
+    }
+    drifted
 }
 
 /// Replays every `*.json` bundle in `dir` (sorted by file name, so runs
@@ -415,16 +489,17 @@ fn execute(
 // HMetrics digests
 // ---------------------------------------------------------------------------
 
-/// FNV-1a 64 running hash.
+/// FNV-1a 64 running hash (shared with the downgrade digests in
+/// [`crate::downgrade`]).
 #[derive(Debug, Clone, Copy)]
-struct Fnv(u64);
+pub(crate) struct Fnv(pub(crate) u64);
 
 impl Fnv {
-    fn new() -> Fnv {
+    pub(crate) fn new() -> Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write(&mut self, bytes: &[u8]) {
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
@@ -433,7 +508,7 @@ impl Fnv {
         self.write_u64(bytes.len() as u64);
     }
 
-    fn write_u64(&mut self, v: u64) {
+    pub(crate) fn write_u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
@@ -668,6 +743,58 @@ mod tests {
         assert_eq!(reports.len(), 1);
         assert!(reports[0].1.passed());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn h2_bundle_records_replays_and_round_trips() {
+        let wf = DowngradeWorkflow::standard();
+        let requests =
+            vec![hdiff_h2::H2Request::post("/upload", "example.com", b"AAAAAAAAAAA".to_vec())
+                .with_header("content-length", "3")];
+        let bytes =
+            hdiff_h2::encode_client_connection(&requests, &hdiff_h2::EncodeOptions::default());
+        let bundle = ReplayBundle::record_h2("h2-cl", "lying CL", 11, "h2:cl-short", &bytes, &wf);
+        assert_eq!(bundle.frontend, Frontend::H2);
+        assert!(!bundle.findings.is_empty());
+        assert!(bundle.digests.iter().any(|(l, _)| l == "h2:conn"));
+
+        // The JSON carries the frontend key and survives a roundtrip.
+        let json = bundle.to_json();
+        assert!(json.contains("\"frontend\":\"h2\""));
+        let parsed = ReplayBundle::from_json(json.as_bytes()).unwrap();
+        assert_eq!(bundle, parsed);
+
+        // Replay dispatches to the downgrade matrix and passes; the h1
+        // workflow arguments are ignored for h2 bundles.
+        let workflow = Workflow::standard();
+        let profiles = hdiff_servers::products();
+        let report = parsed.replay(&workflow, &profiles, None);
+        assert!(report.passed(), "{}", report.summary());
+
+        // Tampering with the connection bytes is caught as drift.
+        let mut tampered = parsed.clone();
+        let last = tampered.request.len() - 1;
+        tampered.request[last] ^= 0xff;
+        let report = tampered.replay(&workflow, &profiles, None);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn h1_bundles_do_not_write_a_frontend_key() {
+        let workflow = Workflow::standard();
+        let profiles = hdiff_servers::products();
+        let bundle = ReplayBundle::record(
+            "plain",
+            "",
+            1,
+            "catalog:multiple-host",
+            &dual_host(),
+            None,
+            &workflow,
+            &profiles,
+            None,
+        );
+        assert!(!bundle.to_json().contains("frontend"));
     }
 
     #[test]

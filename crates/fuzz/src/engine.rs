@@ -100,6 +100,13 @@ pub struct FuzzOptions {
     /// Directory promoted bundles (and their stream sidecars) are
     /// written to.
     pub promote_dir: Option<PathBuf>,
+    /// Directory of previously promoted artifacts to seed the session
+    /// with: every `*.stream` sidecar loads as a full connection
+    /// stream, and every `*.json` replay bundle *without* a sidecar
+    /// contributes its request bytes as a single-request stream.
+    /// Files load in sorted name order ahead of the template seeds, so
+    /// a corpus-seeded session is as deterministic as a cold one.
+    pub seed_corpus: Option<PathBuf>,
 }
 
 impl Default for FuzzOptions {
@@ -114,6 +121,7 @@ impl Default for FuzzOptions {
             minimize_attempts: 256,
             max_promotions: 16,
             promote_dir: None,
+            seed_corpus: None,
         }
     }
 }
@@ -230,6 +238,48 @@ impl FuzzReport {
         }
         out
     }
+}
+
+/// Loads seed streams from a directory of promoted artifacts.
+///
+/// `*.stream` sidecars parse as full connection streams; `*.json`
+/// replay bundles whose stem has no sidecar contribute their request
+/// bytes as single-request streams (the sidecar, when present, is the
+/// richer form of the same case). Files load in sorted name order and
+/// unreadable entries are skipped with a diagnostic, never a panic —
+/// a corpus directory is operator input.
+fn load_seed_corpus(dir: &std::path::Path) -> Vec<Stream> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("cannot read seed corpus {}: {e}", dir.display());
+            return Vec::new();
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    let has_sidecar = |path: &std::path::Path| path.with_extension("stream").is_file();
+    let mut streams = Vec::new();
+    for path in &paths {
+        let ext = path.extension().and_then(|e| e.to_str());
+        let loaded = match ext {
+            Some("stream") => std::fs::read(path)
+                .map_err(|e| e.to_string())
+                .and_then(|bytes| Stream::from_json(&bytes).map_err(|e| e.to_string()))
+                .map(Some),
+            Some("json") if !has_sidecar(path) => std::fs::read(path)
+                .map_err(|e| e.to_string())
+                .and_then(|bytes| ReplayBundle::from_json(&bytes).map_err(|e| e.to_string()))
+                .map(|bundle| Some(Stream::single(bundle.request))),
+            _ => Ok(None),
+        };
+        match loaded {
+            Ok(Some(stream)) => streams.push(stream),
+            Ok(None) => {}
+            Err(e) => eprintln!("skipping seed corpus entry {}: {e}", path.display()),
+        }
+    }
+    streams
 }
 
 /// The fuzzing session driver.
@@ -359,10 +409,20 @@ impl FuzzEngine {
         let threads = self.effective_threads();
         let batch_cap = opts.batch.max(1);
 
-        // Seed streams: every pool template as a single-request stream,
-        // plus one pipelined two-request stream.
-        let mut pending_seeds: Vec<Stream> =
-            mutator.pool().requests.iter().map(|r| Stream::single(r.clone())).collect();
+        // Seed streams: corpus-loaded artifacts first (they carry known
+        // divergences), then every pool template as a single-request
+        // stream, plus one pipelined two-request stream.
+        let mut pending_seeds: Vec<Stream> = Vec::new();
+        if let Some(dir) = &opts.seed_corpus {
+            let (loaded, load_tel) = hdiff_obs::with_case(FUZZ_UUID_BASE, || {
+                let loaded = load_seed_corpus(dir);
+                hdiff_obs::count("fuzz.seed-corpus.loaded", loaded.len() as u64);
+                loaded
+            });
+            tele.merge(&load_tel);
+            pending_seeds.extend(loaded);
+        }
+        pending_seeds.extend(mutator.pool().requests.iter().map(|r| Stream::single(r.clone())));
         if mutator.pool().requests.len() >= 2 {
             let mut s = Stream::single(mutator.pool().requests[0].clone());
             s.requests.push(crate::stream::StreamRequest {

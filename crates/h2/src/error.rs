@@ -1,0 +1,60 @@
+//! Typed errors for the h2 layer.
+//!
+//! Every parse failure carries a machine-matchable kind plus a
+//! human-readable detail string; the downgrade campaign records the
+//! rendered form in case outcomes, so `Display` output is part of the
+//! deterministic surface (no addresses, no hash-ordered content).
+
+use std::fmt;
+
+/// What went wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum H2ErrorKind {
+    /// More bytes were required than were available.
+    Truncated,
+    /// A frame declared a payload longer than the negotiated maximum.
+    FrameTooLarge,
+    /// Structurally invalid bytes (bad preface, bad SETTINGS length,
+    /// CONTINUATION out of order, DATA on an idle stream, ...).
+    Malformed,
+    /// A stream-state rule was violated (frame on a closed stream,
+    /// HEADERS after END_STREAM, non-monotonic client stream ids).
+    StreamState,
+    /// HPACK decoding failed; see [`crate::hpack::HpackError`] for the
+    /// precise cause folded into the detail string.
+    Compression,
+}
+
+impl fmt::Display for H2ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            H2ErrorKind::Truncated => write!(f, "truncated"),
+            H2ErrorKind::FrameTooLarge => write!(f, "frame-too-large"),
+            H2ErrorKind::Malformed => write!(f, "malformed"),
+            H2ErrorKind::StreamState => write!(f, "stream-state"),
+            H2ErrorKind::Compression => write!(f, "compression"),
+        }
+    }
+}
+
+/// An h2 parse/protocol error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct H2Error {
+    pub kind: H2ErrorKind,
+    pub detail: String,
+}
+
+impl H2Error {
+    /// Builds an error.
+    pub fn new(kind: H2ErrorKind, detail: impl Into<String>) -> H2Error {
+        H2Error { kind, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for H2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h2 {}: {}", self.kind, self.detail)
+    }
+}
+
+impl std::error::Error for H2Error {}

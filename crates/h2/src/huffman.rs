@@ -1,0 +1,265 @@
+//! HPACK Huffman coding (RFC 7541 §5.2 / Appendix B).
+//!
+//! The RFC's code is *canonical*: within one code length, codes are
+//! assigned in symbol order, and each length's first code is
+//! `(previous length's last code + 1) << (length delta)`. So the table
+//! is stored here as one 257-entry array of code *lengths* and the
+//! `(code, length)` pairs are derived at first use. Construction
+//! self-checks completeness: the last canonical code must come out as
+//! the all-ones 30-bit EOS code (`0x3fffffff`), i.e. the Kraft sum of
+//! the length array is exactly 1 — a corrupted length table cannot
+//! build silently.
+
+use std::sync::OnceLock;
+
+/// Number of symbols: 256 octets plus EOS.
+const SYMBOLS: usize = 257;
+
+/// EOS symbol index.
+const EOS: usize = 256;
+
+/// Code length in bits for every symbol (RFC 7541 Appendix B).
+#[rustfmt::skip]
+const NBITS: [u8; SYMBOLS] = [
+    // 0-31: control octets
+    13, 23, 28, 28, 28, 28, 28, 28, 28, 24, 30, 28, 28, 30, 28, 28,
+    28, 28, 28, 28, 28, 28, 30, 28, 28, 28, 28, 28, 28, 28, 28, 28,
+    // 32-63: ' '..'?'
+     6, 10, 10, 12, 13,  6,  8, 11, 10, 10,  8, 11,  8,  6,  6,  6,
+     5,  5,  5,  6,  6,  6,  6,  6,  6,  6,  7,  8, 15,  6, 12, 10,
+    // 64-95: '@'..'_'
+    13,  6,  7,  7,  7,  7,  7,  7,  7,  7,  7,  7,  7,  7,  7,  7,
+     7,  7,  7,  7,  7,  7,  7,  7,  8,  7,  8, 13, 19, 13, 14,  6,
+    // 96-127: '`'..DEL
+    15,  5,  6,  5,  6,  5,  6,  6,  6,  5,  7,  7,  6,  6,  6,  5,
+     6,  7,  6,  5,  5,  6,  7,  7,  7,  7,  7, 15, 11, 13, 14, 28,
+    // 128-159
+    20, 22, 20, 20, 22, 22, 22, 23, 22, 23, 23, 23, 23, 23, 24, 23,
+    24, 24, 22, 23, 24, 23, 23, 23, 23, 21, 22, 23, 22, 23, 23, 24,
+    // 160-191
+    22, 21, 20, 22, 22, 23, 23, 21, 23, 22, 22, 24, 21, 22, 23, 23,
+    21, 21, 22, 21, 23, 22, 23, 23, 20, 22, 22, 22, 23, 22, 22, 23,
+    // 192-223
+    26, 26, 20, 19, 22, 23, 22, 25, 26, 26, 26, 27, 27, 26, 24, 25,
+    19, 21, 26, 27, 27, 26, 27, 24, 21, 21, 26, 26, 28, 27, 27, 27,
+    // 224-255
+    20, 24, 20, 21, 22, 21, 21, 23, 22, 22, 25, 25, 24, 24, 26, 23,
+    26, 27, 26, 26, 27, 27, 27, 27, 27, 28, 27, 27, 27, 27, 27, 26,
+    // 256: EOS
+    30,
+];
+
+/// A decoding-tree node: children indexed by the next bit. Positive
+/// values are internal node indexes; `-1 - sym` encodes a leaf.
+type Node = [i32; 2];
+
+struct Tables {
+    /// `(code, nbits)` per symbol.
+    codes: [(u32, u8); SYMBOLS],
+    /// Binary decode tree; node 0 is the root.
+    tree: Vec<Node>,
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        // Canonical code assignment: symbols ordered by (length, symbol).
+        let mut order: Vec<usize> = (0..SYMBOLS).collect();
+        order.sort_by_key(|&s| (NBITS[s], s));
+        let mut codes = [(0u32, 0u8); SYMBOLS];
+        let mut code: u32 = 0;
+        let mut prev_len: u8 = 0;
+        for &sym in &order {
+            let len = NBITS[sym];
+            if prev_len != 0 {
+                code = (code + 1) << (len - prev_len);
+            }
+            codes[sym] = (code, len);
+            prev_len = len;
+        }
+        // Completeness check: the last (longest, largest) code must be
+        // the all-ones EOS code, or the length table is corrupt.
+        assert_eq!(prev_len, 30, "huffman length table: longest code must be 30 bits");
+        assert_eq!(code, 0x3fff_ffff, "huffman length table is not a complete canonical code");
+        assert_eq!(codes[EOS], (0x3fff_ffff, 30));
+
+        // Decode tree.
+        let mut tree: Vec<Node> = vec![[0, 0]];
+        for (sym, &(code, len)) in codes.iter().enumerate() {
+            let mut node = 0usize;
+            for depth in (0..len).rev() {
+                let bit = ((code >> depth) & 1) as usize;
+                if depth == 0 {
+                    debug_assert_eq!(tree[node][bit], 0, "prefix collision in huffman tree");
+                    tree[node][bit] = -1 - sym as i32;
+                } else {
+                    if tree[node][bit] == 0 {
+                        tree.push([0, 0]);
+                        let fresh = (tree.len() - 1) as i32;
+                        tree[node][bit] = fresh;
+                    }
+                    node = tree[node][bit] as usize;
+                }
+            }
+        }
+        Tables { codes, tree }
+    })
+}
+
+/// Why Huffman decoding failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HuffmanError {
+    /// The 30-bit EOS code appeared inside the string (RFC 7541 §5.2
+    /// requires treating it as a decoding error).
+    EosInString,
+    /// The final partial code was not a prefix of EOS (padding must be
+    /// the most significant bits of EOS, i.e. all ones) or was 8 bits
+    /// or longer.
+    BadPadding,
+}
+
+impl std::fmt::Display for HuffmanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HuffmanError::EosInString => write!(f, "EOS symbol inside huffman string"),
+            HuffmanError::BadPadding => write!(f, "invalid huffman padding"),
+        }
+    }
+}
+
+/// Huffman-encodes `input`, appending to `out`. Returns the number of
+/// bytes appended. The final partial byte is padded with the EOS
+/// prefix (all ones) per RFC 7541 §5.2.
+pub fn encode(input: &[u8], out: &mut Vec<u8>) -> usize {
+    let t = tables();
+    let start = out.len();
+    let mut acc: u64 = 0;
+    let mut nbits: u32 = 0;
+    for &b in input {
+        let (code, len) = t.codes[b as usize];
+        acc = (acc << len) | u64::from(code);
+        nbits += u32::from(len);
+        while nbits >= 8 {
+            nbits -= 8;
+            out.push((acc >> nbits) as u8);
+        }
+    }
+    if nbits > 0 {
+        // Pad with the most significant bits of EOS (all ones).
+        let pad = 8 - nbits;
+        out.push(((acc << pad) as u8) | ((1u8 << pad) - 1));
+    }
+    out.len() - start
+}
+
+/// The exact encoded length of `input` in bytes, without encoding.
+pub fn encoded_len(input: &[u8]) -> usize {
+    let t = tables();
+    let bits: u64 = input.iter().map(|&b| u64::from(t.codes[b as usize].1)).sum();
+    (bits as usize).div_ceil(8)
+}
+
+/// Decodes a Huffman-coded string.
+pub fn decode(input: &[u8]) -> Result<Vec<u8>, HuffmanError> {
+    let t = tables();
+    let mut out = Vec::with_capacity(input.len() * 8 / 5);
+    let mut node = 0usize;
+    // Bits consumed since the last emitted symbol, and whether they
+    // were all ones — the only legal shape for trailing padding.
+    let mut partial_bits = 0u32;
+    let mut all_ones = true;
+    for &byte in input {
+        for shift in (0..8).rev() {
+            let bit = ((byte >> shift) & 1) as usize;
+            partial_bits += 1;
+            all_ones &= bit == 1;
+            let next = t.tree[node][bit];
+            if next < 0 {
+                let sym = (-1 - next) as usize;
+                if sym == EOS {
+                    return Err(HuffmanError::EosInString);
+                }
+                out.push(sym as u8);
+                node = 0;
+                partial_bits = 0;
+                all_ones = true;
+            } else {
+                node = next as usize;
+            }
+        }
+    }
+    if partial_bits >= 8 || !all_ones {
+        return Err(HuffmanError::BadPadding);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    /// RFC 7541 Appendix C test vectors pin the table to the spec, not
+    /// just to itself.
+    #[test]
+    fn rfc7541_appendix_c_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"www.example.com", "f1e3c2e5f23a6ba0ab90f4ff"),
+            (b"no-cache", "a8eb10649cbf"),
+            (b"custom-key", "25a849e95ba97d7f"),
+            (b"custom-value", "25a849e95bb8e8b4bf"),
+            (b"private", "aec3771a4b"),
+            (b"Mon, 21 Oct 2013 20:13:21 GMT", "d07abe941054d444a8200595040b8166e082a62d1bff"),
+            (b"https://www.example.com", "9d29ad171863c78f0b97c8e9ae82ae43d3"),
+            (b"302", "6402"),
+        ];
+        for (plain, encoded) in cases {
+            let mut out = Vec::new();
+            encode(plain, &mut out);
+            assert_eq!(out, hex(encoded), "encode {:?}", String::from_utf8_lossy(plain));
+            assert_eq!(decode(&hex(encoded)).unwrap(), plain.to_vec());
+            assert_eq!(encoded_len(plain), out.len());
+        }
+    }
+
+    #[test]
+    fn all_octets_round_trip() {
+        let every: Vec<u8> = (0..=255).collect();
+        let mut out = Vec::new();
+        encode(&every, &mut out);
+        assert_eq!(decode(&out).unwrap(), every);
+    }
+
+    #[test]
+    fn empty_string_round_trips() {
+        let mut out = Vec::new();
+        assert_eq!(encode(&[], &mut out), 0);
+        assert_eq!(decode(&[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn bad_padding_is_rejected() {
+        // 'w' = 7 bits; one encoded byte ends with a single 0 padding
+        // bit, which is not an EOS prefix.
+        let mut out = Vec::new();
+        encode(b"w", &mut out);
+        assert_eq!(out.len(), 1);
+        let mut bad = out.clone();
+        bad[0] &= 0xfe; // force the pad bit to zero
+        assert_eq!(decode(&bad), Err(HuffmanError::BadPadding));
+        // A whole byte of padding is also illegal.
+        let mut long = Vec::new();
+        encode(b"www", &mut long); // 21 bits -> 3 bytes, 3 pad bits
+        long.push(0xff);
+        assert_eq!(decode(&long), Err(HuffmanError::BadPadding));
+    }
+
+    #[test]
+    fn eos_in_string_is_rejected() {
+        // 30 EOS bits followed by 2 padding ones: four 0xff bytes.
+        assert_eq!(decode(&[0xff, 0xff, 0xff, 0xff]), Err(HuffmanError::EosInString));
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests for the HPACK layer (RFC 7541).
+//!
+//! Round-trip: any header list, under any encoder configuration
+//! (Huffman on/off, incremental indexing on/off, sensitive fields,
+//! table resizes, multi-block encoder/decoder state continuity),
+//! decodes back to the exact (name, value) sequence. Rejection: the
+//! decoder never panics on arbitrary bytes and reports every failure
+//! as a typed [`HpackError`].
+
+use hdiff_h2::hpack::{
+    decode_int, decode_str, encode_int, encode_str, Decoder, Encoder, Header, HpackError,
+};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// Strategy over header lists of up to `max` entries. Names mix
+/// static-table hits, lowercase tokens, and raw printable bytes — each
+/// exercises a different wire representation; values are arbitrary
+/// octets (Huffman must carry all 256); a quarter of the fields are
+/// marked sensitive (never-indexed literals).
+#[derive(Debug, Clone, Copy)]
+struct HeaderLists {
+    max: usize,
+}
+
+impl Strategy for HeaderLists {
+    type Value = Vec<Header>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<Header> {
+        let n = rng.in_range(0, self.max);
+        (0..n)
+            .map(|_| {
+                let name: Vec<u8> = match rng.below(5) {
+                    0 => b":method".to_vec(),
+                    1 => b"content-length".to_vec(),
+                    2 => b"accept-encoding".to_vec(),
+                    3 => (0..rng.in_range(1, 12))
+                        .map(|i| {
+                            if i == 0 {
+                                b'a' + rng.below(26) as u8
+                            } else {
+                                b"abcdefghijklmnopqrstuvwxyz0123456789-"[rng.below(37) as usize]
+                            }
+                        })
+                        .collect(),
+                    _ => (0..rng.in_range(1, 12)).map(|_| 0x21 + rng.below(0x5e) as u8).collect(),
+                };
+                let value: Vec<u8> =
+                    (0..rng.in_range(0, 40)).map(|_| rng.below(256) as u8).collect();
+                if rng.below(4) == 0 {
+                    Header::sensitive(name, value)
+                } else {
+                    Header::new(name, value)
+                }
+            })
+            .collect()
+    }
+}
+
+fn pairs(headers: &[Header]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    headers.iter().map(|h| (h.name.clone(), h.value.clone())).collect()
+}
+
+proptest! {
+    /// Any block, any encoder configuration: decode returns the exact
+    /// header sequence.
+    #[test]
+    fn blocks_round_trip(
+        headers in HeaderLists { max: 24 },
+        use_huffman in any::<bool>(),
+        index_literals in any::<bool>(),
+    ) {
+        let mut enc = Encoder::default();
+        enc.use_huffman = use_huffman;
+        enc.index_literals = index_literals;
+        let mut block = Vec::new();
+        enc.encode_block(&headers, &mut block);
+        let decoded = Decoder::default().decode_block(&block).expect("round-trip decodes");
+        prop_assert_eq!(pairs(&decoded), pairs(&headers));
+    }
+
+    /// Encoder and decoder dynamic tables stay in lockstep across many
+    /// blocks on one connection, including a mid-stream table resize.
+    #[test]
+    fn connection_state_stays_synchronized(
+        block_lists in proptest::collection::vec(HeaderLists { max: 8 }, 1..6),
+        resize_at in 0usize..6,
+        new_size in 0usize..512,
+    ) {
+        let mut enc = Encoder::default();
+        let mut dec = Decoder::default();
+        for (i, headers) in block_lists.iter().enumerate() {
+            let mut block = Vec::new();
+            if i == resize_at {
+                enc.resize(new_size, &mut block);
+            }
+            enc.encode_block(headers, &mut block);
+            let decoded = dec.decode_block(&block).expect("stateful decode");
+            prop_assert_eq!(pairs(&decoded), pairs(headers));
+            prop_assert_eq!(enc.table().size(), dec.table().size(), "table size skew");
+            prop_assert_eq!(enc.table().len(), dec.table().len(), "table entry skew");
+        }
+    }
+
+    /// The §5.1 integer primitive round-trips at every legal prefix.
+    #[test]
+    fn integers_round_trip(value in any::<u64>(), prefix in 1u8..=8) {
+        let mut buf = Vec::new();
+        encode_int(value, prefix, 0, &mut buf);
+        let (decoded, consumed) = decode_int(&buf, 0, prefix).expect("integer decodes");
+        prop_assert_eq!(decoded, value);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    /// The §5.2 string primitive round-trips, Huffman or plain.
+    #[test]
+    fn strings_round_trip(
+        bytes in proptest::collection::vec(any::<u8>(), 0..128),
+        huffman in any::<bool>(),
+    ) {
+        let mut buf = Vec::new();
+        encode_str(&bytes, huffman, &mut buf);
+        let (decoded, consumed) = decode_str(&buf, 0, 64 * 1024).expect("string decodes");
+        prop_assert_eq!(decoded, bytes);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    /// Arbitrary bytes never panic the decoder; failures are typed.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Decoder::default().decode_block(&bytes);
+    }
+
+    /// Any prefix of a valid block either decodes (a field boundary) or
+    /// fails cleanly — never panics, never fabricates headers that were
+    /// not in the original list.
+    #[test]
+    fn truncated_blocks_fail_cleanly(
+        headers in HeaderLists { max: 12 },
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let mut block = Vec::new();
+        Encoder::default().encode_block(&headers, &mut block);
+        let cut = (block.len() as u64 * u64::from(cut_ppm) / 1_000_000) as usize;
+        if let Ok(decoded) = Decoder::default().decode_block(&block[..cut]) {
+            prop_assert!(decoded.len() <= headers.len());
+            prop_assert_eq!(pairs(&decoded), pairs(&headers[..decoded.len()]));
+        }
+    }
+}
+
+#[test]
+fn rejections_are_typed() {
+    // Indexed field whose integer needs continuation octets that never
+    // arrive.
+    assert_eq!(Decoder::default().decode_block(&[0xff]), Err(HpackError::TruncatedInteger));
+    // Eleven continuation octets exceed what any u64 needs.
+    let mut runaway = vec![0xff];
+    runaway.extend(std::iter::repeat_n(0x80, 11));
+    runaway.push(0x00);
+    assert_eq!(Decoder::default().decode_block(&runaway), Err(HpackError::IntegerOverflow));
+    // Index 0 is a protocol error.
+    assert_eq!(Decoder::default().decode_block(&[0x80]), Err(HpackError::InvalidIndex(0)));
+    // An index far past static + dynamic space.
+    assert!(matches!(
+        Decoder::default().decode_block(&[0xc5]), // index 69, empty dynamic table
+        Err(HpackError::InvalidIndex(69))
+    ));
+    // Literal whose declared value length runs past the block.
+    let mut truncated = Vec::new();
+    truncated.push(0x00); // literal with incremental indexing, new name
+    encode_str(b"x", false, &mut truncated);
+    truncated.push(0x7e); // value declares 126 plain bytes, none follow
+    assert_eq!(
+        Decoder::default().decode_block(&truncated),
+        Err(HpackError::TruncatedString { declared: 126, available: 0 })
+    );
+    // Oversized string against a configured cap.
+    let mut block = Vec::new();
+    Encoder::default().encode_block(&[Header::new("x-long", vec![b'a'; 64])], &mut block);
+    assert!(matches!(
+        Decoder::default().with_max_string(8).decode_block(&block),
+        Err(HpackError::StringTooLong { max: 8, .. })
+    ));
+    // Dynamic-table size update above the advertised maximum.
+    let mut update = Vec::new();
+    encode_int(4097, 5, 0x20, &mut update);
+    assert_eq!(
+        Decoder::new(4096).decode_block(&update),
+        Err(HpackError::TableSizeOverflow { requested: 4097, max: 4096 })
+    );
+}

@@ -18,6 +18,10 @@
 //! * [`proxy`] — [`proxy::NetProxy`]: a forwarding proxy hop that parses
 //!   the client stream with a [`hdiff_servers::Proxy`] and relays each
 //!   forwarded message over a fresh upstream connection.
+//! * [`h2front`] — [`h2front::H2FrontServer`]: an HTTP/2 (h2c, prior
+//!   knowledge) downgrade front end: parses whole client connections,
+//!   translates them through a [`hdiff_servers::DowngradeProfile`], and
+//!   logs the exact HTTP/1.1 bytes it would forward upstream.
 //! * [`client`] — [`client::WireClient`]: the campaign's client driver:
 //!   whole/segmented/truncated sends, framed keep-alive requests with
 //!   connection reuse, and pipelined batches with per-request response
@@ -42,6 +46,7 @@ pub mod client;
 pub mod desync;
 pub mod echo;
 pub mod error;
+pub mod h2front;
 pub mod pool;
 pub mod proxy;
 pub mod reactor;
@@ -53,6 +58,7 @@ pub use client::{Exchange, NetClientConfig, PipelinedExchange, SendMode, WireCli
 pub use desync::{attribute_responses, compare_attribution, DesyncSignal, ResponseAttribution};
 pub use echo::NetEcho;
 pub use error::{NetError, NetErrorKind};
+pub use h2front::{H2FrontLog, H2FrontServer};
 pub use pool::{ConnPool, PoolStats};
 pub use proxy::{NetProxy, NetProxyConfig, ProxyConnLog};
 pub use reactor::{

@@ -173,6 +173,6 @@ mod tests {
         assert_eq!(w.next_timeout_ms(t0, 100), 100);
         w.arm(t0, 1, 1, Duration::from_millis(40));
         let ms = w.next_timeout_ms(t0, 100);
-        assert!(ms >= 30 && ms <= 60, "{ms}");
+        assert!((30..=60).contains(&ms), "{ms}");
     }
 }

@@ -20,11 +20,15 @@
 //! * [`proxy`] — forwarding wrapper: request-line rewriting, hop-by-hop
 //!   stripping, version repair, message repair, transparent forwarding.
 //! * [`cache`] — the shared response cache used by CPDoS detection.
+//! * [`downgrade`] — HTTP/2 front-end models: pseudo-headers back into
+//!   request-line/`Host`, `Content-Length` reconstruction, forbidden
+//!   header handling — the h2→h1 translation gap surface.
 //! * [`echo`] — the recording echo origin of Fig. 6.
 //! * [`mod@products`] — the ten product profiles.
 
 pub mod cache;
 pub mod chain;
+pub mod downgrade;
 pub mod echo;
 pub mod engine;
 pub mod fault;
@@ -36,6 +40,10 @@ pub mod server;
 
 pub use cache::{Cache, CacheKey, CachePolicy};
 pub use chain::{run_multihop, run_multihop_faulted, HopRecord, MultiHopResult};
+pub use downgrade::{
+    fronts, AuthorityPolicy, ClPolicy, DowngradeOutcome, DowngradeProfile, PathPolicy,
+    SanitizePolicy, TePolicy,
+};
 pub use echo::EchoServer;
 pub use engine::{interpret, FramingChoice, Interpretation, Outcome};
 pub use fault::{

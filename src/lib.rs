@@ -17,6 +17,7 @@ pub use hdiff_diff as diff;
 pub use hdiff_fleet as fleet;
 pub use hdiff_fuzz as fuzz;
 pub use hdiff_gen as gen;
+pub use hdiff_h2 as h2;
 pub use hdiff_net as net;
 pub use hdiff_obs as obs;
 pub use hdiff_servers as servers;

@@ -14,6 +14,11 @@
 //! hdiff replay [--all] <p>   re-execute recorded replay bundles and diff
 //!                            verdicts + behavior digests
 //! hdiff golden regen <dir>   rebuild the minimized golden bundle corpus
+//! hdiff run --frontend h2    downgrade-desync campaign: h2 seed vectors
+//!                            through the downgrade front ends
+//! hdiff probe --frontend h2 <host:port>   sweep the h2 seed corpus
+//!                            against a live h2c endpoint
+//! hdiff golden regen-h2 <dir> rebuild the golden h2 downgrade bundles
 //! hdiff run --shards N       run the campaign through the crash-tolerant
 //!                            sharded fleet (supervisor + N workers)
 //! hdiff worker ...           internal: one shard of a fleet campaign
@@ -81,6 +86,23 @@ fn main() -> ExitCode {
     if let Some(t) = transport {
         config.transport = t;
     }
+    let frontend = match flag_value::<String>(&args, "--frontend") {
+        Ok(Some(raw)) => match hdiff::diff::Frontend::parse(&raw) {
+            Some(f) => Some(f),
+            None => {
+                eprintln!("--frontend: unknown frontend {raw:?} (expected: h1, h2)");
+                return ExitCode::FAILURE;
+            }
+        },
+        Ok(None) => None,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(f) = frontend {
+        config.frontend = f;
+    }
     if args.iter().any(|a| a == "--no-telemetry") {
         config.telemetry = false;
     }
@@ -131,6 +153,7 @@ fn main() -> ExitCode {
 
     match command {
         "worker" => run_worker_cli(&args),
+        "run" if config.frontend == hdiff::diff::Frontend::H2 => run_downgrade_cli(&args, &config),
         "run" => {
             let r = run_pipeline(config, &sinks);
             println!("{}", report::render_stats(&r));
@@ -193,10 +216,23 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "probe" => {
-            let Some(target) = args.get(1) else {
-                eprintln!("usage: hdiff probe <raw-request-file | host:port>");
+            let Some(target) = args
+                .iter()
+                .enumerate()
+                .skip(1)
+                .find(|(i, a)| !a.starts_with('-') && args[i - 1] != "--frontend")
+                .map(|(_, a)| a)
+            else {
+                eprintln!("usage: hdiff probe [--frontend h2] <raw-request-file | host:port>");
                 return ExitCode::FAILURE;
             };
+            if config.frontend == hdiff::diff::Frontend::H2 {
+                if Path::new(target).exists() || !target.contains(':') {
+                    eprintln!("--frontend h2 probes a live host:port (h2c prior knowledge)");
+                    return ExitCode::FAILURE;
+                }
+                return probe_live_h2(target);
+            }
             if !Path::new(target).exists() && target.contains(':') {
                 return probe_live(target);
             }
@@ -229,14 +265,17 @@ fn main() -> ExitCode {
         }
         "golden" => {
             let (Some(sub), Some(dir)) = (args.get(1), args.get(2)) else {
-                eprintln!("usage: hdiff golden regen <directory>");
+                eprintln!("usage: hdiff golden <regen | regen-h2> <directory>");
                 return ExitCode::FAILURE;
             };
-            if sub != "regen" {
-                eprintln!("unknown golden subcommand {sub:?} (expected: regen)");
-                return ExitCode::FAILURE;
+            match sub.as_str() {
+                "regen" => golden_regen(Path::new(dir)),
+                "regen-h2" => golden_regen_h2(Path::new(dir)),
+                _ => {
+                    eprintln!("unknown golden subcommand {sub:?} (expected: regen, regen-h2)");
+                    ExitCode::FAILURE
+                }
             }
-            golden_regen(Path::new(dir))
         }
         "--help" | "-h" | "help" => {
             print_help();
@@ -316,6 +355,8 @@ fn print_help() {
          \x20                  `tcp` (blocking loopback sockets), or\n\
          \x20                  `tcp-async` (multiplexed event-loop sockets\n\
          \x20                  with pooled keep-alive connections)\n\
+         \x20 --frontend F     campaign client protocol: `h1` (default) or\n\
+         \x20                  `h2` (HTTP/2 into the downgrade front ends)\n\
          \x20 --no-telemetry   skip span/counter/histogram collection\n\
          \x20 --summary-out F  write the machine-readable summary JSON to F\n\
          \x20 --trace-out F    record raw events, write JSONL trace to F\n\n\
@@ -330,11 +371,16 @@ fn print_help() {
          \x20 exploits         exploit write-ups with payloads\n\
          \x20 probe <file>     interpret a raw request under all products\n\
          \x20 probe <host:port>   send a catalog vector to a live server\n\
+         \x20 probe --frontend h2 <host:port>  sweep the h2 downgrade seed\n\
+         \x20                  corpus against a live h2c endpoint\n\
          \x20 replay [--all] <p>  re-execute replay bundle(s), diff verdicts\n\
          \x20 golden regen <dir>  rebuild the minimized golden corpus\n\
+         \x20 golden regen-h2 <dir>  rebuild the golden h2 downgrade bundles\n\
+         \x20 run --frontend h2   downgrade-desync campaign over the h2 seed\n\
+         \x20                  vectors [--promote-dir D] [--min-classes N]\n\
          \x20 fuzz [...]       coverage-guided fuzzing over connection streams:\n\
          \x20                  [--seconds N | --iters N] [--seed S]\n\
-         \x20                  [--promote-dir D] [--min-novel N]\n\n\
+         \x20                  [--promote-dir D] [--seed-corpus D] [--min-novel N]\n\n\
          generation options:\n\
          \x20 --coverage-guided  bias ABNF generation toward cold alternations\n\n\
          fleet options (sharded multi-process campaigns):\n\
@@ -441,6 +487,12 @@ fn run_fuzz_cli(args: &[String], transport: Option<hdiff::diff::Transport>) -> E
         if let Some(dir) = flag_value::<String>(args, "--promote-dir")? {
             opts.promote_dir = Some(dir.into());
         }
+        if let Some(dir) = flag_value::<String>(args, "--seed-corpus")? {
+            if !std::path::Path::new(&dir).is_dir() {
+                return Err(format!("--seed-corpus: not a directory: {dir}"));
+            }
+            opts.seed_corpus = Some(dir.into());
+        }
         let min_novel = flag_value::<u64>(args, "--min-novel")?.unwrap_or(0);
         Ok((opts, min_novel))
     };
@@ -450,7 +502,8 @@ fn run_fuzz_cli(args: &[String], transport: Option<hdiff::diff::Transport>) -> E
             eprintln!("{e}");
             eprintln!(
                 "usage: hdiff fuzz [--seconds N | --iters N] [--seed S] [--threads N] \
-                 [--transport sim|tcp|tcp-async] [--promote-dir D] [--min-novel N]"
+                 [--transport sim|tcp|tcp-async] [--promote-dir D] [--seed-corpus D] \
+                 [--min-novel N]"
             );
             return ExitCode::FAILURE;
         }
@@ -477,6 +530,70 @@ fn run_fuzz_cli(args: &[String], transport: Option<hdiff::diff::Transport>) -> E
     ExitCode::SUCCESS
 }
 
+/// `hdiff run --frontend h2` — the downgrade-desync campaign: every h2
+/// seed vector is encoded as an h2c client connection, translated to
+/// HTTP/1.1 by the three front-end profiles, and the reconstructed
+/// bytes re-interpreted by the backend matrix. `--transport tcp` serves
+/// the fronts over loopback sockets instead of in-process (the
+/// translation must stay byte-identical). With `--min-classes N`, exits
+/// nonzero unless at least N distinct downgrade classes were detected
+/// (the CI gate).
+fn run_downgrade_cli(args: &[String], config: &HdiffConfig) -> ExitCode {
+    use hdiff::diff::{run_downgrade_campaign, DowngradeCampaignOptions, Transport};
+
+    let (promote_dir, min_classes) = match (
+        flag_value::<String>(args, "--promote-dir"),
+        flag_value::<usize>(args, "--min-classes"),
+    ) {
+        (Ok(d), Ok(m)) => (d, m.unwrap_or(0)),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tcp = match config.transport {
+        Transport::Sim => false,
+        Transport::Tcp => true,
+        Transport::TcpAsync => {
+            eprintln!("--frontend h2 runs over --transport sim or tcp");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = DowngradeCampaignOptions {
+        threads: config.threads,
+        tcp,
+        promote_dir: promote_dir.map(Into::into),
+    };
+    let summary = match run_downgrade_campaign(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("downgrade campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "== downgrade campaign (h2 front ends, {} transport) ==",
+        if tcp { "tcp" } else { "sim" }
+    );
+    println!("cases    : {}", summary.cases);
+    println!("findings : {}", summary.findings.len());
+    for f in &summary.findings {
+        println!("  {f}");
+    }
+    println!("classes  : {} ({})", summary.classes.len(), summary.classes.join(", "));
+    for p in &summary.promoted {
+        println!("promoted : {}", p.display());
+    }
+    if summary.classes.len() < min_classes {
+        eprintln!(
+            "downgrade campaign detected {} class(es), expected at least {min_classes}",
+            summary.classes.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// Regenerates the golden replay corpus from the Table II catalog.
 fn golden_regen(dir: &Path) -> ExitCode {
     use hdiff::diff::{replay::regen_golden, Workflow};
@@ -493,6 +610,24 @@ fn golden_regen(dir: &Path) -> ExitCode {
         }
         Err(e) => {
             eprintln!("golden regen failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Regenerates the golden h2 downgrade bundle corpus (the promoted
+/// output of a deterministic single-threaded sim campaign).
+fn golden_regen_h2(dir: &Path) -> ExitCode {
+    match hdiff::diff::regen_h2_golden(dir) {
+        Ok(paths) => {
+            for p in &paths {
+                println!("wrote {}", p.display());
+            }
+            println!("{} bundle(s) regenerated", paths.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("golden regen-h2 failed: {e}");
             ExitCode::FAILURE
         }
     }
@@ -689,6 +824,108 @@ fn probe_live(target: &str) -> ExitCode {
         ExitCode::from(PROBE_EXIT_DIVERGENCE)
     } else if answered == 0 {
         eprintln!("no vector produced a framed response before the timeout");
+        ExitCode::from(PROBE_EXIT_TIMEOUT)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Sweeps the h2 downgrade seed corpus against a live cleartext HTTP/2
+/// (prior knowledge) endpoint: each vector is one client connection
+/// (write, FIN, read to EOF), and the per-stream response statuses are
+/// compared — by status class — against what each modeled front-end
+/// profile predicts (200 echo when the request downgrades, the reject
+/// status otherwise). A target whose behavior matches no modeled front
+/// on some vector is a divergence. Exit codes mirror the h1 probe:
+/// 0 = every answered vector matches at least one front,
+/// [`PROBE_EXIT_CONNECT`], [`PROBE_EXIT_TIMEOUT`],
+/// [`PROBE_EXIT_DIVERGENCE`].
+fn probe_live_h2(target: &str) -> ExitCode {
+    use hdiff::h2::{encode_client_connection, parse_server_connection, EncodeOptions};
+    use hdiff::net::io_timeout;
+    use std::io::{Read, Write};
+    use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+    let addr = match target.to_socket_addrs().map(|mut a| a.next()) {
+        Ok(Some(addr)) => addr,
+        _ => {
+            eprintln!("cannot resolve {target}");
+            return ExitCode::from(PROBE_EXIT_CONNECT);
+        }
+    };
+    let fronts = hdiff::servers::fronts();
+    let vectors = hdiff::diff::seed_vectors();
+    println!("probing {target}: {} h2 downgrade vectors (h2c prior knowledge)\n", vectors.len());
+    println!("{:<24} {:<10} verdict", "vector", "statuses");
+    let mut answered = 0usize;
+    let mut silent = 0usize;
+    let mut divergent = 0usize;
+    let mut connect_failures = 0usize;
+    for vector in &vectors {
+        let bytes = encode_client_connection(&vector.requests, &EncodeOptions::default());
+        let raw = match TcpStream::connect(addr) {
+            Ok(mut stream) => {
+                let _ = stream.set_read_timeout(Some(io_timeout()));
+                let mut raw = Vec::new();
+                if stream.write_all(&bytes).is_ok() {
+                    let _ = stream.shutdown(Shutdown::Write);
+                    let _ = stream.read_to_end(&mut raw);
+                }
+                raw
+            }
+            Err(e) => {
+                eprintln!("cannot connect to {target}: {e}");
+                connect_failures += 1;
+                continue;
+            }
+        };
+        let live: Vec<u16> = match parse_server_connection(&raw) {
+            Ok(responses) if !responses.is_empty() => {
+                responses.iter().map(|(_, r)| r.status).collect()
+            }
+            _ => {
+                silent += 1;
+                println!("{:<24} {:<10} no h2 response frames", vector.id, "-");
+                continue;
+            }
+        };
+        answered += 1;
+        let class_signature =
+            |statuses: &[u16]| -> Vec<u16> { statuses.iter().map(|s| s / 100).collect() };
+        let predicted = |front: &hdiff::servers::DowngradeProfile| -> Vec<u16> {
+            vector
+                .requests
+                .iter()
+                .map(|r| {
+                    let o = front.downgrade(r);
+                    if o.h1.is_some() {
+                        200
+                    } else {
+                        o.reject.as_ref().map_or(500, |(status, _)| *status)
+                    }
+                })
+                .collect()
+        };
+        let matches: Vec<&str> = fronts
+            .iter()
+            .filter(|f| class_signature(&predicted(f)) == class_signature(&live))
+            .map(|f| f.name.as_str())
+            .collect();
+        let statuses = live.iter().map(u16::to_string).collect::<Vec<_>>().join(",");
+        if matches.is_empty() {
+            divergent += 1;
+            println!("{:<24} {:<10} DIVERGES (matches no modeled front)", vector.id, statuses);
+        } else {
+            println!("{:<24} {:<10} matches {}", vector.id, statuses, matches.join("/"));
+        }
+    }
+    println!("\n{answered} vectors answered, {silent} silent, {divergent} divergent");
+    if connect_failures == vectors.len() {
+        ExitCode::from(PROBE_EXIT_CONNECT)
+    } else if divergent > 0 {
+        ExitCode::from(PROBE_EXIT_DIVERGENCE)
+    } else if answered == 0 {
+        eprintln!("no vector produced h2 response frames before the timeout");
         ExitCode::from(PROBE_EXIT_TIMEOUT)
     } else {
         ExitCode::SUCCESS

@@ -1,0 +1,91 @@
+//! Acceptance gates for the HTTP/2 downgrade-desync subsystem: the
+//! seeded campaign detects at least three distinct downgrade classes,
+//! its output is invariant across worker threads and across the sim and
+//! TCP front-end transports (byte-stable translation), and every
+//! promoted bundle re-verifies through the ordinary replay machinery.
+
+use hdiff::diff::{
+    finding_tag, run_downgrade_campaign, seed_vectors, DowngradeCampaignOptions, DowngradeSummary,
+    DowngradeWorkflow, Frontend, ReplayBundle, Transport, Workflow,
+};
+use hdiff::h2::{encode_client_connection, EncodeOptions};
+
+fn campaign(threads: usize, tcp: bool) -> DowngradeSummary {
+    run_downgrade_campaign(&DowngradeCampaignOptions { threads, tcp, promote_dir: None })
+        .expect("campaign runs")
+}
+
+fn identity(s: &DowngradeSummary) -> (usize, Vec<String>, Vec<String>) {
+    (s.cases, s.findings.iter().map(ToString::to_string).collect(), s.classes.clone())
+}
+
+#[test]
+fn seeded_campaign_detects_at_least_three_downgrade_classes() {
+    let s = campaign(2, false);
+    assert_eq!(s.cases, seed_vectors().len());
+    assert!(s.classes.len() >= 3, "expected >= 3 distinct downgrade classes, got {:?}", s.classes);
+    for class in ["cl-mismatch", "te-forwarded", "authority-host"] {
+        assert!(s.classes.iter().any(|c| c == class), "no {class} in {:?}", s.classes);
+    }
+    for f in &s.findings {
+        assert!(finding_tag(f).is_some(), "non-downgrade evidence in campaign finding {f}");
+        assert!(f.origin.starts_with("h2:"), "campaign finding without h2 origin: {f}");
+    }
+}
+
+#[test]
+fn campaign_is_thread_and_transport_invariant() {
+    let one = campaign(1, false);
+    let four = campaign(4, false);
+    assert_eq!(identity(&one), identity(&four), "1 vs 4 threads");
+
+    // The TCP fronts must reproduce the in-process translation byte for
+    // byte: identical findings, identical classes.
+    let wire = campaign(2, true);
+    assert_eq!(identity(&one), identity(&wire), "sim vs tcp");
+}
+
+#[test]
+fn sim_and_tcp_fronts_produce_identical_digests() {
+    let workflow = DowngradeWorkflow::standard();
+    for (i, vector) in seed_vectors().into_iter().enumerate() {
+        let bytes = encode_client_connection(&vector.requests, &EncodeOptions::default());
+        let uuid = hdiff::diff::H2_UUID_BASE + i as u64;
+        let origin = format!("h2:{}", vector.id);
+        let sim = workflow.run_bytes(uuid, &origin, &bytes);
+        let tcp = hdiff::diff::run_downgrade_case_tcp(&workflow, uuid, &origin, &bytes)
+            .expect("tcp fronts serve");
+        assert_eq!(
+            hdiff::diff::downgrade_digests(&sim),
+            hdiff::diff::downgrade_digests(&tcp),
+            "digest drift between sim and tcp fronts on {}",
+            vector.id
+        );
+    }
+}
+
+#[test]
+fn promoted_bundles_reverify_through_replay() {
+    let dir = std::env::temp_dir().join(format!("hdiff-h2-promote-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let s = run_downgrade_campaign(&DowngradeCampaignOptions {
+        threads: 2,
+        tcp: false,
+        promote_dir: Some(dir.clone()),
+    })
+    .expect("campaign runs");
+    assert!(s.promoted.len() >= 3, "expected >= 3 promoted bundles, got {:?}", s.promoted);
+
+    // The h1 workflow arguments are ignored for h2 bundles; replay
+    // dispatches on the recorded frontend.
+    let workflow = Workflow::standard();
+    let profiles = hdiff::servers::products();
+    for path in &s.promoted {
+        let bundle = ReplayBundle::load(path).expect("promoted bundle loads");
+        assert_eq!(bundle.frontend, Frontend::H2);
+        assert_eq!(bundle.transport, Transport::Sim);
+        let report = bundle.replay(&workflow, &profiles, None);
+        assert!(report.passed(), "{}: {}", path.display(), report.summary());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -109,3 +109,46 @@ fn promote_dir_bundles_reload_and_replay() {
     assert_eq!(replayed, r.promoted.len());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn seed_corpus_reloads_promoted_artifacts_and_stays_deterministic() {
+    let dir = std::env::temp_dir().join(format!("hdiff-fuzz-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let producer = FuzzEngine::standard(FuzzOptions {
+        seed: 0x4d1f,
+        budget: FuzzBudget::Iters(300),
+        threads: 2,
+        promote_dir: Some(dir.clone()),
+        ..FuzzOptions::default()
+    })
+    .run();
+    assert!(!producer.promoted.is_empty(), "producer session promoted nothing");
+
+    // A corpus-seeded session executes the promoted streams first, so a
+    // budget far too small for cold discovery still reproduces known
+    // divergence classes — that is the point of the flag.
+    let seeded = |threads: usize| {
+        FuzzEngine::standard(FuzzOptions {
+            seed: 0x5eed,
+            budget: FuzzBudget::Iters(40),
+            threads,
+            seed_corpus: Some(dir.clone()),
+            ..FuzzOptions::default()
+        })
+        .run()
+    };
+    let a = seeded(1);
+    let b = seeded(4);
+    assert_eq!(
+        a.telemetry.counters.get("fuzz.seed-corpus.loaded"),
+        Some(&(producer.promoted.len() as u64)),
+        "every promoted stream sidecar loads exactly once (bundles with sidecars are skipped)"
+    );
+    assert!(
+        !a.divergence_classes.is_empty(),
+        "corpus-seeded session reproduced no divergence in 40 iterations"
+    );
+    assert_eq!(a.corpus_digests, b.corpus_digests, "corpus loading is thread-invariant");
+    assert_eq!(a.divergence_classes, b.divergence_classes);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,51 @@
+//! Golden-corpus regression gate for the h2 downgrade subsystem.
+//!
+//! `tests/golden-h2/` holds one minimized replay bundle per downgrade
+//! class, written by `hdiff golden regen-h2 tests/golden-h2`. Each
+//! bundle freezes the h2c connection bytes, the downgrade findings, and
+//! an FNV digest of every front's translation + backend behavior; this
+//! gate re-executes all of them and fails on any drift.
+
+use std::path::Path;
+
+use hdiff::diff::replay::replay_dir;
+use hdiff::diff::{finding_tag, Frontend, ReplayBundle, Workflow};
+
+fn golden_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden-h2")
+}
+
+#[test]
+fn golden_h2_corpus_replays_byte_identically() {
+    let workflow = Workflow::standard();
+    let profiles = hdiff::servers::products();
+    let reports = replay_dir(&golden_dir(), &workflow, &profiles, None).unwrap();
+    assert!(reports.len() >= 3, "golden h2 corpus too small: {} bundles", reports.len());
+    for (path, report) in &reports {
+        assert!(report.passed(), "{}: {}", path.display(), report.summary());
+    }
+}
+
+#[test]
+fn golden_h2_corpus_covers_three_downgrade_classes() {
+    let mut classes = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir(golden_dir()).unwrap().filter_map(Result::ok) {
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let bundle = ReplayBundle::load(&path).unwrap();
+        assert_eq!(bundle.frontend, Frontend::H2, "{}: not an h2 bundle", path.display());
+        assert!(!bundle.findings.is_empty(), "{}: bundle with no findings", path.display());
+        assert!(
+            bundle.origin.starts_with("h2:"),
+            "{}: golden h2 bundle with origin {:?}",
+            path.display(),
+            bundle.origin
+        );
+        for f in &bundle.findings {
+            classes.extend(finding_tag(f).map(str::to_string));
+        }
+    }
+    assert!(classes.len() >= 3, "golden h2 corpus covers only {classes:?}");
+}
