@@ -18,6 +18,11 @@
 //! converged to the single-process one. Skipped (with a note) when the
 //! `hdiff` binary is not built next to this snapshot binary.
 //!
+//! Also writes `BENCH_h2.json` (h2 framing/HPACK costs and downgrade
+//! campaign throughput) and `BENCH_cookie.json` (the eight-profile
+//! cookie matrix per-case cost and the protocol-generic campaign
+//! throughput).
+//!
 //! Usage: `cargo run --release -p hdiff-bench --bin perf_snapshot`
 //! (`-- --smoke` for a fast CI-sized run).
 
@@ -114,6 +119,7 @@ fn main() {
     obs_snapshot(smoke);
     fleet_snapshot(smoke);
     h2_snapshot(smoke);
+    cookie_snapshot(smoke);
     if !net_gate_ok {
         eprintln!("perf_snapshot: BENCH_net regression gate FAILED (see above)");
         std::process::exit(1);
@@ -501,6 +507,57 @@ fn h2_snapshot(smoke: bool) {
         "h2 framing parse {parse_ns:.0} ns/conn ({parse_mb_per_s:.0} MB/s), \
          hpack round-trip {hpack_ns:.0} ns/block, \
          downgrade campaign {cases_per_s:.0} cases/s"
+    );
+}
+
+/// Writes `BENCH_cookie.json`: per-case cost of the eight-profile
+/// cookie interpretation matrix plus end-to-end campaign throughput of
+/// the protocol-generic driver.
+fn cookie_snapshot(smoke: bool) {
+    use hdiff_cookie::{seed_vectors, CookieProtocol, COOKIE_UUID_BASE};
+    use hdiff_diff::{run_protocol_campaign, Protocol, ProtocolCampaignOptions};
+
+    let (samples, reps) = if smoke { (5, 20) } else { (21, 200) };
+    let protocol = CookieProtocol::standard();
+    let seeds = seed_vectors();
+    let cases: Vec<Vec<u8>> = seeds.iter().map(|s| s.case.to_bytes()).collect();
+
+    // One op executes every seed case through the full profile matrix
+    // (parse -> 8 interpretations -> pairwise detection -> digests).
+    let execute_ns = median_ns(samples, reps, || {
+        for (i, bytes) in cases.iter().enumerate() {
+            std::hint::black_box(protocol.execute(
+                COOKIE_UUID_BASE + i as u64,
+                "bench:cookie",
+                bytes,
+            ));
+        }
+    }) / cases.len() as f64;
+
+    // End to end: the seeded cookie campaign via the generic driver.
+    let campaign_rounds = if smoke { 2 } else { 7 };
+    let mut campaign_ms = f64::INFINITY;
+    let mut campaign_cases = 0usize;
+    let mut classes = 0usize;
+    for _ in 0..campaign_rounds {
+        let start = Instant::now();
+        let summary = run_protocol_campaign(&protocol, &ProtocolCampaignOptions::default())
+            .expect("cookie campaign runs");
+        campaign_ms = campaign_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        campaign_cases = summary.cases;
+        classes = summary.classes.len();
+    }
+    let cases_per_s = campaign_cases as f64 / (campaign_ms / 1e3).max(1e-9);
+
+    let json = format!(
+        "{{\n  \"schema\": \"hdiff-bench-cookie-v1\",\n  \"smoke\": {smoke},\n  \"samples\": {samples},\n  \"seed_cases\": {},\n  \"execute_case_ns\": {execute_ns:.1},\n  \"campaign_cases\": {campaign_cases},\n  \"campaign_classes\": {classes},\n  \"campaign_ms\": {campaign_ms:.1},\n  \"campaign_cases_per_s\": {cases_per_s:.0}\n}}\n",
+        cases.len()
+    );
+    std::fs::write("BENCH_cookie.json", &json).expect("write BENCH_cookie.json");
+    print!("{json}");
+    eprintln!(
+        "cookie matrix execute {execute_ns:.0} ns/case, \
+         campaign {cases_per_s:.0} cases/s ({classes} divergence classes)"
     );
 }
 

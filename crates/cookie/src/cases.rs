@@ -1,0 +1,261 @@
+//! The cookie case codec and seed corpus.
+//!
+//! A case is an exchange context: the request host and path, the
+//! `Set-Cookie` header values a server responded with, and optionally
+//! raw inbound `Cookie:` header values to parse directly. The byte form
+//! is line-based so the generic minimizer can drop lines and shrink
+//! segments without a protocol-specific AST:
+//!
+//! ```text
+//! host: example.com
+//! path: /account
+//! set: sid=alpha; Path=/; Secure
+//! cookie: sid=alpha; lang=en
+//! ```
+
+/// One cookie exchange context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CookieCase {
+    /// Request host the jar is evaluated against.
+    pub host: String,
+    /// Request path the jar is evaluated against.
+    pub path: String,
+    /// `Set-Cookie` header values, in response order.
+    pub sets: Vec<String>,
+    /// Raw inbound `Cookie` header values.
+    pub cookies: Vec<String>,
+}
+
+impl Default for CookieCase {
+    fn default() -> CookieCase {
+        CookieCase {
+            host: "example.com".to_string(),
+            path: "/".to_string(),
+            sets: Vec::new(),
+            cookies: Vec::new(),
+        }
+    }
+}
+
+impl CookieCase {
+    /// Encodes to the line-based byte form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = String::new();
+        out.push_str("host: ");
+        out.push_str(&self.host);
+        out.push('\n');
+        out.push_str("path: ");
+        out.push_str(&self.path);
+        out.push('\n');
+        for s in &self.sets {
+            out.push_str("set: ");
+            out.push_str(s);
+            out.push('\n');
+        }
+        for c in &self.cookies {
+            out.push_str("cookie: ");
+            out.push_str(c);
+            out.push('\n');
+        }
+        out.into_bytes()
+    }
+
+    /// Decodes the line-based byte form. Tolerant by design (the
+    /// minimizer deletes lines freely): unknown or blank lines are
+    /// skipped, missing `host:`/`path:` fall back to the defaults.
+    pub fn parse(bytes: &[u8]) -> CookieCase {
+        let mut case = CookieCase::default();
+        for line in String::from_utf8_lossy(bytes).lines() {
+            let line = line.trim();
+            if let Some(v) = line.strip_prefix("host:") {
+                case.host = v.trim().to_string();
+            } else if let Some(v) = line.strip_prefix("path:") {
+                case.path = v.trim().to_string();
+            } else if let Some(v) = line.strip_prefix("set:") {
+                case.sets.push(v.trim().to_string());
+            } else if let Some(v) = line.strip_prefix("cookie:") {
+                case.cookies.push(v.trim().to_string());
+            }
+        }
+        case
+    }
+}
+
+/// One seed vector: a stable id, what it demonstrates, and the case.
+#[derive(Debug, Clone)]
+pub struct CookieSeed {
+    /// Stable identifier; campaign origins are `cookie:<id>`.
+    pub id: &'static str,
+    /// What the vector demonstrates.
+    pub description: &'static str,
+    /// The exchange context.
+    pub case: CookieCase,
+}
+
+fn seed(
+    id: &'static str,
+    description: &'static str,
+    host: &str,
+    path: &str,
+    sets: &[&str],
+    cookies: &[&str],
+) -> CookieSeed {
+    CookieSeed {
+        id,
+        description,
+        case: CookieCase {
+            host: host.to_string(),
+            path: path.to_string(),
+            sets: sets.iter().map(|s| s.to_string()).collect(),
+            cookies: cookies.iter().map(|s| s.to_string()).collect(),
+        },
+    }
+}
+
+/// The seed corpus, in canonical order. Each vector targets one (or a
+/// couple) of the divergence axes in [`crate::profile`]; `plain-session`
+/// is the clean control every profile agrees on.
+pub fn seed_vectors() -> Vec<CookieSeed> {
+    vec![
+        seed(
+            "plain-session",
+            "well-formed session cookie, no divergence expected",
+            "example.com",
+            "/",
+            &["sid=31d4d96e407aad42; Path=/"],
+            &["sid=31d4d96e407aad42"],
+        ),
+        seed(
+            "duplicate-name",
+            "same name set twice: last-wins jars ship the second write, first-wins the first",
+            "example.com",
+            "/",
+            &["sid=first-write; Path=/", "sid=second-write; Path=/"],
+            &[],
+        ),
+        seed(
+            "quoted-semicolon-value",
+            "quoted value containing `; Secure`: quote-aware parsers keep it as value, naive parsers mint a Secure attribute",
+            "example.com",
+            "/",
+            &["token=\"alpha;Secure\"; Path=/"],
+            &[],
+        ),
+        seed(
+            "uppercase-attrs",
+            "SECURE/HTTPONLY in caps: case-insensitive parsers honor them, canonical-only parsers drop them",
+            "example.com",
+            "/",
+            &["sid=caps; Path=/; SECURE; HTTPONLY"],
+            &[],
+        ),
+        seed(
+            "legacy-expires",
+            "RFC 850 dashed Expires date: lenient parsers expire the cookie, strict parsers keep a session cookie",
+            "example.com",
+            "/",
+            &["sid=stale; Expires=Sun, 06-Nov-1994 08:49:37 GMT"],
+            &[],
+        ),
+        seed(
+            "sloppy-expires",
+            "free-form Expires tokens: only the 6265 scanning algorithm extracts a (past) date",
+            "example.com",
+            "/",
+            &["sid=loose; expires=1 Jan 1970 00:00:01"],
+            &[],
+        ),
+        seed(
+            "dotted-domain",
+            "Domain=.example.com on example.com: 6265 strips the dot and accepts, tail-matchers and host-locked jars reject",
+            "example.com",
+            "/",
+            &["sid=dotted; Domain=.example.com"],
+            &[],
+        ),
+        seed(
+            "suffix-domain",
+            "Domain=le.com on example.com: naive tail-match accepts a foreign scope everyone else rejects",
+            "example.com",
+            "/",
+            &["sid=hijack; Domain=le.com"],
+            &[],
+        ),
+        seed(
+            "parent-domain",
+            "Domain=example.com on app.example.com: host-locked jars reject the parent scope",
+            "app.example.com",
+            "/",
+            &["sid=parent; Domain=example.com"],
+            &[],
+        ),
+        seed(
+            "version-meta",
+            "$Version/$Path in the Cookie header: RFC 2109 parsers consume them as metadata, 6265 parsers see cookies",
+            "example.com",
+            "/",
+            &[],
+            &["$Version=1; sid=alpha; $Path=/"],
+        ),
+        seed(
+            "quoted-cookie",
+            "DQUOTE-wrapped inbound value: strippers and verbatim parsers forward different bytes",
+            "example.com",
+            "/",
+            &[],
+            &["token=\"quoted-value\""],
+        ),
+        seed(
+            "inbound-smuggle",
+            "`;` inside a quoted inbound value: naive splitting mints an extra pair",
+            "example.com",
+            "/",
+            &[],
+            &["a=\"b;admin=true\""],
+        ),
+        seed(
+            "kitchen-sink",
+            "combined duplicate + caps attribute + legacy metadata (minimizer exercise)",
+            "example.com",
+            "/account",
+            &[
+                "sid=first-write; Path=/; SECURE",
+                "sid=second-write; Path=/",
+                "lang=en-US; Max-Age=3600",
+            ],
+            &["$Version=1; sid=first-write"],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips_every_seed() {
+        for s in seed_vectors() {
+            let bytes = s.case.to_bytes();
+            assert_eq!(CookieCase::parse(&bytes), s.case, "{}", s.id);
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_garbage_and_missing_context() {
+        let case = CookieCase::parse(b"junk\n\nset: a=b\nwhatever: x\n");
+        assert_eq!(case.host, "example.com");
+        assert_eq!(case.path, "/");
+        assert_eq!(case.sets, vec!["a=b".to_string()]);
+        assert!(case.cookies.is_empty());
+    }
+
+    #[test]
+    fn seed_ids_are_unique() {
+        let seeds = seed_vectors();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a.id, b.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! The RFC 6265 cookie grammar as a closed ABNF [`Grammar`].
+//!
+//! `set-cookie-string` / `cookie-pair` / `cookie-av` follow §4.1.1 and
+//! `cookie-string` follows §4.2.1. `token` is imported from RFC 2616 the
+//! way RFC 6265 does (spelled here as the RFC 7230 `tchar` set, which is
+//! the same character class), and `sane-cookie-date` is the RFC 1123
+//! fixed-format date the section requires servers to emit — the *lenient*
+//! §5.1.1 parsing algorithm is deliberately not a grammar and lives in
+//! [`crate::parse`] as profile behavior.
+
+use hdiff_abnf::{parser, Grammar};
+
+/// The ABNF rule text for the cookie surface.
+pub const RFC6265_ABNF: &str = concat!(
+    "set-cookie-string = cookie-pair *( \";\" SP cookie-av )\n",
+    "cookie-pair = cookie-name \"=\" cookie-value\n",
+    "cookie-name = token\n",
+    "cookie-value = *cookie-octet / ( DQUOTE *cookie-octet DQUOTE )\n",
+    "cookie-octet = %x21 / %x23-2B / %x2D-3A / %x3C-5B / %x5D-7E\n",
+    "token = 1*tchar\n",
+    "tchar = \"!\" / \"#\" / \"$\" / \"%\" / \"&\" / \"'\" / \"*\" / \"+\" / \"-\" / \".\" /\n",
+    "        \"^\" / \"_\" / \"`\" / \"|\" / \"~\" / DIGIT / ALPHA\n",
+    "cookie-av = expires-av / max-age-av / domain-av / path-av / secure-av /\n",
+    "            httponly-av / extension-av\n",
+    "expires-av = \"Expires=\" sane-cookie-date\n",
+    "sane-cookie-date = day-name \",\" SP 2DIGIT SP month SP 4DIGIT SP\n",
+    "                   2DIGIT \":\" 2DIGIT \":\" 2DIGIT SP \"GMT\"\n",
+    "day-name = \"Mon\" / \"Tue\" / \"Wed\" / \"Thu\" / \"Fri\" / \"Sat\" / \"Sun\"\n",
+    "month = \"Jan\" / \"Feb\" / \"Mar\" / \"Apr\" / \"May\" / \"Jun\" /\n",
+    "        \"Jul\" / \"Aug\" / \"Sep\" / \"Oct\" / \"Nov\" / \"Dec\"\n",
+    "max-age-av = \"Max-Age=\" [ \"-\" ] 1*DIGIT\n",
+    "domain-av = \"Domain=\" domain-value\n",
+    "domain-value = [ \".\" ] label *( \".\" label )\n",
+    "label = 1*( ALPHA / DIGIT / \"-\" )\n",
+    "path-av = \"Path=\" av-octets\n",
+    "secure-av = \"Secure\"\n",
+    "httponly-av = \"HttpOnly\"\n",
+    "extension-av = av-octets\n",
+    "av-octets = *av-octet\n",
+    "av-octet = %x20-3A / %x3C-7E\n",
+    "cookie-string = cookie-pair *( \";\" SP cookie-pair )\n",
+);
+
+/// Parses [`RFC6265_ABNF`] into a closed grammar.
+pub fn rfc6265_grammar() -> Grammar {
+    let rules = parser::parse_rulelist(RFC6265_ABNF).expect("rfc6265 abnf parses");
+    Grammar::from_rules("rfc6265", rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdiff_abnf::matcher;
+
+    #[test]
+    fn grammar_is_closed() {
+        let g = rfc6265_grammar();
+        assert!(g.undefined_references().is_empty(), "{:?}", g.undefined_references());
+        assert!(g.get("set-cookie-string").is_some());
+        assert!(g.get("cookie-string").is_some());
+    }
+
+    #[test]
+    fn matches_canonical_set_cookie_strings() {
+        let g = rfc6265_grammar();
+        for ok in [
+            "SID=31d4d96e407aad42",
+            "SID=31d4d96e407aad42; Path=/; Secure; HttpOnly",
+            "SID=31d4d96e407aad42; Domain=.example.com",
+            "lang=en-US; Expires=Wed, 09 Jun 2021 10:18:14 GMT",
+            "lang=en-US; Max-Age=3600",
+            "token=\"quoted\"; Path=/",
+        ] {
+            assert!(matcher::matches(&g, "set-cookie-string", ok.as_bytes()).is_match(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_set_cookie_strings() {
+        let g = rfc6265_grammar();
+        for bad in [
+            "",             // no cookie-pair
+            "=value",       // empty cookie-name
+            "a=b;; Secure", // empty av + missing SP
+            "a=b; Secure;", // trailing separator
+            "a=sp ace",     // SP is not a cookie-octet
+            "a=semi;colon", // bare av without the "; " separator
+        ] {
+            assert!(!matcher::matches(&g, "set-cookie-string", bad.as_bytes()).is_match(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn matches_cookie_strings() {
+        let g = rfc6265_grammar();
+        assert!(
+            matcher::matches(&g, "cookie-string", b"SID=31d4d96e407aad42; lang=en-US").is_match()
+        );
+        assert!(matcher::matches(&g, "cookie-string", b"$Version=1; sid=a").is_match());
+        assert!(!matcher::matches(&g, "cookie-string", b"SID=31d4;lang=en").is_match());
+    }
+}

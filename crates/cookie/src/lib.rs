@@ -1,0 +1,42 @@
+//! RFC 6265 cookie workload — the first non-HTTP [`Protocol`] instance.
+//!
+//! Cookie handling is a classic semantic-gap surface: the grammar lives
+//! in RFC 6265, but deployed parsers descend from three incompatible
+//! ancestors (the original Netscape spec, RFC 2109's `$Version`
+//! metadata, and RFC 6265's serialize-then-split model), and they
+//! disagree on attribute-name case, duplicate-name precedence, quoted
+//! values, `Expires` date leniency, and domain matching. Each
+//! disagreement is a gap a pair of components can be driven through —
+//! cookie shadowing, attribute smuggling via `;` inside quoted values,
+//! scope confusion — the same attack shape the paper's HTTP detection
+//! models formalize.
+//!
+//! * [`grammar`] — the RFC 6265 ABNF (`set-cookie-string`,
+//!   `cookie-string`) as a closed [`hdiff_abnf::Grammar`].
+//! * [`profile`] — behavioral parse profiles in the `ParserProfile`
+//!   policy-enum idiom, each modeling a real implementation family.
+//! * [`parse`] — per-profile Set-Cookie interpretation, jar semantics,
+//!   and inbound `Cookie:` header splitting.
+//! * [`detect`] — pairwise detection over profile views, emitting
+//!   [`hdiff_diff::Finding`]s with `cookie:<tag>:` evidence mapped onto
+//!   the paper's attack classes.
+//! * [`cases`] — the line-based case codec and the seed corpus.
+//! * [`proto`] — [`CookieProtocol`], wiring it all behind
+//!   [`hdiff_diff::Protocol`] so `run_protocol_campaign` drives it like
+//!   any other workload.
+//!
+//! [`Protocol`]: hdiff_diff::Protocol
+
+pub mod cases;
+pub mod detect;
+pub mod grammar;
+pub mod parse;
+pub mod profile;
+pub mod proto;
+
+pub use cases::{seed_vectors, CookieCase, CookieSeed};
+pub use detect::{class_for_tag, detect_cookie_case, TAGS};
+pub use grammar::rfc6265_grammar;
+pub use parse::{interpret, CookieView, SetOutcome};
+pub use profile::{profiles, CookieProfile};
+pub use proto::{CookieProtocol, COOKIE_UUID_BASE};

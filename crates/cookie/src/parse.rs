@@ -1,0 +1,449 @@
+//! Per-profile cookie interpretation.
+//!
+//! [`interpret`] runs one [`CookieCase`] through one [`CookieProfile`]
+//! and reduces the outcome to a [`CookieView`]: per-`Set-Cookie`-line
+//! store decisions, the resulting jar and the `Cookie` header it would
+//! emit for the case's host/path, and the pairs parsed out of raw
+//! inbound `Cookie` headers. Views are what the detection models diff.
+//!
+//! Everything here is pure and allocation-ordered — no clocks, no maps
+//! with nondeterministic iteration — because view equality across
+//! thread counts is what makes the campaign driver deterministic. The
+//! one place cookies genuinely need a clock (`Expires`) uses a frozen
+//! "now" ([`FROZEN_NOW_YEAR`]) so the same case always expires the same
+//! way.
+
+use crate::cases::CookieCase;
+use crate::profile::{
+    AttrCase, CookieProfile, DollarNames, DomainMatch, Duplicates, ExpiresDates, QuotedValues,
+    ValueSplit,
+};
+
+/// The frozen campaign clock: an `Expires` date strictly before this
+/// year is "in the past". Keeping it a constant (rather than the wall
+/// clock) keeps executions replayable years later.
+pub const FROZEN_NOW_YEAR: i32 = 2024;
+
+/// What one profile did with one `Set-Cookie` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetOutcome {
+    /// Cookie name (empty when the line had no name-value pair).
+    pub name: String,
+    /// Cookie value after the profile's quote policy.
+    pub value: String,
+    /// Recognized attribute names, lowercased, in line order.
+    pub attrs: Vec<String>,
+    /// Whether the cookie made it into the jar.
+    pub stored: bool,
+    /// Why not, when it didn't: `no-pair`, `domain-mismatch`, `expired`.
+    pub reason: Option<&'static str>,
+}
+
+/// One profile's complete observable view of a case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CookieView {
+    /// The profile that produced this view.
+    pub profile: &'static str,
+    /// Per-`Set-Cookie`-line outcomes, in response order.
+    pub sets: Vec<SetOutcome>,
+    /// The final jar as `(name, value)` pairs, in storage order.
+    pub jar: Vec<(String, String)>,
+    /// The `Cookie` header serialization of the jar.
+    pub header: String,
+    /// Pairs parsed from raw inbound `Cookie` headers.
+    pub inbound: Vec<(String, String)>,
+    /// RFC 2109 `$` metadata consumed from inbound headers (empty for
+    /// profiles that treat `$` names as ordinary cookies).
+    pub meta: Vec<(String, String)>,
+}
+
+/// Splits on `;`, optionally treating `;` inside double quotes as data.
+fn split_segments(s: &str, split: ValueSplit) -> Vec<&str> {
+    match split {
+        ValueSplit::Naive => s.split(';').collect(),
+        ValueSplit::QuoteAware => {
+            let mut out = Vec::new();
+            let mut start = 0;
+            let mut in_quotes = false;
+            for (i, b) in s.bytes().enumerate() {
+                match b {
+                    b'"' => in_quotes = !in_quotes,
+                    b';' if !in_quotes => {
+                        out.push(&s[start..i]);
+                        start = i + 1;
+                    }
+                    _ => {}
+                }
+            }
+            out.push(&s[start..]);
+            out
+        }
+    }
+}
+
+/// Applies a profile's quote policy to a value.
+fn apply_quotes(value: &str, quotes: QuotedValues) -> String {
+    match quotes {
+        QuotedValues::Verbatim => value.to_string(),
+        QuotedValues::Strip => {
+            if value.len() >= 2 && value.starts_with('"') && value.ends_with('"') {
+                value[1..value.len() - 1].to_string()
+            } else {
+                value.to_string()
+            }
+        }
+    }
+}
+
+/// Canonical attribute spellings, matched per the profile's case policy.
+const CANONICAL_ATTRS: [&str; 7] =
+    ["Domain", "Path", "Expires", "Max-Age", "Secure", "HttpOnly", "SameSite"];
+
+fn recognize_attr(name: &str, case: AttrCase) -> Option<String> {
+    let hit = match case {
+        AttrCase::Insensitive => CANONICAL_ATTRS.iter().find(|c| c.eq_ignore_ascii_case(name)),
+        AttrCase::CanonicalOnly => CANONICAL_ATTRS.iter().find(|c| **c == name),
+    };
+    hit.map(|c| c.to_ascii_lowercase())
+}
+
+/// RFC 6265 §5.1.3 domain-match after §5.2.3 leading-dot removal.
+fn domain_matches(policy: DomainMatch, host: &str, domain: &str) -> bool {
+    let host = host.to_ascii_lowercase();
+    let domain = domain.to_ascii_lowercase();
+    match policy {
+        DomainMatch::Rfc6265 => {
+            let d = domain.strip_prefix('.').unwrap_or(&domain);
+            !d.is_empty() && (host == d || host.ends_with(&format!(".{d}")))
+        }
+        DomainMatch::ExactHost => host == domain,
+        DomainMatch::NaiveSuffix => !domain.is_empty() && host.ends_with(&domain),
+    }
+}
+
+/// The RFC 6265 §5.1.1 lenient date scan, reduced to the year (the only
+/// component the frozen clock compares). Returns `None` when the scan
+/// fails to find a complete, in-range date.
+fn parse_lenient_year(s: &str) -> Option<i32> {
+    let mut time: Option<(u32, u32, u32)> = None;
+    let mut day: Option<u32> = None;
+    let mut month = false;
+    let mut year: Option<i32> = None;
+    const MONTHS: [&str; 12] =
+        ["jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec"];
+    // Delimiters are everything outside alphanumerics and ':'.
+    for token in s.split(|c: char| !(c.is_ascii_alphanumeric() || c == ':')) {
+        if token.is_empty() {
+            continue;
+        }
+        if time.is_none() {
+            let parts: Vec<&str> = token.split(':').collect();
+            if parts.len() == 3 && parts.iter().all(|p| !p.is_empty() && p.len() <= 2) {
+                if let (Ok(h), Ok(m), Ok(sec)) =
+                    (parts[0].parse::<u32>(), parts[1].parse::<u32>(), parts[2].parse::<u32>())
+                {
+                    if h <= 23 && m <= 59 && sec <= 59 {
+                        time = Some((h, m, sec));
+                        continue;
+                    }
+                }
+            }
+        }
+        let digits: String = token.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if day.is_none() && (1..=2).contains(&digits.len()) && digits.len() == token.len() {
+            if let Ok(d) = digits.parse::<u32>() {
+                if (1..=31).contains(&d) {
+                    day = Some(d);
+                    continue;
+                }
+            }
+        }
+        if !month && token.len() >= 3 {
+            let prefix = token[..3].to_ascii_lowercase();
+            if MONTHS.contains(&prefix.as_str()) {
+                month = true;
+                continue;
+            }
+        }
+        if year.is_none() && (2..=4).contains(&digits.len()) && digits.len() == token.len() {
+            if let Ok(mut y) = digits.parse::<i32>() {
+                if digits.len() == 2 {
+                    y += if y >= 70 { 1900 } else { 2000 };
+                }
+                if y >= 1601 {
+                    year = Some(y);
+                    continue;
+                }
+            }
+        }
+    }
+    if time.is_some() && day.is_some() && month {
+        year
+    } else {
+        None
+    }
+}
+
+/// Strict RFC 1123 `Day, DD Mon YYYY HH:MM:SS GMT` — the only form the
+/// `Rfc1123Only` policy accepts. Returns the year.
+fn parse_rfc1123_year(s: &str) -> Option<i32> {
+    const DAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+    const MONTHS: [&str; 12] =
+        ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
+    let rest = DAYS.iter().find_map(|d| s.strip_prefix(d))?;
+    let rest = rest.strip_prefix(", ")?;
+    let (dd, rest) = rest.split_at_checked(2)?;
+    if !dd.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let rest = rest.strip_prefix(' ')?;
+    let rest = MONTHS.iter().find_map(|m| rest.strip_prefix(m))?;
+    let rest = rest.strip_prefix(' ')?;
+    let (yyyy, rest) = rest.split_at_checked(4)?;
+    if !yyyy.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let rest = rest.strip_prefix(' ')?;
+    let (hh, rest) = rest.split_at_checked(2)?;
+    let rest = rest.strip_prefix(':')?;
+    let (mm, rest) = rest.split_at_checked(2)?;
+    let rest = rest.strip_prefix(':')?;
+    let (ss, rest) = rest.split_at_checked(2)?;
+    for part in [hh, mm, ss] {
+        if !part.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+    }
+    if rest != " GMT" {
+        return None;
+    }
+    yyyy.parse().ok()
+}
+
+/// Whether an `Expires` value names a past date under the profile's
+/// date policy and the frozen clock. Unparseable dates are ignored (the
+/// cookie stays a session cookie) — that asymmetry between lenient and
+/// strict parsers is precisely the `expires-leniency` gap.
+fn expires_in_past(policy: ExpiresDates, value: &str) -> bool {
+    let year = match policy {
+        ExpiresDates::Lenient => parse_lenient_year(value),
+        ExpiresDates::Rfc1123Only => parse_rfc1123_year(value),
+    };
+    year.is_some_and(|y| y < FROZEN_NOW_YEAR)
+}
+
+/// Interprets one `Set-Cookie` line under a profile.
+fn interpret_set(profile: &CookieProfile, host: &str, raw: &str) -> SetOutcome {
+    let segments = split_segments(raw, profile.split);
+    let pair = segments.first().copied().unwrap_or("");
+    let Some(eq) = pair.find('=') else {
+        return SetOutcome {
+            name: String::new(),
+            value: String::new(),
+            attrs: Vec::new(),
+            stored: false,
+            reason: Some("no-pair"),
+        };
+    };
+    let name = pair[..eq].trim().to_string();
+    let value = apply_quotes(pair[eq + 1..].trim(), profile.quotes);
+    if name.is_empty() {
+        return SetOutcome {
+            name,
+            value,
+            attrs: Vec::new(),
+            stored: false,
+            reason: Some("no-pair"),
+        };
+    }
+
+    let mut attrs = Vec::new();
+    let mut reason: Option<&'static str> = None;
+    for seg in &segments[1..] {
+        let (attr_name, attr_value) = match seg.find('=') {
+            Some(i) => (seg[..i].trim(), seg[i + 1..].trim()),
+            None => (seg.trim(), ""),
+        };
+        let Some(canonical) = recognize_attr(attr_name, profile.attr_case) else {
+            continue; // extension-av: unrecognized attributes are ignored
+        };
+        match canonical.as_str() {
+            "domain" if !domain_matches(profile.domain, host, attr_value) => {
+                reason = reason.or(Some("domain-mismatch"));
+            }
+            "expires" if expires_in_past(profile.expires, attr_value) => {
+                reason = reason.or(Some("expired"));
+            }
+            "max-age" => {
+                // Max-Age wins over Expires in every lineage; a
+                // non-positive delta expires the cookie immediately.
+                if let Ok(delta) = attr_value.parse::<i64>() {
+                    if delta <= 0 {
+                        reason = reason.or(Some("expired"));
+                    }
+                }
+            }
+            _ => {}
+        }
+        attrs.push(canonical);
+    }
+
+    SetOutcome { name, value, attrs, stored: reason.is_none(), reason }
+}
+
+/// Parses one raw inbound `Cookie` header value into `(pairs, meta)`.
+fn interpret_cookie_line(
+    profile: &CookieProfile,
+    raw: &str,
+    pairs: &mut Vec<(String, String)>,
+    meta: &mut Vec<(String, String)>,
+) {
+    for seg in split_segments(raw, profile.split) {
+        let seg = seg.trim();
+        if seg.is_empty() {
+            continue;
+        }
+        let (name, value) = match seg.find('=') {
+            Some(i) => {
+                (seg[..i].trim().to_string(), apply_quotes(seg[i + 1..].trim(), profile.quotes))
+            }
+            None => (seg.to_string(), String::new()),
+        };
+        if profile.dollar == DollarNames::Rfc2109Meta && name.starts_with('$') {
+            meta.push((name, value));
+        } else {
+            pairs.push((name, value));
+        }
+    }
+}
+
+/// Runs a whole case through one profile.
+pub fn interpret(profile: &CookieProfile, case: &CookieCase) -> CookieView {
+    let sets: Vec<SetOutcome> =
+        case.sets.iter().map(|raw| interpret_set(profile, &case.host, raw)).collect();
+
+    let mut jar: Vec<(String, String)> = Vec::new();
+    for outcome in sets.iter().filter(|o| o.stored) {
+        match jar.iter_mut().find(|(n, _)| *n == outcome.name) {
+            Some(slot) => {
+                if profile.duplicates == Duplicates::LastWins {
+                    slot.1 = outcome.value.clone();
+                }
+            }
+            None => jar.push((outcome.name.clone(), outcome.value.clone())),
+        }
+    }
+    let header = jar.iter().map(|(n, v)| format!("{n}={v}")).collect::<Vec<_>>().join("; ");
+
+    let mut inbound = Vec::new();
+    let mut meta = Vec::new();
+    for raw in &case.cookies {
+        interpret_cookie_line(profile, raw, &mut inbound, &mut meta);
+    }
+
+    CookieView { profile: profile.name, sets, jar, header, inbound, meta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profiles;
+
+    fn by_name(name: &str) -> CookieProfile {
+        profiles().into_iter().find(|p| p.name == name).unwrap()
+    }
+
+    fn one_set(host: &str, line: &str) -> CookieCase {
+        CookieCase { host: host.to_string(), sets: vec![line.to_string()], ..CookieCase::default() }
+    }
+
+    #[test]
+    fn quote_aware_split_keeps_semicolons_inside_quotes() {
+        assert_eq!(
+            split_segments("a=\"b;c\"; Secure", ValueSplit::QuoteAware),
+            vec!["a=\"b;c\"", " Secure"]
+        );
+        assert_eq!(
+            split_segments("a=\"b;c\"; Secure", ValueSplit::Naive),
+            vec!["a=\"b", "c\"", " Secure"]
+        );
+    }
+
+    #[test]
+    fn duplicate_precedence_diverges() {
+        let case = CookieCase {
+            sets: vec!["sid=first".to_string(), "sid=second".to_string()],
+            ..CookieCase::default()
+        };
+        let last = interpret(&by_name("rfc6265-ua"), &case);
+        let first = interpret(&by_name("proxy-gateway"), &case);
+        assert_eq!(last.header, "sid=second");
+        assert_eq!(first.header, "sid=first");
+    }
+
+    #[test]
+    fn domain_policies_disagree_on_the_classic_shapes() {
+        // Leading dot on the exact host: 6265 accepts, tail-match and
+        // host-locked reject.
+        let dotted = one_set("example.com", "sid=x; Domain=.example.com");
+        assert!(interpret(&by_name("rfc6265-ua"), &dotted).sets[0].stored);
+        assert!(!interpret(&by_name("legacy-netscape"), &dotted).sets[0].stored);
+        assert!(!interpret(&by_name("proxy-gateway"), &dotted).sets[0].stored);
+        // Foreign suffix: only the naive tail-match accepts.
+        let suffix = one_set("example.com", "sid=x; Domain=le.com");
+        assert!(!interpret(&by_name("rfc6265-ua"), &suffix).sets[0].stored);
+        assert!(interpret(&by_name("legacy-netscape"), &suffix).sets[0].stored);
+    }
+
+    #[test]
+    fn expires_policies_disagree_on_legacy_dates() {
+        let legacy = one_set("example.com", "sid=x; Expires=Sun, 06-Nov-1994 08:49:37 GMT");
+        let lenient = interpret(&by_name("rfc6265-ua"), &legacy);
+        let strict = interpret(&by_name("proxy-gateway"), &legacy);
+        assert_eq!(lenient.sets[0].reason, Some("expired"));
+        assert!(strict.sets[0].stored, "strict parser ignores the malformed date");
+        // Both agree on a well-formed past RFC 1123 date.
+        let canonical = one_set("example.com", "sid=x; Expires=Sun, 06 Nov 1994 08:49:37 GMT");
+        assert!(!interpret(&by_name("rfc6265-ua"), &canonical).sets[0].stored);
+        assert!(!interpret(&by_name("proxy-gateway"), &canonical).sets[0].stored);
+        // And on a future date being kept.
+        let future = one_set("example.com", "sid=x; Expires=Wed, 09 Jun 2100 10:18:14 GMT");
+        assert!(interpret(&by_name("rfc6265-ua"), &future).sets[0].stored);
+        assert!(interpret(&by_name("proxy-gateway"), &future).sets[0].stored);
+    }
+
+    #[test]
+    fn attr_case_policies_disagree_on_caps() {
+        let caps = one_set("example.com", "sid=x; SECURE; HTTPONLY");
+        let insensitive = interpret(&by_name("rfc6265-ua"), &caps);
+        let canonical = interpret(&by_name("strict-validator"), &caps);
+        assert_eq!(insensitive.sets[0].attrs, vec!["secure", "httponly"]);
+        assert!(canonical.sets[0].attrs.is_empty());
+    }
+
+    #[test]
+    fn rfc2109_metadata_is_consumed_not_forwarded() {
+        let case = CookieCase {
+            cookies: vec!["$Version=1; sid=alpha; $Path=/".to_string()],
+            ..CookieCase::default()
+        };
+        let modern = interpret(&by_name("rfc6265-ua"), &case);
+        let legacy = interpret(&by_name("rfc2109-agent"), &case);
+        assert_eq!(modern.inbound.len(), 3);
+        assert!(modern.meta.is_empty());
+        assert_eq!(legacy.inbound, vec![("sid".to_string(), "alpha".to_string())]);
+        assert_eq!(legacy.meta.len(), 2);
+    }
+
+    #[test]
+    fn lenient_date_scan_accepts_what_rfc1123_rejects() {
+        assert_eq!(parse_lenient_year("Sun, 06-Nov-1994 08:49:37 GMT"), Some(1994));
+        assert_eq!(parse_lenient_year("1 Jan 1970 00:00:01"), Some(1970));
+        assert_eq!(parse_lenient_year("08:49:37 6 nov 94"), Some(1994));
+        assert_eq!(parse_lenient_year("Wed, 09 Jun 2100 10:18:14 GMT"), Some(2100));
+        assert_eq!(parse_lenient_year("no date here"), None);
+        assert_eq!(parse_rfc1123_year("Sun, 06 Nov 1994 08:49:37 GMT"), Some(1994));
+        assert_eq!(parse_rfc1123_year("Sun, 06-Nov-1994 08:49:37 GMT"), None);
+        assert_eq!(parse_rfc1123_year("1 Jan 1970 00:00:01"), None);
+    }
+}

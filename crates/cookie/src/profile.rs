@@ -1,0 +1,227 @@
+//! Behavioral cookie-parse profiles.
+//!
+//! Same idiom as `hdiff-servers`' `ParserProfile`: every divergence axis
+//! the detection models exploit is an explicit policy enum, and a
+//! profile is a named bundle of policies modeling a real implementation
+//! family. The axes are exactly the gaps RFC 6265 §5 papers over: the
+//! spec's parsing algorithm is deliberately more lenient than its §4
+//! grammar, and pre-6265 implementations (Netscape spec, RFC 2109)
+//! never converged on either.
+
+/// How attribute names (`Secure`, `Path`, …) are recognized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrCase {
+    /// Case-insensitive match, per RFC 6265 §5.2.
+    Insensitive,
+    /// Only the canonical capitalized spellings are recognized; `SECURE`
+    /// or `path` fall through to extension-av and are ignored.
+    CanonicalOnly,
+}
+
+/// Which write wins when the same cookie name is set twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Duplicates {
+    /// Later Set-Cookie replaces the stored value (RFC 6265 §5.3 step 11).
+    LastWins,
+    /// The first store is kept; later writes to the name are dropped
+    /// (nginx's `$cookie_name`, several proxy-side jars).
+    FirstWins,
+}
+
+/// How `$`-prefixed names in a `Cookie:` header are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DollarNames {
+    /// Ordinary cookies — `$Version` is just a cookie named `$Version`
+    /// (RFC 6265 §5.4 killed the special casing).
+    Ordinary,
+    /// RFC 2109 metadata: `$Version`/`$Path`/`$Domain` are attributes of
+    /// the surrounding cookies, not cookies themselves.
+    Rfc2109Meta,
+}
+
+/// Whether a DQUOTE-wrapped cookie value keeps its quotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotedValues {
+    /// Quotes are part of the value (modern browsers).
+    Verbatim,
+    /// Surrounding quotes are stripped before storing/forwarding
+    /// (RFC 2109 lineage: Java servlets, many frameworks).
+    Strip,
+}
+
+/// How far `Expires=` date parsing bends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpiresDates {
+    /// The RFC 6265 §5.1.1 algorithm: scan delimiter-separated tokens
+    /// for time/day/month/year in any order, accept 2-digit years and
+    /// RFC 850 dashes.
+    Lenient,
+    /// Only the fixed `Day, DD Mon YYYY HH:MM:SS GMT` RFC 1123 form;
+    /// anything else leaves the cookie a session cookie.
+    Rfc1123Only,
+}
+
+/// How a `Domain=` attribute is matched against the request host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainMatch {
+    /// RFC 6265 §5.1.3: ignore a leading dot, then require equality or a
+    /// dot-boundary suffix match.
+    Rfc6265,
+    /// The domain must equal the request host byte-for-byte (a leading
+    /// dot therefore never matches) — host-locked proxy jars.
+    ExactHost,
+    /// Raw `ends_with` without dot normalization: `.example.com` fails
+    /// on `example.com` itself, while `le.com` matches it — the classic
+    /// Netscape tail-match bug.
+    NaiveSuffix,
+}
+
+/// How a header is split into `;`-separated segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueSplit {
+    /// Split at every `;` (RFC 6265 §5.2 step 1 — quotes are not
+    /// special at split time).
+    Naive,
+    /// `;` inside a double-quoted value does not split (RFC 2109
+    /// quoted-string lineage: Java's legacy cookie parser).
+    QuoteAware,
+}
+
+/// One cookie implementation family as a bundle of policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CookieProfile {
+    /// Stable profile name, used as the view label and digest key.
+    pub name: &'static str,
+    pub attr_case: AttrCase,
+    pub duplicates: Duplicates,
+    pub dollar: DollarNames,
+    pub quotes: QuotedValues,
+    pub expires: ExpiresDates,
+    pub domain: DomainMatch,
+    pub split: ValueSplit,
+}
+
+/// The standard profile matrix: eight families, every policy axis
+/// diverging between at least two of them.
+pub fn profiles() -> Vec<CookieProfile> {
+    vec![
+        // Modern browser per RFC 6265: the conformance baseline.
+        CookieProfile {
+            name: "rfc6265-ua",
+            attr_case: AttrCase::Insensitive,
+            duplicates: Duplicates::LastWins,
+            dollar: DollarNames::Ordinary,
+            quotes: QuotedValues::Verbatim,
+            expires: ExpiresDates::Lenient,
+            domain: DomainMatch::Rfc6265,
+            split: ValueSplit::Naive,
+        },
+        // Original Netscape-spec lineage: tail-matched domains, quotes
+        // stripped.
+        CookieProfile {
+            name: "legacy-netscape",
+            attr_case: AttrCase::Insensitive,
+            duplicates: Duplicates::LastWins,
+            dollar: DollarNames::Ordinary,
+            quotes: QuotedValues::Strip,
+            expires: ExpiresDates::Lenient,
+            domain: DomainMatch::NaiveSuffix,
+            split: ValueSplit::Naive,
+        },
+        // Java-servlet legacy parser: RFC 2109 metadata, quoted strings
+        // honored across `;`, strict dates.
+        CookieProfile {
+            name: "servlet-jar",
+            attr_case: AttrCase::CanonicalOnly,
+            duplicates: Duplicates::FirstWins,
+            dollar: DollarNames::Rfc2109Meta,
+            quotes: QuotedValues::Strip,
+            expires: ExpiresDates::Rfc1123Only,
+            domain: DomainMatch::ExactHost,
+            split: ValueSplit::QuoteAware,
+        },
+        // Proxy-side jar (nginx-shaped): first match wins, minimal
+        // attribute handling, host-locked.
+        CookieProfile {
+            name: "proxy-gateway",
+            attr_case: AttrCase::CanonicalOnly,
+            duplicates: Duplicates::FirstWins,
+            dollar: DollarNames::Ordinary,
+            quotes: QuotedValues::Verbatim,
+            expires: ExpiresDates::Rfc1123Only,
+            domain: DomainMatch::ExactHost,
+            split: ValueSplit::Naive,
+        },
+        // Scripting-framework jar (PHP-shaped): forgiving names, strict
+        // dates, quotes stripped.
+        CookieProfile {
+            name: "script-framework",
+            attr_case: AttrCase::Insensitive,
+            duplicates: Duplicates::LastWins,
+            dollar: DollarNames::Ordinary,
+            quotes: QuotedValues::Strip,
+            expires: ExpiresDates::Rfc1123Only,
+            domain: DomainMatch::Rfc6265,
+            split: ValueSplit::Naive,
+        },
+        // An RFC 2109 user agent: `$Version` metadata, quote-aware
+        // splitting, first-wins precedence.
+        CookieProfile {
+            name: "rfc2109-agent",
+            attr_case: AttrCase::Insensitive,
+            duplicates: Duplicates::FirstWins,
+            dollar: DollarNames::Rfc2109Meta,
+            quotes: QuotedValues::Strip,
+            expires: ExpiresDates::Rfc1123Only,
+            domain: DomainMatch::Rfc6265,
+            split: ValueSplit::QuoteAware,
+        },
+        // Non-browser HTTP client (curl-shaped): lenient dates, Netscape
+        // tail-match domain file format.
+        CookieProfile {
+            name: "fetch-client",
+            attr_case: AttrCase::Insensitive,
+            duplicates: Duplicates::LastWins,
+            dollar: DollarNames::Ordinary,
+            quotes: QuotedValues::Verbatim,
+            expires: ExpiresDates::Lenient,
+            domain: DomainMatch::NaiveSuffix,
+            split: ValueSplit::Naive,
+        },
+        // Pedantic validator: canonical spellings and RFC 1123 dates
+        // only, otherwise RFC 6265 semantics.
+        CookieProfile {
+            name: "strict-validator",
+            attr_case: AttrCase::CanonicalOnly,
+            duplicates: Duplicates::LastWins,
+            dollar: DollarNames::Ordinary,
+            quotes: QuotedValues::Verbatim,
+            expires: ExpiresDates::Rfc1123Only,
+            domain: DomainMatch::Rfc6265,
+            split: ValueSplit::Naive,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_eight_distinct_profiles_and_every_axis_diverges() {
+        let ps = profiles();
+        assert_eq!(ps.len(), 8);
+        for (i, a) in ps.iter().enumerate() {
+            for b in &ps[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+        assert!(ps.iter().any(|p| p.attr_case != ps[0].attr_case));
+        assert!(ps.iter().any(|p| p.duplicates != ps[0].duplicates));
+        assert!(ps.iter().any(|p| p.dollar != ps[0].dollar));
+        assert!(ps.iter().any(|p| p.quotes != ps[0].quotes));
+        assert!(ps.iter().any(|p| p.expires != ps[0].expires));
+        assert!(ps.iter().any(|p| p.domain != ps[0].domain));
+        assert!(ps.iter().any(|p| p.split != ps[0].split));
+    }
+}

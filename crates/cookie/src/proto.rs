@@ -1,0 +1,318 @@
+//! [`CookieProtocol`] — the cookie workload behind [`Protocol`].
+//!
+//! This is the proof that the campaign core is protocol-generic: no
+//! HTTP machinery anywhere, yet `run_protocol_campaign` drives the seed
+//! corpus through the profile matrix, merges findings deterministically,
+//! and promotes minimized protocol-keyed replay bundles that
+//! [`hdiff_diff::ReplayBundle::replay_protocol`] re-verifies.
+
+use hdiff_diff::{Finding, Fnv, ProtoCase, ProtoExecution, ProtoView, Protocol};
+
+use crate::cases::{seed_vectors, CookieCase};
+use crate::detect::detect_cookie_case;
+use crate::parse::{interpret, CookieView};
+use crate::profile::{profiles, CookieProfile};
+
+/// Uuid base for cookie campaign cases, distinct from every HTTP
+/// corpus (h1 catalog 9000s, h2 0xd2…, fuzz 0xfa…, h1-protocol 0x48…).
+pub const COOKIE_UUID_BASE: u64 = 0xc001_0000_0000_0000;
+
+/// RFC 6265 cookies as a differential workload over the profile matrix.
+#[derive(Debug)]
+pub struct CookieProtocol {
+    profiles: Vec<CookieProfile>,
+    grammar: hdiff_abnf::Grammar,
+}
+
+impl CookieProtocol {
+    /// The standard eight-profile matrix with the RFC 6265 grammar.
+    pub fn standard() -> CookieProtocol {
+        CookieProtocol { profiles: profiles(), grammar: crate::grammar::rfc6265_grammar() }
+    }
+
+    /// The profile matrix behind this instance.
+    pub fn profiles(&self) -> &[CookieProfile] {
+        &self.profiles
+    }
+
+    fn views(&self, case: &CookieCase) -> Vec<CookieView> {
+        self.profiles.iter().map(|p| interpret(p, case)).collect()
+    }
+}
+
+/// FNV-1a digest of everything observable in one profile's view.
+fn digest_view(v: &CookieView) -> u64 {
+    let mut h = Fnv::new();
+    for o in &v.sets {
+        h.write(o.name.as_bytes());
+        h.write(o.value.as_bytes());
+        for a in &o.attrs {
+            h.write(a.as_bytes());
+        }
+        h.write_u64(u64::from(o.stored));
+        h.write(o.reason.unwrap_or("").as_bytes());
+    }
+    h.write(v.header.as_bytes());
+    for (n, val) in v.inbound.iter().chain(v.meta.iter()) {
+        h.write(n.as_bytes());
+        h.write(val.as_bytes());
+    }
+    h.0
+}
+
+/// Splits a case line into owned `(prefix, value)` when it is a
+/// header-value line the minimizer may rewrite.
+fn split_header_line(line: &str) -> Option<(String, String)> {
+    let (prefix, value) = line.split_once(':')?;
+    matches!(prefix, "set" | "cookie").then(|| (prefix.to_string(), value.to_string()))
+}
+
+/// The divergence tag of a cookie finding (`cookie:<tag>: …` evidence).
+fn evidence_tag(f: &Finding) -> Option<String> {
+    let rest = f.evidence.strip_prefix("cookie:")?;
+    Some(rest[..rest.find(':')?].to_string())
+}
+
+impl Protocol for CookieProtocol {
+    fn name(&self) -> &'static str {
+        "cookie"
+    }
+
+    fn uuid_base(&self) -> u64 {
+        COOKIE_UUID_BASE
+    }
+
+    fn grammars(&self) -> Vec<(String, hdiff_abnf::Grammar)> {
+        vec![("rfc6265".to_string(), self.grammar.clone())]
+    }
+
+    fn seed_cases(&self) -> Vec<ProtoCase> {
+        seed_vectors()
+            .into_iter()
+            .map(|s| ProtoCase {
+                id: s.id.to_string(),
+                description: s.description.to_string(),
+                bytes: s.case.to_bytes(),
+            })
+            .collect()
+    }
+
+    fn execute(&self, uuid: u64, origin: &str, bytes: &[u8]) -> ProtoExecution {
+        let case = CookieCase::parse(bytes);
+        let views = self.views(&case);
+        let findings = detect_cookie_case(uuid, origin, &self.profiles, &views);
+        let digests =
+            views.iter().map(|v| (format!("cookie:{}", v.profile), digest_view(v))).collect();
+        let proto_views = views
+            .iter()
+            .map(|v| ProtoView {
+                view: v.profile.to_string(),
+                accepted: v.sets.iter().all(|o| o.stored),
+                status: 0,
+                metrics: vec![
+                    ("jar".to_string(), v.header.clone()),
+                    ("stored".to_string(), v.jar.len().to_string()),
+                    (
+                        "inbound".to_string(),
+                        v.inbound
+                            .iter()
+                            .map(|(n, val)| format!("{n}={val}"))
+                            .collect::<Vec<_>>()
+                            .join("; "),
+                    ),
+                    ("meta".to_string(), v.meta.len().to_string()),
+                ],
+            })
+            .collect();
+        hdiff_obs::count("cookie.exec.cases", 1);
+        ProtoExecution { views: proto_views, findings, digests }
+    }
+
+    fn finding_tag(&self, f: &Finding) -> Option<String> {
+        evidence_tag(f)
+    }
+
+    fn minimize(&self, bytes: &[u8], target: &Finding) -> Vec<u8> {
+        let Some(tag) = evidence_tag(target) else { return bytes.to_vec() };
+        let reproduces = |cand: &[u8]| {
+            self.execute(target.uuid, &target.origin, cand).findings.iter().any(|f| {
+                f.class == target.class
+                    && f.front == target.front
+                    && f.back == target.back
+                    && evidence_tag(f).as_deref() == Some(tag.as_str())
+            })
+        };
+        if !reproduces(bytes) {
+            return bytes.to_vec();
+        }
+
+        let mut lines: Vec<String> =
+            String::from_utf8_lossy(bytes).lines().map(|l| l.to_string()).collect();
+        let encode = |ls: &[String]| {
+            let mut s = ls.join("\n");
+            s.push('\n');
+            s.into_bytes()
+        };
+
+        let mut budget = 512usize;
+        loop {
+            let mut improved = false;
+
+            // Pass 1: drop whole lines.
+            let mut i = 0;
+            while i < lines.len() && budget > 0 {
+                let mut cand = lines.clone();
+                cand.remove(i);
+                budget -= 1;
+                if reproduces(&encode(&cand)) {
+                    lines = cand;
+                    improved = true;
+                } else {
+                    i += 1;
+                }
+            }
+
+            // Pass 2: drop `;`-segments inside header-value lines.
+            for i in 0..lines.len() {
+                let Some((prefix, value)) = split_header_line(&lines[i]) else { continue };
+                let mut segs: Vec<String> = value.split(';').map(|s| s.to_string()).collect();
+                let mut j = 0;
+                while segs.len() > 1 && j < segs.len() && budget > 0 {
+                    let mut cand_segs = segs.clone();
+                    cand_segs.remove(j);
+                    let mut cand = lines.clone();
+                    cand[i] = format!("{prefix}:{}", cand_segs.join(";"));
+                    budget -= 1;
+                    if reproduces(&encode(&cand)) {
+                        segs = cand_segs;
+                        lines = cand;
+                        improved = true;
+                    } else {
+                        j += 1;
+                    }
+                }
+            }
+
+            // Pass 3: halve pair values inside segments (one shrink
+            // per line per fixpoint round).
+            for i in 0..lines.len() {
+                let Some((prefix, value)) = split_header_line(&lines[i]) else { continue };
+                let segs: Vec<String> = value.split(';').map(|s| s.to_string()).collect();
+                for (j, seg) in segs.iter().enumerate() {
+                    let Some((n, v)) = seg.split_once('=') else { continue };
+                    if v.len() <= 1 || budget == 0 {
+                        continue;
+                    }
+                    let half = &v[..v.len() / 2];
+                    let mut cand_segs = segs.clone();
+                    cand_segs[j] = format!("{n}={half}");
+                    let mut cand = lines.clone();
+                    cand[i] = format!("{prefix}:{}", cand_segs.join(";"));
+                    budget -= 1;
+                    if reproduces(&encode(&cand)) {
+                        lines = cand;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+
+            if !improved || budget == 0 {
+                break;
+            }
+        }
+        encode(&lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdiff_diff::{run_protocol_campaign, ProtocolCampaignOptions, ReplayBundle};
+
+    #[test]
+    fn campaign_finds_every_divergence_class() {
+        let p = CookieProtocol::standard();
+        let summary =
+            run_protocol_campaign(&p, &ProtocolCampaignOptions::default()).expect("campaign");
+        assert_eq!(summary.protocol, "cookie");
+        assert_eq!(summary.cases, seed_vectors().len());
+        for tag in crate::detect::TAGS {
+            assert!(summary.classes.contains(&tag.to_string()), "{tag}: {:?}", summary.classes);
+        }
+        // ≥3 distinct attack classes among the findings.
+        let classes: std::collections::BTreeSet<_> =
+            summary.findings.iter().map(|f| f.class).collect();
+        assert!(classes.len() >= 3, "{classes:?}");
+    }
+
+    #[test]
+    fn campaign_is_thread_invariant() {
+        let p = CookieProtocol::standard();
+        let base =
+            run_protocol_campaign(&p, &ProtocolCampaignOptions::default()).expect("campaign");
+        for threads in [2, 8] {
+            let t = run_protocol_campaign(
+                &p,
+                &ProtocolCampaignOptions { threads, ..ProtocolCampaignOptions::default() },
+            )
+            .expect("campaign");
+            assert_eq!(base.findings, t.findings, "threads={threads}");
+            assert_eq!(base.classes, t.classes, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn promoted_bundles_are_protocol_keyed_and_replay() {
+        let dir = std::env::temp_dir().join(format!("hdiff-cookie-promote-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = CookieProtocol::standard();
+        let summary = run_protocol_campaign(
+            &p,
+            &ProtocolCampaignOptions { threads: 0, promote_dir: Some(dir.clone()) },
+        )
+        .expect("campaign");
+        assert_eq!(summary.promoted.len(), crate::detect::TAGS.len());
+        for path in &summary.promoted {
+            let bundle = ReplayBundle::load(path).expect("load");
+            assert_eq!(bundle.protocol.as_deref(), Some("cookie"));
+            let report = bundle.replay_protocol(&p);
+            assert!(report.passed(), "{}: {}", path.display(), report.summary());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn minimizer_shrinks_the_kitchen_sink() {
+        let p = CookieProtocol::standard();
+        let seed = seed_vectors().into_iter().find(|s| s.id == "kitchen-sink").unwrap();
+        let bytes = seed.case.to_bytes();
+        let exec = p.execute(42, "cookie:kitchen-sink", &bytes);
+        let target = exec
+            .findings
+            .iter()
+            .find(|f| f.evidence.starts_with("cookie:shadow-precedence:"))
+            .expect("kitchen-sink produces a precedence finding")
+            .clone();
+        let minimized = p.minimize(&bytes, &target);
+        assert!(minimized.len() < bytes.len(), "{}", String::from_utf8_lossy(&minimized));
+        // The target finding survives on the minimized bytes.
+        let again = p.execute(42, "cookie:kitchen-sink", &minimized);
+        assert!(again.findings.iter().any(|f| f.class == target.class
+            && f.front == target.front
+            && f.back == target.back
+            && f.evidence.starts_with("cookie:shadow-precedence:")));
+        // The unrelated lang cookie and $Version line are gone.
+        let text = String::from_utf8_lossy(&minimized);
+        assert!(!text.contains("lang="), "{text}");
+        assert!(!text.contains("$Version"), "{text}");
+    }
+
+    #[test]
+    fn grammar_rides_along() {
+        let p = CookieProtocol::standard();
+        let gs = p.grammars();
+        assert_eq!(gs.len(), 1);
+        assert_eq!(gs[0].0, "rfc6265");
+    }
+}

@@ -52,6 +52,10 @@ pub struct HdiffConfig {
     /// Cases per checkpoint interval (shard workers checkpoint and
     /// heartbeat at this granularity).
     pub checkpoint_every: usize,
+    /// Which workload the campaign runs: `"http"` (the default, the
+    /// full HTTP/1.1 pipeline) or the name of a [`hdiff_diff::Protocol`]
+    /// workload such as `"cookie"`.
+    pub protocol: String,
 }
 
 impl HdiffConfig {
@@ -74,6 +78,7 @@ impl HdiffConfig {
             shards: 0,
             fleet_chaos: 0,
             checkpoint_every: 64,
+            protocol: "http".to_string(),
         }
     }
 
@@ -96,6 +101,7 @@ impl HdiffConfig {
             shards: 0,
             fleet_chaos: 0,
             checkpoint_every: 64,
+            protocol: "http".to_string(),
         }
     }
 
@@ -109,7 +115,7 @@ impl HdiffConfig {
                 "\"mutation_rounds\":{},\"include_catalog\":{},\"seed\":{},\"threads\":{},",
                 "\"max_gen_depth\":{},\"fault_rate\":{},\"coverage_guided\":{},",
                 "\"transport\":\"{}\",\"frontend\":\"{}\",\"telemetry\":{},\"shards\":{},",
-                "\"fleet_chaos\":{},\"checkpoint_every\":{}}}"
+                "\"fleet_chaos\":{},\"checkpoint_every\":{},\"protocol\":\"{}\"}}"
             ),
             self.sr_variants,
             self.abnf_seeds,
@@ -127,6 +133,7 @@ impl HdiffConfig {
             self.shards,
             self.fleet_chaos,
             self.checkpoint_every,
+            self.protocol,
         )
     }
 
@@ -191,6 +198,13 @@ impl HdiffConfig {
             config.frontend =
                 Frontend::parse(s).ok_or_else(|| bad(&format!("unknown config frontend {s:?}")))?;
         }
+        if let Some(v) = root.get("protocol") {
+            let s = v.as_str().ok_or_else(|| bad("config protocol must be a string"))?;
+            if s.is_empty() {
+                return Err(bad("config protocol must not be empty"));
+            }
+            config.protocol = s.to_string();
+        }
         Ok(config)
     }
 }
@@ -227,6 +241,7 @@ mod tests {
         config.shards = 4;
         config.fleet_chaos = 85;
         config.checkpoint_every = 8;
+        config.protocol = "cookie".to_string();
         let parsed = HdiffConfig::from_json(config.to_json().as_bytes()).expect("roundtrip");
         assert_eq!(format!("{config:?}"), format!("{parsed:?}"));
     }
@@ -237,7 +252,10 @@ mod tests {
         assert_eq!(sparse.abnf_seeds, 5);
         assert_eq!(sparse.shards, 2);
         assert_eq!(sparse.checkpoint_every, HdiffConfig::full().checkpoint_every);
+        assert_eq!(sparse.protocol, "http");
         assert!(HdiffConfig::from_json(b"not json").is_err());
+        assert!(HdiffConfig::from_json(b"{\"protocol\":\"\"}").is_err());
+        assert!(HdiffConfig::from_json(b"{\"protocol\":7}").is_err());
         assert!(HdiffConfig::from_json(b"{\"transport\":\"carrier-pigeon\"}").is_err());
         assert!(HdiffConfig::from_json(b"{\"frontend\":\"h3\"}").is_err());
         assert!(HdiffConfig::from_json(b"{\"fault_rate\":700}").is_err());

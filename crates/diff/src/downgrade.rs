@@ -53,6 +53,9 @@ use hdiff_servers::{
 };
 
 use crate::findings::Finding;
+use crate::protocol::{
+    run_protocol_campaign, ProtoCase, ProtoExecution, ProtoView, Protocol, ProtocolCampaignOptions,
+};
 use crate::replay::{Fnv, ReplayBundle};
 use crate::schedule;
 
@@ -739,6 +742,115 @@ pub fn minimize_h2_case(
 }
 
 // ---------------------------------------------------------------------------
+// The Protocol instance
+// ---------------------------------------------------------------------------
+
+/// The h2 downgrade surface as a [`Protocol`] workload: the seed vectors
+/// become the seed corpus, [`DowngradeWorkflow::run_bytes`] +
+/// [`detect_downgrade`] + [`downgrade_digests`] become the execution,
+/// and [`minimize_h2_case`] minimizes at the h2-request level behind the
+/// byte-level trait surface. The sim campaign path *is*
+/// [`run_protocol_campaign`] over this instance — downgrade-specific
+/// code keeps only the detection model, the seeds, and the TCP testbed.
+#[derive(Debug, Clone)]
+pub struct DowngradeProtocol {
+    workflow: DowngradeWorkflow,
+}
+
+impl DowngradeProtocol {
+    /// The standard front×back matrix behind the trait.
+    pub fn standard() -> DowngradeProtocol {
+        DowngradeProtocol { workflow: DowngradeWorkflow::standard() }
+    }
+}
+
+impl Protocol for DowngradeProtocol {
+    fn name(&self) -> &'static str {
+        "h2"
+    }
+
+    fn uuid_base(&self) -> u64 {
+        H2_UUID_BASE
+    }
+
+    fn grammars(&self) -> Vec<(String, hdiff_abnf::Grammar)> {
+        // Binary-framed: the downgrade surface has no ABNF grammar of
+        // its own (the h1 grammar belongs to the http1 workload).
+        Vec::new()
+    }
+
+    fn seed_cases(&self) -> Vec<ProtoCase> {
+        seed_vectors()
+            .into_iter()
+            .map(|v| ProtoCase {
+                id: v.id.to_string(),
+                description: v.description.to_string(),
+                bytes: encode_client_connection(&v.requests, &EncodeOptions::default()),
+            })
+            .collect()
+    }
+
+    fn execute(&self, uuid: u64, origin: &str, bytes: &[u8]) -> ProtoExecution {
+        let outcome = self.workflow.run_bytes(uuid, origin, bytes);
+        let views = outcome
+            .chains
+            .iter()
+            .map(|chain| ProtoView {
+                view: chain.front.clone(),
+                accepted: !chain.outcomes.is_empty()
+                    && chain.forwarded_count == chain.outcomes.len(),
+                status: chain
+                    .outcomes
+                    .iter()
+                    .find_map(|o| o.reject.as_ref().map(|(status, _)| *status))
+                    .unwrap_or(200),
+                metrics: vec![
+                    ("forwarded".to_string(), chain.forwarded_count.to_string()),
+                    ("h1_bytes".to_string(), chain.h1.len().to_string()),
+                ],
+            })
+            .collect();
+        ProtoExecution {
+            views,
+            findings: detect_downgrade(&outcome),
+            digests: downgrade_digests(&outcome),
+        }
+    }
+
+    fn finding_tag(&self, f: &Finding) -> Option<String> {
+        finding_tag(f).map(str::to_string)
+    }
+
+    fn minimize(&self, bytes: &[u8], target: &Finding) -> Vec<u8> {
+        // The structural minimizer works on the parsed request list;
+        // encode(parse(encode(x))) is byte-identical (the h2 codec round
+        // trips), so going through bytes loses nothing.
+        match parse_client_connection(bytes) {
+            Ok(conn) => {
+                let requests: Vec<H2Request> =
+                    conn.requests.into_iter().map(|p| p.request).collect();
+                let minimized = minimize_h2_case(&self.workflow, &requests, target);
+                encode_client_connection(&minimized.requests, &EncodeOptions::default())
+            }
+            Err(_) => bytes.to_vec(),
+        }
+    }
+
+    fn record_bundle(
+        &self,
+        name: &str,
+        description: &str,
+        uuid: u64,
+        origin: &str,
+        bytes: &[u8],
+    ) -> ReplayBundle {
+        // Frontend-keyed h2 bundles, not protocol-keyed ones: promoted
+        // bundles stay byte-identical to the pre-trait campaign's.
+        ReplayBundle::record_h2(name, description, uuid, origin, bytes, &self.workflow)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Campaign
 // ---------------------------------------------------------------------------
 
@@ -772,6 +884,28 @@ pub struct DowngradeSummary {
 /// transport (TCP fronts must reproduce the sim translation byte for
 /// byte).
 pub fn run_downgrade_campaign(opts: &DowngradeCampaignOptions) -> io::Result<DowngradeSummary> {
+    // The in-process path is the generic protocol campaign over the
+    // DowngradeProtocol instance — same fan-out, same corpus-order
+    // merge, same first-per-class promotion, shared with every other
+    // workload. Only the TCP testbed keeps a bespoke body below.
+    if !opts.tcp {
+        let proto = DowngradeProtocol::standard();
+        let summary = run_protocol_campaign(
+            &proto,
+            &ProtocolCampaignOptions {
+                threads: opts.threads,
+                promote_dir: opts.promote_dir.clone(),
+            },
+        )?;
+        hdiff_obs::count("h2.campaign.findings", summary.findings.len() as u64);
+        return Ok(DowngradeSummary {
+            cases: summary.cases,
+            findings: summary.findings,
+            classes: summary.classes,
+            promoted: summary.promoted,
+        });
+    }
+
     let workflow = DowngradeWorkflow::standard();
     let vectors = seed_vectors();
     let cases: Vec<(u64, SeedVector)> =
@@ -781,11 +915,7 @@ pub fn run_downgrade_campaign(opts: &DowngradeCampaignOptions) -> io::Result<Dow
         schedule::run_stealing(&cases, opts.threads.max(1), |(uuid, vector)| {
             let bytes = encode_client_connection(&vector.requests, &EncodeOptions::default());
             let origin = format!("h2:{}", vector.id);
-            let outcome = if opts.tcp {
-                run_downgrade_case_tcp(&workflow, *uuid, &origin, &bytes)?
-            } else {
-                workflow.run_bytes(*uuid, &origin, &bytes)
-            };
+            let outcome = run_downgrade_case_tcp(&workflow, *uuid, &origin, &bytes)?;
             let findings = detect_downgrade(&outcome);
             Ok((outcome, findings))
         });

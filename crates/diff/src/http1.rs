@@ -1,0 +1,232 @@
+//! HTTP/1.1 behind the [`Protocol`] trait.
+//!
+//! The original pipeline (Fig. 6: generate → fan out over profiles →
+//! detect → minimize → freeze) predates the trait and keeps its bespoke
+//! engine — [`Http1Protocol`] packages the same workflow, profile set,
+//! detection models, and minimizer as a [`Protocol`] instance, so the
+//! generic campaign driver can run HTTP/1.1 exactly like any other
+//! workload. Zero behavior change is the design constraint: execution
+//! goes through the same [`Workflow::run_bytes_faulted`] +
+//! [`detect_case_with_oracle`] + [`behavior_digests`] calls the replay
+//! machinery uses, and promoted bundles are classic h1 bundles
+//! (recorded by [`ReplayBundle::record`], no `protocol` key), so they
+//! replay through the existing dispatch unchanged.
+
+use hdiff_gen::AttackClass;
+use hdiff_servers::fault::{FaultInjector, FaultPlan, FaultSession};
+use hdiff_servers::ParserProfile;
+
+use crate::detect::detect_case_with_oracle;
+use crate::findings::Finding;
+use crate::hmetrics::HMetrics;
+use crate::minimize::{FindingContext, MinimizeOptions};
+use crate::protocol::{ProtoCase, ProtoExecution, ProtoView, Protocol};
+use crate::replay::{behavior_digests, ReplayBundle, STEP_BUDGET};
+use crate::syntax::SyntaxOracle;
+use crate::workflow::Workflow;
+
+/// Uuid base for the http1-as-protocol seed corpus (distinct from the
+/// classic pipeline's 1-based uuids, the golden catalog's 9000 range,
+/// the h2 campaign, and the fuzzer).
+pub const H1_UUID_BASE: u64 = 0x4831_0000_0000_0000;
+
+/// HTTP/1.1 as a [`Protocol`] workload: the Table II catalog as the
+/// seed corpus over the standard proxy×backend matrix.
+#[derive(Debug)]
+pub struct Http1Protocol {
+    workflow: Workflow,
+    profiles: Vec<ParserProfile>,
+    /// Syntax oracle for detection annotations, when the caller has the
+    /// adapted grammar (the analyzer lives above this crate, so the
+    /// grammar is injected rather than derived here).
+    oracle: Option<SyntaxOracle>,
+    grammar: Option<hdiff_abnf::Grammar>,
+}
+
+impl Http1Protocol {
+    /// The standard matrix without a syntax oracle.
+    pub fn standard() -> Http1Protocol {
+        Http1Protocol {
+            workflow: Workflow::standard(),
+            profiles: hdiff_servers::products(),
+            oracle: None,
+            grammar: None,
+        }
+    }
+
+    /// Attaches the adapted RFC 723x grammar: exposed via
+    /// [`Protocol::grammars`] and used as the detection-time syntax
+    /// oracle, matching what [`crate::DiffEngine`] does in the pipeline.
+    pub fn with_grammar(mut self, grammar: hdiff_abnf::Grammar) -> Http1Protocol {
+        self.oracle = Some(SyntaxOracle::new(&grammar));
+        self.grammar = Some(grammar);
+        self
+    }
+}
+
+impl Protocol for Http1Protocol {
+    fn name(&self) -> &'static str {
+        "http1"
+    }
+
+    fn uuid_base(&self) -> u64 {
+        H1_UUID_BASE
+    }
+
+    fn grammars(&self) -> Vec<(String, hdiff_abnf::Grammar)> {
+        match &self.grammar {
+            Some(g) => vec![("rfc7230".to_string(), g.clone())],
+            None => Vec::new(),
+        }
+    }
+
+    fn seed_cases(&self) -> Vec<ProtoCase> {
+        let mut cases = Vec::new();
+        for entry in hdiff_gen::catalog::catalog() {
+            let many = entry.requests.len() > 1;
+            for (i, (request, note)) in entry.requests.iter().enumerate() {
+                cases.push(ProtoCase {
+                    id: if many { format!("{}.{i}", entry.id) } else { entry.id.to_string() },
+                    description: format!("{} — {note}", entry.description),
+                    bytes: request.to_bytes(),
+                });
+            }
+        }
+        cases
+    }
+
+    fn execute(&self, uuid: u64, origin: &str, bytes: &[u8]) -> ProtoExecution {
+        // Identical to the replay machinery's execution: fresh disabled
+        // fault session under the fixed step budget.
+        let injector = FaultInjector::new(FaultPlan::disabled());
+        let session = FaultSession::new(&injector, uuid, 0, STEP_BUDGET);
+        let outcome = self.workflow.run_bytes_faulted(uuid, origin, bytes, Some(&session));
+        let views = outcome
+            .direct
+            .iter()
+            .map(|(backend, replies)| {
+                let first = replies.first();
+                let metrics = match first {
+                    None => Vec::new(),
+                    Some(r) => {
+                        let m = HMetrics::from_interpretation(uuid, backend, &r.interpretation);
+                        vec![
+                            ("framing".to_string(), format!("{:?}", m.framing)),
+                            ("consumed".to_string(), m.consumed.to_string()),
+                            ("messages".to_string(), replies.len().to_string()),
+                        ]
+                    }
+                };
+                ProtoView {
+                    view: backend.clone(),
+                    accepted: first.is_some_and(|r| r.interpretation.outcome.is_accept()),
+                    status: first.map_or(0, |r| r.interpretation.outcome.status()),
+                    metrics,
+                }
+            })
+            .collect();
+        let findings = detect_case_with_oracle(&self.profiles, &outcome, self.oracle.as_ref());
+        let digests = behavior_digests(&outcome);
+        ProtoExecution { views, findings, digests }
+    }
+
+    fn finding_tag(&self, f: &Finding) -> Option<String> {
+        Some(
+            match f.class {
+                AttackClass::Hrs => "hrs",
+                AttackClass::Hot => "hot",
+                AttackClass::Cpdos => "cpdos",
+            }
+            .to_string(),
+        )
+    }
+
+    fn minimize(&self, bytes: &[u8], target: &Finding) -> Vec<u8> {
+        let mut ctx = FindingContext::new(&self.workflow, &self.profiles);
+        ctx.oracle = self.oracle.as_ref();
+        ctx.minimize_finding(target, bytes, &MinimizeOptions::default()).bytes
+    }
+
+    fn record_bundle(
+        &self,
+        name: &str,
+        description: &str,
+        uuid: u64,
+        origin: &str,
+        bytes: &[u8],
+    ) -> ReplayBundle {
+        // Classic h1 bundles (no protocol key): they replay through the
+        // existing h1 dispatch, indistinguishable from pipeline output.
+        ReplayBundle::record(
+            name,
+            description,
+            uuid,
+            origin,
+            bytes,
+            None,
+            &self.workflow,
+            &self.profiles,
+            self.oracle.as_ref(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{run_protocol_campaign, ProtocolCampaignOptions};
+
+    #[test]
+    fn execution_matches_the_bespoke_pipeline_path() {
+        // The trait instance must produce byte-identical digests and
+        // findings to a directly recorded bundle for the same bytes —
+        // the zero-behavior-change gate for HTTP/1.1 behind the trait.
+        let p = Http1Protocol::standard();
+        let bytes = b"GET / HTTP/1.1\r\nHost: h1.com\r\nHost: h2.com\r\n\r\n";
+        let exec = p.execute(77, "http1:multiple-host", bytes);
+        let bundle = ReplayBundle::record(
+            "x",
+            "",
+            77,
+            "http1:multiple-host",
+            bytes,
+            None,
+            &Workflow::standard(),
+            &hdiff_servers::products(),
+            None,
+        );
+        assert_eq!(exec.findings, bundle.findings);
+        assert_eq!(exec.digests, bundle.digests);
+        assert_eq!(exec.views.len(), 6, "one view per direct backend");
+        assert!(exec.views.iter().any(|v| v.accepted));
+    }
+
+    #[test]
+    fn campaign_over_the_catalog_finds_all_three_classes() {
+        let p = Http1Protocol::standard();
+        let summary =
+            run_protocol_campaign(&p, &ProtocolCampaignOptions::default()).expect("campaign");
+        assert!(summary.cases >= 14);
+        for class in ["hrs", "hot", "cpdos"] {
+            assert!(summary.classes.contains(&class.to_string()), "{:?}", summary.classes);
+        }
+        // Thread invariance, like every workload behind the driver.
+        let threaded = run_protocol_campaign(
+            &p,
+            &ProtocolCampaignOptions { threads: 4, ..ProtocolCampaignOptions::default() },
+        )
+        .expect("campaign");
+        assert_eq!(summary.findings, threaded.findings);
+    }
+
+    #[test]
+    fn promoted_bundles_are_classic_h1_bundles() {
+        let p = Http1Protocol::standard();
+        let bytes = b"GET / HTTP/1.1\r\nHost: h1.com\r\nHost: h2.com\r\n\r\n";
+        let bundle = p.record_bundle("h1-hot", "dual host", 5, "http1:multiple-host", bytes);
+        assert_eq!(bundle.protocol, None);
+        assert!(!bundle.to_json().contains("protocol"));
+        let report = bundle.replay(&Workflow::standard(), &hdiff_servers::products(), None);
+        assert!(report.passed(), "{}", report.summary());
+    }
+}

@@ -15,6 +15,12 @@
 //!   reconstructed HTTP/1.1 stream diffed against every back end's
 //!   interpretation of it, with its own seed corpus, request-level
 //!   minimizer, campaign driver, and replay-bundle integration.
+//! * [`protocol`] — the protocol-generic campaign core: the [`Protocol`]
+//!   trait (grammars + seed corpus + execution + detection + minimize)
+//!   and the shared deterministic campaign driver every workload runs
+//!   through. [`http1`] puts HTTP/1.1 behind the trait; [`downgrade`]'s
+//!   `DowngradeProtocol` does the same for the h2 surface; the cookie
+//!   workload (`hdiff-cookie`) is the first non-HTTP instance.
 //! * [`srcheck`] — single-implementation SR-assertion checking.
 //! * [`syntax`] — the grammar-conformance oracle over the compiled ABNF
 //!   matcher, annotating findings with per-view validity verdicts.
@@ -31,8 +37,10 @@ pub mod detect;
 pub mod downgrade;
 pub mod findings;
 pub mod hmetrics;
+pub mod http1;
 pub mod json;
 pub mod minimize;
+pub mod protocol;
 pub mod replay;
 pub mod runner;
 pub mod schedule;
@@ -50,15 +58,20 @@ pub use detect::{detect_case, detect_case_with_oracle, detect_degradation, Degra
 pub use downgrade::{
     detect_downgrade, downgrade_digests, finding_tag, minimize_h2_case, regen_h2_golden,
     run_downgrade_campaign, run_downgrade_case_tcp, seed_vectors, DowngradeCampaignOptions,
-    DowngradeCaseOutcome, DowngradeChain, DowngradeSummary, DowngradeWorkflow, Frontend,
-    H2Minimized, SeedVector, H2_UUID_BASE,
+    DowngradeCaseOutcome, DowngradeChain, DowngradeProtocol, DowngradeSummary, DowngradeWorkflow,
+    Frontend, H2Minimized, SeedVector, H2_UUID_BASE,
 };
 pub use findings::Finding;
 pub use hmetrics::HMetrics;
+pub use http1::{Http1Protocol, H1_UUID_BASE};
 pub use minimize::{
     ddmin_items, minimize, FindingContext, MinimizeOptions, MinimizeStats, Minimized,
 };
-pub use replay::{ReplayBundle, ReplayReport};
+pub use protocol::{
+    run_protocol_campaign, ProtoCase, ProtoExecution, ProtoView, Protocol, ProtocolCampaignOptions,
+    ProtocolSummary,
+};
+pub use replay::{Fnv, ReplayBundle, ReplayReport};
 pub use runner::{
     CaseError, CaseRecord, ChunkProgress, DiffEngine, ProgressHook, RunSummary, RunTelemetry,
 };

@@ -72,6 +72,12 @@ pub struct ReplayBundle {
     /// whole h2 client connection and replay through the downgrade
     /// matrix ([`crate::downgrade::DowngradeWorkflow`]).
     pub frontend: Frontend,
+    /// Name of the [`crate::protocol::Protocol`] workload that recorded
+    /// the bundle, for non-HTTP workloads (e.g. `"cookie"`). `None` (key
+    /// absent on disk — the h1/h2 corpora are untouched) replays through
+    /// the HTTP dispatch above; `Some` bundles must be routed to their
+    /// workload via [`ReplayBundle::replay_protocol`].
+    pub protocol: Option<String>,
 }
 
 /// The outcome of replaying one bundle.
@@ -137,6 +143,7 @@ impl ReplayBundle {
             digests: digests_of(&outcome),
             transport: Transport::Sim,
             frontend: Frontend::H1,
+            protocol: None,
         }
     }
 
@@ -163,6 +170,7 @@ impl ReplayBundle {
             digests: downgrade_digests(&outcome),
             transport: Transport::Sim,
             frontend: Frontend::H2,
+            protocol: None,
         }
     }
 
@@ -176,6 +184,18 @@ impl ReplayBundle {
         profiles: &[ParserProfile],
         oracle: Option<&SyntaxOracle>,
     ) -> ReplayReport {
+        // Protocol-keyed bundles (cookie, …) cannot be resolved at this
+        // layer — the workload crates sit above hdiff-diff. The caller
+        // must route them via `replay_protocol`; misrouting here is
+        // reported as a failure, never a silent mis-execution.
+        if let Some(protocol) = &self.protocol {
+            return ReplayReport {
+                bundle: self.name.clone(),
+                missing: self.findings.clone(),
+                unexpected: Vec::new(),
+                drifted: vec![format!("protocol:{protocol}:unrouted")],
+            };
+        }
         let (findings, actual) = match self.frontend {
             Frontend::H1 => {
                 let (outcome, findings) = execute(
@@ -260,6 +280,12 @@ impl ReplayBundle {
             out.push_str(",\"frontend\":");
             push_json_str(&mut out, self.frontend.as_str());
         }
+        // And again: HTTP bundles carry no protocol key, so the golden
+        // corpora predate-and-survive the protocol-generic core.
+        if let Some(protocol) = &self.protocol {
+            out.push_str(",\"protocol\":");
+            push_json_str(&mut out, protocol);
+        }
         out.push_str("}\n");
         out
     }
@@ -313,6 +339,12 @@ impl ReplayBundle {
                 v.as_str().and_then(Frontend::parse).ok_or_else(|| data_err("bundle frontend"))?
             }
         };
+        let protocol = match root.get("protocol") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str().ok_or_else(|| data_err("bundle protocol must be a string"))?.to_string(),
+            ),
+        };
         Ok(ReplayBundle {
             name: string("name")?,
             description: string("description")?,
@@ -330,6 +362,7 @@ impl ReplayBundle {
             digests,
             transport,
             frontend,
+            protocol,
         })
     }
 
@@ -348,7 +381,7 @@ impl ReplayBundle {
 
 /// Labels whose digest drifted between the recorded and replayed views
 /// (changed value, vanished, or newly appeared).
-fn diff_digests(expected: &[(String, u64)], actual: &[(String, u64)]) -> Vec<String> {
+pub(crate) fn diff_digests(expected: &[(String, u64)], actual: &[(String, u64)]) -> Vec<String> {
     let mut drifted: Vec<String> = Vec::new();
     for (label, want) in expected {
         match actual.iter().find(|(l, _)| l == label) {
@@ -489,17 +522,22 @@ fn execute(
 // HMetrics digests
 // ---------------------------------------------------------------------------
 
-/// FNV-1a 64 running hash (shared with the downgrade digests in
-/// [`crate::downgrade`]).
+/// FNV-1a 64 running hash: the one digest primitive every workload's
+/// behavior digests build on (h1 `direct:`/`proxy:` views, the h2
+/// downgrade chains, the cookie workload's per-profile jars), so digests
+/// stay comparable across record/replay no matter which crate computed
+/// them.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct Fnv(pub(crate) u64);
+pub struct Fnv(pub u64);
 
 impl Fnv {
-    pub(crate) fn new() -> Fnv {
+    /// A fresh hash at the FNV-1a 64 offset basis.
+    pub fn new() -> Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    pub(crate) fn write(&mut self, bytes: &[u8]) {
+    /// Hashes a byte string, length-separated.
+    pub fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
@@ -508,11 +546,18 @@ impl Fnv {
         self.write_u64(bytes.len() as u64);
     }
 
-    pub(crate) fn write_u64(&mut self, v: u64) {
+    /// Hashes a u64 (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv::new()
     }
 }
 

@@ -22,16 +22,38 @@ pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_millis(500);
 pub const IO_TIMEOUT_ENV: &str = "HDIFF_NET_TIMEOUT_MS";
 
 /// The process-wide read/write timeout for testbed sockets.
+///
+/// An unparseable or non-positive value is *not* silently ignored: the
+/// OnceLock caches whatever the first read decides for the life of the
+/// process, so a typo'd env var would otherwise pin a fleet run to the
+/// 500ms default with no trace. The rejection is reported once on
+/// stderr, naming the value.
 pub fn io_timeout() -> Duration {
     static CACHED: OnceLock<Duration> = OnceLock::new();
     *CACHED.get_or_init(|| {
-        std::env::var(IO_TIMEOUT_ENV)
-            .ok()
-            .and_then(|ms| ms.trim().parse::<u64>().ok())
-            .filter(|ms| *ms > 0)
-            .map(Duration::from_millis)
-            .unwrap_or(DEFAULT_IO_TIMEOUT)
+        let (timeout, rejected) = resolve(std::env::var(IO_TIMEOUT_ENV).ok());
+        if let Some(value) = rejected {
+            eprintln!(
+                "hdiff: ignoring invalid {IO_TIMEOUT_ENV}={value:?} \
+                 (want a positive integer of milliseconds); \
+                 using the {}ms default",
+                DEFAULT_IO_TIMEOUT.as_millis()
+            );
+        }
+        timeout
     })
+}
+
+/// Resolves the env-var override: the timeout to use plus the rejected
+/// raw value, if the variable was set but not a positive integer.
+fn resolve(var: Option<String>) -> (Duration, Option<String>) {
+    match var {
+        None => (DEFAULT_IO_TIMEOUT, None),
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => (Duration::from_millis(ms), None),
+            _ => (DEFAULT_IO_TIMEOUT, Some(raw)),
+        },
+    }
 }
 
 /// How long a client read waits to *observe* an injected stall: a
@@ -56,5 +78,17 @@ mod tests {
     #[test]
     fn default_matches_the_historical_hardcoded_value() {
         assert_eq!(DEFAULT_IO_TIMEOUT, Duration::from_millis(500));
+    }
+
+    #[test]
+    fn resolve_accepts_positive_integers_and_flags_everything_else() {
+        assert_eq!(resolve(None), (DEFAULT_IO_TIMEOUT, None));
+        assert_eq!(resolve(Some("750".into())), (Duration::from_millis(750), None));
+        assert_eq!(resolve(Some(" 250 ".into())), (Duration::from_millis(250), None));
+        for bad in ["0", "-5", "500ms", "fast", "", "1.5"] {
+            let (timeout, rejected) = resolve(Some(bad.to_string()));
+            assert_eq!(timeout, DEFAULT_IO_TIMEOUT, "{bad:?}");
+            assert_eq!(rejected.as_deref(), Some(bad), "{bad:?} must be reported");
+        }
     }
 }

@@ -490,11 +490,20 @@ fn decide_framing(
         let raw = f.field.value();
         let parsed = match profile.cl_value {
             ClValuePolicy::Strict => {
-                // A comma list of identical values is the RFC recovery case.
+                // A comma list of identical values is the RFC recovery
+                // case — identical meaning identical *member bytes*, not
+                // merely equal parsed numbers: `10, 010` is a byte-level
+                // disagreement some real servers reject, and comparing
+                // parsed values here would silently collapse it.
                 let mut vals = Vec::new();
+                let mut members: Vec<&[u8]> = Vec::new();
                 for part in raw.split(|&b| b == b',') {
-                    match ascii::parse_dec_strict(ascii::trim_ows(part)) {
-                        Some(v) => vals.push(v),
+                    let member = ascii::trim_ows(part);
+                    match ascii::parse_dec_strict(member) {
+                        Some(v) => {
+                            vals.push(v);
+                            members.push(member);
+                        }
                         None => {
                             return Err((
                                 400,
@@ -506,7 +515,7 @@ fn decide_framing(
                         }
                     }
                 }
-                if vals.windows(2).any(|w| w[0] != w[1]) {
+                if members.windows(2).any(|w| w[0] != w[1]) {
                     return Err((400, "differing content-length list values".to_string()));
                 }
                 vals[0]
@@ -516,6 +525,20 @@ fn decide_framing(
                     if ascii::parse_dec_strict(raw).is_none() {
                         notes.push(format!(
                             "leniently parsed content-length {:?} as {v}",
+                            String::from_utf8_lossy(raw)
+                        ));
+                    }
+                    // List members that agree numerically but differ in
+                    // spelling (`10, 010`): accepted, but the repair is
+                    // recorded so the divergence stays observable.
+                    let members: Vec<&[u8]> =
+                        raw.split(|&b| b == b',').map(ascii::trim_ows).collect();
+                    if members.len() > 1
+                        && members.iter().all(|m| ascii::parse_dec_lenient(m) == Some(v))
+                        && members.windows(2).any(|w| w[0] != w[1])
+                    {
+                        notes.push(format!(
+                            "content-length list members differ textually {:?}",
                             String::from_utf8_lossy(raw)
                         ));
                     }
@@ -718,6 +741,49 @@ mod tests {
         let i = interpret(&lenient, msg);
         assert!(i.outcome.is_accept());
         assert_eq!(i.body, b"abcdef");
+    }
+
+    #[test]
+    fn strict_cl_list_compares_member_bytes_not_values() {
+        // Both members parse to 10, but the bytes disagree: strict must
+        // reject rather than collapse the disagreement.
+        let differ = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 10, 010\r\n\r\n0123456789";
+        let i = interpret(&strict(), differ);
+        assert_eq!(i.outcome.status(), 400);
+        assert!(
+            matches!(&i.outcome, Outcome::Reject { reason, .. }
+                if reason.contains("differing content-length list values")),
+            "{:?}",
+            i.outcome
+        );
+
+        // Byte-identical members remain the accepted RFC recovery case.
+        let same = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 10, 10\r\n\r\n0123456789";
+        let i = interpret(&strict(), same);
+        assert!(i.outcome.is_accept(), "{:?}", i.outcome);
+        assert_eq!(i.framing, FramingChoice::ContentLength(10));
+        assert!(i.notes.iter().all(|n| !n.contains("differ textually")), "{:?}", i.notes);
+    }
+
+    #[test]
+    fn lenient_cl_list_records_textual_disagreement() {
+        let differ = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 10, 010\r\n\r\n0123456789";
+        let mut lenient = strict();
+        lenient.cl_value = ClValuePolicy::Lenient;
+        let i = interpret(&lenient, differ);
+        assert!(i.outcome.is_accept(), "{:?}", i.outcome);
+        assert_eq!(i.framing, FramingChoice::ContentLength(10));
+        assert!(
+            i.notes.iter().any(|n| n.contains("differ textually")),
+            "expected a repair note, got {:?}",
+            i.notes
+        );
+
+        // Identical spellings carry no such note.
+        let same = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 10, 10\r\n\r\n0123456789";
+        let i = interpret(&lenient, same);
+        assert!(i.outcome.is_accept());
+        assert!(i.notes.iter().all(|n| !n.contains("differ textually")), "{:?}", i.notes);
     }
 
     #[test]

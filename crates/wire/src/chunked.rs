@@ -68,6 +68,8 @@ pub enum ChunkedError {
     InvalidSize(Vec<u8>),
     /// Chunk-size overflowed under [`OverflowBehavior::Reject`].
     SizeOverflow(Vec<u8>),
+    /// A chunk-ext did not match RFC 7230 §4.1.1 syntax.
+    InvalidExtension(Vec<u8>),
     /// Body ended before the declared chunk data (plus CRLF) arrived.
     Truncated,
     /// Chunk data was not followed by CRLF.
@@ -84,6 +86,9 @@ impl fmt::Display for ChunkedError {
             }
             ChunkedError::SizeOverflow(s) => {
                 write!(f, "chunk size overflow {:?}", ascii::escape_bytes(s))
+            }
+            ChunkedError::InvalidExtension(s) => {
+                write!(f, "invalid chunk extension {:?}", ascii::escape_bytes(s))
             }
             ChunkedError::Truncated => f.write_str("chunked body truncated"),
             ChunkedError::MissingDataCrlf => f.write_str("chunk data not terminated by crlf"),
@@ -152,10 +157,13 @@ pub fn decode_chunked(
         let line = &input[pos..pos + line_end];
         pos += line_end + 2;
 
-        // chunk-ext: everything after ';' is ignored (RFC-conformant).
-        let size_part = match line.iter().position(|&b| b == b';') {
-            Some(i) => &line[..i],
-            None => line,
+        // chunk-ext: never contributes to the payload, but a conformant
+        // recipient still has to *parse* it (RFC 7230 §4.1.1), so strict
+        // decoding validates the ext syntax instead of discarding the
+        // tail of the line unseen.
+        let (size_part, ext) = match line.iter().position(|&b| b == b';') {
+            Some(i) => (&line[..i], Some(&line[i..])),
+            None => (line, None),
         };
         let mut size_part = ascii::trim_ows(size_part);
         if opts.allow_0x_prefix {
@@ -166,6 +174,18 @@ pub fn decode_chunked(
         }
 
         let size = parse_size(size_part, opts, input.len() - pos, &mut repaired)?;
+
+        if let Some(ext) = ext {
+            if !valid_chunk_ext(ext) {
+                if opts.stop_at_invalid_digit {
+                    // The same leniency that reads `5;ext` as 5 repairs a
+                    // malformed ext by ignoring it.
+                    repaired = true;
+                } else {
+                    return Err(ChunkedError::InvalidExtension(line.to_vec()));
+                }
+            }
+        }
 
         if size == 0 {
             // Trailer section: zero or more header lines, then empty line.
@@ -212,6 +232,80 @@ pub fn decode_chunked(
         }
         pos += 2;
     }
+}
+
+/// Validates a chunk-ext per RFC 7230 §4.1.1 (with the errata-permitted
+/// BWS): `*( BWS ";" BWS chunk-ext-name [ BWS "=" BWS chunk-ext-val ] )`
+/// where `chunk-ext-name` is a token and `chunk-ext-val` a token or
+/// quoted-string. `s` starts at the first `;` of the line; trailing BWS
+/// is tolerated, mirroring the OWS trim on the size side.
+fn valid_chunk_ext(mut s: &[u8]) -> bool {
+    loop {
+        s = skip_bws(s);
+        if s.is_empty() {
+            return true;
+        }
+        if s[0] != b';' {
+            return false;
+        }
+        s = skip_bws(&s[1..]);
+        let name_len = token_len(s);
+        if name_len == 0 {
+            return false;
+        }
+        s = &s[name_len..];
+        let after_name = skip_bws(s);
+        if after_name.first() == Some(&b'=') {
+            s = skip_bws(&after_name[1..]);
+            if s.first() == Some(&b'"') {
+                match quoted_string_len(s) {
+                    Some(n) => s = &s[n..],
+                    None => return false,
+                }
+            } else {
+                let val_len = token_len(s);
+                if val_len == 0 {
+                    return false;
+                }
+                s = &s[val_len..];
+            }
+        }
+    }
+}
+
+fn skip_bws(s: &[u8]) -> &[u8] {
+    let n = s.iter().take_while(|&&b| b == b' ' || b == b'\t').count();
+    &s[n..]
+}
+
+fn token_len(s: &[u8]) -> usize {
+    s.iter().take_while(|&&b| ascii::is_tchar(b)).count()
+}
+
+/// Length of a quoted-string starting at `s[0] == '"'`, or `None` if it
+/// is unterminated or contains a byte outside qdtext / quoted-pair.
+fn quoted_string_len(s: &[u8]) -> Option<usize> {
+    let mut i = 1;
+    while i < s.len() {
+        match s[i] {
+            b'"' => return Some(i + 1),
+            b'\\' => {
+                let escaped = *s.get(i + 1)?;
+                let ok = escaped == b'\t'
+                    || escaped == b' '
+                    || (0x21..=0x7e).contains(&escaped)
+                    || escaped >= 0x80;
+                if !ok {
+                    return None;
+                }
+                i += 2;
+            }
+            b'\t' | b' ' => i += 1,
+            c if (0x21..=0x7e).contains(&c) || c >= 0x80 => i += 1,
+            _ => return None,
+        }
+    }
+    None
 }
 
 fn strip_0x(s: &[u8]) -> Option<&[u8]> {
@@ -293,6 +387,60 @@ mod tests {
             decode_chunked(b"3;name=val\r\nabc\r\n0\r\n\r\n", &ChunkedDecodeOptions::strict())
                 .unwrap();
         assert_eq!(dec.payload, b"abc");
+        assert!(!dec.repaired);
+    }
+
+    #[test]
+    fn strict_accepts_wellformed_ext_unrepaired() {
+        let opts = ChunkedDecodeOptions::strict();
+        for body in [
+            &b"3;ext=1\r\nabc\r\n0\r\n\r\n"[..],
+            b"3;name\r\nabc\r\n0\r\n\r\n",
+            b"3;a=1;b=2;c\r\nabc\r\n0\r\n\r\n",
+            b"3;q=\"quoted val\"\r\nabc\r\n0\r\n\r\n",
+            b"3;q=\"esc\\\"aped\"\r\nabc\r\n0\r\n\r\n",
+            b"3 ; a = 1 ; b\r\nabc\r\n0\r\n\r\n",
+            b"3\r\nabc\r\n0;last=ext\r\n\r\n",
+        ] {
+            let dec = decode_chunked(body, &opts)
+                .unwrap_or_else(|e| panic!("{:?}: {e}", ascii::escape_bytes(body)));
+            assert_eq!(dec.payload, b"abc", "{:?}", ascii::escape_bytes(body));
+            assert!(!dec.repaired, "{:?}", ascii::escape_bytes(body));
+        }
+    }
+
+    #[test]
+    fn strict_rejects_malformed_ext() {
+        let opts = ChunkedDecodeOptions::strict();
+        for body in [
+            &b"3;\r\nabc\r\n0\r\n\r\n"[..],
+            b"3;=v\r\nabc\r\n0\r\n\r\n",
+            b"3;a==\r\nabc\r\n0\r\n\r\n",
+            b"3;a=\r\nabc\r\n0\r\n\r\n",
+            b"3;a b\r\nabc\r\n0\r\n\r\n",
+            b"3;a=\"unterminated\r\nabc\r\n0\r\n\r\n",
+            b"3;a=\"bad\x01byte\"\r\nabc\r\n0\r\n\r\n",
+            b"3;;\r\nabc\r\n0\r\n\r\n",
+        ] {
+            let err =
+                decode_chunked(body, &opts).expect_err(&format!("{:?}", ascii::escape_bytes(body)));
+            assert!(
+                matches!(err, ChunkedError::InvalidExtension(_)),
+                "{:?}: {err}",
+                ascii::escape_bytes(body)
+            );
+        }
+    }
+
+    #[test]
+    fn lenient_digit_stop_repairs_malformed_ext() {
+        let opts =
+            ChunkedDecodeOptions { stop_at_invalid_digit: true, ..ChunkedDecodeOptions::strict() };
+        let dec = decode_chunked(b"3;=junk;;\r\nabc\r\n0\r\n\r\n", &opts).unwrap();
+        assert_eq!(dec.payload, b"abc");
+        assert!(dec.repaired);
+        // Well-formed ext stays unrepaired even on the lenient path.
+        let dec = decode_chunked(b"3;ext=1\r\nabc\r\n0\r\n\r\n", &opts).unwrap();
         assert!(!dec.repaired);
     }
 

@@ -102,6 +102,75 @@ proptest! {
         }
     }
 
+    /// Any well-formed chunk-ext — token names, token or quoted-string
+    /// values, BWS sprinkled at every errata-permitted position — is
+    /// accepted by the strict decoder without setting the repair flag,
+    /// and never leaks into the payload.
+    #[test]
+    fn strict_accepts_arbitrary_wellformed_chunk_ext_unrepaired(
+        payload in proptest::collection::vec(any::<u8>(), 1..60),
+        names in proptest::collection::vec("[A-Za-z0-9!#$%&'*+.^_|~-]{1,8}", 1..5),
+        vals in proptest::collection::vec("[A-Za-z0-9._-]{1,8}", 5),
+        quoted in proptest::collection::vec("[A-Za-z0-9 \t;=,]{0,10}", 5),
+        kinds in proptest::collection::vec(0u8..3, 5),
+        pads in proptest::collection::vec("[ \t]{0,2}", 16),
+    ) {
+        let pad = |i: usize| pads[i % pads.len()].as_str();
+        let mut ext = String::new();
+        for (i, name) in names.iter().enumerate() {
+            ext.push_str(pad(4 * i));
+            ext.push(';');
+            ext.push_str(pad(4 * i + 1));
+            ext.push_str(name);
+            match kinds[i % kinds.len()] {
+                0 => {}
+                k => {
+                    ext.push_str(pad(4 * i + 2));
+                    ext.push('=');
+                    ext.push_str(pad(4 * i + 3));
+                    if k == 1 {
+                        ext.push_str(&vals[i % vals.len()]);
+                    } else {
+                        ext.push('"');
+                        ext.push_str(&quoted[i % quoted.len()]);
+                        ext.push('"');
+                    }
+                }
+            }
+        }
+        let mut body = format!("{:x}{ext}\r\n", payload.len()).into_bytes();
+        body.extend_from_slice(&payload);
+        body.extend_from_slice(b"\r\n0\r\n\r\n");
+        let dec = decode_chunked(&body, &ChunkedDecodeOptions::strict()).unwrap();
+        prop_assert_eq!(&dec.payload, &payload);
+        prop_assert_eq!(dec.consumed, body.len());
+        prop_assert!(!dec.repaired, "ext {:?} marked repaired", ext);
+    }
+
+    /// A chunk-ext whose second member starts with a delimiter instead
+    /// of a token is rejected by the strict decoder as an invalid
+    /// extension — and the `stop_at_invalid_digit` leniency that ignores
+    /// the ext instead always marks the result repaired.
+    #[test]
+    fn strict_rejects_malformed_chunk_ext_and_leniency_marks_repair(
+        name in "[A-Za-z0-9]{1,6}",
+        bad in "[;=@,()\\[\\]\"]{1,4}",
+        data in proptest::collection::vec(any::<u8>(), 0..20),
+    ) {
+        let mut body = format!("{:x};{name};{bad}\r\n", data.len()).into_bytes();
+        body.extend_from_slice(&data);
+        body.extend_from_slice(b"\r\n0\r\n\r\n");
+        let err = decode_chunked(&body, &ChunkedDecodeOptions::strict()).unwrap_err();
+        prop_assert!(matches!(err, ChunkedError::InvalidExtension(_)), "{err:?}");
+        let lenient = ChunkedDecodeOptions {
+            stop_at_invalid_digit: true,
+            ..ChunkedDecodeOptions::strict()
+        };
+        let dec = decode_chunked(&body, &lenient).unwrap();
+        prop_assert_eq!(&dec.payload, &data);
+        prop_assert!(dec.repaired, "ignored malformed ext must be marked repaired");
+    }
+
     /// Encoding is compositional with itself: decoding a multi-chunk
     /// encoding equals decoding the single-chunk encoding of the same
     /// payload.

@@ -12,6 +12,7 @@ pub use hdiff_core::*;
 
 pub use hdiff_abnf as abnf;
 pub use hdiff_analyzer as analyzer;
+pub use hdiff_cookie as cookie;
 pub use hdiff_corpus as corpus;
 pub use hdiff_diff as diff;
 pub use hdiff_fleet as fleet;

@@ -16,6 +16,8 @@
 //! hdiff golden regen <dir>   rebuild the minimized golden bundle corpus
 //! hdiff run --frontend h2    downgrade-desync campaign: h2 seed vectors
 //!                            through the downgrade front ends
+//! hdiff run --protocol cookie  RFC 6265 cookie workload through the
+//!                            generic protocol campaign driver
 //! hdiff probe --frontend h2 <host:port>   sweep the h2 seed corpus
 //!                            against a live h2c endpoint
 //! hdiff golden regen-h2 <dir> rebuild the golden h2 downgrade bundles
@@ -103,6 +105,24 @@ fn main() -> ExitCode {
     if let Some(f) = frontend {
         config.frontend = f;
     }
+    match flag_value::<String>(&args, "--protocol") {
+        Ok(Some(name)) => {
+            if name != "http" && protocol_by_name(&name).is_none() {
+                eprintln!("--protocol: unknown workload {name:?} (expected: http, cookie)");
+                return ExitCode::FAILURE;
+            }
+            config.protocol = name;
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if config.protocol != "http" && config.frontend == hdiff::diff::Frontend::H2 {
+        eprintln!("--protocol {} does not combine with --frontend h2", config.protocol);
+        return ExitCode::FAILURE;
+    }
     if args.iter().any(|a| a == "--no-telemetry") {
         config.telemetry = false;
     }
@@ -154,6 +174,7 @@ fn main() -> ExitCode {
     match command {
         "worker" => run_worker_cli(&args),
         "run" if config.frontend == hdiff::diff::Frontend::H2 => run_downgrade_cli(&args, &config),
+        "run" if config.protocol != "http" => run_protocol_cli(&args, &config),
         "run" => {
             let r = run_pipeline(config, &sinks);
             println!("{}", report::render_stats(&r));
@@ -357,6 +378,9 @@ fn print_help() {
          \x20                  with pooled keep-alive connections)\n\
          \x20 --frontend F     campaign client protocol: `h1` (default) or\n\
          \x20                  `h2` (HTTP/2 into the downgrade front ends)\n\
+         \x20 --protocol P     campaign workload: `http` (default, the full\n\
+         \x20                  pipeline) or `cookie` (RFC 6265 profiles\n\
+         \x20                  through the generic protocol driver)\n\
          \x20 --no-telemetry   skip span/counter/histogram collection\n\
          \x20 --summary-out F  write the machine-readable summary JSON to F\n\
          \x20 --trace-out F    record raw events, write JSONL trace to F\n\n\
@@ -378,6 +402,9 @@ fn print_help() {
          \x20 golden regen-h2 <dir>  rebuild the golden h2 downgrade bundles\n\
          \x20 run --frontend h2   downgrade-desync campaign over the h2 seed\n\
          \x20                  vectors [--promote-dir D] [--min-classes N]\n\
+         \x20 run --protocol cookie  cookie workload campaign over the RFC\n\
+         \x20                  6265 profile matrix [--promote-dir D]\n\
+         \x20                  [--min-classes N]\n\
          \x20 fuzz [...]       coverage-guided fuzzing over connection streams:\n\
          \x20                  [--seconds N | --iters N] [--seed S]\n\
          \x20                  [--promote-dir D] [--seed-corpus D] [--min-novel N]\n\n\
@@ -422,10 +449,26 @@ fn replay(path: &Path, transport: Option<hdiff::diff::Transport>) -> ExitCode {
     for p in paths {
         match ReplayBundle::load(&p) {
             Ok(mut bundle) => {
-                if let Some(t) = transport {
-                    bundle.transport = t;
-                }
-                let report = bundle.replay(&workflow, &profiles, None);
+                // Protocol-keyed bundles route back to the workload that
+                // recorded them; classic bundles replay through the h1/h2
+                // machinery (honoring a --transport override).
+                let report = if let Some(name) = bundle.protocol.clone() {
+                    match protocol_by_name(&name) {
+                        Some(proto) => bundle.replay_protocol(proto.as_ref()),
+                        None => {
+                            eprintln!(
+                                "cannot replay {}: unknown protocol workload {name:?}",
+                                p.display()
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    if let Some(t) = transport {
+                        bundle.transport = t;
+                    }
+                    bundle.replay(&workflow, &profiles, None)
+                };
                 reports.push((p, report));
             }
             Err(e) => {
@@ -587,6 +630,76 @@ fn run_downgrade_cli(args: &[String], config: &HdiffConfig) -> ExitCode {
     if summary.classes.len() < min_classes {
         eprintln!(
             "downgrade campaign detected {} class(es), expected at least {min_classes}",
+            summary.classes.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Resolves a named [`hdiff::diff::Protocol`] workload. `"http"` is not
+/// listed here: it runs through the full bespoke pipeline (analyzer,
+/// generator, fault campaign), not the generic driver.
+fn protocol_by_name(name: &str) -> Option<Box<dyn hdiff::diff::Protocol>> {
+    match name {
+        "cookie" => Some(Box::new(hdiff::cookie::CookieProtocol::standard())),
+        _ => None,
+    }
+}
+
+/// `hdiff run --protocol <name>` — a protocol workload campaign through
+/// the generic driver: the workload's seed corpus fans out over its
+/// behavioral profile matrix, findings merge deterministically, and with
+/// `--promote-dir` the first finding of each divergence class is
+/// minimized and frozen as a protocol-keyed replay bundle. With
+/// `--min-classes N`, exits nonzero unless at least N distinct classes
+/// were detected (the CI gate).
+fn run_protocol_cli(args: &[String], config: &HdiffConfig) -> ExitCode {
+    use hdiff::diff::{run_protocol_campaign, ProtocolCampaignOptions, Transport};
+
+    let (promote_dir, min_classes) = match (
+        flag_value::<String>(args, "--promote-dir"),
+        flag_value::<usize>(args, "--min-classes"),
+    ) {
+        (Ok(d), Ok(m)) => (d, m.unwrap_or(0)),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if config.transport != Transport::Sim {
+        eprintln!("--protocol {} runs over --transport sim", config.protocol);
+        return ExitCode::FAILURE;
+    }
+    let Some(protocol) = protocol_by_name(&config.protocol) else {
+        eprintln!("unknown protocol workload {:?}", config.protocol);
+        return ExitCode::FAILURE;
+    };
+    let opts = ProtocolCampaignOptions {
+        threads: config.threads,
+        promote_dir: promote_dir.map(Into::into),
+    };
+    let summary = match run_protocol_campaign(protocol.as_ref(), &opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{} campaign failed: {e}", config.protocol);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("== {} campaign (generic protocol driver, sim transport) ==", summary.protocol);
+    println!("cases    : {}", summary.cases);
+    println!("findings : {}", summary.findings.len());
+    for f in &summary.findings {
+        println!("  {f}");
+    }
+    println!("classes  : {} ({})", summary.classes.len(), summary.classes.join(", "));
+    for p in &summary.promoted {
+        println!("promoted : {}", p.display());
+    }
+    if summary.classes.len() < min_classes {
+        eprintln!(
+            "{} campaign detected {} class(es), expected at least {min_classes}",
+            summary.protocol,
             summary.classes.len()
         );
         return ExitCode::FAILURE;

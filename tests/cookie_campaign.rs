@@ -1,0 +1,62 @@
+//! End-to-end gate for the cookie workload behind the protocol-generic
+//! campaign core: same seed corpus ⇒ identical findings regardless of
+//! worker count, promoted bundles are protocol-keyed and re-verify via
+//! `replay_protocol`, and a misrouted classic replay fails loudly
+//! instead of silently mis-executing.
+
+use hdiff::cookie::CookieProtocol;
+use hdiff::diff::{
+    run_protocol_campaign, Protocol, ProtocolCampaignOptions, ReplayBundle, Workflow,
+};
+
+#[test]
+fn cookie_campaign_is_deterministic_across_thread_counts() {
+    let p = CookieProtocol::standard();
+    let base = run_protocol_campaign(&p, &ProtocolCampaignOptions::default()).unwrap();
+    assert!(base.classes.len() >= 3, "want ≥3 divergence classes, got {:?}", base.classes);
+    for threads in [1, 2, 8] {
+        let run = run_protocol_campaign(
+            &p,
+            &ProtocolCampaignOptions { threads, ..ProtocolCampaignOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(run.cases, base.cases, "threads={threads}");
+        assert_eq!(run.findings, base.findings, "threads={threads}");
+        assert_eq!(run.classes, base.classes, "threads={threads}");
+    }
+}
+
+#[test]
+fn promoted_cookie_bundles_replay_and_refuse_the_classic_path() {
+    let dir = std::env::temp_dir().join(format!("hdiff-cookie-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let p = CookieProtocol::standard();
+    let summary = run_protocol_campaign(
+        &p,
+        &ProtocolCampaignOptions { threads: 0, promote_dir: Some(dir.clone()) },
+    )
+    .unwrap();
+    assert!(summary.promoted.len() >= 3, "{:?}", summary.promoted);
+
+    let workflow = Workflow::standard();
+    let profiles = hdiff::servers::products();
+    for path in &summary.promoted {
+        let bundle = ReplayBundle::load(path).unwrap();
+        assert_eq!(bundle.protocol.as_deref(), Some(p.name()));
+
+        // Routed correctly, the minimized case still reproduces.
+        let report = bundle.replay_protocol(&p);
+        assert!(report.passed(), "{}: {}", path.display(), report.summary());
+
+        // Routed down the classic HTTP path, the guard fails the replay
+        // with an explicit unrouted marker.
+        let misrouted = bundle.replay(&workflow, &profiles, None);
+        assert!(!misrouted.passed(), "{}", path.display());
+        assert!(
+            misrouted.drifted.iter().any(|d| d == "protocol:cookie:unrouted"),
+            "{:?}",
+            misrouted.drifted
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
